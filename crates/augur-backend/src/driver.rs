@@ -1,0 +1,1015 @@
+//! The sampler driver: executes the `⊗`-composition of base updates, one
+//! sweep per posterior sample, against either target.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use augur_blk::{optimize, to_blocks, OptFlags, OptReport};
+use augur_density::{DensityModel, DensityError};
+use augur_dist::Prng;
+use augur_kernel::{heuristic_schedule, parse_schedule, plan, KernelError};
+use augur_lang::LangError;
+use augur_low::{lower, LowerError, LoweredModel, Step};
+use gpu_sim::{Device, DeviceConfig};
+
+use crate::compile::{Compiler, ProcTable};
+use crate::eval::{Engine, ExecMode};
+use crate::mcmc::{self, GradTarget, McmcConfig, Proposal};
+use crate::oracle::StateOracle;
+use crate::setup::{build_state, SetupError};
+use crate::state::{BufId, HostValue};
+
+/// Compilation target (Fig. 2's `Opt(target=...)`).
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// Sequential host execution.
+    Cpu,
+    /// The simulated SIMT device.
+    Gpu(DeviceConfig),
+}
+
+/// Sampler construction options.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// CPU or (simulated) GPU.
+    pub target: Target,
+    /// RNG seed; fixing it makes entire runs reproducible.
+    pub seed: u64,
+    /// MCMC tuning.
+    pub mcmc: McmcConfig,
+    /// Blk-IL optimization toggles (GPU target only).
+    pub opt_flags: OptFlags,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            target: Target::Cpu,
+            seed: 0xA464,
+            mcmc: McmcConfig::default(),
+            opt_flags: OptFlags::default(),
+        }
+    }
+}
+
+/// Any error from model source to runnable sampler.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Frontend (parse/type) error.
+    Lang(LangError),
+    /// Density translation error.
+    Density(DensityError),
+    /// Schedule parsing/planning error.
+    Kernel(KernelError),
+    /// Lowering error.
+    Lower(LowerError),
+    /// Binding/allocation error.
+    Setup(SetupError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Lang(e) => write!(f, "frontend: {e}"),
+            BuildError::Density(e) => write!(f, "density: {e}"),
+            BuildError::Kernel(e) => write!(f, "kernel: {e}"),
+            BuildError::Lower(e) => write!(f, "lowering: {e}"),
+            BuildError::Setup(e) => write!(f, "setup: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<LangError> for BuildError {
+    fn from(e: LangError) -> Self {
+        BuildError::Lang(e)
+    }
+}
+impl From<DensityError> for BuildError {
+    fn from(e: DensityError) -> Self {
+        BuildError::Density(e)
+    }
+}
+impl From<KernelError> for BuildError {
+    fn from(e: KernelError) -> Self {
+        BuildError::Kernel(e)
+    }
+}
+impl From<LowerError> for BuildError {
+    fn from(e: LowerError) -> Self {
+        BuildError::Lower(e)
+    }
+}
+impl From<SetupError> for BuildError {
+    fn from(e: SetupError) -> Self {
+        BuildError::Setup(e)
+    }
+}
+
+/// One compiled step of the sweep.
+#[derive(Debug, Clone)]
+enum CompiledStep {
+    Gibbs { proc_: usize },
+    Hmc { targets: Vec<GradTarget>, ll: usize, grad: usize, nuts: bool },
+    SliceRefl { targets: Vec<GradTarget>, ll: usize, grad: usize },
+    Mala { targets: Vec<GradTarget>, ll: usize, grad: usize },
+    ESlice { target: BufId, lik: usize, psamp: usize, pmean: usize, aux: BufId, mean: BufId },
+    RwMh { targets: Vec<GradTarget>, ll: usize },
+}
+
+/// A compiled, data-bound MCMC sampler — the paper's `aug` inference
+/// object after `compile(...)(data)`.
+#[derive(Debug)]
+pub struct Sampler {
+    engine: Engine,
+    table: ProcTable,
+    steps: Vec<CompiledStep>,
+    init_idx: usize,
+    model_ll_idx: usize,
+    mcmc_cfg: McmcConfig,
+    accepts: Vec<(u64, u64)>,
+    opt_report: OptReport,
+    param_names: Vec<String>,
+    proposals: HashMap<usize, Box<dyn Proposal>>,
+}
+
+impl Sampler {
+    /// Builds a sampler from model source, an optional user schedule
+    /// (Fig. 2's `setUserSched`), positional arguments, and named data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the failing phase.
+    pub fn build(
+        src: &str,
+        schedule: Option<&str>,
+        args: Vec<HostValue>,
+        data: Vec<(&str, HostValue)>,
+        config: SamplerConfig,
+    ) -> Result<Sampler, BuildError> {
+        let model = augur_lang::parse(src)?;
+        let typed = augur_lang::typecheck(&model)?;
+        let dm = DensityModel::from_typed(&typed)?;
+        let sched = match schedule {
+            Some(s) => parse_schedule(s)?,
+            None => heuristic_schedule(&dm)?,
+        };
+        let kp = plan(&dm, &sched)?;
+        let lowered = lower(&dm, &kp)?;
+        Sampler::from_lowered(&dm, &lowered, args, data, config)
+    }
+
+    /// Builds a sampler from an already-lowered model (used by `augur`'s
+    /// pipeline API and the benches that reuse a lowering).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for binding/allocation problems.
+    pub fn from_lowered(
+        dm: &DensityModel,
+        lowered: &LoweredModel,
+        args: Vec<HostValue>,
+        data: Vec<(&str, HostValue)>,
+        config: SamplerConfig,
+    ) -> Result<Sampler, BuildError> {
+        let data: Vec<(String, HostValue)> =
+            data.into_iter().map(|(n, v)| (n.to_owned(), v)).collect();
+        let state = build_state(dm, lowered, args, data)?;
+
+        // Compile every procedure for both targets; the GPU form goes
+        // through Blk translation and the §5.4 optimizer with the runtime
+        // size oracle.
+        let mut table = ProcTable::default();
+        let mut opt_report = OptReport::default();
+        for p in &lowered.procs {
+            let cpu = Compiler::new(&state).proc(p);
+            let mut blk = to_blocks(p);
+            let r = optimize(&mut blk, &StateOracle::new(&state), &config.opt_flags);
+            opt_report.commuted += r.commuted;
+            opt_report.inlined += r.inlined;
+            opt_report.converted_to_sum += r.converted_to_sum;
+            let gpu = Compiler::new(&state).blk_proc(&blk);
+            table.insert(cpu, gpu);
+        }
+
+        let (device, mode) = match &config.target {
+            Target::Cpu => (Device::new(DeviceConfig::host_cpu_like()), ExecMode::Cpu),
+            Target::Gpu(cfg) => (Device::new(cfg.clone()), ExecMode::Gpu),
+        };
+        let mut engine =
+            Engine::new(state, Prng::seed_from_u64(config.seed), device, mode);
+        if matches!(config.target, Target::Gpu(_)) {
+            // Model the host→device shipment of the whole state.
+            let bytes = engine.state.total_cells() as u64 * 8;
+            engine.device.transfer(bytes);
+        }
+
+        let steps: Vec<CompiledStep> = lowered
+            .steps
+            .iter()
+            .map(|s| compile_step(&engine, &table, s))
+            .collect();
+        let accepts = vec![(0, 0); steps.len()];
+        let param_names = dm.params().map(|p| p.name.clone()).collect();
+        let init_idx = table_index(&table, &lowered.init_proc);
+        let model_ll_idx = table_index(&table, &lowered.model_ll_proc);
+        Ok(Sampler {
+            engine,
+            table,
+            steps,
+            init_idx,
+            model_ll_idx,
+            mcmc_cfg: config.mcmc,
+            accepts,
+            opt_report,
+            param_names,
+            proposals: HashMap::new(),
+        })
+    }
+
+    /// Registers a user-supplied proposal (the Kernel IL's
+    /// `Prop (Just α)`) for schedule step `step_index`, which must be an
+    /// `MH` entry. The proposal operates on the block's flattened values
+    /// in their natural space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is not a Metropolis–Hastings update.
+    pub fn set_proposal(&mut self, step_index: usize, proposal: Box<dyn Proposal>) {
+        assert!(
+            matches!(self.steps.get(step_index), Some(CompiledStep::RwMh { .. })),
+            "step {step_index} is not an MH update"
+        );
+        self.proposals.insert(step_index, proposal);
+    }
+
+    /// Initializes every parameter by ancestral sampling from its prior.
+    pub fn init(&mut self) {
+        self.engine.run_proc(&self.table, self.init_idx);
+    }
+
+    /// Overwrites a parameter's flat cells (manual initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names or length mismatches.
+    pub fn set_param(&mut self, name: &str, values: &[f64]) {
+        let id = self.engine.state.expect_id(name);
+        assert_eq!(
+            self.engine.state.flat(id).len(),
+            values.len(),
+            "length mismatch for `{name}`"
+        );
+        self.engine.state.flat_mut(id).copy_from_slice(values);
+    }
+
+    /// The flat cells of a parameter (or any buffer).
+    pub fn param(&self, name: &str) -> &[f64] {
+        self.engine.flat_of(name)
+    }
+
+    /// Names of the model parameters, in declaration order.
+    pub fn param_names(&self) -> &[String] {
+        &self.param_names
+    }
+
+    /// Runs one sweep: every base update once, in schedule order.
+    pub fn sweep(&mut self) {
+        for i in 0..self.steps.len() {
+            let step = self.steps[i].clone();
+            let accepted = match &step {
+                CompiledStep::Gibbs { proc_ } => {
+                    self.engine.run_proc(&self.table, *proc_);
+                    true // Gibbs updates are always accepted (§5.5)
+                }
+                CompiledStep::Hmc { targets, ll, grad, nuts } => {
+                    if *nuts {
+                        mcmc::nuts_update(
+                            &mut self.engine, &self.table, *ll, *grad, targets, &self.mcmc_cfg,
+                        )
+                    } else {
+                        mcmc::hmc_update(
+                            &mut self.engine, &self.table, *ll, *grad, targets, &self.mcmc_cfg,
+                        )
+                    }
+                }
+                CompiledStep::SliceRefl { targets, ll, grad } => {
+                    mcmc::reflective_slice_update(
+                        &mut self.engine, &self.table, *ll, *grad, targets, &self.mcmc_cfg,
+                    )
+                }
+                CompiledStep::Mala { targets, ll, grad } => mcmc::mala_update(
+                    &mut self.engine, &self.table, *ll, *grad, targets, &self.mcmc_cfg,
+                ),
+                CompiledStep::ESlice { target, lik, psamp, pmean, aux, mean } => {
+                    mcmc::eslice_update(
+                        &mut self.engine, &self.table, *lik, *psamp, *pmean, *target, *aux, *mean,
+                    );
+                    true
+                }
+                CompiledStep::RwMh { targets, ll } => {
+                    if let Some(proposal) = self.proposals.get_mut(&i) {
+                        mcmc::custom_mh_update(
+                            &mut self.engine, &self.table, *ll, targets, proposal.as_mut(),
+                        )
+                    } else {
+                        mcmc::rw_mh_update(
+                            &mut self.engine, &self.table, *ll, targets, &self.mcmc_cfg,
+                        )
+                    }
+                }
+            };
+            self.accepts[i].1 += 1;
+            if accepted {
+                self.accepts[i].0 += 1;
+            }
+        }
+    }
+
+    /// Draws `n` samples, recording the named parameters after each sweep.
+    pub fn sample(&mut self, n: usize, record: &[&str]) -> Vec<HashMap<String, Vec<f64>>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.sweep();
+            let mut snap = HashMap::new();
+            for name in record {
+                snap.insert((*name).to_owned(), self.param(name).to_vec());
+            }
+            out.push(snap);
+        }
+        out
+    }
+
+    /// The model's joint log-density at the current state.
+    pub fn log_joint(&mut self) -> f64 {
+        self.engine
+            .run_proc(&self.table, self.model_ll_idx)
+            .expect("model ll returns a value")
+    }
+
+    /// Virtual time elapsed on the target, in seconds.
+    pub fn virtual_secs(&self) -> f64 {
+        self.engine.device.elapsed_secs()
+    }
+
+    /// Device activity counters.
+    pub fn device_counters(&self) -> gpu_sim::Counters {
+        self.engine.device.counters()
+    }
+
+    /// Acceptance rate of step `i` of the schedule.
+    pub fn acceptance_rate(&self, i: usize) -> f64 {
+        let (a, t) = self.accepts[i];
+        if t == 0 {
+            f64::NAN
+        } else {
+            a as f64 / t as f64
+        }
+    }
+
+    /// What the Blk-IL optimizer did at compile time (GPU target).
+    pub fn opt_report(&self) -> OptReport {
+        self.opt_report
+    }
+
+    /// Mutable access to the engine (tests and baselines).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Shared access to the engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+fn table_index(table: &ProcTable, name: &str) -> usize {
+    table.index(name)
+}
+
+fn compile_step(engine: &Engine, table: &ProcTable, s: &Step) -> CompiledStep {
+    let id = |name: &str| engine.state.expect_id(name);
+    match s {
+        Step::Gibbs { proc_, .. } => CompiledStep::Gibbs { proc_: table.index(proc_) },
+        Step::Hmc { targets, ll_proc, grad_proc, adj_bufs, nuts } => CompiledStep::Hmc {
+            targets: targets
+                .iter()
+                .zip(adj_bufs)
+                .map(|((var, tr), adj)| GradTarget {
+                    var: id(var),
+                    adj: Some(id(adj)),
+                    transform: *tr,
+                })
+                .collect(),
+            ll: table.index(ll_proc),
+            grad: table.index(grad_proc),
+            nuts: *nuts,
+        },
+        Step::Mala { targets, ll_proc, grad_proc, adj_bufs } => CompiledStep::Mala {
+            targets: targets
+                .iter()
+                .zip(adj_bufs)
+                .map(|((var, tr), adj)| GradTarget {
+                    var: id(var),
+                    adj: Some(id(adj)),
+                    transform: *tr,
+                })
+                .collect(),
+            ll: table.index(ll_proc),
+            grad: table.index(grad_proc),
+        },
+        Step::SliceRefl { targets, ll_proc, grad_proc, adj_bufs } => CompiledStep::SliceRefl {
+            targets: targets
+                .iter()
+                .zip(adj_bufs)
+                .map(|((var, tr), adj)| GradTarget {
+                    var: id(var),
+                    adj: Some(id(adj)),
+                    transform: *tr,
+                })
+                .collect(),
+            ll: table.index(ll_proc),
+            grad: table.index(grad_proc),
+        },
+        Step::ESlice { target, lik_proc, prior_sample_proc, aux_buf, prior_mean_proc, mean_buf } => {
+            CompiledStep::ESlice {
+                target: id(target),
+                lik: table.index(lik_proc),
+                psamp: table.index(prior_sample_proc),
+                pmean: table.index(prior_mean_proc),
+                aux: id(aux_buf),
+                mean: id(mean_buf),
+            }
+        }
+        Step::RwMh { targets, ll_proc } => CompiledStep::RwMh {
+            targets: targets
+                .iter()
+                .map(|(var, tr)| GradTarget { var: id(var), adj: None, transform: *tr })
+                .collect(),
+            ll: table.index(ll_proc),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_math::vecops::mean;
+
+    /// Conjugate Normal–Normal model: the Gibbs chain must match the
+    /// analytic posterior.
+    #[test]
+    fn gibbs_matches_analytic_posterior() {
+        let src = "(N, tau2, s2) => {
+            param m ~ Normal(0.0, tau2) ;
+            data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+        }";
+        let data = vec![1.2, 0.8, 1.0, 1.4, 0.6];
+        let sum: f64 = data.iter().sum();
+        let n = data.len() as f64;
+        let (tau2, s2) = (4.0, 1.0);
+        let (post_mu, post_var) = augur_dist::conjugacy::normal_normal_mean(
+            0.0, tau2, s2, sum, n,
+        );
+        let mut s = Sampler::build(
+            src,
+            None,
+            vec![HostValue::Int(5), HostValue::Real(tau2), HostValue::Real(s2)],
+            vec![("y", HostValue::VecF(data))],
+            SamplerConfig::default(),
+        )
+        .unwrap();
+        s.init();
+        let draws: Vec<f64> =
+            (0..6000).map(|_| {
+                s.sweep();
+                s.param("m")[0]
+            }).collect();
+        let m = mean(&draws);
+        let v = augur_math::vecops::variance(&draws);
+        assert!((m - post_mu).abs() < 0.05, "mean {m} vs {post_mu}");
+        assert!((v - post_var).abs() < 0.05, "var {v} vs {post_var}");
+    }
+
+    /// Beta–Bernoulli: posterior mean must match (a+k)/(a+b+n).
+    #[test]
+    fn beta_bernoulli_gibbs() {
+        let src = "(N) => {
+            param p ~ Beta(2.0, 2.0) ;
+            data y[n] ~ Bernoulli(p) for n <- 0 until N ;
+        }";
+        let data = vec![1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0];
+        let k: f64 = data.iter().sum();
+        let n = data.len() as f64;
+        let expect = (2.0 + k) / (4.0 + n);
+        let mut s = Sampler::build(
+            src,
+            None,
+            vec![HostValue::Int(8)],
+            vec![("y", HostValue::VecF(data))],
+            SamplerConfig::default(),
+        )
+        .unwrap();
+        s.init();
+        let draws: Vec<f64> = (0..6000).map(|_| {
+            s.sweep();
+            s.param("p")[0]
+        }).collect();
+        assert!((mean(&draws) - expect).abs() < 0.02);
+    }
+
+    /// HMC on a conjugate model must agree with the analytic posterior.
+    #[test]
+    fn hmc_matches_analytic_posterior() {
+        let src = "(N, tau2, s2) => {
+            param m ~ Normal(0.0, tau2) ;
+            data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+        }";
+        let data = vec![1.2, 0.8, 1.0, 1.4, 0.6];
+        let sum: f64 = data.iter().sum();
+        let (post_mu, post_var) =
+            augur_dist::conjugacy::normal_normal_mean(0.0, 4.0, 1.0, sum, 5.0);
+        let cfg = SamplerConfig {
+            mcmc: McmcConfig { step_size: 0.15, leapfrog_steps: 12, ..Default::default() },
+            ..Default::default()
+        };
+        let mut s = Sampler::build(
+            src,
+            Some("HMC m"),
+            vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+            vec![("y", HostValue::VecF(data))],
+            cfg,
+        )
+        .unwrap();
+        s.init();
+        let mut draws = Vec::new();
+        for _ in 0..8000 {
+            s.sweep();
+            draws.push(s.param("m")[0]);
+        }
+        assert!(s.acceptance_rate(0) > 0.6, "acceptance {}", s.acceptance_rate(0));
+        let m = mean(&draws);
+        let v = augur_math::vecops::variance(&draws);
+        assert!((m - post_mu).abs() < 0.06, "mean {m} vs {post_mu}");
+        assert!((v - post_var).abs() < 0.07, "var {v} vs {post_var}");
+    }
+
+    /// The GMM of Fig. 1 with the Fig. 2 schedule runs end to end and
+    /// separates two well-separated clusters.
+    #[test]
+    fn fig1_gmm_with_fig2_schedule() {
+        let src = r#"(K, N, mu_0, Sigma_0, pis, Sigma) => {
+            param mu[k] ~ MvNormal(mu_0, Sigma_0) for k <- 0 until K ;
+            param z[n] ~ Categorical(pis) for n <- 0 until N ;
+            data x[n] ~ MvNormal(mu[z[n]], Sigma) for n <- 0 until N ;
+        }"#;
+        // two clusters at (-5,-5) and (5,5)
+        let mut rows = Vec::new();
+        let mut rng = Prng::seed_from_u64(9);
+        for i in 0..40 {
+            let c = if i % 2 == 0 { -5.0 } else { 5.0 };
+            rows.push(vec![c + 0.3 * rng.std_normal(), c + 0.3 * rng.std_normal()]);
+        }
+        let data = augur_math::FlatRagged::from_rows(rows);
+        let mut s = Sampler::build(
+            src,
+            Some("ESlice mu (*) Gibbs z"),
+            vec![
+                HostValue::Int(2),
+                HostValue::Int(40),
+                HostValue::VecF(vec![0.0, 0.0]),
+                HostValue::Mat(augur_math::Matrix::identity(2).scale(25.0)),
+                HostValue::VecF(vec![0.5, 0.5]),
+                HostValue::Mat(augur_math::Matrix::identity(2)),
+            ],
+            vec![("x", HostValue::Ragged(data))],
+            SamplerConfig::default(),
+        )
+        .unwrap();
+        s.init();
+        for _ in 0..150 {
+            s.sweep();
+        }
+        let mu = s.param("mu");
+        // one mean near -5, the other near +5 (either order)
+        let m0 = mu[0];
+        let m1 = mu[2];
+        let (lo, hi) = if m0 < m1 { (m0, m1) } else { (m1, m0) };
+        assert!((lo + 5.0).abs() < 1.0, "lo cluster at {lo}");
+        assert!((hi - 5.0).abs() < 1.0, "hi cluster at {hi}");
+    }
+
+    /// CPU and GPU targets produce identical chains for the same seed.
+    #[test]
+    fn cpu_and_gpu_targets_agree_exactly() {
+        let src = "(N, tau2, s2) => {
+            param m ~ Normal(0.0, tau2) ;
+            data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+        }";
+        let data = vec![1.0, 0.5, -0.5, 0.2];
+        let build = |target| {
+            Sampler::build(
+                src,
+                None,
+                vec![HostValue::Int(4), HostValue::Real(4.0), HostValue::Real(1.0)],
+                vec![("y", HostValue::VecF(data.clone()))],
+                SamplerConfig { target, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let mut cpu = build(Target::Cpu);
+        let mut gpu = build(Target::Gpu(DeviceConfig::titan_black_like()));
+        cpu.init();
+        gpu.init();
+        for _ in 0..50 {
+            cpu.sweep();
+            gpu.sweep();
+            assert_eq!(cpu.param("m")[0].to_bits(), gpu.param("m")[0].to_bits());
+        }
+        // but their virtual clocks differ (launch overhead vs sequential)
+        assert!(gpu.virtual_secs() > 0.0 && cpu.virtual_secs() > 0.0);
+        assert!(gpu.device_counters().launches > 0);
+        assert_eq!(cpu.device_counters().launches, 0);
+    }
+
+    #[test]
+    fn build_error_names_phase() {
+        let err = Sampler::build("(((", None, vec![], vec![], SamplerConfig::default())
+            .unwrap_err();
+        assert!(format!("{err}").starts_with("frontend:"));
+    }
+}
+
+#[cfg(test)]
+mod exactness_tests {
+    use super::*;
+    use augur_math::vecops::{mean, variance};
+
+    /// ESlice on a conjugate Normal–Normal model must match the analytic
+    /// posterior (it needs only likelihood evaluations + the Gaussian
+    /// prior, both of which the compiler generated).
+    #[test]
+    fn eslice_matches_analytic_posterior() {
+        let src = "(N, tau2, s2) => {
+            param m ~ Normal(1.0, tau2) ;
+            data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+        }";
+        let data = vec![2.2, 1.8, 2.0, 2.4, 1.6];
+        let sum: f64 = data.iter().sum();
+        let (tau2, s2) = (4.0, 1.0);
+        let prec = 1.0 / tau2 + 5.0 / s2;
+        let post_var = 1.0 / prec;
+        let post_mu = post_var * (1.0 / tau2 + sum / s2);
+        let mut s = Sampler::build(
+            src,
+            Some("ESlice m"),
+            vec![HostValue::Int(5), HostValue::Real(tau2), HostValue::Real(s2)],
+            vec![("y", HostValue::VecF(data))],
+            SamplerConfig::default(),
+        )
+        .unwrap();
+        s.init();
+        let draws: Vec<f64> = (0..8000)
+            .map(|_| {
+                s.sweep();
+                s.param("m")[0]
+            })
+            .collect();
+        assert!((mean(&draws) - post_mu).abs() < 0.05, "mean {} vs {post_mu}", mean(&draws));
+        assert!(
+            (variance(&draws) - post_var).abs() < 0.05,
+            "var {} vs {post_var}",
+            variance(&draws)
+        );
+    }
+
+    /// Random-walk MH with the log transform on a positive-support
+    /// variable targets the right distribution (Gamma posterior).
+    #[test]
+    fn mh_log_transform_targets_gamma_posterior() {
+        let src = "(N, a, b) => {
+            param r ~ Gamma(a, b) ;
+            data c[n] ~ Poisson(r) for n <- 0 until N ;
+        }";
+        let counts = vec![3.0, 5.0, 4.0, 2.0, 6.0, 4.0];
+        let sum: f64 = counts.iter().sum();
+        let (a, b) = (2.0, 1.0);
+        // analytic posterior Gamma(a + Σc, b + n): mean (a+Σc)/(b+n)
+        let post_mean = (a + sum) / (b + 6.0);
+        let post_var = (a + sum) / ((b + 6.0) * (b + 6.0));
+        let cfg = SamplerConfig {
+            mcmc: crate::mcmc::McmcConfig { mh_step: 0.3, ..Default::default() },
+            ..Default::default()
+        };
+        let mut s = Sampler::build(
+            src,
+            Some("MH r"),
+            vec![HostValue::Int(6), HostValue::Real(a), HostValue::Real(b)],
+            vec![("c", HostValue::VecF(counts))],
+            cfg,
+        )
+        .unwrap();
+        s.init();
+        for _ in 0..500 {
+            s.sweep(); // burn-in
+        }
+        let draws: Vec<f64> = (0..20000)
+            .map(|_| {
+                s.sweep();
+                s.param("r")[0]
+            })
+            .collect();
+        assert!(
+            (mean(&draws) - post_mean).abs() < 0.1,
+            "mean {} vs {post_mean}",
+            mean(&draws)
+        );
+        assert!(
+            (variance(&draws) - post_var).abs() < 0.15,
+            "var {} vs {post_var}",
+            variance(&draws)
+        );
+    }
+
+    /// Reflective slice on the same conjugate model.
+    #[test]
+    fn reflective_slice_matches_analytic_posterior() {
+        let src = "(N, tau2, s2) => {
+            param m ~ Normal(0.0, tau2) ;
+            data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+        }";
+        let data = vec![1.2, 0.8, 1.0, 1.4, 0.6];
+        let sum: f64 = data.iter().sum();
+        let (post_mu, post_var) =
+            augur_dist::conjugacy::normal_normal_mean(0.0, 4.0, 1.0, sum, 5.0);
+        let mut s = Sampler::build(
+            src,
+            Some("Slice m"),
+            vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+            vec![("y", HostValue::VecF(data))],
+            SamplerConfig::default(),
+        )
+        .unwrap();
+        s.init();
+        let draws: Vec<f64> = (0..8000)
+            .map(|_| {
+                s.sweep();
+                s.param("m")[0]
+            })
+            .collect();
+        assert!((mean(&draws) - post_mu).abs() < 0.06, "mean {}", mean(&draws));
+        assert!((variance(&draws) - post_var).abs() < 0.06, "var {}", variance(&draws));
+    }
+
+    /// The logit transform: HMC on a Beta–Bernoulli posterior must match
+    /// the analytic Beta posterior.
+    #[test]
+    fn hmc_logit_transform_targets_beta_posterior() {
+        let src = "(N) => {
+            param p ~ Beta(2.0, 2.0) ;
+            data y[n] ~ Bernoulli(p) for n <- 0 until N ;
+        }";
+        let data = vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0];
+        let k: f64 = data.iter().sum();
+        let n = data.len() as f64;
+        let (a, b) = (2.0 + k, 2.0 + n - k);
+        let post_mean = a / (a + b);
+        let post_var = a * b / ((a + b) * (a + b) * (a + b + 1.0));
+        let cfg = SamplerConfig {
+            mcmc: crate::mcmc::McmcConfig { step_size: 0.25, leapfrog_steps: 8, ..Default::default() },
+            ..Default::default()
+        };
+        let mut s = Sampler::build(
+            src,
+            Some("HMC p"),
+            vec![HostValue::Int(8)],
+            vec![("y", HostValue::VecF(data))],
+            cfg,
+        )
+        .unwrap();
+        s.init();
+        for _ in 0..500 {
+            s.sweep();
+        }
+        let draws: Vec<f64> = (0..12000)
+            .map(|_| {
+                s.sweep();
+                s.param("p")[0]
+            })
+            .collect();
+        assert!(draws.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!((mean(&draws) - post_mean).abs() < 0.02, "mean {} vs {post_mean}", mean(&draws));
+        assert!(
+            (variance(&draws) - post_var).abs() < 0.01,
+            "var {} vs {post_var}",
+            variance(&draws)
+        );
+    }
+
+    /// NUTS prototype on the conjugate model.
+    #[test]
+    fn nuts_matches_analytic_posterior_mean() {
+        let src = "(N, tau2, s2) => {
+            param m ~ Normal(0.0, tau2) ;
+            data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+        }";
+        let data = vec![1.2, 0.8, 1.0, 1.4, 0.6];
+        let sum: f64 = data.iter().sum();
+        let (post_mu, _) =
+            augur_dist::conjugacy::normal_normal_mean(0.0, 4.0, 1.0, sum, 5.0);
+        let cfg = SamplerConfig {
+            mcmc: crate::mcmc::McmcConfig { step_size: 0.2, ..Default::default() },
+            ..Default::default()
+        };
+        let mut s = Sampler::build(
+            src,
+            Some("NUTS m"),
+            vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+            vec![("y", HostValue::VecF(data))],
+            cfg,
+        )
+        .unwrap();
+        s.init();
+        let draws: Vec<f64> = (0..8000)
+            .map(|_| {
+                s.sweep();
+                s.param("m")[0]
+            })
+            .collect();
+        assert!((mean(&draws) - post_mu).abs() < 0.08, "mean {}", mean(&draws));
+    }
+}
+
+#[cfg(test)]
+mod proposal_tests {
+    use super::*;
+    use augur_math::vecops::{mean, variance};
+
+    /// A deliberately asymmetric multiplicative proposal with the correct
+    /// Hastings correction: x' = x·e^u, u ~ N(0, s²) ⇒
+    /// log q(x'→x) − log q(x→x') = log(x'/x).
+    #[derive(Debug)]
+    struct LogRandomWalk {
+        scale: f64,
+    }
+
+    impl crate::mcmc::Proposal for LogRandomWalk {
+        fn propose(
+            &mut self,
+            rng: &mut augur_dist::Prng,
+            current: &[f64],
+            out: &mut [f64],
+        ) -> f64 {
+            let mut correction = 0.0;
+            for (o, &x) in out.iter_mut().zip(current) {
+                let factor = (self.scale * rng.std_normal()).exp();
+                *o = x * factor;
+                correction += factor.ln(); // log(x'/x)
+            }
+            correction
+        }
+    }
+
+    /// The custom proposal must target the same Gamma posterior as the
+    /// conjugate closed form.
+    #[test]
+    fn custom_proposal_targets_correct_posterior() {
+        let src = "(N, a, b) => {
+            param r ~ Gamma(a, b) ;
+            data c[n] ~ Poisson(r) for n <- 0 until N ;
+        }";
+        let counts = vec![3.0, 5.0, 4.0, 2.0, 6.0, 4.0];
+        let sum: f64 = counts.iter().sum();
+        let (a, b) = (2.0, 1.0);
+        let post_mean = (a + sum) / (b + 6.0);
+        let post_var = (a + sum) / ((b + 6.0) * (b + 6.0));
+        let mut s = Sampler::build(
+            src,
+            Some("MH r"),
+            vec![HostValue::Int(6), HostValue::Real(a), HostValue::Real(b)],
+            vec![("c", HostValue::VecF(counts))],
+            SamplerConfig::default(),
+        )
+        .unwrap();
+        s.set_proposal(0, Box::new(LogRandomWalk { scale: 0.25 }));
+        s.init();
+        for _ in 0..500 {
+            s.sweep();
+        }
+        let draws: Vec<f64> = (0..20000)
+            .map(|_| {
+                s.sweep();
+                s.param("r")[0]
+            })
+            .collect();
+        assert!((mean(&draws) - post_mean).abs() < 0.1, "mean {}", mean(&draws));
+        assert!((variance(&draws) - post_var).abs() < 0.15, "var {}", variance(&draws));
+        let rate = s.acceptance_rate(0);
+        assert!(rate > 0.3 && rate < 0.99, "acceptance {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not an MH update")]
+    fn proposal_on_non_mh_step_panics() {
+        let src = "(N) => {
+            param p ~ Beta(1.0, 1.0) ;
+            data y[n] ~ Bernoulli(p) for n <- 0 until N ;
+        }";
+        let mut s = Sampler::build(
+            src,
+            None,
+            vec![HostValue::Int(2)],
+            vec![("y", HostValue::VecF(vec![1.0, 0.0]))],
+            SamplerConfig::default(),
+        )
+        .unwrap();
+        s.set_proposal(0, Box::new(LogRandomWalk { scale: 0.1 }));
+    }
+}
+
+#[cfg(test)]
+mod mala_tests {
+    use super::*;
+    use augur_math::vecops::{mean, variance};
+
+    /// The new base update (§7.1 extensibility exercise) must target the
+    /// same analytic posterior as every other kernel.
+    #[test]
+    fn mala_matches_analytic_posterior() {
+        let src = "(N, tau2, s2) => {
+            param m ~ Normal(0.0, tau2) ;
+            data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+        }";
+        let data = vec![1.2, 0.8, 1.0, 1.4, 0.6];
+        let sum: f64 = data.iter().sum();
+        let (post_mu, post_var) =
+            augur_dist::conjugacy::normal_normal_mean(0.0, 4.0, 1.0, sum, 5.0);
+        let cfg = SamplerConfig {
+            mcmc: crate::mcmc::McmcConfig { step_size: 0.35, ..Default::default() },
+            ..Default::default()
+        };
+        let mut s = Sampler::build(
+            src,
+            Some("MALA m"),
+            vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+            vec![("y", HostValue::VecF(data))],
+            cfg,
+        )
+        .unwrap();
+        s.init();
+        for _ in 0..500 {
+            s.sweep();
+        }
+        let draws: Vec<f64> = (0..20000)
+            .map(|_| {
+                s.sweep();
+                s.param("m")[0]
+            })
+            .collect();
+        assert!(s.acceptance_rate(0) > 0.5, "acceptance {}", s.acceptance_rate(0));
+        assert!((mean(&draws) - post_mu).abs() < 0.05, "mean {} vs {post_mu}", mean(&draws));
+        assert!(
+            (variance(&draws) - post_var).abs() < 0.05,
+            "var {} vs {post_var}",
+            variance(&draws)
+        );
+    }
+
+    /// MALA composes with Gibbs in a schedule, and works through the log
+    /// transform on a positive-support variable.
+    #[test]
+    fn mala_composes_and_transforms() {
+        let src = "(N, a, b) => {
+            param r ~ Gamma(a, b) ;
+            data c[n] ~ Poisson(r) for n <- 0 until N ;
+        }";
+        let counts = vec![3.0, 5.0, 4.0, 2.0, 6.0, 4.0];
+        let sum: f64 = counts.iter().sum();
+        let post_mean = (2.0 + sum) / (1.0 + 6.0);
+        let cfg = SamplerConfig {
+            mcmc: crate::mcmc::McmcConfig { step_size: 0.15, ..Default::default() },
+            ..Default::default()
+        };
+        let mut s = Sampler::build(
+            src,
+            Some("MALA r"),
+            vec![HostValue::Int(6), HostValue::Real(2.0), HostValue::Real(1.0)],
+            vec![("c", HostValue::VecF(counts))],
+            cfg,
+        )
+        .unwrap();
+        s.init();
+        for _ in 0..500 {
+            s.sweep();
+        }
+        let draws: Vec<f64> = (0..20000)
+            .map(|_| {
+                s.sweep();
+                s.param("r")[0]
+            })
+            .collect();
+        assert!((mean(&draws) - post_mean).abs() < 0.1, "mean {} vs {post_mean}", mean(&draws));
+        assert!(draws.iter().all(|&r| r > 0.0));
+    }
+}

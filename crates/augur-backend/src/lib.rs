@@ -1,0 +1,57 @@
+//! The AugurV2 backend (paper §5–§6): turns a lowered model into a running
+//! MCMC sampler.
+//!
+//! Responsibilities, mirroring the paper's backend + runtime library:
+//!
+//! * **binding & size inference** ([`setup`]) — model arguments and data
+//!   are bound to host values; every parameter and planned temporary is
+//!   allocated *up front* by resolving the symbolic shapes of
+//!   `augur-low`'s size inference (§5.2);
+//! * **compilation** ([`compile`]) — procedures are resolved to buffer
+//!   slots (the stand-in for Cuda/C emission; a readable C-like rendering
+//!   is available via `augur_low::il::pretty_proc`), and for the GPU
+//!   target translated to Blk IL and optimized (§5.3–5.4);
+//! * **execution** ([`eval`]) — a CPU interpreter and a simulated-GPU
+//!   executor that charge virtual time to a `gpu_sim::Device`;
+//! * **the MCMC library** ([`mcmc`]) — leapfrog HMC (+ a NUTS prototype),
+//!   reflective and elliptical slice sampling, random-walk MH, and the
+//!   acceptance-ratio/state-duplication discipline of §5.5;
+//! * **the driver** ([`driver`]) — the `⊗`-composition sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use augur_backend::driver::{Sampler, SamplerConfig};
+//! use augur_backend::state::HostValue;
+//!
+//! let src = "(N, tau2, s2) => {
+//!     param m ~ Normal(0.0, tau2) ;
+//!     data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+//! }";
+//! let mut sampler = Sampler::build(
+//!     src,
+//!     None, // heuristic schedule
+//!     vec![HostValue::Int(4), HostValue::Real(10.0), HostValue::Real(1.0)],
+//!     vec![("y", HostValue::VecF(vec![1.0, 1.2, 0.8, 1.1]))],
+//!     SamplerConfig::default(),
+//! )?;
+//! sampler.init();
+//! for _ in 0..10 {
+//!     sampler.sweep();
+//! }
+//! assert!(sampler.param("m")[0].is_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod compile;
+pub mod driver;
+pub mod eval;
+pub mod mcmc;
+pub mod oracle;
+pub mod setup;
+pub mod state;
+
+pub use driver::{Sampler, SamplerConfig, Target};
+pub use state::HostValue;

@@ -1,0 +1,616 @@
+//! The MCMC runtime library (paper §4.4, §5.5).
+//!
+//! Base updates decompose into primitives — likelihood evaluation,
+//! closed-form conditionals, gradient evaluation — plus *library code*
+//! ("between 0 lines of C code for a Gibbs update to 30 lines … e.g. an
+//! implementation of leapfrog integration"). This module is that library:
+//! leapfrog HMC and a No-U-Turn prototype, elliptical slice sampling
+//! (Murray, Adams & MacKay 2010), reflective slice sampling, and
+//! random-walk Metropolis–Hastings.
+//!
+//! Updates that can reject implement the §5.5 state discipline: the
+//! proposal mutates the live state, and on rejection the saved copy is
+//! restored, so the two logical copies of the state are equal after every
+//! base update.
+
+use augur_low::Transform;
+
+use crate::compile::ProcTable;
+use crate::eval::Engine;
+use crate::state::BufId;
+
+/// A user-supplied Metropolis–Hastings proposal — the `Prop (Maybe α)`
+/// of the Kernel IL (Fig. 5) with `Just` a proposal. The paper accepts
+/// proposal *code*; here the proposal is a host callback over the
+/// flattened target block in its natural (constrained) space.
+pub trait Proposal: std::fmt::Debug + Send {
+    /// Writes a proposed value into `out` given the current value, and
+    /// returns the log-ratio correction
+    /// `log q(x' → x) − log q(x → x')` (zero for symmetric proposals).
+    fn propose(
+        &mut self,
+        rng: &mut augur_dist::Prng,
+        current: &[f64],
+        out: &mut [f64],
+    ) -> f64;
+}
+
+/// Tuning for gradient-based and random-walk updates.
+#[derive(Debug, Clone)]
+pub struct McmcConfig {
+    /// Leapfrog step size.
+    pub step_size: f64,
+    /// Leapfrog steps per HMC update.
+    pub leapfrog_steps: usize,
+    /// Random-walk MH proposal scale.
+    pub mh_step: f64,
+    /// Initial bracket width for reflective slice.
+    pub slice_width: f64,
+    /// Maximum tree depth for NUTS.
+    pub max_tree_depth: usize,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        McmcConfig {
+            step_size: 0.05,
+            leapfrog_steps: 16,
+            mh_step: 0.25,
+            slice_width: 1.0,
+            max_tree_depth: 8,
+        }
+    }
+}
+
+/// One variable of a gradient-based block with its adjoint buffer and
+/// constraint transform.
+#[derive(Debug, Clone)]
+pub struct GradTarget {
+    /// The sampled variable.
+    pub var: BufId,
+    /// Its adjoint buffer (written by the grad procedure); `None` for
+    /// gradient-free updates (random-walk MH).
+    pub adj: Option<BufId>,
+    /// The unconstraining transform.
+    pub transform: Transform,
+}
+
+/// Snapshots the raw (constrained) values of a block — the §5.5 "copy of
+/// the MCMC state": rejected proposals restore these bitwise, rather than
+/// round-tripping through the unconstraining transform.
+pub fn snapshot_targets(engine: &Engine, targets: &[GradTarget]) -> Vec<Vec<f64>> {
+    targets.iter().map(|t| engine.state.flat(t.var).to_vec()).collect()
+}
+
+/// Restores a snapshot taken with [`snapshot_targets`].
+pub fn restore_targets(engine: &mut Engine, targets: &[GradTarget], snap: &[Vec<f64>]) {
+    for (t, vals) in targets.iter().zip(snap) {
+        engine.state.flat_mut(t.var).copy_from_slice(vals);
+    }
+}
+
+/// Reads the flattened, *unconstrained* position of a block.
+pub fn read_position(engine: &Engine, targets: &[GradTarget]) -> Vec<f64> {
+    let mut q = Vec::new();
+    for t in targets {
+        for &x in engine.state.flat(t.var) {
+            q.push(match t.transform {
+                Transform::Identity => x,
+                Transform::Log => x.max(1e-300).ln(),
+                Transform::Logit => {
+                    let c = x.clamp(1e-12, 1.0 - 1e-12);
+                    (c / (1.0 - c)).ln()
+                }
+            });
+        }
+    }
+    q
+}
+
+/// Writes an unconstrained position back into the (constrained) state.
+pub fn write_position(engine: &mut Engine, targets: &[GradTarget], q: &[f64]) {
+    let mut off = 0;
+    for t in targets {
+        let buf = engine.state.flat_mut(t.var);
+        for cell in buf.iter_mut() {
+            let v = q[off];
+            *cell = match t.transform {
+                Transform::Identity => v,
+                Transform::Log => v.exp(),
+                Transform::Logit => augur_math::special::sigmoid(v),
+            };
+            off += 1;
+        }
+    }
+    debug_assert_eq!(off, q.len());
+}
+
+/// The gradient of [`log_density_flat`] with respect to the unconstrained
+/// position (chain rule through the transform, including the Jacobian
+/// term). Assumes the position has already been written.
+pub fn gradient(
+    engine: &mut Engine,
+    table: &ProcTable,
+    grad_proc: usize,
+    targets: &[GradTarget],
+    q: &[f64],
+) -> Vec<f64> {
+    engine.run_proc(table, grad_proc);
+    let mut g = Vec::with_capacity(q.len());
+    let mut off = 0;
+    for t in targets {
+        let adj = engine.state.flat(t.adj.expect("gradient-based update has adjoint buffers"));
+        for (i, &a) in adj.iter().enumerate() {
+            g.push(match t.transform {
+                Transform::Identity => a,
+                // d/dq [ll(e^q) + q] = ll'(x)·x + 1
+                Transform::Log => a * q[off + i].exp() + 1.0,
+                // x = σ(u): d/du [ll(σ(u)) + log σ(u) + log σ(−u)]
+                //         = ll'(x)·x(1−x) + (1 − 2x)
+                Transform::Logit => {
+                    let x = augur_math::special::sigmoid(q[off + i]);
+                    a * x * (1.0 - x) + (1.0 - 2.0 * x)
+                }
+            });
+        }
+        off += adj.len();
+    }
+    g
+}
+
+#[allow(clippy::too_many_arguments)]
+fn leapfrog(
+    engine: &mut Engine,
+    table: &ProcTable,
+    ll_proc: usize,
+    grad_proc: usize,
+    targets: &[GradTarget],
+    q: &mut [f64],
+    p: &mut [f64],
+    eps: f64,
+) -> f64 {
+    // half-step momentum, full-step position, half-step momentum;
+    // returns the new log-density.
+    write_position(engine, targets, q);
+    let g = gradient(engine, table, grad_proc, targets, q);
+    for (pi, gi) in p.iter_mut().zip(&g) {
+        *pi += 0.5 * eps * gi;
+    }
+    for (qi, pi) in q.iter_mut().zip(p.iter()) {
+        *qi += eps * pi;
+    }
+    let ll = log_density_flat(engine, table, ll_proc, targets, q);
+    let g = gradient(engine, table, grad_proc, targets, q);
+    for (pi, gi) in p.iter_mut().zip(&g) {
+        *pi += 0.5 * eps * gi;
+    }
+    ll
+}
+
+/// The log-density in the unconstrained space: conditional log-likelihood
+/// plus the log-Jacobian of the transforms (per-target lengths are read
+/// off the engine). Writes the position first.
+pub fn log_density_flat(
+    engine: &mut Engine,
+    table: &ProcTable,
+    ll_proc: usize,
+    targets: &[GradTarget],
+    q: &[f64],
+) -> f64 {
+    write_position(engine, targets, q);
+    let ll = engine.run_proc(table, ll_proc).expect("ll proc returns a value");
+    let mut jac = 0.0;
+    let mut off = 0;
+    for t in targets {
+        let len = engine.state.flat(t.var).len();
+        match t.transform {
+            Transform::Log => jac += q[off..off + len].iter().sum::<f64>(),
+            Transform::Logit => {
+                for &u in &q[off..off + len] {
+                    // log σ(u) + log σ(−u)
+                    jac -= augur_math::special::log1p_exp(-u)
+                        + augur_math::special::log1p_exp(u);
+                }
+            }
+            Transform::Identity => {}
+        }
+        off += len;
+    }
+    ll + jac
+}
+
+/// One HMC update of a block. Returns whether the proposal was accepted.
+pub fn hmc_update(
+    engine: &mut Engine,
+    table: &ProcTable,
+    ll_proc: usize,
+    grad_proc: usize,
+    targets: &[GradTarget],
+    cfg: &McmcConfig,
+) -> bool {
+    let saved = snapshot_targets(engine, targets);
+    let q0 = read_position(engine, targets);
+    let mut q = q0.clone();
+    let mut p: Vec<f64> = (0..q.len()).map(|_| engine.rng.std_normal()).collect();
+    let h0 = log_density_flat(engine, table, ll_proc, targets, &q)
+        - 0.5 * p.iter().map(|x| x * x).sum::<f64>();
+    let mut ll = f64::NAN;
+    for _ in 0..cfg.leapfrog_steps {
+        ll = leapfrog(engine, table, ll_proc, grad_proc, targets, &mut q, &mut p, cfg.step_size);
+        if !ll.is_finite() {
+            break;
+        }
+    }
+    let h1 = if ll.is_finite() {
+        ll - 0.5 * p.iter().map(|x| x * x).sum::<f64>()
+    } else {
+        f64::NEG_INFINITY
+    };
+    let accept = engine.rng.uniform().ln() < h1 - h0;
+    if accept {
+        write_position(engine, targets, &q);
+    } else {
+        restore_targets(engine, targets, &saved); // §5.5: exact state copy
+    }
+    accept
+}
+
+/// One NUTS update (Hoffman & Gelman 2014, Algorithm 3 — the paper's §4.4
+/// footnote prototype). Returns whether the position moved.
+pub fn nuts_update(
+    engine: &mut Engine,
+    table: &ProcTable,
+    ll_proc: usize,
+    grad_proc: usize,
+    targets: &[GradTarget],
+    cfg: &McmcConfig,
+) -> bool {
+    let saved = snapshot_targets(engine, targets);
+    let q0 = read_position(engine, targets);
+    let p0: Vec<f64> = (0..q0.len()).map(|_| engine.rng.std_normal()).collect();
+    let h0 = log_density_flat(engine, table, ll_proc, targets, &q0)
+        - 0.5 * p0.iter().map(|x| x * x).sum::<f64>();
+    // slice variable
+    let log_u = h0 + engine.rng.uniform().max(1e-300).ln();
+
+    let mut q_minus = q0.clone();
+    let mut p_minus = p0.clone();
+    let mut q_plus = q0.clone();
+    let mut p_plus = p0.clone();
+    let mut q_new = q0.clone();
+    let mut n_total: f64 = 1.0;
+    let mut moved = false;
+
+    for depth in 0..cfg.max_tree_depth {
+        let dir: f64 = if engine.rng.uniform() < 0.5 { -1.0 } else { 1.0 };
+        let (q_prop, n_prop, ok) = if dir < 0.0 {
+            let (qm, pm, _, _, qp, np, ok) = build_tree(
+                engine, table, ll_proc, grad_proc, targets,
+                &q_minus, &p_minus, log_u, dir, depth, cfg,
+            );
+            q_minus = qm;
+            p_minus = pm;
+            (qp, np, ok)
+        } else {
+            let (_, _, qp2, pp2, qp, np, ok) = build_tree(
+                engine, table, ll_proc, grad_proc, targets,
+                &q_plus, &p_plus, log_u, dir, depth, cfg,
+            );
+            q_plus = qp2;
+            p_plus = pp2;
+            (qp, np, ok)
+        };
+        if ok && engine.rng.uniform() < n_prop / n_total.max(1.0) {
+            q_new = q_prop;
+            moved = true;
+        }
+        n_total += n_prop;
+        if !ok || u_turn(&q_minus, &q_plus, &p_minus, &p_plus) {
+            break;
+        }
+    }
+    if moved {
+        write_position(engine, targets, &q_new);
+    } else {
+        restore_targets(engine, targets, &saved);
+    }
+    moved
+}
+
+type Tree = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64, bool);
+
+#[allow(clippy::too_many_arguments)]
+fn build_tree(
+    engine: &mut Engine,
+    table: &ProcTable,
+    ll_proc: usize,
+    grad_proc: usize,
+    targets: &[GradTarget],
+    q: &[f64],
+    p: &[f64],
+    log_u: f64,
+    dir: f64,
+    depth: usize,
+    cfg: &McmcConfig,
+) -> Tree {
+    if depth == 0 {
+        let mut q1 = q.to_vec();
+        let mut p1 = p.to_vec();
+        let ll = leapfrog(
+            engine, table, ll_proc, grad_proc, targets,
+            &mut q1, &mut p1, dir * cfg.step_size,
+        );
+        let h = if ll.is_finite() {
+            ll - 0.5 * p1.iter().map(|x| x * x).sum::<f64>()
+        } else {
+            f64::NEG_INFINITY
+        };
+        let n = if log_u <= h { 1.0 } else { 0.0 };
+        let ok = log_u < h + 1000.0; // divergence guard
+        (q1.clone(), p1.clone(), q1.clone(), p1.clone(), q1, n, ok)
+    } else {
+        let (mut qm, mut pm, mut qp, mut pp, mut qn, mut n, ok) = build_tree(
+            engine, table, ll_proc, grad_proc, targets, q, p, log_u, dir, depth - 1, cfg,
+        );
+        if ok {
+            let (qn2, n2, ok2) = if dir < 0.0 {
+                let (qm2, pm2, _, _, qn2, n2, ok2) = build_tree(
+                    engine, table, ll_proc, grad_proc, targets,
+                    &qm, &pm, log_u, dir, depth - 1, cfg,
+                );
+                qm = qm2;
+                pm = pm2;
+                (qn2, n2, ok2)
+            } else {
+                let (_, _, qp2, pp2, qn2, n2, ok2) = build_tree(
+                    engine, table, ll_proc, grad_proc, targets,
+                    &qp, &pp, log_u, dir, depth - 1, cfg,
+                );
+                qp = qp2;
+                pp = pp2;
+                (qn2, n2, ok2)
+            };
+            if ok2 && n + n2 > 0.0 && engine.rng.uniform() < n2 / (n + n2) {
+                qn = qn2;
+            }
+            n += n2;
+            let still_ok = ok2 && !u_turn(&qm, &qp, &pm, &pp);
+            return (qm, pm, qp, pp, qn, n, still_ok);
+        }
+        (qm, pm, qp, pp, qn, n, false)
+    }
+}
+
+fn u_turn(q_minus: &[f64], q_plus: &[f64], p_minus: &[f64], p_plus: &[f64]) -> bool {
+    let mut dot_minus = 0.0;
+    let mut dot_plus = 0.0;
+    for i in 0..q_minus.len() {
+        let dq = q_plus[i] - q_minus[i];
+        dot_minus += dq * p_minus[i];
+        dot_plus += dq * p_plus[i];
+    }
+    dot_minus < 0.0 || dot_plus < 0.0
+}
+
+/// One elliptical slice update (needs only the likelihood; the target's
+/// prior must be Gaussian — validated at planning time). The update runs
+/// slice by slice over the target's comprehension structure: given the
+/// rest of the state, the slices are conditionally independent, so each
+/// gets its own ellipse (this is the compiled analogue of the per-slice
+/// Gibbs structure). Always accepts.
+#[allow(clippy::too_many_arguments)]
+pub fn eslice_update(
+    engine: &mut Engine,
+    table: &ProcTable,
+    lik_proc: usize,
+    prior_sample_proc: usize,
+    prior_mean_proc: usize,
+    target: BufId,
+    aux: BufId,
+    mean: BufId,
+) {
+    // ν ~ prior, m = prior mean (for every slice at once)
+    engine.run_proc(table, prior_sample_proc);
+    engine.run_proc(table, prior_mean_proc);
+    let x = engine.state.flat(target).to_vec();
+    let nu = engine.state.flat(aux).to_vec();
+    let m = engine.state.flat(mean).to_vec();
+
+    // Slice boundaries follow the target's row structure.
+    let ranges: Vec<(usize, usize)> = match engine.state.shape(target) {
+        crate::state::Shape::Rows { offsets, .. } => {
+            offsets.windows(2).map(|w| (w[0], w[1])).collect()
+        }
+        _ => vec![(0, x.len())],
+    };
+
+    for (lo_i, hi_i) in ranges {
+        let ll0 = engine.run_proc(table, lik_proc).expect("lik proc returns");
+        let log_y = ll0 + engine.rng.uniform().max(1e-300).ln();
+        let mut theta = engine.rng.uniform_range(0.0, 2.0 * std::f64::consts::PI);
+        let mut lo = theta - 2.0 * std::f64::consts::PI;
+        let mut hi = theta;
+        loop {
+            let (c, s) = (theta.cos(), theta.sin());
+            {
+                let buf = engine.state.flat_mut(target);
+                for i in lo_i..hi_i {
+                    buf[i] = m[i] + (x[i] - m[i]) * c + (nu[i] - m[i]) * s;
+                }
+            }
+            let ll = engine.run_proc(table, lik_proc).expect("lik proc returns");
+            if ll > log_y {
+                break; // this slice accepted; move to the next
+            }
+            // shrink the bracket toward θ = 0
+            if theta < 0.0 {
+                lo = theta;
+            } else {
+                hi = theta;
+            }
+            if hi - lo < 1e-12 {
+                // numerically exhausted: restore this slice
+                let buf = engine.state.flat_mut(target);
+                buf[lo_i..hi_i].copy_from_slice(&x[lo_i..hi_i]);
+                break;
+            }
+            theta = engine.rng.uniform_range(lo, hi);
+        }
+    }
+}
+
+/// One reflective slice update: uniform momentum, gradient reflections off
+/// the slice boundary (Neal 2003). Always ends inside the slice (reverts
+/// on failure).
+pub fn reflective_slice_update(
+    engine: &mut Engine,
+    table: &ProcTable,
+    ll_proc: usize,
+    grad_proc: usize,
+    targets: &[GradTarget],
+    cfg: &McmcConfig,
+) -> bool {
+    let saved = snapshot_targets(engine, targets);
+    let q0 = read_position(engine, targets);
+    let ll0 = log_density_flat(engine, table, ll_proc, targets, &q0);
+    let log_y = ll0 - engine.rng.exponential(1.0); // slice height
+    let mut q = q0.clone();
+    let mut p: Vec<f64> = (0..q.len()).map(|_| engine.rng.std_normal()).collect();
+    let eps = cfg.step_size * cfg.slice_width;
+    let steps = cfg.leapfrog_steps;
+    for _ in 0..steps {
+        for (qi, pi) in q.iter_mut().zip(&p) {
+            *qi += eps * pi;
+        }
+        let ll = log_density_flat(engine, table, ll_proc, targets, &q);
+        if ll < log_y {
+            // reflect: p ← p − 2 (p·g) g / |g|²
+            let g = gradient(engine, table, grad_proc, targets, &q);
+            let gg: f64 = g.iter().map(|x| x * x).sum();
+            if gg > 0.0 {
+                let pg: f64 = p.iter().zip(&g).map(|(a, b)| a * b).sum();
+                for (pi, gi) in p.iter_mut().zip(&g) {
+                    *pi -= 2.0 * pg * gi / gg;
+                }
+            }
+        }
+    }
+    let ll_final = log_density_flat(engine, table, ll_proc, targets, &q);
+    if ll_final >= log_y {
+        write_position(engine, targets, &q);
+        true
+    } else {
+        restore_targets(engine, targets, &saved);
+        false
+    }
+}
+
+/// One Metropolis-adjusted Langevin update of a block: a single
+/// gradient-drifted proposal `q' = q + (ε²/2)∇ + ε ξ` with the exact
+/// Hastings correction. Returns whether the proposal was accepted.
+///
+/// This is the §7.1 extensibility exercise — note that it needs nothing
+/// beyond the primitives that already existed (likelihood + gradient
+/// procedures and the §5.5 restore-on-reject discipline).
+pub fn mala_update(
+    engine: &mut Engine,
+    table: &ProcTable,
+    ll_proc: usize,
+    grad_proc: usize,
+    targets: &[GradTarget],
+    cfg: &McmcConfig,
+) -> bool {
+    let eps = cfg.step_size;
+    let saved = snapshot_targets(engine, targets);
+    let q0 = read_position(engine, targets);
+    let ll0 = log_density_flat(engine, table, ll_proc, targets, &q0);
+    let g0 = gradient(engine, table, grad_proc, targets, &q0);
+
+    // proposal mean m0 = q0 + (ε²/2) g0
+    let mut q1 = Vec::with_capacity(q0.len());
+    for i in 0..q0.len() {
+        q1.push(q0[i] + 0.5 * eps * eps * g0[i] + eps * engine.rng.std_normal());
+    }
+    let ll1 = log_density_flat(engine, table, ll_proc, targets, &q1);
+    let accept = if ll1.is_finite() {
+        let g1 = gradient(engine, table, grad_proc, targets, &q1);
+        // log q(q0 | q1) − log q(q1 | q0)
+        let mut correction = 0.0;
+        for i in 0..q0.len() {
+            let fwd = q1[i] - q0[i] - 0.5 * eps * eps * g0[i];
+            let rev = q0[i] - q1[i] - 0.5 * eps * eps * g1[i];
+            correction += (fwd * fwd - rev * rev) / (2.0 * eps * eps);
+        }
+        engine.rng.uniform().ln() < ll1 - ll0 + correction
+    } else {
+        false
+    };
+    if accept {
+        write_position(engine, targets, &q1);
+    } else {
+        restore_targets(engine, targets, &saved);
+    }
+    accept
+}
+
+/// One Metropolis–Hastings update with a *user-supplied* proposal over
+/// the block's natural space. Returns whether the proposal was accepted.
+pub fn custom_mh_update(
+    engine: &mut Engine,
+    table: &ProcTable,
+    ll_proc: usize,
+    targets: &[GradTarget],
+    proposal: &mut dyn Proposal,
+) -> bool {
+    // natural-space values: read the raw buffers
+    let mut current = Vec::new();
+    for t in targets {
+        current.extend_from_slice(engine.state.flat(t.var));
+    }
+    let ll0 = engine.run_proc(table, ll_proc).expect("ll proc returns");
+    let mut proposed = vec![0.0; current.len()];
+    let correction = proposal.propose(&mut engine.rng, &current, &mut proposed);
+    // write the proposal
+    let mut off = 0;
+    for t in targets {
+        let buf = engine.state.flat_mut(t.var);
+        buf.copy_from_slice(&proposed[off..off + buf.len()]);
+        off += buf.len();
+    }
+    let ll1 = engine.run_proc(table, ll_proc).expect("ll proc returns");
+    let accept = engine.rng.uniform().ln() < ll1 - ll0 + correction;
+    if !accept {
+        let mut off = 0;
+        for t in targets {
+            let buf = engine.state.flat_mut(t.var);
+            buf.copy_from_slice(&current[off..off + buf.len()]);
+            off += buf.len();
+        }
+    }
+    accept
+}
+
+/// One random-walk Metropolis–Hastings update in the unconstrained space.
+/// Returns whether the proposal was accepted.
+pub fn rw_mh_update(
+    engine: &mut Engine,
+    table: &ProcTable,
+    ll_proc: usize,
+    targets: &[GradTarget],
+    cfg: &McmcConfig,
+) -> bool {
+    let saved = snapshot_targets(engine, targets);
+    let q0 = read_position(engine, targets);
+    let ll0 = log_density_flat(engine, table, ll_proc, targets, &q0);
+    let q1: Vec<f64> =
+        q0.iter().map(|&x| x + cfg.mh_step * engine.rng.std_normal()).collect();
+    let ll1 = log_density_flat(engine, table, ll_proc, targets, &q1);
+    // symmetric proposal: the acceptance ratio is the density ratio (§5.5)
+    let accept = engine.rng.uniform().ln() < ll1 - ll0;
+    if accept {
+        write_position(engine, targets, &q1);
+    } else {
+        restore_targets(engine, targets, &saved);
+    }
+    accept
+}

@@ -1,0 +1,177 @@
+//! Property tests for the slot-resolving compiler and interpreter:
+//! randomly generated straight-line arithmetic over buffers must evaluate
+//! to the same values as a direct reference evaluator, on both targets.
+
+use augur_backend::compile::{Compiler, ProcTable};
+use augur_backend::eval::{Engine, ExecMode};
+use augur_backend::state::{Shape, State};
+use augur_dist::Prng;
+use augur_lang::ast::BinOp;
+use augur_low::il::{AssignOp, Expr, LValue, LoopKind, ProcDecl, Stmt};
+use gpu_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+
+/// A tiny expression AST the generator controls, interpretable directly.
+#[derive(Debug, Clone)]
+enum RefExpr {
+    Const(f64),
+    Cell(usize),          // v[i] of the input vector
+    LoopVar,              // the loop index of the enclosing loop
+    Bin(BinOp, Box<RefExpr>, Box<RefExpr>),
+    Neg(Box<RefExpr>),
+}
+
+impl RefExpr {
+    fn to_il(&self) -> Expr {
+        match self {
+            RefExpr::Const(c) => Expr::Real(*c),
+            RefExpr::Cell(i) => Expr::index(Expr::var("input"), Expr::Int(*i as i64)),
+            RefExpr::LoopVar => Expr::var("i"),
+            RefExpr::Bin(op, a, b) => {
+                Expr::Binop(*op, Box::new(a.to_il()), Box::new(b.to_il()))
+            }
+            RefExpr::Neg(a) => Expr::Neg(Box::new(a.to_il())),
+        }
+    }
+
+    fn eval(&self, input: &[f64], loop_var: f64) -> f64 {
+        match self {
+            RefExpr::Const(c) => *c,
+            RefExpr::Cell(i) => input[*i],
+            RefExpr::LoopVar => loop_var,
+            RefExpr::Bin(op, a, b) => {
+                let (x, y) = (a.eval(input, loop_var), b.eval(input, loop_var));
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                }
+            }
+            RefExpr::Neg(a) => -a.eval(input, loop_var),
+        }
+    }
+}
+
+fn arb_expr(input_len: usize) -> impl Strategy<Value = RefExpr> {
+    let leaf = prop_oneof![
+        (-4.0f64..4.0).prop_map(RefExpr::Const),
+        (0..input_len).prop_map(RefExpr::Cell),
+        Just(RefExpr::LoopVar),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    // division kept away from zero-heavy operands below
+                    Just(BinOp::Add),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| RefExpr::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|a| RefExpr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn run_on(mode: ExecMode, input: &[f64], n: usize, e: &RefExpr) -> Vec<f64> {
+    let mut st = State::new();
+    let iid = st.insert("input", Shape::Vector(input.len()));
+    st.flat_mut(iid).copy_from_slice(input);
+    st.insert("out", Shape::Vector(n));
+    let p = ProcDecl {
+        name: "p".into(),
+        body: Stmt::Loop {
+            kind: LoopKind::Par,
+            var: "i".into(),
+            lo: Expr::Int(0),
+            hi: Expr::Int(n as i64),
+            body: Box::new(Stmt::Assign {
+                lhs: LValue { var: "out".into(), indices: vec![Expr::var("i")] },
+                op: AssignOp::Set,
+                rhs: e.to_il(),
+            }),
+        },
+        ret: None,
+    };
+    let cpu = Compiler::new(&st).proc(&p);
+    let blk = augur_blk::to_blocks(&p);
+    let gpu = Compiler::new(&st).blk_proc(&blk);
+    let mut table = ProcTable::default();
+    table.insert(cpu, gpu);
+    let device = match mode {
+        ExecMode::Cpu => Device::new(DeviceConfig::host_cpu_like()),
+        ExecMode::Gpu => Device::new(DeviceConfig::titan_black_like()),
+    };
+    let mut eng = Engine::new(st, Prng::seed_from_u64(0), device, mode);
+    eng.run_proc(&table, 0);
+    eng.flat_of("out").to_vec()
+}
+
+proptest! {
+    #[test]
+    fn compiled_eval_matches_reference(
+        input in prop::collection::vec(-3.0f64..3.0, 4..8),
+        e in arb_expr(4),
+        n in 1usize..6,
+    ) {
+        let expected: Vec<f64> =
+            (0..n).map(|i| e.eval(&input, i as f64)).collect();
+        let cpu = run_on(ExecMode::Cpu, &input, n, &e);
+        let gpu = run_on(ExecMode::Gpu, &input, n, &e);
+        for i in 0..n {
+            prop_assert!(
+                (cpu[i] - expected[i]).abs() < 1e-12 || (cpu[i].is_nan() && expected[i].is_nan()),
+                "cpu[{i}] = {} vs reference {}", cpu[i], expected[i]
+            );
+            prop_assert_eq!(cpu[i].to_bits(), gpu[i].to_bits(), "cpu/gpu divergence at {}", i);
+        }
+    }
+
+    /// Atomic accumulation order: summing via AtmPar must equal the
+    /// sequential sum exactly for integer-valued work (no rounding play).
+    #[test]
+    fn atomic_accumulation_is_exact_for_integers(values in prop::collection::vec(-100i64..100, 1..40)) {
+        let mut st = State::new();
+        let vid = st.insert("vals", Shape::Vector(values.len()));
+        let as_f: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        st.flat_mut(vid).copy_from_slice(&as_f);
+        st.insert("acc", Shape::Num);
+        let p = ProcDecl {
+            name: "sum".into(),
+            body: Stmt::Seq(vec![
+                Stmt::Assign { lhs: LValue::name("acc"), op: AssignOp::Set, rhs: Expr::Real(0.0) },
+                Stmt::Loop {
+                    kind: LoopKind::AtmPar,
+                    var: "i".into(),
+                    lo: Expr::Int(0),
+                    hi: Expr::Int(values.len() as i64),
+                    body: Box::new(Stmt::Assign {
+                        lhs: LValue::name("acc"),
+                        op: AssignOp::Inc,
+                        rhs: Expr::index(Expr::var("vals"), Expr::var("i")),
+                    }),
+                },
+            ]),
+            ret: Some(Expr::var("acc")),
+        };
+        let cpu = Compiler::new(&st).proc(&p);
+        let blk = augur_blk::to_blocks(&p);
+        let gpu = Compiler::new(&st).blk_proc(&blk);
+        let mut table = ProcTable::default();
+        table.insert(cpu, gpu);
+        let mut eng = Engine::new(
+            st,
+            Prng::seed_from_u64(0),
+            Device::new(DeviceConfig::host_cpu_like()),
+            ExecMode::Cpu,
+        );
+        let total = eng.run_proc(&table, 0).unwrap();
+        let expect: i64 = values.iter().sum();
+        prop_assert_eq!(total as i64, expect);
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablation benches for the §5.4 Blk-IL optimizations (DESIGN.md A1–A3):
+//! each toggles one optimization and reports the GPU virtual time of the
+//! same workload, so the benefit of every design choice is measured in
+//! isolation.
+
+use augur::{DeviceConfig, HostValue, Infer, McmcConfig, OptFlags, SamplerConfig, Target};
+use augur_bench::{hlr_sampler, lda_sampler};
+use augurv2::{models, workloads};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn gpu_virtual_secs_per_sweep(s: &mut augur::Sampler, sweeps: usize) -> f64 {
+    let before = s.virtual_secs();
+    for _ in 0..sweeps {
+        s.sweep();
+    }
+    (s.virtual_secs() - before) / sweeps as f64
+}
+
+/// A1 — summation-block conversion on the HLR gradient (the §7.2 Adult
+/// observation). Criterion measures the *executor* wall time; the virtual
+/// times are printed alongside for the ablation table.
+fn a1_sumblk(c: &mut Criterion) {
+    let (n, d) = (5000, 14);
+    let data = workloads::logistic_data(n, d, 3001);
+    let mcmc = McmcConfig { step_size: 0.02, leapfrog_steps: 4, ..Default::default() };
+    let mut group = c.benchmark_group("a1_sumblk");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (label, sum_blk) in [("on", true), ("off", false)] {
+        let flags = OptFlags { sum_blk, ..Default::default() };
+        let mut s = hlr_sampler(
+            &data,
+            d,
+            Target::Gpu(DeviceConfig::titan_black_like()),
+            mcmc.clone(),
+            flags,
+            1,
+        );
+        s.init();
+        let v = gpu_virtual_secs_per_sweep(&mut s, 3);
+        println!("a1_sumblk/{label}: GPU virtual {v:.4} s/sweep");
+        group.bench_function(label, |b| b.iter(|| s.sweep()));
+    }
+    group.finish();
+}
+
+/// A2 — loop commuting on a K ≪ N model: the mu-statistics loops of a
+/// wide flat GMM.
+fn a2_commute(c: &mut Criterion) {
+    let (k, d, n) = (3, 2, 5000);
+    let data = workloads::hgmm_data(k, d, n, 3002);
+    let mut group = c.benchmark_group("a2_commute");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (label, commute) in [("on", true), ("off", false)] {
+        let flags = OptFlags { commute, ..Default::default() };
+        let mut aug = Infer::from_source(models::HGMM).expect("parses");
+        aug.set_compile_opt(SamplerConfig {
+            target: Target::Gpu(DeviceConfig::titan_black_like()),
+            opt_flags: flags,
+            ..Default::default()
+        });
+        let mut s = aug
+            .compile(augur_bench::hgmm_args(k, d, n))
+            .data(vec![("y", HostValue::Ragged(data.points.clone()))])
+            .build()
+            .expect("builds");
+        s.init();
+        let v = gpu_virtual_secs_per_sweep(&mut s, 3);
+        println!(
+            "a2_commute/{label}: GPU virtual {v:.4} s/sweep ({} commuted)",
+            s.opt_report().commuted
+        );
+        group.bench_function(label, |b| b.iter(|| s.sweep()));
+    }
+    group.finish();
+}
+
+/// A3 — inlining of structured sampling primitives (Dirichlet draws in
+/// LDA's θ/φ updates) to expose their inner parallel dimension.
+fn a3_inline(c: &mut Criterion) {
+    let corpus = workloads::lda_corpus(5, 50, 2000, 40, 3003);
+    let topics = 20;
+    let mut group = c.benchmark_group("a3_inline");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (label, inline) in [("on", true), ("off", false)] {
+        let flags = OptFlags { inline, ..Default::default() };
+        let mut aug = Infer::from_source(models::LDA).expect("parses");
+        aug.set_compile_opt(SamplerConfig {
+            target: Target::Gpu(DeviceConfig::titan_black_like()),
+            opt_flags: flags,
+            ..Default::default()
+        });
+        let mut s = aug
+            .compile(vec![
+                HostValue::Int(topics as i64),
+                HostValue::Int(corpus.docs.len() as i64),
+                HostValue::VecF(vec![0.5; topics]),
+                HostValue::VecF(vec![0.1; corpus.vocab]),
+                HostValue::VecI(corpus.lens.clone()),
+            ])
+            .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
+            .build()
+            .expect("builds");
+        s.init();
+        let v = gpu_virtual_secs_per_sweep(&mut s, 3);
+        println!(
+            "a3_inline/{label}: GPU virtual {v:.4} s/sweep ({} inlined)",
+            s.opt_report().inlined
+        );
+        group.bench_function(label, |b| b.iter(|| s.sweep()));
+    }
+    group.finish();
+}
+
+/// LDA at several topic counts — a criterion-native view of the Fig. 12
+/// trend (used by the sweep-shape regression in CI).
+fn lda_topic_scaling(c: &mut Criterion) {
+    let corpus = workloads::lda_corpus(5, 30, 500, 40, 3004);
+    let mut group = c.benchmark_group("lda_topic_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for topics in [5usize, 10, 20] {
+        let mut s = lda_sampler(topics, &corpus, Target::Cpu, 5);
+        s.init();
+        group.bench_function(format!("t{topics}"), |b| b.iter(|| s.sweep()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, a1_sumblk, a2_commute, a3_inline, lda_topic_scaling);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Criterion benches — reduced-size versions of every §7 table/figure so
+//! `cargo bench` regenerates each row's *shape* quickly. The full-size
+//! tables come from the `augur-bench` binaries (see DESIGN.md §4).
+
+use augur::{DeviceConfig, McmcConfig, Target};
+use augur_bench::{hgmm_args, hgmm_sampler, hlr_sampler, lda_sampler};
+use augurv2::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Fig. 10 (reduced): one sweep of each composable HGMM sampler.
+fn fig10_sweeps(c: &mut Criterion) {
+    let (k, d, n) = (3, 2, 300);
+    let data = workloads::hgmm_data(k, d, n, 2001);
+    let mut group = c.benchmark_group("fig10_hgmm_sweep");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (label, sched) in [
+        ("gibbs-mu", "Gibbs pi (*) Gibbs mu (*) Gibbs Sigma (*) Gibbs z"),
+        ("eslice-mu", "Gibbs pi (*) ESlice mu (*) Gibbs Sigma (*) Gibbs z"),
+        ("hmc-mu", "Gibbs pi (*) HMC mu (*) Gibbs Sigma (*) Gibbs z"),
+    ] {
+        let mcmc = McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() };
+        let mut s = hgmm_sampler(Some(sched), k, d, &data, Target::Cpu, mcmc, 1);
+        s.init();
+        group.bench_function(label, |b| b.iter(|| s.sweep()));
+    }
+    group.finish();
+}
+
+/// Fig. 11 (reduced): AugurV2 vs Jags sweeps over a small grid.
+fn fig11_augur_vs_jags(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_hgmm_gibbs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (k, d, n) in [(3, 2, 200), (10, 2, 200), (3, 5, 200)] {
+        let data = workloads::hgmm_data(k, d, n, 2002);
+        let id = format!("k{k}_d{d}_n{n}");
+        let mut s = hgmm_sampler(None, k, d, &data, Target::Cpu, McmcConfig::default(), 2);
+        s.init();
+        group.bench_function(BenchmarkId::new("augurv2", &id), |b| b.iter(|| s.sweep()));
+
+        let mut j = augur_jags::JagsModel::build(
+            augurv2::models::HGMM,
+            hgmm_args(k, d, n),
+            vec![("y", augur::HostValue::Ragged(data.points.clone()))],
+            3,
+        )
+        .expect("jags builds");
+        j.init();
+        group.bench_function(BenchmarkId::new("jags", &id), |b| b.iter(|| j.sweep()));
+    }
+    group.finish();
+}
+
+/// Fig. 12 (reduced): LDA sweeps on both targets; wall-clock here, the
+/// virtual-clock comparison lives in the binary.
+fn fig12_lda_targets(c: &mut Criterion) {
+    let corpus = workloads::lda_corpus(5, 40, 500, 60, 2003);
+    let mut group = c.benchmark_group("fig12_lda_sweep");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for topics in [10usize, 20] {
+        let mut cpu = lda_sampler(topics, &corpus, Target::Cpu, 4);
+        cpu.init();
+        group.bench_function(BenchmarkId::new("cpu", topics), |b| b.iter(|| cpu.sweep()));
+        let mut gpu =
+            lda_sampler(topics, &corpus, Target::Gpu(DeviceConfig::titan_black_like()), 4);
+        gpu.init();
+        group.bench_function(BenchmarkId::new("gpu-sim", topics), |b| b.iter(|| gpu.sweep()));
+    }
+    group.finish();
+}
+
+/// E4 (reduced): AugurV2 CPU HMC vs the tape-AD Stan baseline, one
+/// gradient-equivalent unit of work each.
+fn e4_hlr_hmc(c: &mut Criterion) {
+    let (n, d) = (300, 12);
+    let data = workloads::logistic_data(n, d, 2004);
+    let mut group = c.benchmark_group("e4_hlr_hmc_sweep");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let mcmc = McmcConfig { step_size: 0.03, leapfrog_steps: 8, ..Default::default() };
+    let mut s = hlr_sampler(&data, d, Target::Cpu, mcmc, Default::default(), 5);
+    s.init();
+    group.bench_function("augurv2-cpu-hmc", |b| b.iter(|| s.sweep()));
+
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| data.x.row(i).to_vec()).collect();
+    let stan = augur_stan::HlrModel {
+        x: rows,
+        y: data.y.iter().map(|&v| v as u8).collect(),
+        lambda: 1.0,
+    };
+    group.bench_function("stan-hmc", |b| {
+        b.iter(|| {
+            augur_stan::sample(
+                &stan,
+                augur_stan::SampleOpts {
+                    warmup: 0,
+                    samples: 1,
+                    seed: 6,
+                    step_size: 0.03,
+                    leapfrog: 8,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+/// E6 (reduced): compile time, model source → runnable sampler.
+fn e6_compile(c: &mut Criterion) {
+    let (k, d, n) = (3, 2, 100);
+    let data = workloads::hgmm_data(k, d, n, 2005);
+    let mut group = c.benchmark_group("e6_compile_times");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("hgmm_cpu", |b| {
+        b.iter(|| {
+            hgmm_sampler(None, k, d, &data, Target::Cpu, McmcConfig::default(), 7)
+        })
+    });
+    group.bench_function("hgmm_gpu", |b| {
+        b.iter(|| {
+            hgmm_sampler(
+                None,
+                k,
+                d,
+                &data,
+                Target::Gpu(DeviceConfig::titan_black_like()),
+                McmcConfig::default(),
+                7,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig10_sweeps,
+    fig11_augur_vs_jags,
+    fig12_lda_targets,
+    e4_hlr_hmc,
+    e6_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! **E5 / §7.2 prose (HLR, Adult)** — the summation-block optimization on
+//! an Adult-shaped dataset (N = 50000, D = 14).
+//!
+//! The gradient of the HLR prior accumulates every θ_j's variance
+//! contribution into *one* location (`adj_sigma2 += …` over N and D
+//! iterations), and the likelihood's ll-reduction accumulates into one
+//! accumulator over N — exactly the contended-atomics pattern of §5.4.
+//! With the optimization on, the compiler converts those `AtmPar` loops
+//! into `sumBlk` map-reduces ("it is more efficient to run 14 map-reduces
+//! over 50000 elements as opposed to launching 50000 threads all
+//! contending to increment 14 locations").
+//!
+//! `--scale X` scales N (default 0.2).
+
+use augur::{DeviceConfig, McmcConfig, OptFlags, Target};
+use augur_bench::{emit, hlr_sampler, scale_arg};
+use augurv2::workloads;
+use std::fmt::Write as _;
+
+fn main() {
+    let scale = scale_arg(0.2);
+    let n = ((50_000.0 * scale) as usize).max(500);
+    let d = 14;
+    let data = workloads::logistic_data(n, d, 1400);
+    let sweeps = 10;
+    let mcmc = McmcConfig { step_size: 0.02, leapfrog_steps: 8, ..Default::default() };
+
+    let run = |sum_blk: bool| -> (f64, usize, u64) {
+        let flags = OptFlags { sum_blk, ..Default::default() };
+        let mut s = hlr_sampler(
+            &data,
+            d,
+            Target::Gpu(DeviceConfig::titan_black_like()),
+            mcmc.clone(),
+            flags,
+            41,
+        );
+        s.init();
+        for _ in 0..sweeps {
+            s.sweep();
+        }
+        (s.virtual_secs(), s.opt_report().converted_to_sum, s.device_counters().atomic_ops)
+    };
+
+    let (t_on, converted, atomics_on) = run(true);
+    let (t_off, _, atomics_off) = run(false);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# E5 — summation-block conversion on Adult-shaped HLR (N={n}, D={d})\n");
+    let _ = writeln!(out, "| configuration | GPU virtual time (s) | atomic ops | sumBlks generated |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let _ = writeln!(out, "| sumBlk ON (default) | {t_on:.3} | {atomics_on} | {converted} |");
+    let _ = writeln!(out, "| sumBlk OFF | {t_off:.3} | {atomics_off} | 0 |");
+    let _ = writeln!(out, "\nspeedup from the optimization: ~{:.1}x", t_off / t_on);
+    let _ = writeln!(
+        out,
+        "\nShape check (paper §7.2): with the optimization the contended\n\
+         atomic increments disappear into map-reduces and the GPU gradient\n\
+         evaluation gets substantially cheaper."
+    );
+    emit("e5_hlr_adult_sumblk", &out);
+}

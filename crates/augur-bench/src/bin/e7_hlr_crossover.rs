@@ -1,0 +1,64 @@
+//! **E7 (extension)** — the CPU/GPU crossover for gradient-based
+//! inference.
+//!
+//! §7.2 gives two endpoints: on German-Credit-sized HLR (N = 1000) the
+//! GPU is roughly an order of magnitude *worse*; on Adult-sized data
+//! (N ≈ 50000) the parallelized gradients win. This binary sweeps N
+//! between those endpoints and reports the virtual-time ratio, locating
+//! the crossover the paper implies but does not plot.
+//!
+//! `--scale X` multiplies every N in the sweep (default 1.0).
+
+use augur::{DeviceConfig, McmcConfig, Target};
+use augur_bench::{emit, hlr_sampler, scale_arg};
+use augurv2::workloads;
+use std::fmt::Write as _;
+
+fn main() {
+    let scale = scale_arg(1.0);
+    let d = 14;
+    let sweeps = 10;
+    let mcmc = McmcConfig { step_size: 0.02, leapfrog_steps: 8, ..Default::default() };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# E7 — HLR HMC: CPU vs GPU crossover (D = {d}, {sweeps} sweeps)\n");
+    let _ = writeln!(out, "| N | CPU virtual (s) | GPU virtual (s) | GPU/CPU |");
+    let _ = writeln!(out, "|---|---|---|---|");
+
+    let mut crossover: Option<usize> = None;
+    for n_base in [500usize, 1_000, 2_000, 5_000, 10_000, 25_000, 50_000, 100_000] {
+        let n = ((n_base as f64 * scale) as usize).max(100);
+        let data = workloads::logistic_data(n, d, 1700 + n as u64);
+        let run = |target: Target| -> f64 {
+            let mut s = hlr_sampler(&data, d, target, mcmc.clone(), Default::default(), 51);
+            s.init();
+            for _ in 0..sweeps {
+                s.sweep();
+            }
+            s.virtual_secs()
+        };
+        let cpu = run(Target::Cpu);
+        let gpu = run(Target::Gpu(DeviceConfig::titan_black_like()));
+        let ratio = gpu / cpu;
+        if ratio < 1.0 && crossover.is_none() {
+            crossover = Some(n);
+        }
+        let _ = writeln!(out, "| {n} | {cpu:.3} | {gpu:.3} | {ratio:.2} |");
+    }
+
+    match crossover {
+        Some(n) => {
+            let _ = writeln!(out, "\ncrossover: the GPU starts winning near N ≈ {n}.");
+        }
+        None => {
+            let _ = writeln!(out, "\nno crossover in the swept range.");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nShape check (paper §7.2 endpoints): several-fold GPU *loss* at\n\
+         N = 1000 (launch + read-back latency), GPU *win* by Adult size\n\
+         (N = 50000, summation-block map-reduces over the data)."
+    );
+    emit("e7_hlr_crossover", &out);
+}

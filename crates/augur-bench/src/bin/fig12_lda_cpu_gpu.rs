@@ -1,0 +1,65 @@
+//! **E3 / Figure 12** — LDA Gibbs: CPU vs (simulated) GPU timing across
+//! the paper's dataset/topic grid.
+//!
+//! The Kos-like corpus has vocabulary 6906 and ≈460k tokens; the
+//! Nips-like corpus has vocabulary 12419 and ≈1.9M tokens. Both sides run
+//! the identical compiled sampler (bit-identical chains); the *virtual
+//! clock* of each target provides the timing — the CPU charges sequential
+//! work, the GPU charges kernel launches, throughput/bandwidth-limited
+//! compute, and atomic contention (see `gpu-sim` and DESIGN.md §2).
+//!
+//! `--scale X` scales document counts (default 0.05; 1.0 = paper-sized,
+//! slow under the interpreter).
+
+use augur::{DeviceConfig, Target};
+use augur_bench::{emit, lda_sampler, scale_arg};
+use augurv2::workloads;
+use std::fmt::Write as _;
+
+fn main() {
+    let scale = scale_arg(0.05);
+    let sweeps = 5;
+    let datasets = [
+        ("Kos", 6906usize, 1330usize, 346usize),
+        ("Nips", 12419, 1500, 1288),
+    ];
+    let topic_counts = [50usize, 100, 150];
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 12 — LDA Gibbs: CPU vs GPU (virtual time, {sweeps} sweeps)\n");
+    let _ = writeln!(out, "scale = {scale} (× the paper's document counts)\n");
+    let _ = writeln!(out, "| dataset-topics | tokens | CPU (s) | GPU (s) | speedup |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+
+    for (name, vocab, docs_full, avg_len) in datasets {
+        let docs = ((docs_full as f64 * scale) as usize).max(10);
+        for &topics in &topic_counts {
+            let corpus = workloads::lda_corpus(topics.min(20), docs, vocab, avg_len, 1200);
+            let run = |target: Target| -> f64 {
+                let mut s = lda_sampler(topics, &corpus, target, 21);
+                s.init();
+                for _ in 0..sweeps {
+                    s.sweep();
+                }
+                s.virtual_secs()
+            };
+            let cpu = run(Target::Cpu);
+            let gpu = run(Target::Gpu(DeviceConfig::titan_black_like()));
+            let _ = writeln!(
+                out,
+                "| {name}-{topics} | {} | {cpu:.2} | {gpu:.2} | ~{:.1}x |",
+                corpus.tokens,
+                cpu / gpu
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nShape check (paper Fig. 12): the GPU wins everywhere, with the\n\
+         advantage growing with dataset size and topic count (the paper\n\
+         reports 2.7–5.8×). Neither Jags nor Stan scale to LDA at all\n\
+         (§7.2), which this reproduction inherits: the graph baseline\n\
+         allocates one node per token."
+    );
+    emit("fig12_lda_cpu_gpu", &out);
+}

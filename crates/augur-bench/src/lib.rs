@@ -1,0 +1,146 @@
+//! Shared harness code for the evaluation binaries (one per table/figure
+//! of the paper's §7) and the criterion benches.
+//!
+//! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! recorded results.
+
+#![deny(missing_docs)]
+
+use augur::{HostValue, Infer, McmcConfig, Sampler, SamplerConfig, Target};
+use augur_math::Matrix;
+use augurv2::{models, workloads};
+
+/// Builds an HGMM sampler over the given mixture data.
+///
+/// # Panics
+///
+/// Panics on pipeline errors (benchmark configurations are known-good).
+pub fn hgmm_sampler(
+    sched: Option<&str>,
+    k: usize,
+    d: usize,
+    data: &workloads::MixtureData,
+    target: Target,
+    mcmc: McmcConfig,
+    seed: u64,
+) -> Sampler {
+    let n = data.points.num_rows();
+    let mut aug = Infer::from_source(models::HGMM).expect("HGMM parses");
+    if let Some(s) = sched {
+        aug.set_user_sched(s);
+    }
+    aug.set_compile_opt(SamplerConfig { target, mcmc, seed, ..Default::default() });
+    aug.compile(vec![
+        HostValue::Int(k as i64),
+        HostValue::Int(n as i64),
+        HostValue::VecF(vec![1.0; k]),
+        HostValue::VecF(vec![0.0; d]),
+        HostValue::Mat(Matrix::identity(d).scale(50.0)),
+        HostValue::Real((d + 2) as f64),
+        HostValue::Mat(Matrix::identity(d)),
+    ])
+    .data(vec![("y", HostValue::Ragged(data.points.clone()))])
+    .build()
+    .expect("HGMM builds")
+}
+
+/// The HGMM argument list shared with the Jags baseline.
+pub fn hgmm_args(k: usize, d: usize, n: usize) -> Vec<HostValue> {
+    vec![
+        HostValue::Int(k as i64),
+        HostValue::Int(n as i64),
+        HostValue::VecF(vec![1.0; k]),
+        HostValue::VecF(vec![0.0; d]),
+        HostValue::Mat(Matrix::identity(d).scale(50.0)),
+        HostValue::Real((d + 2) as f64),
+        HostValue::Mat(Matrix::identity(d)),
+    ]
+}
+
+/// Builds an LDA sampler over a synthetic corpus.
+///
+/// # Panics
+///
+/// Panics on pipeline errors.
+pub fn lda_sampler(
+    topics: usize,
+    corpus: &workloads::Corpus,
+    target: Target,
+    seed: u64,
+) -> Sampler {
+    let mut aug = Infer::from_source(models::LDA).expect("LDA parses");
+    aug.set_compile_opt(SamplerConfig { target, seed, ..Default::default() });
+    aug.compile(vec![
+        HostValue::Int(topics as i64),
+        HostValue::Int(corpus.docs.len() as i64),
+        HostValue::VecF(vec![0.5; topics]),
+        HostValue::VecF(vec![0.1; corpus.vocab]),
+        HostValue::VecI(corpus.lens.clone()),
+    ])
+    .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
+    .build()
+    .expect("LDA builds")
+}
+
+/// Builds an HLR sampler over logistic data.
+///
+/// # Panics
+///
+/// Panics on pipeline errors.
+pub fn hlr_sampler(
+    data: &workloads::LogisticData,
+    d: usize,
+    target: Target,
+    mcmc: McmcConfig,
+    opt_flags: augur_blk::OptFlags,
+    seed: u64,
+) -> Sampler {
+    let n = data.x.num_rows();
+    let mut aug = Infer::from_source(models::HLR).expect("HLR parses");
+    aug.set_compile_opt(SamplerConfig { target, mcmc, seed, opt_flags });
+    aug.compile(vec![
+        HostValue::Real(1.0),
+        HostValue::Int(n as i64),
+        HostValue::Int(d as i64),
+        HostValue::Ragged(data.x.clone()),
+    ])
+    .data(vec![("y", HostValue::VecF(data.y.clone()))])
+    .build()
+    .expect("HLR builds")
+}
+
+/// Extracts `(pi, mus, sigmas)` from an HGMM sampler state for
+/// log-predictive evaluation.
+pub fn hgmm_params(s: &Sampler, k: usize, d: usize) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Matrix>) {
+    let pi = s.param("pi").to_vec();
+    let mu = s.param("mu").to_vec();
+    let sig = s.param("Sigma").to_vec();
+    let mus = (0..k).map(|c| mu[c * d..(c + 1) * d].to_vec()).collect();
+    let sigs = (0..k)
+        .map(|c| Matrix::from_vec(d, d, sig[c * d * d..(c + 1) * d * d].to_vec()).expect("shape"))
+        .collect();
+    (pi, mus, sigs)
+}
+
+/// Writes a results block both to stdout and to `results/<name>.md`.
+pub fn emit(name: &str, table: &str) {
+    println!("{table}");
+    let path = format!("results/{name}.md");
+    if std::fs::write(&path, table).is_err() {
+        // running from a different cwd — try the crate-relative location
+        let alt = format!("../../results/{name}.md");
+        let _ = std::fs::write(alt, table);
+    } else {
+        eprintln!("(written to {path})");
+    }
+}
+
+/// Simple scale parsing for `--scale X` CLI arguments.
+pub fn scale_arg(default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,75 @@
+use augur_low::il::{Expr, LValue, LoopKind, Stmt};
+
+/// A block of the Blk IL (paper Fig. 9).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Blk {
+    /// `seqBlk { s }` — host-sequential code, no parallelism.
+    SeqBlk(Stmt),
+    /// `parBlk lk x ← gen { s }` — one kernel launch of `gen` threads.
+    ParBlk {
+        /// The loop annotation the block inherited (`Par` or `AtmPar`).
+        kind: LoopKind,
+        /// Thread index variable.
+        var: String,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Per-thread body.
+        body: Stmt,
+        /// Extra data-parallel width per thread exposed by inlining a
+        /// primitive (e.g. the vector length of a Dirichlet draw); the
+        /// device can schedule `extent × inner_par` lanes.
+        inner_par: Option<Expr>,
+    },
+    /// `loopBlk x ← gen { b… }` — launch the inner blocks sequentially for
+    /// each index (e.g. per candidate value).
+    LoopBlk {
+        /// Loop variable.
+        var: String,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Inner blocks.
+        body: Vec<Blk>,
+    },
+    /// `acc = sumBlk acc x ← gen { ret e }` — a GPU map-reduce: the
+    /// previous value of `acc` is the initial value, matching the
+    /// conversion from `loop AtmPar { acc += e }`.
+    SumBlk {
+        /// The accumulation target.
+        acc: LValue,
+        /// Reduction index variable.
+        var: String,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// The per-element expression to sum.
+        rhs: Expr,
+    },
+}
+
+/// A procedure translated to blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlkProc {
+    /// Procedure name (same as the Low-- decl).
+    pub name: String,
+    /// The blocks, in order.
+    pub blocks: Vec<Blk>,
+    /// Optional scalar result.
+    pub ret: Option<Expr>,
+}
+
+impl Blk {
+    /// A short mnemonic for logs and tests.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Blk::SeqBlk(_) => "seqBlk",
+            Blk::ParBlk { .. } => "parBlk",
+            Blk::LoopBlk { .. } => "loopBlk",
+            Blk::SumBlk { .. } => "sumBlk",
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The **Blk IL** (paper §5.3) and the parallelization optimizer (§5.4).
+//!
+//! When AugurV2 targets the GPU it reifies the loop annotations of the
+//! Low-- IL into blocks informed by SIMT parallelism:
+//!
+//! ```text
+//! b ::= seqBlk { s }
+//!     | parBlk lk x ← gen { s }
+//!     | loopBlk x ← gen { b }
+//!     | e_acc = sumBlk e0 x ← gen { s ; ret e }
+//! ```
+//!
+//! Every *top-level* loop of a procedure body becomes a `parBlk` (one GPU
+//! kernel launch); leftover statements become `seqBlk`s. `sumBlk`s are not
+//! produced by the initial translation — they appear only through the
+//! optimizer, exactly as in the paper.
+//!
+//! The optimizer implements the three §5.4 transformations, each
+//! individually toggleable (the ablation benches flip them):
+//!
+//! * **commuting loops** — swap a `parBlk` over `K` with an inner parallel
+//!   loop over `N` when `K ≪ N`, to use more GPU threads;
+//! * **inlining** — expose the data-parallel inner dimension of primitive
+//!   distribution operations (e.g. Dirichlet sampling is a loop of Gamma
+//!   draws plus a normalize), so a small `parBlk` still fills the device;
+//! * **summation blocks** — convert a contended `AtmPar` accumulation
+//!   into a map-reduce when the contention ratio (threads per distinct
+//!   location) is high.
+//!
+//! Because AugurV2 compiles *at runtime*, the optimizer takes a
+//! [`SizeOracle`] that resolves symbolic bounds to the actual data sizes.
+
+#![deny(missing_docs)]
+
+mod il;
+mod opt;
+mod translate;
+
+pub use il::{Blk, BlkProc};
+pub use opt::{optimize, OptFlags, OptReport, SizeOracle};
+pub use translate::to_blocks;

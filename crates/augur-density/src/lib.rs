@@ -1,0 +1,60 @@
+//! The **Density IL** (paper §3, Fig. 4) and the symbolic computation of
+//! model conditionals (§3.3).
+//!
+//! The frontend translates a type-checked surface model into its *density
+//! factorization*: a product of comprehension-wrapped primitive density
+//! atoms. For the Fig. 1 GMM the factorization is
+//!
+//! ```text
+//! λ(K, N, mu_0, Sigma_0, pis, Sigma, mu, z, x).
+//!     Π_{k←0 until K} p_MvNormal(mu_0, Sigma_0)(mu[k])
+//!     Π_{n←0 until N} p_Categorical(pis)(z[n])
+//!     Π_{n←0 until N} p_MvNormal(mu[z[n]], Sigma)(x[n])
+//! ```
+//!
+//! From the factorization the compiler *symbolically* computes each
+//! parameter's conditional up to a normalizing constant, keeping factors
+//! with a functional dependence on the target and applying two rewrite
+//! rules (in this order, as the paper prescribes):
+//!
+//! 1. **categorical indexing**: `Π_{n} fn → Π_{k} Π_{n} [fn]_{k = z[n]}`
+//!    when `fn` mentions the target indexed through a categorical variable
+//!    `z` — the mixture-model pattern;
+//! 2. **factoring**: `Π_{i←g} fn₁ · Π_{j←g} fn₂ → Π_{i←g} fn₁ fn₂` when the
+//!    comprehension bounds are syntactically equal constants.
+//!
+//! The result feeds the Kernel IL (`augur-kernel`): Gibbs updates come from
+//! [`conjugacy::detect`] matches, discrete enumeration from
+//! [`conjugacy::discrete_support`], and gradient/slice updates evaluate the
+//! conditional directly.
+//!
+//! # Example
+//!
+//! ```
+//! use augur_density::{DensityModel, conditional};
+//!
+//! let src = "(K, N, mu0, s0, pis, s) => {
+//!   param mu[k] ~ Normal(mu0, s0) for k <- 0 until K ;
+//!   param z[n] ~ Categorical(pis) for n <- 0 until N ;
+//!   data x[n] ~ Normal(mu[z[n]], s) for n <- 0 until N ;
+//! }";
+//! let typed = augur_lang::typecheck(&augur_lang::parse(src)?)?;
+//! let dm = DensityModel::from_typed(&typed)?;
+//! let cond = conditional(&dm, &["mu"]);
+//! // prior factor + rewritten likelihood factor
+//! assert_eq!(cond.factors.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cond;
+pub mod conjugacy;
+mod expr;
+mod il;
+mod pretty;
+
+pub use cond::{conditional, CondFactor, Conditional};
+pub use expr::DExpr;
+pub use il::{Comp, DensityError, DensityModel, Factor, VarInfo, VarRole};
+pub use pretty::{pretty_density, pretty_factor};

@@ -1,0 +1,45 @@
+//! Primitive probability distributions for the AugurV2 reproduction.
+//!
+//! AugurV2 (PLDI 2017) restricts models to *primitive distributions whose
+//! PDF/PMF has known functional form* (§2.2). This crate implements those
+//! primitives — log-density, sampling, and the partial derivatives of the
+//! log-density that the compiler's AD pass and HMC kernels consume — plus
+//! the runtime half of the well-known *conjugacy relations* table that
+//! Gibbs updates are generated from (§4.4).
+//!
+//! Three layers:
+//!
+//! * typed free functions per distribution (modules [`scalar`], [`vector`],
+//!   [`matrix`]) — used by the baselines and by tests;
+//! * [`DistKind`] — a uniform, dynamically-dispatched view used by the
+//!   compiler pipeline and the Low-- interpreter (`ll` / `samp` / `grad_i`
+//!   from the paper's Low++ IL, Fig. 6);
+//! * [`conjugacy`] — posterior-parameter computations for each supported
+//!   conjugate pair.
+//!
+//! # Example
+//!
+//! ```
+//! use augur_dist::{DistKind, Prng, ValueRef};
+//!
+//! let mut rng = Prng::seed_from_u64(7);
+//! let params = [ValueRef::Scalar(0.0), ValueRef::Scalar(1.0)];
+//! let ll = DistKind::Normal.log_pdf(&params, ValueRef::Scalar(0.5)).unwrap();
+//! assert!((ll - augur_dist::scalar::normal_log_pdf(0.5, 0.0, 1.0)).abs() < 1e-15);
+//! let x = rng.normal(0.0, 1.0);
+//! assert!(x.is_finite());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod conjugacy;
+mod kind;
+pub mod matrix;
+mod rng;
+pub mod scalar;
+mod value;
+pub mod vector;
+
+pub use kind::{DistError, DistKind, SimpleTy, Support};
+pub use rng::Prng;
+pub use value::{ValueMut, ValueRef};

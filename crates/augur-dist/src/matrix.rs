@@ -1,0 +1,200 @@
+//! Matrix-valued distributions: Wishart and inverse-Wishart, used by the
+//! HGMM model (`Σ_k ∼ InvWishart(ν, Ψ)`).
+
+use augur_math::special::lmvgamma;
+use augur_math::{Cholesky, Matrix};
+
+use crate::Prng;
+
+/// `ln Wishart(X | df, scale)` with scale matrix `V` and `df > d − 1`.
+pub fn wishart_log_pdf(x: &Matrix, df: f64, scale: &Matrix) -> f64 {
+    let d = x.rows();
+    assert!(x.is_square() && scale.is_square() && scale.rows() == d, "wishart dims");
+    let chol_x = match Cholesky::new(x) {
+        Ok(c) => c,
+        Err(_) => return f64::NEG_INFINITY,
+    };
+    let chol_v = match Cholesky::new(scale) {
+        Ok(c) => c,
+        Err(_) => return f64::NEG_INFINITY,
+    };
+    if df <= (d - 1) as f64 {
+        return f64::NEG_INFINITY;
+    }
+    let d_f = d as f64;
+    // tr(V⁻¹ X)
+    let vinv = chol_v.inverse();
+    let tr = vinv.matmul(x).expect("square product").trace();
+    0.5 * (df - d_f - 1.0) * chol_x.log_det()
+        - 0.5 * tr
+        - 0.5 * df * d_f * 2.0f64.ln()
+        - 0.5 * df * chol_v.log_det()
+        - lmvgamma(d, 0.5 * df)
+}
+
+/// `ln InvWishart(X | df, psi)` with `df > d − 1`.
+pub fn inv_wishart_log_pdf(x: &Matrix, df: f64, psi: &Matrix) -> f64 {
+    let d = x.rows();
+    assert!(x.is_square() && psi.is_square() && psi.rows() == d, "inv-wishart dims");
+    let chol_x = match Cholesky::new(x) {
+        Ok(c) => c,
+        Err(_) => return f64::NEG_INFINITY,
+    };
+    let chol_psi = match Cholesky::new(psi) {
+        Ok(c) => c,
+        Err(_) => return f64::NEG_INFINITY,
+    };
+    if df <= (d - 1) as f64 {
+        return f64::NEG_INFINITY;
+    }
+    let d_f = d as f64;
+    // tr(Ψ X⁻¹)
+    let xinv = chol_x.inverse();
+    let tr = psi.matmul(&xinv).expect("square product").trace();
+    0.5 * df * chol_psi.log_det()
+        - 0.5 * (df + d_f + 1.0) * chol_x.log_det()
+        - 0.5 * tr
+        - 0.5 * df * d_f * 2.0f64.ln()
+        - lmvgamma(d, 0.5 * df)
+}
+
+/// Samples `Wishart(df, scale)` via the Bartlett decomposition.
+///
+/// # Panics
+///
+/// Panics if `scale` is not SPD or `df <= d - 1`.
+pub fn wishart_sample(df: f64, scale: &Matrix, rng: &mut Prng) -> Matrix {
+    let d = scale.rows();
+    assert!(df > (d - 1) as f64, "wishart df must exceed d - 1");
+    let chol = Cholesky::new(scale).expect("wishart scale must be SPD");
+    // Lower-triangular A with chi-squared diagonal, standard normals below.
+    let mut a = Matrix::zeros(d, d);
+    for i in 0..d {
+        a[(i, i)] = rng.chi_squared(df - i as f64).sqrt();
+        for j in 0..i {
+            a[(i, j)] = rng.std_normal();
+        }
+    }
+    let la = chol.factor().matmul(&a).expect("square product");
+    la.matmul(&la.transpose()).expect("square product")
+}
+
+/// Samples `InvWishart(df, psi)`: draws `W ∼ Wishart(df, Ψ⁻¹)` and returns
+/// `W⁻¹`.
+///
+/// # Panics
+///
+/// Panics if `psi` is not SPD or `df <= d - 1`.
+pub fn inv_wishart_sample(df: f64, psi: &Matrix, rng: &mut Prng) -> Matrix {
+    let psi_inv = Cholesky::new(psi).expect("psi must be SPD").inverse();
+    // Symmetrize against round-off before factorizing again.
+    let w = wishart_sample(df, &symmetrize(&psi_inv), rng);
+    let w_inv = Cholesky::new(&symmetrize(&w)).expect("wishart draw must be SPD").inverse();
+    symmetrize(&w_inv)
+}
+
+fn symmetrize(m: &Matrix) -> Matrix {
+    let n = m.rows();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = 0.5 * (m[(i, j)] + m[(j, i)]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wishart_1d_is_gamma() {
+        // Wishart(df, v) in 1-D equals Gamma(df/2, 1/(2v)).
+        let x = Matrix::from_vec(1, 1, vec![1.7]).unwrap();
+        let v = Matrix::from_vec(1, 1, vec![0.8]).unwrap();
+        let ll = wishart_log_pdf(&x, 5.0, &v);
+        let gamma_ll = crate::scalar::gamma_log_pdf(1.7, 2.5, 1.0 / 1.6);
+        assert!((ll - gamma_ll).abs() < 1e-10, "{ll} vs {gamma_ll}");
+    }
+
+    #[test]
+    fn inv_wishart_1d_is_inv_gamma() {
+        // InvWishart(df, psi) in 1-D equals InvGamma(df/2, psi/2).
+        let x = Matrix::from_vec(1, 1, vec![0.9]).unwrap();
+        let psi = Matrix::from_vec(1, 1, vec![1.2]).unwrap();
+        let ll = inv_wishart_log_pdf(&x, 6.0, &psi);
+        let ig_ll = crate::scalar::inv_gamma_log_pdf(0.9, 3.0, 0.6);
+        assert!((ll - ig_ll).abs() < 1e-10, "{ll} vs {ig_ll}");
+    }
+
+    #[test]
+    fn wishart_sample_mean_is_df_times_scale() {
+        let scale = Matrix::from_rows(&[&[1.0, 0.3], &[0.3, 0.5]]).unwrap();
+        let df = 7.0;
+        let mut rng = Prng::seed_from_u64(21);
+        let n = 8_000;
+        let mut acc = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            let w = wishart_sample(df, &scale, &mut rng);
+            acc = &acc + &w;
+        }
+        let mean = acc.scale(1.0 / n as f64);
+        let expect = scale.scale(df);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (mean[(i, j)] - expect[(i, j)]).abs() < 0.15,
+                    "({i},{j}): {} vs {}",
+                    mean[(i, j)],
+                    expect[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inv_wishart_sample_mean_matches_formula() {
+        // E[X] = Ψ / (df − d − 1)
+        let psi = Matrix::from_rows(&[&[2.0, 0.2], &[0.2, 1.0]]).unwrap();
+        let df = 9.0;
+        let mut rng = Prng::seed_from_u64(22);
+        let n = 8_000;
+        let mut acc = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            let w = inv_wishart_sample(df, &psi, &mut rng);
+            acc = &acc + &w;
+        }
+        let mean = acc.scale(1.0 / n as f64);
+        let expect = psi.scale(1.0 / (df - 3.0));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (mean[(i, j)] - expect[(i, j)]).abs() < 0.05,
+                    "({i},{j}): {} vs {}",
+                    mean[(i, j)],
+                    expect[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn samples_are_spd() {
+        let psi = Matrix::from_rows(&[&[1.0, 0.1], &[0.1, 1.0]]).unwrap();
+        let mut rng = Prng::seed_from_u64(23);
+        for _ in 0..100 {
+            let w = inv_wishart_sample(5.0, &psi, &mut rng);
+            assert!(Cholesky::new(&w).is_ok());
+            assert!(w.is_symmetric(1e-9));
+        }
+    }
+
+    #[test]
+    fn invalid_df_gives_neg_inf() {
+        let x = Matrix::identity(3);
+        let psi = Matrix::identity(3);
+        assert_eq!(inv_wishart_log_pdf(&x, 1.5, &psi), f64::NEG_INFINITY);
+        assert_eq!(wishart_log_pdf(&x, 1.5, &psi), f64::NEG_INFINITY);
+    }
+}

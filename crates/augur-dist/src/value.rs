@@ -1,0 +1,180 @@
+/// A borrowed view of a runtime value passed to a distribution operation.
+///
+/// The AugurV2 runtime stores every value in flat `f64` memory (§6.2); this
+/// enum is the typed window the distribution layer sees. Matrices are square
+/// in all uses here (covariances), stored row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// A scalar (`Real`, or an `Int` stored exactly in an `f64`).
+    Scalar(f64),
+    /// A vector view.
+    Vector(&'a [f64]),
+    /// A square matrix view, row-major with dimension `dim`.
+    Matrix {
+        /// Row-major data of length `dim * dim`.
+        data: &'a [f64],
+        /// Matrix dimension.
+        dim: usize,
+    },
+}
+
+impl<'a> ValueRef<'a> {
+    /// Extracts a scalar, panicking otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a scalar.
+    pub fn scalar(self) -> f64 {
+        match self {
+            ValueRef::Scalar(x) => x,
+            other => panic!("expected scalar value, got {other:?}"),
+        }
+    }
+
+    /// Extracts a scalar as a non-negative integer index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a scalar or is negative.
+    pub fn index(self) -> usize {
+        let x = self.scalar();
+        assert!(x >= 0.0, "expected non-negative index, got {x}");
+        x as usize
+    }
+
+    /// Extracts a vector view, panicking otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a vector.
+    pub fn vector(self) -> &'a [f64] {
+        match self {
+            ValueRef::Vector(v) => v,
+            other => panic!("expected vector value, got {other:?}"),
+        }
+    }
+
+    /// Extracts a matrix view, panicking otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a matrix.
+    pub fn matrix(self) -> (&'a [f64], usize) {
+        match self {
+            ValueRef::Matrix { data, dim } => (data, dim),
+            other => panic!("expected matrix value, got {other:?}"),
+        }
+    }
+}
+
+impl From<f64> for ValueRef<'_> {
+    fn from(x: f64) -> Self {
+        ValueRef::Scalar(x)
+    }
+}
+
+impl<'a> From<&'a [f64]> for ValueRef<'a> {
+    fn from(v: &'a [f64]) -> Self {
+        ValueRef::Vector(v)
+    }
+}
+
+/// A mutable view of a runtime value, used as the output slot of `samp` and
+/// the accumulation target of `grad`.
+#[derive(Debug)]
+pub enum ValueMut<'a> {
+    /// A scalar slot.
+    Scalar(&'a mut f64),
+    /// A vector slot.
+    Vector(&'a mut [f64]),
+    /// A square matrix slot, row-major with dimension `dim`.
+    Matrix {
+        /// Row-major data of length `dim * dim`.
+        data: &'a mut [f64],
+        /// Matrix dimension.
+        dim: usize,
+    },
+}
+
+impl<'a> ValueMut<'a> {
+    /// Extracts the scalar slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not a scalar.
+    pub fn scalar(self) -> &'a mut f64 {
+        match self {
+            ValueMut::Scalar(x) => x,
+            other => panic!("expected scalar slot, got {other:?}"),
+        }
+    }
+
+    /// Extracts the vector slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not a vector.
+    pub fn vector(self) -> &'a mut [f64] {
+        match self {
+            ValueMut::Vector(v) => v,
+            other => panic!("expected vector slot, got {other:?}"),
+        }
+    }
+
+    /// Extracts the matrix slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not a matrix.
+    pub fn matrix(self) -> (&'a mut [f64], usize) {
+        match self {
+            ValueMut::Matrix { data, dim } => (data, dim),
+            other => panic!("expected matrix slot, got {other:?}"),
+        }
+    }
+
+    /// Reborrows the slot with a shorter lifetime.
+    pub fn reborrow(&mut self) -> ValueMut<'_> {
+        match self {
+            ValueMut::Scalar(x) => ValueMut::Scalar(x),
+            ValueMut::Vector(v) => ValueMut::Vector(v),
+            ValueMut::Matrix { data, dim } => ValueMut::Matrix { data, dim: *dim },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(ValueRef::Scalar(2.5).scalar(), 2.5);
+        assert_eq!(ValueRef::from(3.0).index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected vector")]
+    fn wrong_kind_panics() {
+        ValueRef::Scalar(1.0).vector();
+    }
+
+    #[test]
+    fn mut_slots() {
+        let mut x = 0.0;
+        *ValueMut::Scalar(&mut x).scalar() = 5.0;
+        assert_eq!(x, 5.0);
+        let mut v = vec![0.0; 3];
+        ValueMut::Vector(&mut v).vector()[1] = 2.0;
+        assert_eq!(v, vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn reborrow_allows_repeated_use() {
+        let mut v = vec![0.0; 2];
+        let mut slot = ValueMut::Vector(&mut v);
+        slot.reborrow().vector()[0] = 1.0;
+        slot.reborrow().vector()[1] = 2.0;
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! A Jags-like baseline: graph-reified Gibbs sampling.
+//!
+//! The paper's Fig. 11 compares AugurV2's *compiled* Gibbs sampler against
+//! Jags running the *same high-level algorithm*: "Jags reifies the
+//! Bayesian network structure and performs Gibbs sampling on the graph
+//! structure, whereas AugurV2 directly generates code that performs Gibbs
+//! sampling using symbolically computed conditionals" (§7.2).
+//!
+//! This crate is that comparator. It shares AugurV2-rs's frontend (the
+//! same model source parses into the same `DensityModel`) but then:
+//!
+//! * **unrolls every comprehension** into one graph node per random
+//!   variable *instance* (`mu[0]`, …, `z[N−1]`), each carrying its own
+//!   boxed value, distribution tag, and child list;
+//! * samples node by node each sweep, re-evaluating parent expressions
+//!   interpretively — with per-node dispatch, hash lookups, and fresh
+//!   allocations — against the graph;
+//! * uses node-level conjugate samplers where the relation table matches,
+//!   finite enumeration for discrete nodes, and univariate slice sampling
+//!   otherwise (standing in for Jags's adaptive rejection sampling; both
+//!   are black-box scalar samplers with comparable per-node cost).
+//!
+//! Stochastic indexing (`mu[z[n]]`) produces *conservative* edges — every
+//! `mu[k]` is a parent of every `y[n]`, as in BUGS — so mixture-model
+//! sweeps traverse all children and filter by the current assignment,
+//! which is precisely the overhead the paper's comparison surfaces.
+//!
+//! # Example
+//!
+//! ```
+//! use augur_jags::JagsModel;
+//! use augur_backend::HostValue;
+//!
+//! let mut m = JagsModel::build(
+//!     "(N, tau2, s2) => {
+//!         param m ~ Normal(0.0, tau2) ;
+//!         data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+//!     }",
+//!     vec![HostValue::Int(3), HostValue::Real(4.0), HostValue::Real(1.0)],
+//!     vec![("y", HostValue::VecF(vec![1.0, 0.8, 1.2]))],
+//!     7,
+//! )?;
+//! m.init();
+//! m.sweep();
+//! assert!(m.values("m")[0].is_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod graph;
+mod sample;
+
+pub use graph::{JagsError, JagsModel, NodeVal};

@@ -1,0 +1,247 @@
+use std::fmt;
+
+/// A kernel unit (`ku` in Fig. 5): what a base update samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelUnit {
+    /// Sample one variable by itself.
+    Single(String),
+    /// Sample a list of variables jointly (*blocking* — useful when they
+    /// are heavily correlated).
+    Block(Vec<String>),
+}
+
+impl KernelUnit {
+    /// The variables of the unit, in order.
+    pub fn vars(&self) -> &[String] {
+        match self {
+            KernelUnit::Single(_) => std::slice::from_ref(match self {
+                KernelUnit::Single(x) => x,
+                KernelUnit::Block(_) => unreachable!(),
+            }),
+            KernelUnit::Block(xs) => xs,
+        }
+    }
+}
+
+impl fmt::Display for KernelUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelUnit::Single(x) => write!(f, "Single({x})"),
+            KernelUnit::Block(xs) => write!(f, "Block({})", xs.join(", ")),
+        }
+    }
+}
+
+/// The base MCMC methods (`κ` in Fig. 5, and the §4.4 table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// Metropolis–Hastings with a proposal (`Prop`); `None` in the paper's
+    /// `Maybe α` — this reproduction supplies the default random-walk
+    /// proposal.
+    MetropolisHastings,
+    /// Closed-form full conditional (`FC`): conjugate Gibbs or finite-sum
+    /// Gibbs for discrete variables.
+    Gibbs,
+    /// Gradient-based (`Grad`): Hamiltonian Monte Carlo with leapfrog
+    /// integration.
+    Hmc,
+    /// Gradient-based (`Grad`): the No-U-Turn prototype (§4.4 footnote).
+    Nuts,
+    /// Gradient-based (`Grad`): Metropolis-adjusted Langevin — added as
+    /// the §7.1 extensibility exercise (a new base update built from the
+    /// existing likelihood + gradient primitives).
+    Mala,
+    /// Reflective slice sampling (`Slice`): needs likelihood + gradient.
+    ReflectiveSlice,
+    /// Elliptical slice sampling (`Slice`): needs likelihood only, but the
+    /// prior must be Gaussian.
+    EllipticalSlice,
+}
+
+impl UpdateKind {
+    /// The schedule-syntax name (Fig. 2 uses `ESlice`, `Gibbs`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateKind::MetropolisHastings => "MH",
+            UpdateKind::Gibbs => "Gibbs",
+            UpdateKind::Hmc => "HMC",
+            UpdateKind::Nuts => "NUTS",
+            UpdateKind::Mala => "MALA",
+            UpdateKind::ReflectiveSlice => "Slice",
+            UpdateKind::EllipticalSlice => "ESlice",
+        }
+    }
+
+    /// Parses a schedule-syntax name.
+    pub fn from_name(s: &str) -> Option<UpdateKind> {
+        Some(match s {
+            "MH" => UpdateKind::MetropolisHastings,
+            "Gibbs" => UpdateKind::Gibbs,
+            "HMC" => UpdateKind::Hmc,
+            "NUTS" => UpdateKind::Nuts,
+            "MALA" => UpdateKind::Mala,
+            "Slice" => UpdateKind::ReflectiveSlice,
+            "ESlice" => UpdateKind::EllipticalSlice,
+            _ => return None,
+        })
+    }
+
+    /// Whether the update's proposals are always accepted (Gibbs), so the
+    /// backend can skip the acceptance-ratio computation (§5.5).
+    pub fn always_accepted(self) -> bool {
+        matches!(
+            self,
+            UpdateKind::Gibbs | UpdateKind::ReflectiveSlice | UpdateKind::EllipticalSlice
+        )
+    }
+
+    /// Whether the update needs gradients of the conditional (Fig. 7).
+    pub fn needs_gradient(self) -> bool {
+        matches!(
+            self,
+            UpdateKind::Hmc | UpdateKind::Nuts | UpdateKind::Mala | UpdateKind::ReflectiveSlice
+        )
+    }
+
+    /// Whether the update needs likelihood evaluation (Fig. 7's first
+    /// column).
+    pub fn needs_likelihood(self) -> bool {
+        !matches!(self, UpdateKind::Gibbs)
+    }
+
+    /// Whether the update needs a closed-form full conditional (Fig. 7's
+    /// second column).
+    pub fn needs_full_conditional(self) -> bool {
+        matches!(self, UpdateKind::Gibbs)
+    }
+}
+
+impl fmt::Display for UpdateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One base update `(κ α) ku α`, parametric in the conditional
+/// representation `α`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseUpdate<A> {
+    /// The MCMC method.
+    pub kind: UpdateKind,
+    /// What it samples.
+    pub unit: KernelUnit,
+    /// The conditional it targets, in the representation of this
+    /// compilation stage.
+    pub cond: A,
+}
+
+/// A compound kernel: the `⊗`-composition of base updates, applied in
+/// order on every sweep. Sequencing is not commutative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel<A> {
+    /// The base updates, in sweep order.
+    pub updates: Vec<BaseUpdate<A>>,
+}
+
+impl<A> Kernel<A> {
+    /// Maps the conditional representation, preserving structure — this is
+    /// how the compiler instantiates `α` with successively lower ILs.
+    pub fn map<B>(self, mut f: impl FnMut(A) -> B) -> Kernel<B> {
+        Kernel {
+            updates: self
+                .updates
+                .into_iter()
+                .map(|u| BaseUpdate { kind: u.kind, unit: u.unit, cond: f(u.cond) })
+                .collect(),
+        }
+    }
+}
+
+impl<A> fmt::Display for Kernel<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, u) in self.updates.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" (*) ")?;
+            }
+            write!(f, "{} {}", u.kind, u.unit)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in [
+            UpdateKind::MetropolisHastings,
+            UpdateKind::Gibbs,
+            UpdateKind::Hmc,
+            UpdateKind::Nuts,
+            UpdateKind::Mala,
+            UpdateKind::ReflectiveSlice,
+            UpdateKind::EllipticalSlice,
+        ] {
+            assert_eq!(UpdateKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(UpdateKind::from_name("Bogus"), None);
+    }
+
+    #[test]
+    fn acceptance_table_matches_paper() {
+        assert!(UpdateKind::Gibbs.always_accepted());
+        assert!(!UpdateKind::Hmc.always_accepted());
+        assert!(!UpdateKind::MetropolisHastings.always_accepted());
+    }
+
+    /// The paper's Fig. 7, row by row:
+    /// `(update, likelihood, full-conditional, gradient)`.
+    #[test]
+    fn primitives_table_matches_fig7() {
+        let table = [
+            (UpdateKind::MetropolisHastings, true, false, false),
+            (UpdateKind::Gibbs, false, true, false),
+            (UpdateKind::Hmc, true, false, true),
+            (UpdateKind::ReflectiveSlice, true, false, true),
+            (UpdateKind::EllipticalSlice, true, false, false),
+        ];
+        for (k, ll, fc, grad) in table {
+            assert_eq!(k.needs_likelihood(), ll, "{k} likelihood");
+            assert_eq!(k.needs_full_conditional(), fc, "{k} full conditional");
+            assert_eq!(k.needs_gradient(), grad, "{k} gradient");
+        }
+        // the two additions beyond Fig. 7 follow the same pattern
+        assert!(UpdateKind::Nuts.needs_gradient() && UpdateKind::Nuts.needs_likelihood());
+        assert!(UpdateKind::Mala.needs_gradient() && UpdateKind::Mala.needs_likelihood());
+    }
+
+    #[test]
+    fn kernel_map_preserves_structure() {
+        let k = Kernel {
+            updates: vec![
+                BaseUpdate {
+                    kind: UpdateKind::Gibbs,
+                    unit: KernelUnit::Single("z".into()),
+                    cond: 1,
+                },
+                BaseUpdate {
+                    kind: UpdateKind::Hmc,
+                    unit: KernelUnit::Block(vec!["a".into(), "b".into()]),
+                    cond: 2,
+                },
+            ],
+        };
+        let mapped = k.map(|c| c * 10);
+        assert_eq!(mapped.updates[1].cond, 20);
+        assert_eq!(format!("{mapped}"), "Gibbs Single(z) (*) HMC Block(a, b)");
+    }
+
+    #[test]
+    fn unit_vars() {
+        assert_eq!(KernelUnit::Single("x".into()).vars(), ["x".to_owned()]);
+        let b = KernelUnit::Block(vec!["a".into(), "b".into()]);
+        assert_eq!(b.vars().len(), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! The **Kernel IL** (paper §4.1, Fig. 5): an MCMC algorithm as a
+//! composition of base updates.
+//!
+//! ```text
+//! sched α ::= λ(xs). k α
+//! k α     ::= (κ α) ku α | k α ⊗ k α
+//! ku      ::= Single(x) | Block(xs)
+//! κ α     ::= Prop (Maybe α) | FC | Grad (Maybe α) | Slice
+//! ```
+//!
+//! A base update applies one MCMC method (`κ`) to one kernel unit (`ku` —
+//! a single variable or a block of jointly-sampled variables), targeting
+//! that unit's conditional. `⊗` sequences updates; it is *not*
+//! commutative. The IL is parametric in `α`, the representation of the
+//! conditional: here it is instantiated with
+//! [`augur_density::Conditional`], and the lower ILs re-instantiate it
+//! with executable code.
+//!
+//! This crate provides:
+//!
+//! * [`Kernel`] / [`BaseUpdate`] — the IL itself;
+//! * [`parse_schedule`] — the user-schedule syntax of Fig. 2
+//!   (`"ESlice mu (*) Gibbs z"`);
+//! * [`plan`] — schedule validation and conditional assignment, producing a
+//!   [`KernelPlan`];
+//! * [`heuristic_schedule`] — the default strategy of §4.2: conjugate
+//!   variables get Gibbs, remaining discrete variables get finite-sum
+//!   Gibbs, remaining continuous variables get one blocked HMC update.
+//!
+//! # Example
+//!
+//! ```
+//! use augur_kernel::{parse_schedule, UpdateKind, Schedule};
+//!
+//! let s: Schedule = parse_schedule("ESlice mu (*) Gibbs z")?;
+//! assert_eq!(s.updates.len(), 2);
+//! assert_eq!(s.updates[0].kind, UpdateKind::EllipticalSlice);
+//! # Ok::<(), augur_kernel::KernelError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod il;
+mod plan;
+mod sched;
+
+pub use il::{BaseUpdate, Kernel, KernelUnit, UpdateKind};
+pub use plan::{heuristic_schedule, plan, FcStrategy, KernelPlan, PlannedUpdate};
+pub use sched::{parse_schedule, KernelError, Schedule, ScheduleEntry};

@@ -1,0 +1,281 @@
+//! Abstract syntax of the modeling language.
+
+use augur_dist::DistKind;
+
+use crate::token::Span;
+
+/// An identifier with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The name.
+    pub name: String,
+    /// Source span.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier (primarily for tests and builders).
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident { name: name.into(), span }
+    }
+}
+
+/// A complete model: `(args...) => { decls... }`.
+///
+/// The arguments are the variables the model *closes over* — hyper-
+/// parameters (`mu_0`, `Sigma`), meta-parameters (`K`, `N`), and covariates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Closed-over arguments, in declaration order.
+    pub args: Vec<Ident>,
+    /// Random-variable and deterministic declarations, in order.
+    pub decls: Vec<Decl>,
+}
+
+impl Model {
+    /// Finds a declaration by left-hand-side name.
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.lhs.name == name)
+    }
+
+    /// Iterates over the `param` declarations (the latent variables).
+    pub fn params(&self) -> impl Iterator<Item = &Decl> {
+        self.decls.iter().filter(|d| d.role == DeclRole::Param)
+    }
+
+    /// Iterates over the `data` declarations (the observed variables).
+    pub fn data(&self) -> impl Iterator<Item = &Decl> {
+        self.decls.iter().filter(|d| d.role == DeclRole::Data)
+    }
+}
+
+/// Whether a declared variable is latent or observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclRole {
+    /// A model parameter (latent variable): inferred, i.e. output.
+    Param,
+    /// Observed data: supplied by the user, i.e. input.
+    Data,
+    /// A deterministic transformation of existing variables (`let`).
+    Det,
+}
+
+/// One declaration: `role lhs[subs...] ~ Dist(args) for gens... ;` or
+/// `let lhs[subs...] = expr for gens... ;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Latent / observed / deterministic.
+    pub role: DeclRole,
+    /// The declared variable.
+    pub lhs: Ident,
+    /// Subscript variables, e.g. `[d][j]` — must match the comprehension
+    /// variables in `gens`, in order.
+    pub subscripts: Vec<Ident>,
+    /// The right-hand side.
+    pub rhs: DeclRhs,
+    /// The comprehensions wrapping the declaration, outermost first.
+    pub gens: Vec<Gen>,
+}
+
+/// The right-hand side of a declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclRhs {
+    /// `~ Dist(args)` — a stochastic declaration.
+    Dist(DistCall),
+    /// `= expr` — a deterministic transformation.
+    Det(Expr),
+}
+
+/// A distribution application `Dist(args...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistCall {
+    /// Which primitive distribution.
+    pub dist: DistKind,
+    /// Its parameters.
+    pub args: Vec<Expr>,
+    /// Source span of the whole call.
+    pub span: Span,
+}
+
+/// A comprehension generator `var <- lo until hi`, with the paper's
+/// parallel semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gen {
+    /// The bound index variable.
+    pub var: Ident,
+    /// Inclusive lower bound.
+    pub lo: Expr,
+    /// Exclusive upper bound.
+    pub hi: Expr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl BinOp {
+    /// The surface-syntax symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Built-in pure functions usable in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Square root.
+    Sqrt,
+    /// Dot product of two real vectors.
+    Dot,
+}
+
+impl Builtin {
+    /// Looks a builtin up by its surface name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "sigmoid" => Builtin::Sigmoid,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "sqrt" => Builtin::Sqrt,
+            "dot" => Builtin::Dot,
+            _ => return None,
+        })
+    }
+
+    /// The surface name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Sigmoid => "sigmoid",
+            Builtin::Exp => "exp",
+            Builtin::Log => "log",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Dot => "dot",
+        }
+    }
+
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Dot => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(Ident),
+    /// An integer literal.
+    Int(i64, Span),
+    /// A real literal.
+    Real(f64, Span),
+    /// Indexing `e[e]`.
+    Index(Box<Expr>, Box<Expr>, Span),
+    /// A builtin function call.
+    Call(Builtin, Vec<Expr>, Span),
+    /// A binary operation.
+    Binop(BinOp, Box<Expr>, Box<Expr>, Span),
+    /// Unary negation.
+    Neg(Box<Expr>, Span),
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Var(id) => id.span,
+            Expr::Int(_, s) | Expr::Real(_, s) => *s,
+            Expr::Index(_, _, s) | Expr::Call(_, _, s) | Expr::Binop(_, _, _, s) => *s,
+            Expr::Neg(_, s) => *s,
+        }
+    }
+
+    /// Visits every variable reference in the expression.
+    pub fn visit_vars<'a>(&'a self, f: &mut impl FnMut(&'a Ident)) {
+        match self {
+            Expr::Var(id) => f(id),
+            Expr::Int(..) | Expr::Real(..) => {}
+            Expr::Index(a, b, _) => {
+                a.visit_vars(f);
+                b.visit_vars(f);
+            }
+            Expr::Call(_, args, _) => {
+                for a in args {
+                    a.visit_vars(f);
+                }
+            }
+            Expr::Binop(_, a, b, _) => {
+                a.visit_vars(f);
+                b.visit_vars(f);
+            }
+            Expr::Neg(a, _) => a.visit_vars(f),
+        }
+    }
+
+    /// True when the expression mentions the named variable.
+    pub fn mentions(&self, name: &str) -> bool {
+        let mut found = false;
+        self.visit_vars(&mut |id| {
+            if id.name == name {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mentions_traverses_nesting() {
+        let s = Span::default();
+        // mu[z[n]]
+        let e = Expr::Index(
+            Box::new(Expr::Var(Ident::new("mu", s))),
+            Box::new(Expr::Index(
+                Box::new(Expr::Var(Ident::new("z", s))),
+                Box::new(Expr::Var(Ident::new("n", s))),
+                s,
+            )),
+            s,
+        );
+        assert!(e.mentions("mu"));
+        assert!(e.mentions("z"));
+        assert!(e.mentions("n"));
+        assert!(!e.mentions("k"));
+    }
+
+    #[test]
+    fn builtin_lookup() {
+        assert_eq!(Builtin::from_name("sigmoid"), Some(Builtin::Sigmoid));
+        assert_eq!(Builtin::from_name("dot").unwrap().arity(), 2);
+        assert_eq!(Builtin::from_name("nope"), None);
+        for b in [Builtin::Sigmoid, Builtin::Exp, Builtin::Log, Builtin::Sqrt, Builtin::Dot] {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The AugurV2 surface modeling language (paper §2.2).
+//!
+//! A first-order, functional language for expressing fixed-structure
+//! Bayesian networks, "designed to mirror random variable notation". A
+//! model closes over its hyper- and meta-parameters and declares each
+//! random variable with its distribution, annotated `param` (latent,
+//! inferred) or `data` (observed, supplied):
+//!
+//! ```text
+//! (K, N, mu_0, Sigma_0, pis, Sigma) => {
+//!   param mu[k] ~ MvNormal(mu_0, Sigma_0)
+//!     for k <- 0 until K ;
+//!   param z[n] ~ Categorical(pis)
+//!     for n <- 0 until N ;
+//!   data x[n] ~ MvNormal(mu[z[n]], Sigma)
+//!     for n <- 0 until N ;
+//! }
+//! ```
+//!
+//! Comprehensions (`for k <- 0 until K`) have *parallel* semantics; bounds
+//! may be ragged (`j <- 0 until N[d]`) but may not mention model
+//! parameters — the *fixed structure* restriction that makes size
+//! inference (§5.2) and up-front memory allocation possible. Both
+//! restrictions are enforced by [`typeck`].
+//!
+//! # Pipeline position
+//!
+//! `parse` → [`ast::Model`] → `typecheck` → [`typeck::TypedModel`] → (the
+//! `augur-density` crate translates to the Density IL).
+//!
+//! # Example
+//!
+//! ```
+//! use augur_lang::{parse, typecheck};
+//!
+//! let src = "(mu0, tau2, sigma2, N) => {
+//!     param mu ~ Normal(mu0, tau2) ;
+//!     data y[n] ~ Normal(mu, sigma2) for n <- 0 until N ;
+//! }";
+//! let model = parse(src)?;
+//! let typed = typecheck(&model)?;
+//! assert_eq!(typed.model.decls.len(), 2);
+//! # Ok::<(), augur_lang::LangError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+mod pretty;
+pub mod token;
+pub mod ty;
+pub mod typeck;
+
+pub use error::LangError;
+pub use parser::parse;
+pub use pretty::pretty_model;
+pub use typeck::typecheck;

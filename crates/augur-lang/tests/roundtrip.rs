@@ -1,0 +1,65 @@
+//! Property tests: generated models survive a pretty-print → parse →
+//! pretty-print round trip, and the type checker is deterministic.
+
+use augur_lang::{parse, pretty_model, typecheck};
+use proptest::prelude::*;
+
+/// Strategy for a simple scalar-only random model: a chain of Normal
+/// declarations, each optionally wrapped in a comprehension and referencing
+/// the previous variable.
+fn model_source() -> impl Strategy<Value = String> {
+    (1usize..6, any::<bool>()).prop_map(|(n_decls, with_loops)| {
+        let mut src = String::from("(N, h0) => {\n");
+        for i in 0..n_decls {
+            let prev = if i == 0 { "h0".to_owned() } else { format!("v{}", i - 1) };
+            if with_loops && i % 2 == 1 {
+                // vector decl; reference the previous scalar as mean
+                let mean = if i == 0 || (with_loops && (i - 1) % 2 == 1) {
+                    "0.0".to_owned()
+                } else {
+                    prev
+                };
+                src.push_str(&format!(
+                    "  param v{i}[q{i}] ~ Normal({mean}, 1.0) for q{i} <- 0 until N ;\n"
+                ));
+            } else {
+                let mean = if i > 0 && with_loops && (i - 1) % 2 == 1 {
+                    // previous is a vector; index it
+                    "1.5".to_owned()
+                } else {
+                    prev
+                };
+                src.push_str(&format!("  param v{i} ~ Normal({mean}, 2.0) ;\n"));
+            }
+        }
+        src.push('}');
+        src
+    })
+}
+
+proptest! {
+    #[test]
+    fn pretty_parse_roundtrip_fixpoint(src in model_source()) {
+        let m1 = parse(&src).expect("generated model must parse");
+        let p1 = pretty_model(&m1);
+        let m2 = parse(&p1).expect("pretty output must reparse");
+        let p2 = pretty_model(&m2);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn typecheck_is_deterministic(src in model_source()) {
+        let m = parse(&src).unwrap();
+        let t1 = typecheck(&m).expect("generated model must typecheck");
+        let t2 = typecheck(&m).unwrap();
+        for (name, ty) in &t1.var_tys {
+            prop_assert_eq!(ty, t2.var_tys.get(name).unwrap());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii(src in "[ -~]{0,80}") {
+        // Arbitrary ASCII input must produce Ok or Err, never a panic.
+        let _ = parse(&src);
+    }
+}

@@ -1,0 +1,110 @@
+//! The **Low++ / Low--** stage of the AugurV2 compiler (paper §4.3–§5.2).
+//!
+//! This crate turns a validated [`augur_kernel::KernelPlan`] into
+//! executable imperative code:
+//!
+//! * [`il`] — the Low++/Low-- IL: statements with `Seq`/`Par`/`AtmPar`
+//!   loop annotations, a dedicated atomic `+=` category, and distribution
+//!   operations `ll`/`samp`/`grad_i` (Fig. 6);
+//! * [`gibbs`] — code generators for conjugate Gibbs (one per relation)
+//!   and finite-sum Gibbs over discrete supports (§4.4);
+//! * [`grad`] — source-to-source reverse-mode AD (Fig. 8), exploiting
+//!   parallel-comprehension semantics to avoid a reversal stack;
+//! * [`shape`] — size inference (§5.2): every buffer gets a symbolic shape
+//!   resolved at setup so all memory is allocated up front;
+//! * [`lower`] — the per-update driver producing a [`LoweredModel`].
+//!
+//! # Example
+//!
+//! ```
+//! use augur_kernel::{heuristic_schedule, plan};
+//! use augur_low::lower;
+//!
+//! let src = "(N, tau2, s2) => {
+//!     param m ~ Normal(0.0, tau2) ;
+//!     data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+//! }";
+//! let typed = augur_lang::typecheck(&augur_lang::parse(src)?)?;
+//! let dm = augur_density::DensityModel::from_typed(&typed)?;
+//! let sched = heuristic_schedule(&dm)?;
+//! let lowered = lower(&dm, &plan(&dm, &sched)?)?;
+//! assert_eq!(lowered.steps.len(), 1); // one conjugate Gibbs step
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod from_density;
+pub mod gibbs;
+pub mod grad;
+pub mod il;
+mod lower;
+pub mod memory;
+pub mod shape;
+
+use std::fmt;
+
+pub use lower::{lower, LoweredModel, Step, Transform};
+
+/// Errors produced while lowering to Low--.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// A likelihood's fixed parameter varies within a target slice, so the
+    /// closed-form posterior cannot be formed (precision loss of the
+    /// symbolic conditional, §3.3).
+    NotSliceConstant {
+        /// The update being generated.
+        update: String,
+        /// The offending expression.
+        expr: String,
+        /// The comprehension variable it still mentions.
+        comp_var: String,
+    },
+    /// A discrete variable's conditional could not be aligned to its
+    /// comprehension structure.
+    UnalignedDiscrete {
+        /// The variable.
+        target: String,
+    },
+    /// An expression mentioning a differentiation target is outside the
+    /// AD-supported fragment.
+    UnsupportedAd {
+        /// The expression.
+        expr: String,
+    },
+    /// No constraint transform is available for the variable's support.
+    UnsupportedTransform {
+        /// The update being generated.
+        update: String,
+        /// The variable.
+        var: String,
+        /// Its support.
+        support: String,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::NotSliceConstant { update, expr, comp_var } => write!(
+                f,
+                "{update}: likelihood parameter `{expr}` is not constant on target slices \
+                 (mentions `{comp_var}`)"
+            ),
+            LowerError::UnalignedDiscrete { target } => write!(
+                f,
+                "discrete variable `{target}` has a conditional that cannot be aligned to its \
+                 comprehensions"
+            ),
+            LowerError::UnsupportedAd { expr } => {
+                write!(f, "expression `{expr}` is outside the differentiable fragment")
+            }
+            LowerError::UnsupportedTransform { update, var, support } => write!(
+                f,
+                "{update}: no unconstraining transform for `{var}` with support {support}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}

@@ -1,0 +1,106 @@
+//! Size inference (paper §5.2).
+//!
+//! AugurV2 programs express fixed-structure models, so every buffer an
+//! inference algorithm touches can be bounded — and, because compilation
+//! happens at runtime with data sizes in hand, *resolved to a concrete
+//! size* — before the first sweep. This is a hard requirement for GPU
+//! execution (no dynamic allocation in kernels). This module describes the
+//! shapes symbolically; the backend evaluates them against the bound model
+//! arguments and allocates everything up front.
+
+use augur_density::DExpr;
+
+/// A symbolic size, resolved by the backend at setup time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeExpr {
+    /// A compile-time constant.
+    Const(i64),
+    /// An integer-valued model expression (e.g. the meta-parameter `K`),
+    /// evaluated with all comprehension variables set to their lower
+    /// bound.
+    Expr(DExpr),
+    /// The length of a vector-valued model expression (e.g. `len(alpha)`).
+    LenOf(DExpr),
+    /// The dimension of a (square) matrix-valued model expression.
+    DimOf(DExpr),
+}
+
+/// The shape of one planned buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShapeSpec {
+    /// A scalar cell.
+    Scalar,
+    /// A flat vector.
+    Vec(SizeExpr),
+    /// A square matrix (stored row-major).
+    Mat(SizeExpr),
+    /// A rectangular table: `rows` copies of `inner` (e.g. per-cluster
+    /// sufficient statistics).
+    Table {
+        /// Number of rows.
+        rows: SizeExpr,
+        /// Per-row shape.
+        inner: Box<ShapeSpec>,
+    },
+    /// The same shape as an existing model variable (adjoints, proposal
+    /// copies, elliptical-slice auxiliaries).
+    LikeVar(String),
+}
+
+/// Whether a buffer is shared or logically per-thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// One shared buffer.
+    Shared,
+    /// One logical copy per parallel iteration (GPU local memory); the
+    /// sequential executor reuses a single copy.
+    ThreadLocal,
+}
+
+/// A planned allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocDecl {
+    /// Buffer name (referenced by the IL).
+    pub name: String,
+    /// Symbolic shape.
+    pub shape: ShapeSpec,
+    /// Sharing discipline.
+    pub kind: AllocKind,
+}
+
+impl AllocDecl {
+    /// A shared allocation.
+    pub fn shared(name: impl Into<String>, shape: ShapeSpec) -> AllocDecl {
+        AllocDecl { name: name.into(), shape, kind: AllocKind::Shared }
+    }
+
+    /// A thread-local allocation.
+    pub fn thread_local(name: impl Into<String>, shape: ShapeSpec) -> AllocDecl {
+        AllocDecl { name: name.into(), shape, kind: AllocKind::ThreadLocal }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = AllocDecl::shared("cnt", ShapeSpec::Vec(SizeExpr::Expr(DExpr::var("K"))));
+        assert_eq!(a.kind, AllocKind::Shared);
+        let b = AllocDecl::thread_local("w", ShapeSpec::Vec(SizeExpr::LenOf(DExpr::var("pi"))));
+        assert_eq!(b.kind, AllocKind::ThreadLocal);
+    }
+
+    #[test]
+    fn table_shape_nests() {
+        let t = ShapeSpec::Table {
+            rows: SizeExpr::Expr(DExpr::var("K")),
+            inner: Box::new(ShapeSpec::Mat(SizeExpr::DimOf(DExpr::var("Psi")))),
+        };
+        match t {
+            ShapeSpec::Table { inner, .. } => assert!(matches!(*inner, ShapeSpec::Mat(_))),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the linear-algebra operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MathError {
+    /// Matrix dimensions are inconsistent with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// The dimensions that were seen, formatted by the caller.
+        detail: String,
+    },
+    /// A factorization failed because the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot at which the factorization broke down.
+        pivot: usize,
+    },
+    /// The matrix is singular (or numerically so) and cannot be inverted.
+    Singular,
+    /// Raw data passed to a constructor has the wrong length.
+    BadLength {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch { op, detail } => {
+                write!(f, "dimension mismatch in {op}: {detail}")
+            }
+            MathError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            MathError::Singular => write!(f, "matrix is singular"),
+            MathError::BadLength { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for MathError {}

@@ -1,0 +1,48 @@
+//! Numerical substrate for the AugurV2 reproduction.
+//!
+//! This crate supplies the dense linear algebra, special functions, and the
+//! flattened ragged-array representation that the AugurV2 runtime library
+//! (paper §6.2) is built on. Everything is implemented from scratch: the
+//! only external dependency is `rand` for the RNG used by samplers in
+//! downstream crates.
+//!
+//! # Overview
+//!
+//! * [`Matrix`] — a dense, row-major matrix with the usual operations.
+//! * [`Cholesky`] — Cholesky factorization used for multivariate-normal
+//!   densities, sampling, and log-determinants.
+//! * [`ragged`] — the paper's "vector of vectors" runtime representation:
+//!   a pointer-directed index paired with one flat contiguous buffer.
+//! * [`special`] — `lgamma`, `digamma`, `log_sum_exp`, `sigmoid`, …
+//!
+//! # Example
+//!
+//! ```
+//! use augur_math::{Matrix, Cholesky};
+//!
+//! # fn main() -> Result<(), augur_math::MathError> {
+//! let s = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let chol = Cholesky::new(&s)?;
+//! let x = chol.solve(&[1.0, 2.0]);
+//! let y = s.matvec(&x);
+//! assert!((y[0] - 1.0).abs() < 1e-12 && (y[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+// Index-based loops are the clearest idiom for the triangular-solve and
+// factorization kernels in this crate.
+#![allow(clippy::needless_range_loop)]
+
+mod chol;
+mod error;
+mod matrix;
+pub mod ragged;
+pub mod special;
+pub mod vecops;
+
+pub use chol::Cholesky;
+pub use error::MathError;
+pub use matrix::Matrix;
+pub use ragged::FlatRagged;

@@ -1,0 +1,229 @@
+//! Flattened ragged arrays — the paper's runtime representation of
+//! "vectors of vectors" (§6.2).
+//!
+//! AugurV2 supports ragged arrays in its surface syntax but stores the data
+//! in one flat contiguous region so a GPU (or a cache-friendly CPU loop) can
+//! map over all elements without chasing pointers. A separate offset index
+//! provides random access. [`FlatRagged`] reproduces exactly that pairing.
+
+use crate::MathError;
+
+/// A ragged two-level array stored as one flat buffer plus per-row offsets.
+///
+/// Row `i` occupies `data[offsets[i] .. offsets[i+1]]`.
+///
+/// # Example
+///
+/// ```
+/// use augur_math::FlatRagged;
+///
+/// let r = FlatRagged::from_rows(vec![vec![1.0, 2.0], vec![], vec![3.0]]);
+/// assert_eq!(r.num_rows(), 3);
+/// assert_eq!(r.row(0), &[1.0, 2.0]);
+/// assert_eq!(r.row(1), &[] as &[f64]);
+/// assert_eq!(r.flat(), &[1.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlatRagged {
+    offsets: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl FlatRagged {
+    /// Creates an empty ragged array with no rows.
+    pub fn new() -> Self {
+        FlatRagged { offsets: vec![0], data: Vec::new() }
+    }
+
+    /// Builds the flattened representation from owned rows.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let total: usize = rows.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut data = Vec::with_capacity(total);
+        offsets.push(0);
+        for row in rows {
+            data.extend(row);
+            offsets.push(data.len());
+        }
+        FlatRagged { offsets, data }
+    }
+
+    /// Builds a rectangular (non-ragged) array of `rows × cols` zeros.
+    pub fn rect(rows: usize, cols: usize) -> Self {
+        let offsets = (0..=rows).map(|i| i * cols).collect();
+        FlatRagged { offsets, data: vec![0.0; rows * cols] }
+    }
+
+    /// Reassembles from a flat buffer and explicit row lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BadLength`] when the lengths do not sum to
+    /// `data.len()`.
+    pub fn from_flat(data: Vec<f64>, lens: &[usize]) -> Result<Self, MathError> {
+        let total: usize = lens.iter().sum();
+        if total != data.len() {
+            return Err(MathError::BadLength { expected: total, actual: data.len() });
+        }
+        let mut offsets = Vec::with_capacity(lens.len() + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for &l in lens {
+            acc += l;
+            offsets.push(acc);
+        }
+        Ok(FlatRagged { offsets, data })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of scalar elements across all rows.
+    pub fn num_elems(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Length of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_rows()`.
+    pub fn row_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Flat offset at which row `i` begins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > self.num_rows()`.
+    pub fn row_offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Mutably borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Element access `self[i][j]` through the offset index.
+    ///
+    /// Returns `None` when either index is out of bounds — this is the
+    /// random-access path the pointer-directed structure provides in the
+    /// paper.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if i >= self.num_rows() || j >= self.row_len(i) {
+            return None;
+        }
+        Some(self.data[self.offsets[i] + j])
+    }
+
+    /// Borrows the whole flat buffer — the efficient "map over everything"
+    /// path.
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the whole flat buffer.
+    pub fn flat_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        (0..self.num_rows()).map(move |i| self.row(i))
+    }
+
+    /// Appends a row, extending the flat buffer.
+    pub fn push_row(&mut self, row: &[f64]) {
+        self.data.extend_from_slice(row);
+        self.offsets.push(self.data.len());
+    }
+}
+
+impl FromIterator<Vec<f64>> for FlatRagged {
+    fn from_iter<I: IntoIterator<Item = Vec<f64>>>(iter: I) -> Self {
+        FlatRagged::from_rows(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_access() {
+        let r = FlatRagged::from_rows(vec![vec![1.0], vec![2.0, 3.0, 4.0], vec![]]);
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.num_elems(), 4);
+        assert_eq!(r.row_len(1), 3);
+        assert_eq!(r.get(1, 2), Some(4.0));
+        assert_eq!(r.get(1, 3), None);
+        assert_eq!(r.get(3, 0), None);
+    }
+
+    #[test]
+    fn flat_layout_is_contiguous() {
+        let r = FlatRagged::from_rows(vec![vec![1.0, 2.0], vec![3.0]]);
+        assert_eq!(r.flat(), &[1.0, 2.0, 3.0]);
+        assert_eq!(r.row_offset(1), 2);
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let orig = FlatRagged::from_rows(vec![vec![1.0, 2.0], vec![], vec![3.0]]);
+        let again = FlatRagged::from_flat(orig.flat().to_vec(), &[2, 0, 1]).unwrap();
+        assert_eq!(orig, again);
+    }
+
+    #[test]
+    fn from_flat_rejects_bad_lengths() {
+        assert!(FlatRagged::from_flat(vec![1.0, 2.0], &[3]).is_err());
+    }
+
+    #[test]
+    fn rect_shape() {
+        let r = FlatRagged::rect(3, 4);
+        assert_eq!(r.num_rows(), 3);
+        assert!(r.iter().all(|row| row.len() == 4));
+    }
+
+    #[test]
+    fn push_row_extends() {
+        let mut r = FlatRagged::new();
+        r.push_row(&[5.0, 6.0]);
+        r.push_row(&[]);
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.row(0), &[5.0, 6.0]);
+        assert_eq!(r.row_len(1), 0);
+    }
+
+    #[test]
+    fn mutation_through_row_mut_visible_in_flat() {
+        let mut r = FlatRagged::from_rows(vec![vec![0.0; 2], vec![0.0; 2]]);
+        r.row_mut(1)[0] = 9.0;
+        assert_eq!(r.flat()[2], 9.0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let r: FlatRagged = (0..3).map(|i| vec![i as f64; i]).collect();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.row(2), &[2.0, 2.0]);
+    }
+}

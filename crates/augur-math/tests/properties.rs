@@ -1,0 +1,126 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use augur_math::special::{lgamma, log_sum_exp, sigmoid};
+use augur_math::{vecops, Cholesky, FlatRagged, Matrix};
+use proptest::prelude::*;
+
+fn small_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+/// Generates a random SPD matrix as `A Aᵀ + n·I`.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let a = Matrix::from_vec(n, n, data).unwrap();
+        let mut s = a.matmul(&a.transpose()).unwrap();
+        for i in 0..n {
+            s[(i, i)] += n as f64;
+        }
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_solve_inverts(m in spd(4), b in small_vec(4)) {
+        let c = Cholesky::new(&m).unwrap();
+        let x = c.solve(&b);
+        let back = m.matvec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-8, "residual too large");
+        }
+    }
+
+    #[test]
+    fn cholesky_logdet_is_finite_and_consistent(m in spd(3)) {
+        let c = Cholesky::new(&m).unwrap();
+        let ld = c.log_det();
+        prop_assert!(ld.is_finite());
+        // log|A⁻¹| = -log|A|
+        let inv = c.inverse();
+        let ci = Cholesky::new(&inv).unwrap();
+        prop_assert!((ci.log_det() + ld).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mahalanobis_nonnegative(m in spd(3), x in small_vec(3)) {
+        let c = Cholesky::new(&m).unwrap();
+        prop_assert!(c.mahalanobis_sq(&x) >= -1e-12);
+    }
+
+    #[test]
+    fn matmul_associative(
+        a in prop::collection::vec(-2.0f64..2.0, 4),
+        b in prop::collection::vec(-2.0f64..2.0, 4),
+        c in prop::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let a = Matrix::from_vec(2, 2, a).unwrap();
+        let b = Matrix::from_vec(2, 2, b).unwrap();
+        let c = Matrix::from_vec(2, 2, c).unwrap();
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_respects_matmul(
+        a in prop::collection::vec(-2.0f64..2.0, 6),
+        b in prop::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let a = Matrix::from_vec(2, 3, a).unwrap();
+        let b = Matrix::from_vec(3, 2, b).unwrap();
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!((&lhs - &rhs).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn ragged_roundtrip(rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 0..6), 0..8)) {
+        let r = FlatRagged::from_rows(rows.clone());
+        prop_assert_eq!(r.num_rows(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(r.row(i), row.as_slice());
+        }
+        let lens: Vec<usize> = rows.iter().map(Vec::len).collect();
+        let again = FlatRagged::from_flat(r.flat().to_vec(), &lens).unwrap();
+        prop_assert_eq!(r, again);
+    }
+
+    #[test]
+    fn log_sum_exp_shift_invariant(xs in prop::collection::vec(-50.0f64..50.0, 1..10), c in -100.0f64..100.0) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        let l1 = log_sum_exp(&xs) + c;
+        let l2 = log_sum_exp(&shifted);
+        prop_assert!((l1 - l2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lgamma_recurrence_holds(x in 0.1f64..50.0) {
+        prop_assert!((lgamma(x + 1.0) - lgamma(x) - x.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_in_unit_interval(x in -1e6f64..1e6) {
+        let s = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn normalize_produces_distribution(mut w in prop::collection::vec(0.01f64..10.0, 1..12)) {
+        vecops::normalize(&mut w);
+        let s: f64 = w.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-10);
+        prop_assert!(w.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn dot_bilinear(a in small_vec(5), b in small_vec(5), alpha in -3.0f64..3.0) {
+        let scaled = vecops::scale(alpha, &a);
+        prop_assert!((vecops::dot(&scaled, &b) - alpha * vecops::dot(&a, &b)).abs() < 1e-9);
+    }
+}

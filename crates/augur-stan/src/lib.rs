@@ -1,0 +1,35 @@
+//! A Stan-like baseline: instrumentation-based reverse-mode AD plus
+//! HMC/NUTS over a hand-written log-density.
+//!
+//! The paper contrasts AugurV2 with Stan on three axes this crate
+//! reproduces architecturally:
+//!
+//! * **AD by instrumentation** — the log-density is executed with
+//!   overloaded operations that record a [`Tape`]; a reverse sweep yields
+//!   the gradient. (AugurV2 instead generates gradient *source*, Fig. 8.)
+//! * **no discrete parameters** — mixture models must be written with the
+//!   discrete variables marginalized out by hand ([`MarginalGmm`]), which
+//!   "increases the complexity of computing gradients" (§7.2).
+//! * **gradient-based inference only** — HMC and NUTS with dual-averaging
+//!   step-size adaptation ([`sample`]).
+//!
+//! # Example
+//!
+//! ```
+//! use augur_stan::{sample, NormalMean, SampleOpts};
+//!
+//! // posterior of a Normal mean under a Normal prior
+//! let model = NormalMean { prior_var: 4.0, like_var: 1.0, data: vec![1.0, 0.8, 1.2] };
+//! let out = sample(&model, SampleOpts { warmup: 200, samples: 500, seed: 3, ..Default::default() });
+//! assert_eq!(out.draws.len(), 500);
+//! ```
+
+#![deny(missing_docs)]
+
+mod hmc;
+mod models;
+mod tape;
+
+pub use hmc::{sample, SampleOpts, SampleOutput};
+pub use models::{HlrModel, MarginalGmm, NormalMean, StanModel};
+pub use tape::{Tape, V};

@@ -1,0 +1,317 @@
+//! An operator-overloading reverse-mode AD tape.
+//!
+//! Each arithmetic operation on tape values appends a node recording its
+//! parents and local partials; [`Tape::grad`] runs the reverse sweep. A
+//! fresh tape is recorded for *every* density evaluation — exactly the
+//! run-time instrumentation cost that AugurV2's source-to-source AD
+//! avoids (paper §4.4).
+
+/// A value on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V(u32);
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    parents: [(u32, f64); 2],
+    n_parents: u8,
+}
+
+/// The recording tape.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    values: Vec<f64>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: f64, parents: [(u32, f64); 2], n_parents: u8) -> V {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { parents, n_parents });
+        self.values.push(value);
+        V(id)
+    }
+
+    /// A leaf (input or constant).
+    pub fn leaf(&mut self, value: f64) -> V {
+        self.push(value, [(0, 0.0); 2], 0)
+    }
+
+    /// The current value of a tape variable.
+    pub fn val(&self, v: V) -> f64 {
+        self.values[v.0 as usize]
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: V, b: V) -> V {
+        let value = self.val(a) + self.val(b);
+        self.push(value, [(a.0, 1.0), (b.0, 1.0)], 2)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: V, b: V) -> V {
+        let value = self.val(a) - self.val(b);
+        self.push(value, [(a.0, 1.0), (b.0, -1.0)], 2)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: V, b: V) -> V {
+        let (va, vb) = (self.val(a), self.val(b));
+        self.push(va * vb, [(a.0, vb), (b.0, va)], 2)
+    }
+
+    /// `a / b`.
+    pub fn div(&mut self, a: V, b: V) -> V {
+        let (va, vb) = (self.val(a), self.val(b));
+        self.push(va / vb, [(a.0, 1.0 / vb), (b.0, -va / (vb * vb))], 2)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: V) -> V {
+        let value = -self.val(a);
+        self.push(value, [(a.0, -1.0), (0, 0.0)], 1)
+    }
+
+    /// `a + c` with a constant.
+    pub fn add_c(&mut self, a: V, c: f64) -> V {
+        let value = self.val(a) + c;
+        self.push(value, [(a.0, 1.0), (0, 0.0)], 1)
+    }
+
+    /// `a * c` with a constant.
+    pub fn mul_c(&mut self, a: V, c: f64) -> V {
+        let value = self.val(a) * c;
+        self.push(value, [(a.0, c), (0, 0.0)], 1)
+    }
+
+    /// `exp(a)`.
+    pub fn exp(&mut self, a: V) -> V {
+        let value = self.val(a).exp();
+        self.push(value, [(a.0, value), (0, 0.0)], 1)
+    }
+
+    /// `ln(a)`.
+    pub fn ln(&mut self, a: V) -> V {
+        let va = self.val(a);
+        self.push(va.ln(), [(a.0, 1.0 / va), (0, 0.0)], 1)
+    }
+
+    /// `a²`.
+    pub fn square(&mut self, a: V) -> V {
+        let va = self.val(a);
+        self.push(va * va, [(a.0, 2.0 * va), (0, 0.0)], 1)
+    }
+
+    /// `ln(1 + e^a)` (softplus), the Bernoulli-logit normalizer, recorded
+    /// stably.
+    pub fn log1p_exp(&mut self, a: V) -> V {
+        let va = self.val(a);
+        let value = augur_math::special::log1p_exp(va);
+        let sig = augur_math::special::sigmoid(va);
+        self.push(value, [(a.0, sig), (0, 0.0)], 1)
+    }
+
+    /// `ln Σ exp(xs)` recorded stably, with softmax partials.
+    pub fn log_sum_exp(&mut self, xs: &[V]) -> V {
+        let m = xs.iter().map(|&x| self.val(x)).fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = xs.iter().map(|&x| (self.val(x) - m).exp()).sum();
+        let value = m + sum.ln();
+        // ∂lse/∂xᵢ = softmaxᵢ. The tape is 2-ary, so thread the partials
+        // through a chain of identity-carrying nodes.
+        let mut acc: Option<V> = None;
+        for &x in xs {
+            let w = (self.val(x) - value).exp(); // softmax weight
+            acc = Some(match acc {
+                None => self.push(value, [(x.0, w), (0, 0.0)], 1),
+                Some(prev) => self.push(value, [(prev.0, 1.0), (x.0, w)], 2),
+            });
+        }
+        acc.expect("log_sum_exp of an empty slice")
+    }
+
+    /// Dot product of tape values with a constant vector.
+    pub fn dot_const(&mut self, xs: &[V], cs: &[f64]) -> V {
+        assert_eq!(xs.len(), cs.len(), "dot_const length mismatch");
+        let mut acc = self.leaf(0.0);
+        for (&x, &c) in xs.iter().zip(cs) {
+            let term = self.mul_c(x, c);
+            acc = self.add(acc, term);
+        }
+        acc
+    }
+
+    /// Reverse sweep: `∂ output / ∂ each leaf in wrt`.
+    pub fn grad(&self, output: V, wrt: &[V]) -> Vec<f64> {
+        let mut adj = vec![0.0; self.nodes.len()];
+        adj[output.0 as usize] = 1.0;
+        for i in (0..=output.0 as usize).rev() {
+            let a = adj[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = &self.nodes[i];
+            for p in 0..node.n_parents as usize {
+                let (pi, partial) = node.parents[p];
+                adj[pi as usize] += a * partial;
+            }
+        }
+        wrt.iter().map(|v| adj[v.0 as usize]).collect()
+    }
+}
+
+/// Tape helpers for common log-densities.
+impl Tape {
+    /// `ln N(x | mu, var)` with tape-valued `x`, `mu` and constant `var`.
+    pub fn normal_lpdf(&mut self, x: V, mu: V, var: f64) -> V {
+        const LN_2PI: f64 = 1.837_877_066_409_345_6;
+        let d = self.sub(x, mu);
+        let d2 = self.square(d);
+        let quad = self.mul_c(d2, -0.5 / var);
+        self.add_c(quad, -0.5 * (LN_2PI + var.ln()))
+    }
+
+    /// `ln N(x | mu, var)` with tape-valued variance.
+    pub fn normal_lpdf_v(&mut self, x: V, mu: V, var: V) -> V {
+        const LN_2PI: f64 = 1.837_877_066_409_345_6;
+        let d = self.sub(x, mu);
+        let d2 = self.square(d);
+        let ratio = self.div(d2, var);
+        let quad = self.mul_c(ratio, -0.5);
+        let lv = self.ln(var);
+        let half_lv = self.mul_c(lv, -0.5);
+        let s = self.add(quad, half_lv);
+        self.add_c(s, -0.5 * LN_2PI)
+    }
+
+    /// `ln Bernoulli(y | sigmoid(eta))` in the stable logit form.
+    pub fn bernoulli_logit_lpmf(&mut self, y: u8, eta: V) -> V {
+        match y {
+            1 => {
+                let n = self.neg(eta);
+                let sp = self.log1p_exp(n);
+                self.neg(sp)
+            }
+            _ => {
+                let sp = self.log1p_exp(eta);
+                self.neg(sp)
+            }
+        }
+    }
+
+    /// `ln Exponential(x | rate)` with tape-valued `x`.
+    pub fn exponential_lpdf(&mut self, x: V, rate: f64) -> V {
+        let t = self.mul_c(x, -rate);
+        self.add_c(t, rate.ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6 * (1.0 + x.abs());
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn product_rule() {
+        let mut t = Tape::new();
+        let x = t.leaf(3.0);
+        let y = t.leaf(4.0);
+        let p = t.mul(x, y);
+        let g = t.grad(p, &[x, y]);
+        assert_eq!(g, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn chain_rule_through_exp_ln() {
+        // f(x) = ln(exp(x) + x²)
+        let eval = |x0: f64| {
+            let mut t = Tape::new();
+            let x = t.leaf(x0);
+            let e = t.exp(x);
+            let s = t.square(x);
+            let sum = t.add(e, s);
+            let f = t.ln(sum);
+            let g = t.grad(f, &[x]);
+            (t.val(f), g[0])
+        };
+        for &x0 in &[0.5, 1.5, 2.0] {
+            let (_, g) = eval(x0);
+            let fd = finite_diff(|x| (x.exp() + x * x).ln(), x0);
+            assert!((g - fd).abs() < 1e-6, "x={x0}: {g} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn normal_lpdf_grads_match_closed_form() {
+        let mut t = Tape::new();
+        let x = t.leaf(0.7);
+        let mu = t.leaf(-0.3);
+        let ll = t.normal_lpdf(x, mu, 2.5);
+        assert!((t.val(ll) - augur_dist::scalar::normal_log_pdf(0.7, -0.3, 2.5)).abs() < 1e-14);
+        let g = t.grad(ll, &[x, mu]);
+        assert!((g[0] - augur_dist::scalar::normal_grad_x(0.7, -0.3, 2.5)).abs() < 1e-12);
+        assert!((g[1] - augur_dist::scalar::normal_grad_mu(0.7, -0.3, 2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_lpdf_v_variance_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(0.7);
+        let mu = t.leaf(0.0);
+        let var = t.leaf(1.8);
+        let ll = t.normal_lpdf_v(x, mu, var);
+        let g = t.grad(ll, &[var]);
+        assert!((g[0] - augur_dist::scalar::normal_grad_var(0.7, 0.0, 1.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_logit_gradient() {
+        for y in [0u8, 1] {
+            let mut t = Tape::new();
+            let eta = t.leaf(0.8);
+            let ll = t.bernoulli_logit_lpmf(y, eta);
+            let g = t.grad(ll, &[eta]);
+            let expect = augur_dist::scalar::bernoulli_logit_grad_eta(y, 0.8);
+            assert!((g[0] - expect).abs() < 1e-12, "y={y}");
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_softmax_gradient() {
+        let mut t = Tape::new();
+        let xs: Vec<V> = [1.0, 2.0, 3.0].iter().map(|&v| t.leaf(v)).collect();
+        let lse = t.log_sum_exp(&xs);
+        let expect = augur_math::special::log_sum_exp(&[1.0, 2.0, 3.0]);
+        assert!((t.val(lse) - expect).abs() < 1e-12);
+        let g = t.grad(lse, &xs);
+        let total: f64 = g.iter().sum();
+        assert!((total - 1.0).abs() < 1e-10, "softmax sums to one, got {total}");
+        assert!(g[2] > g[1] && g[1] > g[0]);
+    }
+
+    #[test]
+    fn dot_const_gradient_is_the_vector() {
+        let mut t = Tape::new();
+        let xs: Vec<V> = [0.5, -0.2].iter().map(|&v| t.leaf(v)).collect();
+        let d = t.dot_const(&xs, &[3.0, 7.0]);
+        let g = t.grad(d, &xs);
+        assert_eq!(g, vec![3.0, 7.0]);
+    }
+}

@@ -1,0 +1,275 @@
+//! **AugurV2-rs** — a Rust reproduction of *"Compiling Markov Chain Monte
+//! Carlo Algorithms for Probabilistic Modeling"* (Huang, Tristan &
+//! Morrisett, PLDI 2017).
+//!
+//! AugurV2 is a compiler from a `(model, query)` pair to a *composable
+//! MCMC inference algorithm*: models are written in a small first-order
+//! language for fixed-structure Bayesian networks, the query asks for
+//! posterior samples given observed data, and the compiler derives —
+//! through a sequence of intermediate languages — an executable sampler
+//! for a CPU or (simulated) GPU target.
+//!
+//! ```text
+//! surface model ──augur_lang──▶ typed AST
+//!   ──augur_density──▶ Density IL + symbolic conditionals (§3)
+//!   ──augur_kernel───▶ Kernel IL: (κ ku) ⊗ … with conditionals (§4.1–4.2)
+//!   ──augur_low──────▶ Low++/Low--: parallel loops, AD, size inference (§4.3–5.2)
+//!   ──augur_blk──────▶ Blk IL: parBlk/sumBlk + §5.4 optimizations
+//!   ──augur_backend──▶ slot-resolved programs + MCMC runtime library
+//! ```
+//!
+//! This crate is the user-facing entry point, mirroring the paper's
+//! Python interface (Fig. 2):
+//!
+//! ```
+//! use augur::{Infer, HostValue};
+//!
+//! // Part 1: data (Fig. 2 loads a file; here: inline observations)
+//! let y = vec![1.2, 0.8, 1.0, 1.4, 0.6];
+//!
+//! // Part 2: invoke AugurV2
+//! let mut aug = Infer::from_source("(N, tau2, s2) => {
+//!     param m ~ Normal(0.0, tau2) ;
+//!     data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+//! }")?;
+//! aug.set_user_sched("Gibbs m");                   // or omit: heuristic
+//! let mut sampler = aug
+//!     .compile(vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)])
+//!     .data(vec![("y", HostValue::VecF(y))])
+//!     .build()?;
+//! sampler.init();
+//! let samples = sampler.sample(100, &["m"]);
+//! assert_eq!(samples.len(), 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chains;
+pub mod codegen;
+
+use augur_backend::driver::BuildError;
+use augur_density::DensityModel;
+use augur_kernel::{heuristic_schedule, parse_schedule, plan, KernelPlan, Schedule};
+use augur_low::LoweredModel;
+
+pub use augur_backend::driver::{Sampler, SamplerConfig, Target};
+pub use augur_backend::mcmc::McmcConfig;
+pub use augur_backend::state::HostValue;
+pub use augur_blk::OptFlags;
+pub use gpu_sim::DeviceConfig;
+
+/// Compiler diagnostics produced alongside a build (what the paper's
+/// verbose mode prints).
+#[derive(Debug, Clone)]
+pub struct CompileInfo {
+    /// The schedule in Kernel-IL notation, e.g.
+    /// `Gibbs Single(pi) (*) Gibbs Single(mu) (*) …`.
+    pub kernel: String,
+    /// The density factorization, pretty-printed in the paper's notation.
+    pub density: String,
+    /// Generated procedures rendered as C-like code.
+    pub code: String,
+}
+
+/// The inference object — the paper's `AugurV2Lib.Infer` (Fig. 2).
+///
+/// Workflow: create from model source, optionally set compile options and
+/// a user schedule, then [`Infer::compile`] with the model arguments and
+/// chain `.data(...)` and `.build()`.
+#[derive(Debug, Clone)]
+pub struct Infer {
+    model: DensityModel,
+    schedule: Option<Schedule>,
+    config: SamplerConfig,
+}
+
+impl Infer {
+    /// Parses and type checks a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for frontend failures.
+    pub fn from_source(src: &str) -> Result<Infer, BuildError> {
+        let ast = augur_lang::parse(src)?;
+        let typed = augur_lang::typecheck(&ast)?;
+        let model = DensityModel::from_typed(&typed)?;
+        Ok(Infer { model, schedule: None, config: SamplerConfig::default() })
+    }
+
+    /// Sets compile options — the paper's `setCompileOpt` (target choice,
+    /// seed, MCMC tuning, Blk-IL optimization toggles).
+    pub fn set_compile_opt(&mut self, config: SamplerConfig) -> &mut Infer {
+        self.config = config;
+        self
+    }
+
+    /// Sets a user MCMC schedule — the paper's `setUserSched`, e.g.
+    /// `"ESlice mu (*) Gibbs z"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unparseable schedules; use [`Infer::try_user_sched`] for a
+    /// fallible variant.
+    pub fn set_user_sched(&mut self, sched: &str) -> &mut Infer {
+        self.try_user_sched(sched).expect("invalid schedule");
+        self
+    }
+
+    /// Fallible [`Infer::set_user_sched`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the schedule parse error.
+    pub fn try_user_sched(&mut self, sched: &str) -> Result<&mut Infer, BuildError> {
+        self.schedule = Some(parse_schedule(sched)?);
+        Ok(self)
+    }
+
+    /// The validated kernel plan (schedule + conditionals) without
+    /// building a sampler — useful for inspecting what the compiler chose.
+    ///
+    /// # Errors
+    ///
+    /// Returns planning errors (e.g. a `Gibbs` request with no conjugacy).
+    pub fn kernel_plan(&self) -> Result<KernelPlan, BuildError> {
+        let sched = match &self.schedule {
+            Some(s) => s.clone(),
+            None => heuristic_schedule(&self.model)?,
+        };
+        Ok(plan(&self.model, &sched)?)
+    }
+
+    /// Lowers the model and returns compiler diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns planning or lowering errors.
+    pub fn compile_info(&self) -> Result<CompileInfo, BuildError> {
+        let kp = self.kernel_plan()?;
+        let lowered = augur_low::lower(&self.model, &kp)?;
+        let kernel = format!("{}", kp.kernel());
+        let density = augur_density::pretty_density(&self.model);
+        let mut code = String::new();
+        for p in &lowered.procs {
+            code.push_str(&augur_low::il::pretty_proc(p));
+            code.push('\n');
+        }
+        Ok(CompileInfo { kernel, density, code })
+    }
+
+    /// The density model (for analyses and baselines).
+    pub fn model(&self) -> &DensityModel {
+        &self.model
+    }
+
+    /// Renders the compiled inference program as the Cuda/C a native build
+    /// would compile (the paper's backend output; see [`codegen`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns planning or lowering errors.
+    pub fn emit_native(&self, target: codegen::CodegenTarget) -> Result<String, BuildError> {
+        let kp = self.kernel_plan()?;
+        let mut lowered = augur_low::lower(&self.model, &kp)?;
+        // Low-- proper: functional primitives become side-effecting stores
+        // into planned temporaries (§5.2) before native emission.
+        augur_low::memory::make_memory_explicit(&mut lowered)?;
+        Ok(codegen::emit(&lowered, target))
+    }
+
+    /// Starts a compile with positional model arguments, in declaration
+    /// order (the paper's `aug.compile(K, N, mu0, S0, pis, S)`).
+    pub fn compile(&self, args: Vec<HostValue>) -> CompileBuilder<'_> {
+        CompileBuilder { infer: self, args, data: Vec::new() }
+    }
+}
+
+/// Builder returned by [`Infer::compile`]; supply data and build.
+#[derive(Debug)]
+pub struct CompileBuilder<'a> {
+    infer: &'a Infer,
+    args: Vec<HostValue>,
+    data: Vec<(&'a str, HostValue)>,
+}
+
+impl<'a> CompileBuilder<'a> {
+    /// Binds observed data by variable name (the paper's trailing `(x)`).
+    pub fn data(mut self, data: Vec<(&'a str, HostValue)>) -> CompileBuilder<'a> {
+        self.data.extend(data);
+        self
+    }
+
+    /// Runs the middle-end and backend, producing a runnable sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the failing phase.
+    pub fn build(self) -> Result<Sampler, BuildError> {
+        let kp = self.infer.kernel_plan()?;
+        let lowered: LoweredModel = augur_low::lower(&self.infer.model, &kp)?;
+        Sampler::from_lowered(
+            &self.infer.model,
+            &lowered,
+            self.args,
+            self.data,
+            self.infer.config.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GMM: &str = r#"(K, N, mu_0, Sigma_0, pis, Sigma) => {
+        param mu[k] ~ MvNormal(mu_0, Sigma_0) for k <- 0 until K ;
+        param z[n] ~ Categorical(pis) for n <- 0 until N ;
+        data x[n] ~ MvNormal(mu[z[n]], Sigma) for n <- 0 until N ;
+    }"#;
+
+    #[test]
+    fn fig2_workflow_compiles() {
+        let mut aug = Infer::from_source(GMM).unwrap();
+        aug.set_user_sched("ESlice mu (*) Gibbs z");
+        let info = aug.compile_info().unwrap();
+        assert_eq!(info.kernel, "ESlice Single(mu) (*) Gibbs Single(z)");
+        assert!(info.density.contains("Π_{k←0 until K}"));
+        assert!(info.code.contains("u1_gibbs() {"));
+    }
+
+    #[test]
+    fn heuristic_is_used_without_user_schedule() {
+        let aug = Infer::from_source(GMM).unwrap();
+        let kp = aug.kernel_plan().unwrap();
+        // mu conjugate ⇒ Gibbs; z discrete ⇒ Gibbs
+        assert_eq!(format!("{}", kp.kernel()), "Gibbs Single(mu) (*) Gibbs Single(z)");
+    }
+
+    #[test]
+    fn bad_schedule_is_rejected_at_plan_time() {
+        let mut aug = Infer::from_source(GMM).unwrap();
+        aug.set_user_sched("HMC z (*) Gibbs mu");
+        assert!(aug.kernel_plan().is_err());
+    }
+
+    #[test]
+    fn end_to_end_build_and_sample() {
+        let aug = Infer::from_source(
+            "(N) => {
+                param p ~ Beta(1.0, 1.0) ;
+                data y[n] ~ Bernoulli(p) for n <- 0 until N ;
+            }",
+        )
+        .unwrap();
+        let mut s = aug
+            .compile(vec![HostValue::Int(4)])
+            .data(vec![("y", HostValue::VecF(vec![1.0, 1.0, 1.0, 0.0]))])
+            .build()
+            .unwrap();
+        s.init();
+        let samples = s.sample(50, &["p"]);
+        assert_eq!(samples.len(), 50);
+        assert!(samples.iter().all(|m| (0.0..=1.0).contains(&m["p"][0])));
+    }
+}

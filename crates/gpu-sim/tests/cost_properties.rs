@@ -1,0 +1,74 @@
+//! Property tests for the device cost model: virtual time must be
+//! monotone in work and never negative, and the §5.4 preference ordering
+//! (reduction beats contended atomics at scale) must hold over the whole
+//! configuration space the optimizer sees.
+
+use gpu_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+
+fn run_kernel(cfg: &DeviceConfig, threads: usize, work_per_thread: u64) -> f64 {
+    let mut dev = Device::new(cfg.clone());
+    let mut k = dev.begin_kernel("k");
+    for _ in 0..threads {
+        k.thread_work(work_per_thread);
+    }
+    k.finish(threads);
+    dev.elapsed_ns()
+}
+
+proptest! {
+    #[test]
+    fn kernel_time_is_monotone_in_work(
+        threads in 1usize..10_000,
+        w1 in 1u64..1000,
+        extra in 0u64..1000,
+    ) {
+        let cfg = DeviceConfig::titan_black_like();
+        let t1 = run_kernel(&cfg, threads, w1);
+        let t2 = run_kernel(&cfg, threads, w1 + extra);
+        prop_assert!(t2 >= t1, "more work ({}) took less time: {t1} -> {t2}", w1 + extra);
+        prop_assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn more_threads_for_same_total_work_never_hurts(
+        total in 1_000u64..1_000_000,
+        split in 1usize..64,
+    ) {
+        // same total work spread over more threads: the device can only
+        // parallelize more (or hit the same bandwidth floor)
+        let cfg = DeviceConfig::titan_black_like();
+        let few = run_kernel(&cfg, split, total / split as u64);
+        let many = run_kernel(&cfg, split * 8, total / (split as u64 * 8));
+        prop_assert!(many <= few * 1.001, "more threads slower: {few} -> {many}");
+    }
+
+    #[test]
+    fn reduction_beats_hot_atomics_at_scale(n in 10_000usize..500_000) {
+        let cfg = DeviceConfig::titan_black_like();
+        let mut atomic_dev = Device::new(cfg.clone());
+        let mut k = atomic_dev.begin_kernel("atm");
+        for _ in 0..n {
+            k.thread_work(1);
+            k.atomic(0);
+        }
+        k.finish(n);
+        let mut reduce_dev = Device::new(cfg);
+        reduce_dev.reduce("sum", n, 1.0);
+        prop_assert!(
+            reduce_dev.elapsed_ns() < atomic_dev.elapsed_ns(),
+            "reduction should beat {n} fully-contended atomics"
+        );
+    }
+
+    #[test]
+    fn transfers_accumulate_linearly(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let cfg = DeviceConfig::titan_black_like();
+        let mut one = Device::new(cfg.clone());
+        one.transfer(a + b);
+        let mut two = Device::new(cfg);
+        two.transfer(a);
+        two.transfer(b);
+        prop_assert!((one.elapsed_ns() - two.elapsed_ns()).abs() < 1e-6);
+    }
+}
