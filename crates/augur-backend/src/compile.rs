@@ -357,7 +357,10 @@ impl<'a> Compiler<'a> {
     }
 }
 
-/// Named procedure registry built once per compiled model.
+/// Named procedure registry built once per compiled model. Each
+/// procedure is stored in both interpretable (tree) and tape-compiled
+/// form, for both targets; the engine picks a representation from its
+/// [`ExecStrategy`](crate::tape::ExecStrategy).
 #[derive(Debug, Default)]
 pub struct ProcTable {
     names: HashMap<String, usize>,
@@ -365,13 +368,21 @@ pub struct ProcTable {
     pub procs: Vec<RProc>,
     /// GPU (Blk) form, same indices.
     pub blk_procs: Vec<RBlkProc>,
+    /// Tape-compiled CPU form, same indices.
+    pub tapes: Vec<crate::tape::TapeProc>,
+    /// Tape-compiled GPU form, same indices.
+    pub blk_tapes: Vec<crate::tape::TBlkProc>,
 }
 
 impl ProcTable {
-    /// Registers a compiled procedure pair.
-    pub fn insert(&mut self, cpu: RProc, gpu: RBlkProc) {
+    /// Registers a compiled procedure pair, tape-compiling both forms.
+    /// The state supplies buffer shapes so the tape compiler can bank
+    /// registers and fuse loads statically.
+    pub fn insert(&mut self, cpu: RProc, gpu: RBlkProc, state: &State) {
         let idx = self.procs.len();
         self.names.insert(cpu.name.clone(), idx);
+        self.tapes.push(crate::tape::TapeProc::compile(&cpu, state));
+        self.blk_tapes.push(crate::tape::TBlkProc::compile(&gpu, state));
         self.procs.push(cpu);
         self.blk_procs.push(gpu);
     }
@@ -386,6 +397,11 @@ impl ProcTable {
             .names
             .get(name)
             .unwrap_or_else(|| panic!("no procedure named `{name}`"))
+    }
+
+    /// All registered procedure names, in insertion order.
+    pub fn proc_names(&self) -> Vec<&str> {
+        self.procs.iter().map(|p| p.name.as_str()).collect()
     }
 }
 

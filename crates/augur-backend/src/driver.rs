@@ -14,6 +14,7 @@ use gpu_sim::{Device, DeviceConfig};
 
 use crate::compile::{Compiler, ProcTable};
 use crate::eval::{Engine, ExecMode};
+use crate::tape::ExecStrategy;
 use crate::mcmc::{self, GradTarget, McmcConfig, Proposal};
 use crate::oracle::StateOracle;
 use crate::setup::{build_state, SetupError};
@@ -39,6 +40,11 @@ pub struct SamplerConfig {
     pub mcmc: McmcConfig,
     /// Blk-IL optimization toggles (GPU target only).
     pub opt_flags: OptFlags,
+    /// How compiled procedures execute: a flat instruction tape (the
+    /// default) or the reference tree-walking interpreter. Traces are
+    /// bit-identical either way; `Tree` is kept as the differential
+    /// testing oracle and for debugging via `Tape::disasm`.
+    pub exec: ExecStrategy,
 }
 
 impl Default for SamplerConfig {
@@ -48,6 +54,7 @@ impl Default for SamplerConfig {
             seed: 0xA464,
             mcmc: McmcConfig::default(),
             opt_flags: OptFlags::default(),
+            exec: ExecStrategy::default(),
         }
     }
 }
@@ -106,6 +113,22 @@ impl From<SetupError> for BuildError {
         BuildError::Setup(e)
     }
 }
+
+/// A runtime lookup of a parameter (buffer) name that does not exist in
+/// the compiled state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownParam {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no parameter named `{}`", self.name)
+    }
+}
+
+impl std::error::Error for UnknownParam {}
 
 /// One compiled step of the sweep.
 #[derive(Debug, Clone)]
@@ -190,7 +213,7 @@ impl Sampler {
             opt_report.inlined += r.inlined;
             opt_report.converted_to_sum += r.converted_to_sum;
             let gpu = Compiler::new(&state).blk_proc(&blk);
-            table.insert(cpu, gpu);
+            table.insert(cpu, gpu, &state);
         }
 
         let (device, mode) = match &config.target {
@@ -199,6 +222,7 @@ impl Sampler {
         };
         let mut engine =
             Engine::new(state, Prng::seed_from_u64(config.seed), device, mode);
+        engine.strategy = config.exec;
         if matches!(config.target, Target::Gpu(_)) {
             // Model the host→device shipment of the whole state.
             let bytes = engine.state.total_cells() as u64 * 8;
@@ -265,13 +289,35 @@ impl Sampler {
     }
 
     /// The flat cells of a parameter (or any buffer).
-    pub fn param(&self, name: &str) -> &[f64] {
-        self.engine.flat_of(name)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownParam`] if no buffer has that name.
+    pub fn param(&self, name: &str) -> Result<&[f64], UnknownParam> {
+        match self.engine.state.id(name) {
+            Some(id) => Ok(self.engine.state.flat(id)),
+            None => Err(UnknownParam { name: name.to_owned() }),
+        }
     }
 
     /// Names of the model parameters, in declaration order.
     pub fn param_names(&self) -> &[String] {
         &self.param_names
+    }
+
+    /// Names of the compiled procedures, in table order.
+    pub fn proc_names(&self) -> Vec<&str> {
+        self.table.proc_names()
+    }
+
+    /// The compiled tape of the named procedure (its CPU form) rendered
+    /// as readable assembly — diagnostics and golden tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown procedure names.
+    pub fn disasm(&self, proc_name: &str) -> String {
+        self.table.tapes[self.table.index(proc_name)].tape.disasm()
     }
 
     /// Runs one sweep: every base update once, in schedule order.
@@ -328,13 +374,19 @@ impl Sampler {
     }
 
     /// Draws `n` samples, recording the named parameters after each sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorded name is not a model buffer (the request is a
+    /// programming error, caught on the first sweep).
     pub fn sample(&mut self, n: usize, record: &[&str]) -> Vec<HashMap<String, Vec<f64>>> {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             self.sweep();
             let mut snap = HashMap::new();
             for name in record {
-                snap.insert((*name).to_owned(), self.param(name).to_vec());
+                let cells = self.engine.flat_of(name);
+                snap.insert((*name).to_owned(), cells.to_vec());
             }
             out.push(snap);
         }
@@ -484,7 +536,7 @@ mod tests {
         let draws: Vec<f64> =
             (0..6000).map(|_| {
                 s.sweep();
-                s.param("m")[0]
+                s.param("m").unwrap()[0]
             }).collect();
         let m = mean(&draws);
         let v = augur_math::vecops::variance(&draws);
@@ -514,7 +566,7 @@ mod tests {
         s.init();
         let draws: Vec<f64> = (0..6000).map(|_| {
             s.sweep();
-            s.param("p")[0]
+            s.param("p").unwrap()[0]
         }).collect();
         assert!((mean(&draws) - expect).abs() < 0.02);
     }
@@ -546,7 +598,7 @@ mod tests {
         let mut draws = Vec::new();
         for _ in 0..8000 {
             s.sweep();
-            draws.push(s.param("m")[0]);
+            draws.push(s.param("m").unwrap()[0]);
         }
         assert!(s.acceptance_rate(0) > 0.6, "acceptance {}", s.acceptance_rate(0));
         let m = mean(&draws);
@@ -591,7 +643,7 @@ mod tests {
         for _ in 0..150 {
             s.sweep();
         }
-        let mu = s.param("mu");
+        let mu = s.param("mu").unwrap();
         // one mean near -5, the other near +5 (either order)
         let m0 = mu[0];
         let m1 = mu[2];
@@ -625,7 +677,7 @@ mod tests {
         for _ in 0..50 {
             cpu.sweep();
             gpu.sweep();
-            assert_eq!(cpu.param("m")[0].to_bits(), gpu.param("m")[0].to_bits());
+            assert_eq!(cpu.param("m").unwrap()[0].to_bits(), gpu.param("m").unwrap()[0].to_bits());
         }
         // but their virtual clocks differ (launch overhead vs sequential)
         assert!(gpu.virtual_secs() > 0.0 && cpu.virtual_secs() > 0.0);
@@ -673,7 +725,7 @@ mod exactness_tests {
         let draws: Vec<f64> = (0..8000)
             .map(|_| {
                 s.sweep();
-                s.param("m")[0]
+                s.param("m").unwrap()[0]
             })
             .collect();
         assert!((mean(&draws) - post_mu).abs() < 0.05, "mean {} vs {post_mu}", mean(&draws));
@@ -717,7 +769,7 @@ mod exactness_tests {
         let draws: Vec<f64> = (0..20000)
             .map(|_| {
                 s.sweep();
-                s.param("r")[0]
+                s.param("r").unwrap()[0]
             })
             .collect();
         assert!(
@@ -755,7 +807,7 @@ mod exactness_tests {
         let draws: Vec<f64> = (0..8000)
             .map(|_| {
                 s.sweep();
-                s.param("m")[0]
+                s.param("m").unwrap()[0]
             })
             .collect();
         assert!((mean(&draws) - post_mu).abs() < 0.06, "mean {}", mean(&draws));
@@ -795,7 +847,7 @@ mod exactness_tests {
         let draws: Vec<f64> = (0..12000)
             .map(|_| {
                 s.sweep();
-                s.param("p")[0]
+                s.param("p").unwrap()[0]
             })
             .collect();
         assert!(draws.iter().all(|&p| (0.0..=1.0).contains(&p)));
@@ -834,7 +886,7 @@ mod exactness_tests {
         let draws: Vec<f64> = (0..8000)
             .map(|_| {
                 s.sweep();
-                s.param("m")[0]
+                s.param("m").unwrap()[0]
             })
             .collect();
         assert!((mean(&draws) - post_mu).abs() < 0.08, "mean {}", mean(&draws));
@@ -900,7 +952,7 @@ mod proposal_tests {
         let draws: Vec<f64> = (0..20000)
             .map(|_| {
                 s.sweep();
-                s.param("r")[0]
+                s.param("r").unwrap()[0]
             })
             .collect();
         assert!((mean(&draws) - post_mean).abs() < 0.1, "mean {}", mean(&draws));
@@ -964,7 +1016,7 @@ mod mala_tests {
         let draws: Vec<f64> = (0..20000)
             .map(|_| {
                 s.sweep();
-                s.param("m")[0]
+                s.param("m").unwrap()[0]
             })
             .collect();
         assert!(s.acceptance_rate(0) > 0.5, "acceptance {}", s.acceptance_rate(0));
@@ -1006,7 +1058,7 @@ mod mala_tests {
         let draws: Vec<f64> = (0..20000)
             .map(|_| {
                 s.sweep();
-                s.param("r")[0]
+                s.param("r").unwrap()[0]
             })
             .collect();
         assert!((mean(&draws) - post_mean).abs() < 0.1, "mean {} vs {post_mean}", mean(&draws));

@@ -16,6 +16,7 @@ use gpu_sim::Device;
 
 use crate::compile::{ProcTable, RBlk, RExpr, RLValue, RRef, RStmt};
 use crate::state::{BufId, RowElem, Shape, State};
+use crate::tape::ExecStrategy;
 
 /// Which execution target the engine charges time to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,21 +64,21 @@ pub enum View {
 
 /// An owned value ready to be written.
 #[derive(Debug, Clone)]
-enum OwnVal {
+pub(crate) enum OwnVal {
     Num(f64),
     VecD(Vec<f64>),
 }
 
 /// An owned distribution argument.
 #[derive(Debug, Clone)]
-enum OwnArg {
+pub(crate) enum OwnArg {
     Num(f64),
     VecD(Vec<f64>),
     MatD(Vec<f64>, usize),
 }
 
 impl OwnArg {
-    fn as_ref(&self) -> ValueRef<'_> {
+    pub(crate) fn as_ref(&self) -> ValueRef<'_> {
         match self {
             OwnArg::Num(x) => ValueRef::Scalar(*x),
             OwnArg::VecD(v) => ValueRef::Vector(v),
@@ -97,17 +98,24 @@ pub struct Engine {
     pub device: Device,
     /// Execution target.
     pub mode: ExecMode,
-    env: Vec<i64>,
-    work: u64,
-    atomics: Vec<u64>,
-    record_atomics: bool,
+    /// Execution strategy: flat compiled tape (default) or the recursive
+    /// tree-walker reference oracle. Both produce bit-identical traces.
+    pub strategy: ExecStrategy,
+    pub(crate) env: Vec<i64>,
+    pub(crate) work: u64,
+    pub(crate) atomics: Vec<u64>,
+    pub(crate) record_atomics: bool,
     /// Seed from which per-thread streams are derived.
-    master_seed: u64,
+    pub(crate) master_seed: u64,
     /// Kernel-launch ordinal — the per-thread stream key.
-    launch_counter: u64,
+    pub(crate) launch_counter: u64,
     /// True while executing inside a parallel region (nested loops then
     /// run on the enclosing thread's stream).
-    in_parallel: bool,
+    pub(crate) in_parallel: bool,
+    /// Reusable scalar register bank for the tape VM.
+    pub(crate) tape_fregs: Vec<f64>,
+    /// Reusable view register bank for the tape VM.
+    pub(crate) tape_vregs: Vec<View>,
 }
 
 impl Engine {
@@ -123,6 +131,7 @@ impl Engine {
             rng,
             device,
             mode,
+            strategy: ExecStrategy::default(),
             env: Vec::new(),
             work: 0,
             atomics: Vec::new(),
@@ -130,6 +139,8 @@ impl Engine {
             master_seed,
             launch_counter: 0,
             in_parallel: false,
+            tape_fregs: Vec::new(),
+            tape_vregs: Vec::new(),
         }
     }
 
@@ -138,7 +149,7 @@ impl Engine {
     /// sampling loop are independent of thread execution order, so the
     /// sequential emulation produces exactly what a truly parallel device
     /// would.
-    fn thread_rng(&self, launch: u64, t: i64) -> Prng {
+    pub(crate) fn thread_rng(&self, launch: u64, t: i64) -> Prng {
         // splitmix64-style mixing of (master, launch, thread)
         let mut z = self
             .master_seed
@@ -152,8 +163,8 @@ impl Engine {
     /// Runs a procedure by table index, charging time per the mode.
     /// Returns the procedure's scalar result, if it has one.
     pub fn run_proc(&mut self, table: &ProcTable, idx: usize) -> Option<f64> {
-        match self.mode {
-            ExecMode::Cpu => {
+        match (self.mode, self.strategy) {
+            (ExecMode::Cpu, ExecStrategy::Tree) => {
                 let before = self.work;
                 let body = &table.procs[idx].body;
                 self.exec(body);
@@ -161,7 +172,16 @@ impl Engine {
                 self.device.sequential(delta);
                 table.procs[idx].ret.as_ref().map(|e| self.eval_num(e))
             }
-            ExecMode::Gpu => {
+            (ExecMode::Cpu, ExecStrategy::Tape) => {
+                let proc_ = &table.tapes[idx];
+                let before = self.work;
+                let retired = self.run_tape(&proc_.tape);
+                let delta = (self.work - before) as f64;
+                self.device.sequential(delta);
+                self.device.tape_dispatch(retired);
+                proc_.ret.as_ref().map(|e| self.eval_num(e))
+            }
+            (ExecMode::Gpu, ExecStrategy::Tree) => {
                 let proc_ = &table.blk_procs[idx];
                 let name = proc_.name.clone();
                 let blocks = proc_.blocks.clone();
@@ -169,6 +189,18 @@ impl Engine {
                     self.run_blk(&name, b);
                 }
                 let ret = table.blk_procs[idx].ret.clone().map(|e| self.eval_num(&e));
+                if ret.is_some() {
+                    // scalar result synced back to the host
+                    self.device.readback();
+                }
+                ret
+            }
+            (ExecMode::Gpu, ExecStrategy::Tape) => {
+                let proc_ = &table.blk_tapes[idx];
+                for b in &proc_.blocks {
+                    self.run_blk_tape(&proc_.name, b);
+                }
+                let ret = proc_.ret.as_ref().map(|e| self.eval_num(e));
                 if ret.is_some() {
                     // scalar result synced back to the host
                     self.device.readback();
@@ -380,7 +412,7 @@ impl Engine {
         }
     }
 
-    fn eval_int(&mut self, e: &RExpr) -> i64 {
+    pub(crate) fn eval_int(&mut self, e: &RExpr) -> i64 {
         let x = self.eval_num(e);
         debug_assert!(x.fract() == 0.0, "expected integer, got {x}");
         x as i64
@@ -430,7 +462,7 @@ impl Engine {
         }
     }
 
-    fn buf_view(&self, id: BufId) -> View {
+    pub(crate) fn buf_view(&self, id: BufId) -> View {
         match self.state.shape(id) {
             Shape::Num => View::Num(self.state.flat(id)[0]),
             Shape::Vector(n) => View::Slice { buf: id, start: 0, len: *n },
@@ -439,7 +471,7 @@ impl Engine {
         }
     }
 
-    fn index_view(&mut self, base: View, i: usize) -> View {
+    pub(crate) fn index_view(&mut self, base: View, i: usize) -> View {
         self.work += 1;
         match base {
             View::Rows { buf } => {
@@ -563,10 +595,16 @@ impl Engine {
     }
 
     fn eval_op(&mut self, op: OpN, args: &[RExpr]) -> View {
+        let a = self.eval(&args[0]);
+        let b = if args.len() > 1 { self.eval(&args[1]) } else { View::Num(0.0) };
+        self.op_views(op, a, b)
+    }
+
+    /// Applies a functional vector/matrix primitive to evaluated operand
+    /// views (shared between the tree-walker and the tape VM).
+    pub(crate) fn op_views(&mut self, op: OpN, a: View, b: View) -> View {
         match op {
             OpN::VecAdd | OpN::VecSub => {
-                let a = self.eval(&args[0]);
-                let b = self.eval(&args[1]);
                 let (sa, sb) = (
                     slice_of(&self.state, &a).to_vec(),
                     slice_of(&self.state, &b),
@@ -583,43 +621,39 @@ impl Engine {
                 View::Own(out)
             }
             OpN::VecScale => {
-                let s = self.eval_num(&args[0]);
-                let v = self.eval(&args[1]);
-                let sv = slice_of(&self.state, &v);
+                let s = scalar_of(&a);
+                let sv = slice_of(&self.state, &b);
                 self.work += sv.len() as u64;
                 View::Own(sv.iter().map(|x| s * x).collect())
             }
             OpN::MatAdd => {
-                let (a, da) = self.mat_of(&args[0]);
-                let (b, _) = self.mat_of(&args[1]);
-                self.work += a.len() as u64;
-                let out: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+                let (ma, da) = self.mat_view(a);
+                let (mb, _) = self.mat_view(b);
+                self.work += ma.len() as u64;
+                let out: Vec<f64> = ma.iter().zip(&mb).map(|(x, y)| x + y).collect();
                 View::OwnMat(out, da)
             }
             OpN::MatScale => {
-                let s = self.eval_num(&args[0]);
-                let (m, d) = self.mat_of(&args[1]);
+                let s = scalar_of(&a);
+                let (m, d) = self.mat_view(b);
                 self.work += m.len() as u64;
                 View::OwnMat(m.iter().map(|x| s * x).collect(), d)
             }
             OpN::MatInv => {
-                let (m, d) = self.mat_of(&args[0]);
+                let (m, d) = self.mat_view(a);
                 self.work += (d * d * d) as u64;
                 let mat = Matrix::from_vec(d, d, m).expect("matrix shape");
                 let inv = Cholesky::new(&mat).expect("mat_inv of a non-SPD matrix").inverse();
                 View::OwnMat(inv.into_vec(), d)
             }
             OpN::MatVec => {
-                let (m, d) = self.mat_of(&args[0]);
-                let v = self.eval(&args[1]);
-                let sv = slice_of(&self.state, &v).to_vec();
+                let (m, d) = self.mat_view(a);
+                let sv = slice_of(&self.state, &b).to_vec();
                 self.work += (d * d) as u64;
                 let mat = Matrix::from_vec(d, d, m).expect("matrix shape");
                 View::Own(mat.matvec(&sv))
             }
             OpN::OuterSub => {
-                let a = self.eval(&args[0]);
-                let b = self.eval(&args[1]);
                 let sa = slice_of(&self.state, &a).to_vec();
                 let sb = slice_of(&self.state, &b);
                 let d = sa.len();
@@ -636,8 +670,7 @@ impl Engine {
         }
     }
 
-    fn mat_of(&mut self, e: &RExpr) -> (Vec<f64>, usize) {
-        let v = self.eval(e);
+    fn mat_view(&self, v: View) -> (Vec<f64>, usize) {
         match v {
             View::MatV { buf, start, dim } => {
                 (self.state.flat(buf)[start..start + dim * dim].to_vec(), dim)
@@ -647,7 +680,7 @@ impl Engine {
         }
     }
 
-    fn view_len(&self, v: &View) -> usize {
+    pub(crate) fn view_len(&self, v: &View) -> usize {
         match v {
             View::Num(_) => 0,
             View::Slice { len, .. } => *len,
@@ -658,7 +691,7 @@ impl Engine {
         }
     }
 
-    fn own_val(&mut self, v: View) -> OwnVal {
+    pub(crate) fn own_val(&mut self, v: View) -> OwnVal {
         match v {
             View::Num(x) => OwnVal::Num(x),
             View::Own(o) => OwnVal::VecD(o),
@@ -673,7 +706,7 @@ impl Engine {
         }
     }
 
-    fn own_arg(&mut self, v: View) -> OwnArg {
+    pub(crate) fn own_arg(&mut self, v: View) -> OwnArg {
         match v {
             View::Num(x) => OwnArg::Num(x),
             View::Own(o) => OwnArg::VecD(o),
@@ -698,7 +731,7 @@ impl Engine {
         view
     }
 
-    fn buf_view_dest(&self, id: BufId) -> Dest {
+    pub(crate) fn buf_view_dest(&self, id: BufId) -> Dest {
         match self.state.shape(id) {
             Shape::Num => Dest::Cell { buf: id, idx: 0 },
             Shape::Vector(n) => Dest::Range { buf: id, start: 0, len: *n },
@@ -709,8 +742,14 @@ impl Engine {
         }
     }
 
-    fn write(&mut self, l: &RLValue, op: AssignOp, val: OwnVal, record_atomic: bool) {
+    pub(crate) fn write(&mut self, l: &RLValue, op: AssignOp, val: OwnVal, record_atomic: bool) {
         let dest = self.resolve_dest(l);
+        self.write_dest(dest, op, val, record_atomic);
+    }
+
+    /// Writes an owned value to an already-resolved destination (shared
+    /// between the tree-walker and the tape VM).
+    pub(crate) fn write_dest(&mut self, dest: Dest, op: AssignOp, val: OwnVal, record_atomic: bool) {
         match (dest, val) {
             (Dest::Cell { buf, idx }, OwnVal::Num(x)) => {
                 self.work += 1;
@@ -770,12 +809,19 @@ impl Engine {
 
 /// A resolved store destination.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Dest {
+pub(crate) enum Dest {
     Cell { buf: BufId, idx: usize },
     Range { buf: BufId, start: usize, len: usize },
 }
 
-fn dest_index(state: &State, d: Dest, i: usize) -> Dest {
+fn scalar_of(v: &View) -> f64 {
+    match v {
+        View::Num(x) => *x,
+        other => panic!("expected scalar, got {other:?}"),
+    }
+}
+
+pub(crate) fn dest_index(state: &State, d: Dest, i: usize) -> Dest {
     match d {
         Dest::Range { buf, start, len } => match state.shape(buf) {
             Shape::Rows { .. } if start == 0 && len == state.flat(buf).len() => {
@@ -793,7 +839,7 @@ fn dest_index(state: &State, d: Dest, i: usize) -> Dest {
 
 /// Resolves a view to a slice borrowed from the state (or the view's own
 /// storage).
-fn slice_of<'a>(state: &'a State, v: &'a View) -> &'a [f64] {
+pub(crate) fn slice_of<'a>(state: &'a State, v: &'a View) -> &'a [f64] {
     match v {
         View::Slice { buf, start, len } => &state.flat(*buf)[*start..start + len],
         View::MatV { buf, start, dim } => &state.flat(*buf)[*start..start + dim * dim],
@@ -808,7 +854,7 @@ fn slice_of<'a>(state: &'a State, v: &'a View) -> &'a [f64] {
 /// units. `point_len` is the flat size of the point (0 for scalars).
 /// Categorical's pmf is an O(1) lookup however long its probability
 /// vector is; the multivariate normal pays a Cholesky factorization.
-fn dist_op_cost(dist: DistKind, point_len: usize) -> u64 {
+pub(crate) fn dist_op_cost(dist: DistKind, point_len: usize) -> u64 {
     match dist {
         DistKind::MvNormal => {
             let d = point_len.max(1) as u64;
@@ -824,7 +870,7 @@ fn dist_op_cost(dist: DistKind, point_len: usize) -> u64 {
 }
 
 /// Algorithmic cost of drawing one sample.
-fn sample_cost(dist: DistKind, args: &[OwnArg]) -> u64 {
+pub(crate) fn sample_cost(dist: DistKind, args: &[OwnArg]) -> u64 {
     let arg_len = |i: usize| -> u64 {
         match args.get(i) {
             Some(OwnArg::VecD(v)) => v.len() as u64,
@@ -851,7 +897,7 @@ fn sample_cost(dist: DistKind, args: &[OwnArg]) -> u64 {
     }
 }
 
-fn value_ref_of<'a>(state: &'a State, v: &'a View) -> ValueRef<'a> {
+pub(crate) fn value_ref_of<'a>(state: &'a State, v: &'a View) -> ValueRef<'a> {
     match v {
         View::Num(x) => ValueRef::Scalar(*x),
         View::Slice { .. } | View::Own(_) | View::Rows { .. } => {
@@ -886,7 +932,7 @@ mod tests {
         let mut table = ProcTable::default();
         let blk = augur_blk::to_blocks(&p);
         let rb = Compiler::new(&state).blk_proc(&blk);
-        table.insert(r, rb);
+        table.insert(r, rb, &state);
         let mut eng = engine(state);
         let ret = eng.run_proc(&table, 0);
         (eng, ret)
@@ -1085,7 +1131,7 @@ mod tests {
         let blk = augur_blk::to_blocks(&p);
         let rb = Compiler::new(&st).blk_proc(&blk);
         let mut table = ProcTable::default();
-        table.insert(r, rb);
+        table.insert(r, rb, &st);
         let mut eng = Engine::new(
             st,
             Prng::seed_from_u64(2),
@@ -1161,7 +1207,7 @@ mod thread_rng_tests {
         let blk = augur_blk::to_blocks(&p);
         let gpu = Compiler::new(&st).blk_proc(&blk);
         let mut table = ProcTable::default();
-        table.insert(cpu, gpu);
+        table.insert(cpu, gpu, &st);
         let mut eng = Engine::new(
             st,
             Prng::seed_from_u64(777),
@@ -1196,7 +1242,7 @@ mod thread_rng_tests {
     /// kernel's internal draw count.
     #[test]
     fn master_stream_survives_parallel_regions() {
-        let mut build = |draws: usize| -> f64 {
+        let build = |draws: usize| -> f64 {
             let mut st = State::new();
             st.insert("out", Shape::Vector(4));
             st.insert("after", Shape::Num);
@@ -1231,7 +1277,7 @@ mod thread_rng_tests {
             let blk = augur_blk::to_blocks(&p);
             let gpu = Compiler::new(&st).blk_proc(&blk);
             let mut table = ProcTable::default();
-            table.insert(cpu, gpu);
+            table.insert(cpu, gpu, &st);
             let mut eng = Engine::new(
                 st,
                 Prng::seed_from_u64(888),

@@ -11,8 +11,12 @@
 //!   slots (the stand-in for Cuda/C emission; a readable C-like rendering
 //!   is available via `augur_low::il::pretty_proc`), and for the GPU
 //!   target translated to Blk IL and optimized (§5.3–5.4);
-//! * **execution** ([`eval`]) — a CPU interpreter and a simulated-GPU
-//!   executor that charge virtual time to a `gpu_sim::Device`;
+//! * **execution** ([`eval`], [`tape`]) — a CPU interpreter and a
+//!   simulated-GPU executor that charge virtual time to a
+//!   `gpu_sim::Device`. Procedures run either as a reference
+//!   tree-walker or (the default) as a flat register-machine tape
+//!   compiled at table-insertion time; both produce bit-identical
+//!   traces for a fixed seed;
 //! * **the MCMC library** ([`mcmc`]) — leapfrog HMC (+ a NUTS prototype),
 //!   reflective and elliptical slice sampling, random-walk MH, and the
 //!   acceptance-ratio/state-duplication discipline of §5.5;
@@ -39,7 +43,7 @@
 //! for _ in 0..10 {
 //!     sampler.sweep();
 //! }
-//! assert!(sampler.param("m")[0].is_finite());
+//! assert!(sampler.param("m")?[0].is_finite());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -52,6 +56,8 @@ pub mod mcmc;
 pub mod oracle;
 pub mod setup;
 pub mod state;
+pub mod tape;
 
 pub use driver::{Sampler, SamplerConfig, Target};
 pub use state::HostValue;
+pub use tape::ExecStrategy;

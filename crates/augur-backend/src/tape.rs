@@ -1,0 +1,1955 @@
+//! The tape engine: slot-resolved procedures compiled to a flat,
+//! register-based instruction array executed by a tight dispatch loop.
+//!
+//! The tree-walking interpreter in [`crate::eval`] recurses over boxed
+//! `RExpr`/`RStmt` nodes; every node costs a virtual call, a pointer chase
+//! and a branch mispredict. This module plays the role the emitted
+//! CUDA/C code plays in the paper's native pipeline: the one-time
+//! compilation step that removes interpretive overhead from the sweep
+//! loop. Each procedure is lowered once — at [`ProcTable::insert`] time —
+//! into a [`Tape`]: a linear `Vec<TInstr>` with structured control flow
+//! (loops, conditionals) resolved to pre-computed jump offsets.
+//!
+//! Two design decisions carry the speedup over the tree-walker:
+//!
+//! * **Split register banks.** Scalar values live in a plain `Vec<f64>`
+//!   bank; only vector/matrix views occupy the [`View`] bank. Because
+//!   buffer *shapes* are known when the tape is compiled (the emitter
+//!   holds the [`State`]), every expression's kind is inferred statically
+//!   and scalar instructions never touch the enum bank — no discriminant
+//!   checks, no drop glue, no 32-byte moves on the hot path. A packed
+//!   operand ([`Opd`]) selects the bank with its high bit.
+//! * **Fused addressing.** The common `buf[i]` and `buf[i][j]` chains
+//!   (a `Ref` plus one or two `Index` nodes in the tree) collapse into
+//!   single [`TInstr::LoadCell1`]/[`TInstr::LoadRow1`]/
+//!   [`TInstr::LoadCell2`] instructions that read the state directly.
+//!
+//! The tape executes the *same* abstract machine as the tree-walker: the
+//! same state buffers, the same work-unit accounting (fused instructions
+//! charge exactly the work of the tree nodes they replace), and —
+//! crucially — the same RNG discipline (draws happen only in
+//! `Sample`/`SampleLogits` instructions and at parallel-loop reseed
+//! points), so for a fixed seed the two strategies produce bit-identical
+//! traces. The tree-walker is kept as the reference oracle; differential
+//! tests assert equality.
+//!
+//! [`ProcTable::insert`]: crate::compile::ProcTable::insert
+//! [`State`]: crate::state::State
+
+use augur_dist::{DistKind, ValueMut, ValueRef};
+use augur_lang::ast::{BinOp, Builtin};
+use augur_low::il::{AssignOp, LoopKind, OpN};
+
+use crate::compile::{RBlk, RBlkProc, RExpr, RLValue, RProc, RRef, RStmt};
+use crate::eval::{
+    dest_index, dist_op_cost, sample_cost, slice_of, value_ref_of, Engine, OwnArg, OwnVal, View,
+};
+use crate::state::{BufId, RowElem, Shape, State};
+
+/// Which execution strategy the engine uses for compiled procedures.
+///
+/// Both strategies implement the same abstract machine and produce
+/// bit-identical traces for a fixed seed; they differ only in dispatch
+/// overhead (and in the simulated device's instruction-decode charge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// Recursive tree-walking over the slot-resolved IL (the reference
+    /// oracle).
+    Tree,
+    /// Flat register-machine tape compiled at table-insertion time
+    /// (the default).
+    #[default]
+    Tape,
+}
+
+/// Bank selector bit of a packed operand.
+const VBIT: u32 = 1 << 31;
+
+/// A packed operand: an index into the scalar (`f64`) register bank, or —
+/// when the high bit is set — into the view bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opd(u32);
+
+impl Opd {
+    #[inline]
+    fn f(r: u32) -> Opd {
+        Opd(r)
+    }
+
+    #[inline]
+    fn v(r: u32) -> Opd {
+        Opd(r | VBIT)
+    }
+
+    /// True when the operand names a view register.
+    #[inline]
+    pub fn is_view(self) -> bool {
+        self.0 & VBIT != 0
+    }
+
+    /// The register index within its bank.
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 & !VBIT) as usize
+    }
+}
+
+/// Statically-inferred expression kind. Shapes are known at tape-compile
+/// time, so every expression is assigned a bank before execution; `Dyn`
+/// (gradient results, scalar or vector depending on the distribution)
+/// stays in the view bank and is coerced where a scalar is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EK {
+    Num,
+    Vec,
+    Mat,
+    RowsVec,
+    RowsMat,
+    Dyn,
+}
+
+/// Maximum number of index expressions on a store destination. Resolved
+/// stores index at most a `Rows` row plus a cell within it.
+const MAX_LHS_IDX: usize = 4;
+
+/// A compiled store destination with its addressing mode resolved at
+/// tape-compile time from the target buffer's shape, so the hot store
+/// path needs no shape dispatch. Index fields name scalar registers
+/// holding the (already-evaluated) index values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TDest {
+    /// The single cell of a scalar buffer.
+    Cell0 {
+        /// Target buffer (shape `Num`).
+        buf: BufId,
+    },
+    /// A directly-addressed cell: `buf[f[i]]` of a vector (or flat
+    /// matrix-cell) buffer.
+    Cell1 {
+        /// Target buffer.
+        buf: BufId,
+        /// Scalar register holding the cell index.
+        i: u32,
+        /// Static flat length, for the bounds check.
+        len: u32,
+    },
+    /// A whole row of a `Rows` buffer: `buf[f[i]]`.
+    Row1 {
+        /// Target buffer (shape `Rows`).
+        buf: BufId,
+        /// Scalar register holding the row index.
+        i: u32,
+    },
+    /// A cell behind a row: `buf[f[row]][f[col]]` of a `Rows` buffer.
+    Cell2 {
+        /// Target buffer (shape `Rows`).
+        buf: BufId,
+        /// Scalar register holding the row index.
+        row: u32,
+        /// Scalar register holding the column index.
+        col: u32,
+    },
+    /// Any other form (whole-buffer ranges, deeper chains): resolved by
+    /// the generic index walk.
+    Slow {
+        /// Target buffer.
+        buf: BufId,
+        /// Scalar registers holding index values, in application order.
+        idx: [u32; MAX_LHS_IDX],
+        /// How many of `idx` are meaningful.
+        n_idx: u8,
+    },
+}
+
+/// Gradient target of a [`TInstr::DistGrad`] instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GradWrt {
+    /// Differentiate with respect to parameter `i`.
+    Param(u8),
+    /// Differentiate with respect to the point.
+    Point,
+}
+
+/// One tape instruction. Bare `u32` fields name a register in the bank
+/// implied by the instruction (`f…` scalar, `v…` view); [`Opd`] fields
+/// carry their own bank selector. Jump targets are absolute instruction
+/// indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TInstr {
+    /// `f[dst] ← constant`.
+    ConstF {
+        /// Destination scalar register.
+        dst: u32,
+        /// The constant.
+        val: f64,
+    },
+    /// `f[dst] ← env[depth]` (an enclosing loop variable).
+    LoopIdx {
+        /// Destination scalar register.
+        dst: u32,
+        /// Loop-nesting depth from the outside.
+        depth: u32,
+    },
+    /// `f[dst] ← buf` for a scalar-shaped buffer.
+    LoadScalar {
+        /// Destination scalar register.
+        dst: u32,
+        /// The buffer (shape `Num`).
+        buf: BufId,
+    },
+    /// `v[dst] ← view of buf` for a vector/matrix/rows buffer.
+    RefBufV {
+        /// Destination view register.
+        dst: u32,
+        /// The buffer.
+        buf: BufId,
+    },
+    /// `f[dst] ← buf[f[i]]` — fused load of a vector-buffer cell
+    /// (replaces a `Ref` + `Index` tree chain; charges their work).
+    LoadCell1 {
+        /// Destination scalar register.
+        dst: u32,
+        /// The buffer (shape `Vector`).
+        buf: BufId,
+        /// Scalar register holding the index.
+        i: u32,
+    },
+    /// `v[dst] ← buf[f[i]]` — fused load of a matrix row or a `Rows`
+    /// element.
+    LoadRow1 {
+        /// Destination view register.
+        dst: u32,
+        /// The buffer (shape `Matrix` or `Rows`).
+        buf: BufId,
+        /// Scalar register holding the index.
+        i: u32,
+    },
+    /// `f[dst] ← buf[f[row]][f[col]]` — fused load of a cell behind a
+    /// double index (matrix cell or ragged-row element).
+    LoadCell2 {
+        /// Destination scalar register.
+        dst: u32,
+        /// The buffer (shape `Matrix` or `Rows` of vectors).
+        buf: BufId,
+        /// Scalar register holding the first (row) index.
+        row: u32,
+        /// Scalar register holding the second (column) index.
+        col: u32,
+    },
+    /// `f[dst] ← scalar of v[a]` — zero-work bank coercion; panics when
+    /// the view is not scalar (mirrors the tree's `eval_num`).
+    NumOf {
+        /// Destination scalar register.
+        dst: u32,
+        /// Source view register.
+        a: u32,
+    },
+    /// `f[dst] ← base[f[idx]]` for a dynamically-typed base yielding a
+    /// scalar.
+    IndexF {
+        /// Destination scalar register.
+        dst: u32,
+        /// Operand holding the indexable value.
+        base: Opd,
+        /// Scalar register holding the index.
+        idx: u32,
+    },
+    /// `v[dst] ← base[f[idx]]` yielding a sub-view (matrix row, rows
+    /// element).
+    IndexV {
+        /// Destination view register.
+        dst: u32,
+        /// Operand holding the indexable value.
+        base: Opd,
+        /// Scalar register holding the index.
+        idx: u32,
+    },
+    /// `f[dst] ← f[a] ⊕ f[b]`.
+    BinopF {
+        /// Destination scalar register.
+        dst: u32,
+        /// The operator.
+        op: BinOp,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+    },
+    /// `f[dst] ← −f[a]`.
+    NegF {
+        /// Destination scalar register.
+        dst: u32,
+        /// Operand register.
+        a: u32,
+    },
+    /// `f[dst] ← g(f[a])` for a unary builtin (sigmoid/exp/log/sqrt).
+    Call1F {
+        /// Destination scalar register.
+        dst: u32,
+        /// The builtin.
+        f: Builtin,
+        /// Operand register.
+        a: u32,
+    },
+    /// `f[dst] ← dot(a, b)`.
+    DotF {
+        /// Destination scalar register.
+        dst: u32,
+        /// Left vector operand.
+        a: Opd,
+        /// Right vector operand.
+        b: Opd,
+    },
+    /// `v[dst] ← op(a)` for a unary vector/matrix primitive.
+    Op1 {
+        /// Destination view register.
+        dst: u32,
+        /// The primitive.
+        op: OpN,
+        /// Operand.
+        a: Opd,
+    },
+    /// `v[dst] ← op(a, b)` for a binary vector/matrix primitive.
+    Op2 {
+        /// Destination view register.
+        dst: u32,
+        /// The primitive.
+        op: OpN,
+        /// First operand.
+        a: Opd,
+        /// Second operand.
+        b: Opd,
+    },
+    /// `f[dst] ← log p(point | args)` — an inlined log-density opcode.
+    DistLl {
+        /// Destination scalar register.
+        dst: u32,
+        /// The distribution.
+        dist: DistKind,
+        /// Parameter operands.
+        args: [Opd; 2],
+        /// How many of `args` are meaningful.
+        n_args: u8,
+        /// Operand holding the point.
+        point: Opd,
+    },
+    /// `v[dst] ← ∇ log p(point | args)` with respect to `wrt` (result is
+    /// a scalar or vector depending on the differentiated slot).
+    DistGrad {
+        /// Destination view register.
+        dst: u32,
+        /// The distribution.
+        dist: DistKind,
+        /// Differentiation target.
+        wrt: GradWrt,
+        /// Parameter operands.
+        args: [Opd; 2],
+        /// How many of `args` are meaningful.
+        n_args: u8,
+        /// Operand holding the point.
+        point: Opd,
+    },
+    /// `f[dst] ← length(v[a])`.
+    LenV {
+        /// Destination scalar register.
+        dst: u32,
+        /// Operand view register.
+        a: u32,
+    },
+    /// Store `src` into the destination (set or increment).
+    Write {
+        /// The destination.
+        lhs: TDest,
+        /// Set or increment.
+        op: AssignOp,
+        /// Operand holding the value.
+        src: Opd,
+    },
+    /// Draw from `dist(args)` into the destination — an inlined sampler
+    /// opcode.
+    Sample {
+        /// The destination.
+        lhs: TDest,
+        /// The distribution.
+        dist: DistKind,
+        /// Parameter operands.
+        args: [Opd; 2],
+        /// How many of `args` are meaningful.
+        n_args: u8,
+    },
+    /// Draw a categorical index from log weights into the destination.
+    SampleLogits {
+        /// The destination.
+        lhs: TDest,
+        /// Operand holding the log-weight vector.
+        w: Opd,
+    },
+    /// Jump to `target` when `f[a] ≠ f[b]` (compiled `IfEq` guard).
+    JumpIfNe {
+        /// Left comparand register.
+        a: u32,
+        /// Right comparand register.
+        b: u32,
+        /// Absolute jump target.
+        target: u32,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Absolute jump target.
+        target: u32,
+    },
+    /// Enter a loop: `lo`/`hi` scalar registers hold the
+    /// (already-evaluated) bounds; `exit` is the instruction after the
+    /// matching [`TInstr::LoopEnd`].
+    LoopStart {
+        /// Loop annotation (`Par` loops reseed per-thread streams).
+        kind: LoopKind,
+        /// Scalar register holding the lower bound.
+        lo: u32,
+        /// Scalar register holding the upper bound.
+        hi: u32,
+        /// Absolute index of the first instruction after the loop.
+        exit: u32,
+    },
+    /// Close the innermost loop: advance the index and jump back, or fall
+    /// through when exhausted. `w` charges the work of instructions the
+    /// value-numbering pass elided from the loop body (one unit per
+    /// elided occurrence, per iteration) so work accounting stays
+    /// identical to the tree-walker's.
+    LoopEnd {
+        /// Work units elided from the body by common-subexpression reuse.
+        w: u32,
+    },
+    /// Charge `n` work units for elided (value-numbered) instructions in
+    /// a straight-line region that does not end in a [`TInstr::LoopEnd`].
+    ChargeW {
+        /// Work units to charge.
+        n: u32,
+    },
+    /// Store an immediate: a fused `ConstF` + `Write` (charges both the
+    /// constant node and the store).
+    WriteImm {
+        /// The destination.
+        lhs: TDest,
+        /// Set or increment.
+        op: AssignOp,
+        /// The immediate value.
+        val: f64,
+    },
+    /// Fused log-density-and-store: `lhs op= log p(point | args)` — the
+    /// dominant pattern of discrete Gibbs inner loops. Charges exactly
+    /// like a [`TInstr::DistLl`] followed by a scalar [`TInstr::Write`].
+    LlStore {
+        /// The destination.
+        lhs: TDest,
+        /// Set or increment.
+        op: AssignOp,
+        /// The distribution.
+        dist: DistKind,
+        /// Parameter operands.
+        args: [Opd; 2],
+        /// How many of `args` are meaningful.
+        n_args: u8,
+        /// Operand holding the point.
+        point: Opd,
+    },
+}
+
+/// A compiled instruction tape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tape {
+    /// The instruction stream.
+    pub instrs: Vec<TInstr>,
+    /// Size of the scalar register bank.
+    pub n_fregs: usize,
+    /// Size of the view register bank.
+    pub n_vregs: usize,
+    /// Operand holding the tape's value, for expression tapes
+    /// (`sumBlk` element bodies).
+    pub result: Option<Opd>,
+    /// Work units elided after the last control instruction, charged once
+    /// per run.
+    pub tail_w: u32,
+}
+
+/// A procedure compiled for CPU tape execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TapeProc {
+    /// Name (for logs and kernel labels).
+    pub name: String,
+    /// The body tape.
+    pub tape: Tape,
+    /// Optional scalar result, evaluated host-side after the tape runs.
+    pub ret: Option<RExpr>,
+}
+
+/// A Blk-IL block with tape-compiled device code. Host-side control
+/// (bounds, widths, returns) stays as interpreted expressions, mirroring
+/// how the paper's pipeline keeps launch logic in host C++ while kernels
+/// are compiled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TBlk {
+    /// Host-sequential code.
+    Seq(Tape),
+    /// A kernel of `hi − lo` threads running a per-thread tape.
+    Par {
+        /// Annotation.
+        kind: LoopKind,
+        /// Lower bound (host-evaluated).
+        lo: RExpr,
+        /// Upper bound (host-evaluated).
+        hi: RExpr,
+        /// Per-thread body tape.
+        body: Tape,
+        /// Extra per-thread parallel width exposed by inlining.
+        inner_par: Option<RExpr>,
+    },
+    /// Sequentially launched inner blocks.
+    Loop {
+        /// Lower bound (host-evaluated).
+        lo: RExpr,
+        /// Upper bound (host-evaluated).
+        hi: RExpr,
+        /// Inner blocks.
+        body: Vec<TBlk>,
+    },
+    /// Map-reduce; the element body is an expression tape.
+    Sum {
+        /// Accumulation target.
+        acc: RLValue,
+        /// Lower bound (host-evaluated).
+        lo: RExpr,
+        /// Upper bound (host-evaluated).
+        hi: RExpr,
+        /// Element tape (its `result` operand holds the element value).
+        rhs: Tape,
+    },
+}
+
+/// A Blk-IL procedure compiled for GPU tape execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TBlkProc {
+    /// Name.
+    pub name: String,
+    /// Blocks.
+    pub blocks: Vec<TBlk>,
+    /// Optional scalar result, evaluated host-side.
+    pub ret: Option<RExpr>,
+}
+
+impl TapeProc {
+    /// Compiles a slot-resolved procedure to a tape. The state supplies
+    /// buffer shapes for static kind inference and load fusion.
+    pub fn compile(p: &RProc, state: &State) -> TapeProc {
+        let mut em = Emitter::new(state);
+        em.stmt(&p.body);
+        TapeProc { name: p.name.clone(), tape: em.finish(None), ret: p.ret.clone() }
+    }
+}
+
+impl TBlkProc {
+    /// Compiles a slot-resolved Blk-IL procedure, taping every device
+    /// body while keeping host-side control interpreted.
+    pub fn compile(p: &RBlkProc, state: &State) -> TBlkProc {
+        TBlkProc {
+            name: p.name.clone(),
+            blocks: p.blocks.iter().map(|b| compile_blk(b, state)).collect(),
+            ret: p.ret.clone(),
+        }
+    }
+}
+
+fn compile_blk(b: &RBlk, state: &State) -> TBlk {
+    match b {
+        RBlk::Seq(s) => {
+            let mut em = Emitter::new(state);
+            em.stmt(s);
+            TBlk::Seq(em.finish(None))
+        }
+        RBlk::Par { kind, lo, hi, body, inner_par } => {
+            let mut em = Emitter::new(state);
+            em.stmt(body);
+            TBlk::Par {
+                kind: *kind,
+                lo: lo.clone(),
+                hi: hi.clone(),
+                body: em.finish(None),
+                inner_par: inner_par.clone(),
+            }
+        }
+        RBlk::Loop { lo, hi, body } => TBlk::Loop {
+            lo: lo.clone(),
+            hi: hi.clone(),
+            body: body.iter().map(|inner| compile_blk(inner, state)).collect(),
+        },
+        RBlk::Sum { acc, lo, hi, rhs } => {
+            let mut em = Emitter::new(state);
+            let (r, _) = em.expr(rhs);
+            TBlk::Sum {
+                acc: acc.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+                rhs: em.finish(Some(r)),
+            }
+        }
+    }
+}
+
+/// Value-numbering key for scalar instructions whose result depends only
+/// on execution position, not on mutable state: loop indices (constant
+/// within one iteration of every enclosing loop) and literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MemoKey {
+    /// `env[depth]`.
+    Loop(u32),
+    /// A constant, keyed by bit pattern.
+    Const(u64),
+}
+
+/// Single-pass tape emitter. Registers are assigned one per expression
+/// occurrence (no reuse): every register is written by exactly one
+/// instruction that dominates all its readers, so loop re-entry simply
+/// overwrites. A local value-numbering memo reuses `LoopIdx`/`ConstF`
+/// results where the defining instruction dominates the use (memo
+/// snapshots are restored at branch joins and loop exits); each elided
+/// occurrence still charges its unit of work, accumulated in `pending_w`
+/// and flushed into the region's closing [`TInstr::LoopEnd`] (or an
+/// explicit [`TInstr::ChargeW`]) so work totals match the tree exactly.
+struct Emitter<'s> {
+    state: &'s State,
+    instrs: Vec<TInstr>,
+    next_f: u32,
+    next_v: u32,
+    memo: std::collections::HashMap<MemoKey, u32>,
+    pending_w: u32,
+}
+
+impl<'s> Emitter<'s> {
+    fn new(state: &'s State) -> Emitter<'s> {
+        Emitter {
+            state,
+            instrs: Vec::new(),
+            next_f: 0,
+            next_v: 0,
+            memo: std::collections::HashMap::new(),
+            pending_w: 0,
+        }
+    }
+
+    fn finish(self, result: Option<Opd>) -> Tape {
+        Tape {
+            instrs: self.instrs,
+            n_fregs: self.next_f as usize,
+            n_vregs: self.next_v as usize,
+            result,
+            tail_w: self.pending_w,
+        }
+    }
+
+    /// Emits pending elided-work charges as an explicit instruction.
+    /// Needed before control-flow points whose execution count differs
+    /// from the region the elisions happened in.
+    fn flush_charge(&mut self) {
+        if self.pending_w > 0 {
+            let n = self.pending_w;
+            self.pending_w = 0;
+            self.push(TInstr::ChargeW { n });
+        }
+    }
+
+    /// Value-numbered scalar emission: returns the existing register for
+    /// `key` (charging the elided unit of work) or materializes via
+    /// `emit`.
+    fn memo_f(&mut self, key: MemoKey, emit: impl FnOnce(&mut Self, u32)) -> u32 {
+        if let Some(&r) = self.memo.get(&key) {
+            self.pending_w += 1;
+            return r;
+        }
+        let dst = self.freg();
+        emit(self, dst);
+        self.memo.insert(key, dst);
+        dst
+    }
+
+    fn freg(&mut self) -> u32 {
+        let r = self.next_f;
+        self.next_f += 1;
+        r
+    }
+
+    fn vreg(&mut self) -> u32 {
+        let r = self.next_v;
+        self.next_v += 1;
+        r
+    }
+
+    fn push(&mut self, i: TInstr) -> u32 {
+        self.instrs.push(i);
+        (self.instrs.len() - 1) as u32
+    }
+
+    fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Coerces an emitted operand to a scalar register; `Dyn` operands
+    /// get a zero-work [`TInstr::NumOf`] that panics at run time when the
+    /// value is not scalar (exactly where the tree's `eval_num` would).
+    fn as_f(&mut self, opd: Opd) -> u32 {
+        if !opd.is_view() {
+            return opd.index() as u32;
+        }
+        let dst = self.freg();
+        self.push(TInstr::NumOf { dst, a: opd.index() as u32 });
+        dst
+    }
+
+    /// Emits code computing `e` into a scalar register.
+    fn expr_f(&mut self, e: &RExpr) -> u32 {
+        let (opd, _) = self.expr(e);
+        self.as_f(opd)
+    }
+
+    /// Emits code computing `e`, returning the operand holding its value
+    /// and its inferred kind. Operand evaluation order mirrors the
+    /// tree-walker exactly (only RNG draws are order-sensitive, but we
+    /// keep arithmetic order identical for auditability).
+    fn expr(&mut self, e: &RExpr) -> (Opd, EK) {
+        match e {
+            RExpr::Const(v) => {
+                let val = *v;
+                let dst = self.memo_f(MemoKey::Const(val.to_bits()), |em, dst| {
+                    em.push(TInstr::ConstF { dst, val });
+                });
+                (Opd::f(dst), EK::Num)
+            }
+            RExpr::Ref(RRef::Loop(d)) => {
+                let depth = *d as u32;
+                let dst = self.memo_f(MemoKey::Loop(depth), |em, dst| {
+                    em.push(TInstr::LoopIdx { dst, depth });
+                });
+                (Opd::f(dst), EK::Num)
+            }
+            RExpr::Ref(RRef::Buf(b)) => match self.state.shape(*b) {
+                Shape::Num => {
+                    let dst = self.freg();
+                    self.push(TInstr::LoadScalar { dst, buf: *b });
+                    (Opd::f(dst), EK::Num)
+                }
+                shape => {
+                    let ek = match shape {
+                        Shape::Vector(_) => EK::Vec,
+                        Shape::Matrix(_) => EK::Mat,
+                        Shape::Rows { elem: RowElem::Vec, .. } => EK::RowsVec,
+                        Shape::Rows { elem: RowElem::Mat(_), .. } => EK::RowsMat,
+                        Shape::Num => unreachable!(),
+                    };
+                    let dst = self.vreg();
+                    self.push(TInstr::RefBufV { dst, buf: *b });
+                    (Opd::v(dst), ek)
+                }
+            },
+            RExpr::Index(base, idx) => self.index_expr(base, idx),
+            RExpr::Binop(op, a, b) => {
+                let ra = self.expr_f(a);
+                let rb = self.expr_f(b);
+                let dst = self.freg();
+                self.push(TInstr::BinopF { dst, op: *op, a: ra, b: rb });
+                (Opd::f(dst), EK::Num)
+            }
+            RExpr::Neg(a) => {
+                let ra = self.expr_f(a);
+                let dst = self.freg();
+                self.push(TInstr::NegF { dst, a: ra });
+                (Opd::f(dst), EK::Num)
+            }
+            RExpr::Call(f, args) => match f {
+                Builtin::Dot => {
+                    let (ra, _) = self.expr(&args[0]);
+                    let (rb, _) = self.expr(&args[1]);
+                    let dst = self.freg();
+                    self.push(TInstr::DotF { dst, a: ra, b: rb });
+                    (Opd::f(dst), EK::Num)
+                }
+                _ => {
+                    let ra = self.expr_f(&args[0]);
+                    let dst = self.freg();
+                    self.push(TInstr::Call1F { dst, f: *f, a: ra });
+                    (Opd::f(dst), EK::Num)
+                }
+            },
+            RExpr::DistLl { dist, args, point } => {
+                let (ra, n_args) = self.dist_args(args);
+                let (rp, _) = self.expr(point);
+                let dst = self.freg();
+                self.push(TInstr::DistLl { dst, dist: *dist, args: ra, n_args, point: rp });
+                (Opd::f(dst), EK::Num)
+            }
+            RExpr::DistGradParam { dist, i, args, point } => {
+                let (ra, n_args) = self.dist_args(args);
+                let (rp, _) = self.expr(point);
+                let dst = self.vreg();
+                self.push(TInstr::DistGrad {
+                    dst,
+                    dist: *dist,
+                    wrt: GradWrt::Param(*i as u8),
+                    args: ra,
+                    n_args,
+                    point: rp,
+                });
+                (Opd::v(dst), EK::Dyn)
+            }
+            RExpr::DistGradPoint { dist, args, point } => {
+                let (ra, n_args) = self.dist_args(args);
+                let (rp, _) = self.expr(point);
+                let dst = self.vreg();
+                self.push(TInstr::DistGrad {
+                    dst,
+                    dist: *dist,
+                    wrt: GradWrt::Point,
+                    args: ra,
+                    n_args,
+                    point: rp,
+                });
+                (Opd::v(dst), EK::Dyn)
+            }
+            RExpr::Op(op, args) => {
+                let ek = match op {
+                    OpN::VecAdd | OpN::VecSub | OpN::VecScale | OpN::MatVec => EK::Vec,
+                    OpN::MatAdd | OpN::MatScale | OpN::MatInv | OpN::OuterSub => EK::Mat,
+                };
+                let (ra, _) = self.expr(&args[0]);
+                let dst;
+                if args.len() == 1 {
+                    dst = self.vreg();
+                    self.push(TInstr::Op1 { dst, op: *op, a: ra });
+                } else {
+                    let (rb, _) = self.expr(&args[1]);
+                    dst = self.vreg();
+                    self.push(TInstr::Op2 { dst, op: *op, a: ra, b: rb });
+                }
+                (Opd::v(dst), ek)
+            }
+            RExpr::Len(a) => {
+                let (ra, _) = self.expr(a);
+                let dst = self.freg();
+                if ra.is_view() {
+                    self.push(TInstr::LenV { dst, a: ra.index() as u32 });
+                } else {
+                    // length of a scalar is 0 in the tree's accounting;
+                    // charge the Len node's unit of work via a constant.
+                    self.push(TInstr::ConstF { dst, val: 0.0 });
+                }
+                (Opd::f(dst), EK::Num)
+            }
+        }
+    }
+
+    /// Emits an `Index` node, fusing `buf[i]` / `buf[i][j]` chains over
+    /// direct buffer references into single loads.
+    fn index_expr(&mut self, base: &RExpr, idx: &RExpr) -> (Opd, EK) {
+        if let RExpr::Ref(RRef::Buf(b)) = base {
+            match self.state.shape(*b) {
+                Shape::Vector(_) => {
+                    let i = self.expr_f(idx);
+                    let dst = self.freg();
+                    self.push(TInstr::LoadCell1 { dst, buf: *b, i });
+                    return (Opd::f(dst), EK::Num);
+                }
+                Shape::Matrix(_) => {
+                    let i = self.expr_f(idx);
+                    let dst = self.vreg();
+                    self.push(TInstr::LoadRow1 { dst, buf: *b, i });
+                    return (Opd::v(dst), EK::Vec);
+                }
+                Shape::Rows { elem, .. } => {
+                    let ek = match elem {
+                        RowElem::Vec => EK::Vec,
+                        RowElem::Mat(_) => EK::Mat,
+                    };
+                    let i = self.expr_f(idx);
+                    let dst = self.vreg();
+                    self.push(TInstr::LoadRow1 { dst, buf: *b, i });
+                    return (Opd::v(dst), ek);
+                }
+                // indexing a scalar buffer panics at run time, via the
+                // generic path (as in the tree)
+                Shape::Num => {}
+            }
+        }
+        if let RExpr::Index(ibase, iidx) = base {
+            if let RExpr::Ref(RRef::Buf(b)) = &**ibase {
+                if matches!(
+                    self.state.shape(*b),
+                    Shape::Matrix(_) | Shape::Rows { elem: RowElem::Vec, .. }
+                ) {
+                    // buf[i][j]: the tree evaluates j (the outer index)
+                    // before i (the inner one).
+                    let col = self.expr_f(idx);
+                    let row = self.expr_f(iidx);
+                    let dst = self.freg();
+                    self.push(TInstr::LoadCell2 { dst, buf: *b, row, col });
+                    return (Opd::f(dst), EK::Num);
+                }
+            }
+        }
+        // Generic form: the index is evaluated before the base, as in
+        // the tree.
+        let i = self.expr_f(idx);
+        let (bopd, bek) = self.expr(base);
+        match bek {
+            EK::Mat | EK::RowsVec => {
+                let dst = self.vreg();
+                self.push(TInstr::IndexV { dst, base: bopd, idx: i });
+                (Opd::v(dst), EK::Vec)
+            }
+            EK::RowsMat => {
+                let dst = self.vreg();
+                self.push(TInstr::IndexV { dst, base: bopd, idx: i });
+                (Opd::v(dst), EK::Mat)
+            }
+            // Vec and Dyn bases index to scalars; a Num base panics at
+            // run time ("cannot index scalar"), as in the tree.
+            _ => {
+                let dst = self.freg();
+                self.push(TInstr::IndexF { dst, base: bopd, idx: i });
+                (Opd::f(dst), EK::Num)
+            }
+        }
+    }
+
+    fn dist_args(&mut self, args: &[RExpr]) -> ([Opd; 2], u8) {
+        debug_assert!(args.len() <= 2, "distribution arity exceeds 2");
+        let mut out = [Opd::f(!VBIT); 2];
+        for (slot, a) in out.iter_mut().zip(args) {
+            let (opd, _) = self.expr(a);
+            *slot = opd;
+        }
+        (out, args.len() as u8)
+    }
+
+    fn lvalue(&mut self, l: &RLValue) -> TDest {
+        assert!(
+            l.indices.len() <= MAX_LHS_IDX,
+            "store destination indexed {} deep (max {MAX_LHS_IDX})",
+            l.indices.len()
+        );
+        let mut idx = [u32::MAX; MAX_LHS_IDX];
+        for (slot, e) in idx.iter_mut().zip(&l.indices) {
+            *slot = self.expr_f(e);
+        }
+        match (self.state.shape(l.buf), l.indices.len()) {
+            (Shape::Num, 0) => TDest::Cell0 { buf: l.buf },
+            (Shape::Vector(n), 1) => TDest::Cell1 { buf: l.buf, i: idx[0], len: *n as u32 },
+            (Shape::Matrix(d), 1) => {
+                TDest::Cell1 { buf: l.buf, i: idx[0], len: (d * d) as u32 }
+            }
+            (Shape::Rows { .. }, 1) => TDest::Row1 { buf: l.buf, i: idx[0] },
+            (Shape::Rows { .. }, 2) => {
+                TDest::Cell2 { buf: l.buf, row: idx[0], col: idx[1] }
+            }
+            _ => TDest::Slow { buf: l.buf, idx, n_idx: l.indices.len() as u8 },
+        }
+    }
+
+    fn stmt(&mut self, s: &RStmt) {
+        match s {
+            RStmt::Seq(stmts) => {
+                for t in stmts {
+                    self.stmt(t);
+                }
+            }
+            RStmt::Assign { lhs, op, rhs } => {
+                // Fused forms first; otherwise the tree's order — value
+                // before destination indices.
+                match rhs {
+                    RExpr::Const(v) => {
+                        let lv = self.lvalue(lhs);
+                        self.push(TInstr::WriteImm { lhs: lv, op: *op, val: *v });
+                    }
+                    RExpr::DistLl { dist, args, point } => {
+                        let (ra, n_args) = self.dist_args(args);
+                        let (rp, _) = self.expr(point);
+                        let lv = self.lvalue(lhs);
+                        self.push(TInstr::LlStore {
+                            lhs: lv,
+                            op: *op,
+                            dist: *dist,
+                            args: ra,
+                            n_args,
+                            point: rp,
+                        });
+                    }
+                    _ => {
+                        let (src, _) = self.expr(rhs);
+                        let lv = self.lvalue(lhs);
+                        self.push(TInstr::Write { lhs: lv, op: *op, src });
+                    }
+                }
+            }
+            RStmt::IfEq { a, b, then, els } => {
+                let ra = self.expr_f(a);
+                let rb = self.expr_f(b);
+                self.flush_charge();
+                let snap = self.memo.clone();
+                let jne = self.push(TInstr::JumpIfNe { a: ra, b: rb, target: 0 });
+                self.stmt(then);
+                self.flush_charge();
+                self.memo = snap.clone();
+                match els {
+                    Some(e) => {
+                        let jend = self.push(TInstr::Jump { target: 0 });
+                        self.patch_target(jne, self.here());
+                        self.stmt(e);
+                        self.flush_charge();
+                        self.memo = snap;
+                        self.patch_target(jend, self.here());
+                    }
+                    None => self.patch_target(jne, self.here()),
+                }
+            }
+            RStmt::Loop { kind, lo, hi, body } => {
+                let rlo = self.expr_f(lo);
+                let rhi = self.expr_f(hi);
+                // Pending charges belong to the enclosing region, not to
+                // every iteration; the memo survives into the body (the
+                // defining instructions dominate it) but entries created
+                // inside must not leak past the (possibly zero-trip) loop.
+                self.flush_charge();
+                let snap = self.memo.clone();
+                let start =
+                    self.push(TInstr::LoopStart { kind: *kind, lo: rlo, hi: rhi, exit: 0 });
+                self.stmt(body);
+                let w = self.pending_w;
+                self.pending_w = 0;
+                self.push(TInstr::LoopEnd { w });
+                self.memo = snap;
+                self.patch_target(start, self.here());
+            }
+            RStmt::Sample { lhs, dist, args } => {
+                let (ra, n_args) = self.dist_args(args);
+                let lv = self.lvalue(lhs);
+                self.push(TInstr::Sample { lhs: lv, dist: *dist, args: ra, n_args });
+            }
+            RStmt::SampleLogits { lhs, weights } => {
+                let (rw, _) = self.expr(weights);
+                let lv = self.lvalue(lhs);
+                self.push(TInstr::SampleLogits { lhs: lv, w: rw });
+            }
+        }
+    }
+
+    fn patch_target(&mut self, at: u32, to: u32) {
+        match &mut self.instrs[at as usize] {
+            TInstr::JumpIfNe { target, .. }
+            | TInstr::Jump { target }
+            | TInstr::LoopStart { exit: target, .. } => *target = to,
+            other => unreachable!("patching non-jump instruction {other:?}"),
+        }
+    }
+}
+
+/// An active loop on the tape VM's frame stack.
+#[derive(Debug)]
+pub(crate) struct TapeFrame {
+    idx: i64,
+    hi: i64,
+    body_pc: u32,
+    exit: u32,
+    /// True for a fresh `Par` loop: iterations run on per-thread streams
+    /// keyed by `launch` and the master RNG is restored on exit.
+    fresh: bool,
+    launch: u64,
+    master: Option<augur_dist::Prng>,
+}
+
+impl Tape {
+    /// Renders the tape as human-readable assembly, one instruction per
+    /// line (`pc: OPCODE operands`). Scalar registers print as `fN`,
+    /// view registers as `vN`.
+    pub fn disasm(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; {} instrs, {} fregs, {} vregs",
+            self.instrs.len(),
+            self.n_fregs,
+            self.n_vregs
+        );
+        for (pc, i) in self.instrs.iter().enumerate() {
+            let _ = write!(out, "{pc:4}: ");
+            let _ = match i {
+                TInstr::ConstF { dst, val } => writeln!(out, "const   f{dst} <- {val}"),
+                TInstr::LoopIdx { dst, depth } => writeln!(out, "loopidx f{dst} <- env[{depth}]"),
+                TInstr::LoadScalar { dst, buf } => writeln!(out, "load    f{dst} <- buf#{buf}"),
+                TInstr::RefBufV { dst, buf } => writeln!(out, "refbuf  v{dst} <- buf#{buf}"),
+                TInstr::LoadCell1 { dst, buf, i } => {
+                    writeln!(out, "load1   f{dst} <- buf#{buf}[f{i}]")
+                }
+                TInstr::LoadRow1 { dst, buf, i } => {
+                    writeln!(out, "row1    v{dst} <- buf#{buf}[f{i}]")
+                }
+                TInstr::LoadCell2 { dst, buf, row, col } => {
+                    writeln!(out, "load2   f{dst} <- buf#{buf}[f{row}][f{col}]")
+                }
+                TInstr::NumOf { dst, a } => writeln!(out, "numof   f{dst} <- v{a}"),
+                TInstr::IndexF { dst, base, idx } => {
+                    writeln!(out, "index   f{dst} <- {}[f{idx}]", fmt_opd(*base))
+                }
+                TInstr::IndexV { dst, base, idx } => {
+                    writeln!(out, "index   v{dst} <- {}[f{idx}]", fmt_opd(*base))
+                }
+                TInstr::BinopF { dst, op, a, b } => {
+                    writeln!(out, "binop   f{dst} <- f{a} {op:?} f{b}")
+                }
+                TInstr::NegF { dst, a } => writeln!(out, "neg     f{dst} <- -f{a}"),
+                TInstr::Call1F { dst, f, a } => writeln!(out, "call    f{dst} <- {f:?}(f{a})"),
+                TInstr::DotF { dst, a, b } => {
+                    writeln!(out, "dot     f{dst} <- {} . {}", fmt_opd(*a), fmt_opd(*b))
+                }
+                TInstr::Op1 { dst, op, a } => {
+                    writeln!(out, "op      v{dst} <- {op:?}({})", fmt_opd(*a))
+                }
+                TInstr::Op2 { dst, op, a, b } => {
+                    writeln!(out, "op      v{dst} <- {op:?}({}, {})", fmt_opd(*a), fmt_opd(*b))
+                }
+                TInstr::DistLl { dst, dist, args, n_args, point } => {
+                    writeln!(
+                        out,
+                        "ll      f{dst} <- {dist:?}({}; point={})",
+                        fmt_args(args, *n_args),
+                        fmt_opd(*point)
+                    )
+                }
+                TInstr::DistGrad { dst, dist, wrt, args, n_args, point } => {
+                    writeln!(
+                        out,
+                        "grad    v{dst} <- d/d{wrt:?} {dist:?}({}; point={})",
+                        fmt_args(args, *n_args),
+                        fmt_opd(*point)
+                    )
+                }
+                TInstr::LenV { dst, a } => writeln!(out, "len     f{dst} <- len(v{a})"),
+                TInstr::Write { lhs, op, src } => {
+                    writeln!(out, "write   {} {} {}", fmt_lhs(lhs), fmt_assign(*op), fmt_opd(*src))
+                }
+                TInstr::Sample { lhs, dist, args, n_args } => {
+                    writeln!(
+                        out,
+                        "sample  {} <~ {dist:?}({})",
+                        fmt_lhs(lhs),
+                        fmt_args(args, *n_args)
+                    )
+                }
+                TInstr::SampleLogits { lhs, w } => {
+                    writeln!(out, "samplel {} <~ logits({})", fmt_lhs(lhs), fmt_opd(*w))
+                }
+                TInstr::JumpIfNe { a, b, target } => {
+                    writeln!(out, "jne     f{a}, f{b} -> {target}")
+                }
+                TInstr::Jump { target } => writeln!(out, "jmp     -> {target}"),
+                TInstr::LoopStart { kind, lo, hi, exit } => {
+                    writeln!(out, "loop    {kind:?} f{lo}..f{hi} exit -> {exit}")
+                }
+                TInstr::LoopEnd { w } => {
+                    if *w == 0 {
+                        writeln!(out, "endloop")
+                    } else {
+                        writeln!(out, "endloop +w{w}")
+                    }
+                }
+                TInstr::ChargeW { n } => writeln!(out, "charge  +w{n}"),
+                TInstr::WriteImm { lhs, op, val } => {
+                    writeln!(out, "writei  {} {} {val}", fmt_lhs(lhs), fmt_assign(*op))
+                }
+                TInstr::LlStore { lhs, op, dist, args, n_args, point } => {
+                    writeln!(
+                        out,
+                        "llstore {} {} {dist:?}({}; point={})",
+                        fmt_lhs(lhs),
+                        fmt_assign(*op),
+                        fmt_args(args, *n_args),
+                        fmt_opd(*point)
+                    )
+                }
+            };
+        }
+        out
+    }
+}
+
+fn fmt_opd(o: Opd) -> String {
+    if o.is_view() {
+        format!("v{}", o.index())
+    } else {
+        format!("f{}", o.index())
+    }
+}
+
+fn fmt_args(args: &[Opd; 2], n: u8) -> String {
+    (0..n as usize).map(|k| fmt_opd(args[k])).collect::<Vec<_>>().join(", ")
+}
+
+fn fmt_lhs(l: &TDest) -> String {
+    match l {
+        TDest::Cell0 { buf } => format!("buf#{buf}"),
+        TDest::Cell1 { buf, i, .. } => format!("buf#{buf}[f{i}]"),
+        TDest::Row1 { buf, i } => format!("buf#{buf}[f{i}]:row"),
+        TDest::Cell2 { buf, row, col } => format!("buf#{buf}[f{row}][f{col}]"),
+        TDest::Slow { buf, idx, n_idx } => {
+            let mut s = format!("buf#{buf}");
+            for i in idx.iter().take(*n_idx as usize) {
+                s.push_str(&format!("[f{i}]"));
+            }
+            s
+        }
+    }
+}
+
+fn fmt_assign(op: AssignOp) -> &'static str {
+    match op {
+        AssignOp::Set => "<-",
+        AssignOp::Inc => "+=",
+    }
+}
+
+#[inline]
+fn num(v: &View) -> f64 {
+    match v {
+        View::Num(x) => *x,
+        other => panic!("expected scalar, got {other:?}"),
+    }
+}
+
+#[inline]
+fn check_index(x: f64) -> usize {
+    assert!(x >= 0.0, "negative index {x}");
+    x as usize
+}
+
+impl Engine {
+    /// Executes a tape to completion, returning the number of retired
+    /// instructions. Work units are charged to `self.work` with exactly
+    /// the same accounting as the tree-walker, so both strategies observe
+    /// identical virtual work for identical programs.
+    pub(crate) fn run_tape(&mut self, tape: &Tape) -> u64 {
+        let (_, retired) = self.run_tape_inner(tape, false);
+        retired
+    }
+
+    /// Executes an expression tape and returns its result view (taken
+    /// from the tape's result operand) plus retired-instruction count.
+    pub(crate) fn run_tape_value(&mut self, tape: &Tape) -> (View, u64) {
+        let (v, retired) = self.run_tape_inner(tape, true);
+        (v.expect("expression tape has no result operand"), retired)
+    }
+
+    fn run_tape_inner(&mut self, tape: &Tape, want_result: bool) -> (Option<View>, u64) {
+        let mut f = std::mem::take(&mut self.tape_fregs);
+        let mut v = std::mem::take(&mut self.tape_vregs);
+        if f.len() < tape.n_fregs {
+            f.resize(tape.n_fregs, 0.0);
+        }
+        if v.len() < tape.n_vregs {
+            v.resize(tape.n_vregs, View::Num(0.0));
+        }
+        // Work accumulates locally and flushes once on exit: the engine
+        // only reads `self.work` between procedure runs. Helpers that
+        // charge `self.work` directly (op_views, write_dest, index_view)
+        // remain correct — the totals add.
+        let mut w: u64 = 0;
+        let mut frames: Vec<TapeFrame> = Vec::new();
+        let mut retired: u64 = 0;
+        let mut pc: u32 = 0;
+        let end = tape.instrs.len() as u32;
+        while pc < end {
+            retired += 1;
+            match &tape.instrs[pc as usize] {
+                TInstr::ConstF { dst, val } => {
+                    w += 1;
+                    f[*dst as usize] = *val;
+                }
+                TInstr::LoopIdx { dst, depth } => {
+                    w += 1;
+                    f[*dst as usize] = self.env[*depth as usize] as f64;
+                }
+                TInstr::LoadScalar { dst, buf } => {
+                    w += 1;
+                    f[*dst as usize] = self.state.flat(*buf)[0];
+                }
+                TInstr::RefBufV { dst, buf } => {
+                    w += 1;
+                    v[*dst as usize] = self.buf_view(*buf);
+                }
+                TInstr::LoadCell1 { dst, buf, i } => {
+                    // Ref + Index nodes (2) + index_view's own charge (1).
+                    w += 2;
+                    let i = check_index(f[*i as usize]);
+                    let base = self.buf_view(*buf);
+                    f[*dst as usize] = num(&self.index_view(base, i));
+                }
+                TInstr::LoadRow1 { dst, buf, i } => {
+                    w += 2;
+                    let i = check_index(f[*i as usize]);
+                    let base = self.buf_view(*buf);
+                    v[*dst as usize] = self.index_view(base, i);
+                }
+                TInstr::LoadCell2 { dst, buf, row, col } => {
+                    // Ref + two Index nodes (3) + two index_view charges.
+                    w += 3;
+                    let r = check_index(f[*row as usize]);
+                    let c = check_index(f[*col as usize]);
+                    let base = self.buf_view(*buf);
+                    let row_view = self.index_view(base, r);
+                    f[*dst as usize] = num(&self.index_view(row_view, c));
+                }
+                TInstr::NumOf { dst, a } => {
+                    f[*dst as usize] = num(&v[*a as usize]);
+                }
+                TInstr::IndexF { dst, base, idx } => {
+                    w += 1;
+                    let i = check_index(f[*idx as usize]);
+                    let b = take_opd(&f, &mut v, *base);
+                    f[*dst as usize] = num(&self.index_view(b, i));
+                }
+                TInstr::IndexV { dst, base, idx } => {
+                    w += 1;
+                    let i = check_index(f[*idx as usize]);
+                    let b = take_opd(&f, &mut v, *base);
+                    v[*dst as usize] = self.index_view(b, i);
+                }
+                TInstr::BinopF { dst, op, a, b } => {
+                    w += 1;
+                    let x = f[*a as usize];
+                    let y = f[*b as usize];
+                    f[*dst as usize] = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => x / y,
+                    };
+                }
+                TInstr::NegF { dst, a } => {
+                    w += 1;
+                    f[*dst as usize] = -f[*a as usize];
+                }
+                TInstr::Call1F { dst, f: func, a } => {
+                    w += 1;
+                    let x = f[*a as usize];
+                    f[*dst as usize] = match func {
+                        Builtin::Sigmoid => augur_math::special::sigmoid(x),
+                        Builtin::Exp => x.exp(),
+                        Builtin::Log => x.ln(),
+                        Builtin::Sqrt => x.sqrt(),
+                        Builtin::Dot => unreachable!("Dot compiles to a DotF instruction"),
+                    };
+                }
+                TInstr::DotF { dst, a, b } => {
+                    w += 1;
+                    let r = {
+                        let sa = opd_slice(&self.state, &f, &v, *a);
+                        let sb = opd_slice(&self.state, &f, &v, *b);
+                        w += sa.len() as u64;
+                        augur_math::vecops::dot(sa, sb)
+                    };
+                    f[*dst as usize] = r;
+                }
+                TInstr::Op1 { dst, op, a } => {
+                    w += 1;
+                    let va = take_opd(&f, &mut v, *a);
+                    v[*dst as usize] = self.op_views(*op, va, View::Num(0.0));
+                }
+                TInstr::Op2 { dst, op, a, b } => {
+                    w += 1;
+                    let va = take_opd(&f, &mut v, *a);
+                    let vb = take_opd(&f, &mut v, *b);
+                    v[*dst as usize] = self.op_views(*op, va, vb);
+                }
+                TInstr::DistLl { dst, dist, args, n_args, point } => {
+                    w += 1;
+                    let n = *n_args as usize;
+                    w += dist_op_cost(*dist, opd_len(self, &v, *point));
+                    let ll = {
+                        let refs = [
+                            opd_ref(&self.state, &f, &v, args[0], n > 0),
+                            opd_ref(&self.state, &f, &v, args[1], n > 1),
+                        ];
+                        let pref = opd_ref(&self.state, &f, &v, *point, true);
+                        dist.log_pdf(&refs[..n], pref).expect("ll evaluation failed")
+                    };
+                    f[*dst as usize] = ll;
+                }
+                TInstr::DistGrad { dst, dist, wrt, args, n_args, point } => {
+                    w += 1;
+                    let n = *n_args as usize;
+                    w += dist_op_cost(*dist, opd_len(self, &v, *point));
+                    let out_len = match wrt {
+                        GradWrt::Param(pos) => match dist.param_tys()[*pos as usize] {
+                            augur_dist::SimpleTy::Vec => opd_len(self, &v, args[*pos as usize]),
+                            _ => 0,
+                        },
+                        GradWrt::Point => match dist.point_ty() {
+                            augur_dist::SimpleTy::Vec => opd_len(self, &v, *point),
+                            _ => 0,
+                        },
+                    };
+                    if out_len == 0 {
+                        let mut out = 0.0;
+                        {
+                            let refs = [
+                                opd_ref(&self.state, &f, &v, args[0], n > 0),
+                                opd_ref(&self.state, &f, &v, args[1], n > 1),
+                            ];
+                            let pref = opd_ref(&self.state, &f, &v, *point, true);
+                            match wrt {
+                                GradWrt::Param(pos) => dist
+                                    .grad_param(
+                                        *pos as usize,
+                                        &refs[..n],
+                                        pref,
+                                        ValueMut::Scalar(&mut out),
+                                    )
+                                    .expect("grad_param failed"),
+                                GradWrt::Point => dist
+                                    .grad_point(&refs[..n], pref, ValueMut::Scalar(&mut out))
+                                    .expect("grad_point failed"),
+                            }
+                        }
+                        v[*dst as usize] = View::Num(out);
+                    } else {
+                        w += out_len as u64;
+                        let mut out = vec![0.0; out_len];
+                        {
+                            let refs = [
+                                opd_ref(&self.state, &f, &v, args[0], n > 0),
+                                opd_ref(&self.state, &f, &v, args[1], n > 1),
+                            ];
+                            let pref = opd_ref(&self.state, &f, &v, *point, true);
+                            match wrt {
+                                GradWrt::Param(pos) => dist
+                                    .grad_param(
+                                        *pos as usize,
+                                        &refs[..n],
+                                        pref,
+                                        ValueMut::Vector(&mut out),
+                                    )
+                                    .expect("grad_param failed"),
+                                GradWrt::Point => dist
+                                    .grad_point(&refs[..n], pref, ValueMut::Vector(&mut out))
+                                    .expect("grad_point failed"),
+                            }
+                        }
+                        v[*dst as usize] = View::Own(out);
+                    }
+                }
+                TInstr::LenV { dst, a } => {
+                    w += 1;
+                    f[*dst as usize] = self.view_len(&v[*a as usize]) as f64;
+                }
+                TInstr::Write { lhs, op, src } => {
+                    let record = self.record_atomics && *op == AssignOp::Inc;
+                    // Fast path: a scalar store to a directly-addressed
+                    // cell — the bulk of Gibbs inner loops. Inlines
+                    // `write_dest`'s Cell/Num arm (including its one work
+                    // unit and atomic recording) without an OwnVal trip.
+                    if !src.is_view() {
+                        let cell = match lhs {
+                            TDest::Cell0 { buf } => Some((*buf, 0)),
+                            TDest::Cell1 { buf, i, len } => {
+                                let x = f[*i as usize];
+                                assert!(x >= 0.0, "negative store index");
+                                let i = x as usize;
+                                assert!(
+                                    i < *len as usize,
+                                    "store index {i} out of bounds for {len}"
+                                );
+                                Some((*buf, i))
+                            }
+                            TDest::Cell2 { buf, row, col } => {
+                                let r = f[*row as usize];
+                                assert!(r >= 0.0, "negative store index");
+                                let (s, e) = self.state.row_range(*buf, r as usize);
+                                let c = f[*col as usize];
+                                assert!(c >= 0.0, "negative store index");
+                                let c = c as usize;
+                                let len = e - s;
+                                assert!(c < len, "store index {c} out of bounds for {len}");
+                                Some((*buf, s + c))
+                            }
+                            _ => None,
+                        };
+                        if let Some((buf, idx)) = cell {
+                            w += 1;
+                            let x = f[src.index()];
+                            let cell = &mut self.state.flat_mut(buf)[idx];
+                            match op {
+                                AssignOp::Set => *cell = x,
+                                AssignOp::Inc => {
+                                    *cell += x;
+                                    if record {
+                                        self.atomics.push(((buf as u64) << 40) | idx as u64);
+                                    }
+                                }
+                            }
+                            pc += 1;
+                            continue;
+                        }
+                    }
+                    let val = if src.is_view() {
+                        let view =
+                            std::mem::replace(&mut v[src.index()], View::Num(0.0));
+                        self.own_val(view)
+                    } else {
+                        OwnVal::Num(f[src.index()])
+                    };
+                    let dest = self.tape_dest(lhs, &f);
+                    self.write_dest(dest, *op, val, record);
+                }
+                TInstr::Sample { lhs, dist, args, n_args } => {
+                    let n = *n_args as usize;
+                    let mut owned = [OwnArg::Num(0.0), OwnArg::Num(0.0)];
+                    for k in 0..n {
+                        owned[k] = if args[k].is_view() {
+                            let view =
+                                std::mem::replace(&mut v[args[k].index()], View::Num(0.0));
+                            self.own_arg(view)
+                        } else {
+                            OwnArg::Num(f[args[k].index()])
+                        };
+                    }
+                    w += sample_cost(*dist, &owned[..n]);
+                    let dest = self.tape_dest(lhs, &f);
+                    let refs = [owned[0].as_ref(), owned[1].as_ref()];
+                    match dest {
+                        crate::eval::Dest::Cell { buf, idx } => {
+                            let mut out = 0.0;
+                            dist.sample(&refs[..n], &mut self.rng, ValueMut::Scalar(&mut out))
+                                .expect("sampling failed");
+                            self.state.flat_mut(buf)[idx] = out;
+                        }
+                        crate::eval::Dest::Range { buf, start, len } => {
+                            let slice = &mut self.state.flat_mut(buf)[start..start + len];
+                            let out = match dist.point_ty() {
+                                augur_dist::SimpleTy::Mat => {
+                                    let dim = (len as f64).sqrt() as usize;
+                                    ValueMut::Matrix { data: slice, dim }
+                                }
+                                _ => ValueMut::Vector(slice),
+                            };
+                            dist.sample(&refs[..n], &mut self.rng, out)
+                                .expect("sampling failed");
+                        }
+                    }
+                }
+                TInstr::SampleLogits { lhs, w: wreg } => {
+                    w += 4;
+                    let idx = {
+                        let wv = opd_slice(&self.state, &f, &v, *wreg);
+                        w += wv.len() as u64;
+                        self.rng.categorical_log(wv)
+                    };
+                    match self.tape_dest(lhs, &f) {
+                        crate::eval::Dest::Cell { buf, idx: cell } => {
+                            self.state.flat_mut(buf)[cell] = idx as f64
+                        }
+                        crate::eval::Dest::Range { .. } => {
+                            panic!("SampleLogits writes a scalar")
+                        }
+                    }
+                }
+                TInstr::JumpIfNe { a, b, target } => {
+                    if f[*a as usize] != f[*b as usize] {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                TInstr::Jump { target } => {
+                    pc = *target;
+                    continue;
+                }
+                TInstr::LoopStart { kind, lo, hi, exit } => {
+                    let lo = f[*lo as usize] as i64;
+                    let hi = f[*hi as usize] as i64;
+                    let fresh = *kind == LoopKind::Par && !self.in_parallel;
+                    let mut launch = 0;
+                    let mut master = None;
+                    if fresh {
+                        // One kernel launch, counted even for empty launches,
+                        // exactly like the tree-walker.
+                        self.launch_counter += 1;
+                        launch = self.launch_counter;
+                        master = Some(self.rng.clone());
+                        self.in_parallel = true;
+                    }
+                    if lo >= hi {
+                        if fresh {
+                            self.in_parallel = false;
+                            self.rng = master.take().expect("fresh loop saved the master RNG");
+                        }
+                        pc = *exit;
+                        continue;
+                    }
+                    if fresh {
+                        self.rng = self.thread_rng(launch, lo);
+                    }
+                    self.env.push(lo);
+                    frames.push(TapeFrame {
+                        idx: lo,
+                        hi,
+                        body_pc: pc + 1,
+                        exit: *exit,
+                        fresh,
+                        launch,
+                        master,
+                    });
+                }
+                TInstr::LoopEnd { w: extra } => {
+                    // Charges for instructions elided from the loop body by
+                    // value numbering — once per iteration, including this
+                    // final one, exactly as the tree would have paid them.
+                    w += *extra as u64;
+                    let frame = frames.last_mut().expect("LoopEnd without a frame");
+                    frame.idx += 1;
+                    if frame.idx < frame.hi {
+                        *self.env.last_mut().expect("loop frame owns an env slot") =
+                            frame.idx;
+                        if frame.fresh {
+                            let (launch, idx) = (frame.launch, frame.idx);
+                            self.rng = self.thread_rng(launch, idx);
+                        }
+                        pc = frame.body_pc;
+                        continue;
+                    }
+                    let frame = frames.pop().expect("LoopEnd without a frame");
+                    self.env.pop();
+                    if frame.fresh {
+                        self.in_parallel = false;
+                        self.rng = frame.master.expect("fresh loop saved the master RNG");
+                    }
+                    pc = frame.exit;
+                    continue;
+                }
+                TInstr::ChargeW { n } => {
+                    // Deferred charges for elided instructions in a
+                    // straight-line region.
+                    w += *n as u64;
+                }
+                TInstr::WriteImm { lhs, op, val } => {
+                    // The elided ConstF node's unit plus the store.
+                    w += 1;
+                    let record = self.record_atomics && *op == AssignOp::Inc;
+                    let cell = match lhs {
+                        TDest::Cell0 { buf } => Some((*buf, 0)),
+                        TDest::Cell1 { buf, i, len } => {
+                            let x = f[*i as usize];
+                            assert!(x >= 0.0, "negative store index");
+                            let i = x as usize;
+                            assert!(
+                                i < *len as usize,
+                                "store index {i} out of bounds for {len}"
+                            );
+                            Some((*buf, i))
+                        }
+                        TDest::Cell2 { buf, row, col } => {
+                            let r = f[*row as usize];
+                            assert!(r >= 0.0, "negative store index");
+                            let (s, e) = self.state.row_range(*buf, r as usize);
+                            let c = f[*col as usize];
+                            assert!(c >= 0.0, "negative store index");
+                            let c = c as usize;
+                            let len = e - s;
+                            assert!(c < len, "store index {c} out of bounds for {len}");
+                            Some((*buf, s + c))
+                        }
+                        _ => None,
+                    };
+                    if let Some((buf, idx)) = cell {
+                        w += 1;
+                        let cell = &mut self.state.flat_mut(buf)[idx];
+                        match op {
+                            AssignOp::Set => *cell = *val,
+                            AssignOp::Inc => {
+                                *cell += *val;
+                                if record {
+                                    self.atomics.push(((buf as u64) << 40) | idx as u64);
+                                }
+                            }
+                        }
+                    } else {
+                        let dest = self.tape_dest(lhs, &f);
+                        self.write_dest(dest, *op, OwnVal::Num(*val), record);
+                    }
+                }
+                TInstr::LlStore { lhs, op, dist, args, n_args, point } => {
+                    // The DistLl node's unit and cost, then the store.
+                    w += 1;
+                    let n = *n_args as usize;
+                    w += dist_op_cost(*dist, opd_len(self, &v, *point));
+                    let ll = {
+                        let refs = [
+                            opd_ref(&self.state, &f, &v, args[0], n > 0),
+                            opd_ref(&self.state, &f, &v, args[1], n > 1),
+                        ];
+                        let pref = opd_ref(&self.state, &f, &v, *point, true);
+                        dist.log_pdf(&refs[..n], pref).expect("ll evaluation failed")
+                    };
+                    let record = self.record_atomics && *op == AssignOp::Inc;
+                    let cell = match lhs {
+                        TDest::Cell0 { buf } => Some((*buf, 0)),
+                        TDest::Cell1 { buf, i, len } => {
+                            let x = f[*i as usize];
+                            assert!(x >= 0.0, "negative store index");
+                            let i = x as usize;
+                            assert!(
+                                i < *len as usize,
+                                "store index {i} out of bounds for {len}"
+                            );
+                            Some((*buf, i))
+                        }
+                        TDest::Cell2 { buf, row, col } => {
+                            let r = f[*row as usize];
+                            assert!(r >= 0.0, "negative store index");
+                            let (s, e) = self.state.row_range(*buf, r as usize);
+                            let c = f[*col as usize];
+                            assert!(c >= 0.0, "negative store index");
+                            let c = c as usize;
+                            let len = e - s;
+                            assert!(c < len, "store index {c} out of bounds for {len}");
+                            Some((*buf, s + c))
+                        }
+                        _ => None,
+                    };
+                    if let Some((buf, idx)) = cell {
+                        w += 1;
+                        let cell = &mut self.state.flat_mut(buf)[idx];
+                        match op {
+                            AssignOp::Set => *cell = ll,
+                            AssignOp::Inc => {
+                                *cell += ll;
+                                if record {
+                                    self.atomics.push(((buf as u64) << 40) | idx as u64);
+                                }
+                            }
+                        }
+                    } else {
+                        let dest = self.tape_dest(lhs, &f);
+                        self.write_dest(dest, *op, OwnVal::Num(ll), record);
+                    }
+                }
+            }
+            pc += 1;
+        }
+        self.work += w + tape.tail_w as u64;
+        let result = if want_result {
+            let r = tape.result.expect("expression tape has no result operand");
+            Some(if r.is_view() {
+                std::mem::replace(&mut v[r.index()], View::Num(0.0))
+            } else {
+                View::Num(f[r.index()])
+            })
+        } else {
+            None
+        };
+        self.tape_fregs = f;
+        self.tape_vregs = v;
+        (result, retired)
+    }
+
+    /// Resolves a compiled destination to concrete cells. The fast
+    /// variants skip the shape dispatch of the generic walk; bounds
+    /// checks and panics match [`dest_index`] exactly.
+    fn tape_dest(&self, lhs: &TDest, f: &[f64]) -> crate::eval::Dest {
+        match lhs {
+            TDest::Cell0 { buf } => crate::eval::Dest::Cell { buf: *buf, idx: 0 },
+            TDest::Cell1 { buf, i, len } => {
+                let x = f[*i as usize];
+                assert!(x >= 0.0, "negative store index");
+                let i = x as usize;
+                assert!(i < *len as usize, "store index {i} out of bounds for {len}");
+                crate::eval::Dest::Cell { buf: *buf, idx: i }
+            }
+            TDest::Row1 { buf, i } => {
+                let x = f[*i as usize];
+                assert!(x >= 0.0, "negative store index");
+                let (s, e) = self.state.row_range(*buf, x as usize);
+                crate::eval::Dest::Range { buf: *buf, start: s, len: e - s }
+            }
+            TDest::Cell2 { buf, row, col } => {
+                let r = f[*row as usize];
+                assert!(r >= 0.0, "negative store index");
+                let (s, e) = self.state.row_range(*buf, r as usize);
+                let c = f[*col as usize];
+                assert!(c >= 0.0, "negative store index");
+                let c = c as usize;
+                let len = e - s;
+                assert!(c < len, "store index {c} out of bounds for {len}");
+                crate::eval::Dest::Cell { buf: *buf, idx: s + c }
+            }
+            TDest::Slow { buf, idx, n_idx } => {
+                let mut d = self.buf_view_dest(*buf);
+                for k in 0..*n_idx as usize {
+                    let i = f[idx[k] as usize];
+                    assert!(i >= 0.0, "negative store index");
+                    d = dest_index(&self.state, d, i as usize);
+                }
+                d
+            }
+        }
+    }
+
+    /// Runs one tape-compiled Blk-IL block, charging the device exactly
+    /// as the tree-walking [`Engine::run_proc`] GPU path does, plus the
+    /// tape decode charge.
+    pub(crate) fn run_blk_tape(&mut self, proc_name: &str, b: &TBlk) {
+        match b {
+            TBlk::Seq(tape) => {
+                let before = self.work;
+                let retired = self.run_tape(tape);
+                let delta = (self.work - before) as f64;
+                self.device.sequential(delta);
+                self.device.tape_dispatch(retired);
+            }
+            TBlk::Par { kind, lo, hi, body, inner_par } => {
+                let lo = self.eval_int(lo);
+                let hi = self.eval_int(hi);
+                let threads = (hi - lo).max(0) as usize;
+                let record = *kind == LoopKind::AtmPar;
+                let before_work = self.work;
+                let mut retired = 0;
+                self.record_atomics = record;
+                self.atomics.clear();
+                if *kind == LoopKind::Par {
+                    self.launch_counter += 1;
+                    let launch = self.launch_counter;
+                    let master = self.rng.clone();
+                    self.in_parallel = true;
+                    for t in lo..hi {
+                        self.rng = self.thread_rng(launch, t);
+                        self.env.push(t);
+                        retired += self.run_tape(body);
+                        self.env.pop();
+                    }
+                    self.in_parallel = false;
+                    self.rng = master;
+                } else {
+                    for t in lo..hi {
+                        self.env.push(t);
+                        retired += self.run_tape(body);
+                        self.env.pop();
+                    }
+                }
+                self.record_atomics = false;
+                let total_work = self.work - before_work;
+                let width =
+                    inner_par.as_ref().map(|e| self.eval_int(e).max(1)).unwrap_or(1);
+                let drained: Vec<u64> = std::mem::take(&mut self.atomics);
+                let mut scope = self.device.begin_kernel(proc_name);
+                scope.thread_work(total_work);
+                for loc in drained {
+                    scope.atomic(loc);
+                }
+                scope.finish(threads * width as usize);
+                self.device.tape_dispatch(retired);
+            }
+            TBlk::Loop { lo, hi, body } => {
+                let lo = self.eval_int(lo);
+                let hi = self.eval_int(hi);
+                for i in lo..hi {
+                    self.env.push(i);
+                    for inner in body {
+                        self.run_blk_tape(proc_name, inner);
+                    }
+                    self.env.pop();
+                }
+            }
+            TBlk::Sum { acc, lo, hi, rhs } => {
+                let lo = self.eval_int(lo);
+                let hi = self.eval_int(hi);
+                let n = (hi - lo).max(0) as usize;
+                let before_work = self.work;
+                let mut retired = 0;
+                let mut scalar_acc = 0.0;
+                let mut vec_acc: Option<Vec<f64>> = None;
+                for i in lo..hi {
+                    self.env.push(i);
+                    let (view, r) = self.run_tape_value(rhs);
+                    retired += r;
+                    self.env.pop();
+                    match self.own_val(view) {
+                        OwnVal::Num(x) => scalar_acc += x,
+                        OwnVal::VecD(xs) => match &mut vec_acc {
+                            Some(acc_v) => {
+                                for (a, x) in acc_v.iter_mut().zip(&xs) {
+                                    *a += x;
+                                }
+                            }
+                            None => vec_acc = Some(xs),
+                        },
+                    }
+                }
+                let total_work = (self.work - before_work) as f64;
+                let per_elem = if n > 0 { total_work / n as f64 } else { 0.0 };
+                self.device.reduce(proc_name, n, per_elem);
+                self.device.tape_dispatch(retired);
+                let add = match vec_acc {
+                    Some(acc_v) => OwnVal::VecD(acc_v),
+                    None => OwnVal::Num(scalar_acc),
+                };
+                self.write(acc, AssignOp::Inc, add, false);
+            }
+        }
+    }
+}
+
+/// Takes an operand as an owned view: view registers are consumed (each
+/// has a single static reader), scalar registers are wrapped.
+#[inline]
+fn take_opd(f: &[f64], v: &mut [View], opd: Opd) -> View {
+    if opd.is_view() {
+        std::mem::replace(&mut v[opd.index()], View::Num(0.0))
+    } else {
+        View::Num(f[opd.index()])
+    }
+}
+
+/// Borrows an operand as a `ValueRef`, or a placeholder when the slot is
+/// unused (arity < 2).
+#[inline]
+fn opd_ref<'a>(
+    state: &'a State,
+    f: &'a [f64],
+    v: &'a [View],
+    opd: Opd,
+    live: bool,
+) -> ValueRef<'a> {
+    if !live {
+        return ValueRef::Scalar(0.0);
+    }
+    if opd.is_view() {
+        value_ref_of(state, &v[opd.index()])
+    } else {
+        ValueRef::Scalar(f[opd.index()])
+    }
+}
+
+/// Borrows an operand as a flat slice (vector contexts only).
+#[inline]
+fn opd_slice<'a>(state: &'a State, _f: &'a [f64], v: &'a [View], opd: Opd) -> &'a [f64] {
+    if opd.is_view() {
+        slice_of(state, &v[opd.index()])
+    } else {
+        panic!("expected vector view, got scalar")
+    }
+}
+
+/// Flat length of an operand: scalars have length 0 (matching the
+/// tree-walker's `view_len` of a `Num`).
+#[inline]
+fn opd_len(eng: &Engine, v: &[View], opd: Opd) -> usize {
+    if opd.is_view() {
+        eng.view_len(&v[opd.index()])
+    } else {
+        0
+    }
+}

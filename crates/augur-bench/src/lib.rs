@@ -97,7 +97,7 @@ pub fn hlr_sampler(
 ) -> Sampler {
     let n = data.x.num_rows();
     let mut aug = Infer::from_source(models::HLR).expect("HLR parses");
-    aug.set_compile_opt(SamplerConfig { target, mcmc, seed, opt_flags });
+    aug.set_compile_opt(SamplerConfig { target, mcmc, seed, opt_flags, ..Default::default() });
     aug.compile(vec![
         HostValue::Real(1.0),
         HostValue::Int(n as i64),
@@ -112,9 +112,9 @@ pub fn hlr_sampler(
 /// Extracts `(pi, mus, sigmas)` from an HGMM sampler state for
 /// log-predictive evaluation.
 pub fn hgmm_params(s: &Sampler, k: usize, d: usize) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Matrix>) {
-    let pi = s.param("pi").to_vec();
-    let mu = s.param("mu").to_vec();
-    let sig = s.param("Sigma").to_vec();
+    let pi = s.param("pi").unwrap().to_vec();
+    let mu = s.param("mu").unwrap().to_vec();
+    let sig = s.param("Sigma").unwrap().to_vec();
     let mus = (0..k).map(|c| mu[c * d..(c + 1) * d].to_vec()).collect();
     let sigs = (0..k)
         .map(|c| Matrix::from_vec(d, d, sig[c * d * d..(c + 1) * d * d].to_vec()).expect("shape"))

@@ -35,11 +35,10 @@
 pub mod conjugacy;
 mod kind;
 pub mod matrix;
-mod rng;
 pub mod scalar;
 mod value;
 pub mod vector;
 
+pub use augur_math::Prng;
 pub use kind::{DistError, DistKind, SimpleTy, Support};
-pub use rng::Prng;
 pub use value::{ValueMut, ValueRef};

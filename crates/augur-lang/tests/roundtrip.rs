@@ -1,3 +1,8 @@
+// Needs the external `proptest` crate, which the hermetic offline build
+// does not vendor. Enable with `--features proptest-tests` on a machine
+// with network access.
+#![cfg(feature = "proptest-tests")]
+
 //! Property tests: generated models survive a pretty-print → parse →
 //! pretty-print round trip, and the type checker is deterministic.
 

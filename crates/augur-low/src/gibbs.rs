@@ -481,7 +481,7 @@ fn gen_finite_sum_aligned(
             comps: f.comps.clone(),
             inds: f.inds.iter().map(|(l, r)| (subst(l), subst(r))).collect(),
             dist: f.dist,
-            args: f.args.iter().map(|a| subst(a)).collect(),
+            args: f.args.iter().map(&subst).collect(),
             point: subst(&f.point),
         };
         let atom = {

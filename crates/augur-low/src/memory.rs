@@ -16,7 +16,7 @@ use augur_density::DExpr;
 use augur_dist::DistKind;
 use augur_lang::ast::Builtin;
 
-use crate::il::{AssignOp, Expr, LValue, OpN, ProcDecl, Stmt};
+use crate::il::{AssignOp, Expr, LValue, OpN, Stmt};
 use crate::shape::{AllocDecl, ShapeSpec, SizeExpr};
 use crate::{LowerError, LoweredModel};
 

@@ -1,16 +1,17 @@
 //! Numerical substrate for the AugurV2 reproduction.
 //!
-//! This crate supplies the dense linear algebra, special functions, and the
-//! flattened ragged-array representation that the AugurV2 runtime library
-//! (paper §6.2) is built on. Everything is implemented from scratch: the
-//! only external dependency is `rand` for the RNG used by samplers in
-//! downstream crates.
+//! This crate supplies the dense linear algebra, special functions, the
+//! flattened ragged-array representation, and the pseudo-random number
+//! source that the AugurV2 runtime library (paper §6.2) is built on.
+//! Everything is implemented from scratch with zero external
+//! dependencies, so the whole workspace builds hermetically offline.
 //!
 //! # Overview
 //!
 //! * [`Matrix`] — a dense, row-major matrix with the usual operations.
 //! * [`Cholesky`] — Cholesky factorization used for multivariate-normal
 //!   densities, sampling, and log-determinants.
+//! * [`Prng`] — the splitmix64-based generator every sampler draws from.
 //! * [`ragged`] — the paper's "vector of vectors" runtime representation:
 //!   a pointer-directed index paired with one flat contiguous buffer.
 //! * [`special`] — `lgamma`, `digamma`, `log_sum_exp`, `sigmoid`, …
@@ -39,6 +40,7 @@ mod chol;
 mod error;
 mod matrix;
 pub mod ragged;
+mod rng;
 pub mod special;
 pub mod vecops;
 
@@ -46,3 +48,4 @@ pub use chol::Cholesky;
 pub use error::MathError;
 pub use matrix::Matrix;
 pub use ragged::FlatRagged;
+pub use rng::Prng;

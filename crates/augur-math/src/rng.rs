@@ -1,20 +1,27 @@
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! The in-tree pseudo-random number source.
+//!
+//! The reproduction is built to run on a hermetic, network-less machine,
+//! so the generator is implemented here rather than pulled from an
+//! external crate: a splitmix64 core (Steele, Lea & Flood 2014) — the
+//! same mixing function the backend already uses to derive per-thread
+//! `curand`-style streams — drives the primitive sampling algorithms that
+//! the AugurV2 runtime library provides (§6.2).
 
 /// The pseudo-random number source used by every sampler in this
 /// reproduction.
 ///
-/// `Prng` wraps a seedable [`StdRng`] and implements the primitive sampling
+/// `Prng` wraps a splitmix64 stream and implements the primitive sampling
 /// algorithms that the AugurV2 runtime library provides (§6.2): normal
-/// (Marsaglia polar), gamma (Marsaglia–Tsang), beta, Dirichlet, categorical,
-/// Poisson, exponential. Higher-level distribution sampling in this crate
-/// and all MCMC kernels in the backend draw exclusively from a `Prng`, so a
-/// fixed seed makes entire inference runs reproducible.
+/// (Marsaglia polar), gamma (Marsaglia–Tsang), beta, Dirichlet,
+/// categorical, Poisson, exponential. Higher-level distribution sampling
+/// in `augur-dist` and all MCMC kernels in the backend draw exclusively
+/// from a `Prng`, so a fixed seed makes entire inference runs
+/// reproducible.
 ///
 /// # Example
 ///
 /// ```
-/// use augur_dist::Prng;
+/// use augur_math::Prng;
 ///
 /// let mut a = Prng::seed_from_u64(42);
 /// let mut b = Prng::seed_from_u64(42);
@@ -22,7 +29,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Prng {
-    inner: StdRng,
+    state: u64,
     /// Cached second value from the last polar-normal draw.
     spare_normal: Option<f64>,
 }
@@ -30,12 +37,22 @@ pub struct Prng {
 impl Prng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Prng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        Prng { state: seed, spare_normal: None }
+    }
+
+    /// The next raw 64-bit word of the stream (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Draws a uniform value in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality mantissa bits
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Draws a uniform value in `[lo, hi)`.
@@ -48,14 +65,14 @@ impl Prng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Draws a uniform integer in `[0, n)`.
+    /// Draws a uniform integer in `[0, n)` (Lemire's multiply-shift).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Draws a standard normal via the Marsaglia polar method.
@@ -213,11 +230,11 @@ impl Prng {
         for (o, &a) in out.iter_mut().zip(alpha) {
             *o = self.gamma(a, 1.0);
         }
-        augur_math::vecops::normalize(out);
+        crate::vecops::normalize(out);
     }
 
     /// Draws from `Poisson(lambda)`. Uses Knuth's method for small `lambda`
-    /// and a normal-approximation rejection loop for large `lambda`.
+    /// and additivity-based chunking for large `lambda`.
     ///
     /// # Panics
     ///
@@ -255,8 +272,8 @@ impl Prng {
         }
     }
 
-    /// Draws `k` values of a chi-squared with `df` degrees of freedom
-    /// (used by the Bartlett decomposition for Wishart sampling).
+    /// Draws a chi-squared value with `df` degrees of freedom (used by the
+    /// Bartlett decomposition for Wishart sampling).
     ///
     /// # Panics
     ///
@@ -264,17 +281,12 @@ impl Prng {
     pub fn chi_squared(&mut self, df: f64) -> f64 {
         self.gamma(df / 2.0, 0.5)
     }
-
-    /// Access the raw uniform bit source (escape hatch for shuffles).
-    pub fn raw(&mut self) -> &mut impl RngCore {
-        &mut self.inner
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use augur_math::vecops::{mean, variance};
+    use crate::vecops::{mean, variance};
 
     fn draws<F: FnMut(&mut Prng) -> f64>(n: usize, seed: u64, mut f: F) -> Vec<f64> {
         let mut rng = Prng::seed_from_u64(seed);
@@ -287,6 +299,34 @@ mod tests {
         let mut b = a.clone();
         for _ in 0..100 {
             assert_eq!(a.std_normal().to_bits(), b.std_normal().to_bits());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = Prng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_covers_range_uniformly() {
+        let mut rng = Prng::seed_from_u64(13);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.below(5)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 50_000.0 - 0.2).abs() < 0.01, "count {c}");
         }
     }
 

@@ -1,3 +1,8 @@
+// Needs the external `proptest` crate, which the hermetic offline build
+// does not vendor. Enable with `--features proptest-tests` on a machine
+// with network access.
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests for the linear-algebra substrate.
 
 use augur_math::special::{lgamma, log_sum_exp, sigmoid};

@@ -7,12 +7,30 @@
 //! module adds the across-chains mode to the compiled sampler — each
 //! chain is an independently seeded build of the same compiled model, so
 //! chains can also feed convergence diagnostics (split-R̂).
+//!
+//! The entry point is [`ChainRunner`], a builder continuing the
+//! `Infer::compile(..).data(..)` flow:
+//!
+//! ```no_run
+//! # use augur::{Infer, HostValue, chains::ChainRunner};
+//! # let aug = Infer::from_source("(N) => {
+//! #     param p ~ Beta(1.0, 1.0) ;
+//! #     data y[n] ~ Bernoulli(p) for n <- 0 until N ;
+//! # }")?;
+//! let chains = ChainRunner::new(&aug)
+//!     .args(vec![HostValue::Int(2)])
+//!     .data(vec![("y", HostValue::VecF(vec![1.0, 0.0]))])
+//!     .chains(4)
+//!     .sweeps(1500)
+//!     .record(&["p"])
+//!     .run()?;
+//! let pooled = chains.pooled_mean("p", 0)?;
+//! # Ok::<(), augur::Error>(())
+//! ```
 
 use std::collections::HashMap;
 
-use augur_backend::driver::BuildError;
-
-use crate::{HostValue, Infer, SamplerConfig};
+use crate::{Error, HostValue, Infer, SamplerConfig};
 
 /// The result of a multi-chain run.
 #[derive(Debug, Clone)]
@@ -29,22 +47,26 @@ impl Chains {
 
     /// Extracts one scalar trace per chain: component `index` of `param`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the parameter was not recorded or the index is out of
-    /// range.
-    pub fn traces(&self, param: &str, index: usize) -> Vec<Vec<f64>> {
+    /// Returns [`Error::NotRecorded`] if the parameter was not in the
+    /// recorded set, or [`Error::OutOfRange`] if `index` exceeds its
+    /// length.
+    pub fn traces(&self, param: &str, index: usize) -> Result<Vec<Vec<f64>>, Error> {
         self.draws
             .iter()
             .map(|chain| {
                 chain
                     .iter()
                     .map(|snap| {
-                        *snap
+                        let vals = snap
                             .get(param)
-                            .unwrap_or_else(|| panic!("`{param}` was not recorded"))
-                            .get(index)
-                            .unwrap_or_else(|| panic!("`{param}[{index}]` out of range"))
+                            .ok_or_else(|| Error::NotRecorded { param: param.to_owned() })?;
+                        vals.get(index).copied().ok_or_else(|| Error::OutOfRange {
+                            param: param.to_owned(),
+                            index,
+                            len: vals.len(),
+                        })
                     })
                     .collect()
             })
@@ -52,23 +74,126 @@ impl Chains {
     }
 
     /// Pooled posterior mean of one scalar component across all chains.
-    pub fn pooled_mean(&self, param: &str, index: usize) -> f64 {
-        let traces = self.traces(param, index);
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Chains::traces`].
+    pub fn pooled_mean(&self, param: &str, index: usize) -> Result<f64, Error> {
+        let traces = self.traces(param, index)?;
         let total: f64 = traces.iter().flatten().sum();
         let count: usize = traces.iter().map(Vec::len).sum();
-        total / count.max(1) as f64
+        Ok(total / count.max(1) as f64)
+    }
+}
+
+/// Builder for a multi-chain run over a compiled model.
+///
+/// Chains run sequentially on this host (the evaluation machine has one
+/// core); they are embarrassingly parallel by construction. Each chain
+/// derives its seed from the base config's seed, so a run is
+/// reproducible end to end.
+#[derive(Debug)]
+pub struct ChainRunner<'a> {
+    infer: &'a Infer,
+    args: Vec<HostValue>,
+    data: Vec<(&'a str, HostValue)>,
+    config: Option<SamplerConfig>,
+    n_chains: usize,
+    sweeps: usize,
+    record: Vec<&'a str>,
+}
+
+impl<'a> ChainRunner<'a> {
+    /// Starts a run of the given compiled model. Defaults: 4 chains,
+    /// 1000 sweeps, nothing recorded, the [`Infer`]'s own compile options.
+    pub fn new(infer: &'a Infer) -> ChainRunner<'a> {
+        ChainRunner {
+            infer,
+            args: Vec::new(),
+            data: Vec::new(),
+            config: None,
+            n_chains: 4,
+            sweeps: 1000,
+            record: Vec::new(),
+        }
+    }
+
+    /// Positional model arguments, in declaration order (as
+    /// [`Infer::compile`]).
+    #[must_use]
+    pub fn args(mut self, args: Vec<HostValue>) -> Self {
+        self.args = args;
+        self
+    }
+
+    /// Binds observed data by variable name (as
+    /// [`crate::CompileBuilder::data`]).
+    #[must_use]
+    pub fn data(mut self, data: Vec<(&'a str, HostValue)>) -> Self {
+        self.data.extend(data);
+        self
+    }
+
+    /// Overrides the sampler configuration for every chain (per-chain
+    /// seeds are still derived from its seed).
+    #[must_use]
+    pub fn config(mut self, config: SamplerConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Number of independently seeded chains (default 4).
+    #[must_use]
+    pub fn chains(mut self, n: usize) -> Self {
+        self.n_chains = n;
+        self
+    }
+
+    /// Sweeps per chain (default 1000).
+    #[must_use]
+    pub fn sweeps(mut self, n: usize) -> Self {
+        self.sweeps = n;
+        self
+    }
+
+    /// Parameters to record after each sweep.
+    #[must_use]
+    pub fn record(mut self, params: &[&'a str]) -> Self {
+        self.record = params.to_vec();
+        self
+    }
+
+    /// Builds and runs every chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first build error.
+    pub fn run(self) -> Result<Chains, Error> {
+        let base = self.config.clone().unwrap_or_else(|| self.infer.config.clone());
+        let mut draws = Vec::with_capacity(self.n_chains);
+        for c in 0..self.n_chains {
+            let mut chain_cfg = base.clone();
+            chain_cfg.seed = base
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1));
+            let mut infer_c = self.infer.clone();
+            infer_c.set_compile_opt(chain_cfg);
+            let mut sampler =
+                infer_c.compile(self.args.clone()).data(self.data.clone()).build()?;
+            sampler.init();
+            draws.push(sampler.sample(self.sweeps, &self.record));
+        }
+        Ok(Chains { draws })
     }
 }
 
 /// Runs `n_chains` independently seeded copies of the compiled model for
 /// `sweeps` sweeps each, recording the named parameters.
 ///
-/// Chains run sequentially on this host (the evaluation machine has one
-/// core); they are embarrassingly parallel by construction.
-///
 /// # Errors
 ///
 /// Returns the first build error.
+#[deprecated(since = "0.2.0", note = "use `ChainRunner` instead")]
 pub fn run_chains(
     infer: &Infer,
     args: Vec<HostValue>,
@@ -77,18 +202,15 @@ pub fn run_chains(
     n_chains: usize,
     sweeps: usize,
     record: &[&str],
-) -> Result<Chains, BuildError> {
-    let mut draws = Vec::with_capacity(n_chains);
-    for c in 0..n_chains {
-        let mut chain_cfg = config.clone();
-        chain_cfg.seed = config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1));
-        let mut infer_c = infer.clone();
-        infer_c.set_compile_opt(chain_cfg);
-        let mut sampler = infer_c.compile(args.clone()).data(data.clone()).build()?;
-        sampler.init();
-        draws.push(sampler.sample(sweeps, record));
-    }
-    Ok(Chains { draws })
+) -> Result<Chains, Error> {
+    ChainRunner::new(infer)
+        .args(args)
+        .data(data)
+        .config(config.clone())
+        .chains(n_chains)
+        .sweeps(sweeps)
+        .record(record)
+        .run()
 }
 
 #[cfg(test)]
@@ -105,29 +227,26 @@ mod tests {
         )
         .unwrap();
         let data = vec![1.2, 0.8, 1.0, 1.4, 0.6];
-        let chains = run_chains(
-            &aug,
-            vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
-            vec![("y", HostValue::VecF(data.clone()))],
-            &SamplerConfig::default(),
-            4,
-            1500,
-            &["m"],
-        )
-        .unwrap();
+        let chains = ChainRunner::new(&aug)
+            .args(vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)])
+            .data(vec![("y", HostValue::VecF(data.clone()))])
+            .chains(4)
+            .sweeps(1500)
+            .record(&["m"])
+            .run()
+            .unwrap();
         assert_eq!(chains.num_chains(), 4);
-        let traces = chains.traces("m", 0);
+        let traces = chains.traces("m", 0).unwrap();
         // distinct seeds ⇒ distinct paths
         assert_ne!(traces[0][..20], traces[1][..20]);
         // pooled mean matches the analytic posterior mean
         let sum: f64 = data.iter().sum();
         let (post_mu, _) = augur_dist::conjugacy::normal_normal_mean(0.0, 4.0, 1.0, sum, 5.0);
-        assert!((chains.pooled_mean("m", 0) - post_mu).abs() < 0.05);
+        assert!((chains.pooled_mean("m", 0).unwrap() - post_mu).abs() < 0.05);
     }
 
     #[test]
-    #[should_panic(expected = "was not recorded")]
-    fn missing_param_panics_clearly() {
+    fn deprecated_shim_matches_builder() {
         let aug = Infer::from_source(
             "(N) => {
                 param p ~ Beta(1.0, 1.0) ;
@@ -135,16 +254,48 @@ mod tests {
             }",
         )
         .unwrap();
-        let chains = run_chains(
-            &aug,
-            vec![HostValue::Int(2)],
-            vec![("y", HostValue::VecF(vec![1.0, 0.0]))],
-            &SamplerConfig::default(),
-            2,
-            5,
-            &["p"],
+        let args = vec![HostValue::Int(2)];
+        let data = vec![("y", HostValue::VecF(vec![1.0, 0.0]))];
+        #[allow(deprecated)]
+        let old = run_chains(&aug, args.clone(), data.clone(), &SamplerConfig::default(), 2, 5, &["p"])
+            .unwrap();
+        let new = ChainRunner::new(&aug)
+            .args(args)
+            .data(data)
+            .chains(2)
+            .sweeps(5)
+            .record(&["p"])
+            .run()
+            .unwrap();
+        assert_eq!(old.draws, new.draws);
+    }
+
+    #[test]
+    fn missing_param_is_a_typed_error() {
+        let aug = Infer::from_source(
+            "(N) => {
+                param p ~ Beta(1.0, 1.0) ;
+                data y[n] ~ Bernoulli(p) for n <- 0 until N ;
+            }",
         )
         .unwrap();
-        let _ = chains.traces("ghost", 0);
+        let chains = ChainRunner::new(&aug)
+            .args(vec![HostValue::Int(2)])
+            .data(vec![("y", HostValue::VecF(vec![1.0, 0.0]))])
+            .chains(2)
+            .sweeps(5)
+            .record(&["p"])
+            .run()
+            .unwrap();
+        match chains.traces("ghost", 0) {
+            Err(Error::NotRecorded { param }) => assert_eq!(param, "ghost"),
+            other => panic!("expected NotRecorded, got {other:?}"),
+        }
+        match chains.traces("p", 7) {
+            Err(Error::OutOfRange { param, index, len }) => {
+                assert_eq!((param.as_str(), index, len), ("p", 7, 1));
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,75 @@
+//! The crate-wide error type.
+//!
+//! Everything a user-facing entry point can fail with funnels into
+//! [`Error`]: compile-time failures arrive as [`BuildError`]s from the
+//! pipeline, and runtime accessor failures (asking for a trace that was
+//! never recorded, indexing past a parameter's length) get their own
+//! typed variants so callers can match on them instead of parsing panic
+//! strings.
+
+use std::fmt;
+
+use augur_backend::driver::{BuildError, UnknownParam};
+
+/// Any failure from the user-facing API: compilation, building, running
+/// chains, or accessing results.
+#[derive(Debug)]
+pub enum Error {
+    /// A pipeline failure (parse, typecheck, density, schedule, lowering,
+    /// or state setup), with the failing phase named inside.
+    Build(BuildError),
+    /// A parameter was looked up on a sampler but no buffer has that name.
+    UnknownParam {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A parameter trace was requested from a [`crate::chains::Chains`]
+    /// result, but that parameter was not in the recorded set.
+    NotRecorded {
+        /// The parameter that was not recorded.
+        param: String,
+    },
+    /// A component index was out of range for a recorded parameter.
+    OutOfRange {
+        /// The recorded parameter.
+        param: String,
+        /// The requested component index.
+        index: usize,
+        /// The parameter's actual length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Build(e) => write!(f, "{e}"),
+            Error::UnknownParam { name } => write!(f, "no parameter named `{name}`"),
+            Error::NotRecorded { param } => write!(f, "`{param}` was not recorded"),
+            Error::OutOfRange { param, index, len } => {
+                write!(f, "`{param}[{index}]` out of range (length {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        Error::Build(e)
+    }
+}
+
+impl From<UnknownParam> for Error {
+    fn from(e: UnknownParam) -> Self {
+        Error::UnknownParam { name: e.name }
+    }
+}

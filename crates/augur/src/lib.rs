@@ -47,17 +47,39 @@
 
 pub mod chains;
 pub mod codegen;
+pub mod error;
 
 use augur_backend::driver::BuildError;
 use augur_density::DensityModel;
 use augur_kernel::{heuristic_schedule, parse_schedule, plan, KernelPlan, Schedule};
 use augur_low::LoweredModel;
 
-pub use augur_backend::driver::{Sampler, SamplerConfig, Target};
+pub use augur_backend::driver::{Sampler, SamplerConfig, Target, UnknownParam};
 pub use augur_backend::mcmc::McmcConfig;
 pub use augur_backend::state::HostValue;
+pub use augur_backend::ExecStrategy;
 pub use augur_blk::OptFlags;
+pub use chains::ChainRunner;
+pub use error::Error;
 pub use gpu_sim::DeviceConfig;
+
+/// One-stop import of the user-facing surface:
+///
+/// ```
+/// use augur::prelude::*;
+/// ```
+///
+/// Everything a typical inference script touches — building
+/// ([`Infer`], [`HostValue`], [`SamplerConfig`], [`Target`],
+/// [`ExecStrategy`], [`OptFlags`], [`McmcConfig`]), running
+/// ([`Sampler`], [`ChainRunner`]), and failing ([`Error`]).
+pub mod prelude {
+    pub use crate::chains::{ChainRunner, Chains};
+    pub use crate::{
+        Error, ExecStrategy, HostValue, Infer, McmcConfig, OptFlags, Sampler, SamplerConfig,
+        Target,
+    };
+}
 
 /// Compiler diagnostics produced alongside a build (what the paper's
 /// verbose mode prints).

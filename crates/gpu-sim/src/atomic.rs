@@ -7,9 +7,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// the backend knows which increments must be executed atomically when a
 /// loop is parallelized (`AtmPar`). The simulated device executes threads
 /// deterministically on one core, but the stress tests in this crate run
-/// the same primitive under real `crossbeam` threads to validate that the
-/// semantics the simulator assumes (atomic read-modify-write, no lost
-/// updates) hold.
+/// the same primitive under real OS threads (`std::thread::scope`) to
+/// validate that the semantics the simulator assumes (atomic
+/// read-modify-write, no lost updates) hold.
 ///
 /// # Example
 ///
@@ -94,16 +94,15 @@ mod tests {
         let a = AtomicF64::new(0.0);
         let threads = 8;
         let per_thread = 10_000;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|_| {
+                s.spawn(|| {
                     for _ in 0..per_thread {
                         a.fetch_add(1.0);
                     }
                 });
             }
-        })
-        .expect("threads join");
+        });
         assert_eq!(a.load(), (threads * per_thread) as f64);
     }
 

@@ -1,3 +1,8 @@
+// Needs the external `proptest` crate, which the hermetic offline build
+// does not vendor. Enable with `--features proptest-tests` on a machine
+// with network access.
+#![cfg(feature = "proptest-tests")]
+
 //! Property tests for the device cost model: virtual time must be
 //! monotone in work and never negative, and the §5.4 preference ordering
 //! (reduction beats contended atomics at scale) must hold over the whole

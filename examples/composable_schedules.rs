@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example composable_schedules`
 
-use augur::{HostValue, Infer, McmcConfig, SamplerConfig};
+use augur::prelude::*;
 use augur_math::Matrix;
 use augurv2::{models, workloads};
 

@@ -12,7 +12,7 @@
 //!
 //! Run with: `cargo run --release --example custom_inference`
 
-use augur::{HostValue, Infer, McmcConfig, SamplerConfig};
+use augur::prelude::*;
 use augur_backend::mcmc::Proposal;
 use augurv2::diag;
 
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut trace = Vec::with_capacity(8000);
         for _ in 0..8000 {
             s.sweep();
-            trace.push(s.param("r")[0]);
+            trace.push(s.param("r").unwrap()[0]);
         }
         let secs = t0.elapsed().as_secs_f64();
         let mean: f64 = trace.iter().sum::<f64>() / trace.len() as f64;

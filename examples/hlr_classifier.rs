@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example hlr_classifier`
 
-use augur::{HostValue, Infer, McmcConfig, SamplerConfig};
+use augur::prelude::*;
 use augur_math::special::sigmoid;
 use augur_math::vecops::dot;
 use augurv2::{models, workloads};
@@ -59,11 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let draws = 300;
     for _ in 0..draws {
         sampler.sweep();
-        let theta = sampler.param("theta");
+        let theta = sampler.param("theta").unwrap();
         for (m, t) in theta_mean.iter_mut().zip(theta) {
             *m += t / draws as f64;
         }
-        b_mean += sampler.param("b")[0] / draws as f64;
+        b_mean += sampler.param("b").unwrap()[0] / draws as f64;
     }
     println!("HMC acceptance: {:.2}", sampler.acceptance_rate(0));
     println!("posterior mean intercept: {b_mean:.3} (true {:.3})", train.true_b);

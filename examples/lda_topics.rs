@@ -9,7 +9,8 @@
 //!
 //! Run with: `cargo run --release --example lda_topics`
 
-use augur::{DeviceConfig, HostValue, Infer, SamplerConfig, Target};
+use augur::prelude::*;
+use augur::DeviceConfig;
 use augurv2::{models, workloads};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Top words per topic: the planted topics concentrate on contiguous
     // vocabulary slices, so the learned φ rows should too.
-    let phi = sampler.param("phi").to_vec();
+    let phi = sampler.param("phi").unwrap().to_vec();
     let v = corpus.vocab;
     println!("\nlearned topics (top-5 words each):");
     for t in 0..topics {

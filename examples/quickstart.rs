@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use augur::{HostValue, Infer};
+use augur::prelude::*;
 use augur_math::Matrix;
 use augurv2::{models, workloads};
 

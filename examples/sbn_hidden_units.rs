@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example sbn_hidden_units`
 
-use augur::{HostValue, Infer};
+use augur::prelude::*;
 use augur_math::special::sigmoid;
 use augur_math::vecops::dot;
 use augur_math::FlatRagged;
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut freq = vec![0.0; h_dim];
     for _ in 0..sweeps {
         s.sweep();
-        for (f, &hj) in freq.iter_mut().zip(s.param("h")) {
+        for (f, &hj) in freq.iter_mut().zip(s.param("h").unwrap()) {
             *f += hj / sweeps as f64;
         }
     }

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every change must keep green, runnable with no
+# network access (the default build path has no external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline 2>/dev/null || cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

@@ -181,7 +181,7 @@ mod tests {
         let mut trace_a = Vec::new();
         for _ in 0..200 {
             s.sweep();
-            trace_a.push(s.param("mu")[0]);
+            trace_a.push(s.param("mu").unwrap()[0]);
         }
         let rate_a = ess_per_sec(&trace_a, t0.elapsed().as_secs_f64());
 

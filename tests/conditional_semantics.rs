@@ -61,7 +61,7 @@ fn build_engine(
         let cpu = Compiler::new(&state).proc(p);
         let blk = augur_blk::to_blocks(p);
         let gpu = Compiler::new(&state).blk_proc(&blk);
-        table.insert(cpu, gpu);
+        table.insert(cpu, gpu, &state);
     }
     // initialize params by running the generated initializer
     let init = lowered
@@ -72,7 +72,7 @@ fn build_engine(
     let cpu = Compiler::new(&state).proc(init);
     let blk = augur_blk::to_blocks(init);
     let gpu = Compiler::new(&state).blk_proc(&blk);
-    table.insert(cpu, gpu);
+    table.insert(cpu, gpu, &state);
 
     let mut engine = Engine::new(
         state,

@@ -18,6 +18,7 @@ use augur_math::vecops::{mean, variance};
 /// Builds the sampler and runs the successive-conditional simulator,
 /// returning the θ-statistic stream. `regen` draws fresh data given the
 /// current parameters, writing into the data buffer.
+#[allow(clippy::too_many_arguments)]
 fn successive_conditional(
     src: &str,
     sched: Option<&str>,
@@ -79,9 +80,9 @@ fn geweke_beta_bernoulli_gibbs() {
         "y",
         HostValue::VecF(vec![0.0; n]),
         20_000,
-        |s| s.param("p")[0],
+        |s| s.param("p").unwrap()[0],
         |s, rng| {
-            let p = s.param("p")[0];
+            let p = s.param("p").unwrap()[0];
             let fresh: Vec<f64> = (0..n).map(|_| f64::from(rng.bernoulli(p))).collect();
             let engine = s.engine_mut();
             let id = engine.state.expect_id("y");
@@ -115,9 +116,9 @@ fn geweke_normal_normal_gibbs() {
         "y",
         HostValue::VecF(vec![0.0; n]),
         20_000,
-        |s| s.param("m")[0],
+        |s| s.param("m").unwrap()[0],
         |s, rng| {
-            let m = s.param("m")[0];
+            let m = s.param("m").unwrap()[0];
             let fresh: Vec<f64> = (0..n).map(|_| rng.normal(m, s2)).collect();
             let engine = s.engine_mut();
             let id = engine.state.expect_id("y");
@@ -152,9 +153,9 @@ fn geweke_normal_normal_hmc() {
         "y",
         HostValue::VecF(vec![0.0; n]),
         20_000,
-        |s| s.param("m")[0],
+        |s| s.param("m").unwrap()[0],
         |s, rng| {
-            let m = s.param("m")[0];
+            let m = s.param("m").unwrap()[0];
             let fresh: Vec<f64> = (0..n).map(|_| rng.normal(m, s2)).collect();
             let engine = s.engine_mut();
             let id = engine.state.expect_id("y");
@@ -186,9 +187,9 @@ fn geweke_gamma_poisson_finite_data() {
         "c",
         HostValue::VecF(vec![1.0; n]),
         20_000,
-        |s| s.param("r")[0],
+        |s| s.param("r").unwrap()[0],
         |s, rng| {
-            let r = s.param("r")[0];
+            let r = s.param("r").unwrap()[0];
             let fresh: Vec<f64> = (0..n).map(|_| rng.poisson(r) as f64).collect();
             let engine = s.engine_mut();
             let id = engine.state.expect_id("c");

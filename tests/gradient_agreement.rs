@@ -104,7 +104,7 @@ fn sampler_table(sampler: &mut augur::Sampler) -> augur_backend::compile::ProcTa
         let cpu = Compiler::new(&engine.state).proc(p);
         let blk = augur_blk::to_blocks(p);
         let gpu = Compiler::new(&engine.state).blk_proc(&blk);
-        table.insert(cpu, gpu);
+        table.insert(cpu, gpu, &engine.state);
     }
     table
 }

@@ -89,7 +89,7 @@ fn unrolled_hmm_matches_exact_marginals() {
     for _ in 0..sweeps {
         s.sweep();
         for (t, name) in ["z0", "z1", "z2"].iter().enumerate() {
-            freq[t] += s.param(name)[0] / sweeps as f64;
+            freq[t] += s.param(name).unwrap()[0] / sweeps as f64;
         }
     }
     for t in 0..3 {

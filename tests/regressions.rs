@@ -50,7 +50,7 @@ fn poisson_regression_recovers_rate_structure() {
     let draws = 400;
     for _ in 0..draws {
         s.sweep();
-        for (p, &t) in post.iter_mut().zip(s.param("theta")) {
+        for (p, &t) in post.iter_mut().zip(s.param("theta").unwrap()) {
             *p += t / draws as f64;
         }
     }
@@ -118,11 +118,11 @@ fn bayesian_linear_regression_with_unknown_noise() {
     let draws = 400;
     for _ in 0..draws {
         s.sweep();
-        for (p, &t) in post_theta.iter_mut().zip(s.param("theta")) {
+        for (p, &t) in post_theta.iter_mut().zip(s.param("theta").unwrap()) {
             *p += t / draws as f64;
         }
-        post_b += s.param("b")[0] / draws as f64;
-        post_s2 += s.param("sigma2")[0] / draws as f64;
+        post_b += s.param("b").unwrap()[0] / draws as f64;
+        post_s2 += s.param("sigma2").unwrap()[0] / draws as f64;
     }
     for j in 0..d {
         assert!(

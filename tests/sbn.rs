@@ -75,7 +75,7 @@ fn sbn_posterior_identifies_active_units() {
     let sweeps = 400;
     for _ in 0..sweeps {
         s.sweep();
-        for (f, &hj) in freq.iter_mut().zip(s.param("h")) {
+        for (f, &hj) in freq.iter_mut().zip(s.param("h").unwrap()) {
             *f += hj / sweeps as f64;
         }
     }
@@ -109,7 +109,7 @@ fn sbn_uninformative_data_recovers_prior() {
     let sweeps = 4000;
     for _ in 0..sweeps {
         s.sweep();
-        for (f, &hj) in freq.iter_mut().zip(s.param("h")) {
+        for (f, &hj) in freq.iter_mut().zip(s.param("h").unwrap()) {
             *f += hj / sweeps as f64;
         }
     }

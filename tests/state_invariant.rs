@@ -32,7 +32,7 @@ fn rejected_hmc_restores_state_bitwise() {
     s.init();
     let before: Vec<Vec<f64>> = ["sigma2", "b", "theta"]
         .iter()
-        .map(|p| s.param(p).to_vec())
+        .map(|p| s.param(p).unwrap().to_vec())
         .collect();
     for _ in 0..20 {
         s.sweep();
@@ -40,7 +40,7 @@ fn rejected_hmc_restores_state_bitwise() {
     assert!(s.acceptance_rate(0) < 0.05, "step 50.0 should reject ~all");
     let after: Vec<Vec<f64>> = ["sigma2", "b", "theta"]
         .iter()
-        .map(|p| s.param(p).to_vec())
+        .map(|p| s.param(p).unwrap().to_vec())
         .collect();
     // Everything that was rejected restored exactly. (If even one sweep
     // was accepted the values moved; with acceptance < 5% over 20 sweeps
@@ -79,11 +79,11 @@ fn updates_touch_only_their_targets() {
         .unwrap();
     s.init();
     // the data buffer must never change, across any number of sweeps
-    let y_before = s.param("y").to_vec();
+    let y_before = s.param("y").unwrap().to_vec();
     for _ in 0..25 {
         s.sweep();
     }
-    let y_after = s.param("y").to_vec();
+    let y_after = s.param("y").unwrap().to_vec();
     for (a, b) in y_before.iter().zip(&y_after) {
         assert_eq!(a.to_bits(), b.to_bits(), "observed data was mutated");
     }

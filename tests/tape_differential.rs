@@ -1,0 +1,200 @@
+//! Differential tests for the two execution strategies.
+//!
+//! The flat instruction tape (`ExecStrategy::Tape`) must reproduce the
+//! reference tree-walking interpreter (`ExecStrategy::Tree`)
+//! *bit-for-bit*: the per-thread splitmix RNG streams are execution-order
+//! independent, so any divergence — a reordered draw, a different
+//! rounding, a skipped work charge that shifts a reseed — shows up as a
+//! trace mismatch, not just a statistical wobble. Every kernel flavor
+//! (Gibbs, ESlice, HMC, NUTS, MH, MALA, Slice) is exercised over the
+//! paper's three benchmark models.
+
+use augur::prelude::*;
+use augur_math::Matrix;
+use augurv2::{models, workloads};
+
+/// Runs one sampler and returns the recorded traces as raw bits:
+/// `out[sweep][cell]`, concatenating the recorded parameters in order.
+fn bit_trace(
+    model: &str,
+    sched: Option<&str>,
+    args: Vec<HostValue>,
+    data: Vec<(&str, HostValue)>,
+    record: &[&str],
+    sweeps: usize,
+    exec: ExecStrategy,
+) -> Vec<Vec<u64>> {
+    let mut aug = Infer::from_source(model).expect("model parses");
+    if let Some(s) = sched {
+        aug.set_user_sched(s);
+    }
+    aug.set_compile_opt(SamplerConfig {
+        exec,
+        mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
+        seed: 0xD1FF,
+        ..Default::default()
+    });
+    let mut s = aug.compile(args).data(data).build().expect("model builds");
+    s.init();
+    s.sample(sweeps, record)
+        .iter()
+        .map(|snap| {
+            record
+                .iter()
+                .flat_map(|p| snap[*p].iter().map(|x| x.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts tape and tree agree exactly, localizing the first divergence.
+fn assert_tape_matches_tree(
+    label: &str,
+    model: &str,
+    sched: Option<&str>,
+    args: Vec<HostValue>,
+    data: Vec<(&str, HostValue)>,
+    record: &[&str],
+    sweeps: usize,
+) {
+    let tree = bit_trace(
+        model,
+        sched,
+        args.clone(),
+        data.clone(),
+        record,
+        sweeps,
+        ExecStrategy::Tree,
+    );
+    let tape = bit_trace(model, sched, args, data, record, sweeps, ExecStrategy::Tape);
+    for (s, (a, b)) in tree.iter().zip(&tape).enumerate() {
+        assert_eq!(a, b, "{label}: tape diverged from tree at sweep {s}");
+    }
+    assert_eq!(tree.len(), tape.len(), "{label}: sweep counts differ");
+}
+
+fn hgmm_args(k: usize, d: usize, n: usize) -> Vec<HostValue> {
+    vec![
+        HostValue::Int(k as i64),
+        HostValue::Int(n as i64),
+        HostValue::VecF(vec![1.0; k]),
+        HostValue::VecF(vec![0.0; d]),
+        HostValue::Mat(Matrix::identity(d).scale(50.0)),
+        HostValue::Real((d + 2) as f64),
+        HostValue::Mat(Matrix::identity(d)),
+    ]
+}
+
+#[test]
+fn hgmm_tape_matches_tree_for_every_kernel_flavor() {
+    let (k, d, n) = (2, 2, 40);
+    let data = workloads::hgmm_data(k, d, n, 91);
+    let flavors: [(&str, Option<&str>); 7] = [
+        ("gibbs", None), // heuristic: conjugate Gibbs everywhere
+        ("eslice", Some("Gibbs pi (*) ESlice mu (*) Gibbs Sigma (*) Gibbs z")),
+        ("hmc", Some("Gibbs pi (*) HMC mu (*) Gibbs Sigma (*) Gibbs z")),
+        ("nuts", Some("Gibbs pi (*) NUTS mu (*) Gibbs Sigma (*) Gibbs z")),
+        ("mh", Some("Gibbs pi (*) MH mu (*) Gibbs Sigma (*) Gibbs z")),
+        ("mala", Some("Gibbs pi (*) MALA mu (*) Gibbs Sigma (*) Gibbs z")),
+        ("slice", Some("Gibbs pi (*) Slice mu (*) Gibbs Sigma (*) Gibbs z")),
+    ];
+    for (label, sched) in flavors {
+        assert_tape_matches_tree(
+            &format!("hgmm/{label}"),
+            models::HGMM,
+            sched,
+            hgmm_args(k, d, n),
+            vec![("y", HostValue::Ragged(data.points.clone()))],
+            &["pi", "mu", "Sigma", "z"],
+            25,
+        );
+    }
+}
+
+#[test]
+fn lda_tape_matches_tree() {
+    let topics = 3;
+    let corpus = workloads::lda_corpus(topics, 10, 60, 20, 5);
+    assert_tape_matches_tree(
+        "lda/gibbs",
+        models::LDA,
+        None, // heuristic: Dirichlet–Categorical Gibbs + enumeration
+        vec![
+            HostValue::Int(topics as i64),
+            HostValue::Int(corpus.docs.len() as i64),
+            HostValue::VecF(vec![0.5; topics]),
+            HostValue::VecF(vec![0.1; corpus.vocab]),
+            HostValue::VecI(corpus.lens.clone()),
+        ],
+        vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+        &["theta", "phi", "z"],
+        15,
+    );
+}
+
+#[test]
+fn hlr_tape_matches_tree_for_gradient_kernels() {
+    let d = 4;
+    let data = workloads::logistic_data(60, d, 17);
+    let flavors: [(&str, Option<&str>); 5] = [
+        ("heuristic", None), // blocked HMC over the continuous parameters
+        ("nuts", Some("NUTS sigma2 b theta")),
+        ("mala", Some("MALA sigma2 b theta")),
+        ("mh", Some("MH sigma2 b theta")),
+        ("slice", Some("Slice sigma2 b theta")),
+    ];
+    for (label, sched) in flavors {
+        assert_tape_matches_tree(
+            &format!("hlr/{label}"),
+            models::HLR,
+            sched,
+            vec![
+                HostValue::Real(1.0),
+                HostValue::Int(60),
+                HostValue::Int(d as i64),
+                HostValue::Ragged(data.x.clone()),
+            ],
+            vec![("y", HostValue::VecF(data.y.clone()))],
+            &["sigma2", "b", "theta"],
+            25,
+        );
+    }
+}
+
+/// The tape compiler's output for a fixed small model is part of the
+/// crate's observable behavior (it is what `Sampler::disasm` shows users
+/// and what the fusion rules produce); pin it.
+#[test]
+fn golden_disassembly_of_normal_normal_gibbs() {
+    let aug = Infer::from_source(
+        "(N, tau2, s2) => {
+            param m ~ Normal(0.0, tau2) ;
+            data y[n] ~ Normal(m, s2) for n <- 0 until N ;
+        }",
+    )
+    .unwrap();
+    let s = aug
+        .compile(vec![HostValue::Int(4), HostValue::Real(4.0), HostValue::Real(1.0)])
+        .data(vec![("y", HostValue::VecF(vec![1.2, 0.8, 1.0, 1.4]))])
+        .build()
+        .unwrap();
+    let names = s.proc_names();
+    let disasm: Vec<String> = names.iter().map(|n| s.disasm(n)).collect();
+    let got = names
+        .iter()
+        .zip(&disasm)
+        .map(|(n, d)| format!("== {n} ==\n{d}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/normal_normal_tape.txt");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &got).expect("write golden file");
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden file exists; run with UPDATE_GOLDEN=1 to regenerate");
+    assert_eq!(
+        got.trim(),
+        expected.trim(),
+        "tape disassembly changed; if intentional, rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
