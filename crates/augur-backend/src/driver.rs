@@ -45,6 +45,12 @@ pub struct SamplerConfig {
     /// bit-identical either way; `Tree` is kept as the differential
     /// testing oracle and for debugging via `Tape::disasm`.
     pub exec: ExecStrategy,
+    /// Worker threads for tape execution. `1` (the default) runs
+    /// sequentially; `0` means one per available core. Traces are
+    /// bit-identical at every thread count (see `DESIGN.md`
+    /// § Deterministic parallelism). The default honors the
+    /// `AUGUR_THREADS` environment variable when set.
+    pub threads: usize,
 }
 
 impl Default for SamplerConfig {
@@ -55,7 +61,17 @@ impl Default for SamplerConfig {
             mcmc: McmcConfig::default(),
             opt_flags: OptFlags::default(),
             exec: ExecStrategy::default(),
+            threads: default_threads(),
         }
+    }
+}
+
+/// The default worker-thread count: `AUGUR_THREADS` when set and parseable
+/// (`0` = one per core), otherwise `1`.
+fn default_threads() -> usize {
+    match std::env::var("AUGUR_THREADS") {
+        Ok(s) => s.trim().parse().unwrap_or(1),
+        Err(_) => 1,
     }
 }
 
@@ -129,6 +145,39 @@ impl fmt::Display for UnknownParam {
 }
 
 impl std::error::Error for UnknownParam {}
+
+/// A runtime error from an already-built sampler: a bad buffer lookup or
+/// an initialization that produced non-finite parameter values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// A requested buffer name does not exist in the compiled state.
+    UnknownParam(UnknownParam),
+    /// Prior initialization left a parameter with NaN/infinite cells
+    /// (typically improper hyperparameters).
+    NonFiniteInit {
+        /// The offending parameter.
+        param: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnknownParam(e) => write!(f, "{e}"),
+            RunError::NonFiniteInit { param } => {
+                write!(f, "initialization produced non-finite values for `{param}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<UnknownParam> for RunError {
+    fn from(e: UnknownParam) -> Self {
+        RunError::UnknownParam(e)
+    }
+}
 
 /// One compiled step of the sweep.
 #[derive(Debug, Clone)]
@@ -223,6 +272,7 @@ impl Sampler {
         let mut engine =
             Engine::new(state, Prng::seed_from_u64(config.seed), device, mode);
         engine.strategy = config.exec;
+        engine.set_threads(config.threads);
         if matches!(config.target, Target::Gpu(_)) {
             // Model the host→device shipment of the whole state.
             let bytes = engine.state.total_cells() as u64 * 8;
@@ -269,8 +319,22 @@ impl Sampler {
     }
 
     /// Initializes every parameter by ancestral sampling from its prior.
-    pub fn init(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::NonFiniteInit`] if any parameter comes out of
+    /// the prior with NaN or infinite cells — catching improper
+    /// hyperparameters before the first sweep silently diverges.
+    pub fn init(&mut self) -> Result<(), RunError> {
         self.engine.run_proc(&self.table, self.init_idx);
+        for name in &self.param_names {
+            if let Some(id) = self.engine.state.id(name) {
+                if !self.engine.state.flat(id).iter().all(|x| x.is_finite()) {
+                    return Err(RunError::NonFiniteInit { param: name.clone() });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Overwrites a parameter's flat cells (manual initialization).
@@ -375,22 +439,34 @@ impl Sampler {
 
     /// Draws `n` samples, recording the named parameters after each sweep.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a recorded name is not a model buffer (the request is a
-    /// programming error, caught on the first sweep).
-    pub fn sample(&mut self, n: usize, record: &[&str]) -> Vec<HashMap<String, Vec<f64>>> {
+    /// Returns [`RunError::UnknownParam`] if a recorded name is not a
+    /// model buffer — validated up front, before any sweep runs.
+    pub fn sample(
+        &mut self,
+        n: usize,
+        record: &[&str],
+    ) -> Result<Vec<HashMap<String, Vec<f64>>>, RunError> {
+        let ids: Vec<BufId> = record
+            .iter()
+            .map(|name| {
+                self.engine
+                    .state
+                    .id(name)
+                    .ok_or_else(|| UnknownParam { name: (*name).to_owned() }.into())
+            })
+            .collect::<Result<_, RunError>>()?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             self.sweep();
             let mut snap = HashMap::new();
-            for name in record {
-                let cells = self.engine.flat_of(name);
-                snap.insert((*name).to_owned(), cells.to_vec());
+            for (name, id) in record.iter().zip(&ids) {
+                snap.insert((*name).to_owned(), self.engine.state.flat(*id).to_vec());
             }
             out.push(snap);
         }
-        out
+        Ok(out)
     }
 
     /// The model's joint log-density at the current state.
@@ -532,7 +608,7 @@ mod tests {
             SamplerConfig::default(),
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         let draws: Vec<f64> =
             (0..6000).map(|_| {
                 s.sweep();
@@ -563,7 +639,7 @@ mod tests {
             SamplerConfig::default(),
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         let draws: Vec<f64> = (0..6000).map(|_| {
             s.sweep();
             s.param("p").unwrap()[0]
@@ -594,7 +670,7 @@ mod tests {
             cfg,
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         let mut draws = Vec::new();
         for _ in 0..8000 {
             s.sweep();
@@ -639,7 +715,7 @@ mod tests {
             SamplerConfig::default(),
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         for _ in 0..150 {
             s.sweep();
         }
@@ -672,8 +748,8 @@ mod tests {
         };
         let mut cpu = build(Target::Cpu);
         let mut gpu = build(Target::Gpu(DeviceConfig::titan_black_like()));
-        cpu.init();
-        gpu.init();
+        cpu.init().unwrap();
+        gpu.init().unwrap();
         for _ in 0..50 {
             cpu.sweep();
             gpu.sweep();
@@ -721,7 +797,7 @@ mod exactness_tests {
             SamplerConfig::default(),
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         let draws: Vec<f64> = (0..8000)
             .map(|_| {
                 s.sweep();
@@ -762,7 +838,7 @@ mod exactness_tests {
             cfg,
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         for _ in 0..500 {
             s.sweep(); // burn-in
         }
@@ -803,7 +879,7 @@ mod exactness_tests {
             SamplerConfig::default(),
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         let draws: Vec<f64> = (0..8000)
             .map(|_| {
                 s.sweep();
@@ -840,7 +916,7 @@ mod exactness_tests {
             cfg,
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         for _ in 0..500 {
             s.sweep();
         }
@@ -882,7 +958,7 @@ mod exactness_tests {
             cfg,
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         let draws: Vec<f64> = (0..8000)
             .map(|_| {
                 s.sweep();
@@ -945,7 +1021,7 @@ mod proposal_tests {
         )
         .unwrap();
         s.set_proposal(0, Box::new(LogRandomWalk { scale: 0.25 }));
-        s.init();
+        s.init().unwrap();
         for _ in 0..500 {
             s.sweep();
         }
@@ -1009,7 +1085,7 @@ mod mala_tests {
             cfg,
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         for _ in 0..500 {
             s.sweep();
         }
@@ -1051,7 +1127,7 @@ mod mala_tests {
             cfg,
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         for _ in 0..500 {
             s.sweep();
         }

@@ -39,7 +39,7 @@
 //!     vec![("y", HostValue::VecF(vec![1.0, 1.2, 0.8, 1.1]))],
 //!     SamplerConfig::default(),
 //! )?;
-//! sampler.init();
+//! sampler.init()?;
 //! for _ in 0..10 {
 //!     sampler.sweep();
 //! }
@@ -54,10 +54,11 @@ pub mod driver;
 pub mod eval;
 pub mod mcmc;
 pub mod oracle;
+pub mod par;
 pub mod setup;
 pub mod state;
 pub mod tape;
 
-pub use driver::{Sampler, SamplerConfig, Target};
+pub use driver::{RunError, Sampler, SamplerConfig, Target};
 pub use state::HostValue;
 pub use tape::ExecStrategy;

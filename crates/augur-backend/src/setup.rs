@@ -12,7 +12,7 @@ use std::fmt;
 
 use augur_density::{DExpr, DensityModel, Factor};
 use augur_dist::DistKind;
-use augur_low::shape::{AllocDecl, ShapeSpec, SizeExpr};
+use augur_low::shape::{AllocDecl, AllocKind, ShapeSpec, SizeExpr};
 use augur_low::LoweredModel;
 
 use crate::state::{HostValue, RowElem, Shape, State};
@@ -127,7 +127,10 @@ pub fn build_state(
     // 4. planned temporaries (size inference output)
     for alloc in &lowered.allocs {
         let shape = alloc_shape(&state, alloc)?;
-        state.insert(&alloc.name, shape);
+        let id = state.insert(&alloc.name, shape);
+        if alloc.kind == AllocKind::ThreadLocal {
+            state.mark_thread_local(id);
+        }
     }
 
     Ok(state)

@@ -3,6 +3,7 @@
 //! vectors with a separate offset index for random access).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use augur_math::{FlatRagged, Matrix};
 
@@ -124,11 +125,16 @@ impl From<FlatRagged> for HostValue {
 /// st.flat_mut(id)[0] = 2.5;
 /// assert_eq!(st.scalar(id), 2.5);
 /// ```
+/// Buffers are reference-counted so cloning a `State` is cheap: worker
+/// threads clone the whole state and only the buffers they actually write
+/// are deep-copied (copy-on-write via [`Arc::make_mut`]).
 #[derive(Debug, Clone, Default)]
+#[allow(clippy::rc_buffer)]
 pub struct State {
     names: HashMap<String, BufId>,
     shapes: Vec<Shape>,
-    data: Vec<Vec<f64>>,
+    data: Vec<Arc<Vec<f64>>>,
+    thread_local: Vec<bool>,
 }
 
 impl State {
@@ -146,8 +152,9 @@ impl State {
         let name = name.into();
         assert!(!self.names.contains_key(&name), "buffer `{name}` allocated twice");
         let id = self.shapes.len();
-        self.data.push(vec![0.0; shape.num_cells()]);
+        self.data.push(Arc::new(vec![0.0; shape.num_cells()]));
         self.shapes.push(shape);
+        self.thread_local.push(false);
         self.names.insert(name, id);
         id
     }
@@ -159,7 +166,8 @@ impl State {
         assert!(!self.names.contains_key(&name), "buffer `{name}` allocated twice");
         let id = self.shapes.len();
         self.shapes.push(shape);
-        self.data.push(data);
+        self.data.push(Arc::new(data));
+        self.thread_local.push(false);
         self.names.insert(name, id);
         id
     }
@@ -188,9 +196,29 @@ impl State {
         &self.data[id]
     }
 
-    /// The flat cells, mutably.
+    /// The flat cells, mutably (copy-on-write: unshares the buffer if a
+    /// worker-thread clone still holds a reference to it).
     pub fn flat_mut(&mut self, id: BufId) -> &mut [f64] {
-        &mut self.data[id]
+        Arc::make_mut(&mut self.data[id]).as_mut_slice()
+    }
+
+    /// Marks a buffer as thread-local scratch (per-iteration temporaries
+    /// of `Par` kernels). Thread-local buffers are excluded from the
+    /// parallel write log — see `DESIGN.md` § Deterministic parallelism.
+    pub fn mark_thread_local(&mut self, id: BufId) {
+        self.thread_local[id] = true;
+    }
+
+    /// Whether a buffer is thread-local scratch.
+    pub fn is_thread_local(&self, id: BufId) -> bool {
+        self.thread_local[id]
+    }
+
+    /// Replaces a buffer's storage wholesale with another state's copy
+    /// (used to adopt a worker's thread-local scratch after a parallel
+    /// launch). Cheap: bumps the refcount, no cells are copied.
+    pub(crate) fn adopt_buffer(&mut self, id: BufId, from: &State) {
+        self.data[id] = Arc::clone(&from.data[id]);
     }
 
     /// Reads a scalar buffer.
@@ -210,7 +238,7 @@ impl State {
     /// Panics if the buffer is not scalar-shaped.
     pub fn set_scalar(&mut self, id: BufId, v: f64) {
         assert!(matches!(self.shapes[id], Shape::Num), "buffer is not a scalar");
-        self.data[id][0] = v;
+        Arc::make_mut(&mut self.data[id])[0] = v;
     }
 
     /// The flat range of row `i` of a `Rows` buffer.
@@ -230,7 +258,7 @@ impl State {
 
     /// Snapshots a buffer's cells (the proposal-state copy of §5.5).
     pub fn snapshot(&self, id: BufId) -> Vec<f64> {
-        self.data[id].clone()
+        self.data[id].to_vec()
     }
 
     /// Restores a snapshot taken with [`State::snapshot`].
@@ -240,7 +268,7 @@ impl State {
     /// Panics if the lengths disagree.
     pub fn restore(&mut self, id: BufId, snap: &[f64]) {
         assert_eq!(self.data[id].len(), snap.len(), "snapshot length mismatch");
-        self.data[id].copy_from_slice(snap);
+        Arc::make_mut(&mut self.data[id]).copy_from_slice(snap);
     }
 
     /// All buffer names with their ids (diagnostics).
@@ -248,9 +276,14 @@ impl State {
         self.names.iter().map(|(n, id)| (n.as_str(), *id))
     }
 
+    /// Number of allocated buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.data.len()
+    }
+
     /// Total memory footprint in cells — what size inference bounds.
     pub fn total_cells(&self) -> usize {
-        self.data.iter().map(Vec::len).sum()
+        self.data.iter().map(|b| b.len()).sum()
     }
 }
 

@@ -38,7 +38,7 @@ fn a1_sumblk(c: &mut Criterion) {
             flags,
             1,
         );
-        s.init();
+        s.init().unwrap();
         let v = gpu_virtual_secs_per_sweep(&mut s, 3);
         println!("a1_sumblk/{label}: GPU virtual {v:.4} s/sweep");
         group.bench_function(label, |b| b.iter(|| s.sweep()));
@@ -68,7 +68,7 @@ fn a2_commute(c: &mut Criterion) {
             .data(vec![("y", HostValue::Ragged(data.points.clone()))])
             .build()
             .expect("builds");
-        s.init();
+        s.init().unwrap();
         let v = gpu_virtual_secs_per_sweep(&mut s, 3);
         println!(
             "a2_commute/{label}: GPU virtual {v:.4} s/sweep ({} commuted)",
@@ -107,7 +107,7 @@ fn a3_inline(c: &mut Criterion) {
             .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
             .build()
             .expect("builds");
-        s.init();
+        s.init().unwrap();
         let v = gpu_virtual_secs_per_sweep(&mut s, 3);
         println!(
             "a3_inline/{label}: GPU virtual {v:.4} s/sweep ({} inlined)",
@@ -128,7 +128,7 @@ fn lda_topic_scaling(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for topics in [5usize, 10, 20] {
         let mut s = lda_sampler(topics, &corpus, Target::Cpu, 5);
-        s.init();
+        s.init().unwrap();
         group.bench_function(format!("t{topics}"), |b| b.iter(|| s.sweep()));
     }
     group.finish();

@@ -23,7 +23,7 @@ fn fig10_sweeps(c: &mut Criterion) {
     ] {
         let mcmc = McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() };
         let mut s = hgmm_sampler(Some(sched), k, d, &data, Target::Cpu, mcmc, 1);
-        s.init();
+        s.init().unwrap();
         group.bench_function(label, |b| b.iter(|| s.sweep()));
     }
     group.finish();
@@ -39,7 +39,7 @@ fn fig11_augur_vs_jags(c: &mut Criterion) {
         let data = workloads::hgmm_data(k, d, n, 2002);
         let id = format!("k{k}_d{d}_n{n}");
         let mut s = hgmm_sampler(None, k, d, &data, Target::Cpu, McmcConfig::default(), 2);
-        s.init();
+        s.init().unwrap();
         group.bench_function(BenchmarkId::new("augurv2", &id), |b| b.iter(|| s.sweep()));
 
         let mut j = augur_jags::JagsModel::build(
@@ -65,11 +65,11 @@ fn fig12_lda_targets(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for topics in [10usize, 20] {
         let mut cpu = lda_sampler(topics, &corpus, Target::Cpu, 4);
-        cpu.init();
+        cpu.init().unwrap();
         group.bench_function(BenchmarkId::new("cpu", topics), |b| b.iter(|| cpu.sweep()));
         let mut gpu =
             lda_sampler(topics, &corpus, Target::Gpu(DeviceConfig::titan_black_like()), 4);
-        gpu.init();
+        gpu.init().unwrap();
         group.bench_function(BenchmarkId::new("gpu-sim", topics), |b| b.iter(|| gpu.sweep()));
     }
     group.finish();
@@ -86,7 +86,7 @@ fn e4_hlr_hmc(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     let mcmc = McmcConfig { step_size: 0.03, leapfrog_steps: 8, ..Default::default() };
     let mut s = hlr_sampler(&data, d, Target::Cpu, mcmc, Default::default(), 5);
-    s.init();
+    s.init().unwrap();
     group.bench_function("augurv2-cpu-hmc", |b| b.iter(|| s.sweep()));
 
     let rows: Vec<Vec<f64>> = (0..n).map(|i| data.x.row(i).to_vec()).collect();

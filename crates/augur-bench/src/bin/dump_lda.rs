@@ -29,7 +29,7 @@ fn main() {
         }
         return;
     }
-    s.init();
+    s.init().unwrap();
     let t0 = std::time::Instant::now();
     for _ in 0..12 {
         s.sweep();

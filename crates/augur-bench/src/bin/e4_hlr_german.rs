@@ -35,7 +35,7 @@ fn main() {
 
     // AugurV2 CPU HMC (compiled source-to-source AD)
     let mut s = hlr_sampler(&data, d, Target::Cpu, mcmc.clone(), Default::default(), 31);
-    s.init();
+    s.init().unwrap();
     let t0 = Instant::now();
     for _ in 0..samples {
         s.sweep();
@@ -105,7 +105,7 @@ fn main() {
     // AugurV2 GPU HMC — virtual time, compared against CPU virtual time
     let run_virtual = |target: Target| -> f64 {
         let mut s = hlr_sampler(&data, d, target, mcmc.clone(), Default::default(), 31);
-        s.init();
+        s.init().unwrap();
         for _ in 0..samples {
             s.sweep();
         }

@@ -35,7 +35,7 @@ fn main() {
             flags,
             41,
         );
-        s.init();
+        s.init().unwrap();
         for _ in 0..sweeps {
             s.sweep();
         }

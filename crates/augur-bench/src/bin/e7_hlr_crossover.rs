@@ -31,7 +31,7 @@ fn main() {
         let data = workloads::logistic_data(n, d, 1700 + n as u64);
         let run = |target: Target| -> f64 {
             let mut s = hlr_sampler(&data, d, target, mcmc.clone(), Default::default(), 51);
-            s.init();
+            s.init().unwrap();
             for _ in 0..sweeps {
                 s.sweep();
             }

@@ -37,7 +37,7 @@ fn main() {
     for (label, sched) in schedules {
         let mcmc = McmcConfig { step_size: 0.05, leapfrog_steps: 12, ..Default::default() };
         let mut s = hgmm_sampler(Some(sched), k, d, &train, Target::Cpu, mcmc, 7);
-        s.init();
+        s.init().unwrap();
         let t0 = Instant::now();
         for i in 1..=samples {
             s.sweep();

@@ -39,7 +39,7 @@ fn main() {
             McmcConfig::default(),
             11,
         );
-        s.init();
+        s.init().unwrap();
         let t0 = Instant::now();
         for _ in 0..samples {
             s.sweep();

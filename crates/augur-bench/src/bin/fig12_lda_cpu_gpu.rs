@@ -37,7 +37,7 @@ fn main() {
             let corpus = workloads::lda_corpus(topics.min(20), docs, vocab, avg_len, 1200);
             let run = |target: Target| -> f64 {
                 let mut s = lda_sampler(topics, &corpus, target, 21);
-                s.init();
+                s.init().unwrap();
                 for _ in 0..sweeps {
                     s.sweep();
                 }

@@ -30,6 +30,8 @@
 
 use std::collections::HashMap;
 
+use augur_backend::par::Pool;
+
 use crate::{Error, HostValue, Infer, SamplerConfig};
 
 /// The result of a multi-chain run.
@@ -88,10 +90,11 @@ impl Chains {
 
 /// Builder for a multi-chain run over a compiled model.
 ///
-/// Chains run sequentially on this host (the evaluation machine has one
-/// core); they are embarrassingly parallel by construction. Each chain
-/// derives its seed from the base config's seed, so a run is
-/// reproducible end to end.
+/// Chains are embarrassingly parallel by construction: each is an
+/// independently seeded build of the same compiled model, with its seed
+/// derived from the base config's seed, so a run is reproducible end to
+/// end — at any [`ChainRunner::threads`] count, since results are
+/// collected in chain order regardless of completion order.
 #[derive(Debug)]
 pub struct ChainRunner<'a> {
     infer: &'a Infer,
@@ -101,11 +104,13 @@ pub struct ChainRunner<'a> {
     n_chains: usize,
     sweeps: usize,
     record: Vec<&'a str>,
+    threads: usize,
 }
 
 impl<'a> ChainRunner<'a> {
     /// Starts a run of the given compiled model. Defaults: 4 chains,
-    /// 1000 sweeps, nothing recorded, the [`Infer`]'s own compile options.
+    /// 1000 sweeps, nothing recorded, one thread, the [`Infer`]'s own
+    /// compile options.
     pub fn new(infer: &'a Infer) -> ChainRunner<'a> {
         ChainRunner {
             infer,
@@ -115,6 +120,7 @@ impl<'a> ChainRunner<'a> {
             n_chains: 4,
             sweeps: 1000,
             record: Vec::new(),
+            threads: 1,
         }
     }
 
@@ -163,15 +169,31 @@ impl<'a> ChainRunner<'a> {
         self
     }
 
-    /// Builds and runs every chain.
+    /// Number of worker threads chains are fanned across (default 1;
+    /// `0` = one per available core). Results are identical at every
+    /// thread count: chain seeds depend only on the chain index, and
+    /// draws are collected in chain order.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = match n {
+            0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            n => n,
+        };
+        self
+    }
+
+    /// Builds and runs every chain, fanned across the configured worker
+    /// threads.
     ///
     /// # Errors
     ///
-    /// Returns the first build error.
+    /// Returns the first (by chain index) build or run error.
     pub fn run(self) -> Result<Chains, Error> {
         let base = self.config.clone().unwrap_or_else(|| self.infer.config.clone());
-        let mut draws = Vec::with_capacity(self.n_chains);
-        for c in 0..self.n_chains {
+        // Samplers hold non-`Send` trait objects, so each chain is built,
+        // initialized, and run entirely inside its worker job; only the
+        // recorded draws cross threads.
+        let run_one = |c: usize| -> Result<Vec<HashMap<String, Vec<f64>>>, Error> {
             let mut chain_cfg = base.clone();
             chain_cfg.seed = base
                 .seed
@@ -180,37 +202,27 @@ impl<'a> ChainRunner<'a> {
             infer_c.set_compile_opt(chain_cfg);
             let mut sampler =
                 infer_c.compile(self.args.clone()).data(self.data.clone()).build()?;
-            sampler.init();
-            draws.push(sampler.sample(self.sweeps, &self.record));
+            sampler.init()?;
+            Ok(sampler.sample(self.sweeps, &self.record)?)
+        };
+        let results: Vec<Result<_, Error>> = if self.threads > 1 && self.n_chains > 1 {
+            let pool = Pool::new(self.threads);
+            let jobs = (0..self.n_chains)
+                .map(|c| {
+                    let run_one = &run_one;
+                    Box::new(move || run_one(c)) as Box<dyn FnOnce() -> _ + Send + '_>
+                })
+                .collect();
+            pool.scatter(jobs)
+        } else {
+            (0..self.n_chains).map(run_one).collect()
+        };
+        let mut draws = Vec::with_capacity(self.n_chains);
+        for r in results {
+            draws.push(r?);
         }
         Ok(Chains { draws })
     }
-}
-
-/// Runs `n_chains` independently seeded copies of the compiled model for
-/// `sweeps` sweeps each, recording the named parameters.
-///
-/// # Errors
-///
-/// Returns the first build error.
-#[deprecated(since = "0.2.0", note = "use `ChainRunner` instead")]
-pub fn run_chains(
-    infer: &Infer,
-    args: Vec<HostValue>,
-    data: Vec<(&str, HostValue)>,
-    config: &SamplerConfig,
-    n_chains: usize,
-    sweeps: usize,
-    record: &[&str],
-) -> Result<Chains, Error> {
-    ChainRunner::new(infer)
-        .args(args)
-        .data(data)
-        .config(config.clone())
-        .chains(n_chains)
-        .sweeps(sweeps)
-        .record(record)
-        .run()
 }
 
 #[cfg(test)]
@@ -246,7 +258,7 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_matches_builder() {
+    fn threaded_chains_match_sequential() {
         let aug = Infer::from_source(
             "(N) => {
                 param p ~ Beta(1.0, 1.0) ;
@@ -256,18 +268,20 @@ mod tests {
         .unwrap();
         let args = vec![HostValue::Int(2)];
         let data = vec![("y", HostValue::VecF(vec![1.0, 0.0]))];
-        #[allow(deprecated)]
-        let old = run_chains(&aug, args.clone(), data.clone(), &SamplerConfig::default(), 2, 5, &["p"])
-            .unwrap();
-        let new = ChainRunner::new(&aug)
-            .args(args)
-            .data(data)
-            .chains(2)
-            .sweeps(5)
-            .record(&["p"])
-            .run()
-            .unwrap();
-        assert_eq!(old.draws, new.draws);
+        let run = |threads: usize| {
+            ChainRunner::new(&aug)
+                .args(args.clone())
+                .data(data.clone())
+                .chains(3)
+                .sweeps(5)
+                .record(&["p"])
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+        let seq = run(1);
+        assert_eq!(seq.draws, run(2).draws);
+        assert_eq!(seq.draws, run(8).draws);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use augur_backend::driver::{BuildError, UnknownParam};
+use augur_backend::driver::{BuildError, RunError, UnknownParam};
 
 /// Any failure from the user-facing API: compilation, building, running
 /// chains, or accessing results.
@@ -22,6 +22,12 @@ pub enum Error {
     UnknownParam {
         /// The name that failed to resolve.
         name: String,
+    },
+    /// Prior initialization produced NaN/infinite cells for a parameter
+    /// (typically improper hyperparameters).
+    NonFiniteInit {
+        /// The offending parameter.
+        param: String,
     },
     /// A parameter trace was requested from a [`crate::chains::Chains`]
     /// result, but that parameter was not in the recorded set.
@@ -45,6 +51,9 @@ impl fmt::Display for Error {
         match self {
             Error::Build(e) => write!(f, "{e}"),
             Error::UnknownParam { name } => write!(f, "no parameter named `{name}`"),
+            Error::NonFiniteInit { param } => {
+                write!(f, "initialization produced non-finite values for `{param}`")
+            }
             Error::NotRecorded { param } => write!(f, "`{param}` was not recorded"),
             Error::OutOfRange { param, index, len } => {
                 write!(f, "`{param}[{index}]` out of range (length {len})")
@@ -71,5 +80,14 @@ impl From<BuildError> for Error {
 impl From<UnknownParam> for Error {
     fn from(e: UnknownParam) -> Self {
         Error::UnknownParam { name: e.name }
+    }
+}
+
+impl From<RunError> for Error {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::UnknownParam(u) => Error::UnknownParam { name: u.name },
+            RunError::NonFiniteInit { param } => Error::NonFiniteInit { param },
+        }
     }
 }

@@ -37,8 +37,8 @@
 //!     .compile(vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)])
 //!     .data(vec![("y", HostValue::VecF(y))])
 //!     .build()?;
-//! sampler.init();
-//! let samples = sampler.sample(100, &["m"]);
+//! sampler.init()?;
+//! let samples = sampler.sample(100, &["m"])?;
 //! assert_eq!(samples.len(), 100);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -54,7 +54,7 @@ use augur_density::DensityModel;
 use augur_kernel::{heuristic_schedule, parse_schedule, plan, KernelPlan, Schedule};
 use augur_low::LoweredModel;
 
-pub use augur_backend::driver::{Sampler, SamplerConfig, Target, UnknownParam};
+pub use augur_backend::driver::{Sampler, SamplerConfig, Target};
 pub use augur_backend::mcmc::McmcConfig;
 pub use augur_backend::state::HostValue;
 pub use augur_backend::ExecStrategy;
@@ -123,6 +123,27 @@ impl Infer {
     /// seed, MCMC tuning, Blk-IL optimization toggles).
     pub fn set_compile_opt(&mut self, config: SamplerConfig) -> &mut Infer {
         self.config = config;
+        self
+    }
+
+    /// Selects how compiled procedures execute — the flat instruction
+    /// tape (the default) or the reference tree-walking interpreter.
+    /// Traces are bit-identical either way; `Tree` is the differential
+    /// testing oracle.
+    pub fn exec_strategy(&mut self, exec: ExecStrategy) -> &mut Infer {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Sets the number of worker threads for within-chain tape execution.
+    /// `1` runs sequentially, `0` uses one thread per available core.
+    /// Sampled traces are **bit-identical at every thread count**: every
+    /// parallel region derives its random streams from counter-based
+    /// per-thread RNGs and merges writes in a fixed order (see `DESIGN.md`
+    /// § Deterministic parallelism), so threading is purely a throughput
+    /// knob, never a reproducibility trade-off.
+    pub fn threads(&mut self, n: usize) -> &mut Infer {
+        self.config.threads = n;
         self
     }
 
@@ -289,8 +310,8 @@ mod tests {
             .data(vec![("y", HostValue::VecF(vec![1.0, 1.0, 1.0, 0.0]))])
             .build()
             .unwrap();
-        s.init();
-        let samples = s.sample(50, &["p"]);
+        s.init().unwrap();
+        let samples = s.sample(50, &["p"]).unwrap();
         assert_eq!(samples.len(), 50);
         assert!(samples.iter().all(|m| (0.0..=1.0).contains(&m["p"][0])));
     }

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ])
             .data(vec![("y", HostValue::Ragged(data.points.clone()))])
             .build()?;
-        sampler.init();
+        sampler.init().unwrap();
         let t0 = std::time::Instant::now();
         for _ in 0..150 {
             sampler.sweep();

@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if custom {
             s.set_proposal(0, Box::new(LogRandomWalk { scale: 0.4 }));
         }
-        s.init();
+        s.init().unwrap();
         let t0 = std::time::Instant::now();
         let mut trace = Vec::with_capacity(8000);
         for _ in 0..8000 {

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ])
         .data(vec![("y", HostValue::VecF(train.y.clone()))])
         .build()?;
-    sampler.init();
+    sampler.init().unwrap();
 
     // warmup + posterior draws
     for _ in 0..800 {

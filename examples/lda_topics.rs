@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .compile(args.clone())
         .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
         .build()?;
-    sampler.init();
+    sampler.init().unwrap();
     for _ in 0..100 {
         sampler.sweep();
     }
@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .compile(args)
         .data(vec![("w", HostValue::RaggedI(corpus.docs))])
         .build()?;
-    gpu.init();
+    gpu.init().unwrap();
     for _ in 0..100 {
         gpu.sweep();
     }

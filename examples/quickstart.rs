@@ -41,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .data(vec![("x", HostValue::Ragged(data.points.clone()))])
         .build()?;
 
-    sampler.init();
-    let samples = sampler.sample(1000, &["mu"]);
+    sampler.init()?;
+    let samples = sampler.sample(1000, &["mu"])?;
 
     // Mixture posteriors are invariant to component relabeling, so a
     // cross-sample average of mu is meaningless; report the final draw.

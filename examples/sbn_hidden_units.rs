@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ])
         .data(vec![("v", HostValue::VecF(v))])
         .build()?;
-    s.init();
+    s.init().unwrap();
 
     let sweeps = 500;
     let mut freq = vec![0.0; h_dim];

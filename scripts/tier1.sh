@@ -5,5 +5,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline 2>/dev/null || cargo build --release
-cargo test -q
+# Run the suite sequentially and with the parallel tape executor: traces
+# must be bit-identical at any worker count, so both runs see the same
+# expected values.
+AUGUR_THREADS=1 cargo test -q
+AUGUR_THREADS=8 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings

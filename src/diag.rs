@@ -176,7 +176,7 @@ mod tests {
             .data(vec![("y", HostValue::Ragged(data.points.clone()))])
             .build()
             .unwrap();
-        s.init();
+        s.init().unwrap();
         let t0 = std::time::Instant::now();
         let mut trace_a = Vec::new();
         for _ in 0..200 {

@@ -153,7 +153,7 @@ proptest! {
             .data(vec![("y", HostValue::VecF(y))])
             .build()
             .unwrap_or_else(|e| panic!("build failed on:\n{}\n{e}", model.src));
-        s.init();
+        s.init().unwrap();
         for _ in 0..5 {
             s.sweep();
         }

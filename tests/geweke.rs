@@ -38,7 +38,7 @@ fn successive_conditional(
     )
     .unwrap();
     let mut rng = Prng::seed_from_u64(43);
-    s.init();
+    s.init().unwrap();
     let mut out = Vec::with_capacity(iters);
     for _ in 0..iters {
         s.sweep(); // θ ← K(θ | y)

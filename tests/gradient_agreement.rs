@@ -26,7 +26,7 @@ fn source_to_source_ad_matches_tape_ad_on_hlr() {
         .data(vec![("y", HostValue::VecF(data.y.clone()))])
         .build()
         .unwrap();
-    sampler.init();
+    sampler.init().unwrap();
 
     // --- Stan side: the same posterior, hand-marginalized ---
     let stan = HlrModel {

@@ -83,7 +83,7 @@ fn unrolled_hmm_matches_exact_marginals() {
         ])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     let sweeps = 40_000;
     let mut freq = [0.0f64; 3];
     for _ in 0..sweeps {

@@ -36,7 +36,7 @@ fn memory_explicit_lowering_is_bit_identical() {
             SamplerConfig::default(),
         )
         .unwrap();
-        s.init();
+        s.init().unwrap();
         for _ in 0..30 {
             s.sweep();
         }

@@ -33,7 +33,7 @@ fn hgmm_heuristic_recovers_clusters_and_weights() {
         .data(vec![("y", HostValue::Ragged(data.points.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     for _ in 0..120 {
         s.sweep();
     }
@@ -94,7 +94,7 @@ fn fig10_three_schedules_converge_to_similar_log_joint() {
             .data(vec![("y", HostValue::Ragged(data.points.clone()))])
             .build()
             .unwrap();
-        s.init();
+        s.init().unwrap();
         for _ in 0..1000 {
             s.sweep();
         }
@@ -129,7 +129,7 @@ fn lda_gibbs_beats_random_assignments_on_log_joint() {
         .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     let initial = s.log_joint();
     for _ in 0..60 {
         s.sweep();
@@ -167,7 +167,7 @@ fn gpu_target_matches_cpu_bitwise_on_lda() {
             .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
             .build()
             .unwrap();
-        s.init();
+        s.init().unwrap();
         for _ in 0..10 {
             s.sweep();
         }
@@ -197,7 +197,7 @@ fn augur_and_jags_agree_on_hgmm_posterior_means() {
         .data(vec![("y", HostValue::Ragged(data.points.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     for _ in 0..80 {
         s.sweep();
     }
@@ -273,7 +273,7 @@ fn log_predictive_improves_with_training() {
         .data(vec![("y", HostValue::Ragged(train.points.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     let lp_of = |s: &augur::Sampler| {
         let pi = s.param("pi").unwrap().to_vec();
         let mu = s.param("mu").unwrap().to_vec();
@@ -310,7 +310,7 @@ fn acceptance_rates_are_tracked_per_step() {
         .data(vec![("y", HostValue::VecF(data.y.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     for _ in 0..50 {
         s.sweep();
     }
@@ -327,8 +327,8 @@ fn sample_records_requested_parameters() {
         .data(vec![("y", HostValue::Ragged(data.points.clone()))])
         .build()
         .unwrap();
-    s.init();
-    let samples = s.sample(5, &["pi", "mu"]);
+    s.init().unwrap();
+    let samples = s.sample(5, &["pi", "mu"]).unwrap();
     assert_eq!(samples.len(), 5);
     for snap in &samples {
         assert_eq!(snap["pi"].len(), 2);

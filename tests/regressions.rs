@@ -42,7 +42,7 @@ fn poisson_regression_recovers_rate_structure() {
         .data(vec![("y", HostValue::VecF(y))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     for _ in 0..400 {
         s.sweep();
     }
@@ -108,7 +108,7 @@ fn bayesian_linear_regression_with_unknown_noise() {
         .data(vec![("y", HostValue::VecF(y))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     for _ in 0..600 {
         s.sweep();
     }

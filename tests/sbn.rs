@@ -69,7 +69,7 @@ fn sbn_posterior_identifies_active_units() {
         .data(vec![("v", HostValue::VecF(v))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     // posterior frequency of each hidden unit
     let mut freq = vec![0.0; h_dim];
     let sweeps = 400;
@@ -104,7 +104,7 @@ fn sbn_uninformative_data_recovers_prior() {
         .data(vec![("v", HostValue::VecF(v))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     let mut freq = vec![0.0; h_dim];
     let sweeps = 4000;
     for _ in 0..sweeps {

@@ -20,7 +20,7 @@ fn lda_virtual(topics: usize, docs: usize, target: Target) -> f64 {
         .data(vec![("w", augur::HostValue::RaggedI(corpus.docs.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     for _ in 0..3 {
         s.sweep();
     }
@@ -71,7 +71,7 @@ fn hlr_virtual(n: usize, target: Target, flags: OptFlags) -> f64 {
         .data(vec![("y", augur::HostValue::VecF(data.y.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     for _ in 0..3 {
         s.sweep();
     }
@@ -150,7 +150,7 @@ fn compiled_gibbs_beats_graph_gibbs_wall_clock() {
         .data(vec![("y", augur::HostValue::Ragged(data.points.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     let t0 = std::time::Instant::now();
     for _ in 0..40 {
         s.sweep();

@@ -29,7 +29,7 @@ fn rejected_hmc_restores_state_bitwise() {
         .data(vec![("y", HostValue::VecF(data.y.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     let before: Vec<Vec<f64>> = ["sigma2", "b", "theta"]
         .iter()
         .map(|p| s.param(p).unwrap().to_vec())
@@ -77,7 +77,7 @@ fn updates_touch_only_their_targets() {
         .data(vec![("y", HostValue::Ragged(data.points.clone()))])
         .build()
         .unwrap();
-    s.init();
+    s.init().unwrap();
     // the data buffer must never change, across any number of sweeps
     let y_before = s.param("y").unwrap().to_vec();
     for _ in 0..25 {

@@ -15,6 +15,7 @@ use augurv2::{models, workloads};
 
 /// Runs one sampler and returns the recorded traces as raw bits:
 /// `out[sweep][cell]`, concatenating the recorded parameters in order.
+#[allow(clippy::too_many_arguments)]
 fn bit_trace(
     model: &str,
     sched: Option<&str>,
@@ -23,6 +24,7 @@ fn bit_trace(
     record: &[&str],
     sweeps: usize,
     exec: ExecStrategy,
+    threads: usize,
 ) -> Vec<Vec<u64>> {
     let mut aug = Infer::from_source(model).expect("model parses");
     if let Some(s) = sched {
@@ -30,13 +32,15 @@ fn bit_trace(
     }
     aug.set_compile_opt(SamplerConfig {
         exec,
+        threads,
         mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
         seed: 0xD1FF,
         ..Default::default()
     });
     let mut s = aug.compile(args).data(data).build().expect("model builds");
-    s.init();
+    s.init().unwrap();
     s.sample(sweeps, record)
+        .unwrap()
         .iter()
         .map(|snap| {
             record
@@ -47,7 +51,9 @@ fn bit_trace(
         .collect()
 }
 
-/// Asserts tape and tree agree exactly, localizing the first divergence.
+/// Asserts tape and tree agree exactly (localizing the first divergence),
+/// then that the multi-threaded tape reproduces the single-threaded trace
+/// bit-for-bit at 2 and 8 worker threads.
 fn assert_tape_matches_tree(
     label: &str,
     model: &str,
@@ -65,12 +71,40 @@ fn assert_tape_matches_tree(
         record,
         sweeps,
         ExecStrategy::Tree,
+        1,
     );
-    let tape = bit_trace(model, sched, args, data, record, sweeps, ExecStrategy::Tape);
+    let tape = bit_trace(
+        model,
+        sched,
+        args.clone(),
+        data.clone(),
+        record,
+        sweeps,
+        ExecStrategy::Tape,
+        1,
+    );
     for (s, (a, b)) in tree.iter().zip(&tape).enumerate() {
         assert_eq!(a, b, "{label}: tape diverged from tree at sweep {s}");
     }
     assert_eq!(tree.len(), tape.len(), "{label}: sweep counts differ");
+    for threads in [2, 8] {
+        let par = bit_trace(
+            model,
+            sched,
+            args.clone(),
+            data.clone(),
+            record,
+            sweeps,
+            ExecStrategy::Tape,
+            threads,
+        );
+        for (s, (a, b)) in tape.iter().zip(&par).enumerate() {
+            assert_eq!(
+                a, b,
+                "{label}: {threads}-thread tape diverged from sequential at sweep {s}"
+            );
+        }
+    }
 }
 
 fn hgmm_args(k: usize, d: usize, n: usize) -> Vec<HostValue> {
