@@ -3,17 +3,20 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
 
 use augur_blk::{optimize, to_blocks, OptFlags, OptReport};
 use augur_density::{DensityModel, DensityError};
 use augur_dist::Prng;
-use augur_kernel::{heuristic_schedule, parse_schedule, plan, KernelError};
+use augur_kernel::{heuristic_schedule, parse_schedule, plan, KernelError, KernelUnit, UpdateKind};
 use augur_lang::LangError;
 use augur_low::{lower, LowerError, LoweredModel, Step};
 use gpu_sim::{Device, DeviceConfig};
 
 use crate::compile::{Compiler, ProcTable};
 use crate::eval::{Engine, ExecMode};
+use crate::metrics::{ExecReport, KernelReport, KernelStats, RunReport, TraceSink, UpdateOutcome};
 use crate::tape::ExecStrategy;
 use crate::mcmc::{self, GradTarget, McmcConfig, Proposal};
 use crate::oracle::StateOracle;
@@ -51,6 +54,15 @@ pub struct SamplerConfig {
     /// § Deterministic parallelism). The default honors the
     /// `AUGUR_THREADS` environment variable when set.
     pub threads: usize,
+    /// Opt-in JSONL event sink: when set, the sampler streams one record
+    /// per sweep (per-kernel counter deltas) to this path. The default
+    /// honors the `AUGUR_TRACE` environment variable when set. See
+    /// `DESIGN.md` § JSONL trace schema.
+    pub trace_path: Option<PathBuf>,
+    /// Whether to time each base update (`KernelStats::wall_secs`).
+    /// Enabled by default; disable to measure the sampler's raw
+    /// throughput without clock reads.
+    pub timers: bool,
 }
 
 impl Default for SamplerConfig {
@@ -62,6 +74,8 @@ impl Default for SamplerConfig {
             opt_flags: OptFlags::default(),
             exec: ExecStrategy::default(),
             threads: default_threads(),
+            trace_path: std::env::var_os("AUGUR_TRACE").map(PathBuf::from),
+            timers: true,
         }
     }
 }
@@ -88,6 +102,8 @@ pub enum BuildError {
     Lower(LowerError),
     /// Binding/allocation error.
     Setup(SetupError),
+    /// The JSONL trace sink could not be opened.
+    Trace(String),
 }
 
 impl fmt::Display for BuildError {
@@ -98,6 +114,7 @@ impl fmt::Display for BuildError {
             BuildError::Kernel(e) => write!(f, "kernel: {e}"),
             BuildError::Lower(e) => write!(f, "lowering: {e}"),
             BuildError::Setup(e) => write!(f, "setup: {e}"),
+            BuildError::Trace(e) => write!(f, "trace: {e}"),
         }
     }
 }
@@ -200,7 +217,13 @@ pub struct Sampler {
     init_idx: usize,
     model_ll_idx: usize,
     mcmc_cfg: McmcConfig,
-    accepts: Vec<(u64, u64)>,
+    /// Cumulative per-step statistics, aligned with `steps`/`labels`.
+    stats: Vec<KernelStats>,
+    /// Kernel-IL labels of the schedule steps (`Gibbs Single(z)`, …).
+    labels: Vec<String>,
+    sweeps: u64,
+    timers: bool,
+    trace: Option<TraceSink>,
     opt_report: OptReport,
     param_names: Vec<String>,
     proposals: HashMap<usize, Box<dyn Proposal>>,
@@ -284,7 +307,12 @@ impl Sampler {
             .iter()
             .map(|s| compile_step(&engine, &table, s))
             .collect();
-        let accepts = vec![(0, 0); steps.len()];
+        let labels: Vec<String> = lowered.steps.iter().map(step_label).collect();
+        let stats = vec![KernelStats::default(); steps.len()];
+        let trace = match &config.trace_path {
+            Some(p) => Some(TraceSink::create(p).map_err(BuildError::Trace)?),
+            None => None,
+        };
         let param_names = dm.params().map(|p| p.name.clone()).collect();
         let init_idx = table_index(&table, &lowered.init_proc);
         let model_ll_idx = table_index(&table, &lowered.model_ll_proc);
@@ -295,7 +323,11 @@ impl Sampler {
             init_idx,
             model_ll_idx,
             mcmc_cfg: config.mcmc,
-            accepts,
+            stats,
+            labels,
+            sweeps: 0,
+            timers: config.timers,
+            trace,
             opt_report,
             param_names,
             proposals: HashMap::new(),
@@ -384,14 +416,21 @@ impl Sampler {
         self.table.tapes[self.table.index(proc_name)].tape.disasm()
     }
 
-    /// Runs one sweep: every base update once, in schedule order.
+    /// Runs one sweep: every base update once, in schedule order. Each
+    /// update's outcome (acceptance, leapfrogs, divergences, slice
+    /// counters) folds into the per-kernel statistics behind
+    /// [`Sampler::report`]; when a trace sink is configured, the sweep's
+    /// counter deltas stream out as one JSONL record.
     pub fn sweep(&mut self) {
+        let snap: Option<Vec<KernelStats>> = self.trace.as_ref().map(|_| self.stats.clone());
+        let sweep_t0 = self.trace.as_ref().map(|_| Instant::now());
         for i in 0..self.steps.len() {
             let step = self.steps[i].clone();
-            let accepted = match &step {
+            let t0 = if self.timers { Some(Instant::now()) } else { None };
+            let outcome = match &step {
                 CompiledStep::Gibbs { proc_ } => {
                     self.engine.run_proc(&self.table, *proc_);
-                    true // Gibbs updates are always accepted (§5.5)
+                    UpdateOutcome::accepted() // Gibbs updates always accept (§5.5)
                 }
                 CompiledStep::Hmc { targets, ll, grad, nuts } => {
                     if *nuts {
@@ -415,8 +454,7 @@ impl Sampler {
                 CompiledStep::ESlice { target, lik, psamp, pmean, aux, mean } => {
                     mcmc::eslice_update(
                         &mut self.engine, &self.table, *lik, *psamp, *pmean, *target, *aux, *mean,
-                    );
-                    true
+                    )
                 }
                 CompiledStep::RwMh { targets, ll } => {
                     if let Some(proposal) = self.proposals.get_mut(&i) {
@@ -430,10 +468,17 @@ impl Sampler {
                     }
                 }
             };
-            self.accepts[i].1 += 1;
-            if accepted {
-                self.accepts[i].0 += 1;
+            self.stats[i].record(outcome);
+            if let Some(t0) = t0 {
+                self.stats[i].wall_secs += t0.elapsed().as_secs_f64();
             }
+        }
+        self.sweeps += 1;
+        if let (Some(sink), Some(snap)) = (&mut self.trace, snap) {
+            let deltas: Vec<KernelStats> =
+                self.stats.iter().zip(&snap).map(|(now, then)| now.delta(then)).collect();
+            let wall = sweep_t0.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+            sink.write_sweep(self.sweeps, &self.labels, &deltas, wall);
         }
     }
 
@@ -488,12 +533,41 @@ impl Sampler {
 
     /// Acceptance rate of step `i` of the schedule.
     pub fn acceptance_rate(&self, i: usize) -> f64 {
-        let (a, t) = self.accepts[i];
-        if t == 0 {
-            f64::NAN
-        } else {
-            a as f64 / t as f64
+        self.stats[i].acceptance_rate()
+    }
+
+    /// The structured account of everything this sampler has done: the
+    /// Kernel-IL schedule, per-kernel acceptance/divergence/slice
+    /// counters and wall-time breakdown, the deterministic work counter,
+    /// and execution-shape statistics. The deterministic portion
+    /// ([`RunReport::digest`]) is bit-identical at any `AUGUR_THREADS`
+    /// count and under either execution strategy.
+    pub fn report(&self) -> RunReport {
+        let kernels = self
+            .labels
+            .iter()
+            .zip(&self.stats)
+            .map(|(l, s)| KernelReport { kernel: l.clone(), stats: s.clone() })
+            .collect();
+        RunReport {
+            schedule: self.labels.join(" (*) "),
+            sweeps: self.sweeps,
+            kernels,
+            work: self.engine.work,
+            exec: ExecReport {
+                threads: self.engine.threads(),
+                proc_calls: self.engine.metrics.proc_calls,
+                instrs_retired: self.engine.metrics.instrs_retired,
+                par_dispatches: self.engine.metrics.par_dispatches,
+                par_chunks: self.engine.metrics.par_chunks,
+                total_wall_secs: self.stats.iter().map(|s| s.wall_secs).sum(),
+            },
         }
+    }
+
+    /// The path of the configured JSONL trace sink, if any.
+    pub fn trace_path(&self) -> Option<&std::path::Path> {
+        self.trace.as_ref().map(TraceSink::path)
     }
 
     /// What the Blk-IL optimizer did at compile time (GPU target).
@@ -514,6 +588,39 @@ impl Sampler {
 
 fn table_index(table: &ProcTable, name: &str) -> usize {
     table.index(name)
+}
+
+/// The Kernel-IL label of a lowered step — the stable key under which
+/// its statistics appear in [`RunReport`] (e.g. `Gibbs Single(z)`,
+/// `NUTS Block(sigma2, b, theta)`). Built from the Kernel IL's own
+/// naming ([`UpdateKind::name`], [`KernelUnit`]'s rendering) so report
+/// keys match `kernel_plan()` output.
+fn step_label(s: &Step) -> String {
+    let (kind, unit) = match s {
+        Step::Gibbs { target, .. } => {
+            (UpdateKind::Gibbs, KernelUnit::from_vars([target.as_str()]))
+        }
+        Step::Hmc { targets, nuts, .. } => (
+            if *nuts { UpdateKind::Nuts } else { UpdateKind::Hmc },
+            KernelUnit::from_vars(targets.iter().map(|(v, _)| v.as_str())),
+        ),
+        Step::Mala { targets, .. } => (
+            UpdateKind::Mala,
+            KernelUnit::from_vars(targets.iter().map(|(v, _)| v.as_str())),
+        ),
+        Step::SliceRefl { targets, .. } => (
+            UpdateKind::ReflectiveSlice,
+            KernelUnit::from_vars(targets.iter().map(|(v, _)| v.as_str())),
+        ),
+        Step::ESlice { target, .. } => {
+            (UpdateKind::EllipticalSlice, KernelUnit::from_vars([target.as_str()]))
+        }
+        Step::RwMh { targets, .. } => (
+            UpdateKind::MetropolisHastings,
+            KernelUnit::from_vars(targets.iter().map(|(v, _)| v.as_str())),
+        ),
+    };
+    format!("{} {}", kind.name(), unit)
 }
 
 fn compile_step(engine: &Engine, table: &ProcTable, s: &Step) -> CompiledStep {

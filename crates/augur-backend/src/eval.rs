@@ -138,6 +138,9 @@ pub struct Engine {
     /// Present on worker engines: every state mutation is recorded here
     /// for ordered replay on the main thread.
     pub(crate) write_log: Option<Vec<WriteOp>>,
+    /// Execution counters (proc calls, tape instructions, parallel
+    /// dispatches); worker counters merge in chunk order.
+    pub(crate) metrics: crate::metrics::EngineMetrics,
 }
 
 impl Engine {
@@ -166,6 +169,7 @@ impl Engine {
             threads: 1,
             pool: None,
             write_log: None,
+            metrics: crate::metrics::EngineMetrics::default(),
         }
     }
 
@@ -212,6 +216,7 @@ impl Engine {
             threads: 1,
             pool: None,
             write_log: Some(Vec::new()),
+            metrics: crate::metrics::EngineMetrics::default(),
         }
     }
 
@@ -297,6 +302,7 @@ impl Engine {
     /// them) and replays its ordinary writes.
     pub(crate) fn merge_worker(&mut self, worker: &mut Engine) {
         self.work += worker.work;
+        self.metrics.absorb(worker.metrics);
         if self.record_atomics {
             self.atomics.append(&mut worker.atomics);
         }
@@ -333,6 +339,7 @@ impl Engine {
     /// Runs a procedure by table index, charging time per the mode.
     /// Returns the procedure's scalar result, if it has one.
     pub fn run_proc(&mut self, table: &ProcTable, idx: usize) -> Option<f64> {
+        self.metrics.proc_calls += 1;
         match (self.mode, self.strategy) {
             (ExecMode::Cpu, ExecStrategy::Tree) => {
                 let before = self.work;
@@ -346,6 +353,7 @@ impl Engine {
                 let proc_ = &table.tapes[idx];
                 let before = self.work;
                 let retired = self.run_tape(&proc_.tape);
+                self.metrics.instrs_retired += retired;
                 let delta = (self.work - before) as f64;
                 self.device.sequential(delta);
                 self.device.tape_dispatch(retired);

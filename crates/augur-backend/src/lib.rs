@@ -53,6 +53,7 @@ pub mod compile;
 pub mod driver;
 pub mod eval;
 pub mod mcmc;
+pub mod metrics;
 pub mod oracle;
 pub mod par;
 pub mod setup;
@@ -60,5 +61,6 @@ pub mod state;
 pub mod tape;
 
 pub use driver::{RunError, Sampler, SamplerConfig, Target};
+pub use metrics::{ExecReport, KernelReport, KernelStats, RunReport, UpdateOutcome};
 pub use state::HostValue;
 pub use tape::ExecStrategy;

@@ -17,6 +17,7 @@ use augur_low::Transform;
 
 use crate::compile::ProcTable;
 use crate::eval::Engine;
+use crate::metrics::UpdateOutcome;
 use crate::state::BufId;
 
 /// A user-supplied Metropolis–Hastings proposal — the `Prop (Maybe α)`
@@ -219,7 +220,9 @@ pub fn log_density_flat(
     ll + jac
 }
 
-/// One HMC update of a block. Returns whether the proposal was accepted.
+/// One HMC update of a block. Reports acceptance, the leapfrog steps
+/// actually integrated, and whether the trajectory diverged (non-finite
+/// energy, which aborts the integration).
 pub fn hmc_update(
     engine: &mut Engine,
     table: &ProcTable,
@@ -227,7 +230,8 @@ pub fn hmc_update(
     grad_proc: usize,
     targets: &[GradTarget],
     cfg: &McmcConfig,
-) -> bool {
+) -> UpdateOutcome {
+    let mut out = UpdateOutcome::default();
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
     let mut q = q0.clone();
@@ -237,7 +241,9 @@ pub fn hmc_update(
     let mut ll = f64::NAN;
     for _ in 0..cfg.leapfrog_steps {
         ll = leapfrog(engine, table, ll_proc, grad_proc, targets, &mut q, &mut p, cfg.step_size);
+        out.leapfrogs += 1;
         if !ll.is_finite() {
+            out.divergences += 1;
             break;
         }
     }
@@ -246,17 +252,19 @@ pub fn hmc_update(
     } else {
         f64::NEG_INFINITY
     };
-    let accept = engine.rng.uniform().ln() < h1 - h0;
-    if accept {
+    out.accepted = engine.rng.uniform().ln() < h1 - h0;
+    if out.accepted {
         write_position(engine, targets, &q);
     } else {
         restore_targets(engine, targets, &saved); // §5.5: exact state copy
     }
-    accept
+    out
 }
 
 /// One NUTS update (Hoffman & Gelman 2014, Algorithm 3 — the paper's §4.4
-/// footnote prototype). Returns whether the position moved.
+/// footnote prototype). Reports whether the position moved, plus the
+/// leapfrog steps taken and divergence-guard trips across the whole
+/// doubling tree.
 pub fn nuts_update(
     engine: &mut Engine,
     table: &ProcTable,
@@ -264,7 +272,8 @@ pub fn nuts_update(
     grad_proc: usize,
     targets: &[GradTarget],
     cfg: &McmcConfig,
-) -> bool {
+) -> UpdateOutcome {
+    let mut out = UpdateOutcome::default();
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
     let p0: Vec<f64> = (0..q0.len()).map(|_| engine.rng.std_normal()).collect();
@@ -286,7 +295,7 @@ pub fn nuts_update(
         let (q_prop, n_prop, ok) = if dir < 0.0 {
             let (qm, pm, _, _, qp, np, ok) = build_tree(
                 engine, table, ll_proc, grad_proc, targets,
-                &q_minus, &p_minus, log_u, dir, depth, cfg,
+                &q_minus, &p_minus, log_u, dir, depth, cfg, &mut out,
             );
             q_minus = qm;
             p_minus = pm;
@@ -294,7 +303,7 @@ pub fn nuts_update(
         } else {
             let (_, _, qp2, pp2, qp, np, ok) = build_tree(
                 engine, table, ll_proc, grad_proc, targets,
-                &q_plus, &p_plus, log_u, dir, depth, cfg,
+                &q_plus, &p_plus, log_u, dir, depth, cfg, &mut out,
             );
             q_plus = qp2;
             p_plus = pp2;
@@ -309,12 +318,13 @@ pub fn nuts_update(
             break;
         }
     }
+    out.accepted = moved;
     if moved {
         write_position(engine, targets, &q_new);
     } else {
         restore_targets(engine, targets, &saved);
     }
-    moved
+    out
 }
 
 type Tree = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64, bool);
@@ -332,6 +342,7 @@ fn build_tree(
     dir: f64,
     depth: usize,
     cfg: &McmcConfig,
+    out: &mut UpdateOutcome,
 ) -> Tree {
     if depth == 0 {
         let mut q1 = q.to_vec();
@@ -340,6 +351,7 @@ fn build_tree(
             engine, table, ll_proc, grad_proc, targets,
             &mut q1, &mut p1, dir * cfg.step_size,
         );
+        out.leapfrogs += 1;
         let h = if ll.is_finite() {
             ll - 0.5 * p1.iter().map(|x| x * x).sum::<f64>()
         } else {
@@ -347,16 +359,19 @@ fn build_tree(
         };
         let n = if log_u <= h { 1.0 } else { 0.0 };
         let ok = log_u < h + 1000.0; // divergence guard
+        if !ok {
+            out.divergences += 1;
+        }
         (q1.clone(), p1.clone(), q1.clone(), p1.clone(), q1, n, ok)
     } else {
         let (mut qm, mut pm, mut qp, mut pp, mut qn, mut n, ok) = build_tree(
-            engine, table, ll_proc, grad_proc, targets, q, p, log_u, dir, depth - 1, cfg,
+            engine, table, ll_proc, grad_proc, targets, q, p, log_u, dir, depth - 1, cfg, out,
         );
         if ok {
             let (qn2, n2, ok2) = if dir < 0.0 {
                 let (qm2, pm2, _, _, qn2, n2, ok2) = build_tree(
                     engine, table, ll_proc, grad_proc, targets,
-                    &qm, &pm, log_u, dir, depth - 1, cfg,
+                    &qm, &pm, log_u, dir, depth - 1, cfg, out,
                 );
                 qm = qm2;
                 pm = pm2;
@@ -364,7 +379,7 @@ fn build_tree(
             } else {
                 let (_, _, qp2, pp2, qn2, n2, ok2) = build_tree(
                     engine, table, ll_proc, grad_proc, targets,
-                    &qp, &pp, log_u, dir, depth - 1, cfg,
+                    &qp, &pp, log_u, dir, depth - 1, cfg, out,
                 );
                 qp = qp2;
                 pp = pp2;
@@ -397,7 +412,8 @@ fn u_turn(q_minus: &[f64], q_plus: &[f64], p_minus: &[f64], p_plus: &[f64]) -> b
 /// slice by slice over the target's comprehension structure: given the
 /// rest of the state, the slices are conditionally independent, so each
 /// gets its own ellipse (this is the compiled analogue of the per-slice
-/// Gibbs structure). Always accepts.
+/// Gibbs structure). Always accepts; reports the total bracket-shrink
+/// count across all slices.
 #[allow(clippy::too_many_arguments)]
 pub fn eslice_update(
     engine: &mut Engine,
@@ -408,7 +424,8 @@ pub fn eslice_update(
     target: BufId,
     aux: BufId,
     mean: BufId,
-) {
+) -> UpdateOutcome {
+    let mut out = UpdateOutcome::accepted();
     // ν ~ prior, m = prior mean (for every slice at once)
     engine.run_proc(table, prior_sample_proc);
     engine.run_proc(table, prior_mean_proc);
@@ -443,6 +460,7 @@ pub fn eslice_update(
                 break; // this slice accepted; move to the next
             }
             // shrink the bracket toward θ = 0
+            out.slice_shrinks += 1;
             if theta < 0.0 {
                 lo = theta;
             } else {
@@ -457,11 +475,12 @@ pub fn eslice_update(
             theta = engine.rng.uniform_range(lo, hi);
         }
     }
+    out
 }
 
 /// One reflective slice update: uniform momentum, gradient reflections off
 /// the slice boundary (Neal 2003). Always ends inside the slice (reverts
-/// on failure).
+/// on failure); reports the boundary-reflection count.
 pub fn reflective_slice_update(
     engine: &mut Engine,
     table: &ProcTable,
@@ -469,7 +488,8 @@ pub fn reflective_slice_update(
     grad_proc: usize,
     targets: &[GradTarget],
     cfg: &McmcConfig,
-) -> bool {
+) -> UpdateOutcome {
+    let mut out = UpdateOutcome::default();
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
     let ll0 = log_density_flat(engine, table, ll_proc, targets, &q0);
@@ -488,6 +508,7 @@ pub fn reflective_slice_update(
             let g = gradient(engine, table, grad_proc, targets, &q);
             let gg: f64 = g.iter().map(|x| x * x).sum();
             if gg > 0.0 {
+                out.slice_reflections += 1;
                 let pg: f64 = p.iter().zip(&g).map(|(a, b)| a * b).sum();
                 for (pi, gi) in p.iter_mut().zip(&g) {
                     *pi -= 2.0 * pg * gi / gg;
@@ -496,18 +517,18 @@ pub fn reflective_slice_update(
         }
     }
     let ll_final = log_density_flat(engine, table, ll_proc, targets, &q);
-    if ll_final >= log_y {
+    out.accepted = ll_final >= log_y;
+    if out.accepted {
         write_position(engine, targets, &q);
-        true
     } else {
         restore_targets(engine, targets, &saved);
-        false
     }
+    out
 }
 
 /// One Metropolis-adjusted Langevin update of a block: a single
 /// gradient-drifted proposal `q' = q + (ε²/2)∇ + ε ξ` with the exact
-/// Hastings correction. Returns whether the proposal was accepted.
+/// Hastings correction. Reports whether the proposal was accepted.
 ///
 /// This is the §7.1 extensibility exercise — note that it needs nothing
 /// beyond the primitives that already existed (likelihood + gradient
@@ -519,7 +540,7 @@ pub fn mala_update(
     grad_proc: usize,
     targets: &[GradTarget],
     cfg: &McmcConfig,
-) -> bool {
+) -> UpdateOutcome {
     let eps = cfg.step_size;
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
@@ -550,18 +571,18 @@ pub fn mala_update(
     } else {
         restore_targets(engine, targets, &saved);
     }
-    accept
+    UpdateOutcome { accepted: accept, ..UpdateOutcome::default() }
 }
 
 /// One Metropolis–Hastings update with a *user-supplied* proposal over
-/// the block's natural space. Returns whether the proposal was accepted.
+/// the block's natural space. Reports whether the proposal was accepted.
 pub fn custom_mh_update(
     engine: &mut Engine,
     table: &ProcTable,
     ll_proc: usize,
     targets: &[GradTarget],
     proposal: &mut dyn Proposal,
-) -> bool {
+) -> UpdateOutcome {
     // natural-space values: read the raw buffers
     let mut current = Vec::new();
     for t in targets {
@@ -587,18 +608,18 @@ pub fn custom_mh_update(
             off += buf.len();
         }
     }
-    accept
+    UpdateOutcome { accepted: accept, ..UpdateOutcome::default() }
 }
 
 /// One random-walk Metropolis–Hastings update in the unconstrained space.
-/// Returns whether the proposal was accepted.
+/// Reports whether the proposal was accepted.
 pub fn rw_mh_update(
     engine: &mut Engine,
     table: &ProcTable,
     ll_proc: usize,
     targets: &[GradTarget],
     cfg: &McmcConfig,
-) -> bool {
+) -> UpdateOutcome {
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
     let ll0 = log_density_flat(engine, table, ll_proc, targets, &q0);
@@ -612,5 +633,5 @@ pub fn rw_mh_update(
     } else {
         restore_targets(engine, targets, &saved);
     }
-    accept
+    UpdateOutcome { accepted: accept, ..UpdateOutcome::default() }
 }

@@ -1,0 +1,392 @@
+//! Kernel-level observability: deterministic per-update counters, run
+//! reports, and the opt-in JSONL trace sink.
+//!
+//! Every base update of the compiled sweep is instrumented: the driver
+//! records proposals, accepts, HMC/NUTS leapfrog steps and divergences,
+//! and slice-sampler reflection/shrink counts into one [`KernelStats`]
+//! per schedule step, keyed by the step's Kernel-IL label (e.g.
+//! `HMC Single(mu)`). The engine additionally counts procedure calls,
+//! retired tape instructions, and parallel dispatches
+//! ([`EngineMetrics`]).
+//!
+//! **Determinism contract.** Everything [`RunReport::digest`] covers —
+//! the schedule string, sweep count, per-kernel counters, and the work
+//! counter — is *bit-identical* at any `AUGUR_THREADS` count and under
+//! either execution strategy, because the counters derive from the same
+//! deterministic RNG draws as the traces themselves, and worker-side
+//! counters merge in chunk order exactly like the write logs (see
+//! `DESIGN.md` § Deterministic metrics). Wall-clock fields and the
+//! execution-shape counters ([`ExecReport`]) are observability only and
+//! are deliberately excluded from the digest.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+/// What a single base update reported back to the driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Whether the update moved the state (Gibbs and successful slice
+    /// updates always do).
+    pub accepted: bool,
+    /// Leapfrog integration steps taken (HMC/NUTS).
+    pub leapfrogs: u64,
+    /// Divergent trajectories detected (HMC non-finite energy, NUTS
+    /// divergence-guard trips).
+    pub divergences: u64,
+    /// Gradient reflections off the slice boundary (reflective slice).
+    pub slice_reflections: u64,
+    /// Bracket shrink steps (elliptical slice).
+    pub slice_shrinks: u64,
+}
+
+impl UpdateOutcome {
+    /// An unconditionally accepted move with no inner-loop counters
+    /// (Gibbs).
+    pub fn accepted() -> UpdateOutcome {
+        UpdateOutcome { accepted: true, ..UpdateOutcome::default() }
+    }
+}
+
+/// Cumulative statistics for one kernel unit of the schedule.
+///
+/// All integer fields are deterministic (identical at any thread count
+/// and under either execution strategy); `wall_secs` is wall-clock
+/// observability only and is excluded from [`RunReport::digest`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Update invocations (one per sweep).
+    pub proposals: u64,
+    /// Accepted moves.
+    pub accepts: u64,
+    /// Leapfrog integration steps (HMC/NUTS).
+    pub leapfrogs: u64,
+    /// Divergent trajectories.
+    pub divergences: u64,
+    /// Reflective-slice boundary reflections.
+    pub slice_reflections: u64,
+    /// Elliptical-slice bracket shrinks.
+    pub slice_shrinks: u64,
+    /// Cumulative wall time spent in this update, in seconds. Zero when
+    /// the sampler was built with `SamplerConfig::timers = false`.
+    pub wall_secs: f64,
+}
+
+impl KernelStats {
+    /// Folds one update outcome into the cumulative counters.
+    pub fn record(&mut self, o: UpdateOutcome) {
+        self.proposals += 1;
+        self.accepts += u64::from(o.accepted);
+        self.leapfrogs += o.leapfrogs;
+        self.divergences += o.divergences;
+        self.slice_reflections += o.slice_reflections;
+        self.slice_shrinks += o.slice_shrinks;
+    }
+
+    /// Accepted / proposed (NaN before the first sweep).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposals == 0 {
+            f64::NAN
+        } else {
+            self.accepts as f64 / self.proposals as f64
+        }
+    }
+
+    /// The deterministic counters, in a fixed order (excludes wall
+    /// time).
+    pub fn counters(&self) -> [u64; 6] {
+        [
+            self.proposals,
+            self.accepts,
+            self.leapfrogs,
+            self.divergences,
+            self.slice_reflections,
+            self.slice_shrinks,
+        ]
+    }
+
+    /// The per-sweep delta against an earlier snapshot of the same
+    /// kernel (used by the trace sink).
+    pub fn delta(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            proposals: self.proposals - earlier.proposals,
+            accepts: self.accepts - earlier.accepts,
+            leapfrogs: self.leapfrogs - earlier.leapfrogs,
+            divergences: self.divergences - earlier.divergences,
+            slice_reflections: self.slice_reflections - earlier.slice_reflections,
+            slice_shrinks: self.slice_shrinks - earlier.slice_shrinks,
+            wall_secs: self.wall_secs - earlier.wall_secs,
+        }
+    }
+}
+
+/// Engine-level execution counters.
+///
+/// `proc_calls` and `instrs_retired` are deterministic for a fixed
+/// strategy; the dispatch counters describe the *shape* of execution
+/// (how work was fanned out) and therefore vary with the thread count —
+/// they live in [`ExecReport`], outside the determinism contract.
+/// Worker-side counters are merged into the parent engine in chunk
+/// order, the same discipline as the write logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Compiled-procedure invocations.
+    pub proc_calls: u64,
+    /// Tape instructions retired (0 under the tree-walking strategy).
+    pub instrs_retired: u64,
+    /// Parallel regions fanned out to the worker pool.
+    pub par_dispatches: u64,
+    /// Worker chunks executed across all dispatches.
+    pub par_chunks: u64,
+}
+
+impl EngineMetrics {
+    /// Adds a worker engine's counters into this one (called from the
+    /// chunk-ordered merge alongside the write-log replay).
+    pub fn absorb(&mut self, worker: EngineMetrics) {
+        self.proc_calls += worker.proc_calls;
+        self.instrs_retired += worker.instrs_retired;
+        self.par_dispatches += worker.par_dispatches;
+        self.par_chunks += worker.par_chunks;
+    }
+}
+
+/// One schedule step's label and cumulative statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// The step in Kernel-IL notation, e.g. `Gibbs Single(z)` or
+    /// `HMC Block(sigma2, b, theta)`.
+    pub kernel: String,
+    /// Its cumulative counters.
+    pub stats: KernelStats,
+}
+
+/// Execution-shape counters: how the run was executed, not what it
+/// computed. These vary with the thread count and strategy and are
+/// excluded from [`RunReport::digest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecReport {
+    /// Configured worker-thread count.
+    pub threads: usize,
+    /// Compiled-procedure invocations.
+    pub proc_calls: u64,
+    /// Tape instructions retired (0 under the tree-walker).
+    pub instrs_retired: u64,
+    /// Parallel regions fanned out to the worker pool.
+    pub par_dispatches: u64,
+    /// Worker chunks executed.
+    pub par_chunks: u64,
+    /// Total wall time across all instrumented updates, in seconds.
+    pub total_wall_secs: f64,
+}
+
+/// A structured account of everything a sampler did: per-kernel
+/// acceptance and inner-loop counters keyed by the Kernel-IL schedule
+/// string, the sweep count, the deterministic work counter, and
+/// execution-shape statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The full schedule in Kernel-IL notation
+    /// (`Gibbs Single(pi) (*) HMC Single(mu) (*) …`).
+    pub schedule: String,
+    /// Sweeps executed so far.
+    pub sweeps: u64,
+    /// Per-step reports, in schedule order.
+    pub kernels: Vec<KernelReport>,
+    /// Abstract work units retired (deterministic at any thread count).
+    pub work: u64,
+    /// Execution-shape counters (thread-count dependent; excluded from
+    /// the digest).
+    pub exec: ExecReport,
+}
+
+impl RunReport {
+    /// The stats of the step labeled `kernel`, if present.
+    pub fn kernel(&self, kernel: &str) -> Option<&KernelStats> {
+        self.kernels.iter().find(|k| k.kernel == kernel).map(|k| &k.stats)
+    }
+
+    /// Acceptance rate of the step labeled `kernel` (NaN before the
+    /// first sweep; `None` for unknown labels).
+    pub fn acceptance_rate(&self, kernel: &str) -> Option<f64> {
+        self.kernel(kernel).map(KernelStats::acceptance_rate)
+    }
+
+    /// A canonical rendering of every deterministic field — the
+    /// schedule, sweep count, per-kernel counters, and work counter.
+    /// Two runs of the same model and seed produce byte-identical
+    /// digests at any `AUGUR_THREADS` count and under either execution
+    /// strategy; wall time and dispatch shape are excluded.
+    pub fn digest(&self) -> String {
+        let mut out = format!("schedule={};sweeps={};work={}", self.schedule, self.sweeps, self.work);
+        for k in &self.kernels {
+            let [p, a, lf, dv, refl, shr] = k.stats.counters();
+            out.push_str(&format!(
+                ";{}:p={p},a={a},lf={lf},div={dv},refl={refl},shr={shr}",
+                k.kernel
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule: {}", self.schedule)?;
+        writeln!(
+            f,
+            "sweeps: {}   work: {}   threads: {}   wall: {:.3}s",
+            self.sweeps, self.work, self.exec.threads, self.exec.total_wall_secs
+        )?;
+        writeln!(
+            f,
+            "{:<34} {:>9} {:>8} {:>6} {:>8} {:>5} {:>6} {:>7} {:>9}",
+            "kernel", "proposals", "accepts", "rate", "leapfrog", "div", "refl", "shrink", "wall(s)"
+        )?;
+        for k in &self.kernels {
+            let s = &k.stats;
+            writeln!(
+                f,
+                "{:<34} {:>9} {:>8} {:>6.3} {:>8} {:>5} {:>6} {:>7} {:>9.4}",
+                k.kernel,
+                s.proposals,
+                s.accepts,
+                s.acceptance_rate(),
+                s.leapfrogs,
+                s.divergences,
+                s.slice_reflections,
+                s.slice_shrinks,
+                s.wall_secs
+            )?;
+        }
+        write!(
+            f,
+            "exec: {} proc calls, {} tape instrs, {} dispatches / {} chunks",
+            self.exec.proc_calls,
+            self.exec.instrs_retired,
+            self.exec.par_dispatches,
+            self.exec.par_chunks
+        )
+    }
+}
+
+/// The opt-in JSONL event sink: one line per sweep, with per-kernel
+/// *delta* counters, streamed to the path given by
+/// `SamplerConfig::trace_path` (or the `AUGUR_TRACE` environment
+/// variable). Lines are flushed as written so external dashboards can
+/// tail the file. See `DESIGN.md` § JSONL trace schema.
+#[derive(Debug)]
+pub struct TraceSink {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl TraceSink {
+    /// Creates (truncating) the sink file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error message.
+    pub fn create(path: &Path) -> Result<TraceSink, String> {
+        let file = File::create(path)
+            .map_err(|e| format!("cannot create trace file `{}`: {e}", path.display()))?;
+        Ok(TraceSink { path: path.to_path_buf(), out: BufWriter::new(file) })
+    }
+
+    /// The sink's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Streams one sweep record. `deltas` are this sweep's per-kernel
+    /// counter increments, aligned with `labels`.
+    pub fn write_sweep(
+        &mut self,
+        sweep: u64,
+        labels: &[String],
+        deltas: &[KernelStats],
+        wall_secs: f64,
+    ) {
+        let mut line = format!("{{\"sweep\":{sweep},\"wall_secs\":{wall_secs:e},\"kernels\":[");
+        for (i, (label, d)) in labels.iter().zip(deltas).enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let [p, a, lf, dv, refl, shr] = d.counters();
+            line.push_str(&format!(
+                "{{\"kernel\":{},\"proposals\":{p},\"accepts\":{a},\"leapfrogs\":{lf},\
+                 \"divergences\":{dv},\"slice_reflections\":{refl},\"slice_shrinks\":{shr}}}",
+                json_str(label)
+            ));
+        }
+        line.push_str("]}\n");
+        // Trace I/O is best-effort observability: a full disk must not
+        // poison the chain itself.
+        let _ = self.out.write_all(line.as_bytes());
+        let _ = self.out.flush();
+    }
+}
+
+/// Minimal JSON string escaping (labels contain only identifier
+/// characters, parentheses, commas, and spaces, but stay safe anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rate() {
+        let mut s = KernelStats::default();
+        assert!(s.acceptance_rate().is_nan());
+        s.record(UpdateOutcome::accepted());
+        s.record(UpdateOutcome { accepted: false, leapfrogs: 8, divergences: 1, ..Default::default() });
+        assert_eq!(s.proposals, 2);
+        assert_eq!(s.accepts, 1);
+        assert_eq!(s.leapfrogs, 8);
+        assert_eq!(s.divergences, 1);
+        assert!((s.acceptance_rate() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn digest_excludes_wall_time() {
+        let mk = |wall: f64, chunks: u64| RunReport {
+            schedule: "Gibbs Single(z)".into(),
+            sweeps: 3,
+            kernels: vec![KernelReport {
+                kernel: "Gibbs Single(z)".into(),
+                stats: KernelStats { proposals: 3, accepts: 3, wall_secs: wall, ..Default::default() },
+            }],
+            work: 42,
+            exec: ExecReport {
+                threads: 1,
+                proc_calls: 3,
+                instrs_retired: 10,
+                par_dispatches: 0,
+                par_chunks: chunks,
+                total_wall_secs: wall,
+            },
+        };
+        assert_eq!(mk(0.25, 0).digest(), mk(99.0, 8).digest());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+}

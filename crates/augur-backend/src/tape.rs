@@ -1878,6 +1878,7 @@ impl Engine {
         f: &[f64],
         v: &[View],
     ) -> u64 {
+        self.metrics.par_dispatches += 1;
         let pool = self
             .pool
             .take()
@@ -1930,6 +1931,7 @@ impl Engine {
         fresh: bool,
         launch: u64,
     ) -> u64 {
+        self.metrics.par_chunks += 1;
         if fresh {
             self.rng = self.thread_rng(launch, chunk_lo);
         }
@@ -1952,6 +1954,7 @@ impl Engine {
     /// (each worker runs whole body tapes for its chunk of threads) and
     /// merges work, atomics, and write logs in chunk order.
     fn dispatch_blk_chunks(&mut self, body: &Tape, lo: i64, hi: i64, par: bool, launch: u64) -> u64 {
+        self.metrics.par_dispatches += 1;
         let pool = self
             .pool
             .take()
@@ -1964,6 +1967,7 @@ impl Engine {
                 .zip(&chunks)
                 .map(|(wk, &(a, b))| {
                     Box::new(move || {
+                        wk.metrics.par_chunks += 1;
                         let mut r = 0;
                         for t in a..b {
                             if par {
@@ -1995,6 +1999,7 @@ impl Engine {
     /// index order so the floating-point reduction is the exact
     /// sequential left fold.
     fn dispatch_sum_chunks(&mut self, rhs: &Tape, lo: i64, hi: i64) -> (Vec<OwnVal>, u64) {
+        self.metrics.par_dispatches += 1;
         let pool = self
             .pool
             .take()
@@ -2008,6 +2013,7 @@ impl Engine {
                 .zip(&chunks)
                 .map(|(wk, &(a, b))| {
                     Box::new(move || {
+                        wk.metrics.par_chunks += 1;
                         let mut vs = Vec::with_capacity((b - a) as usize);
                         let mut r = 0;
                         for i in a..b {

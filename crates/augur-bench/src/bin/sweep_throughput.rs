@@ -11,9 +11,11 @@
 //! interpreter, and the threaded sweep stands in for the paper's
 //! multicore CPU backend (§7.2).
 //!
-//! Final states are verified bit-identical across all three
-//! configurations before any timing is reported — threading is a
-//! throughput knob, never a reproducibility trade-off. Note that the
+//! Final states are verified bit-identical across all configurations
+//! (including a run with the per-kernel wall-clock timers disabled, whose
+//! throughput ratio is reported as `metrics_overhead`) before any timing
+//! is reported — threading and observability are throughput knobs, never
+//! a reproducibility trade-off. Note that the
 //! parallel speedup is bounded by the host's core count (recorded as
 //! `host_cores` in the JSON): on a single-core container the 8-thread
 //! configuration measures pure overhead.
@@ -39,6 +41,7 @@ struct Measurement {
     tree_sweeps_per_s: f64,
     tape_sweeps_per_s: f64,
     tape8_sweeps_per_s: f64,
+    tape_untimed_sweeps_per_s: f64,
     check: f64,
 }
 
@@ -50,6 +53,12 @@ impl Measurement {
     fn par_speedup(&self) -> f64 {
         self.tape8_sweeps_per_s / self.tape_sweeps_per_s
     }
+
+    /// Instrumented (timers on, the default) vs uninstrumented tape
+    /// throughput; ~1.0 means the per-kernel wall clocks are free.
+    fn metrics_overhead(&self) -> f64 {
+        self.tape_sweeps_per_s / self.tape_untimed_sweeps_per_s
+    }
 }
 
 /// Times `sweeps` sweeps of a freshly built sampler under one strategy
@@ -57,13 +66,14 @@ impl Measurement {
 /// value is a state readout that must agree bit-for-bit across
 /// configurations.
 fn run(
-    build: &dyn Fn(ExecStrategy, usize) -> augur::Sampler,
+    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Sampler,
     exec: ExecStrategy,
     threads: usize,
+    timers: bool,
     sweeps: usize,
     check_param: &str,
 ) -> (f64, f64) {
-    let mut s = build(exec, threads);
+    let mut s = build(exec, threads, timers);
     s.init().unwrap();
     s.sweep(); // warm-up: touch every buffer once
     let t0 = Instant::now();
@@ -78,12 +88,14 @@ fn measure(
     model: &'static str,
     sweeps: usize,
     check_param: &str,
-    build: &dyn Fn(ExecStrategy, usize) -> augur::Sampler,
+    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Sampler,
 ) -> Measurement {
-    let (tree, check_tree) = run(build, ExecStrategy::Tree, 1, sweeps, check_param);
-    let (tape, check_tape) = run(build, ExecStrategy::Tape, 1, sweeps, check_param);
+    let (tree, check_tree) = run(build, ExecStrategy::Tree, 1, true, sweeps, check_param);
+    let (tape, check_tape) = run(build, ExecStrategy::Tape, 1, true, sweeps, check_param);
     let (tape8, check_tape8) =
-        run(build, ExecStrategy::Tape, PAR_THREADS, sweeps, check_param);
+        run(build, ExecStrategy::Tape, PAR_THREADS, true, sweeps, check_param);
+    let (untimed, check_untimed) =
+        run(build, ExecStrategy::Tape, 1, false, sweeps, check_param);
     assert_eq!(
         check_tree.to_bits(),
         check_tape.to_bits(),
@@ -94,12 +106,18 @@ fn measure(
         check_tape8.to_bits(),
         "{model}: {PAR_THREADS}-thread tape diverged from sequential"
     );
+    assert_eq!(
+        check_tape.to_bits(),
+        check_untimed.to_bits(),
+        "{model}: disabling kernel timers changed the chain"
+    );
     Measurement {
         model,
         sweeps,
         tree_sweeps_per_s: tree,
         tape_sweeps_per_s: tape,
         tape8_sweeps_per_s: tape8,
+        tape_untimed_sweeps_per_s: untimed,
         check: check_tape,
     }
 }
@@ -108,13 +126,14 @@ fn lda(scale: f64) -> Measurement {
     let topics = 30;
     let docs = ((80.0 * scale) as usize).max(10);
     let corpus = workloads::lda_corpus(20, docs, 2000, 200, 1200);
-    let build = move |exec: ExecStrategy, threads: usize| {
+    let build = move |exec: ExecStrategy, threads: usize, timers: bool| {
         let mut aug = Infer::from_source(models::LDA).expect("LDA parses");
         aug.set_compile_opt(SamplerConfig {
             target: Target::Cpu,
             seed: 21,
             exec,
             threads,
+            timers,
             ..Default::default()
         });
         aug.compile(vec![
@@ -135,13 +154,14 @@ fn hgmm(scale: f64) -> Measurement {
     let (k, d) = (3, 2);
     let n = ((400.0 * scale) as usize).max(20);
     let data = workloads::hgmm_data(k, d, n, 7);
-    let build = move |exec: ExecStrategy, threads: usize| {
+    let build = move |exec: ExecStrategy, threads: usize, timers: bool| {
         let mut aug = Infer::from_source(models::HGMM).expect("HGMM parses");
         aug.set_compile_opt(SamplerConfig {
             target: Target::Cpu,
             seed: 5,
             exec,
             threads,
+            timers,
             ..Default::default()
         });
         aug.compile(hgmm_args(k, d, n))
@@ -157,7 +177,7 @@ fn hlr(scale: f64) -> Measurement {
     let n = ((300.0 * scale) as usize).max(20);
     let data = workloads::logistic_data(n, d, 11);
     let mcmc = McmcConfig { step_size: 0.01, leapfrog_steps: 10, ..Default::default() };
-    let build = move |exec: ExecStrategy, threads: usize| {
+    let build = move |exec: ExecStrategy, threads: usize, timers: bool| {
         let mut aug = Infer::from_source(models::HLR).expect("HLR parses");
         aug.set_compile_opt(SamplerConfig {
             target: Target::Cpu,
@@ -165,6 +185,7 @@ fn hlr(scale: f64) -> Measurement {
             mcmc: mcmc.clone(),
             exec,
             threads,
+            timers,
             ..Default::default()
         });
         aug.compile(vec![
@@ -193,24 +214,25 @@ fn main() {
     let _ = writeln!(table, "scale = {scale}, host cores = {host_cores}\n");
     let _ = writeln!(
         table,
-        "| model | sweeps | tree (sweeps/s) | tape (sweeps/s) | speedup | tape×{PAR_THREADS} (sweeps/s) | par speedup |"
+        "| model | sweeps | tree (sweeps/s) | tape (sweeps/s) | speedup | tape×{PAR_THREADS} (sweeps/s) | par speedup | metrics overhead |"
     );
-    let _ = writeln!(table, "|---|---|---|---|---|---|---|");
+    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|");
     for (i, m) in results.iter().enumerate() {
         let _ = writeln!(
             table,
-            "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2}x |",
+            "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2}x | {:.3} |",
             m.model,
             m.sweeps,
             m.tree_sweeps_per_s,
             m.tape_sweeps_per_s,
             m.speedup(),
             m.tape8_sweeps_per_s,
-            m.par_speedup()
+            m.par_speedup(),
+            m.metrics_overhead()
         );
         let _ = writeln!(
             json,
-            "  \"{}\": {{\"sweeps\": {}, \"tree_sweeps_per_s\": {:.4}, \"tape_sweeps_per_s\": {:.4}, \"speedup\": {:.4}, \"tape{}_sweeps_per_s\": {:.4}, \"par_speedup\": {:.4}, \"check\": {:e}}}{}",
+            "  \"{}\": {{\"sweeps\": {}, \"tree_sweeps_per_s\": {:.4}, \"tape_sweeps_per_s\": {:.4}, \"speedup\": {:.4}, \"tape{}_sweeps_per_s\": {:.4}, \"par_speedup\": {:.4}, \"metrics_overhead\": {:.4}, \"check\": {:e}}}{}",
             m.model,
             m.sweeps,
             m.tree_sweeps_per_s,
@@ -219,6 +241,7 @@ fn main() {
             PAR_THREADS,
             m.tape8_sweeps_per_s,
             m.par_speedup(),
+            m.metrics_overhead(),
             m.check,
             if i + 1 < results.len() { "," } else { "" }
         );
@@ -226,9 +249,11 @@ fn main() {
     json.push_str("}\n");
     let _ = writeln!(
         table,
-        "\nAll three configurations ran the same seeds; final states were\n\
-         verified bit-identical before timing was reported. The parallel\n\
-         speedup is bounded by the host's core count."
+        "\nAll configurations ran the same seeds; final states were verified\n\
+         bit-identical before timing was reported (including with kernel\n\
+         timers disabled). The parallel speedup is bounded by the host's\n\
+         core count. `metrics overhead` is instrumented ÷ uninstrumented\n\
+         tape throughput — the cost of the default per-kernel wall clocks."
     );
     // The scaling claim only means something where the hardware can
     // express it; a 1-core container still verifies bit-identity above.

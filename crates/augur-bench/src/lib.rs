@@ -27,7 +27,7 @@ pub fn hgmm_sampler(
     let n = data.points.num_rows();
     let mut aug = Infer::from_source(models::HGMM).expect("HGMM parses");
     if let Some(s) = sched {
-        aug.set_user_sched(s);
+        aug.schedule(s);
     }
     aug.set_compile_opt(SamplerConfig { target, mcmc, seed, ..Default::default() });
     aug.compile(vec![

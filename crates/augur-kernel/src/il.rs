@@ -11,13 +11,27 @@ pub enum KernelUnit {
 }
 
 impl KernelUnit {
+    /// The canonical unit over `vars`: `Single` for one variable, `Block`
+    /// otherwise. This is the *stable naming* constructor — everything
+    /// that keys on a kernel unit (run reports, traces) goes through it,
+    /// so a one-variable block and a single render identically.
+    pub fn from_vars<I, S>(vars: I) -> KernelUnit
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut xs: Vec<String> = vars.into_iter().map(Into::into).collect();
+        if xs.len() == 1 {
+            KernelUnit::Single(xs.pop().expect("one element"))
+        } else {
+            KernelUnit::Block(xs)
+        }
+    }
+
     /// The variables of the unit, in order.
     pub fn vars(&self) -> &[String] {
         match self {
-            KernelUnit::Single(_) => std::slice::from_ref(match self {
-                KernelUnit::Single(x) => x,
-                KernelUnit::Block(_) => unreachable!(),
-            }),
+            KernelUnit::Single(x) => std::slice::from_ref(x),
             KernelUnit::Block(xs) => xs,
         }
     }
@@ -243,5 +257,16 @@ mod tests {
         assert_eq!(KernelUnit::Single("x".into()).vars(), ["x".to_owned()]);
         let b = KernelUnit::Block(vec!["a".into(), "b".into()]);
         assert_eq!(b.vars().len(), 2);
+    }
+
+    #[test]
+    fn from_vars_is_canonical() {
+        assert_eq!(KernelUnit::from_vars(["x"]), KernelUnit::Single("x".into()));
+        assert_eq!(
+            KernelUnit::from_vars(["a", "b"]),
+            KernelUnit::Block(vec!["a".into(), "b".into()])
+        );
+        assert_eq!(format!("{}", KernelUnit::from_vars(["x"])), "Single(x)");
+        assert_eq!(format!("{}", KernelUnit::from_vars(["a", "b"])), "Block(a, b)");
     }
 }

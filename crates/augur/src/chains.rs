@@ -29,6 +29,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::fmt;
 
 use augur_backend::par::Pool;
 
@@ -85,6 +86,87 @@ impl Chains {
         let total: f64 = traces.iter().flatten().sum();
         let count: usize = traces.iter().map(Vec::len).sum();
         Ok(total / count.max(1) as f64)
+    }
+
+    /// Convergence diagnostics for every recorded scalar component:
+    /// effective sample size (summed across chains) and split-R̂, in
+    /// parameter-name order. The diagnostics-first companion to
+    /// `Sampler::report()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoChains`] when nothing was run or recorded, and
+    /// [`Error::ShortChain`] when chains are too short for split-R̂
+    /// (fewer than 4 draws).
+    pub fn report(&self) -> Result<ChainsReport, Error> {
+        let first = self
+            .draws
+            .first()
+            .and_then(|chain| chain.first())
+            .ok_or(Error::NoChains)?;
+        let mut names: Vec<(String, usize)> =
+            first.iter().map(|(name, vals)| (name.clone(), vals.len())).collect();
+        names.sort();
+        let mut params = Vec::new();
+        for (name, len) in names {
+            for index in 0..len {
+                let traces = self.traces(&name, index)?;
+                let ess = traces.iter().map(|t| crate::diag::ess(t)).sum();
+                let split_rhat = crate::diag::split_rhat(&traces)?;
+                params.push(ParamDiag { name: name.clone(), index, ess, split_rhat });
+            }
+        }
+        Ok(ChainsReport { params })
+    }
+}
+
+/// Per-component convergence diagnostics of one recorded parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDiag {
+    /// The recorded parameter.
+    pub name: String,
+    /// The flat component index within the parameter.
+    pub index: usize,
+    /// Effective sample size, summed across chains.
+    pub ess: f64,
+    /// Gelman–Rubin split-R̂ across all chains (near 1 = converged).
+    pub split_rhat: f64,
+}
+
+/// Diagnostics for every recorded scalar component of a multi-chain run
+/// (see [`Chains::report`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainsReport {
+    /// One entry per recorded scalar component, ordered by parameter
+    /// name, then component index.
+    pub params: Vec<ParamDiag>,
+}
+
+impl ChainsReport {
+    /// The diagnostics of component `index` of `param`, if recorded.
+    pub fn param(&self, param: &str, index: usize) -> Option<&ParamDiag> {
+        self.params.iter().find(|p| p.name == param && p.index == index)
+    }
+
+    /// The largest split-R̂ across all components — the single number to
+    /// check first (near 1 = every recorded component converged).
+    pub fn max_split_rhat(&self) -> Option<f64> {
+        self.params.iter().map(|p| p.split_rhat).fold(None, |acc, r| {
+            Some(match acc {
+                Some(a) if a >= r => a,
+                _ => r,
+            })
+        })
+    }
+}
+
+impl fmt::Display for ChainsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>10} {:>10}", "parameter", "ess", "split-Rhat")?;
+        for p in &self.params {
+            writeln!(f, "{:<24} {:>10.1} {:>10.4}", format!("{}[{}]", p.name, p.index), p.ess, p.split_rhat)?;
+        }
+        Ok(())
     }
 }
 

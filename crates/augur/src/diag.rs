@@ -1,0 +1,212 @@
+//! Chain diagnostics: effective sample size, autocorrelation, and split-R̂.
+//!
+//! The paper compares samplers by wall-clock to a log-predictive plateau
+//! (Fig. 10); a downstream user additionally wants per-chain health
+//! numbers. These are the standard estimators (Geyer initial positive
+//! sequence for ESS; Gelman–Rubin split-R̂), surfaced through
+//! [`crate::prelude`] and folded into [`crate::chains::Chains::report`].
+
+use crate::Error;
+
+/// Autocovariance at lag `k` (biased, as used by the ESS estimator).
+pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    if k >= n {
+        return 0.0;
+    }
+    let m = augur_math::vecops::mean(xs);
+    xs[..n - k]
+        .iter()
+        .zip(&xs[k..])
+        .map(|(a, b)| (a - m) * (b - m))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Effective sample size via Geyer's initial-positive-sequence estimator:
+/// sum paired autocorrelations `ρ(2t) + ρ(2t+1)` while the pair sum stays
+/// positive.
+///
+/// The trace is centered once up front, so each lag costs one
+/// multiply-add pass — not a fresh mean computation per lag.
+pub fn ess(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 4 {
+        return n as f64;
+    }
+    let m = augur_math::vecops::mean(xs);
+    let centered: Vec<f64> = xs.iter().map(|x| x - m).collect();
+    let acov = |k: usize| -> f64 {
+        centered[..n - k].iter().zip(&centered[k..]).map(|(a, b)| a * b).sum::<f64>() / n as f64
+    };
+    let c0 = acov(0);
+    if c0 <= 0.0 {
+        return n as f64;
+    }
+    let mut sum_rho = 0.0;
+    let mut t = 1;
+    while t + 1 < n {
+        let pair = (acov(t) + acov(t + 1)) / c0;
+        if pair <= 0.0 {
+            break;
+        }
+        sum_rho += pair;
+        t += 2;
+    }
+    let ess = n as f64 / (1.0 + 2.0 * sum_rho);
+    ess.clamp(1.0, n as f64)
+}
+
+/// Split-R̂ (Gelman–Rubin with each chain halved). Values near 1 indicate
+/// the chains agree; > 1.05 is conventionally suspicious.
+///
+/// # Errors
+///
+/// Returns [`Error::NoChains`] for an empty chain set and
+/// [`Error::ShortChain`] for any chain with fewer than 4 draws.
+pub fn split_rhat(chains: &[Vec<f64>]) -> Result<f64, Error> {
+    if chains.is_empty() {
+        return Err(Error::NoChains);
+    }
+    let mut halves: Vec<&[f64]> = Vec::new();
+    for c in chains {
+        if c.len() < 4 {
+            return Err(Error::ShortChain { len: c.len(), min: 4 });
+        }
+        let mid = c.len() / 2;
+        halves.push(&c[..mid]);
+        halves.push(&c[mid..]);
+    }
+    let m = halves.len() as f64;
+    let n = halves.iter().map(|h| h.len()).min().expect("non-empty") as f64;
+    let means: Vec<f64> = halves.iter().map(|h| augur_math::vecops::mean(h)).collect();
+    let grand = augur_math::vecops::mean(&means);
+    let b = n / (m - 1.0)
+        * means.iter().map(|mu| (mu - grand) * (mu - grand)).sum::<f64>();
+    let w = halves
+        .iter()
+        .map(|h| augur_math::vecops::variance(h))
+        .sum::<f64>()
+        / m;
+    if w <= 0.0 {
+        return Ok(1.0);
+    }
+    let var_plus = (n - 1.0) / n * w + b / n;
+    Ok((var_plus / w).sqrt())
+}
+
+/// Per-second effective sampling rate: `ess / seconds` — the quantity the
+/// Fig. 10 comparison is really about.
+pub fn ess_per_sec(xs: &[f64], seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    ess(xs) / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_dist::Prng;
+
+    #[test]
+    fn iid_draws_have_full_ess() {
+        let mut rng = Prng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..4000).map(|_| rng.std_normal()).collect();
+        let e = ess(&xs);
+        assert!(e > 2500.0, "iid ESS {e} of 4000");
+    }
+
+    #[test]
+    fn ar1_ess_matches_closed_form() {
+        // x_t = ρ x_{t-1} + ε has asymptotic ESS n·(1-ρ)/(1+ρ).
+        for (rho, seed) in [(0.5, 2u64), (0.9, 7)] {
+            let n = 8000;
+            let mut rng = Prng::seed_from_u64(seed);
+            let mut x = 0.0;
+            let xs: Vec<f64> = (0..n)
+                .map(|_| {
+                    x = rho * x + rng.std_normal();
+                    x
+                })
+                .collect();
+            let e = ess(&xs);
+            let expect = n as f64 * (1.0 - rho) / (1.0 + rho);
+            assert!(
+                e < expect * 2.5 && e > expect / 2.5,
+                "AR(1) ρ={rho}: ESS {e}, closed form ≈ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn centered_ess_equals_per_lag_mean_recomputation() {
+        // The hoisted centering must not change the estimate: the biased
+        // per-lag autocovariance uses the full-trace mean either way.
+        let mut rng = Prng::seed_from_u64(11);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..500)
+            .map(|_| {
+                x = 0.7 * x + rng.std_normal();
+                x
+            })
+            .collect();
+        let c0 = autocovariance(&xs, 0);
+        let mut sum_rho = 0.0;
+        let mut t = 1;
+        while t + 1 < xs.len() {
+            let pair = (autocovariance(&xs, t) + autocovariance(&xs, t + 1)) / c0;
+            if pair <= 0.0 {
+                break;
+            }
+            sum_rho += pair;
+            t += 2;
+        }
+        let slow = (xs.len() as f64 / (1.0 + 2.0 * sum_rho)).clamp(1.0, xs.len() as f64);
+        assert!((ess(&xs) - slow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rhat_near_one_for_same_distribution() {
+        let mut rng = Prng::seed_from_u64(3);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..1000).map(|_| rng.std_normal()).collect())
+            .collect();
+        let r = split_rhat(&chains).unwrap();
+        assert!((r - 1.0).abs() < 0.03, "R̂ {r}");
+    }
+
+    #[test]
+    fn rhat_flags_disagreeing_chains() {
+        let mut rng = Prng::seed_from_u64(4);
+        let a: Vec<f64> = (0..1000).map(|_| rng.std_normal()).collect();
+        let b: Vec<f64> = (0..1000).map(|_| 5.0 + rng.std_normal()).collect();
+        let r = split_rhat(&[a, b]).unwrap();
+        assert!(r > 1.2, "R̂ {r} should flag separated chains");
+    }
+
+    #[test]
+    fn rhat_errors_are_typed() {
+        match split_rhat(&[]) {
+            Err(Error::NoChains) => {}
+            other => panic!("expected NoChains, got {other:?}"),
+        }
+        match split_rhat(&[vec![1.0, 2.0, 3.0]]) {
+            Err(Error::ShortChain { len: 3, min: 4 }) => {}
+            other => panic!("expected ShortChain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn autocovariance_lag_zero_is_variance_scale() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let c0 = autocovariance(&xs, 0);
+        assert!((c0 - 1.25).abs() < 1e-12); // biased (/n) variance
+        assert_eq!(autocovariance(&xs, 10), 0.0);
+    }
+
+    #[test]
+    fn ess_per_sec_handles_degenerate_time() {
+        assert!(ess_per_sec(&[1.0, 2.0, 3.0, 4.0], 0.0).is_infinite());
+    }
+}

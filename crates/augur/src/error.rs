@@ -44,6 +44,16 @@ pub enum Error {
         /// The parameter's actual length.
         len: usize,
     },
+    /// A convergence diagnostic was requested over an empty chain set.
+    NoChains,
+    /// A chain was too short for the requested diagnostic (split-R̂ needs
+    /// at least 4 draws per chain).
+    ShortChain {
+        /// The offending chain's length.
+        len: usize,
+        /// The minimum the diagnostic requires.
+        min: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -57,6 +67,10 @@ impl fmt::Display for Error {
             Error::NotRecorded { param } => write!(f, "`{param}` was not recorded"),
             Error::OutOfRange { param, index, len } => {
                 write!(f, "`{param}[{index}]` out of range (length {len})")
+            }
+            Error::NoChains => write!(f, "diagnostics need at least one chain"),
+            Error::ShortChain { len, min } => {
+                write!(f, "chain of {len} draws is too short (diagnostic needs ≥ {min})")
             }
         }
     }

@@ -32,7 +32,7 @@
 //!     param m ~ Normal(0.0, tau2) ;
 //!     data y[n] ~ Normal(m, s2) for n <- 0 until N ;
 //! }")?;
-//! aug.set_user_sched("Gibbs m");                   // or omit: heuristic
+//! aug.schedule("Gibbs m");                         // or omit: heuristic
 //! let mut sampler = aug
 //!     .compile(vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)])
 //!     .data(vec![("y", HostValue::VecF(y))])
@@ -40,6 +40,11 @@
 //! sampler.init()?;
 //! let samples = sampler.sample(100, &["m"])?;
 //! assert_eq!(samples.len(), 100);
+//!
+//! // Part 3: observability — what did every kernel of the sweep do?
+//! let report = sampler.report();
+//! assert_eq!(report.sweeps, 100);
+//! assert_eq!(report.acceptance_rate("Gibbs Single(m)"), Some(1.0));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -47,6 +52,7 @@
 
 pub mod chains;
 pub mod codegen;
+pub mod diag;
 pub mod error;
 
 use augur_backend::driver::BuildError;
@@ -58,8 +64,9 @@ pub use augur_backend::driver::{Sampler, SamplerConfig, Target};
 pub use augur_backend::mcmc::McmcConfig;
 pub use augur_backend::state::HostValue;
 pub use augur_backend::ExecStrategy;
+pub use augur_backend::{ExecReport, KernelReport, KernelStats, RunReport};
 pub use augur_blk::OptFlags;
-pub use chains::ChainRunner;
+pub use chains::{ChainRunner, ChainsReport};
 pub use error::Error;
 pub use gpu_sim::DeviceConfig;
 
@@ -72,12 +79,15 @@ pub use gpu_sim::DeviceConfig;
 /// Everything a typical inference script touches — building
 /// ([`Infer`], [`HostValue`], [`SamplerConfig`], [`Target`],
 /// [`ExecStrategy`], [`OptFlags`], [`McmcConfig`]), running
-/// ([`Sampler`], [`ChainRunner`]), and failing ([`Error`]).
+/// ([`Sampler`], [`ChainRunner`]), observing ([`RunReport`],
+/// [`KernelStats`], [`ChainsReport`], the [`diag`] estimators), and
+/// failing ([`Error`]).
 pub mod prelude {
-    pub use crate::chains::{ChainRunner, Chains};
+    pub use crate::chains::{ChainRunner, Chains, ChainsReport, ParamDiag};
+    pub use crate::diag::{autocovariance, ess, ess_per_sec, split_rhat};
     pub use crate::{
-        Error, ExecStrategy, HostValue, Infer, McmcConfig, OptFlags, Sampler, SamplerConfig,
-        Target,
+        Error, ExecStrategy, HostValue, Infer, KernelStats, McmcConfig, OptFlags, RunReport,
+        Sampler, SamplerConfig, Target,
     };
 }
 
@@ -148,25 +158,46 @@ impl Infer {
     }
 
     /// Sets a user MCMC schedule — the paper's `setUserSched`, e.g.
-    /// `"ESlice mu (*) Gibbs z"`.
+    /// `"ESlice mu (*) Gibbs z"`. Chainable, consistent with
+    /// [`Infer::threads`] and [`Infer::exec_strategy`].
     ///
     /// # Panics
     ///
-    /// Panics on unparseable schedules; use [`Infer::try_user_sched`] for a
+    /// Panics on unparseable schedules; use [`Infer::try_schedule`] for a
     /// fallible variant.
-    pub fn set_user_sched(&mut self, sched: &str) -> &mut Infer {
-        self.try_user_sched(sched).expect("invalid schedule");
+    pub fn schedule(&mut self, sched: &str) -> &mut Infer {
+        self.try_schedule(sched).expect("invalid schedule");
         self
     }
 
-    /// Fallible [`Infer::set_user_sched`].
+    /// Fallible [`Infer::schedule`].
     ///
     /// # Errors
     ///
     /// Returns the schedule parse error.
-    pub fn try_user_sched(&mut self, sched: &str) -> Result<&mut Infer, BuildError> {
+    pub fn try_schedule(&mut self, sched: &str) -> Result<&mut Infer, BuildError> {
         self.schedule = Some(parse_schedule(sched)?);
         Ok(self)
+    }
+
+    /// Deprecated name for [`Infer::schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on unparseable schedules.
+    #[deprecated(since = "0.1.0", note = "use `Infer::schedule` instead")]
+    pub fn set_user_sched(&mut self, sched: &str) -> &mut Infer {
+        self.schedule(sched)
+    }
+
+    /// Deprecated name for [`Infer::try_schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the schedule parse error.
+    #[deprecated(since = "0.1.0", note = "use `Infer::try_schedule` instead")]
+    pub fn try_user_sched(&mut self, sched: &str) -> Result<&mut Infer, BuildError> {
+        self.try_schedule(sched)
     }
 
     /// The validated kernel plan (schedule + conditionals) without
@@ -274,7 +305,7 @@ mod tests {
     #[test]
     fn fig2_workflow_compiles() {
         let mut aug = Infer::from_source(GMM).unwrap();
-        aug.set_user_sched("ESlice mu (*) Gibbs z");
+        aug.schedule("ESlice mu (*) Gibbs z");
         let info = aug.compile_info().unwrap();
         assert_eq!(info.kernel, "ESlice Single(mu) (*) Gibbs Single(z)");
         assert!(info.density.contains("Π_{k←0 until K}"));
@@ -292,8 +323,20 @@ mod tests {
     #[test]
     fn bad_schedule_is_rejected_at_plan_time() {
         let mut aug = Infer::from_source(GMM).unwrap();
-        aug.set_user_sched("HMC z (*) Gibbs mu");
+        aug.schedule("HMC z (*) Gibbs mu");
         assert!(aug.kernel_plan().is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sched_setters_still_work() {
+        let mut aug = Infer::from_source(GMM).unwrap();
+        aug.set_user_sched("ESlice mu (*) Gibbs z");
+        let via_old = format!("{}", aug.kernel_plan().unwrap().kernel());
+        let mut aug2 = Infer::from_source(GMM).unwrap();
+        aug2.schedule("ESlice mu (*) Gibbs z");
+        assert_eq!(via_old, format!("{}", aug2.kernel_plan().unwrap().kernel()));
+        assert!(aug.try_user_sched("NotAKernel q").is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, sched) in schedules {
         let mut aug = Infer::from_source(models::HGMM)?;
-        aug.set_user_sched(sched);
+        aug.schedule(sched);
         aug.set_compile_opt(SamplerConfig {
             mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 10, ..Default::default() },
             ..Default::default()

@@ -14,7 +14,7 @@
 
 use augur::prelude::*;
 use augur_backend::mcmc::Proposal;
-use augurv2::diag;
+use augur::diag;
 
 const MODEL: &str = "(N, a, b) => {
     param r ~ Gamma(a, b) ;
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let run = |label: &str, sched: &str, custom: bool, mcmc: McmcConfig| {
         let mut aug = Infer::from_source(MODEL).expect("model parses");
-        aug.set_user_sched(sched);
+        aug.schedule(sched);
         aug.set_compile_opt(SamplerConfig { mcmc, ..Default::default() });
         let mut s = aug
             .compile(vec![

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Part 2: invoke AugurV2 (Fig. 2).
     let mut aug = Infer::from_source(models::GMM)?;
-    aug.set_user_sched("ESlice mu (*) Gibbs z");
+    aug.schedule("ESlice mu (*) Gibbs z");
 
     let info = aug.compile_info()?;
     println!("\ndensity factorization:\n{}", info.density);

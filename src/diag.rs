@@ -1,161 +1,63 @@
-//! Chain diagnostics: effective sample size, autocorrelation, and split-R̂.
-//!
-//! The paper compares samplers by wall-clock to a log-predictive plateau
-//! (Fig. 10); a downstream user additionally wants per-chain health
-//! numbers. These are the standard estimators (Geyer initial positive
-//! sequence for ESS; Gelman–Rubin split-R̂).
+//! Deprecated shim: the chain diagnostics moved to [`augur::diag`]
+//! (re-exported from `augur::prelude`), where they can serve
+//! `augur::Chains::report()`. These wrappers keep the old root-crate
+//! paths alive for one release.
 
-/// Autocovariance at lag `k` (biased, as used by the ESS estimator).
+/// Deprecated alias of [`augur::diag::autocovariance`].
+#[deprecated(since = "0.1.0", note = "use `augur::diag::autocovariance`")]
 pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
-    let n = xs.len();
-    if k >= n {
-        return 0.0;
-    }
-    let m = augur_math::vecops::mean(xs);
-    xs[..n - k]
-        .iter()
-        .zip(&xs[k..])
-        .map(|(a, b)| (a - m) * (b - m))
-        .sum::<f64>()
-        / n as f64
+    augur::diag::autocovariance(xs, k)
 }
 
-/// Effective sample size via Geyer's initial-positive-sequence estimator:
-/// sum paired autocorrelations `ρ(2t) + ρ(2t+1)` while the pair sum stays
-/// positive.
+/// Deprecated alias of [`augur::diag::ess`].
+#[deprecated(since = "0.1.0", note = "use `augur::diag::ess`")]
 pub fn ess(xs: &[f64]) -> f64 {
-    let n = xs.len();
-    if n < 4 {
-        return n as f64;
-    }
-    let c0 = autocovariance(xs, 0);
-    if c0 <= 0.0 {
-        return n as f64;
-    }
-    let mut sum_rho = 0.0;
-    let mut t = 1;
-    while t + 1 < n {
-        let pair = (autocovariance(xs, t) + autocovariance(xs, t + 1)) / c0;
-        if pair <= 0.0 {
-            break;
-        }
-        sum_rho += pair;
-        t += 2;
-    }
-    let ess = n as f64 / (1.0 + 2.0 * sum_rho);
-    ess.clamp(1.0, n as f64)
+    augur::diag::ess(xs)
 }
 
-/// Split-R̂ (Gelman–Rubin with each chain halved). Values near 1 indicate
-/// the chains agree; > 1.05 is conventionally suspicious.
+/// Deprecated alias of [`augur::diag::split_rhat`] with the old panicking
+/// signature.
 ///
 /// # Panics
 ///
-/// Panics if fewer than one chain or chains shorter than 4 draws are
-/// supplied.
+/// Panics where the new API returns `Err`: an empty chain set or chains
+/// shorter than 4 draws.
+#[deprecated(since = "0.1.0", note = "use `augur::diag::split_rhat` (returns `Result`)")]
 pub fn split_rhat(chains: &[Vec<f64>]) -> f64 {
-    assert!(!chains.is_empty(), "need at least one chain");
-    let mut halves: Vec<&[f64]> = Vec::new();
-    for c in chains {
-        assert!(c.len() >= 4, "chains must have at least 4 draws");
-        let mid = c.len() / 2;
-        halves.push(&c[..mid]);
-        halves.push(&c[mid..]);
-    }
-    let m = halves.len() as f64;
-    let n = halves.iter().map(|h| h.len()).min().expect("non-empty") as f64;
-    let means: Vec<f64> = halves.iter().map(|h| augur_math::vecops::mean(h)).collect();
-    let grand = augur_math::vecops::mean(&means);
-    let b = n / (m - 1.0)
-        * means.iter().map(|mu| (mu - grand) * (mu - grand)).sum::<f64>();
-    let w = halves
-        .iter()
-        .map(|h| augur_math::vecops::variance(h))
-        .sum::<f64>()
-        / m;
-    if w <= 0.0 {
-        return 1.0;
-    }
-    let var_plus = (n - 1.0) / n * w + b / n;
-    (var_plus / w).sqrt()
+    augur::diag::split_rhat(chains).expect("split_rhat over empty or too-short chains")
 }
 
-/// Per-second effective sampling rate: `ess / seconds` — the quantity the
-/// Fig. 10 comparison is really about.
+/// Deprecated alias of [`augur::diag::ess_per_sec`].
+#[deprecated(since = "0.1.0", note = "use `augur::diag::ess_per_sec`")]
 pub fn ess_per_sec(xs: &[f64], seconds: f64) -> f64 {
-    if seconds <= 0.0 {
-        return f64::INFINITY;
-    }
-    ess(xs) / seconds
+    augur::diag::ess_per_sec(xs, seconds)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use augur_dist::Prng;
-
     #[test]
-    fn iid_draws_have_full_ess() {
-        let mut rng = Prng::seed_from_u64(1);
-        let xs: Vec<f64> = (0..4000).map(|_| rng.std_normal()).collect();
-        let e = ess(&xs);
-        assert!(e > 2500.0, "iid ESS {e} of 4000");
-    }
-
-    #[test]
-    fn ar1_chain_has_reduced_ess() {
-        // x_t = 0.9 x_{t-1} + ε: theoretical ESS factor (1-ρ)/(1+ρ) = 1/19
-        let mut rng = Prng::seed_from_u64(2);
-        let mut x = 0.0;
-        let xs: Vec<f64> = (0..8000)
-            .map(|_| {
-                x = 0.9 * x + rng.std_normal();
-                x
-            })
-            .collect();
-        let e = ess(&xs);
-        let expect = 8000.0 / 19.0;
-        assert!(e < expect * 2.5 && e > expect / 2.5, "AR(1) ESS {e}, expect ≈ {expect}");
-    }
-
-    #[test]
-    fn rhat_near_one_for_same_distribution() {
-        let mut rng = Prng::seed_from_u64(3);
-        let chains: Vec<Vec<f64>> = (0..4)
-            .map(|_| (0..1000).map(|_| rng.std_normal()).collect())
-            .collect();
-        let r = split_rhat(&chains);
-        assert!((r - 1.0).abs() < 0.03, "R̂ {r}");
-    }
-
-    #[test]
-    fn rhat_flags_disagreeing_chains() {
-        let mut rng = Prng::seed_from_u64(4);
-        let a: Vec<f64> = (0..1000).map(|_| rng.std_normal()).collect();
-        let b: Vec<f64> = (0..1000).map(|_| 5.0 + rng.std_normal()).collect();
-        let r = split_rhat(&[a, b]);
-        assert!(r > 1.5, "R̂ {r} should flag separated chains");
-    }
-
-    #[test]
-    fn autocovariance_lag_zero_is_variance_scale() {
-        let xs = [1.0, 2.0, 3.0, 4.0];
-        let c0 = autocovariance(&xs, 0);
-        assert!((c0 - 1.25).abs() < 1e-12); // biased (/n) variance
-        assert_eq!(autocovariance(&xs, 10), 0.0);
-    }
-
-    #[test]
-    fn ess_per_sec_handles_degenerate_time() {
-        assert!(ess_per_sec(&[1.0, 2.0, 3.0, 4.0], 0.0).is_infinite());
+    #[allow(deprecated)]
+    fn shims_forward_to_augur_diag() {
+        let xs: Vec<f64> = (0..64).map(|i| (i as f64 * 0.7).sin()).collect();
+        assert_eq!(super::ess(&xs), augur::diag::ess(&xs));
+        assert_eq!(super::autocovariance(&xs, 3), augur::diag::autocovariance(&xs, 3));
+        let chains = vec![xs.clone(), xs.iter().map(|x| -x).collect()];
+        assert_eq!(
+            super::split_rhat(&chains),
+            augur::diag::split_rhat(&chains).unwrap()
+        );
+        assert_eq!(super::ess_per_sec(&xs, 2.0), augur::diag::ess_per_sec(&xs, 2.0));
     }
 
     /// The Fig. 10 story in diagnostic terms: the compiled Gibbs sampler
     /// yields more effective samples per second than the Jags-like graph
-    /// interpreter on the same model.
+    /// interpreter on the same model. (Lives here rather than in
+    /// `augur::diag` because it needs the root crate's workloads and the
+    /// `augur_jags` baseline.)
     #[test]
     fn compiled_gibbs_beats_graph_gibbs_on_ess_per_sec() {
         use crate::workloads;
+        use augur::diag::ess_per_sec;
         use augur::{HostValue, Infer};
         let (k, d, n) = (3, 2, 600);
         let data = workloads::hgmm_data(k, d, n, 5);

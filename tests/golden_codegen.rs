@@ -8,7 +8,7 @@ use augurv2::models;
 fn code(src: &str, sched: Option<&str>) -> String {
     let mut aug = Infer::from_source(src).unwrap();
     if let Some(s) = sched {
-        aug.set_user_sched(s);
+        aug.schedule(s);
     }
     aug.compile_info().unwrap().code
 }

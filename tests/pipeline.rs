@@ -84,7 +84,7 @@ fn fig10_three_schedules_converge_to_similar_log_joint() {
         "Gibbs pi (*) HMC mu (*) Gibbs Sigma (*) Gibbs z",
     ] {
         let mut aug = Infer::from_source(models::HGMM).unwrap();
-        aug.set_user_sched(sched);
+        aug.schedule(sched);
         aug.set_compile_opt(SamplerConfig {
             mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 12, ..Default::default() },
             ..Default::default()

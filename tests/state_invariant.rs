@@ -63,7 +63,7 @@ fn updates_touch_only_their_targets() {
     let mut aug = Infer::from_source(augurv2::models::HGMM).unwrap();
     // schedule with only z eligible to change per our probe: run one full
     // sweep but snapshot around the z step by running a z-only schedule
-    aug.set_user_sched("Gibbs z (*) Gibbs pi (*) Gibbs mu (*) Gibbs Sigma");
+    aug.schedule("Gibbs z (*) Gibbs pi (*) Gibbs mu (*) Gibbs Sigma");
     let mut s = aug
         .compile(vec![
             HostValue::Int(k as i64),

@@ -28,7 +28,7 @@ fn bit_trace(
 ) -> Vec<Vec<u64>> {
     let mut aug = Infer::from_source(model).expect("model parses");
     if let Some(s) = sched {
-        aug.set_user_sched(s);
+        aug.schedule(s);
     }
     aug.set_compile_opt(SamplerConfig {
         exec,
@@ -192,6 +192,119 @@ fn hlr_tape_matches_tree_for_gradient_kernels() {
             &["sigma2", "b", "theta"],
             25,
         );
+    }
+}
+
+/// Builds a sampler exactly like [`bit_trace`], runs it, and returns the
+/// deterministic digest of its run report.
+fn report_digest(
+    model: &str,
+    sched: Option<&str>,
+    args: Vec<HostValue>,
+    data: Vec<(&str, HostValue)>,
+    sweeps: usize,
+    exec: ExecStrategy,
+    threads: usize,
+) -> String {
+    let mut aug = Infer::from_source(model).expect("model parses");
+    if let Some(s) = sched {
+        aug.schedule(s);
+    }
+    aug.set_compile_opt(SamplerConfig {
+        exec,
+        threads,
+        mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
+        seed: 0xD1FF,
+        ..Default::default()
+    });
+    let mut s = aug.compile(args).data(data).build().expect("model builds");
+    s.init().unwrap();
+    for _ in 0..sweeps {
+        s.sweep();
+    }
+    s.report().digest()
+}
+
+/// The deterministic half of a [`RunReport`] — schedule, sweep count,
+/// per-kernel counters, work — must be byte-identical across execution
+/// strategies and at 1/2/8 worker threads, for all three benchmark
+/// models: the same contract the traces obey, extended to observability.
+#[test]
+fn run_reports_are_identical_across_strategies_and_threads() {
+    type Case = (
+        &'static str,
+        &'static str,
+        Option<&'static str>,
+        Vec<HostValue>,
+        Vec<(&'static str, HostValue)>,
+    );
+    let (k, d, n) = (2, 2, 40);
+    let hgmm_data = workloads::hgmm_data(k, d, n, 91);
+    let topics = 3;
+    let corpus = workloads::lda_corpus(topics, 10, 60, 20, 5);
+    let hlr_d = 4;
+    let hlr_data = workloads::logistic_data(60, hlr_d, 17);
+    let cases: Vec<Case> = vec![
+        (
+            "hgmm",
+            models::HGMM,
+            Some("Gibbs pi (*) HMC mu (*) Gibbs Sigma (*) Gibbs z"),
+            hgmm_args(k, d, n),
+            vec![("y", HostValue::Ragged(hgmm_data.points.clone()))],
+        ),
+        (
+            "lda",
+            models::LDA,
+            None,
+            vec![
+                HostValue::Int(topics as i64),
+                HostValue::Int(corpus.docs.len() as i64),
+                HostValue::VecF(vec![0.5; topics]),
+                HostValue::VecF(vec![0.1; corpus.vocab]),
+                HostValue::VecI(corpus.lens.clone()),
+            ],
+            vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+        ),
+        (
+            "hlr",
+            models::HLR,
+            Some("NUTS sigma2 b theta"),
+            vec![
+                HostValue::Real(1.0),
+                HostValue::Int(60),
+                HostValue::Int(hlr_d as i64),
+                HostValue::Ragged(hlr_data.x.clone()),
+            ],
+            vec![("y", HostValue::VecF(hlr_data.y.clone()))],
+        ),
+    ];
+    for (label, model, sched, args, data) in cases {
+        let sweeps = 10;
+        let reference = report_digest(
+            model,
+            sched,
+            args.clone(),
+            data.clone(),
+            sweeps,
+            ExecStrategy::Tree,
+            1,
+        );
+        assert!(reference.contains("sweeps=10"), "{label}: digest missing sweeps");
+        for threads in [1, 2, 8] {
+            let got = report_digest(
+                model,
+                sched,
+                args.clone(),
+                data.clone(),
+                sweeps,
+                ExecStrategy::Tape,
+                threads,
+            );
+            assert_eq!(
+                reference, got,
+                "{label}: report digest diverged (tape, {threads} threads)"
+            );
+        }
     }
 }
 
