@@ -403,6 +403,12 @@ impl ProcTable {
     pub fn proc_names(&self) -> Vec<&str> {
         self.procs.iter().map(|p| p.name.as_str()).collect()
     }
+
+    /// The name of the procedure at table index `idx` (fault-plan
+    /// matching and diagnostics).
+    pub fn proc_name(&self, idx: usize) -> &str {
+        &self.procs[idx].name
+    }
 }
 
 #[cfg(test)]

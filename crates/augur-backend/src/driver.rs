@@ -3,7 +3,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::path::PathBuf;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use augur_blk::{optimize, to_blocks, OptFlags, OptReport};
@@ -14,8 +15,10 @@ use augur_lang::LangError;
 use augur_low::{lower, LowerError, LoweredModel, Step};
 use gpu_sim::{Device, DeviceConfig};
 
+use crate::checkpoint::{Checkpoint, CheckpointError, StepTuning};
 use crate::compile::{Compiler, ProcTable};
 use crate::eval::{Engine, ExecMode};
+use crate::fault::FaultPlan;
 use crate::metrics::{ExecReport, KernelReport, KernelStats, RunReport, TraceSink, UpdateOutcome};
 use crate::tape::ExecStrategy;
 use crate::mcmc::{self, GradTarget, McmcConfig, Proposal};
@@ -63,6 +66,19 @@ pub struct SamplerConfig {
     /// Enabled by default; disable to measure the sampler's raw
     /// throughput without clock reads.
     pub timers: bool,
+    /// When set, the sampler writes a [`Checkpoint`] to this path every
+    /// [`SamplerConfig::checkpoint_every`] sweeps (atomic tmp-file+rename
+    /// writes). The default honors the `AUGUR_CKPT` environment variable.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint cadence in sweeps (only meaningful with
+    /// `checkpoint_path`; `0` disables periodic writes). The default is
+    /// 100, overridable via `AUGUR_CKPT_EVERY`.
+    pub checkpoint_every: u64,
+    /// Deterministic fault-injection plan for recovery drills. The
+    /// default honors the `AUGUR_FAULT` environment variable (and panics
+    /// on a malformed value — a drill that silently doesn't run is worse
+    /// than a loud failure).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for SamplerConfig {
@@ -76,6 +92,10 @@ impl Default for SamplerConfig {
             threads: default_threads(),
             trace_path: std::env::var_os("AUGUR_TRACE").map(PathBuf::from),
             timers: true,
+            checkpoint_path: std::env::var_os("AUGUR_CKPT").map(PathBuf::from),
+            checkpoint_every: default_checkpoint_every(),
+            fault: FaultPlan::from_env()
+                .unwrap_or_else(|e| panic!("AUGUR_FAULT: {e}")),
         }
     }
 }
@@ -86,6 +106,15 @@ fn default_threads() -> usize {
     match std::env::var("AUGUR_THREADS") {
         Ok(s) => s.trim().parse().unwrap_or(1),
         Err(_) => 1,
+    }
+}
+
+/// The default checkpoint cadence: `AUGUR_CKPT_EVERY` when set and
+/// parseable, otherwise every 100 sweeps.
+fn default_checkpoint_every() -> u64 {
+    match std::env::var("AUGUR_CKPT_EVERY") {
+        Ok(s) => s.trim().parse().unwrap_or(100),
+        Err(_) => 100,
     }
 }
 
@@ -163,8 +192,10 @@ impl fmt::Display for UnknownParam {
 
 impl std::error::Error for UnknownParam {}
 
-/// A runtime error from an already-built sampler: a bad buffer lookup or
-/// an initialization that produced non-finite parameter values.
+/// A runtime error from an already-built sampler: a bad buffer lookup, an
+/// initialization that produced non-finite parameter values, a kernel
+/// unit that panicked mid-sweep (isolated by [`Sampler::try_sweep`]), or
+/// a checkpoint that could not be written or applied.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunError {
     /// A requested buffer name does not exist in the compiled state.
@@ -175,6 +206,25 @@ pub enum RunError {
         /// The offending parameter.
         param: String,
     },
+    /// A kernel update indexed outside a buffer (ragged or size-inferred
+    /// indexing gone wrong), caught and surfaced instead of aborting.
+    OutOfBounds {
+        /// The Kernel-IL label of the step that failed.
+        kernel: String,
+        /// The underlying bounds-check message.
+        detail: String,
+    },
+    /// A kernel update (or one of its parallel workers) panicked; the
+    /// sweep failed but the process — and the worker pool — survive.
+    WorkerPanic {
+        /// The Kernel-IL label of the step that failed.
+        kernel: String,
+        /// The panic payload, rendered.
+        detail: String,
+    },
+    /// A periodic checkpoint could not be written, or a resume could not
+    /// be read or applied.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for RunError {
@@ -184,7 +234,20 @@ impl fmt::Display for RunError {
             RunError::NonFiniteInit { param } => {
                 write!(f, "initialization produced non-finite values for `{param}`")
             }
+            RunError::OutOfBounds { kernel, detail } => {
+                write!(f, "out-of-bounds access in `{kernel}`: {detail}")
+            }
+            RunError::WorkerPanic { kernel, detail } => {
+                write!(f, "kernel `{kernel}` panicked: {detail}")
+            }
+            RunError::Checkpoint(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<CheckpointError> for RunError {
+    fn from(e: CheckpointError) -> Self {
+        RunError::Checkpoint(e)
     }
 }
 
@@ -199,7 +262,7 @@ impl From<UnknownParam> for RunError {
 /// One compiled step of the sweep.
 #[derive(Debug, Clone)]
 enum CompiledStep {
-    Gibbs { proc_: usize },
+    Gibbs { proc_: usize, target: BufId },
     Hmc { targets: Vec<GradTarget>, ll: usize, grad: usize, nuts: bool },
     SliceRefl { targets: Vec<GradTarget>, ll: usize, grad: usize },
     Mala { targets: Vec<GradTarget>, ll: usize, grad: usize },
@@ -221,12 +284,18 @@ pub struct Sampler {
     stats: Vec<KernelStats>,
     /// Kernel-IL labels of the schedule steps (`Gibbs Single(z)`, …).
     labels: Vec<String>,
+    /// Per-step step-size-backoff state, aligned with `steps`.
+    tuning: Vec<StepTuning>,
     sweeps: u64,
     timers: bool,
     trace: Option<TraceSink>,
     opt_report: OptReport,
     param_names: Vec<String>,
     proposals: HashMap<usize, Box<dyn Proposal>>,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: u64,
+    /// The step a panic unwound from (for error labeling).
+    current_step: usize,
 }
 
 impl Sampler {
@@ -309,13 +378,21 @@ impl Sampler {
             .collect();
         let labels: Vec<String> = lowered.steps.iter().map(step_label).collect();
         let stats = vec![KernelStats::default(); steps.len()];
-        let trace = match &config.trace_path {
+        let fault = config.fault.filter(|p| !p.is_empty());
+        let mut trace = match &config.trace_path {
             Some(p) => Some(TraceSink::create(p).map_err(BuildError::Trace)?),
             None => None,
         };
+        if let (Some(sink), Some(plan)) = (&mut trace, &fault) {
+            if plan.trace_io {
+                sink.set_fail_writes(true);
+            }
+        }
+        engine.fault = fault;
         let param_names = dm.params().map(|p| p.name.clone()).collect();
         let init_idx = table_index(&table, &lowered.init_proc);
         let model_ll_idx = table_index(&table, &lowered.model_ll_proc);
+        let tuning = vec![StepTuning::default(); steps.len()];
         Ok(Sampler {
             engine,
             table,
@@ -325,12 +402,16 @@ impl Sampler {
             mcmc_cfg: config.mcmc,
             stats,
             labels,
+            tuning,
             sweeps: 0,
             timers: config.timers,
             trace,
             opt_report,
             param_names,
             proposals: HashMap::new(),
+            checkpoint_path: config.checkpoint_path,
+            checkpoint_every: config.checkpoint_every,
+            current_step: 0,
         })
     }
 
@@ -421,25 +502,79 @@ impl Sampler {
     /// counters) folds into the per-kernel statistics behind
     /// [`Sampler::report`]; when a trace sink is configured, the sweep's
     /// counter deltas stream out as one JSONL record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep fails ([`Sampler::try_sweep`] for the fallible
+    /// form) or a periodic checkpoint cannot be written.
     pub fn sweep(&mut self) {
+        if let Err(e) = self.try_sweep() {
+            panic!("sweep failed: {e}");
+        }
+    }
+
+    /// [`Sampler::sweep`] with panic isolation: a kernel unit that
+    /// panics — a bounds violation in compiled indexing code, a poisoned
+    /// parallel worker — fails this sweep with a typed [`RunError`]
+    /// instead of unwinding through the caller. The worker pool survives
+    /// and later sweeps can run, but the *state* of the failed sweep is
+    /// unspecified: recover by [`Sampler::resume`]-ing from the last
+    /// checkpoint.
+    ///
+    /// On success, writes a periodic checkpoint when configured
+    /// (`checkpoint_path` + `checkpoint_every`).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::OutOfBounds`] or [`RunError::WorkerPanic`] for an
+    /// isolated kernel failure; [`RunError::Checkpoint`] if the periodic
+    /// checkpoint write fails.
+    pub fn try_sweep(&mut self) -> Result<(), RunError> {
+        let env_depth = self.engine.env.len();
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.sweep_inner())) {
+            // unwind can leave interpreter scratch dirty; reset it so the
+            // sampler object (not the chain state) stays usable
+            self.engine.env.truncate(env_depth);
+            self.engine.in_parallel = false;
+            self.engine.write_log = None;
+            let detail = panic_message(payload);
+            let kernel =
+                self.labels.get(self.current_step).cloned().unwrap_or_default();
+            return Err(
+                if detail.contains("out of bounds") || detail.contains("out of range") {
+                    RunError::OutOfBounds { kernel, detail }
+                } else {
+                    RunError::WorkerPanic { kernel, detail }
+                },
+            );
+        }
+        if self.checkpoint_every > 0 && self.sweeps.is_multiple_of(self.checkpoint_every) {
+            if let Some(path) = self.checkpoint_path.clone() {
+                self.checkpoint().write_atomic(&path)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn sweep_inner(&mut self) {
         let snap: Option<Vec<KernelStats>> = self.trace.as_ref().map(|_| self.stats.clone());
         let sweep_t0 = self.trace.as_ref().map(|_| Instant::now());
+        self.engine.fault_sweep = self.sweeps + 1; // fault clauses are 1-based
         for i in 0..self.steps.len() {
+            self.current_step = i;
             let step = self.steps[i].clone();
             let t0 = if self.timers { Some(Instant::now()) } else { None };
             let outcome = match &step {
-                CompiledStep::Gibbs { proc_ } => {
-                    self.engine.run_proc(&self.table, *proc_);
-                    UpdateOutcome::accepted() // Gibbs updates always accept (§5.5)
-                }
+                CompiledStep::Gibbs { proc_, target } => self.gibbs_update(*proc_, *target),
                 CompiledStep::Hmc { targets, ll, grad, nuts } => {
+                    let cfg = self.effective_cfg(i);
                     if *nuts {
                         mcmc::nuts_update(
-                            &mut self.engine, &self.table, *ll, *grad, targets, &self.mcmc_cfg,
+                            &mut self.engine, &self.table, *ll, *grad, targets, &cfg,
                         )
                     } else {
                         mcmc::hmc_update(
-                            &mut self.engine, &self.table, *ll, *grad, targets, &self.mcmc_cfg,
+                            &mut self.engine, &self.table, *ll, *grad, targets, &cfg,
                         )
                     }
                 }
@@ -468,6 +603,9 @@ impl Sampler {
                     }
                 }
             };
+            if matches!(step, CompiledStep::Hmc { .. }) {
+                self.update_tuning(i, &outcome);
+            }
             self.stats[i].record(outcome);
             if let Some(t0) = t0 {
                 self.stats[i].wall_secs += t0.elapsed().as_secs_f64();
@@ -482,12 +620,79 @@ impl Sampler {
         }
     }
 
+    /// One Gibbs update with the numerical guardrail: the conditional
+    /// resample always accepts (§5.5), but if it leaves any non-finite
+    /// cell in the target — an overflowed conditional, or an injected
+    /// NaN — the previous value is restored and the event recorded
+    /// instead of poisoning every later sweep.
+    fn gibbs_update(&mut self, proc_: usize, target: BufId) -> UpdateOutcome {
+        let saved = self.engine.state.flat(target).to_vec();
+        self.engine.run_proc(&self.table, proc_);
+        let poison = self.engine.fault.as_ref().is_some_and(|p| {
+            p.nan_hits(self.table.proc_name(proc_), self.engine.fault_sweep)
+        });
+        if poison {
+            // Gibbs procedures return no scalar, so a matching nan@proc
+            // clause poisons the resampled buffer itself
+            self.engine.state.flat_mut(target)[0] = f64::NAN;
+        }
+        if self.engine.state.flat(target).iter().all(|x| x.is_finite()) {
+            UpdateOutcome::accepted()
+        } else {
+            self.engine.state.flat_mut(target).copy_from_slice(&saved);
+            UpdateOutcome { numerical_events: 1, ..UpdateOutcome::default() }
+        }
+    }
+
+    /// The MCMC config for step `i` with its backoff scale applied.
+    fn effective_cfg(&self, i: usize) -> McmcConfig {
+        let scale = self.tuning[i].scale;
+        if scale == 1.0 {
+            self.mcmc_cfg.clone()
+        } else {
+            McmcConfig { step_size: self.mcmc_cfg.step_size * scale, ..self.mcmc_cfg.clone() }
+        }
+    }
+
+    /// Deterministic step-size backoff (HMC/NUTS): after
+    /// `divergence_backoff` consecutive divergent updates the step size
+    /// halves; after `backoff_recovery` consecutive clean updates at a
+    /// reduced size it doubles back toward the configured value. Purely a
+    /// function of the update outcomes, so it replays identically from a
+    /// checkpoint.
+    fn update_tuning(&mut self, i: usize, outcome: &UpdateOutcome) {
+        let k = self.mcmc_cfg.divergence_backoff as u64;
+        if k == 0 {
+            return;
+        }
+        let t = &mut self.tuning[i];
+        if outcome.divergences > 0 {
+            t.consec_clean = 0;
+            t.consec_div += 1;
+            if t.consec_div >= k {
+                t.scale = (t.scale * 0.5).max(1.0 / 1024.0);
+                t.consec_div = 0;
+            }
+        } else {
+            t.consec_div = 0;
+            if t.scale < 1.0 {
+                t.consec_clean += 1;
+                if t.consec_clean >= self.mcmc_cfg.backoff_recovery as u64 {
+                    t.scale = (t.scale * 2.0).min(1.0);
+                    t.consec_clean = 0;
+                }
+            }
+        }
+    }
+
     /// Draws `n` samples, recording the named parameters after each sweep.
     ///
     /// # Errors
     ///
     /// Returns [`RunError::UnknownParam`] if a recorded name is not a
-    /// model buffer — validated up front, before any sweep runs.
+    /// model buffer — validated up front, before any sweep runs — and any
+    /// [`Sampler::try_sweep`] error (isolated kernel panics, failed
+    /// periodic checkpoints).
     pub fn sample(
         &mut self,
         n: usize,
@@ -504,7 +709,7 @@ impl Sampler {
             .collect::<Result<_, RunError>>()?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            self.sweep();
+            self.try_sweep()?;
             let mut snap = HashMap::new();
             for (name, id) in record.iter().zip(&ids) {
                 snap.insert((*name).to_owned(), self.engine.state.flat(*id).to_vec());
@@ -512,6 +717,132 @@ impl Sampler {
             out.push(snap);
         }
         Ok(out)
+    }
+
+    /// Sweeps completed so far.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// A complete snapshot of the chain: every state buffer bit-exact,
+    /// the RNG words, the launch/work counters, the cumulative kernel
+    /// statistics, and the backoff tuning. Resuming from it continues the
+    /// trace byte-identically to an uninterrupted run, at any
+    /// `AUGUR_THREADS` count and under either execution strategy.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let (rng_state, rng_spare) = self.engine.rng.state_words();
+        let buffers = self
+            .engine
+            .state
+            .names()
+            .map(|(name, id)| {
+                (
+                    name.to_owned(),
+                    self.engine.state.flat(id).iter().map(|x| x.to_bits()).collect(),
+                )
+            })
+            .collect();
+        Checkpoint {
+            schedule: self.labels.join(" (*) "),
+            sweep: self.sweeps,
+            rng_state,
+            rng_spare,
+            master_seed: self.engine.master_seed,
+            launch_counter: self.engine.launch_counter,
+            work: self.engine.work,
+            stats: self.stats.clone(),
+            tuning: self.tuning.clone(),
+            buffers,
+        }
+    }
+
+    /// Writes [`Sampler::checkpoint`] atomically to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Checkpoint`] on I/O failure.
+    pub fn write_checkpoint(&self, path: &Path) -> Result<(), RunError> {
+        Ok(self.checkpoint().write_atomic(path)?)
+    }
+
+    /// Restores this sampler from a checkpoint file written by a sampler
+    /// built from the same model, schedule, and data. Returns the sweep
+    /// index the chain resumes from; subsequent sweeps reproduce the
+    /// uninterrupted run bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Checkpoint`] if the file cannot be read or
+    /// does not match this sampler (different schedule, or unknown /
+    /// wrongly-sized buffers).
+    pub fn resume(&mut self, path: &Path) -> Result<u64, RunError> {
+        let ck = Checkpoint::read(path)?;
+        self.restore(&ck)?;
+        Ok(self.sweeps)
+    }
+
+    /// Applies an in-memory checkpoint (see [`Sampler::resume`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Checkpoint`] on a schedule or buffer mismatch.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), RunError> {
+        let schedule = self.labels.join(" (*) ");
+        let mismatch = |detail: String| {
+            RunError::Checkpoint(CheckpointError::Mismatch { detail })
+        };
+        if ck.schedule != schedule {
+            return Err(mismatch(format!(
+                "checkpoint schedule `{}` vs sampler `{schedule}`",
+                ck.schedule
+            )));
+        }
+        if ck.stats.len() != self.steps.len() || ck.tuning.len() != self.steps.len() {
+            return Err(mismatch(format!(
+                "checkpoint has {} stats / {} tuning entries for {} steps",
+                ck.stats.len(),
+                ck.tuning.len(),
+                self.steps.len()
+            )));
+        }
+        let expected = self.engine.state.names().count();
+        if ck.buffers.len() != expected {
+            return Err(mismatch(format!(
+                "checkpoint has {} buffers, state has {expected}",
+                ck.buffers.len()
+            )));
+        }
+        // validate every buffer before mutating anything
+        for (name, cells) in &ck.buffers {
+            let id = self
+                .engine
+                .state
+                .id(name)
+                .ok_or_else(|| mismatch(format!("no buffer named `{name}`")))?;
+            let len = self.engine.state.flat(id).len();
+            if cells.len() != len {
+                return Err(mismatch(format!(
+                    "buffer `{name}` has {} cells, state expects {len}",
+                    cells.len()
+                )));
+            }
+        }
+        for (name, cells) in &ck.buffers {
+            let id = self.engine.state.expect_id(name);
+            for (dst, &bits) in
+                self.engine.state.flat_mut(id).iter_mut().zip(cells)
+            {
+                *dst = f64::from_bits(bits);
+            }
+        }
+        self.engine.rng = Prng::from_state_words(ck.rng_state, ck.rng_spare);
+        self.engine.master_seed = ck.master_seed;
+        self.engine.launch_counter = ck.launch_counter;
+        self.engine.work = ck.work;
+        self.sweeps = ck.sweep;
+        self.stats = ck.stats.clone();
+        self.tuning = ck.tuning.clone();
+        Ok(())
     }
 
     /// The model's joint log-density at the current state.
@@ -554,6 +885,10 @@ impl Sampler {
             sweeps: self.sweeps,
             kernels,
             work: self.engine.work,
+            trace_records_dropped: self
+                .trace
+                .as_ref()
+                .map_or(0, TraceSink::records_dropped),
             exec: ExecReport {
                 threads: self.engine.threads(),
                 proc_calls: self.engine.metrics.proc_calls,
@@ -588,6 +923,18 @@ impl Sampler {
 
 fn table_index(table: &ProcTable, name: &str) -> usize {
     table.index(name)
+}
+
+/// Renders a caught panic payload (the `&str` / `String` payloads every
+/// `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// The Kernel-IL label of a lowered step — the stable key under which
@@ -626,7 +973,9 @@ fn step_label(s: &Step) -> String {
 fn compile_step(engine: &Engine, table: &ProcTable, s: &Step) -> CompiledStep {
     let id = |name: &str| engine.state.expect_id(name);
     match s {
-        Step::Gibbs { proc_, .. } => CompiledStep::Gibbs { proc_: table.index(proc_) },
+        Step::Gibbs { proc_, target } => {
+            CompiledStep::Gibbs { proc_: table.index(proc_), target: id(target) }
+        }
         Step::Hmc { targets, ll_proc, grad_proc, adj_bufs, nuts } => CompiledStep::Hmc {
             targets: targets
                 .iter()

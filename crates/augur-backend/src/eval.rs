@@ -141,6 +141,11 @@ pub struct Engine {
     /// Execution counters (proc calls, tape instructions, parallel
     /// dispatches); worker counters merge in chunk order.
     pub(crate) metrics: crate::metrics::EngineMetrics,
+    /// Deterministic fault-injection plan (drills only; `None` in
+    /// production runs).
+    pub(crate) fault: Option<crate::fault::FaultPlan>,
+    /// The 1-based sweep index faults key on (set by the driver).
+    pub(crate) fault_sweep: u64,
 }
 
 impl Engine {
@@ -170,6 +175,8 @@ impl Engine {
             pool: None,
             write_log: None,
             metrics: crate::metrics::EngineMetrics::default(),
+            fault: None,
+            fault_sweep: 0,
         }
     }
 
@@ -217,6 +224,8 @@ impl Engine {
             pool: None,
             write_log: Some(Vec::new()),
             metrics: crate::metrics::EngineMetrics::default(),
+            fault: None, // injection decisions are made at the dispatch site
+            fault_sweep: self.fault_sweep,
         }
     }
 
@@ -339,6 +348,20 @@ impl Engine {
     /// Runs a procedure by table index, charging time per the mode.
     /// Returns the procedure's scalar result, if it has one.
     pub fn run_proc(&mut self, table: &ProcTable, idx: usize) -> Option<f64> {
+        let out = self.run_proc_inner(table, idx);
+        if out.is_some() {
+            // fault drill: poison the scalar result of a matching
+            // procedure (`nan@proc:NAME`) to exercise the guardrails
+            if let Some(plan) = &self.fault {
+                if plan.nan_hits(table.proc_name(idx), self.fault_sweep) {
+                    return Some(f64::NAN);
+                }
+            }
+        }
+        out
+    }
+
+    fn run_proc_inner(&mut self, table: &ProcTable, idx: usize) -> Option<f64> {
         self.metrics.proc_calls += 1;
         match (self.mode, self.strategy) {
             (ExecMode::Cpu, ExecStrategy::Tree) => {

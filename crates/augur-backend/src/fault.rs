@@ -1,0 +1,227 @@
+//! Deterministic fault injection for exercising the recovery paths.
+//!
+//! A [`FaultPlan`] describes faults to inject into a run so that every
+//! guardrail — non-finite density containment, worker panic isolation,
+//! trace-sink drop counting — is exercised deterministically in tests and
+//! CI rather than waiting for a real failure in production. Plans are
+//! parsed from the `AUGUR_FAULT` environment variable (or set
+//! programmatically on `SamplerConfig::fault`); the grammar is a
+//! `;`-separated list of clauses:
+//!
+//! ```text
+//! nan@proc:NAME            poison procedure NAME's result with NaN, every sweep
+//! nan@proc:NAME:sweep=N    ... only on sweep N (1-based)
+//! panic@worker:I           panic inside parallel worker chunk I, every sweep
+//! panic@worker:I:sweep=N   ... only on sweep N
+//! io@trace                 force every JSONL trace write to fail
+//! ```
+//!
+//! Injection is deterministic: the same plan against the same model and
+//! seed trips at exactly the same points at any `AUGUR_THREADS` count
+//! (NaN injection keys on procedure name + sweep index; worker-panic
+//! injection keys on the chunk index of a parallel dispatch).
+
+use std::fmt;
+
+/// One `nan@proc:…` clause: poison the named procedure's scalar result
+/// (or, for Gibbs procedures, the resampled target buffer) with NaN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NanFault {
+    /// The compiled procedure to poison (see `Sampler::proc_names`).
+    pub proc_name: String,
+    /// Inject only on this 1-based sweep (every sweep when `None`).
+    pub sweep: Option<u64>,
+}
+
+/// One `panic@worker:…` clause: panic inside the given worker chunk of
+/// every parallel dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicFault {
+    /// The parallel-dispatch chunk index to panic in.
+    pub worker: usize,
+    /// Inject only on this 1-based sweep (every sweep when `None`).
+    pub sweep: Option<u64>,
+}
+
+/// A deterministic fault-injection plan (see the module docs for the
+/// grammar).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// NaN-density injections.
+    pub nan: Vec<NanFault>,
+    /// Worker-panic injections.
+    pub panics: Vec<PanicFault>,
+    /// Force JSONL trace writes to fail (`io@trace`).
+    pub trace_io: bool,
+}
+
+/// A malformed `AUGUR_FAULT` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// The clause that failed to parse.
+    pub clause: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault clause `{}`: {}", self.clause, self.reason)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+impl FaultPlan {
+    /// Parses a plan from the `AUGUR_FAULT` grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultParseError`] naming the first malformed clause.
+    pub fn parse(s: &str) -> Result<FaultPlan, FaultParseError> {
+        let mut plan = FaultPlan::default();
+        for clause in s.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let err = |reason: &str| FaultParseError {
+                clause: clause.to_owned(),
+                reason: reason.to_owned(),
+            };
+            let (kind, rest) = clause.split_once('@').ok_or_else(|| err("missing `@`"))?;
+            match kind {
+                "nan" => {
+                    let rest = rest
+                        .strip_prefix("proc:")
+                        .ok_or_else(|| err("expected `nan@proc:NAME[:sweep=N]`"))?;
+                    let (name, sweep) = split_sweep(rest, &err)?;
+                    if name.is_empty() {
+                        return Err(err("empty procedure name"));
+                    }
+                    plan.nan.push(NanFault { proc_name: name.to_owned(), sweep });
+                }
+                "panic" => {
+                    let rest = rest
+                        .strip_prefix("worker:")
+                        .ok_or_else(|| err("expected `panic@worker:I[:sweep=N]`"))?;
+                    let (idx, sweep) = split_sweep(rest, &err)?;
+                    let worker =
+                        idx.parse().map_err(|_| err("worker index must be an integer"))?;
+                    plan.panics.push(PanicFault { worker, sweep });
+                }
+                "io" => {
+                    if rest != "trace" {
+                        return Err(err("expected `io@trace`"));
+                    }
+                    plan.trace_io = true;
+                }
+                _ => return Err(err("unknown fault kind (nan, panic, io)")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan from the `AUGUR_FAULT` environment variable, if set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultParseError`] for a set-but-malformed variable.
+    pub fn from_env() -> Result<Option<FaultPlan>, FaultParseError> {
+        match std::env::var("AUGUR_FAULT") {
+            Ok(s) if !s.trim().is_empty() => FaultPlan::parse(&s).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nan.is_empty() && self.panics.is_empty() && !self.trace_io
+    }
+
+    /// Whether to poison procedure `name`'s result on sweep `sweep`
+    /// (1-based).
+    pub fn nan_hits(&self, name: &str, sweep: u64) -> bool {
+        self.nan
+            .iter()
+            .any(|f| f.proc_name == name && f.sweep.is_none_or(|s| s == sweep))
+    }
+
+    /// Whether to panic in worker chunk `worker` on sweep `sweep`
+    /// (1-based).
+    pub fn panic_hits(&self, worker: usize, sweep: u64) -> bool {
+        self.panics
+            .iter()
+            .any(|f| f.worker == worker && f.sweep.is_none_or(|s| s == sweep))
+    }
+}
+
+/// Splits `NAME[:sweep=N]` into the name and the optional sweep.
+fn split_sweep<'a>(
+    rest: &'a str,
+    err: &impl Fn(&str) -> FaultParseError,
+) -> Result<(&'a str, Option<u64>), FaultParseError> {
+    match rest.split_once(':') {
+        None => Ok((rest, None)),
+        Some((name, tail)) => {
+            let n = tail
+                .strip_prefix("sweep=")
+                .ok_or_else(|| err("expected `:sweep=N` suffix"))?
+                .parse()
+                .map_err(|_| err("sweep must be an integer"))?;
+            Ok((name, Some(n)))
+        }
+    }
+}
+
+/// The distinguishable payload of an injected worker panic (so the driver
+/// can label the typed error as injected rather than organic).
+pub const INJECTED_PANIC: &str = "fault injection: worker panic";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan = FaultPlan::parse("nan@proc:u0_ll:sweep=7; panic@worker:2; io@trace").unwrap();
+        assert_eq!(
+            plan.nan,
+            vec![NanFault { proc_name: "u0_ll".into(), sweep: Some(7) }]
+        );
+        assert_eq!(plan.panics, vec![PanicFault { worker: 2, sweep: None }]);
+        assert!(plan.trace_io);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn hit_predicates_honor_sweep_filters() {
+        let plan = FaultPlan::parse("nan@proc:mu:sweep=3;panic@worker:1:sweep=5").unwrap();
+        assert!(plan.nan_hits("mu", 3));
+        assert!(!plan.nan_hits("mu", 4));
+        assert!(!plan.nan_hits("nu", 3));
+        assert!(plan.panic_hits(1, 5));
+        assert!(!plan.panic_hits(1, 6));
+        assert!(!plan.panic_hits(0, 5));
+        let every = FaultPlan::parse("nan@proc:mu").unwrap();
+        assert!(every.nan_hits("mu", 1) && every.nan_hits("mu", 99));
+    }
+
+    #[test]
+    fn rejects_malformed_clauses() {
+        for bad in [
+            "nan",
+            "nan@procmu",
+            "nan@proc:",
+            "nan@proc:mu:sweep=x",
+            "nan@proc:mu:after=3",
+            "panic@worker:abc",
+            "io@disk",
+            "boom@proc:mu",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" ; ").unwrap().is_empty());
+    }
+}

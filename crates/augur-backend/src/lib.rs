@@ -49,9 +49,11 @@
 
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod compile;
 pub mod driver;
 pub mod eval;
+pub mod fault;
 pub mod mcmc;
 pub mod metrics;
 pub mod oracle;
@@ -60,7 +62,9 @@ pub mod setup;
 pub mod state;
 pub mod tape;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use driver::{RunError, Sampler, SamplerConfig, Target};
+pub use fault::{FaultParseError, FaultPlan};
 pub use metrics::{ExecReport, KernelReport, KernelStats, RunReport, UpdateOutcome};
 pub use state::HostValue;
 pub use tape::ExecStrategy;

@@ -49,6 +49,12 @@ pub struct McmcConfig {
     pub slice_width: f64,
     /// Maximum tree depth for NUTS.
     pub max_tree_depth: usize,
+    /// Consecutive divergent HMC/NUTS updates before the step size is
+    /// halved (numerical guardrail; `0` disables backoff).
+    pub divergence_backoff: usize,
+    /// Consecutive clean updates at a reduced step size before it is
+    /// doubled back toward the configured value.
+    pub backoff_recovery: usize,
 }
 
 impl Default for McmcConfig {
@@ -59,7 +65,33 @@ impl Default for McmcConfig {
             mh_step: 0.25,
             slice_width: 1.0,
             max_tree_depth: 8,
+            divergence_backoff: 3,
+            backoff_recovery: 8,
         }
+    }
+}
+
+/// Forces a rejection if an accepted proposal left any non-finite value in
+/// the target buffers: the snapshot is restored and the event recorded, so
+/// a numerical blow-up (or an injected NaN) is contained instead of
+/// poisoning every later sweep. No-op — and no extra RNG draws — on finite
+/// states, so finite traces are unchanged.
+fn contain_nonfinite(
+    engine: &mut Engine,
+    targets: &[GradTarget],
+    saved: &[Vec<f64>],
+    out: &mut UpdateOutcome,
+) {
+    if !out.accepted {
+        return;
+    }
+    let poisoned = targets
+        .iter()
+        .any(|t| engine.state.flat(t.var).iter().any(|x| !x.is_finite()));
+    if poisoned {
+        restore_targets(engine, targets, saved);
+        out.accepted = false;
+        out.numerical_events += 1;
     }
 }
 
@@ -238,12 +270,19 @@ pub fn hmc_update(
     let mut p: Vec<f64> = (0..q.len()).map(|_| engine.rng.std_normal()).collect();
     let h0 = log_density_flat(engine, table, ll_proc, targets, &q)
         - 0.5 * p.iter().map(|x| x * x).sum::<f64>();
+    if !h0.is_finite() {
+        // current state already has a non-finite density (e.g. an injected
+        // NaN): `ln(u) < h1 - h0` is then false/NaN → guaranteed rejection,
+        // recorded as a numerical event rather than silently looping.
+        out.numerical_events += 1;
+    }
     let mut ll = f64::NAN;
     for _ in 0..cfg.leapfrog_steps {
         ll = leapfrog(engine, table, ll_proc, grad_proc, targets, &mut q, &mut p, cfg.step_size);
         out.leapfrogs += 1;
         if !ll.is_finite() {
             out.divergences += 1;
+            out.numerical_events += 1;
             break;
         }
     }
@@ -258,6 +297,7 @@ pub fn hmc_update(
     } else {
         restore_targets(engine, targets, &saved); // §5.5: exact state copy
     }
+    contain_nonfinite(engine, targets, &saved, &mut out);
     out
 }
 
@@ -279,6 +319,9 @@ pub fn nuts_update(
     let p0: Vec<f64> = (0..q0.len()).map(|_| engine.rng.std_normal()).collect();
     let h0 = log_density_flat(engine, table, ll_proc, targets, &q0)
         - 0.5 * p0.iter().map(|x| x * x).sum::<f64>();
+    if !h0.is_finite() {
+        out.numerical_events += 1;
+    }
     // slice variable
     let log_u = h0 + engine.rng.uniform().max(1e-300).ln();
 
@@ -324,6 +367,7 @@ pub fn nuts_update(
     } else {
         restore_targets(engine, targets, &saved);
     }
+    contain_nonfinite(engine, targets, &saved, &mut out);
     out
 }
 
@@ -352,6 +396,9 @@ fn build_tree(
             &mut q1, &mut p1, dir * cfg.step_size,
         );
         out.leapfrogs += 1;
+        if !ll.is_finite() {
+            out.numerical_events += 1;
+        }
         let h = if ll.is_finite() {
             ll - 0.5 * p1.iter().map(|x| x * x).sum::<f64>()
         } else {
@@ -443,6 +490,13 @@ pub fn eslice_update(
 
     for (lo_i, hi_i) in ranges {
         let ll0 = engine.run_proc(table, lik_proc).expect("lik proc returns");
+        if !ll0.is_finite() {
+            // A non-finite base likelihood would make the slice threshold
+            // NaN and every bracket test false; leave this slice at its
+            // current value instead of shrinking the bracket to exhaustion.
+            out.numerical_events += 1;
+            continue;
+        }
         let log_y = ll0 + engine.rng.uniform().max(1e-300).ln();
         let mut theta = engine.rng.uniform_range(0.0, 2.0 * std::f64::consts::PI);
         let mut lo = theta - 2.0 * std::f64::consts::PI;
@@ -493,6 +547,11 @@ pub fn reflective_slice_update(
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
     let ll0 = log_density_flat(engine, table, ll_proc, targets, &q0);
+    if !ll0.is_finite() {
+        // NaN height makes every `ll_final >= log_y` test false — the
+        // update degenerates to a guaranteed (counted) rejection.
+        out.numerical_events += 1;
+    }
     let log_y = ll0 - engine.rng.exponential(1.0); // slice height
     let mut q = q0.clone();
     let mut p: Vec<f64> = (0..q.len()).map(|_| engine.rng.std_normal()).collect();
@@ -523,6 +582,7 @@ pub fn reflective_slice_update(
     } else {
         restore_targets(engine, targets, &saved);
     }
+    contain_nonfinite(engine, targets, &saved, &mut out);
     out
 }
 
@@ -542,9 +602,13 @@ pub fn mala_update(
     cfg: &McmcConfig,
 ) -> UpdateOutcome {
     let eps = cfg.step_size;
+    let mut out = UpdateOutcome::default();
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
     let ll0 = log_density_flat(engine, table, ll_proc, targets, &q0);
+    if !ll0.is_finite() {
+        out.numerical_events += 1;
+    }
     let g0 = gradient(engine, table, grad_proc, targets, &q0);
 
     // proposal mean m0 = q0 + (ε²/2) g0
@@ -564,14 +628,17 @@ pub fn mala_update(
         }
         engine.rng.uniform().ln() < ll1 - ll0 + correction
     } else {
+        out.numerical_events += 1;
         false
     };
+    out.accepted = accept;
     if accept {
         write_position(engine, targets, &q1);
     } else {
         restore_targets(engine, targets, &saved);
     }
-    UpdateOutcome { accepted: accept, ..UpdateOutcome::default() }
+    contain_nonfinite(engine, targets, &saved, &mut out);
+    out
 }
 
 /// One Metropolis–Hastings update with a *user-supplied* proposal over
@@ -599,8 +666,22 @@ pub fn custom_mh_update(
         off += buf.len();
     }
     let ll1 = engine.run_proc(table, ll_proc).expect("ll proc returns");
-    let accept = engine.rng.uniform().ln() < ll1 - ll0 + correction;
-    if !accept {
+    let mut out = UpdateOutcome::default();
+    if !ll0.is_finite() || !ll1.is_finite() {
+        // the NaN-safe comparison below already rejects; record it
+        out.numerical_events += 1;
+    }
+    out.accepted = engine.rng.uniform().ln() < ll1 - ll0 + correction;
+    if out.accepted
+        && targets
+            .iter()
+            .any(|t| engine.state.flat(t.var).iter().any(|x| !x.is_finite()))
+    {
+        // accepted a proposal carrying a non-finite value: contain it
+        out.accepted = false;
+        out.numerical_events += 1;
+    }
+    if !out.accepted {
         let mut off = 0;
         for t in targets {
             let buf = engine.state.flat_mut(t.var);
@@ -608,7 +689,7 @@ pub fn custom_mh_update(
             off += buf.len();
         }
     }
-    UpdateOutcome { accepted: accept, ..UpdateOutcome::default() }
+    out
 }
 
 /// One random-walk Metropolis–Hastings update in the unconstrained space.
@@ -620,18 +701,23 @@ pub fn rw_mh_update(
     targets: &[GradTarget],
     cfg: &McmcConfig,
 ) -> UpdateOutcome {
+    let mut out = UpdateOutcome::default();
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
     let ll0 = log_density_flat(engine, table, ll_proc, targets, &q0);
     let q1: Vec<f64> =
         q0.iter().map(|&x| x + cfg.mh_step * engine.rng.std_normal()).collect();
     let ll1 = log_density_flat(engine, table, ll_proc, targets, &q1);
+    if !ll0.is_finite() || !ll1.is_finite() {
+        out.numerical_events += 1;
+    }
     // symmetric proposal: the acceptance ratio is the density ratio (§5.5)
-    let accept = engine.rng.uniform().ln() < ll1 - ll0;
-    if accept {
+    out.accepted = engine.rng.uniform().ln() < ll1 - ll0;
+    if out.accepted {
         write_position(engine, targets, &q1);
     } else {
         restore_targets(engine, targets, &saved);
     }
-    UpdateOutcome { accepted: accept, ..UpdateOutcome::default() }
+    contain_nonfinite(engine, targets, &saved, &mut out);
+    out
 }

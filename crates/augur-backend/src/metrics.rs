@@ -39,6 +39,10 @@ pub struct UpdateOutcome {
     pub slice_reflections: u64,
     /// Bracket shrink steps (elliptical slice).
     pub slice_shrinks: u64,
+    /// Non-finite log-densities or positions detected and contained by
+    /// the numerical guardrails: each event forced a rejection (restoring
+    /// the §5.5 state copy) instead of poisoning the chain.
+    pub numerical_events: u64,
 }
 
 impl UpdateOutcome {
@@ -68,6 +72,9 @@ pub struct KernelStats {
     pub slice_reflections: u64,
     /// Elliptical-slice bracket shrinks.
     pub slice_shrinks: u64,
+    /// Non-finite values detected and contained by the numerical
+    /// guardrails (the step was rejected instead of poisoning the chain).
+    pub numerical_events: u64,
     /// Cumulative wall time spent in this update, in seconds. Zero when
     /// the sampler was built with `SamplerConfig::timers = false`.
     pub wall_secs: f64,
@@ -82,6 +89,7 @@ impl KernelStats {
         self.divergences += o.divergences;
         self.slice_reflections += o.slice_reflections;
         self.slice_shrinks += o.slice_shrinks;
+        self.numerical_events += o.numerical_events;
     }
 
     /// Accepted / proposed (NaN before the first sweep).
@@ -95,7 +103,7 @@ impl KernelStats {
 
     /// The deterministic counters, in a fixed order (excludes wall
     /// time).
-    pub fn counters(&self) -> [u64; 6] {
+    pub fn counters(&self) -> [u64; 7] {
         [
             self.proposals,
             self.accepts,
@@ -103,6 +111,7 @@ impl KernelStats {
             self.divergences,
             self.slice_reflections,
             self.slice_shrinks,
+            self.numerical_events,
         ]
     }
 
@@ -116,6 +125,7 @@ impl KernelStats {
             divergences: self.divergences - earlier.divergences,
             slice_reflections: self.slice_reflections - earlier.slice_reflections,
             slice_shrinks: self.slice_shrinks - earlier.slice_shrinks,
+            numerical_events: self.numerical_events - earlier.numerical_events,
             wall_secs: self.wall_secs - earlier.wall_secs,
         }
     }
@@ -196,6 +206,11 @@ pub struct RunReport {
     pub kernels: Vec<KernelReport>,
     /// Abstract work units retired (deterministic at any thread count).
     pub work: u64,
+    /// JSONL trace records that could not be written (sink I/O failures).
+    /// Trace writes are best-effort, so drops never poison the chain —
+    /// but they are counted and surfaced here. Environment-dependent,
+    /// hence excluded from [`RunReport::digest`].
+    pub trace_records_dropped: u64,
     /// Execution-shape counters (thread-count dependent; excluded from
     /// the digest).
     pub exec: ExecReport,
@@ -221,9 +236,9 @@ impl RunReport {
     pub fn digest(&self) -> String {
         let mut out = format!("schedule={};sweeps={};work={}", self.schedule, self.sweeps, self.work);
         for k in &self.kernels {
-            let [p, a, lf, dv, refl, shr] = k.stats.counters();
+            let [p, a, lf, dv, refl, shr, nev] = k.stats.counters();
             out.push_str(&format!(
-                ";{}:p={p},a={a},lf={lf},div={dv},refl={refl},shr={shr}",
+                ";{}:p={p},a={a},lf={lf},div={dv},refl={refl},shr={shr},nev={nev}",
                 k.kernel
             ));
         }
@@ -241,14 +256,15 @@ impl fmt::Display for RunReport {
         )?;
         writeln!(
             f,
-            "{:<34} {:>9} {:>8} {:>6} {:>8} {:>5} {:>6} {:>7} {:>9}",
-            "kernel", "proposals", "accepts", "rate", "leapfrog", "div", "refl", "shrink", "wall(s)"
+            "{:<34} {:>9} {:>8} {:>6} {:>8} {:>5} {:>6} {:>7} {:>5} {:>9}",
+            "kernel", "proposals", "accepts", "rate", "leapfrog", "div", "refl", "shrink", "nev",
+            "wall(s)"
         )?;
         for k in &self.kernels {
             let s = &k.stats;
             writeln!(
                 f,
-                "{:<34} {:>9} {:>8} {:>6.3} {:>8} {:>5} {:>6} {:>7} {:>9.4}",
+                "{:<34} {:>9} {:>8} {:>6.3} {:>8} {:>5} {:>6} {:>7} {:>5} {:>9.4}",
                 k.kernel,
                 s.proposals,
                 s.accepts,
@@ -257,6 +273,7 @@ impl fmt::Display for RunReport {
                 s.divergences,
                 s.slice_reflections,
                 s.slice_shrinks,
+                s.numerical_events,
                 s.wall_secs
             )?;
         }
@@ -280,6 +297,8 @@ impl fmt::Display for RunReport {
 pub struct TraceSink {
     path: PathBuf,
     out: BufWriter<File>,
+    dropped: u64,
+    fail_writes: bool,
 }
 
 impl TraceSink {
@@ -291,7 +310,12 @@ impl TraceSink {
     pub fn create(path: &Path) -> Result<TraceSink, String> {
         let file = File::create(path)
             .map_err(|e| format!("cannot create trace file `{}`: {e}", path.display()))?;
-        Ok(TraceSink { path: path.to_path_buf(), out: BufWriter::new(file) })
+        Ok(TraceSink {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+            dropped: 0,
+            fail_writes: false,
+        })
     }
 
     /// The sink's path.
@@ -299,8 +323,24 @@ impl TraceSink {
         &self.path
     }
 
+    /// Records that could not be written because the underlying I/O
+    /// failed. Writes are best-effort — a full disk must not poison the
+    /// chain — but drops are counted and surfaced as
+    /// `RunReport::trace_records_dropped`.
+    pub fn records_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Forces every subsequent write to fail (the `io@trace` fault
+    /// injection), exercising the drop-counting path without an actual
+    /// full disk.
+    pub fn set_fail_writes(&mut self, fail: bool) {
+        self.fail_writes = fail;
+    }
+
     /// Streams one sweep record. `deltas` are this sweep's per-kernel
-    /// counter increments, aligned with `labels`.
+    /// counter increments, aligned with `labels`. A failed write drops
+    /// the record and bumps [`TraceSink::records_dropped`].
     pub fn write_sweep(
         &mut self,
         sweep: u64,
@@ -313,18 +353,24 @@ impl TraceSink {
             if i > 0 {
                 line.push(',');
             }
-            let [p, a, lf, dv, refl, shr] = d.counters();
+            let [p, a, lf, dv, refl, shr, nev] = d.counters();
             line.push_str(&format!(
                 "{{\"kernel\":{},\"proposals\":{p},\"accepts\":{a},\"leapfrogs\":{lf},\
-                 \"divergences\":{dv},\"slice_reflections\":{refl},\"slice_shrinks\":{shr}}}",
+                 \"divergences\":{dv},\"slice_reflections\":{refl},\"slice_shrinks\":{shr},\
+                 \"numerical_events\":{nev}}}",
                 json_str(label)
             ));
         }
         line.push_str("]}\n");
         // Trace I/O is best-effort observability: a full disk must not
-        // poison the chain itself.
-        let _ = self.out.write_all(line.as_bytes());
-        let _ = self.out.flush();
+        // poison the chain itself — but silent loss is not acceptable
+        // either, so failed records are counted.
+        let wrote = !self.fail_writes
+            && self.out.write_all(line.as_bytes()).is_ok()
+            && self.out.flush().is_ok();
+        if !wrote {
+            self.dropped += 1;
+        }
     }
 }
 
@@ -372,6 +418,7 @@ mod tests {
                 stats: KernelStats { proposals: 3, accepts: 3, wall_secs: wall, ..Default::default() },
             }],
             work: 42,
+            trace_records_dropped: chunks, // env-dependent, digest-excluded
             exec: ExecReport {
                 threads: 1,
                 proc_calls: 3,

@@ -97,6 +97,42 @@ impl Pool {
         &self,
         jobs: Vec<Box<dyn FnOnce() -> R + Send + 'scope>>,
     ) -> Vec<R> {
+        self.scatter_results(jobs)
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(v) => v,
+                Err(payload) => panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+
+    /// [`Pool::scatter`] with panic isolation: each job's result arrives
+    /// as `Ok(value)` or `Err(panic message)` in batch order, and nothing
+    /// is re-raised on the caller. The pool stays reusable either way.
+    pub fn try_scatter<'scope, R: Send + 'scope>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send + 'scope>>,
+    ) -> Vec<Result<R, String>> {
+        self.scatter_results(jobs)
+            .into_iter()
+            .map(|slot| {
+                slot.map_err(|payload| {
+                    if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_owned()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_owned()
+                    }
+                })
+            })
+            .collect()
+    }
+
+    fn scatter_results<'scope, R: Send + 'scope>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send + 'scope>>,
+    ) -> Vec<std::thread::Result<R>> {
         let n = jobs.len();
         let (tx, rx) = channel::<(usize, std::thread::Result<R>)>();
         let wrapped: Vec<Job> = jobs
@@ -142,10 +178,7 @@ impl Pool {
         }
         slots
             .into_iter()
-            .map(|slot| match slot.expect("pool result slot unfilled") {
-                Ok(v) => v,
-                Err(payload) => panic::resume_unwind(payload),
-            })
+            .map(|slot| slot.expect("pool result slot unfilled"))
             .collect()
     }
 }
@@ -205,6 +238,20 @@ mod tests {
         let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> =
             vec![Box::new(|| 7), Box::new(|| 8)];
         assert_eq!(pool.scatter(jobs), vec![7, 8]);
+    }
+
+    #[test]
+    fn try_scatter_isolates_panics_in_order() {
+        let pool = Pool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        let results = pool.try_scatter(jobs);
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[1], Err("boom".to_owned()));
+        assert_eq!(results[2], Ok(3));
+        // still reusable
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![Box::new(|| 42)];
+        assert_eq!(pool.scatter(jobs), vec![42]);
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub enum SetupError {
         /// What was supplied.
         actual: usize,
     },
+    /// A variable has no generating factor in the density model (the
+    /// lowered model and the density model disagree).
+    MissingFactor(String),
 }
 
 impl fmt::Display for SetupError {
@@ -62,6 +65,9 @@ impl fmt::Display for SetupError {
                 f,
                 "`{var}` should have {expected} element(s) at its outer level, got {actual}"
             ),
+            SetupError::MissingFactor(n) => {
+                write!(f, "`{n}` has no generating factor in the model")
+            }
         }
     }
 }
@@ -100,7 +106,9 @@ pub fn build_state(
             .ok_or_else(|| SetupError::MissingData(d.name.clone()))?;
         let id = state.insert_host(&d.name, &value);
         // light extent check against the outer comprehension
-        let (_, prior) = model.prior_factor(&d.name).expect("data has a factor");
+        let (_, prior) = model
+            .prior_factor(&d.name)
+            .ok_or_else(|| SetupError::MissingFactor(d.name.clone()))?;
         if let Some(c) = prior.comps.first() {
             let expected = eval_scalar(&state, &HashMap::new(), &c.hi)? as usize;
             let actual = match state.shape(id) {
@@ -119,7 +127,9 @@ pub fn build_state(
 
     // 3. parameters, shaped by their declarations
     for p in model.params() {
-        let (_, prior) = model.prior_factor(&p.name).expect("param has a prior");
+        let (_, prior) = model
+            .prior_factor(&p.name)
+            .ok_or_else(|| SetupError::MissingFactor(p.name.clone()))?;
         let shape = param_shape(&state, &p.name, prior)?;
         state.insert(&p.name, shape);
     }

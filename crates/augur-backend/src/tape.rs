@@ -1857,6 +1857,17 @@ impl Engine {
             .collect()
     }
 
+    /// Which worker chunks of an `n`-chunk dispatch the fault plan wants
+    /// to panic in (`panic@worker:I`). `None` when no plan is armed — the
+    /// common case, so the dispatch hot path pays one branch.
+    fn chunk_bombs(&self, n: usize) -> Option<Vec<bool>> {
+        let plan = self.fault.as_ref()?;
+        if plan.panics.is_empty() {
+            return None;
+        }
+        Some((0..n).map(|w| plan.panic_hits(w, self.fault_sweep)).collect())
+    }
+
     /// Fans the iterations of an embedded tape loop (body at
     /// `[body_pc, exit)`) across the worker pool. Each worker gets a
     /// copy-on-write state clone plus clones of the register banks, runs
@@ -1893,13 +1904,20 @@ impl Engine {
                 wk
             })
             .collect();
+        let bombs = self.chunk_bombs(chunks.len());
         let retireds: Vec<u64> = {
             let jobs: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = workers
                 .iter_mut()
                 .zip(&chunks)
-                .map(|(wk, &(a, b))| {
-                    Box::new(move || wk.run_par_chunk(tape, body_pc, exit, a, b, fresh, launch))
-                        as Box<dyn FnOnce() -> u64 + Send + '_>
+                .enumerate()
+                .map(|(w, (wk, &(a, b)))| {
+                    let bomb = bombs.as_ref().is_some_and(|bs| bs[w]);
+                    Box::new(move || {
+                        if bomb {
+                            panic!("{} (worker {w})", crate::fault::INJECTED_PANIC);
+                        }
+                        wk.run_par_chunk(tape, body_pc, exit, a, b, fresh, launch)
+                    }) as Box<dyn FnOnce() -> u64 + Send + '_>
                 })
                 .collect();
             pool.scatter(jobs)
@@ -1961,12 +1979,18 @@ impl Engine {
             .unwrap_or_else(|| crate::par::Pool::new(self.threads));
         let chunks = Self::par_chunks(lo, hi, pool.threads());
         let mut workers: Vec<Engine> = chunks.iter().map(|_| self.fork_worker()).collect();
+        let bombs = self.chunk_bombs(chunks.len());
         let retireds: Vec<u64> = {
             let jobs: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = workers
                 .iter_mut()
                 .zip(&chunks)
-                .map(|(wk, &(a, b))| {
+                .enumerate()
+                .map(|(w, (wk, &(a, b)))| {
+                    let bomb = bombs.as_ref().is_some_and(|bs| bs[w]);
                     Box::new(move || {
+                        if bomb {
+                            panic!("{} (worker {w})", crate::fault::INJECTED_PANIC);
+                        }
                         wk.metrics.par_chunks += 1;
                         let mut r = 0;
                         for t in a..b {
@@ -2007,12 +2031,18 @@ impl Engine {
         let chunks = Self::par_chunks(lo, hi, pool.threads());
         let mut workers: Vec<Engine> = chunks.iter().map(|_| self.fork_worker()).collect();
         type SumJob<'a> = Box<dyn FnOnce() -> (Vec<OwnVal>, u64) + Send + 'a>;
+        let bombs = self.chunk_bombs(chunks.len());
         let results: Vec<(Vec<OwnVal>, u64)> = {
             let jobs: Vec<SumJob<'_>> = workers
                 .iter_mut()
                 .zip(&chunks)
-                .map(|(wk, &(a, b))| {
+                .enumerate()
+                .map(|(w, (wk, &(a, b)))| {
+                    let bomb = bombs.as_ref().is_some_and(|bs| bs[w]);
                     Box::new(move || {
+                        if bomb {
+                            panic!("{} (worker {w})", crate::fault::INJECTED_PANIC);
+                        }
                         wk.metrics.par_chunks += 1;
                         let mut vs = Vec::with_capacity((b - a) as usize);
                         let mut r = 0;

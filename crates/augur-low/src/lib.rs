@@ -81,6 +81,20 @@ pub enum LowerError {
         /// Its support.
         support: String,
     },
+    /// A planned Gibbs update arrived without a full-conditional strategy
+    /// (the kernel plan does not belong to this model).
+    MissingStrategy {
+        /// The update whose strategy is absent.
+        update: String,
+        /// The variable it was supposed to resample.
+        var: String,
+    },
+    /// A variable the plan targets (or a parameter to initialize) has no
+    /// prior factor in the density model — the plan and model disagree.
+    MissingPrior {
+        /// The variable without a prior.
+        var: String,
+    },
 }
 
 impl fmt::Display for LowerError {
@@ -103,6 +117,14 @@ impl fmt::Display for LowerError {
                 f,
                 "{update}: no unconstraining transform for `{var}` with support {support}"
             ),
+            LowerError::MissingStrategy { update, var } => write!(
+                f,
+                "{update}: Gibbs update for `{var}` has no full-conditional strategy \
+                 (was the plan built for a different model?)"
+            ),
+            LowerError::MissingPrior { var } => {
+                write!(f, "`{var}` has no prior factor in the model")
+            }
         }
     }
 }

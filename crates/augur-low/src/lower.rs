@@ -151,7 +151,11 @@ pub fn lower(model: &DensityModel, plan: &KernelPlan) -> Result<LoweredModel, Lo
         match pu.base.kind {
             UpdateKind::Gibbs => {
                 let target = cond.targets[0].clone();
-                let code = match pu.fc.as_ref().expect("planned Gibbs has a strategy") {
+                let strategy = pu.fc.as_ref().ok_or_else(|| LowerError::MissingStrategy {
+                    update: prefix.clone(),
+                    var: target.clone(),
+                })?;
+                let code = match strategy {
                     FcStrategy::Conjugate(m) => gen_conjugate(i, cond, m)?,
                     FcStrategy::FiniteSum(sz) => gen_finite_sum(i, cond, sz)?,
                 };
@@ -211,7 +215,11 @@ pub fn lower(model: &DensityModel, plan: &KernelPlan) -> Result<LoweredModel, Lo
                 });
                 allocs.push(AllocDecl::shared(format!("{prefix}_llacc"), ShapeSpec::Scalar));
 
-                let prior = cond.prior().expect("ESlice target has a prior").factor.clone();
+                let prior = cond
+                    .prior()
+                    .ok_or_else(|| LowerError::MissingPrior { var: target.clone() })?
+                    .factor
+                    .clone();
                 let aux_buf = format!("{prefix}_nu");
                 let mean_buf = format!("{prefix}_pm");
                 allocs.push(AllocDecl::shared(&aux_buf, ShapeSpec::LikeVar(target.clone())));
@@ -247,7 +255,7 @@ pub fn lower(model: &DensityModel, plan: &KernelPlan) -> Result<LoweredModel, Lo
 
     // Initializer: ancestral sampling of every parameter from its prior.
     let init_proc = "init_params".to_owned();
-    procs.push(init_params_proc(model, &init_proc));
+    procs.push(init_params_proc(model, &init_proc)?);
 
     // Full-model joint log-density.
     let model_ll_proc = "model_ll".to_owned();
@@ -275,7 +283,7 @@ fn transforms_for(
             let support = model
                 .prior_factor(&t)
                 .map(|(_, f)| f.dist.support())
-                .expect("planned target has a prior");
+                .ok_or_else(|| LowerError::MissingPrior { var: t.clone() })?;
             let tr = match support {
                 Support::RealPos => Transform::Log,
                 Support::UnitInterval => Transform::Logit,
@@ -329,10 +337,12 @@ fn store_arg_proc(name: &str, prior: &Factor, pos: usize, buf: &str) -> ProcDecl
 }
 
 /// Ancestral prior sampling of all parameters, in declaration order.
-fn init_params_proc(model: &DensityModel, name: &str) -> ProcDecl {
+fn init_params_proc(model: &DensityModel, name: &str) -> Result<ProcDecl, LowerError> {
     let mut stmts = Vec::new();
     for p in model.params() {
-        let (_, prior) = model.prior_factor(&p.name).expect("param has a prior factor");
+        let (_, prior) = model
+            .prior_factor(&p.name)
+            .ok_or_else(|| LowerError::MissingPrior { var: p.name.clone() })?;
         let lhs = LValue {
             var: p.name.clone(),
             indices: prior.comps.iter().map(|c| Expr::var(&c.var)).collect(),
@@ -347,7 +357,7 @@ fn init_params_proc(model: &DensityModel, name: &str) -> ProcDecl {
             },
         ));
     }
-    ProcDecl { name: name.to_owned(), body: Stmt::seq(stmts), ret: None }
+    Ok(ProcDecl { name: name.to_owned(), body: Stmt::seq(stmts), ret: None })
 }
 
 #[cfg(test)]
@@ -403,6 +413,21 @@ mod tests {
                 assert_eq!(adj_bufs.len(), 3);
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_plan_and_model_is_a_typed_error() {
+        // Plan built for HLR, lowered against HGMM: the plan's HMC targets
+        // (`sigma2`, `b`, `theta`) have no priors in HGMM, so lowering must
+        // fail with a typed error rather than panic.
+        let hlr = build(HLR);
+        let sched = heuristic_schedule(&hlr).unwrap();
+        let kp = plan(&hlr, &sched).unwrap();
+        let hgmm = build(HGMM);
+        match lower(&hgmm, &kp) {
+            Err(LowerError::MissingPrior { var }) => assert_eq!(var, "sigma2"),
+            other => panic!("expected MissingPrior, got {other:?}"),
         }
     }
 

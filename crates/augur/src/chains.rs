@@ -30,7 +30,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
+use augur_backend::checkpoint::CheckpointError;
 use augur_backend::par::Pool;
 
 use crate::{Error, HostValue, Infer, SamplerConfig};
@@ -187,6 +189,7 @@ pub struct ChainRunner<'a> {
     sweeps: usize,
     record: Vec<&'a str>,
     threads: usize,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 impl<'a> ChainRunner<'a> {
@@ -203,6 +206,7 @@ impl<'a> ChainRunner<'a> {
             sweeps: 1000,
             record: Vec::new(),
             threads: 1,
+            checkpoint_dir: None,
         }
     }
 
@@ -264,28 +268,76 @@ impl<'a> ChainRunner<'a> {
         self
     }
 
+    /// Periodically checkpoints every chain into `dir` (one
+    /// `chain-<c>.ckpt` file per chain, cadence from the config's
+    /// `checkpoint_every`). A killed run restarts from those files with
+    /// [`ChainRunner::resume_dir`].
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// Builds and runs every chain, fanned across the configured worker
-    /// threads.
+    /// threads. A chain that panics is isolated to a typed error rather
+    /// than unwinding through the caller.
     ///
     /// # Errors
     ///
     /// Returns the first (by chain index) build or run error.
     pub fn run(self) -> Result<Chains, Error> {
+        self.run_impl(false)
+    }
+
+    /// Resumes every chain from `dir/chain-<c>.ckpt` (written by a prior
+    /// run with [`ChainRunner::checkpoint_dir`]) and continues each to
+    /// the configured total sweep count. The returned draws cover only
+    /// the post-resume sweeps, and are byte-identical to the same sweeps
+    /// of an uninterrupted run at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Checkpoint`] if a chain's file is missing or does
+    /// not match, plus the usual build/run errors.
+    pub fn resume_dir(mut self, dir: impl Into<PathBuf>) -> Result<Chains, Error> {
+        self.checkpoint_dir = Some(dir.into());
+        self.run_impl(true)
+    }
+
+    fn run_impl(self, resume: bool) -> Result<Chains, Error> {
         let base = self.config.clone().unwrap_or_else(|| self.infer.config.clone());
+        if let (Some(dir), false) = (&self.checkpoint_dir, resume) {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                Error::Checkpoint(CheckpointError::Io {
+                    path: dir.display().to_string(),
+                    detail: e.to_string(),
+                })
+            })?;
+        }
         // Samplers hold non-`Send` trait objects, so each chain is built,
-        // initialized, and run entirely inside its worker job; only the
-        // recorded draws cross threads.
+        // initialized (or resumed), and run entirely inside its worker
+        // job; only the recorded draws cross threads.
         let run_one = |c: usize| -> Result<Vec<HashMap<String, Vec<f64>>>, Error> {
             let mut chain_cfg = base.clone();
             chain_cfg.seed = base
                 .seed
                 .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1));
+            let ckpt: Option<PathBuf> =
+                self.checkpoint_dir.as_ref().map(|d| chain_file(d, c));
+            chain_cfg.checkpoint_path = ckpt.clone();
             let mut infer_c = self.infer.clone();
             infer_c.set_compile_opt(chain_cfg);
             let mut sampler =
                 infer_c.compile(self.args.clone()).data(self.data.clone()).build()?;
-            sampler.init()?;
-            Ok(sampler.sample(self.sweeps, &self.record)?)
+            let done = if resume {
+                let path = ckpt.as_ref().expect("resume_dir sets the directory");
+                sampler.resume(path)? as usize
+            } else {
+                sampler.init()?;
+                0
+            };
+            let remaining = self.sweeps.saturating_sub(done);
+            Ok(sampler.sample(remaining, &self.record)?)
         };
         let results: Vec<Result<_, Error>> = if self.threads > 1 && self.n_chains > 1 {
             let pool = Pool::new(self.threads);
@@ -295,7 +347,15 @@ impl<'a> ChainRunner<'a> {
                     Box::new(move || run_one(c)) as Box<dyn FnOnce() -> _ + Send + '_>
                 })
                 .collect();
-            pool.scatter(jobs)
+            pool.try_scatter(jobs)
+                .into_iter()
+                .enumerate()
+                .map(|(c, r)| {
+                    r.unwrap_or_else(|detail| {
+                        Err(Error::WorkerPanic { kernel: format!("chain {c}"), detail })
+                    })
+                })
+                .collect()
         } else {
             (0..self.n_chains).map(run_one).collect()
         };
@@ -305,6 +365,11 @@ impl<'a> ChainRunner<'a> {
         }
         Ok(Chains { draws })
     }
+}
+
+/// The checkpoint file of chain `c` inside `dir`.
+fn chain_file(dir: &Path, c: usize) -> PathBuf {
+    dir.join(format!("chain-{c}.ckpt"))
 }
 
 #[cfg(test)]

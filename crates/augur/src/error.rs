@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use augur_backend::checkpoint::CheckpointError;
 use augur_backend::driver::{BuildError, RunError, UnknownParam};
 
 /// Any failure from the user-facing API: compilation, building, running
@@ -54,6 +55,24 @@ pub enum Error {
         /// The minimum the diagnostic requires.
         min: usize,
     },
+    /// A kernel update indexed outside a buffer; the sweep failed with a
+    /// typed error instead of aborting the process.
+    OutOfBounds {
+        /// The Kernel-IL label of the failing step.
+        kernel: String,
+        /// The underlying bounds-check message.
+        detail: String,
+    },
+    /// A kernel update or chain worker panicked; the failure was isolated
+    /// to its sweep/chain and surfaced here.
+    WorkerPanic {
+        /// The Kernel-IL label of the failing step (or a chain label).
+        kernel: String,
+        /// The panic payload, rendered.
+        detail: String,
+    },
+    /// A checkpoint could not be written, read, or applied.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for Error {
@@ -72,6 +91,13 @@ impl fmt::Display for Error {
             Error::ShortChain { len, min } => {
                 write!(f, "chain of {len} draws is too short (diagnostic needs ≥ {min})")
             }
+            Error::OutOfBounds { kernel, detail } => {
+                write!(f, "out-of-bounds access in `{kernel}`: {detail}")
+            }
+            Error::WorkerPanic { kernel, detail } => {
+                write!(f, "`{kernel}` panicked: {detail}")
+            }
+            Error::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -102,6 +128,15 @@ impl From<RunError> for Error {
         match e {
             RunError::UnknownParam(u) => Error::UnknownParam { name: u.name },
             RunError::NonFiniteInit { param } => Error::NonFiniteInit { param },
+            RunError::OutOfBounds { kernel, detail } => Error::OutOfBounds { kernel, detail },
+            RunError::WorkerPanic { kernel, detail } => Error::WorkerPanic { kernel, detail },
+            RunError::Checkpoint(e) => Error::Checkpoint(e),
         }
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Self {
+        Error::Checkpoint(e)
     }
 }

@@ -64,6 +64,7 @@ pub use augur_backend::driver::{Sampler, SamplerConfig, Target};
 pub use augur_backend::mcmc::McmcConfig;
 pub use augur_backend::state::HostValue;
 pub use augur_backend::ExecStrategy;
+pub use augur_backend::{Checkpoint, CheckpointError, FaultPlan};
 pub use augur_backend::{ExecReport, KernelReport, KernelStats, RunReport};
 pub use augur_blk::OptFlags;
 pub use chains::{ChainRunner, ChainsReport};

@@ -11,3 +11,13 @@ cargo build --release --offline 2>/dev/null || cargo build --release
 AUGUR_THREADS=1 cargo test -q
 AUGUR_THREADS=8 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Kill-and-resume smoke: the env-driven checkpoint path must leave a
+# versioned, resumable snapshot behind (the byte-identical resume
+# guarantees themselves are asserted by tests/resume.rs above).
+ckpt="$(mktemp -u /tmp/augur_tier1_XXXXXX.ckpt)"
+AUGUR_CKPT="$ckpt" AUGUR_CKPT_EVERY=5 \
+  cargo run --release --example fault_drill >/dev/null
+test -s "$ckpt"
+head -1 "$ckpt" | grep -q "augur-checkpoint v1"
+rm -f "$ckpt"

@@ -1,0 +1,97 @@
+// Needs the external `proptest` crate, which the hermetic offline build
+// does not vendor. Enable with `--features proptest-tests` on a machine
+// with network access.
+#![cfg(feature = "proptest-tests")]
+
+//! Property test: checkpoint serialization round-trips every snapshot —
+//! arbitrary buffer contents (including NaN/∞ bit patterns), counters,
+//! and tuning state — through render/parse and through the filesystem.
+
+use augur_backend::checkpoint::{Checkpoint, StepTuning};
+use augur_backend::KernelStats;
+use proptest::prelude::*;
+
+fn arb_stats() -> impl Strategy<Value = KernelStats> {
+    (any::<[u64; 7]>(), any::<f64>()).prop_map(|(c, w)| KernelStats {
+        proposals: c[0],
+        accepts: c[1],
+        leapfrogs: c[2],
+        divergences: c[3],
+        slice_reflections: c[4],
+        slice_shrinks: c[5],
+        numerical_events: c[6],
+        wall_secs: w,
+    })
+}
+
+fn arb_tuning() -> impl Strategy<Value = StepTuning> {
+    (any::<f64>(), any::<u64>(), any::<u64>()).prop_map(|(scale, consec_div, consec_clean)| {
+        StepTuning { scale, consec_div, consec_clean }
+    })
+}
+
+fn arb_buffer() -> impl Strategy<Value = (String, Vec<u64>)> {
+    ("[A-Za-z][A-Za-z0-9_]{0,12}", prop::collection::vec(any::<u64>(), 0..40))
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (
+        "[ -~]{0,60}",
+        any::<u64>(),
+        any::<u64>(),
+        prop::option::of(any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        prop::collection::vec(arb_stats(), 0..5),
+        prop::collection::vec(arb_tuning(), 0..5),
+        prop::collection::vec(arb_buffer(), 0..6),
+    )
+        .prop_map(
+            |(schedule, sweep, rng_state, rng_spare, (seed, launch, work), stats, tuning, buffers)| {
+                Checkpoint {
+                    schedule,
+                    sweep,
+                    rng_state,
+                    rng_spare,
+                    master_seed: seed,
+                    launch_counter: launch,
+                    work,
+                    stats,
+                    tuning,
+                    buffers,
+                }
+            },
+        )
+}
+
+fn same_modulo_nan(a: &Checkpoint, b: &Checkpoint) -> bool {
+    // `Checkpoint: PartialEq` compares f64 fields by value, which NaN
+    // breaks; compare the serialized forms instead — the format stores
+    // every float as its exact bit pattern.
+    a.render() == b.render()
+}
+
+proptest! {
+    #[test]
+    fn render_parse_roundtrip(ck in arb_checkpoint()) {
+        let back = Checkpoint::parse(&ck.render()).unwrap();
+        prop_assert!(same_modulo_nan(&ck, &back));
+    }
+
+    #[test]
+    fn file_roundtrip(ck in arb_checkpoint()) {
+        let path = std::env::temp_dir().join(format!(
+            "augur_ckpt_prop_{}_{:?}.ckpt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        ck.write_atomic(&path).unwrap();
+        let back = Checkpoint::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert!(same_modulo_nan(&ck, &back));
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_text(text in "[ -~\n]{0,400}") {
+        let _ = Checkpoint::parse(&text);
+    }
+}
