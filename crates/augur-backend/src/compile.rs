@@ -372,6 +372,10 @@ pub struct ProcTable {
     pub tapes: Vec<crate::tape::TapeProc>,
     /// Tape-compiled GPU form, same indices.
     pub blk_tapes: Vec<crate::tape::TBlkProc>,
+    /// Buffers statically referenced by each procedure (sorted,
+    /// deduplicated), same indices — the reachable-memory side of the
+    /// profiler's watermark.
+    pub buf_refs: Vec<Vec<BufId>>,
 }
 
 impl ProcTable {
@@ -383,6 +387,7 @@ impl ProcTable {
         self.names.insert(cpu.name.clone(), idx);
         self.tapes.push(crate::tape::TapeProc::compile(&cpu, state));
         self.blk_tapes.push(crate::tape::TBlkProc::compile(&gpu, state));
+        self.buf_refs.push(proc_buf_refs(&cpu));
         self.procs.push(cpu);
         self.blk_procs.push(gpu);
     }
@@ -408,6 +413,79 @@ impl ProcTable {
     /// matching and diagnostics).
     pub fn proc_name(&self, idx: usize) -> &str {
         &self.procs[idx].name
+    }
+}
+
+/// Every buffer a compiled procedure statically references (reads or
+/// writes), sorted and deduplicated. Purely syntactic — a superset of
+/// what any one run touches, and identical across strategies and thread
+/// counts.
+pub fn proc_buf_refs(p: &RProc) -> Vec<BufId> {
+    let mut out = Vec::new();
+    refs_stmt(&p.body, &mut out);
+    if let Some(ret) = &p.ret {
+        refs_expr(ret, &mut out);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn refs_stmt(s: &RStmt, out: &mut Vec<BufId>) {
+    match s {
+        RStmt::Seq(stmts) => stmts.iter().for_each(|t| refs_stmt(t, out)),
+        RStmt::Assign { lhs, rhs, .. } => {
+            refs_lvalue(lhs, out);
+            refs_expr(rhs, out);
+        }
+        RStmt::IfEq { a, b, then, els } => {
+            refs_expr(a, out);
+            refs_expr(b, out);
+            refs_stmt(then, out);
+            if let Some(e) = els {
+                refs_stmt(e, out);
+            }
+        }
+        RStmt::Loop { lo, hi, body, .. } => {
+            refs_expr(lo, out);
+            refs_expr(hi, out);
+            refs_stmt(body, out);
+        }
+        RStmt::Sample { lhs, args, .. } => {
+            refs_lvalue(lhs, out);
+            args.iter().for_each(|a| refs_expr(a, out));
+        }
+        RStmt::SampleLogits { lhs, weights } => {
+            refs_lvalue(lhs, out);
+            refs_expr(weights, out);
+        }
+    }
+}
+
+fn refs_lvalue(l: &RLValue, out: &mut Vec<BufId>) {
+    out.push(l.buf);
+    l.indices.iter().for_each(|e| refs_expr(e, out));
+}
+
+fn refs_expr(e: &RExpr, out: &mut Vec<BufId>) {
+    match e {
+        RExpr::Const(_) => {}
+        RExpr::Ref(RRef::Buf(id)) => out.push(*id),
+        RExpr::Ref(RRef::Loop(_)) => {}
+        RExpr::Index(a, b) | RExpr::Binop(_, a, b) => {
+            refs_expr(a, out);
+            refs_expr(b, out);
+        }
+        RExpr::Neg(a) | RExpr::Len(a) => refs_expr(a, out),
+        RExpr::Call(_, args) | RExpr::Op(_, args) => {
+            args.iter().for_each(|a| refs_expr(a, out));
+        }
+        RExpr::DistLl { args, point, .. }
+        | RExpr::DistGradParam { args, point, .. }
+        | RExpr::DistGradPoint { args, point, .. } => {
+            args.iter().for_each(|a| refs_expr(a, out));
+            refs_expr(point, out);
+        }
     }
 }
 

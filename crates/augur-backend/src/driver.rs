@@ -10,7 +10,9 @@ use std::time::Instant;
 use augur_blk::{optimize, to_blocks, OptFlags, OptReport};
 use augur_density::{DensityModel, DensityError};
 use augur_dist::Prng;
-use augur_kernel::{heuristic_schedule, parse_schedule, plan, KernelError, KernelUnit, UpdateKind};
+use augur_kernel::{
+    heuristic_schedule, parse_schedule, plan, KernelError, KernelPlan, KernelUnit, UpdateKind,
+};
 use augur_lang::LangError;
 use augur_low::{lower, LowerError, LoweredModel, Step};
 use gpu_sim::{Device, DeviceConfig};
@@ -23,6 +25,7 @@ use crate::metrics::{ExecReport, KernelReport, KernelStats, RunReport, TraceSink
 use crate::tape::ExecStrategy;
 use crate::mcmc::{self, GradTarget, McmcConfig, Proposal};
 use crate::oracle::StateOracle;
+use crate::profile::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};
 use crate::setup::{build_state, SetupError};
 use crate::state::{BufId, HostValue};
 
@@ -296,6 +299,14 @@ pub struct Sampler {
     checkpoint_every: u64,
     /// The step a panic unwound from (for error labeling).
     current_step: usize,
+    /// Compile-time explain plan, recorded while the pipeline ran.
+    explain: ExplainPlan,
+    /// Deterministic work attributed per schedule step (profiler; only
+    /// populated while `timers` is on). Session-local: not checkpointed.
+    step_work: Vec<u64>,
+    /// Static memory watermark (size-inference bound vs. statically
+    /// touched bytes).
+    mem: MemWatermark,
 }
 
 impl Sampler {
@@ -312,16 +323,34 @@ impl Sampler {
         data: Vec<(&str, HostValue)>,
         config: SamplerConfig,
     ) -> Result<Sampler, BuildError> {
+        let t0 = Instant::now();
         let model = augur_lang::parse(src)?;
         let typed = augur_lang::typecheck(&model)?;
+        let mut frontend = Span::timed("frontend", t0.elapsed().as_secs_f64());
+        frontend.attr("model", typed.summary());
+        let t0 = Instant::now();
         let dm = DensityModel::from_typed(&typed)?;
+        let density_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
         let sched = match schedule {
             Some(s) => parse_schedule(s)?,
             None => heuristic_schedule(&dm)?,
         };
         let kp = plan(&dm, &sched)?;
+        let (mut density, mut kernel) = explain_plan_spans(&kp);
+        density.wall_secs = density_secs;
+        kernel.wall_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
         let lowered = lower(&dm, &kp)?;
-        Sampler::from_lowered(&dm, &lowered, args, data, config)
+        let lowering = Span::timed("lowering", t0.elapsed().as_secs_f64());
+        Sampler::from_lowered_explained(
+            &dm,
+            &lowered,
+            args,
+            data,
+            config,
+            vec![frontend, density, kernel, lowering],
+        )
     }
 
     /// Builds a sampler from an already-lowered model (used by `augur`'s
@@ -337,25 +366,95 @@ impl Sampler {
         data: Vec<(&str, HostValue)>,
         config: SamplerConfig,
     ) -> Result<Sampler, BuildError> {
+        Sampler::from_lowered_explained(dm, lowered, args, data, config, Vec::new())
+    }
+
+    /// [`Sampler::from_lowered`] with caller-timed front-end explain spans
+    /// (frontend, density, kernel-plan, lowering) prepended to the plan —
+    /// the backend appends its own size-inference, autodiff, and codegen
+    /// spans. Callers that lower the model themselves can build the front
+    /// spans with [`explain_plan_spans`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for binding/allocation problems.
+    pub fn from_lowered_explained(
+        dm: &DensityModel,
+        lowered: &LoweredModel,
+        args: Vec<HostValue>,
+        data: Vec<(&str, HostValue)>,
+        config: SamplerConfig,
+        front: Vec<Span>,
+    ) -> Result<Sampler, BuildError> {
         let data: Vec<(String, HostValue)> =
             data.into_iter().map(|(n, v)| (n.to_owned(), v)).collect();
+        let t0 = Instant::now();
         let state = build_state(dm, lowered, args, data)?;
+        let setup_secs = t0.elapsed().as_secs_f64();
 
         // Compile every procedure for both targets; the GPU form goes
         // through Blk translation and the §5.4 optimizer with the runtime
         // size oracle.
+        let t0 = Instant::now();
         let mut table = ProcTable::default();
         let mut opt_report = OptReport::default();
+        let mut blk_span = Span::new("blk");
         for p in &lowered.procs {
             let cpu = Compiler::new(&state).proc(p);
             let mut blk = to_blocks(p);
             let r = optimize(&mut blk, &StateOracle::new(&state), &config.opt_flags);
-            opt_report.commuted += r.commuted;
-            opt_report.inlined += r.inlined;
-            opt_report.converted_to_sum += r.converted_to_sum;
+            if !r.is_noop() {
+                blk_span.attr(&p.name, r.describe());
+            }
+            opt_report += r;
             let gpu = Compiler::new(&state).blk_proc(&blk);
             table.insert(cpu, gpu, &state);
         }
+        blk_span.attr("total", opt_report.describe());
+
+        // Static memory watermark: what size inference allocated up front
+        // versus the buffers the compiled procedures can actually reach.
+        let bound_bytes = state.total_cells() as u64 * 8;
+        let touched: std::collections::HashSet<BufId> =
+            table.buf_refs.iter().flatten().copied().collect();
+        let touched_bytes: u64 =
+            touched.iter().map(|id| state.flat(*id).len() as u64 * 8).sum();
+        let mem = MemWatermark { bound_bytes, touched_bytes };
+
+        let mut explain = ExplainPlan { root: Span::new("explain") };
+        for s in front {
+            explain.root.child(s);
+        }
+        let mut size_span = Span::new("size-inference");
+        for a in &lowered.allocs {
+            let bytes = state
+                .id(&a.name)
+                .map(|id| state.flat(id).len() as u64 * 8)
+                .unwrap_or(0);
+            let kind = match a.kind {
+                augur_low::shape::AllocKind::Shared => "",
+                augur_low::shape::AllocKind::ThreadLocal => " (thread-local)",
+            };
+            size_span.attr(&a.name, format!("{} = {bytes} bytes{kind}", a.shape.pretty()));
+        }
+        size_span.attr("bound", format!("{bound_bytes} bytes (all buffers)"));
+        size_span.attr("touched", format!("{touched_bytes} bytes (statically referenced)"));
+        explain.root.child(size_span);
+        let mut ad_span = Span::new("autodiff");
+        ad_span.attr("procs", lowered.procs.len().to_string());
+        ad_span.attr(
+            "grad_procs",
+            lowered.procs.iter().filter(|p| p.name.ends_with("_grad")).count().to_string(),
+        );
+        ad_span.attr(
+            "adjoint_buffers",
+            lowered.allocs.iter().filter(|a| a.name.contains("_adj_")).count().to_string(),
+        );
+        explain.root.child(ad_span);
+        let mut codegen = Span::timed("codegen", setup_secs + t0.elapsed().as_secs_f64());
+        codegen.attr("procs", table.procs.len().to_string());
+        codegen.child(blk_span);
+        explain.root.child(codegen);
 
         let (device, mode) = match &config.target {
             Target::Cpu => (Device::new(DeviceConfig::host_cpu_like()), ExecMode::Cpu),
@@ -364,6 +463,7 @@ impl Sampler {
         let mut engine =
             Engine::new(state, Prng::seed_from_u64(config.seed), device, mode);
         engine.strategy = config.exec;
+        engine.profile_ops = config.timers;
         engine.set_threads(config.threads);
         if matches!(config.target, Target::Gpu(_)) {
             // Model the host→device shipment of the whole state.
@@ -393,6 +493,7 @@ impl Sampler {
         let init_idx = table_index(&table, &lowered.init_proc);
         let model_ll_idx = table_index(&table, &lowered.model_ll_proc);
         let tuning = vec![StepTuning::default(); steps.len()];
+        let step_work = vec![0u64; steps.len()];
         Ok(Sampler {
             engine,
             table,
@@ -412,6 +513,9 @@ impl Sampler {
             checkpoint_path: config.checkpoint_path,
             checkpoint_every: config.checkpoint_every,
             current_step: 0,
+            explain,
+            step_work,
+            mem,
         })
     }
 
@@ -558,12 +662,18 @@ impl Sampler {
 
     fn sweep_inner(&mut self) {
         let snap: Option<Vec<KernelStats>> = self.trace.as_ref().map(|_| self.stats.clone());
+        let work_snap: Option<Vec<u64>> = if self.trace.is_some() && self.timers {
+            Some(self.step_work.clone())
+        } else {
+            None
+        };
         let sweep_t0 = self.trace.as_ref().map(|_| Instant::now());
         self.engine.fault_sweep = self.sweeps + 1; // fault clauses are 1-based
         for i in 0..self.steps.len() {
             self.current_step = i;
             let step = self.steps[i].clone();
             let t0 = if self.timers { Some(Instant::now()) } else { None };
+            let w0 = if self.timers { Some(self.engine.work) } else { None };
             let outcome = match &step {
                 CompiledStep::Gibbs { proc_, target } => self.gibbs_update(*proc_, *target),
                 CompiledStep::Hmc { targets, ll, grad, nuts } => {
@@ -610,13 +720,19 @@ impl Sampler {
             if let Some(t0) = t0 {
                 self.stats[i].wall_secs += t0.elapsed().as_secs_f64();
             }
+            if let Some(w0) = w0 {
+                self.step_work[i] += self.engine.work - w0;
+            }
         }
         self.sweeps += 1;
         if let (Some(sink), Some(snap)) = (&mut self.trace, snap) {
             let deltas: Vec<KernelStats> =
                 self.stats.iter().zip(&snap).map(|(now, then)| now.delta(then)).collect();
             let wall = sweep_t0.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
-            sink.write_sweep(self.sweeps, &self.labels, &deltas, wall);
+            let work_deltas: Option<Vec<u64>> = work_snap.map(|then| {
+                self.step_work.iter().zip(&then).map(|(now, then)| now - then).collect()
+            });
+            sink.write_sweep(self.sweeps, &self.labels, &deltas, wall, work_deltas.as_deref());
         }
     }
 
@@ -900,6 +1016,48 @@ impl Sampler {
         }
     }
 
+    /// The compile-time explain plan recorded while this sampler was
+    /// built: which §3.3 conditional rewrite fired per kernel unit (and
+    /// why fallbacks happened), the Kernel-IL strategy per update, the
+    /// size-inference allocation table with resolved byte bounds, AD
+    /// statistics, and the Blk-IL decisions. `render()` is stable for a
+    /// fixed model/schedule/data-size; `render_timed()` adds wall times.
+    pub fn explain(&self) -> &ExplainPlan {
+        &self.explain
+    }
+
+    /// The runtime phase profile: deterministic per-schedule-step work,
+    /// per-tape-op-class instruction counts, wall-time breakdown, and the
+    /// static memory watermark. Per-step attribution is gated by
+    /// [`SamplerConfig::timers`] and covers the sweeps run by *this*
+    /// sampler object (it is not checkpointed); the total work counter is
+    /// cumulative across resume. The work-counter portion
+    /// ([`Profile::digest`]) is byte-identical at any `AUGUR_THREADS`
+    /// count and under either execution strategy.
+    pub fn profile(&self) -> Profile {
+        let steps = self
+            .labels
+            .iter()
+            .zip(&self.step_work)
+            .zip(&self.stats)
+            .map(|((label, work), stats)| StepProfile {
+                label: label.clone(),
+                work: *work,
+                wall_secs: stats.wall_secs,
+            })
+            .collect();
+        Profile {
+            schedule: self.labels.join(" (*) "),
+            sweeps: self.sweeps,
+            work: self.engine.work,
+            steps,
+            op_class: self.engine.metrics.op_class,
+            mem: self.mem,
+            threads: self.engine.threads(),
+            strategy: format!("{:?}", self.engine.strategy),
+        }
+    }
+
     /// The path of the configured JSONL trace sink, if any.
     pub fn trace_path(&self) -> Option<&std::path::Path> {
         self.trace.as_ref().map(TraceSink::path)
@@ -923,6 +1081,31 @@ impl Sampler {
 
 fn table_index(table: &ProcTable, name: &str) -> usize {
     table.index(name)
+}
+
+/// Builds the `density` and `kernel-plan` explain spans from a validated
+/// kernel plan: one child span per kernel unit naming the §3.3 rewrite
+/// that aligned each conditional factor (or why alignment fell back), and
+/// one naming the per-update strategy (conjugacy relation / finite-sum
+/// support). Shared by [`Sampler::build`] and `augur`'s pipeline API.
+pub fn explain_plan_spans(kp: &KernelPlan) -> (Span, Span) {
+    let mut density = Span::new("density");
+    let mut kernel = Span::new("kernel-plan");
+    kernel.attr("schedule", format!("{}", kp.kernel()));
+    for u in &kp.updates {
+        let name = format!("unit {} {}", u.base.kind.name(), u.base.unit);
+        let mut d = Span::new(name.clone());
+        for f in &u.base.cond.factors {
+            d.attr(format!("factor {}", f.factor.point), f.rewrite.describe());
+        }
+        density.child(d);
+        let mut k = Span::new(name);
+        if let Some(fc) = &u.fc {
+            k.attr("strategy", fc.describe());
+        }
+        kernel.child(k);
+    }
+    (density, kernel)
 }
 
 /// Renders a caught panic payload (the `&str` / `String` payloads every

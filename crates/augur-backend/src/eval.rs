@@ -141,6 +141,9 @@ pub struct Engine {
     /// Execution counters (proc calls, tape instructions, parallel
     /// dispatches); worker counters merge in chunk order.
     pub(crate) metrics: crate::metrics::EngineMetrics,
+    /// When set, the tape VM additionally buckets retired instructions
+    /// by op class (`EngineMetrics::op_class`) for the phase profiler.
+    pub profile_ops: bool,
     /// Deterministic fault-injection plan (drills only; `None` in
     /// production runs).
     pub(crate) fault: Option<crate::fault::FaultPlan>,
@@ -175,6 +178,7 @@ impl Engine {
             pool: None,
             write_log: None,
             metrics: crate::metrics::EngineMetrics::default(),
+            profile_ops: false,
             fault: None,
             fault_sweep: 0,
         }
@@ -224,6 +228,7 @@ impl Engine {
             pool: None,
             write_log: Some(Vec::new()),
             metrics: crate::metrics::EngineMetrics::default(),
+            profile_ops: self.profile_ops,
             fault: None, // injection decisions are made at the dispatch site
             fault_sweep: self.fault_sweep,
         }

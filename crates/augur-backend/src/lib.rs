@@ -58,6 +58,7 @@ pub mod mcmc;
 pub mod metrics;
 pub mod oracle;
 pub mod par;
+pub mod profile;
 pub mod setup;
 pub mod state;
 pub mod tape;
@@ -66,5 +67,6 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use driver::{RunError, Sampler, SamplerConfig, Target};
 pub use fault::{FaultParseError, FaultPlan};
 pub use metrics::{ExecReport, KernelReport, KernelStats, RunReport, UpdateOutcome};
+pub use profile::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};
 pub use state::HostValue;
 pub use tape::ExecStrategy;

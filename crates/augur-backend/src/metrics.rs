@@ -131,6 +131,14 @@ impl KernelStats {
     }
 }
 
+/// Number of tape-instruction classes tracked by the phase profiler.
+pub const N_OP_CLASSES: usize = 6;
+
+/// Stable names of the tape-instruction classes, aligned with
+/// [`EngineMetrics::op_class`] indices.
+pub const OP_CLASS_NAMES: [&str; N_OP_CLASSES] =
+    ["load", "arith", "dist", "sample", "store", "control"];
+
 /// Engine-level execution counters.
 ///
 /// `proc_calls` and `instrs_retired` are deterministic for a fixed
@@ -149,6 +157,11 @@ pub struct EngineMetrics {
     pub par_dispatches: u64,
     /// Worker chunks executed across all dispatches.
     pub par_chunks: u64,
+    /// Retired tape instructions by class ([`OP_CLASS_NAMES`] order),
+    /// populated only when the sampler was built with timers on. Zero
+    /// under the tree-walker, so — like `instrs_retired` — these are
+    /// strategy-dependent and stay outside the digest contract.
+    pub op_class: [u64; N_OP_CLASSES],
 }
 
 impl EngineMetrics {
@@ -159,6 +172,9 @@ impl EngineMetrics {
         self.instrs_retired += worker.instrs_retired;
         self.par_dispatches += worker.par_dispatches;
         self.par_chunks += worker.par_chunks;
+        for (a, b) in self.op_class.iter_mut().zip(worker.op_class) {
+            *a += b;
+        }
     }
 }
 
@@ -288,20 +304,29 @@ impl fmt::Display for RunReport {
     }
 }
 
-/// The opt-in JSONL event sink: one line per sweep, with per-kernel
-/// *delta* counters, streamed to the path given by
+/// The opt-in JSONL event sink: one line per sweep (schema v2), with
+/// per-kernel *delta* counters, streamed to the path given by
 /// `SamplerConfig::trace_path` (or the `AUGUR_TRACE` environment
-/// variable). Lines are flushed as written so external dashboards can
-/// tail the file. See `DESIGN.md` § JSONL trace schema.
+/// variable). Writes are buffered and flushed every
+/// [`TraceSink::FLUSH_EVERY`] records and on drop — dashboards tailing
+/// the file see records at that granularity, and the sampler never pays
+/// a syscall per sweep. See `DESIGN.md` § JSONL trace schema.
 #[derive(Debug)]
 pub struct TraceSink {
     path: PathBuf,
     out: BufWriter<File>,
     dropped: u64,
+    /// Records written into the buffer since the last successful flush;
+    /// counted into `dropped` if a flush fails (a short flush truncates
+    /// everything still buffered).
+    unflushed: u64,
     fail_writes: bool,
 }
 
 impl TraceSink {
+    /// Buffered records are flushed to disk after this many sweeps.
+    pub const FLUSH_EVERY: u64 = 64;
+
     /// Creates (truncating) the sink file.
     ///
     /// # Errors
@@ -314,6 +339,7 @@ impl TraceSink {
             path: path.to_path_buf(),
             out: BufWriter::new(file),
             dropped: 0,
+            unflushed: 0,
             fail_writes: false,
         })
     }
@@ -338,17 +364,23 @@ impl TraceSink {
         self.fail_writes = fail;
     }
 
-    /// Streams one sweep record. `deltas` are this sweep's per-kernel
-    /// counter increments, aligned with `labels`. A failed write drops
-    /// the record and bumps [`TraceSink::records_dropped`].
+    /// Streams one sweep record (schema v2, marked `"v":2`). `deltas`
+    /// are this sweep's per-kernel counter increments, aligned with
+    /// `labels`; when the phase profiler is on, `work_deltas` carries
+    /// each step's deterministic work increment and is merged into the
+    /// per-kernel objects. A failed buffered write drops the record and
+    /// bumps [`TraceSink::records_dropped`]; a failed flush counts every
+    /// record still buffered (a short flush truncates all of them).
     pub fn write_sweep(
         &mut self,
         sweep: u64,
         labels: &[String],
         deltas: &[KernelStats],
         wall_secs: f64,
+        work_deltas: Option<&[u64]>,
     ) {
-        let mut line = format!("{{\"sweep\":{sweep},\"wall_secs\":{wall_secs:e},\"kernels\":[");
+        let mut line =
+            format!("{{\"v\":2,\"sweep\":{sweep},\"wall_secs\":{wall_secs:e},\"kernels\":[");
         for (i, (label, d)) in labels.iter().zip(deltas).enumerate() {
             if i > 0 {
                 line.push(',');
@@ -357,26 +389,48 @@ impl TraceSink {
             line.push_str(&format!(
                 "{{\"kernel\":{},\"proposals\":{p},\"accepts\":{a},\"leapfrogs\":{lf},\
                  \"divergences\":{dv},\"slice_reflections\":{refl},\"slice_shrinks\":{shr},\
-                 \"numerical_events\":{nev}}}",
-                json_str(label)
+                 \"numerical_events\":{nev},\"wall_secs\":{:e}",
+                json_str(label),
+                d.wall_secs
             ));
+            if let Some(w) = work_deltas.and_then(|ws| ws.get(i)) {
+                line.push_str(&format!(",\"work\":{w}"));
+            }
+            line.push('}');
         }
         line.push_str("]}\n");
         // Trace I/O is best-effort observability: a full disk must not
         // poison the chain itself — but silent loss is not acceptable
         // either, so failed records are counted.
-        let wrote = !self.fail_writes
-            && self.out.write_all(line.as_bytes()).is_ok()
-            && self.out.flush().is_ok();
-        if !wrote {
+        if self.fail_writes || self.out.write_all(line.as_bytes()).is_err() {
             self.dropped += 1;
+            return;
         }
+        self.unflushed += 1;
+        if self.unflushed >= Self::FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    /// Flushes buffered records to disk. On failure every record still
+    /// buffered is counted as dropped — truncation is never silent.
+    pub fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.dropped += self.unflushed;
+        }
+        self.unflushed = 0;
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
 /// Minimal JSON string escaping (labels contain only identifier
 /// characters, parentheses, commas, and spaces, but stay safe anyway).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -429,6 +483,34 @@ mod tests {
             },
         };
         assert_eq!(mk(0.25, 0).digest(), mk(99.0, 8).digest());
+    }
+
+    #[test]
+    fn trace_sink_buffers_and_flushes_explicitly() {
+        let path = std::env::temp_dir().join(format!(
+            "augur_sink_buffer_test_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut sink = TraceSink::create(&path).unwrap();
+        let labels = vec!["k".to_owned()];
+        let deltas = vec![KernelStats::default()];
+        for s in 1..=4 {
+            sink.write_sweep(s, &labels, &deltas, 0.0, Some(&[7]));
+        }
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "",
+            "records stay buffered until a flush"
+        );
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.starts_with("{\"v\":2,"), "schema v2 marker");
+        assert!(text.contains("\"work\":7"), "work deltas merged per kernel");
+        assert_eq!(sink.records_dropped(), 0);
+        drop(sink);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -465,6 +465,39 @@ pub enum TInstr {
     },
 }
 
+/// The profiler's op-class index of an instruction (see
+/// [`crate::metrics::OP_CLASS_NAMES`]): `load`, `arith`, `dist`,
+/// `sample`, `store`, or `control`.
+pub fn op_class_of(i: &TInstr) -> usize {
+    match i {
+        TInstr::ConstF { .. }
+        | TInstr::LoopIdx { .. }
+        | TInstr::LoadScalar { .. }
+        | TInstr::RefBufV { .. }
+        | TInstr::LoadCell1 { .. }
+        | TInstr::LoadRow1 { .. }
+        | TInstr::LoadCell2 { .. }
+        | TInstr::NumOf { .. }
+        | TInstr::IndexF { .. }
+        | TInstr::IndexV { .. }
+        | TInstr::LenV { .. } => 0,
+        TInstr::BinopF { .. }
+        | TInstr::NegF { .. }
+        | TInstr::Call1F { .. }
+        | TInstr::DotF { .. }
+        | TInstr::Op1 { .. }
+        | TInstr::Op2 { .. } => 1,
+        TInstr::DistLl { .. } | TInstr::DistGrad { .. } | TInstr::LlStore { .. } => 2,
+        TInstr::Sample { .. } | TInstr::SampleLogits { .. } => 3,
+        TInstr::Write { .. } | TInstr::WriteImm { .. } => 4,
+        TInstr::JumpIfNe { .. }
+        | TInstr::Jump { .. }
+        | TInstr::LoopStart { .. }
+        | TInstr::LoopEnd { .. }
+        | TInstr::ChargeW { .. } => 5,
+    }
+}
+
 /// A compiled instruction tape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tape {
@@ -1323,12 +1356,17 @@ impl Engine {
         // charge `self.work` directly (op_views, write_dest, index_view)
         // remain correct — the totals add.
         let mut w: u64 = 0;
+        let prof = self.profile_ops;
+        let mut ops = [0u64; crate::metrics::N_OP_CLASSES];
         let mut frames: Vec<TapeFrame> = initial_frames;
         let mut retired: u64 = 0;
         let mut pc: u32 = start_pc;
         let end = end_pc;
         while pc < end {
             retired += 1;
+            if prof {
+                ops[op_class_of(&tape.instrs[pc as usize])] += 1;
+            }
             match &tape.instrs[pc as usize] {
                 TInstr::ConstF { dst, val } => {
                     w += 1;
@@ -1831,6 +1869,11 @@ impl Engine {
                 }
             }
             pc += 1;
+        }
+        if prof {
+            for (m, o) in self.metrics.op_class.iter_mut().zip(&ops) {
+                *m += *o;
+            }
         }
         self.work += w + if charge_tail { tape.tail_w as u64 } else { 0 };
         let result = if want_result {

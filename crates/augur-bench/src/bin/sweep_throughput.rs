@@ -12,9 +12,10 @@
 //! multicore CPU backend (§7.2).
 //!
 //! Final states are verified bit-identical across all configurations
-//! (including a run with the per-kernel wall-clock timers disabled, whose
-//! throughput ratio is reported as `metrics_overhead`) before any timing
-//! is reported — threading and observability are throughput knobs, never
+//! (including runs with the op-class profiler and the per-kernel
+//! wall-clock timers disabled, whose throughput ratios are reported as
+//! `metrics_overhead` and `profile_overhead`) before any timing is
+//! reported — threading and observability are throughput knobs, never
 //! a reproducibility trade-off. Note that the
 //! parallel speedup is bounded by the host's core count (recorded as
 //! `host_cores` in the JSON): on a single-core container the 8-thread
@@ -41,6 +42,7 @@ struct Measurement {
     tree_sweeps_per_s: f64,
     tape_sweeps_per_s: f64,
     tape8_sweeps_per_s: f64,
+    tape_timers_only_sweeps_per_s: f64,
     tape_untimed_sweeps_per_s: f64,
     check: f64,
 }
@@ -54,9 +56,16 @@ impl Measurement {
         self.tape8_sweeps_per_s / self.tape_sweeps_per_s
     }
 
-    /// Instrumented (timers on, the default) vs uninstrumented tape
-    /// throughput; ~1.0 means the per-kernel wall clocks are free.
+    /// Per-kernel wall clocks alone (op-class bucketing disabled) vs
+    /// uninstrumented tape throughput; ~1.0 means the timers are free.
     fn metrics_overhead(&self) -> f64 {
+        self.tape_timers_only_sweeps_per_s / self.tape_untimed_sweeps_per_s
+    }
+
+    /// The full default observability stack (timers + phase profiler:
+    /// per-step work attribution and per-instruction op-class bucketing)
+    /// vs uninstrumented tape throughput.
+    fn profile_overhead(&self) -> f64 {
         self.tape_sweeps_per_s / self.tape_untimed_sweeps_per_s
     }
 }
@@ -70,10 +79,12 @@ fn run(
     exec: ExecStrategy,
     threads: usize,
     timers: bool,
+    op_class: bool,
     sweeps: usize,
     check_param: &str,
 ) -> (f64, f64) {
     let mut s = build(exec, threads, timers);
+    s.engine_mut().profile_ops = timers && op_class;
     s.init().unwrap();
     s.sweep(); // warm-up: touch every buffer once
     let t0 = Instant::now();
@@ -90,12 +101,14 @@ fn measure(
     check_param: &str,
     build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Sampler,
 ) -> Measurement {
-    let (tree, check_tree) = run(build, ExecStrategy::Tree, 1, true, sweeps, check_param);
-    let (tape, check_tape) = run(build, ExecStrategy::Tape, 1, true, sweeps, check_param);
+    let (tree, check_tree) = run(build, ExecStrategy::Tree, 1, true, true, sweeps, check_param);
+    let (tape, check_tape) = run(build, ExecStrategy::Tape, 1, true, true, sweeps, check_param);
     let (tape8, check_tape8) =
-        run(build, ExecStrategy::Tape, PAR_THREADS, true, sweeps, check_param);
+        run(build, ExecStrategy::Tape, PAR_THREADS, true, true, sweeps, check_param);
+    let (timers_only, check_timers_only) =
+        run(build, ExecStrategy::Tape, 1, true, false, sweeps, check_param);
     let (untimed, check_untimed) =
-        run(build, ExecStrategy::Tape, 1, false, sweeps, check_param);
+        run(build, ExecStrategy::Tape, 1, false, false, sweeps, check_param);
     assert_eq!(
         check_tree.to_bits(),
         check_tape.to_bits(),
@@ -108,6 +121,11 @@ fn measure(
     );
     assert_eq!(
         check_tape.to_bits(),
+        check_timers_only.to_bits(),
+        "{model}: disabling op-class profiling changed the chain"
+    );
+    assert_eq!(
+        check_tape.to_bits(),
         check_untimed.to_bits(),
         "{model}: disabling kernel timers changed the chain"
     );
@@ -117,6 +135,7 @@ fn measure(
         tree_sweeps_per_s: tree,
         tape_sweeps_per_s: tape,
         tape8_sweeps_per_s: tape8,
+        tape_timers_only_sweeps_per_s: timers_only,
         tape_untimed_sweeps_per_s: untimed,
         check: check_tape,
     }
@@ -214,13 +233,13 @@ fn main() {
     let _ = writeln!(table, "scale = {scale}, host cores = {host_cores}\n");
     let _ = writeln!(
         table,
-        "| model | sweeps | tree (sweeps/s) | tape (sweeps/s) | speedup | tape×{PAR_THREADS} (sweeps/s) | par speedup | metrics overhead |"
+        "| model | sweeps | tree (sweeps/s) | tape (sweeps/s) | speedup | tape×{PAR_THREADS} (sweeps/s) | par speedup | metrics overhead | profile overhead |"
     );
-    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|");
     for (i, m) in results.iter().enumerate() {
         let _ = writeln!(
             table,
-            "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2}x | {:.3} |",
+            "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2}x | {:.3} | {:.3} |",
             m.model,
             m.sweeps,
             m.tree_sweeps_per_s,
@@ -228,11 +247,12 @@ fn main() {
             m.speedup(),
             m.tape8_sweeps_per_s,
             m.par_speedup(),
-            m.metrics_overhead()
+            m.metrics_overhead(),
+            m.profile_overhead()
         );
         let _ = writeln!(
             json,
-            "  \"{}\": {{\"sweeps\": {}, \"tree_sweeps_per_s\": {:.4}, \"tape_sweeps_per_s\": {:.4}, \"speedup\": {:.4}, \"tape{}_sweeps_per_s\": {:.4}, \"par_speedup\": {:.4}, \"metrics_overhead\": {:.4}, \"check\": {:e}}}{}",
+            "  \"{}\": {{\"sweeps\": {}, \"tree_sweeps_per_s\": {:.4}, \"tape_sweeps_per_s\": {:.4}, \"speedup\": {:.4}, \"tape{}_sweeps_per_s\": {:.4}, \"par_speedup\": {:.4}, \"tape_untimed_sweeps_per_s\": {:.4}, \"metrics_overhead\": {:.4}, \"profile_overhead\": {:.4}, \"check\": {:e}}}{}",
             m.model,
             m.sweeps,
             m.tree_sweeps_per_s,
@@ -241,7 +261,9 @@ fn main() {
             PAR_THREADS,
             m.tape8_sweeps_per_s,
             m.par_speedup(),
+            m.tape_untimed_sweeps_per_s,
             m.metrics_overhead(),
+            m.profile_overhead(),
             m.check,
             if i + 1 < results.len() { "," } else { "" }
         );
@@ -252,8 +274,10 @@ fn main() {
         "\nAll configurations ran the same seeds; final states were verified\n\
          bit-identical before timing was reported (including with kernel\n\
          timers disabled). The parallel speedup is bounded by the host's\n\
-         core count. `metrics overhead` is instrumented ÷ uninstrumented\n\
-         tape throughput — the cost of the default per-kernel wall clocks."
+         core count. `metrics overhead` is timers-only ÷ uninstrumented\n\
+         tape throughput — the cost of the per-kernel wall clocks alone;\n\
+         `profile overhead` is the full default observability stack\n\
+         (timers + per-step work + op-class bucketing) ÷ uninstrumented."
     );
     // The scaling claim only means something where the hardware can
     // express it; a 1-core container still verifies bit-identity above.

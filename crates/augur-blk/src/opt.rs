@@ -60,6 +60,29 @@ pub struct OptReport {
     pub converted_to_sum: usize,
 }
 
+impl OptReport {
+    /// True when the optimizer left the program untouched.
+    pub fn is_noop(&self) -> bool {
+        self.commuted == 0 && self.inlined == 0 && self.converted_to_sum == 0
+    }
+
+    /// Stable one-line summary for explain plans and compiler logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "commuted={} inlined={} sum_blk={}",
+            self.commuted, self.inlined, self.converted_to_sum
+        )
+    }
+}
+
+impl std::ops::AddAssign for OptReport {
+    fn add_assign(&mut self, rhs: OptReport) {
+        self.commuted += rhs.commuted;
+        self.inlined += rhs.inlined;
+        self.converted_to_sum += rhs.converted_to_sum;
+    }
+}
+
 /// Optimizes a block program in place, returning a report.
 pub fn optimize(proc_: &mut BlkProc, oracle: &dyn SizeOracle, flags: &OptFlags) -> OptReport {
     let mut report = OptReport::default();

@@ -44,6 +44,47 @@ pub struct CondFactor {
     pub is_prior: bool,
     /// Index of the originating factor in the model.
     pub source: usize,
+    /// Which §3.3 rewrite aligned this factor — or why none did.
+    pub rewrite: Rewrite,
+}
+
+/// The §3.3 rewrite that aligned a conditional factor to its target's
+/// comprehension structure, or the reason alignment was abandoned. Recorded
+/// on every [`CondFactor`] so explain plans can report exactly which rule
+/// fired (and why fallbacks happened) without re-deriving the analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rewrite {
+    /// The target's own prior factor; aligned by construction.
+    Prior,
+    /// Scalar target (no comprehensions): every factor contributes whole.
+    TrivialScalar,
+    /// Factoring rule: every occurrence is `target[c1]..[cm]` over the
+    /// factor's leading comprehensions with the target's bounds.
+    DirectAlignment,
+    /// Categorical indexing rule (mixture pattern): all occurrences are
+    /// `target[e]` for one shared `e` rooted in a Categorical parameter.
+    CategoricalIndexing,
+    /// No rule applied; the factor stays unaligned. Carries the most
+    /// specific diagnosable reason (a stable, human-readable string).
+    Fallback(String),
+    /// Block (multi-target) conditional: alignment is never attempted.
+    BlockJoint,
+}
+
+impl Rewrite {
+    /// Stable short name of the rewrite, as printed in explain plans.
+    pub fn describe(&self) -> String {
+        match self {
+            Rewrite::Prior => "prior".to_owned(),
+            Rewrite::TrivialScalar => "trivial-scalar".to_owned(),
+            Rewrite::DirectAlignment => "direct-alignment (factoring rule)".to_owned(),
+            Rewrite::CategoricalIndexing => {
+                "categorical-indexing (mixture rule)".to_owned()
+            }
+            Rewrite::Fallback(reason) => format!("fallback: {reason}"),
+            Rewrite::BlockJoint => "block-joint (no alignment attempted)".to_owned(),
+        }
+    }
 }
 
 impl Conditional {
@@ -101,26 +142,39 @@ pub fn conditional(model: &DensityModel, targets: &[&str]) -> Conditional {
         let is_prior = single.is_some_and(|t| root_var(&f.point) == Some(t));
         if let Some(t) = single {
             if is_prior {
-                factors.push(CondFactor { factor: f.clone(), aligned: true, is_prior, source: i });
+                factors.push(CondFactor {
+                    factor: f.clone(),
+                    aligned: true,
+                    is_prior,
+                    source: i,
+                    rewrite: Rewrite::Prior,
+                });
                 continue;
             }
-            let rewritten = align_factor(model, t, &target_comps, f);
-            match rewritten {
-                Some(aligned_factor) => factors.push(CondFactor {
+            match align_factor(model, t, &target_comps, f) {
+                Ok((aligned_factor, rewrite)) => factors.push(CondFactor {
                     factor: aligned_factor,
                     aligned: true,
                     is_prior: false,
                     source: i,
+                    rewrite,
                 }),
-                None => factors.push(CondFactor {
+                Err(reason) => factors.push(CondFactor {
                     factor: f.clone(),
                     aligned: false,
                     is_prior: false,
                     source: i,
+                    rewrite: Rewrite::Fallback(reason),
                 }),
             }
         } else {
-            factors.push(CondFactor { factor: f.clone(), aligned: false, is_prior: false, source: i });
+            factors.push(CondFactor {
+                factor: f.clone(),
+                aligned: false,
+                is_prior: false,
+                source: i,
+                rewrite: Rewrite::BlockJoint,
+            });
         }
     }
 
@@ -128,28 +182,31 @@ pub fn conditional(model: &DensityModel, targets: &[&str]) -> Conditional {
 }
 
 /// Attempts to align a likelihood factor to the target's comprehensions,
-/// returning the rewritten factor on success.
+/// returning the rewritten factor and the rule that fired on success, or
+/// the most specific diagnosable fallback reason on failure.
 fn align_factor(
     model: &DensityModel,
     target: &str,
     target_comps: &[Comp],
     f: &Factor,
-) -> Option<Factor> {
+) -> Result<(Factor, Rewrite), String> {
     // A scalar target (no comprehensions) is trivially aligned: every
     // factor mentioning it contributes whole.
     if target_comps.is_empty() {
-        return Some(f.clone());
+        return Ok((f.clone(), Rewrite::TrivialScalar));
     }
     let occs = occurrences(f, target);
     if occs.is_empty() {
-        return None;
+        return Err(format!(
+            "`{target}` has no indexable occurrence in the factor"
+        ));
     }
 
     // Case 1 — direct alignment (factoring rule): every occurrence is
     // `target[c1]..[cm]` where `ci` are the factor's leading comprehension
     // variables with the same bounds as the target's.
     if let Some(aligned) = try_direct_alignment(target, target_comps, f, &occs) {
-        return Some(aligned);
+        return Ok((aligned, Rewrite::DirectAlignment));
     }
 
     // Case 2 — categorical indexing rule (mixture pattern): all
@@ -158,10 +215,59 @@ fn align_factor(
     //   Π_{comps} fn  →  Π_{k} Π_{comps} [fn]_{k = e}
     if target_comps.len() == 1 {
         if let Some(aligned) = try_categorical_indexing(model, target_comps, f, &occs) {
-            return Some(aligned);
+            return Ok((aligned, Rewrite::CategoricalIndexing));
         }
     }
-    None
+    Err(fallback_reason(model, target, target_comps, &occs))
+}
+
+/// Diagnoses why neither §3.3 rule applied, in decreasing specificity.
+fn fallback_reason(
+    model: &DensityModel,
+    target: &str,
+    target_comps: &[Comp],
+    occs: &[DExpr],
+) -> String {
+    // Whole-value use (e.g. `dot(x[n], theta)`) defeats both rules.
+    if occs.iter().any(|o| matches!(o, DExpr::Var(_))) {
+        return format!("whole-value use of `{target}` cannot be sliced");
+    }
+    // All occurrences `target[e]` with one shared `e`: the categorical
+    // indexing rule was shape-applicable, so the root test must have
+    // failed (or the target is multi-dimensional).
+    if let DExpr::Index(_, idx0) = &occs[0] {
+        let shared = occs
+            .iter()
+            .all(|o| matches!(o, DExpr::Index(_, i) if *i == *idx0));
+        if shared {
+            if target_comps.len() > 1 {
+                return format!(
+                    "indexed occurrence of {}-dimensional `{target}` fits no rule",
+                    target_comps.len()
+                );
+            }
+            return match root_var(idx0) {
+                Some(root) => match model.prior_factor(root) {
+                    Some((_, prior))
+                        if prior.dist != augur_dist::DistKind::Categorical =>
+                    {
+                        format!(
+                            "index root `{root}` is {:?}-distributed, not Categorical",
+                            prior.dist
+                        )
+                    }
+                    Some(_) => format!(
+                        "occurrences `{target}[{idx0}]` match no alignment rule"
+                    ),
+                    None => format!(
+                        "index root `{root}` is not a parameter of the model"
+                    ),
+                },
+                None => "index expression has no root variable".to_owned(),
+            };
+        }
+    }
+    format!("occurrences of `{target}` do not share the factor's leading comprehensions")
 }
 
 fn try_direct_alignment(
@@ -441,6 +547,45 @@ mod tests {
         // prior + b prior + theta prior; y does not mention sigma2.
         assert_eq!(cond.factors.len(), 3);
         assert!(cond.fully_aligned());
+    }
+
+    #[test]
+    fn rewrites_are_recorded_per_factor() {
+        let dm = build(GMM);
+        let mu = conditional(&dm, &["mu"]);
+        assert_eq!(mu.prior().unwrap().rewrite, Rewrite::Prior);
+        assert_eq!(
+            mu.likelihoods().next().unwrap().rewrite,
+            Rewrite::CategoricalIndexing
+        );
+        let z = conditional(&dm, &["z"]);
+        assert_eq!(z.likelihoods().next().unwrap().rewrite, Rewrite::DirectAlignment);
+    }
+
+    #[test]
+    fn whole_vector_fallback_reason_is_diagnosed() {
+        let dm = build(
+            r#"(lambda, N, D, x) => {
+            param sigma2 ~ Exponential(lambda) ;
+            param theta[j] ~ Normal(0.0, sigma2) for j <- 0 until D ;
+            data y[n] ~ Bernoulli(sigmoid(dot(x[n], theta))) for n <- 0 until N ;
+        }"#,
+        );
+        let cond = conditional(&dm, &["theta"]);
+        let lik = cond.likelihoods().next().unwrap();
+        match &lik.rewrite {
+            Rewrite::Fallback(reason) => {
+                assert!(reason.contains("whole-value"), "got reason: {reason}")
+            }
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        // Scalar targets and block conditionals carry their own markers.
+        let scalar = conditional(&dm, &["sigma2"]);
+        assert!(scalar
+            .likelihoods()
+            .all(|f| f.rewrite == Rewrite::TrivialScalar));
+        let block = conditional(&dm, &["sigma2", "theta"]);
+        assert!(block.factors.iter().all(|f| f.rewrite == Rewrite::BlockJoint));
     }
 
     #[test]

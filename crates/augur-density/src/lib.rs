@@ -54,7 +54,7 @@ mod expr;
 mod il;
 mod pretty;
 
-pub use cond::{conditional, CondFactor, Conditional};
+pub use cond::{conditional, CondFactor, Conditional, Rewrite};
 pub use expr::DExpr;
 pub use il::{Comp, DensityError, DensityModel, Factor, VarInfo, VarRole};
 pub use pretty::{pretty_density, pretty_factor};

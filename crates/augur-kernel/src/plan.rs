@@ -18,6 +18,22 @@ pub enum FcStrategy {
     FiniteSum(SupportSize),
 }
 
+impl FcStrategy {
+    /// Stable one-line description for explain plans, naming the conjugacy
+    /// relation or the enumerated support.
+    pub fn describe(&self) -> String {
+        match self {
+            FcStrategy::Conjugate(m) => format!("conjugate({:?})", m.relation),
+            FcStrategy::FiniteSum(SupportSize::VecLen(e)) => {
+                format!("finite-sum(support=len({e}))")
+            }
+            FcStrategy::FiniteSum(SupportSize::Fixed(n)) => {
+                format!("finite-sum(support={n})")
+            }
+        }
+    }
+}
+
 /// One validated base update with its conditional and FC strategy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannedUpdate {

@@ -44,6 +44,17 @@ impl TypedModel {
             .get(name)
             .unwrap_or_else(|| panic!("no such model variable `{name}`"))
     }
+
+    /// One-line structural summary for explain plans:
+    /// `args=7 params=4 data=1`.
+    pub fn summary(&self) -> String {
+        format!(
+            "args={} params={} data={}",
+            self.model.args.len(),
+            self.model.params().count(),
+            self.model.data().count()
+        )
+    }
 }
 
 /// Type checks a parsed model.

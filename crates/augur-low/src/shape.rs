@@ -47,6 +47,33 @@ pub enum ShapeSpec {
     LikeVar(String),
 }
 
+impl SizeExpr {
+    /// Stable symbolic rendering for explain plans (e.g. `len(alpha)`).
+    pub fn pretty(&self) -> String {
+        match self {
+            SizeExpr::Const(v) => v.to_string(),
+            SizeExpr::Expr(e) => format!("{e}"),
+            SizeExpr::LenOf(e) => format!("len({e})"),
+            SizeExpr::DimOf(e) => format!("dim({e})"),
+        }
+    }
+}
+
+impl ShapeSpec {
+    /// Stable symbolic rendering for explain plans (e.g. `vec[len(alpha)]`).
+    pub fn pretty(&self) -> String {
+        match self {
+            ShapeSpec::Scalar => "scalar".to_owned(),
+            ShapeSpec::Vec(n) => format!("vec[{}]", n.pretty()),
+            ShapeSpec::Mat(n) => format!("mat[{n}x{n}]", n = n.pretty()),
+            ShapeSpec::Table { rows, inner } => {
+                format!("table[{}]({})", rows.pretty(), inner.pretty())
+            }
+            ShapeSpec::LikeVar(v) => format!("like({v})"),
+        }
+    }
+}
+
 /// Whether a buffer is shared or logically per-thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocKind {

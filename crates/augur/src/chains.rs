@@ -42,6 +42,10 @@ use crate::{Error, HostValue, Infer, SamplerConfig};
 pub struct Chains {
     /// Per-chain, per-sweep recordings: `chains[c][s][param]`.
     pub draws: Vec<Vec<HashMap<String, Vec<f64>>>>,
+    /// Per-chain execution profiles, in chain order (one per chain; see
+    /// [`augur_backend::Profile`]). Work counters are populated only when
+    /// the run's `SamplerConfig::timers` was on.
+    pub profiles: Vec<augur_backend::Profile>,
 }
 
 impl Chains {
@@ -119,6 +123,23 @@ impl Chains {
             }
         }
         Ok(ChainsReport { params })
+    }
+
+    /// Aggregated execution profile across all chains: per-step work and
+    /// wall time summed element-wise (chains share one schedule, so step
+    /// labels line up), metadata taken from chain 0. Returns `None` when
+    /// nothing was run.
+    ///
+    /// Because each chain's work counters are deterministic, the work
+    /// portion of the aggregate's [`augur_backend::Profile::digest`] is
+    /// reproducible at any [`ChainRunner::threads`] count.
+    pub fn profile(&self) -> Option<augur_backend::Profile> {
+        let mut it = self.profiles.iter();
+        let mut total = it.next()?.clone();
+        for p in it {
+            total.absorb(p);
+        }
+        Some(total)
     }
 }
 
@@ -317,7 +338,8 @@ impl<'a> ChainRunner<'a> {
         // Samplers hold non-`Send` trait objects, so each chain is built,
         // initialized (or resumed), and run entirely inside its worker
         // job; only the recorded draws cross threads.
-        let run_one = |c: usize| -> Result<Vec<HashMap<String, Vec<f64>>>, Error> {
+        type ChainOut = (Vec<HashMap<String, Vec<f64>>>, augur_backend::Profile);
+        let run_one = |c: usize| -> Result<ChainOut, Error> {
             let mut chain_cfg = base.clone();
             chain_cfg.seed = base
                 .seed
@@ -337,7 +359,8 @@ impl<'a> ChainRunner<'a> {
                 0
             };
             let remaining = self.sweeps.saturating_sub(done);
-            Ok(sampler.sample(remaining, &self.record)?)
+            let draws = sampler.sample(remaining, &self.record)?;
+            Ok((draws, sampler.profile()))
         };
         let results: Vec<Result<_, Error>> = if self.threads > 1 && self.n_chains > 1 {
             let pool = Pool::new(self.threads);
@@ -360,10 +383,13 @@ impl<'a> ChainRunner<'a> {
             (0..self.n_chains).map(run_one).collect()
         };
         let mut draws = Vec::with_capacity(self.n_chains);
+        let mut profiles = Vec::with_capacity(self.n_chains);
         for r in results {
-            draws.push(r?);
+            let (d, p) = r?;
+            draws.push(d);
+            profiles.push(p);
         }
-        Ok(Chains { draws })
+        Ok(Chains { draws, profiles })
     }
 }
 

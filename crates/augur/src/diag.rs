@@ -29,6 +29,13 @@ pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
 ///
 /// The trace is centered once up front, so each lag costs one
 /// multiply-add pass — not a fresh mean computation per lag.
+///
+/// Degenerate traces get a defined answer instead of NaN: a constant
+/// (zero-variance) chain and a chain containing non-finite values both
+/// return `n` — every draw carries the same information, so the estimator
+/// has nothing to discount. (`NaN <= 0.0` is false, so without the
+/// explicit finiteness guards a poisoned `c0` would propagate through the
+/// ratio and survive the final clamp.)
 pub fn ess(xs: &[f64]) -> f64 {
     let n = xs.len();
     if n < 4 {
@@ -40,7 +47,7 @@ pub fn ess(xs: &[f64]) -> f64 {
         centered[..n - k].iter().zip(&centered[k..]).map(|(a, b)| a * b).sum::<f64>() / n as f64
     };
     let c0 = acov(0);
-    if c0 <= 0.0 {
+    if c0 <= 0.0 || !c0.is_finite() {
         return n as f64;
     }
     let mut sum_rho = 0.0;
@@ -54,6 +61,9 @@ pub fn ess(xs: &[f64]) -> f64 {
         t += 2;
     }
     let ess = n as f64 / (1.0 + 2.0 * sum_rho);
+    if !ess.is_finite() {
+        return n as f64;
+    }
     ess.clamp(1.0, n as f64)
 }
 
@@ -195,6 +205,23 @@ mod tests {
             Err(Error::ShortChain { len: 3, min: 4 }) => {}
             other => panic!("expected ShortChain, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn degenerate_chains_get_a_defined_ess() {
+        // constant chain: zero variance, full information per draw
+        let constant = vec![2.5; 100];
+        assert_eq!(ess(&constant), 100.0);
+        // a NaN draw must not poison the estimate (NaN c0 compares false
+        // against <= 0.0, so only an explicit guard catches it)
+        let mut poisoned: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        poisoned[7] = f64::NAN;
+        let e = ess(&poisoned);
+        assert!(e.is_finite(), "poisoned-chain ESS {e}");
+        assert_eq!(e, 50.0);
+        let mut inf: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        inf[3] = f64::INFINITY;
+        assert!(ess(&inf).is_finite());
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub use augur_backend::state::HostValue;
 pub use augur_backend::ExecStrategy;
 pub use augur_backend::{Checkpoint, CheckpointError, FaultPlan};
 pub use augur_backend::{ExecReport, KernelReport, KernelStats, RunReport};
+pub use augur_backend::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};
 pub use augur_blk::OptFlags;
 pub use chains::{ChainRunner, ChainsReport};
 pub use error::Error;
@@ -87,8 +88,8 @@ pub mod prelude {
     pub use crate::chains::{ChainRunner, Chains, ChainsReport, ParamDiag};
     pub use crate::diag::{autocovariance, ess, ess_per_sec, split_rhat};
     pub use crate::{
-        Error, ExecStrategy, HostValue, Infer, KernelStats, McmcConfig, OptFlags, RunReport,
-        Sampler, SamplerConfig, Target,
+        Error, ExecStrategy, ExplainPlan, HostValue, Infer, KernelStats, McmcConfig, OptFlags,
+        Profile, RunReport, Sampler, SamplerConfig, Target,
     };
 }
 
@@ -277,18 +278,32 @@ impl<'a> CompileBuilder<'a> {
 
     /// Runs the middle-end and backend, producing a runnable sampler.
     ///
+    /// The sampler carries a compile-time explain plan
+    /// (`Sampler::explain()`): the kernel-plan and density spans are
+    /// derived from the validated plan here, and the backend appends its
+    /// size-inference, autodiff, and codegen spans. (The frontend ran at
+    /// [`Infer::from_source`] time, so its span carries no wall time on
+    /// this path.)
+    ///
     /// # Errors
     ///
     /// Returns a [`BuildError`] naming the failing phase.
     pub fn build(self) -> Result<Sampler, BuildError> {
+        let t0 = std::time::Instant::now();
         let kp = self.infer.kernel_plan()?;
+        let (density, mut kernel) = augur_backend::driver::explain_plan_spans(&kp);
+        kernel.wall_secs = t0.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
         let lowered: LoweredModel = augur_low::lower(&self.infer.model, &kp)?;
-        Sampler::from_lowered(
+        let lowering =
+            augur_backend::profile::Span::timed("lowering", t0.elapsed().as_secs_f64());
+        Sampler::from_lowered_explained(
             &self.infer.model,
             &lowered,
             self.args,
             self.data,
             self.infer.config.clone(),
+            vec![density, kernel, lowering],
         )
     }
 }

@@ -12,6 +12,12 @@ AUGUR_THREADS=1 cargo test -q
 AUGUR_THREADS=8 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Explain/profile smoke: the walkthrough example exercises the whole
+# explain-plan + phase-profiler surface (the byte-for-byte golden for
+# the LDA explain render, tests/golden/lda_explain.txt, runs as part of
+# the test suite above).
+cargo run --release --example explain >/dev/null
+
 # Kill-and-resume smoke: the env-driven checkpoint path must leave a
 # versioned, resumable snapshot behind (the byte-identical resume
 # guarantees themselves are asserted by tests/resume.rs above).

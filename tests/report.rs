@@ -189,11 +189,12 @@ fn chains_report_covers_recorded_components() {
 /// An empty chain set is a typed error, not a panic.
 #[test]
 fn empty_chains_report_is_typed_error() {
-    let chains = augur::chains::Chains { draws: Vec::new() };
+    let chains = augur::chains::Chains { draws: Vec::new(), profiles: Vec::new() };
     match chains.report() {
         Err(Error::NoChains) => {}
         other => panic!("expected NoChains, got {other:?}"),
     }
+    assert!(chains.profile().is_none(), "no chains ⇒ no aggregate profile");
 }
 
 /// The chainable schedule builder composes with the other `Infer`

@@ -308,6 +308,231 @@ fn run_reports_are_identical_across_strategies_and_threads() {
     }
 }
 
+/// Builds a sampler exactly like [`bit_trace`], runs it, and returns the
+/// deterministic digest of its phase profile (schedule + sweeps + total
+/// and per-step work counters; wall times and op-class counts excluded).
+fn profile_digest(
+    model: &str,
+    sched: Option<&str>,
+    args: Vec<HostValue>,
+    data: Vec<(&str, HostValue)>,
+    sweeps: usize,
+    exec: ExecStrategy,
+    threads: usize,
+) -> String {
+    let mut aug = Infer::from_source(model).expect("model parses");
+    if let Some(s) = sched {
+        aug.schedule(s);
+    }
+    aug.set_compile_opt(SamplerConfig {
+        exec,
+        threads,
+        mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
+        seed: 0xD1FF,
+        timers: true,
+        ..Default::default()
+    });
+    let mut s = aug.compile(args).data(data).build().expect("model builds");
+    s.init().unwrap();
+    for _ in 0..sweeps {
+        s.sweep();
+    }
+    s.profile().digest()
+}
+
+/// The work-counter portion of a phase [`augur::Profile`] — schedule,
+/// sweeps, total work, per-step work — must be byte-identical across
+/// execution strategies and at 1/2/8 worker threads with timers on, for
+/// all three benchmark models. Wall times and tape op-class counts are
+/// deliberately outside the digest (the tree interpreter retires no tape
+/// instructions), so this pins exactly the deterministic half.
+#[test]
+fn profile_digests_are_identical_across_strategies_and_threads() {
+    type Case = (
+        &'static str,
+        &'static str,
+        Option<&'static str>,
+        Vec<HostValue>,
+        Vec<(&'static str, HostValue)>,
+    );
+    let (k, d, n) = (2, 2, 40);
+    let hgmm_data = workloads::hgmm_data(k, d, n, 91);
+    let topics = 3;
+    let corpus = workloads::lda_corpus(topics, 10, 60, 20, 5);
+    let hlr_d = 4;
+    let hlr_data = workloads::logistic_data(60, hlr_d, 17);
+    let cases: Vec<Case> = vec![
+        (
+            "hgmm",
+            models::HGMM,
+            Some("Gibbs pi (*) HMC mu (*) Gibbs Sigma (*) Gibbs z"),
+            hgmm_args(k, d, n),
+            vec![("y", HostValue::Ragged(hgmm_data.points.clone()))],
+        ),
+        (
+            "lda",
+            models::LDA,
+            None,
+            vec![
+                HostValue::Int(topics as i64),
+                HostValue::Int(corpus.docs.len() as i64),
+                HostValue::VecF(vec![0.5; topics]),
+                HostValue::VecF(vec![0.1; corpus.vocab]),
+                HostValue::VecI(corpus.lens.clone()),
+            ],
+            vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+        ),
+        (
+            "hlr",
+            models::HLR,
+            Some("NUTS sigma2 b theta"),
+            vec![
+                HostValue::Real(1.0),
+                HostValue::Int(60),
+                HostValue::Int(hlr_d as i64),
+                HostValue::Ragged(hlr_data.x.clone()),
+            ],
+            vec![("y", HostValue::VecF(hlr_data.y.clone()))],
+        ),
+    ];
+    for (label, model, sched, args, data) in cases {
+        let sweeps = 10;
+        let reference = profile_digest(
+            model,
+            sched,
+            args.clone(),
+            data.clone(),
+            sweeps,
+            ExecStrategy::Tree,
+            1,
+        );
+        assert!(reference.contains("sweeps=10"), "{label}: digest missing sweeps");
+        assert!(reference.contains(":work="), "{label}: digest missing per-step work");
+        for threads in [1, 2, 8] {
+            let got = profile_digest(
+                model,
+                sched,
+                args.clone(),
+                data.clone(),
+                sweeps,
+                ExecStrategy::Tape,
+                threads,
+            );
+            assert_eq!(
+                reference, got,
+                "{label}: profile digest diverged (tape, {threads} threads)"
+            );
+        }
+    }
+}
+
+/// Every kernel unit of the three benchmark models must name the
+/// conditional rewrite (or the fallback reason) that produced it — the
+/// explain plan may never show a unit without a per-factor rewrite line.
+#[test]
+fn explain_names_a_rewrite_for_every_kernel_unit() {
+    let (k, d, n) = (2, 2, 40);
+    let hgmm_data = workloads::hgmm_data(k, d, n, 91);
+    let topics = 3;
+    let corpus = workloads::lda_corpus(topics, 10, 60, 20, 5);
+    let hlr_d = 4;
+    let hlr_data = workloads::logistic_data(60, hlr_d, 17);
+    type Case<'a> = (&'a str, &'a str, Vec<HostValue>, Vec<(&'a str, HostValue)>);
+    let cases: Vec<Case> = vec![
+        (
+            "hgmm",
+            models::HGMM,
+            hgmm_args(k, d, n),
+            vec![("y", HostValue::Ragged(hgmm_data.points.clone()))],
+        ),
+        (
+            "lda",
+            models::LDA,
+            vec![
+                HostValue::Int(topics as i64),
+                HostValue::Int(corpus.docs.len() as i64),
+                HostValue::VecF(vec![0.5; topics]),
+                HostValue::VecF(vec![0.1; corpus.vocab]),
+                HostValue::VecI(corpus.lens.clone()),
+            ],
+            vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+        ),
+        (
+            "hlr",
+            models::HLR,
+            vec![
+                HostValue::Real(1.0),
+                HostValue::Int(60),
+                HostValue::Int(hlr_d as i64),
+                HostValue::Ragged(hlr_data.x.clone()),
+            ],
+            vec![("y", HostValue::VecF(hlr_data.y.clone()))],
+        ),
+    ];
+    for (label, model, args, data) in cases {
+        let aug = Infer::from_source(model).expect("model parses");
+        let s = aug.compile(args).data(data).build().expect("model builds");
+        let plan = s.explain();
+        let density = plan
+            .root
+            .children
+            .iter()
+            .find(|c| c.name == "density")
+            .unwrap_or_else(|| panic!("{label}: explain plan has no density span"));
+        assert!(!density.children.is_empty(), "{label}: density span has no units");
+        for unit in &density.children {
+            assert!(
+                !unit.attrs.is_empty(),
+                "{label}: {} has no factor rewrite attributes",
+                unit.name
+            );
+            for (factor, rewrite) in &unit.attrs {
+                assert!(
+                    !rewrite.is_empty(),
+                    "{label}: {} {factor} has an empty rewrite description",
+                    unit.name
+                );
+            }
+        }
+    }
+}
+
+/// The untimed explain-plan render for LDA is part of the crate's
+/// observable behavior: it pins which §3.3 rewrite fired for every
+/// factor, the planned schedule and per-unit strategies, the
+/// size-inference allocation table, and the Blk decisions.
+#[test]
+fn golden_explain_plan_for_lda() {
+    let topics = 3;
+    let corpus = workloads::lda_corpus(topics, 10, 60, 20, 5);
+    let s = augur::Sampler::build(
+        models::LDA,
+        None,
+        vec![
+            HostValue::Int(topics as i64),
+            HostValue::Int(corpus.docs.len() as i64),
+            HostValue::VecF(vec![0.5; topics]),
+            HostValue::VecF(vec![0.1; corpus.vocab]),
+            HostValue::VecI(corpus.lens.clone()),
+        ],
+        vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+        SamplerConfig::default(),
+    )
+    .unwrap();
+    let got = s.explain().render();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lda_explain.txt");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &got).expect("write golden file");
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden file exists; run with UPDATE_GOLDEN=1 to regenerate");
+    assert_eq!(
+        got.trim(),
+        expected.trim(),
+        "explain plan changed; if intentional, rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
 /// The tape compiler's output for a fixed small model is part of the
 /// crate's observable behavior (it is what `Sampler::disasm` shows users
 /// and what the fusion rules produce); pin it.
