@@ -5,29 +5,29 @@ use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
-use augur_blk::{optimize, to_blocks, OptFlags, OptReport};
+use augur_blk::{OptFlags, OptReport};
 use augur_density::{DensityModel, DensityError};
 use augur_dist::Prng;
-use augur_kernel::{
-    heuristic_schedule, parse_schedule, plan, KernelError, KernelPlan, KernelUnit, UpdateKind,
-};
+use augur_kernel::{KernelError, KernelPlan, KernelUnit, UpdateKind};
 use augur_lang::LangError;
-use augur_low::{lower, LowerError, LoweredModel, Step};
+use augur_low::{LowerError, LoweredModel, Step};
+use augur_math::PoolVec;
 use gpu_sim::{Device, DeviceConfig};
 
 use crate::checkpoint::{Checkpoint, CheckpointError, StepTuning};
-use crate::compile::{Compiler, ProcTable};
+use crate::compile::ProcTable;
 use crate::eval::{Engine, ExecMode};
 use crate::fault::FaultPlan;
 use crate::metrics::{ExecReport, KernelReport, KernelStats, RunReport, TraceSink, UpdateOutcome};
 use crate::tape::ExecStrategy;
 use crate::mcmc::{self, GradTarget, McmcConfig, Proposal};
-use crate::oracle::StateOracle;
+use crate::plan::{CompiledModel, Plan};
 use crate::profile::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};
-use crate::setup::{build_state, SetupError};
-use crate::state::{BufId, HostValue};
+use crate::setup::SetupError;
+use crate::state::{BufId, HostValue, State};
 
 /// Compilation target (Fig. 2's `Opt(target=...)`).
 #[derive(Debug, Clone)]
@@ -38,9 +38,9 @@ pub enum Target {
     Gpu(DeviceConfig),
 }
 
-/// Sampler construction options.
+/// Session construction options.
 #[derive(Debug, Clone)]
-pub struct SamplerConfig {
+pub struct SessionConfig {
     /// CPU or (simulated) GPU.
     pub target: Target,
     /// RNG seed; fixing it makes entire runs reproducible.
@@ -70,7 +70,7 @@ pub struct SamplerConfig {
     /// throughput without clock reads.
     pub timers: bool,
     /// When set, the sampler writes a [`Checkpoint`] to this path every
-    /// [`SamplerConfig::checkpoint_every`] sweeps (atomic tmp-file+rename
+    /// [`SessionConfig::checkpoint_every`] sweeps (atomic tmp-file+rename
     /// writes). The default honors the `AUGUR_CKPT` environment variable.
     pub checkpoint_path: Option<PathBuf>,
     /// Checkpoint cadence in sweeps (only meaningful with
@@ -84,9 +84,9 @@ pub struct SamplerConfig {
     pub fault: Option<FaultPlan>,
 }
 
-impl Default for SamplerConfig {
+impl Default for SessionConfig {
     fn default() -> Self {
-        SamplerConfig {
+        SessionConfig {
             target: Target::Cpu,
             seed: 0xA464,
             mcmc: McmcConfig::default(),
@@ -102,6 +102,10 @@ impl Default for SamplerConfig {
         }
     }
 }
+
+/// Former name of [`SessionConfig`], kept as a migration shim.
+#[deprecated(since = "0.6.0", note = "renamed to `SessionConfig` (Model → Plan → Session API)")]
+pub type SamplerConfig = SessionConfig;
 
 /// The default worker-thread count: `AUGUR_THREADS` when set and parseable
 /// (`0` = one per core), otherwise `1`.
@@ -197,7 +201,7 @@ impl std::error::Error for UnknownParam {}
 
 /// A runtime error from an already-built sampler: a bad buffer lookup, an
 /// initialization that produced non-finite parameter values, a kernel
-/// unit that panicked mid-sweep (isolated by [`Sampler::try_sweep`]), or
+/// unit that panicked mid-sweep (isolated by [`Session::try_sweep`]), or
 /// a checkpoint that could not be written or applied.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunError {
@@ -264,7 +268,7 @@ impl From<UnknownParam> for RunError {
 
 /// One compiled step of the sweep.
 #[derive(Debug, Clone)]
-enum CompiledStep {
+pub(crate) enum CompiledStep {
     Gibbs { proc_: usize, target: BufId },
     Hmc { targets: Vec<GradTarget>, ll: usize, grad: usize, nuts: bool },
     SliceRefl { targets: Vec<GradTarget>, ll: usize, grad: usize },
@@ -273,13 +277,17 @@ enum CompiledStep {
     RwMh { targets: Vec<GradTarget>, ll: usize },
 }
 
-/// A compiled, data-bound MCMC sampler — the paper's `aug` inference
-/// object after `compile(...)(data)`.
+/// An executable, data-bound MCMC sampler — the paper's `aug` inference
+/// object after `compile(...)(data)`. A session owns its mutable run
+/// state (engine, RNG, statistics, trace sink) and *shares* the
+/// immutable compiled artifact (tapes, schedule steps) with the
+/// [`Plan`] that produced it, so fanning N sessions over one plan costs
+/// one compilation.
 #[derive(Debug)]
-pub struct Sampler {
+pub struct Session {
     engine: Engine,
-    table: ProcTable,
-    steps: Vec<CompiledStep>,
+    table: Arc<ProcTable>,
+    steps: Arc<Vec<CompiledStep>>,
     init_idx: usize,
     model_ll_idx: usize,
     mcmc_cfg: McmcConfig,
@@ -309,7 +317,13 @@ pub struct Sampler {
     mem: MemWatermark,
 }
 
-impl Sampler {
+/// Former name of [`Session`], kept as a migration shim. Prefer
+/// `CompiledModel::compile` → `plan` → `session` (one compile, many
+/// sessions); `Session::build` remains as the one-shot convenience.
+#[deprecated(since = "0.6.0", note = "renamed to `Session` (Model → Plan → Session API)")]
+pub type Sampler = Session;
+
+impl Session {
     /// Builds a sampler from model source, an optional user schedule
     /// (Fig. 2's `setUserSched`), positional arguments, and named data.
     ///
@@ -321,36 +335,11 @@ impl Sampler {
         schedule: Option<&str>,
         args: Vec<HostValue>,
         data: Vec<(&str, HostValue)>,
-        config: SamplerConfig,
-    ) -> Result<Sampler, BuildError> {
-        let t0 = Instant::now();
-        let model = augur_lang::parse(src)?;
-        let typed = augur_lang::typecheck(&model)?;
-        let mut frontend = Span::timed("frontend", t0.elapsed().as_secs_f64());
-        frontend.attr("model", typed.summary());
-        let t0 = Instant::now();
-        let dm = DensityModel::from_typed(&typed)?;
-        let density_secs = t0.elapsed().as_secs_f64();
-        let t0 = Instant::now();
-        let sched = match schedule {
-            Some(s) => parse_schedule(s)?,
-            None => heuristic_schedule(&dm)?,
-        };
-        let kp = plan(&dm, &sched)?;
-        let (mut density, mut kernel) = explain_plan_spans(&kp);
-        density.wall_secs = density_secs;
-        kernel.wall_secs = t0.elapsed().as_secs_f64();
-        let t0 = Instant::now();
-        let lowered = lower(&dm, &kp)?;
-        let lowering = Span::timed("lowering", t0.elapsed().as_secs_f64());
-        Sampler::from_lowered_explained(
-            &dm,
-            &lowered,
-            args,
-            data,
-            config,
-            vec![frontend, density, kernel, lowering],
-        )
+        config: SessionConfig,
+    ) -> Result<Session, BuildError> {
+        let model = CompiledModel::compile(src, schedule)?;
+        let plan = model.plan_opt(args, data, config.opt_flags.clone())?;
+        plan.session(config)
     }
 
     /// Builds a sampler from an already-lowered model (used by `augur`'s
@@ -364,12 +353,12 @@ impl Sampler {
         lowered: &LoweredModel,
         args: Vec<HostValue>,
         data: Vec<(&str, HostValue)>,
-        config: SamplerConfig,
-    ) -> Result<Sampler, BuildError> {
-        Sampler::from_lowered_explained(dm, lowered, args, data, config, Vec::new())
+        config: SessionConfig,
+    ) -> Result<Session, BuildError> {
+        Session::from_lowered_explained(dm, lowered, args, data, config, Vec::new())
     }
 
-    /// [`Sampler::from_lowered`] with caller-timed front-end explain spans
+    /// [`Session::from_lowered`] with caller-timed front-end explain spans
     /// (frontend, density, kernel-plan, lowering) prepended to the plan —
     /// the backend appends its own size-inference, autodiff, and codegen
     /// spans. Callers that lower the model themselves can build the front
@@ -383,85 +372,25 @@ impl Sampler {
         lowered: &LoweredModel,
         args: Vec<HostValue>,
         data: Vec<(&str, HostValue)>,
-        config: SamplerConfig,
+        config: SessionConfig,
         front: Vec<Span>,
-    ) -> Result<Sampler, BuildError> {
-        let data: Vec<(String, HostValue)> =
-            data.into_iter().map(|(n, v)| (n.to_owned(), v)).collect();
-        let t0 = Instant::now();
-        let state = build_state(dm, lowered, args, data)?;
-        let setup_secs = t0.elapsed().as_secs_f64();
+    ) -> Result<Session, BuildError> {
+        let model = CompiledModel::from_parts(dm.clone(), lowered.clone(), front);
+        let plan = model.plan_opt(args, data, config.opt_flags.clone())?;
+        plan.session(config)
+    }
 
-        // Compile every procedure for both targets; the GPU form goes
-        // through Blk translation and the §5.4 optimizer with the runtime
-        // size oracle.
-        let t0 = Instant::now();
-        let mut table = ProcTable::default();
-        let mut opt_report = OptReport::default();
-        let mut blk_span = Span::new("blk");
-        for p in &lowered.procs {
-            let cpu = Compiler::new(&state).proc(p);
-            let mut blk = to_blocks(p);
-            let r = optimize(&mut blk, &StateOracle::new(&state), &config.opt_flags);
-            if !r.is_noop() {
-                blk_span.attr(&p.name, r.describe());
-            }
-            opt_report += r;
-            let gpu = Compiler::new(&state).blk_proc(&blk);
-            table.insert(cpu, gpu, &state);
-        }
-        blk_span.attr("total", opt_report.describe());
-
-        // Static memory watermark: what size inference allocated up front
-        // versus the buffers the compiled procedures can actually reach.
-        let bound_bytes = state.total_cells() as u64 * 8;
-        let touched: std::collections::HashSet<BufId> =
-            table.buf_refs.iter().flatten().copied().collect();
-        let touched_bytes: u64 =
-            touched.iter().map(|id| state.flat(*id).len() as u64 * 8).sum();
-        let mem = MemWatermark { bound_bytes, touched_bytes };
-
-        let mut explain = ExplainPlan { root: Span::new("explain") };
-        for s in front {
-            explain.root.child(s);
-        }
-        let mut size_span = Span::new("size-inference");
-        for a in &lowered.allocs {
-            let bytes = state
-                .id(&a.name)
-                .map(|id| state.flat(id).len() as u64 * 8)
-                .unwrap_or(0);
-            let kind = match a.kind {
-                augur_low::shape::AllocKind::Shared => "",
-                augur_low::shape::AllocKind::ThreadLocal => " (thread-local)",
-            };
-            size_span.attr(&a.name, format!("{} = {bytes} bytes{kind}", a.shape.pretty()));
-        }
-        size_span.attr("bound", format!("{bound_bytes} bytes (all buffers)"));
-        size_span.attr("touched", format!("{touched_bytes} bytes (statically referenced)"));
-        explain.root.child(size_span);
-        let mut ad_span = Span::new("autodiff");
-        ad_span.attr("procs", lowered.procs.len().to_string());
-        ad_span.attr(
-            "grad_procs",
-            lowered.procs.iter().filter(|p| p.name.ends_with("_grad")).count().to_string(),
-        );
-        ad_span.attr(
-            "adjoint_buffers",
-            lowered.allocs.iter().filter(|a| a.name.contains("_adj_")).count().to_string(),
-        );
-        explain.root.child(ad_span);
-        let mut codegen = Span::timed("codegen", setup_secs + t0.elapsed().as_secs_f64());
-        codegen.attr("procs", table.procs.len().to_string());
-        codegen.child(blk_span);
-        explain.root.child(codegen);
-
+    /// Binds an executable session to a shape-specialized [`Plan`]: the
+    /// compiled tapes and schedule steps are shared by reference, the
+    /// plan's pristine data-bound state is cloned (copy-on-write), and
+    /// the engine/RNG/trace sink are created fresh from `config`.
+    pub(crate) fn from_plan(plan: &Plan, config: SessionConfig) -> Result<Session, BuildError> {
         let (device, mode) = match &config.target {
             Target::Cpu => (Device::new(DeviceConfig::host_cpu_like()), ExecMode::Cpu),
             Target::Gpu(cfg) => (Device::new(cfg.clone()), ExecMode::Gpu),
         };
         let mut engine =
-            Engine::new(state, Prng::seed_from_u64(config.seed), device, mode);
+            Engine::new(plan.state.clone(), Prng::seed_from_u64(config.seed), device, mode);
         engine.strategy = config.exec;
         engine.profile_ops = config.timers;
         engine.set_threads(config.threads);
@@ -471,35 +400,32 @@ impl Sampler {
             engine.device.transfer(bytes);
         }
 
-        let steps: Vec<CompiledStep> = lowered
-            .steps
-            .iter()
-            .map(|s| compile_step(&engine, &table, s))
-            .collect();
-        let labels: Vec<String> = lowered.steps.iter().map(step_label).collect();
+        let steps = Arc::clone(&plan.artifact.steps);
+        let labels: Vec<String> = (*plan.labels).clone();
         let stats = vec![KernelStats::default(); steps.len()];
         let fault = config.fault.filter(|p| !p.is_empty());
         let mut trace = match &config.trace_path {
             Some(p) => Some(TraceSink::create(p).map_err(BuildError::Trace)?),
             None => None,
         };
-        if let (Some(sink), Some(plan)) = (&mut trace, &fault) {
-            if plan.trace_io {
+        if let Some(sink) = &mut trace {
+            // The plan-provenance record goes out before fault arming:
+            // it describes session *construction*, which the trace-I/O
+            // drill (a run-time failure) deliberately does not cover.
+            sink.write_plan(plan.event.name(), plan.fingerprint, &plan.stats);
+            if fault.as_ref().is_some_and(|f| f.trace_io) {
                 sink.set_fail_writes(true);
             }
         }
         engine.fault = fault;
-        let param_names = dm.params().map(|p| p.name.clone()).collect();
-        let init_idx = table_index(&table, &lowered.init_proc);
-        let model_ll_idx = table_index(&table, &lowered.model_ll_proc);
         let tuning = vec![StepTuning::default(); steps.len()];
         let step_work = vec![0u64; steps.len()];
-        Ok(Sampler {
+        Ok(Session {
             engine,
-            table,
+            table: Arc::clone(&plan.artifact.table),
             steps,
-            init_idx,
-            model_ll_idx,
+            init_idx: plan.artifact.init_idx,
+            model_ll_idx: plan.artifact.model_ll_idx,
             mcmc_cfg: config.mcmc,
             stats,
             labels,
@@ -507,15 +433,15 @@ impl Sampler {
             sweeps: 0,
             timers: config.timers,
             trace,
-            opt_report,
-            param_names,
+            opt_report: plan.artifact.opt_report,
+            param_names: plan.param_names.clone(),
             proposals: HashMap::new(),
             checkpoint_path: config.checkpoint_path,
             checkpoint_every: config.checkpoint_every,
             current_step: 0,
-            explain,
+            explain: plan.explain.clone(),
             step_work,
-            mem,
+            mem: plan.mem,
         })
     }
 
@@ -604,12 +530,12 @@ impl Sampler {
     /// Runs one sweep: every base update once, in schedule order. Each
     /// update's outcome (acceptance, leapfrogs, divergences, slice
     /// counters) folds into the per-kernel statistics behind
-    /// [`Sampler::report`]; when a trace sink is configured, the sweep's
+    /// [`Session::report`]; when a trace sink is configured, the sweep's
     /// counter deltas stream out as one JSONL record.
     ///
     /// # Panics
     ///
-    /// Panics if the sweep fails ([`Sampler::try_sweep`] for the fallible
+    /// Panics if the sweep fails ([`Session::try_sweep`] for the fallible
     /// form) or a periodic checkpoint cannot be written.
     pub fn sweep(&mut self) {
         if let Err(e) = self.try_sweep() {
@@ -617,12 +543,12 @@ impl Sampler {
         }
     }
 
-    /// [`Sampler::sweep`] with panic isolation: a kernel unit that
+    /// [`Session::sweep`] with panic isolation: a kernel unit that
     /// panics — a bounds violation in compiled indexing code, a poisoned
     /// parallel worker — fails this sweep with a typed [`RunError`]
     /// instead of unwinding through the caller. The worker pool survives
     /// and later sweeps can run, but the *state* of the failed sweep is
-    /// unspecified: recover by [`Sampler::resume`]-ing from the last
+    /// unspecified: recover by [`Session::resume`]-ing from the last
     /// checkpoint.
     ///
     /// On success, writes a periodic checkpoint when configured
@@ -669,12 +595,15 @@ impl Sampler {
         };
         let sweep_t0 = self.trace.as_ref().map(|_| Instant::now());
         self.engine.fault_sweep = self.sweeps + 1; // fault clauses are 1-based
-        for i in 0..self.steps.len() {
+        // Share the step list by reference for the whole sweep — the hot
+        // loop performs no per-step clones (steady-state sweeps are
+        // allocation-free; see `tests/alloc_free.rs`).
+        let steps = Arc::clone(&self.steps);
+        for (i, step) in steps.iter().enumerate() {
             self.current_step = i;
-            let step = self.steps[i].clone();
             let t0 = if self.timers { Some(Instant::now()) } else { None };
             let w0 = if self.timers { Some(self.engine.work) } else { None };
-            let outcome = match &step {
+            let outcome = match step {
                 CompiledStep::Gibbs { proc_, target } => self.gibbs_update(*proc_, *target),
                 CompiledStep::Hmc { targets, ll, grad, nuts } => {
                     let cfg = self.effective_cfg(i);
@@ -742,7 +671,7 @@ impl Sampler {
     /// NaN — the previous value is restored and the event recorded
     /// instead of poisoning every later sweep.
     fn gibbs_update(&mut self, proc_: usize, target: BufId) -> UpdateOutcome {
-        let saved = self.engine.state.flat(target).to_vec();
+        let saved = PoolVec::from_slice(self.engine.state.flat(target));
         self.engine.run_proc(&self.table, proc_);
         let poison = self.engine.fault.as_ref().is_some_and(|p| {
             p.nan_hits(self.table.proc_name(proc_), self.engine.fault_sweep)
@@ -807,7 +736,7 @@ impl Sampler {
     ///
     /// Returns [`RunError::UnknownParam`] if a recorded name is not a
     /// model buffer — validated up front, before any sweep runs — and any
-    /// [`Sampler::try_sweep`] error (isolated kernel panics, failed
+    /// [`Session::try_sweep`] error (isolated kernel panics, failed
     /// periodic checkpoints).
     pub fn sample(
         &mut self,
@@ -872,7 +801,7 @@ impl Sampler {
         }
     }
 
-    /// Writes [`Sampler::checkpoint`] atomically to `path`.
+    /// Writes [`Session::checkpoint`] atomically to `path`.
     ///
     /// # Errors
     ///
@@ -897,7 +826,7 @@ impl Sampler {
         Ok(self.sweeps)
     }
 
-    /// Applies an in-memory checkpoint (see [`Sampler::resume`]).
+    /// Applies an in-memory checkpoint (see [`Session::resume`]).
     ///
     /// # Errors
     ///
@@ -1029,7 +958,7 @@ impl Sampler {
     /// The runtime phase profile: deterministic per-schedule-step work,
     /// per-tape-op-class instruction counts, wall-time breakdown, and the
     /// static memory watermark. Per-step attribution is gated by
-    /// [`SamplerConfig::timers`] and covers the sweeps run by *this*
+    /// [`SessionConfig::timers`] and covers the sweeps run by *this*
     /// sampler object (it is not checkpointed); the total work counter is
     /// cumulative across resume. The work-counter portion
     /// ([`Profile::digest`]) is byte-identical at any `AUGUR_THREADS`
@@ -1079,7 +1008,7 @@ impl Sampler {
     }
 }
 
-fn table_index(table: &ProcTable, name: &str) -> usize {
+pub(crate) fn table_index(table: &ProcTable, name: &str) -> usize {
     table.index(name)
 }
 
@@ -1087,7 +1016,7 @@ fn table_index(table: &ProcTable, name: &str) -> usize {
 /// kernel plan: one child span per kernel unit naming the §3.3 rewrite
 /// that aligned each conditional factor (or why alignment fell back), and
 /// one naming the per-update strategy (conjugacy relation / finite-sum
-/// support). Shared by [`Sampler::build`] and `augur`'s pipeline API.
+/// support). Shared by [`Session::build`] and `augur`'s pipeline API.
 pub fn explain_plan_spans(kp: &KernelPlan) -> (Span, Span) {
     let mut density = Span::new("density");
     let mut kernel = Span::new("kernel-plan");
@@ -1125,7 +1054,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// `NUTS Block(sigma2, b, theta)`). Built from the Kernel IL's own
 /// naming ([`UpdateKind::name`], [`KernelUnit`]'s rendering) so report
 /// keys match `kernel_plan()` output.
-fn step_label(s: &Step) -> String {
+pub(crate) fn step_label(s: &Step) -> String {
     let (kind, unit) = match s {
         Step::Gibbs { target, .. } => {
             (UpdateKind::Gibbs, KernelUnit::from_vars([target.as_str()]))
@@ -1153,8 +1082,11 @@ fn step_label(s: &Step) -> String {
     format!("{} {}", kind.name(), unit)
 }
 
-fn compile_step(engine: &Engine, table: &ProcTable, s: &Step) -> CompiledStep {
-    let id = |name: &str| engine.state.expect_id(name);
+/// Resolves a lowered schedule step against the bound state and the
+/// compiled procedure table (a per-shape phase: buffer ids depend on
+/// data shapes).
+pub(crate) fn compile_step(state: &State, table: &ProcTable, s: &Step) -> CompiledStep {
+    let id = |name: &str| state.expect_id(name);
     match s {
         Step::Gibbs { proc_, target } => {
             CompiledStep::Gibbs { proc_: table.index(proc_), target: id(target) }
@@ -1239,12 +1171,12 @@ mod tests {
         let (post_mu, post_var) = augur_dist::conjugacy::normal_normal_mean(
             0.0, tau2, s2, sum, n,
         );
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             None,
             vec![HostValue::Int(5), HostValue::Real(tau2), HostValue::Real(s2)],
             vec![("y", HostValue::VecF(data))],
-            SamplerConfig::default(),
+            SessionConfig::default(),
         )
         .unwrap();
         s.init().unwrap();
@@ -1270,12 +1202,12 @@ mod tests {
         let k: f64 = data.iter().sum();
         let n = data.len() as f64;
         let expect = (2.0 + k) / (4.0 + n);
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             None,
             vec![HostValue::Int(8)],
             vec![("y", HostValue::VecF(data))],
-            SamplerConfig::default(),
+            SessionConfig::default(),
         )
         .unwrap();
         s.init().unwrap();
@@ -1297,11 +1229,11 @@ mod tests {
         let sum: f64 = data.iter().sum();
         let (post_mu, post_var) =
             augur_dist::conjugacy::normal_normal_mean(0.0, 4.0, 1.0, sum, 5.0);
-        let cfg = SamplerConfig {
+        let cfg = SessionConfig {
             mcmc: McmcConfig { step_size: 0.15, leapfrog_steps: 12, ..Default::default() },
             ..Default::default()
         };
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("HMC m"),
             vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
@@ -1339,7 +1271,7 @@ mod tests {
             rows.push(vec![c + 0.3 * rng.std_normal(), c + 0.3 * rng.std_normal()]);
         }
         let data = augur_math::FlatRagged::from_rows(rows);
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("ESlice mu (*) Gibbs z"),
             vec![
@@ -1351,7 +1283,7 @@ mod tests {
                 HostValue::Mat(augur_math::Matrix::identity(2)),
             ],
             vec![("x", HostValue::Ragged(data))],
-            SamplerConfig::default(),
+            SessionConfig::default(),
         )
         .unwrap();
         s.init().unwrap();
@@ -1376,12 +1308,12 @@ mod tests {
         }";
         let data = vec![1.0, 0.5, -0.5, 0.2];
         let build = |target| {
-            Sampler::build(
+            Session::build(
                 src,
                 None,
                 vec![HostValue::Int(4), HostValue::Real(4.0), HostValue::Real(1.0)],
                 vec![("y", HostValue::VecF(data.clone()))],
-                SamplerConfig { target, ..Default::default() },
+                SessionConfig { target, ..Default::default() },
             )
             .unwrap()
         };
@@ -1402,7 +1334,7 @@ mod tests {
 
     #[test]
     fn build_error_names_phase() {
-        let err = Sampler::build("(((", None, vec![], vec![], SamplerConfig::default())
+        let err = Session::build("(((", None, vec![], vec![], SessionConfig::default())
             .unwrap_err();
         assert!(format!("{err}").starts_with("frontend:"));
     }
@@ -1428,12 +1360,12 @@ mod exactness_tests {
         let prec = 1.0 / tau2 + 5.0 / s2;
         let post_var = 1.0 / prec;
         let post_mu = post_var * (1.0 / tau2 + sum / s2);
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("ESlice m"),
             vec![HostValue::Int(5), HostValue::Real(tau2), HostValue::Real(s2)],
             vec![("y", HostValue::VecF(data))],
-            SamplerConfig::default(),
+            SessionConfig::default(),
         )
         .unwrap();
         s.init().unwrap();
@@ -1465,11 +1397,11 @@ mod exactness_tests {
         // analytic posterior Gamma(a + Σc, b + n): mean (a+Σc)/(b+n)
         let post_mean = (a + sum) / (b + 6.0);
         let post_var = (a + sum) / ((b + 6.0) * (b + 6.0));
-        let cfg = SamplerConfig {
+        let cfg = SessionConfig {
             mcmc: crate::mcmc::McmcConfig { mh_step: 0.3, ..Default::default() },
             ..Default::default()
         };
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("MH r"),
             vec![HostValue::Int(6), HostValue::Real(a), HostValue::Real(b)],
@@ -1510,12 +1442,12 @@ mod exactness_tests {
         let sum: f64 = data.iter().sum();
         let (post_mu, post_var) =
             augur_dist::conjugacy::normal_normal_mean(0.0, 4.0, 1.0, sum, 5.0);
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("Slice m"),
             vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
             vec![("y", HostValue::VecF(data))],
-            SamplerConfig::default(),
+            SessionConfig::default(),
         )
         .unwrap();
         s.init().unwrap();
@@ -1543,11 +1475,11 @@ mod exactness_tests {
         let (a, b) = (2.0 + k, 2.0 + n - k);
         let post_mean = a / (a + b);
         let post_var = a * b / ((a + b) * (a + b) * (a + b + 1.0));
-        let cfg = SamplerConfig {
+        let cfg = SessionConfig {
             mcmc: crate::mcmc::McmcConfig { step_size: 0.25, leapfrog_steps: 8, ..Default::default() },
             ..Default::default()
         };
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("HMC p"),
             vec![HostValue::Int(8)],
@@ -1585,11 +1517,11 @@ mod exactness_tests {
         let sum: f64 = data.iter().sum();
         let (post_mu, _) =
             augur_dist::conjugacy::normal_normal_mean(0.0, 4.0, 1.0, sum, 5.0);
-        let cfg = SamplerConfig {
+        let cfg = SessionConfig {
             mcmc: crate::mcmc::McmcConfig { step_size: 0.2, ..Default::default() },
             ..Default::default()
         };
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("NUTS m"),
             vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
@@ -1651,12 +1583,12 @@ mod proposal_tests {
         let (a, b) = (2.0, 1.0);
         let post_mean = (a + sum) / (b + 6.0);
         let post_var = (a + sum) / ((b + 6.0) * (b + 6.0));
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("MH r"),
             vec![HostValue::Int(6), HostValue::Real(a), HostValue::Real(b)],
             vec![("c", HostValue::VecF(counts))],
-            SamplerConfig::default(),
+            SessionConfig::default(),
         )
         .unwrap();
         s.set_proposal(0, Box::new(LogRandomWalk { scale: 0.25 }));
@@ -1683,12 +1615,12 @@ mod proposal_tests {
             param p ~ Beta(1.0, 1.0) ;
             data y[n] ~ Bernoulli(p) for n <- 0 until N ;
         }";
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             None,
             vec![HostValue::Int(2)],
             vec![("y", HostValue::VecF(vec![1.0, 0.0]))],
-            SamplerConfig::default(),
+            SessionConfig::default(),
         )
         .unwrap();
         s.set_proposal(0, Box::new(LogRandomWalk { scale: 0.1 }));
@@ -1712,11 +1644,11 @@ mod mala_tests {
         let sum: f64 = data.iter().sum();
         let (post_mu, post_var) =
             augur_dist::conjugacy::normal_normal_mean(0.0, 4.0, 1.0, sum, 5.0);
-        let cfg = SamplerConfig {
+        let cfg = SessionConfig {
             mcmc: crate::mcmc::McmcConfig { step_size: 0.35, ..Default::default() },
             ..Default::default()
         };
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("MALA m"),
             vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
@@ -1754,11 +1686,11 @@ mod mala_tests {
         let counts = vec![3.0, 5.0, 4.0, 2.0, 6.0, 4.0];
         let sum: f64 = counts.iter().sum();
         let post_mean = (2.0 + sum) / (1.0 + 6.0);
-        let cfg = SamplerConfig {
+        let cfg = SessionConfig {
             mcmc: crate::mcmc::McmcConfig { step_size: 0.15, ..Default::default() },
             ..Default::default()
         };
-        let mut s = Sampler::build(
+        let mut s = Session::build(
             src,
             Some("MALA r"),
             vec![HostValue::Int(6), HostValue::Real(2.0), HostValue::Real(1.0)],

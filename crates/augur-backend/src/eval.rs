@@ -11,7 +11,7 @@
 use augur_dist::{DistKind, Prng, ValueMut, ValueRef};
 use augur_lang::ast::{BinOp, Builtin};
 use augur_low::il::{AssignOp, LoopKind, OpN};
-use augur_math::{Cholesky, Matrix};
+use augur_math::{Cholesky, Matrix, PoolVec};
 use gpu_sim::Device;
 
 use crate::compile::{ProcTable, RBlk, RExpr, RLValue, RRef, RStmt};
@@ -56,17 +56,18 @@ pub enum View {
         /// Buffer.
         buf: BufId,
     },
-    /// An owned vector (result of a functional primitive).
-    Own(Vec<f64>),
-    /// An owned matrix.
-    OwnMat(Vec<f64>, usize),
+    /// An owned vector (result of a functional primitive), pooled so the
+    /// storage recycles instead of hitting the heap each evaluation.
+    Own(PoolVec),
+    /// An owned matrix (pooled).
+    OwnMat(PoolVec, usize),
 }
 
 /// An owned value ready to be written.
 #[derive(Debug, Clone)]
 pub(crate) enum OwnVal {
     Num(f64),
-    VecD(Vec<f64>),
+    VecD(PoolVec),
 }
 
 /// One state mutation recorded by a worker engine during a parallel
@@ -81,15 +82,15 @@ pub(crate) enum WriteOp {
     /// A scalar broadcast over a range (always `Set`).
     Fill { buf: BufId, start: usize, len: usize, val: f64 },
     /// A vector write; `Inc` carries the per-cell deltas.
-    Slice { buf: BufId, start: usize, op: AssignOp, vals: Vec<f64> },
+    Slice { buf: BufId, start: usize, op: AssignOp, vals: PoolVec },
 }
 
 /// An owned distribution argument.
 #[derive(Debug, Clone)]
 pub(crate) enum OwnArg {
     Num(f64),
-    VecD(Vec<f64>),
-    MatD(Vec<f64>, usize),
+    VecD(PoolVec),
+    MatD(PoolVec, usize),
 }
 
 impl OwnArg {
@@ -131,6 +132,9 @@ pub struct Engine {
     pub(crate) tape_fregs: Vec<f64>,
     /// Reusable view register bank for the tape VM.
     pub(crate) tape_vregs: Vec<View>,
+    /// Recycled loop-frame stack for tape execution (allocation-free
+    /// steady state).
+    pub(crate) tape_frames: Vec<crate::tape::TapeFrame>,
     /// Worker-thread count for parallel tape execution (1 = sequential).
     pub(crate) threads: usize,
     /// The persistent worker pool, created lazily on first dispatch.
@@ -174,6 +178,7 @@ impl Engine {
             in_parallel: false,
             tape_fregs: Vec::new(),
             tape_vregs: Vec::new(),
+            tape_frames: Vec::new(),
             threads: 1,
             pool: None,
             write_log: None,
@@ -224,6 +229,7 @@ impl Engine {
             in_parallel: true,
             tape_fregs: Vec::new(),
             tape_vregs: Vec::new(),
+            tape_frames: Vec::new(),
             threads: 1,
             pool: None,
             write_log: Some(Vec::new()),
@@ -257,7 +263,7 @@ impl Engine {
     /// Logs a vector write on worker engines, taking ownership of the
     /// values (no-op otherwise).
     #[inline]
-    pub(crate) fn log_vals(&mut self, buf: BufId, start: usize, op: AssignOp, vals: Vec<f64>) {
+    pub(crate) fn log_vals(&mut self, buf: BufId, start: usize, op: AssignOp, vals: PoolVec) {
         if let Some(log) = &mut self.write_log {
             if !self.state.is_thread_local(buf) {
                 log.push(WriteOp::Slice { buf, start, op, vals });
@@ -272,7 +278,7 @@ impl Engine {
         if self.write_log.is_none() || self.state.is_thread_local(buf) {
             return;
         }
-        let vals = self.state.flat(buf)[start..start + len].to_vec();
+        let vals = PoolVec::from_slice(&self.state.flat(buf)[start..start + len]);
         if let Some(log) = &mut self.write_log {
             log.push(WriteOp::Slice { buf, start, op: AssignOp::Set, vals });
         }
@@ -480,7 +486,7 @@ impl Engine {
                 let n = (hi - lo).max(0) as usize;
                 let before_work = self.work;
                 let mut scalar_acc = 0.0;
-                let mut vec_acc: Option<Vec<f64>> = None;
+                let mut vec_acc: Option<PoolVec> = None;
                 for i in lo..hi {
                     self.env.push(i);
                     let v = self.eval(rhs);
@@ -560,20 +566,23 @@ impl Engine {
                 }
             }
             RStmt::Sample { lhs, dist, args } => {
-                let owned: Vec<OwnArg> = args
-                    .iter()
-                    .map(|a| {
-                        let v = self.eval(a);
-                        self.own_arg(v)
-                    })
-                    .collect();
-                self.work += sample_cost(*dist, &owned);
-                let refs: Vec<ValueRef> = owned.iter().map(OwnArg::as_ref).collect();
+                // Fixed-arity argument spine (every primitive has arity
+                // <= 2): no per-sample heap allocation.
+                debug_assert!(args.len() <= 2, "distribution arity exceeds 2");
+                let mut owned = [OwnArg::Num(0.0), OwnArg::Num(0.0)];
+                let n = args.len();
+                for (slot, a) in owned.iter_mut().zip(args) {
+                    let v = self.eval(a);
+                    *slot = self.own_arg(v);
+                }
+                self.work += sample_cost(*dist, &owned[..n]);
+                let refs_buf = [owned[0].as_ref(), owned[1].as_ref()];
+                let refs = &refs_buf[..n];
                 let dest = self.resolve_dest(lhs);
                 match dest {
                     Dest::Cell { buf, idx } => {
                         let mut out = 0.0;
-                        dist.sample(&refs, &mut self.rng, ValueMut::Scalar(&mut out))
+                        dist.sample(refs, &mut self.rng, ValueMut::Scalar(&mut out))
                             .expect("sampling failed");
                         self.state.flat_mut(buf)[idx] = out;
                     }
@@ -586,7 +595,7 @@ impl Engine {
                             }
                             _ => ValueMut::Vector(slice),
                         };
-                        dist.sample(&refs, &mut self.rng, out).expect("sampling failed");
+                        dist.sample(refs, &mut self.rng, out).expect("sampling failed");
                     }
                 }
             }
@@ -706,7 +715,7 @@ impl Engine {
             }
             View::OwnMat(v, dim) => {
                 assert!(i < dim, "row {i} out of bounds");
-                View::Own(v[i * dim..(i + 1) * dim].to_vec())
+                View::Own(PoolVec::from_slice(&v[i * dim..(i + 1) * dim]))
             }
             View::Num(x) => panic!("cannot index scalar {x}"),
         }
@@ -787,7 +796,7 @@ impl Engine {
             View::Num(out)
         } else {
             self.work += out_len as u64;
-            let mut out = vec![0.0; out_len];
+            let mut out = PoolVec::zeroed(out_len);
             match i {
                 Some(pos) => dist
                     .grad_param(pos, refs, pref, ValueMut::Vector(&mut out))
@@ -812,7 +821,7 @@ impl Engine {
         match op {
             OpN::VecAdd | OpN::VecSub => {
                 let (sa, sb) = (
-                    slice_of(&self.state, &a).to_vec(),
+                    PoolVec::from_slice(slice_of(&self.state, &a)),
                     slice_of(&self.state, &b),
                 );
                 self.work += sa.len() as u64;
@@ -830,42 +839,44 @@ impl Engine {
                 let s = scalar_of(&a);
                 let sv = slice_of(&self.state, &b);
                 self.work += sv.len() as u64;
-                View::Own(sv.iter().map(|x| s * x).collect())
+                View::Own(sv.iter().map(|x| s * x).collect::<PoolVec>())
             }
             OpN::MatAdd => {
                 let (ma, da) = self.mat_view(a);
                 let (mb, _) = self.mat_view(b);
                 self.work += ma.len() as u64;
-                let out: Vec<f64> = ma.iter().zip(&mb).map(|(x, y)| x + y).collect();
+                let out: PoolVec = ma.iter().zip(mb.iter()).map(|(x, y)| x + y).collect();
                 View::OwnMat(out, da)
             }
             OpN::MatScale => {
                 let s = scalar_of(&a);
                 let (m, d) = self.mat_view(b);
                 self.work += m.len() as u64;
-                View::OwnMat(m.iter().map(|x| s * x).collect(), d)
+                View::OwnMat(m.iter().map(|x| s * x).collect::<PoolVec>(), d)
             }
             OpN::MatInv => {
                 let (m, d) = self.mat_view(a);
                 self.work += (d * d * d) as u64;
-                let mat = Matrix::from_vec(d, d, m).expect("matrix shape");
+                let mat = Matrix::from_pooled(d, d, m).expect("matrix shape");
                 let inv = Cholesky::new(&mat).expect("mat_inv of a non-SPD matrix").inverse();
-                View::OwnMat(inv.into_vec(), d)
+                View::OwnMat(inv.into_pooled(), d)
             }
             OpN::MatVec => {
                 let (m, d) = self.mat_view(a);
-                let sv = slice_of(&self.state, &b).to_vec();
                 self.work += (d * d) as u64;
-                let mat = Matrix::from_vec(d, d, m).expect("matrix shape");
-                View::Own(mat.matvec(&sv))
+                let mat = Matrix::from_pooled(d, d, m).expect("matrix shape");
+                let out = mat.matvec(slice_of(&self.state, &b));
+                View::Own(out)
             }
             OpN::OuterSub => {
-                let sa = slice_of(&self.state, &a).to_vec();
-                let sb = slice_of(&self.state, &b);
-                let d = sa.len();
+                let diff = {
+                    let sa = slice_of(&self.state, &a);
+                    let sb = slice_of(&self.state, &b);
+                    PoolVec::from_fn(sa.len(), |i| sa[i] - sb[i])
+                };
+                let d = diff.len();
                 self.work += (d * d) as u64;
-                let diff: Vec<f64> = sa.iter().zip(sb).map(|(x, y)| x - y).collect();
-                let mut out = vec![0.0; d * d];
+                let mut out = PoolVec::zeroed(d * d);
                 for i in 0..d {
                     for j in 0..d {
                         out[i * d + j] = diff[i] * diff[j];
@@ -876,10 +887,10 @@ impl Engine {
         }
     }
 
-    fn mat_view(&self, v: View) -> (Vec<f64>, usize) {
+    fn mat_view(&self, v: View) -> (PoolVec, usize) {
         match v {
             View::MatV { buf, start, dim } => {
-                (self.state.flat(buf)[start..start + dim * dim].to_vec(), dim)
+                (PoolVec::from_slice(&self.state.flat(buf)[start..start + dim * dim]), dim)
             }
             View::OwnMat(m, d) => (m, d),
             other => panic!("expected matrix, got {other:?}"),
@@ -903,12 +914,12 @@ impl Engine {
             View::Own(o) => OwnVal::VecD(o),
             View::OwnMat(m, _) => OwnVal::VecD(m),
             View::Slice { buf, start, len } => {
-                OwnVal::VecD(self.state.flat(buf)[start..start + len].to_vec())
+                OwnVal::VecD(PoolVec::from_slice(&self.state.flat(buf)[start..start + len]))
             }
             View::MatV { buf, start, dim } => {
-                OwnVal::VecD(self.state.flat(buf)[start..start + dim * dim].to_vec())
+                OwnVal::VecD(PoolVec::from_slice(&self.state.flat(buf)[start..start + dim * dim]))
             }
-            View::Rows { buf } => OwnVal::VecD(self.state.flat(buf).to_vec()),
+            View::Rows { buf } => OwnVal::VecD(PoolVec::from_slice(self.state.flat(buf))),
         }
     }
 
@@ -918,12 +929,15 @@ impl Engine {
             View::Own(o) => OwnArg::VecD(o),
             View::OwnMat(m, d) => OwnArg::MatD(m, d),
             View::Slice { buf, start, len } => {
-                OwnArg::VecD(self.state.flat(buf)[start..start + len].to_vec())
+                OwnArg::VecD(PoolVec::from_slice(&self.state.flat(buf)[start..start + len]))
             }
             View::MatV { buf, start, dim } => {
-                OwnArg::MatD(self.state.flat(buf)[start..start + dim * dim].to_vec(), dim)
+                OwnArg::MatD(
+                    PoolVec::from_slice(&self.state.flat(buf)[start..start + dim * dim]),
+                    dim,
+                )
             }
-            View::Rows { buf } => OwnArg::VecD(self.state.flat(buf).to_vec()),
+            View::Rows { buf } => OwnArg::VecD(PoolVec::from_slice(self.state.flat(buf))),
         }
     }
 

@@ -24,26 +24,31 @@
 //!
 //! # Example
 //!
+//! The plan lifecycle ([`plan`]) separates compilation into a
+//! shape-generic [`CompiledModel`], a cached shape-specialized
+//! [`Plan`], and an executable [`Session`]:
+//!
 //! ```
-//! use augur_backend::driver::{Sampler, SamplerConfig};
+//! use augur_backend::{CompiledModel, SessionConfig};
 //! use augur_backend::state::HostValue;
 //!
 //! let src = "(N, tau2, s2) => {
 //!     param m ~ Normal(0.0, tau2) ;
 //!     data y[n] ~ Normal(m, s2) for n <- 0 until N ;
 //! }";
-//! let mut sampler = Sampler::build(
-//!     src,
-//!     None, // heuristic schedule
+//! let model = CompiledModel::compile(src, None)?; // heuristic schedule
+//! let plan = model.plan(
 //!     vec![HostValue::Int(4), HostValue::Real(10.0), HostValue::Real(1.0)],
 //!     vec![("y", HostValue::VecF(vec![1.0, 1.2, 0.8, 1.1]))],
-//!     SamplerConfig::default(),
 //! )?;
-//! sampler.init()?;
+//! let mut session = plan.session(SessionConfig::default())?;
+//! session.init()?;
 //! for _ in 0..10 {
-//!     sampler.sweep();
+//!     session.sweep();
 //! }
-//! assert!(sampler.param("m")?[0].is_finite());
+//! assert!(session.param("m")?[0].is_finite());
+//! // Same shape again: the plan cache reuses the compiled tapes.
+//! assert_eq!(model.cache_stats().misses, 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -58,13 +63,17 @@ pub mod mcmc;
 pub mod metrics;
 pub mod oracle;
 pub mod par;
+pub mod plan;
 pub mod profile;
 pub mod setup;
 pub mod state;
 pub mod tape;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use driver::{RunError, Sampler, SamplerConfig, Target};
+pub use driver::{BuildError, RunError, Session, SessionConfig, Target};
+#[allow(deprecated)]
+pub use driver::{Sampler, SamplerConfig};
+pub use plan::{CompiledModel, Plan, PlanCacheStats, PlanEvent};
 pub use fault::{FaultParseError, FaultPlan};
 pub use metrics::{ExecReport, KernelReport, KernelStats, RunReport, UpdateOutcome};
 pub use profile::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};

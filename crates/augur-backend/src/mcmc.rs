@@ -14,6 +14,7 @@
 //! base update.
 
 use augur_low::Transform;
+use augur_math::PoolVec;
 
 use crate::compile::ProcTable;
 use crate::eval::Engine;
@@ -79,7 +80,7 @@ impl Default for McmcConfig {
 fn contain_nonfinite(
     engine: &mut Engine,
     targets: &[GradTarget],
-    saved: &[Vec<f64>],
+    saved: &[f64],
     out: &mut UpdateOutcome,
 ) {
     if !out.accepted {
@@ -110,21 +111,33 @@ pub struct GradTarget {
 
 /// Snapshots the raw (constrained) values of a block — the §5.5 "copy of
 /// the MCMC state": rejected proposals restore these bitwise, rather than
-/// round-tripping through the unconstraining transform.
-pub fn snapshot_targets(engine: &Engine, targets: &[GradTarget]) -> Vec<Vec<f64>> {
-    targets.iter().map(|t| engine.state.flat(t.var).to_vec()).collect()
+/// round-tripping through the unconstraining transform. The snapshot is a
+/// single flat pooled buffer (per-target extents are recomputed from the
+/// engine on restore), so no per-update spine allocation.
+pub fn snapshot_targets(engine: &Engine, targets: &[GradTarget]) -> PoolVec {
+    let n: usize = targets.iter().map(|t| engine.state.flat(t.var).len()).sum();
+    let mut snap = PoolVec::with_capacity(n);
+    for t in targets {
+        snap.extend_from_slice(engine.state.flat(t.var));
+    }
+    snap
 }
 
 /// Restores a snapshot taken with [`snapshot_targets`].
-pub fn restore_targets(engine: &mut Engine, targets: &[GradTarget], snap: &[Vec<f64>]) {
-    for (t, vals) in targets.iter().zip(snap) {
-        engine.state.flat_mut(t.var).copy_from_slice(vals);
+pub fn restore_targets(engine: &mut Engine, targets: &[GradTarget], snap: &[f64]) {
+    let mut off = 0;
+    for t in targets {
+        let buf = engine.state.flat_mut(t.var);
+        buf.copy_from_slice(&snap[off..off + buf.len()]);
+        off += buf.len();
     }
+    debug_assert_eq!(off, snap.len());
 }
 
 /// Reads the flattened, *unconstrained* position of a block.
-pub fn read_position(engine: &Engine, targets: &[GradTarget]) -> Vec<f64> {
-    let mut q = Vec::new();
+pub fn read_position(engine: &Engine, targets: &[GradTarget]) -> PoolVec {
+    let n: usize = targets.iter().map(|t| engine.state.flat(t.var).len()).sum();
+    let mut q = PoolVec::with_capacity(n);
     for t in targets {
         for &x in engine.state.flat(t.var) {
             q.push(match t.transform {
@@ -167,9 +180,9 @@ pub fn gradient(
     grad_proc: usize,
     targets: &[GradTarget],
     q: &[f64],
-) -> Vec<f64> {
+) -> PoolVec {
     engine.run_proc(table, grad_proc);
-    let mut g = Vec::with_capacity(q.len());
+    let mut g = PoolVec::with_capacity(q.len());
     let mut off = 0;
     for t in targets {
         let adj = engine.state.flat(t.adj.expect("gradient-based update has adjoint buffers"));
@@ -267,7 +280,7 @@ pub fn hmc_update(
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
     let mut q = q0.clone();
-    let mut p: Vec<f64> = (0..q.len()).map(|_| engine.rng.std_normal()).collect();
+    let mut p = PoolVec::from_fn(q0.len(), |_| engine.rng.std_normal());
     let h0 = log_density_flat(engine, table, ll_proc, targets, &q)
         - 0.5 * p.iter().map(|x| x * x).sum::<f64>();
     if !h0.is_finite() {
@@ -316,7 +329,7 @@ pub fn nuts_update(
     let mut out = UpdateOutcome::default();
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
-    let p0: Vec<f64> = (0..q0.len()).map(|_| engine.rng.std_normal()).collect();
+    let p0 = PoolVec::from_fn(q0.len(), |_| engine.rng.std_normal());
     let h0 = log_density_flat(engine, table, ll_proc, targets, &q0)
         - 0.5 * p0.iter().map(|x| x * x).sum::<f64>();
     if !h0.is_finite() {
@@ -371,7 +384,7 @@ pub fn nuts_update(
     out
 }
 
-type Tree = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64, bool);
+type Tree = (PoolVec, PoolVec, PoolVec, PoolVec, PoolVec, f64, bool);
 
 #[allow(clippy::too_many_arguments)]
 fn build_tree(
@@ -389,8 +402,8 @@ fn build_tree(
     out: &mut UpdateOutcome,
 ) -> Tree {
     if depth == 0 {
-        let mut q1 = q.to_vec();
-        let mut p1 = p.to_vec();
+        let mut q1 = PoolVec::from_slice(q);
+        let mut p1 = PoolVec::from_slice(p);
         let ll = leapfrog(
             engine, table, ll_proc, grad_proc, targets,
             &mut q1, &mut p1, dir * cfg.step_size,
@@ -476,19 +489,22 @@ pub fn eslice_update(
     // ν ~ prior, m = prior mean (for every slice at once)
     engine.run_proc(table, prior_sample_proc);
     engine.run_proc(table, prior_mean_proc);
-    let x = engine.state.flat(target).to_vec();
-    let nu = engine.state.flat(aux).to_vec();
-    let m = engine.state.flat(mean).to_vec();
+    let x = PoolVec::from_slice(engine.state.flat(target));
+    let nu = PoolVec::from_slice(engine.state.flat(aux));
+    let m = PoolVec::from_slice(engine.state.flat(mean));
 
-    // Slice boundaries follow the target's row structure.
-    let ranges: Vec<(usize, usize)> = match engine.state.shape(target) {
-        crate::state::Shape::Rows { offsets, .. } => {
-            offsets.windows(2).map(|w| (w[0], w[1])).collect()
-        }
-        _ => vec![(0, x.len())],
+    // Slice boundaries follow the target's row structure; rows are read
+    // back one at a time so no boundary list is materialized.
+    let num_slices = match engine.state.shape(target) {
+        crate::state::Shape::Rows { offsets, .. } => offsets.len().saturating_sub(1),
+        _ => 1,
     };
 
-    for (lo_i, hi_i) in ranges {
+    for slice_i in 0..num_slices {
+        let (lo_i, hi_i) = match engine.state.shape(target) {
+            crate::state::Shape::Rows { .. } => engine.state.row_range(target, slice_i),
+            _ => (0, x.len()),
+        };
         let ll0 = engine.run_proc(table, lik_proc).expect("lik proc returns");
         if !ll0.is_finite() {
             // A non-finite base likelihood would make the slice threshold
@@ -554,7 +570,7 @@ pub fn reflective_slice_update(
     }
     let log_y = ll0 - engine.rng.exponential(1.0); // slice height
     let mut q = q0.clone();
-    let mut p: Vec<f64> = (0..q.len()).map(|_| engine.rng.std_normal()).collect();
+    let mut p = PoolVec::from_fn(q0.len(), |_| engine.rng.std_normal());
     let eps = cfg.step_size * cfg.slice_width;
     let steps = cfg.leapfrog_steps;
     for _ in 0..steps {
@@ -612,7 +628,7 @@ pub fn mala_update(
     let g0 = gradient(engine, table, grad_proc, targets, &q0);
 
     // proposal mean m0 = q0 + (ε²/2) g0
-    let mut q1 = Vec::with_capacity(q0.len());
+    let mut q1 = PoolVec::with_capacity(q0.len());
     for i in 0..q0.len() {
         q1.push(q0[i] + 0.5 * eps * eps * g0[i] + eps * engine.rng.std_normal());
     }
@@ -651,12 +667,13 @@ pub fn custom_mh_update(
     proposal: &mut dyn Proposal,
 ) -> UpdateOutcome {
     // natural-space values: read the raw buffers
-    let mut current = Vec::new();
+    let n: usize = targets.iter().map(|t| engine.state.flat(t.var).len()).sum();
+    let mut current = PoolVec::with_capacity(n);
     for t in targets {
         current.extend_from_slice(engine.state.flat(t.var));
     }
     let ll0 = engine.run_proc(table, ll_proc).expect("ll proc returns");
-    let mut proposed = vec![0.0; current.len()];
+    let mut proposed = PoolVec::zeroed(current.len());
     let correction = proposal.propose(&mut engine.rng, &current, &mut proposed);
     // write the proposal
     let mut off = 0;
@@ -705,8 +722,7 @@ pub fn rw_mh_update(
     let saved = snapshot_targets(engine, targets);
     let q0 = read_position(engine, targets);
     let ll0 = log_density_flat(engine, table, ll_proc, targets, &q0);
-    let q1: Vec<f64> =
-        q0.iter().map(|&x| x + cfg.mh_step * engine.rng.std_normal()).collect();
+    let q1 = PoolVec::from_fn(q0.len(), |i| q0[i] + cfg.mh_step * engine.rng.std_normal());
     let ll1 = log_density_flat(engine, table, ll_proc, targets, &q1);
     if !ll0.is_finite() || !ll1.is_finite() {
         out.numerical_events += 1;

@@ -412,6 +412,28 @@ impl TraceSink {
         }
     }
 
+    /// Streams the session's plan-provenance record (schema v2): what
+    /// the plan cache did for the plan this session binds to (`cold`,
+    /// `hit`, or `respecialize`), the canonical shape fingerprint, and
+    /// the cache counters at bind time. Written once, before the first
+    /// sweep record, when the session is created.
+    pub fn write_plan(&mut self, event: &str, fingerprint: u64, stats: &crate::plan::PlanCacheStats) {
+        let line = format!(
+            "{{\"v\":2,\"plan\":{{\"event\":{},\"fingerprint\":\"{fingerprint:016x}\",\
+             \"hits\":{},\"misses\":{},\"respecializes\":{},\"entries\":{}}}}}\n",
+            json_str(event),
+            stats.hits,
+            stats.misses,
+            stats.respecializes,
+            stats.entries,
+        );
+        if self.fail_writes || self.out.write_all(line.as_bytes()).is_err() {
+            self.dropped += 1;
+            return;
+        }
+        self.unflushed += 1;
+    }
+
     /// Flushes buffered records to disk. On failure every record still
     /// buffered is counted as dropped — truncation is never silent.
     pub fn flush(&mut self) {

@@ -1,0 +1,654 @@
+//! The plan lifecycle: cached compilation and incremental respecialization.
+//!
+//! The paper's central idea is *runtime* compilation: a kernel is
+//! specialized to a (model, schedule, data) triple right before the first
+//! sweep (§5.2 binds and allocates everything up front). This module
+//! phase-separates that pipeline so the expensive, **shape-generic**
+//! phases run once per model and the cheap, **shape-specialized** phases
+//! run once per data shape:
+//!
+//! ```text
+//! Model source ──parse/typecheck──► Density IL ──schedule/plan──► Kernel IL
+//!        └──────────────── shape-generic: CompiledModel ────────────────┘
+//!                                   │ lower (Low--)
+//!                                   ▼
+//!            per data shape: size inference → Blk optimize → tapes
+//!        └──────────── shape-specialized: Plan (cached) ───────────┘
+//!                                   │ clone state, seed RNG
+//!                                   ▼
+//!                     per chain / per run: Session
+//! ```
+//!
+//! * [`CompiledModel`] holds the Density IL and the lowered Low-- program
+//!   — everything that depends only on model source and schedule.
+//! * [`CompiledModel::plan`] re-runs only the size-dependent phases
+//!   (size inference via `build_state`, the Blk optimizer's
+//!   commuting/`sumBlk` decisions against the runtime size oracle, and
+//!   tape emission) and memoizes the result in a [`PlanCache`] keyed by a
+//!   canonical shape fingerprint. Same shape → the cached tapes are
+//!   reused verbatim; new shape → only the specialization phases rerun
+//!   (a *respecialize*).
+//! * [`Plan::session`](crate::Session) binds a [`Session`](crate::Session)
+//!   — engine, RNG, trace sink — that executes sweeps against the shared
+//!   plan artifact with zero steady-state heap allocation.
+//!
+//! Cache validity rests on a structural invariant of `build_state`:
+//! buffer ids are assigned in a deterministic order (positional args,
+//! then data in model-declaration order, then size-inference allocs), so
+//! two states with the same shape fingerprint have identical buffer
+//! layouts and the compiled tapes/steps transfer between them unchanged.
+//! The differential suite (`tests/plan_lifecycle.rs`) checks this by
+//! running cache-hit plans over *different data values* of the same
+//! shape.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use augur_blk::{optimize, to_blocks, OptFlags, OptReport};
+use augur_density::DensityModel;
+use augur_kernel::{heuristic_schedule, parse_schedule, plan as kernel_plan};
+use augur_low::{lower, LoweredModel};
+
+use crate::compile::{Compiler, ProcTable};
+use crate::driver::{
+    compile_step, explain_plan_spans, step_label, table_index, BuildError, CompiledStep, Session,
+    SessionConfig,
+};
+use crate::oracle::StateOracle;
+use crate::profile::{ExplainPlan, MemWatermark, Span};
+use crate::setup::build_state;
+use crate::state::{BufId, HostValue, State};
+
+/// What the plan cache did for a [`CompiledModel::plan`] request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanEvent {
+    /// First specialization of this model — nothing was cached yet.
+    Cold,
+    /// The shape fingerprint matched a cached artifact; only size
+    /// inference (state binding) re-ran.
+    Hit,
+    /// A new data shape arrived after the first build; the
+    /// size-dependent phases re-ran and the artifact joined the cache.
+    Respecialize,
+}
+
+impl PlanEvent {
+    /// Stable lowercase name (used in `explain()` and the JSONL trace).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanEvent::Cold => "cold",
+            PlanEvent::Hit => "hit",
+            PlanEvent::Respecialize => "respecialize",
+        }
+    }
+}
+
+/// Counters describing a [`PlanCache`]'s history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Requests served from the cache (shape already specialized).
+    pub hits: u64,
+    /// Requests that had to build an artifact (cold + respecialize).
+    pub misses: u64,
+    /// Misses after the first — i.e. new shapes that re-specialized an
+    /// already-built model.
+    pub respecializes: u64,
+    /// Distinct shape fingerprints currently cached.
+    pub entries: u64,
+}
+
+/// Memoizes shape-specialized plan artifacts, keyed by the canonical
+/// data-shape fingerprint.
+#[derive(Debug, Default)]
+struct PlanCache {
+    entries: HashMap<u64, Arc<PlanArtifact>>,
+    hits: u64,
+    misses: u64,
+    respecializes: u64,
+}
+
+impl PlanCache {
+    fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            respecializes: self.respecializes,
+            entries: self.entries.len() as u64,
+        }
+    }
+}
+
+/// The shape-specialized compilation product: everything a [`Session`]
+/// shares and never mutates. Stored behind `Arc` so cache hits and
+/// multi-chain fan-out reuse the tapes without copying them.
+#[derive(Debug)]
+pub(crate) struct PlanArtifact {
+    /// Compiled procedures (CPU trees + tapes, GPU blocks + tapes).
+    pub(crate) table: Arc<ProcTable>,
+    /// The sweep's schedule steps, resolved to procedure indices.
+    pub(crate) steps: Arc<Vec<CompiledStep>>,
+    /// Blk-IL optimizer outcome (aggregated).
+    pub(crate) opt_report: OptReport,
+    /// The optimizer's per-procedure explain span.
+    pub(crate) blk_span: Span,
+    /// Wall seconds the specialization phases took (explain only).
+    pub(crate) codegen_secs: f64,
+    /// Index of the ancestral-sampling initializer.
+    pub(crate) init_idx: usize,
+    /// Index of the model log-joint procedure.
+    pub(crate) model_ll_idx: usize,
+}
+
+/// A shape-generic compiled model: the frontend + middle-end result
+/// (parse, typecheck, Density IL conditional rewrites, Kernel IL
+/// schedule, Low-- lowering), which depends only on model source and
+/// schedule — not on data sizes.
+///
+/// Produce one with [`CompiledModel::compile`] (or via the `augur`
+/// facade's `Model::compile`), then specialize it to data with
+/// [`CompiledModel::plan`]. The model carries its own [`PlanCache`]:
+/// planning the same data shape twice reuses the compiled tapes and only
+/// re-binds the state.
+#[derive(Debug)]
+pub struct CompiledModel {
+    /// Identity of the shape-generic phases (hash of source + schedule).
+    base_fp: u64,
+    dm: DensityModel,
+    lowered: LoweredModel,
+    /// Frontend/density/kernel/lowering explain spans, recorded when the
+    /// shape-generic phases ran (cloned into every plan's explain).
+    front: Vec<Span>,
+    param_names: Vec<String>,
+    labels: Arc<Vec<String>>,
+    cache: Mutex<PlanCache>,
+}
+
+impl CompiledModel {
+    /// Runs the shape-generic phases: parse, typecheck, Density IL
+    /// construction (with conditional rewrites), schedule validation
+    /// (user schedule when given, else the heuristic), and Low--
+    /// lowering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the failing phase.
+    pub fn compile(src: &str, schedule: Option<&str>) -> Result<CompiledModel, BuildError> {
+        let t0 = Instant::now();
+        let model = augur_lang::parse(src)?;
+        let typed = augur_lang::typecheck(&model)?;
+        let mut frontend = Span::timed("frontend", t0.elapsed().as_secs_f64());
+        frontend.attr("model", typed.summary());
+        let t0 = Instant::now();
+        let dm = DensityModel::from_typed(&typed)?;
+        let density_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let sched = match schedule {
+            Some(s) => parse_schedule(s)?,
+            None => heuristic_schedule(&dm)?,
+        };
+        let kp = kernel_plan(&dm, &sched)?;
+        let (mut density, mut kernel) = explain_plan_spans(&kp);
+        density.wall_secs = density_secs;
+        kernel.wall_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let lowered = lower(&dm, &kp)?;
+        let lowering = Span::timed("lowering", t0.elapsed().as_secs_f64());
+        let mut base = Fnv::new();
+        base.bytes(src.as_bytes());
+        base.bytes(schedule.unwrap_or("<heuristic>").as_bytes());
+        Ok(CompiledModel::assemble(
+            base,
+            dm,
+            lowered,
+            vec![frontend, density, kernel, lowering],
+        ))
+    }
+
+    /// Wraps an already-lowered model (used by the `augur` facade's
+    /// pipeline API, which runs the frontend itself to expose
+    /// intermediate representations). `front` carries any caller-timed
+    /// explain spans to prepend; see
+    /// [`explain_plan_spans`](crate::driver::explain_plan_spans).
+    pub fn from_parts(dm: DensityModel, lowered: LoweredModel, front: Vec<Span>) -> CompiledModel {
+        // No source text here, so derive the shape-generic identity from
+        // stable facts of the lowering: the schedule labels and the
+        // parameter names. (Deliberately NOT a Debug hash of the
+        // DensityModel — HashMap iteration order would make it
+        // nondeterministic across runs.)
+        let mut base = Fnv::new();
+        for s in &lowered.steps {
+            base.bytes(step_label(s).as_bytes());
+        }
+        for p in dm.params() {
+            base.bytes(p.name.as_bytes());
+        }
+        CompiledModel::assemble(base, dm, lowered, front)
+    }
+
+    fn assemble(
+        base: Fnv,
+        dm: DensityModel,
+        lowered: LoweredModel,
+        front: Vec<Span>,
+    ) -> CompiledModel {
+        let labels: Vec<String> = lowered.steps.iter().map(step_label).collect();
+        let param_names = dm.params().map(|p| p.name.clone()).collect();
+        CompiledModel {
+            base_fp: base.finish(),
+            dm,
+            lowered,
+            front,
+            param_names,
+            labels: Arc::new(labels),
+            cache: Mutex::new(PlanCache::default()),
+        }
+    }
+
+    /// Specializes the model to concrete data, reusing a cached artifact
+    /// when the data *shape* has been seen before (default optimization
+    /// flags; see [`CompiledModel::plan_opt`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for binding/allocation problems.
+    pub fn plan(
+        &self,
+        args: Vec<HostValue>,
+        data: Vec<(&str, HostValue)>,
+    ) -> Result<Plan, BuildError> {
+        self.plan_opt(args, data, OptFlags::default())
+    }
+
+    /// [`CompiledModel::plan`] with explicit Blk-IL optimization flags.
+    /// The flags participate in the cache key: the optimizer's
+    /// commuting/`sumBlk` decisions depend on them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for binding/allocation problems.
+    pub fn plan_opt(
+        &self,
+        args: Vec<HostValue>,
+        data: Vec<(&str, HostValue)>,
+        opt_flags: OptFlags,
+    ) -> Result<Plan, BuildError> {
+        let data: Vec<(String, HostValue)> =
+            data.into_iter().map(|(n, v)| (n.to_owned(), v)).collect();
+        let fp = self.fingerprint(&args, &data, &opt_flags);
+
+        // Size inference / state binding always runs: it is what turns
+        // host values into the bound, allocated state (§5.2), and every
+        // plan needs its own pristine copy of the data.
+        let t0 = Instant::now();
+        let state = build_state(&self.dm, &self.lowered, args, data)?;
+        let setup_secs = t0.elapsed().as_secs_f64();
+
+        let (artifact, event, stats) = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            match cache.entries.get(&fp).map(Arc::clone) {
+                Some(a) => {
+                    cache.hits += 1;
+                    (a, PlanEvent::Hit, cache.stats())
+                }
+                None => {
+                    let event = if cache.entries.is_empty() {
+                        PlanEvent::Cold
+                    } else {
+                        cache.respecializes += 1;
+                        PlanEvent::Respecialize
+                    };
+                    cache.misses += 1;
+                    let a = Arc::new(build_artifact(&self.lowered, &state, &opt_flags));
+                    cache.entries.insert(fp, Arc::clone(&a));
+                    (a, event, cache.stats())
+                }
+            }
+        };
+
+        let mem = watermark(&artifact.table, &state);
+        let explain = assemble_explain(
+            &self.front,
+            &self.lowered,
+            &state,
+            &artifact,
+            mem,
+            setup_secs,
+            event,
+            stats,
+        );
+        Ok(Plan {
+            artifact,
+            state,
+            param_names: self.param_names.clone(),
+            labels: Arc::clone(&self.labels),
+            explain,
+            mem,
+            event,
+            fingerprint: fp,
+            stats,
+        })
+    }
+
+    /// Cache counters so far (hits, misses, respecializes, entries).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).stats()
+    }
+
+    /// The Density IL this model compiled to (facade diagnostics).
+    pub fn density_model(&self) -> &DensityModel {
+        &self.dm
+    }
+
+    /// The lowered Low-- program (facade diagnostics / codegen).
+    pub fn lowered(&self) -> &LoweredModel {
+        &self.lowered
+    }
+
+    /// Schedule step labels, in sweep order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The canonical shape fingerprint `plan` would use for this binding
+    /// — exposed for tests and cache diagnostics.
+    pub fn shape_fingerprint(
+        &self,
+        args: &[HostValue],
+        data: &[(String, HostValue)],
+        opt_flags: &OptFlags,
+    ) -> u64 {
+        self.fingerprint(args, data, opt_flags)
+    }
+
+    /// Canonical `DataShape` fingerprint: shape-generic identity
+    /// (model + schedule), optimizer flags, and the *shape* of every
+    /// bound value. Value payloads stay out of the key except where they
+    /// determine buffer sizes (integer scalars and integer vectors feed
+    /// size inference — e.g. LDA's per-document lengths).
+    fn fingerprint(
+        &self,
+        args: &[HostValue],
+        data: &[(String, HostValue)],
+        opt_flags: &OptFlags,
+    ) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.base_fp);
+        h.bytes(format!("{opt_flags:?}").as_bytes());
+        h.usize(args.len());
+        for v in args {
+            hash_shape(&mut h, v);
+        }
+        h.usize(data.len());
+        for (name, v) in data {
+            h.bytes(name.as_bytes());
+            hash_shape(&mut h, v);
+        }
+        h.finish()
+    }
+}
+
+/// Canonical shape encoding of one bound host value. Real-valued
+/// payloads are excluded (two datasets of the same shape share a plan);
+/// integer payloads are included because size inference consumes them.
+fn hash_shape(h: &mut Fnv, v: &HostValue) {
+    match v {
+        HostValue::Int(i) => {
+            h.u8(0);
+            h.u64(*i as u64);
+        }
+        HostValue::Real(_) => h.u8(1),
+        HostValue::VecF(xs) => {
+            h.u8(2);
+            h.usize(xs.len());
+        }
+        HostValue::VecI(xs) => {
+            h.u8(3);
+            h.usize(xs.len());
+            for x in xs {
+                h.u64(*x as u64);
+            }
+        }
+        HostValue::Mat(m) => {
+            h.u8(4);
+            h.usize(m.rows());
+            h.usize(m.cols());
+        }
+        HostValue::Ragged(r) => {
+            h.u8(5);
+            h.usize(r.num_rows());
+            for i in 0..r.num_rows() {
+                h.usize(r.row_len(i));
+            }
+        }
+        HostValue::RaggedI(rows) => {
+            h.u8(6);
+            h.usize(rows.len());
+            for row in rows {
+                h.usize(row.len());
+            }
+        }
+        HostValue::VecMat(ms) => {
+            h.u8(7);
+            h.usize(ms.len());
+            for m in ms {
+                h.usize(m.rows());
+                h.usize(m.cols());
+            }
+        }
+    }
+}
+
+/// Runs the size-dependent phases against a freshly bound state:
+/// per-procedure tree compilation, Blk translation + optimization
+/// (commuting/`sumBlk` against the runtime size oracle), tape emission,
+/// and schedule-step resolution.
+fn build_artifact(lowered: &LoweredModel, state: &State, opt_flags: &OptFlags) -> PlanArtifact {
+    let t0 = Instant::now();
+    let mut table = ProcTable::default();
+    let mut opt_report = OptReport::default();
+    let mut blk_span = Span::new("blk");
+    for p in &lowered.procs {
+        let cpu = Compiler::new(state).proc(p);
+        let mut blk = to_blocks(p);
+        let r = optimize(&mut blk, &StateOracle::new(state), opt_flags);
+        if !r.is_noop() {
+            blk_span.attr(&p.name, r.describe());
+        }
+        opt_report += r;
+        let gpu = Compiler::new(state).blk_proc(&blk);
+        table.insert(cpu, gpu, state);
+    }
+    blk_span.attr("total", opt_report.describe());
+    let steps: Vec<CompiledStep> =
+        lowered.steps.iter().map(|s| compile_step(state, &table, s)).collect();
+    let init_idx = table_index(&table, &lowered.init_proc);
+    let model_ll_idx = table_index(&table, &lowered.model_ll_proc);
+    PlanArtifact {
+        table: Arc::new(table),
+        steps: Arc::new(steps),
+        opt_report,
+        blk_span,
+        codegen_secs: t0.elapsed().as_secs_f64(),
+        init_idx,
+        model_ll_idx,
+    }
+}
+
+/// Static memory watermark: bytes size inference bound up front versus
+/// bytes the compiled procedures statically reference.
+fn watermark(table: &ProcTable, state: &State) -> MemWatermark {
+    let bound_bytes = state.total_cells() as u64 * 8;
+    let touched: std::collections::HashSet<BufId> =
+        table.buf_refs.iter().flatten().copied().collect();
+    let touched_bytes: u64 = touched.iter().map(|id| state.flat(*id).len() as u64 * 8).sum();
+    MemWatermark { bound_bytes, touched_bytes }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assemble_explain(
+    front: &[Span],
+    lowered: &LoweredModel,
+    state: &State,
+    artifact: &PlanArtifact,
+    mem: MemWatermark,
+    setup_secs: f64,
+    event: PlanEvent,
+    stats: PlanCacheStats,
+) -> ExplainPlan {
+    let mut explain = ExplainPlan { root: Span::new("explain") };
+    for s in front {
+        explain.root.child(s.clone());
+    }
+    let mut size_span = Span::new("size-inference");
+    for a in &lowered.allocs {
+        let bytes = state.id(&a.name).map(|id| state.flat(id).len() as u64 * 8).unwrap_or(0);
+        let kind = match a.kind {
+            augur_low::shape::AllocKind::Shared => "",
+            augur_low::shape::AllocKind::ThreadLocal => " (thread-local)",
+        };
+        size_span.attr(&a.name, format!("{} = {bytes} bytes{kind}", a.shape.pretty()));
+    }
+    size_span.attr("bound", format!("{} bytes (all buffers)", mem.bound_bytes));
+    size_span.attr("touched", format!("{} bytes (statically referenced)", mem.touched_bytes));
+    explain.root.child(size_span);
+    let mut ad_span = Span::new("autodiff");
+    ad_span.attr("procs", lowered.procs.len().to_string());
+    ad_span.attr(
+        "grad_procs",
+        lowered.procs.iter().filter(|p| p.name.ends_with("_grad")).count().to_string(),
+    );
+    ad_span.attr(
+        "adjoint_buffers",
+        lowered.allocs.iter().filter(|a| a.name.contains("_adj_")).count().to_string(),
+    );
+    explain.root.child(ad_span);
+    let mut codegen = Span::timed("codegen", setup_secs + artifact.codegen_secs);
+    codegen.attr("procs", artifact.table.procs.len().to_string());
+    codegen.child(artifact.blk_span.clone());
+    explain.root.child(codegen);
+    // The cache's verdict for THIS plan request. The fingerprint itself
+    // is deliberately absent from the render (golden explain files stay
+    // stable); it is carried on the JSONL trace's plan record instead.
+    let mut cache_span = Span::new("plan-cache");
+    cache_span.attr("event", event.name());
+    cache_span.attr("hits", stats.hits.to_string());
+    cache_span.attr("misses", stats.misses.to_string());
+    cache_span.attr("respecializes", stats.respecializes.to_string());
+    cache_span.attr("entries", stats.entries.to_string());
+    explain.root.child(cache_span);
+    explain
+}
+
+/// A shape-specialized plan: compiled tapes + a pristine, data-bound
+/// state. Cheap to produce on a cache hit (only state binding re-runs)
+/// and cheap to fan out — [`Plan::session`] clones the copy-on-write
+/// state and shares the tapes by reference, so N chains cost one
+/// compile.
+#[derive(Debug)]
+pub struct Plan {
+    pub(crate) artifact: Arc<PlanArtifact>,
+    pub(crate) state: State,
+    pub(crate) param_names: Vec<String>,
+    pub(crate) labels: Arc<Vec<String>>,
+    pub(crate) explain: ExplainPlan,
+    pub(crate) mem: MemWatermark,
+    pub(crate) event: PlanEvent,
+    pub(crate) fingerprint: u64,
+    pub(crate) stats: PlanCacheStats,
+}
+
+impl Plan {
+    /// Binds an executable [`Session`]: engine, RNG seeded from
+    /// `config.seed`, trace sink, checkpointing. Many sessions can share
+    /// one plan — each gets its own copy-on-write state clone.
+    ///
+    /// `config.opt_flags` is ignored here: optimization flags are a
+    /// *plan* concern (pass them to [`CompiledModel::plan_opt`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if the trace sink cannot be created.
+    pub fn session(&self, config: SessionConfig) -> Result<Session, BuildError> {
+        Session::from_plan(self, config)
+    }
+
+    /// The compile-time explain plan: frontend spans (when the plan came
+    /// from [`CompiledModel::compile`]), size inference, autodiff,
+    /// codegen, and the plan-cache verdict.
+    pub fn explain(&self) -> &ExplainPlan {
+        &self.explain
+    }
+
+    /// What the plan cache did for this request.
+    pub fn cache_event(&self) -> PlanEvent {
+        self.event
+    }
+
+    /// The canonical shape fingerprint this plan is keyed by.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Cache counters at the time this plan was produced.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Schedule step labels, in sweep order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The schedule rendered as the checkpoint header does.
+    pub fn schedule(&self) -> String {
+        self.labels.join(" (*) ")
+    }
+
+    /// Parameter names, in model order.
+    pub fn param_names(&self) -> &[String] {
+        &self.param_names
+    }
+
+    /// Aggregated Blk-IL optimizer outcome for this plan's procedures.
+    pub fn opt_report(&self) -> OptReport {
+        self.artifact.opt_report
+    }
+
+    /// Static memory watermark for this plan's state.
+    pub fn mem_watermark(&self) -> MemWatermark {
+        self.mem
+    }
+}
+
+/// 64-bit FNV-1a, the workspace's canonical dependency-free hash.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.u8(b);
+        }
+        // Length-prefix-free framing: a terminator byte keeps
+        // ("ab","c") distinct from ("a","bc").
+        self.u8(0xff);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}

@@ -1358,7 +1358,13 @@ impl Engine {
         let mut w: u64 = 0;
         let prof = self.profile_ops;
         let mut ops = [0u64; crate::metrics::N_OP_CLASSES];
-        let mut frames: Vec<TapeFrame> = initial_frames;
+        // Loop frames recycle an engine-held stack so steady-state
+        // sweeps stay allocation-free (same pattern as the register
+        // scratch above); chunk runs that arrive with a pre-built frame
+        // seed the recycled stack instead.
+        let mut frames: Vec<TapeFrame> = std::mem::take(&mut self.tape_frames);
+        frames.clear();
+        frames.extend(initial_frames);
         let mut retired: u64 = 0;
         let mut pc: u32 = start_pc;
         let end = end_pc;
@@ -1521,7 +1527,7 @@ impl Engine {
                         v[*dst as usize] = View::Num(out);
                     } else {
                         w += out_len as u64;
-                        let mut out = vec![0.0; out_len];
+                        let mut out = augur_math::PoolVec::zeroed(out_len);
                         {
                             let refs = [
                                 opd_ref(&self.state, &f, &v, args[0], n > 0),
@@ -1888,6 +1894,8 @@ impl Engine {
         };
         self.tape_fregs = f;
         self.tape_vregs = v;
+        frames.clear();
+        self.tape_frames = frames;
         (result, retired)
     }
 
@@ -2255,7 +2263,7 @@ impl Engine {
                     (vs, r)
                 };
                 let mut scalar_acc = 0.0;
-                let mut vec_acc: Option<Vec<f64>> = None;
+                let mut vec_acc: Option<augur_math::PoolVec> = None;
                 for val in vals {
                     match val {
                         OwnVal::Num(x) => scalar_acc += x,

@@ -3,13 +3,13 @@
 //! same workload, so the benefit of every design choice is measured in
 //! isolation.
 
-use augur::{DeviceConfig, HostValue, Infer, McmcConfig, OptFlags, SamplerConfig, Target};
+use augur::{DeviceConfig, HostValue, McmcConfig, Model, OptFlags, SessionConfig, Target};
 use augur_bench::{hlr_sampler, lda_sampler};
 use augurv2::{models, workloads};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-fn gpu_virtual_secs_per_sweep(s: &mut augur::Sampler, sweeps: usize) -> f64 {
+fn gpu_virtual_secs_per_sweep(s: &mut augur::Session, sweeps: usize) -> f64 {
     let before = s.virtual_secs();
     for _ in 0..sweeps {
         s.sweep();
@@ -57,16 +57,18 @@ fn a2_commute(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for (label, commute) in [("on", true), ("off", false)] {
         let flags = OptFlags { commute, ..Default::default() };
-        let mut aug = Infer::from_source(models::HGMM).expect("parses");
-        aug.set_compile_opt(SamplerConfig {
-            target: Target::Gpu(DeviceConfig::titan_black_like()),
-            opt_flags: flags,
-            ..Default::default()
-        });
-        let mut s = aug
-            .compile(augur_bench::hgmm_args(k, d, n))
-            .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-            .build()
+        let mut s = Model::compile(models::HGMM)
+            .expect("parses")
+            .plan_opt(
+                augur_bench::hgmm_args(k, d, n),
+                vec![("y", HostValue::Ragged(data.points.clone()))],
+                flags,
+            )
+            .expect("plans")
+            .session(SessionConfig {
+                target: Target::Gpu(DeviceConfig::titan_black_like()),
+                ..Default::default()
+            })
             .expect("builds");
         s.init().unwrap();
         let v = gpu_virtual_secs_per_sweep(&mut s, 3);
@@ -90,22 +92,18 @@ fn a3_inline(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for (label, inline) in [("on", true), ("off", false)] {
         let flags = OptFlags { inline, ..Default::default() };
-        let mut aug = Infer::from_source(models::LDA).expect("parses");
-        aug.set_compile_opt(SamplerConfig {
-            target: Target::Gpu(DeviceConfig::titan_black_like()),
-            opt_flags: flags,
-            ..Default::default()
-        });
-        let mut s = aug
-            .compile(vec![
-                HostValue::Int(topics as i64),
-                HostValue::Int(corpus.docs.len() as i64),
-                HostValue::VecF(vec![0.5; topics]),
-                HostValue::VecF(vec![0.1; corpus.vocab]),
-                HostValue::VecI(corpus.lens.clone()),
-            ])
-            .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
-            .build()
+        let mut s = Model::compile(models::LDA)
+            .expect("parses")
+            .plan_opt(
+                augur_bench::lda_args(topics, &corpus),
+                vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+                flags,
+            )
+            .expect("plans")
+            .session(SessionConfig {
+                target: Target::Gpu(DeviceConfig::titan_black_like()),
+                ..Default::default()
+            })
             .expect("builds");
         s.init().unwrap();
         let v = gpu_virtual_secs_per_sweep(&mut s, 3);

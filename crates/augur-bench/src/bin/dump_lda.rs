@@ -1,5 +1,5 @@
 //! Diagnostic: print LDA tape disassembly or time sweeps (--time).
-use augur::{ExecStrategy, HostValue, Infer, SamplerConfig, Target};
+use augur::{ExecStrategy, HostValue, Model, SessionConfig, Target};
 use augurv2::{models, workloads};
 
 fn main() {
@@ -10,18 +10,20 @@ fn main() {
         ExecStrategy::Tape
     };
     let corpus = workloads::lda_corpus(20, 80, 2000, 200, 1200);
-    let mut aug = Infer::from_source(models::LDA).expect("LDA parses");
-    aug.set_compile_opt(SamplerConfig { target: Target::Cpu, seed: 21, exec, ..Default::default() });
-    let mut s = aug
-        .compile(vec![
-            HostValue::Int(30),
-            HostValue::Int(corpus.docs.len() as i64),
-            HostValue::VecF(vec![0.5; 30]),
-            HostValue::VecF(vec![0.1; corpus.vocab]),
-            HostValue::VecI(corpus.lens.clone()),
-        ])
-        .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
-        .build()
+    let model = Model::compile(models::LDA).expect("LDA parses");
+    let mut s = model
+        .plan(
+            vec![
+                HostValue::Int(30),
+                HostValue::Int(corpus.docs.len() as i64),
+                HostValue::VecF(vec![0.5; 30]),
+                HostValue::VecF(vec![0.1; corpus.vocab]),
+                HostValue::VecI(corpus.lens.clone()),
+            ],
+            vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+        )
+        .expect("LDA plans")
+        .session(SessionConfig { target: Target::Cpu, seed: 21, exec, ..Default::default() })
         .expect("LDA builds");
     if !time {
         for name in s.proc_names() {

@@ -11,7 +11,7 @@
 //! ahead-of-time Rust, so the 35 s template-instantiation cost has no
 //! analogue and is reported from the paper for context.
 
-use augur::{DeviceConfig, HostValue, Infer, SamplerConfig, Target};
+use augur::{DeviceConfig, HostValue, Model, SessionConfig, Target};
 use augur_bench::emit;
 use augur_math::Matrix;
 use augurv2::{models, workloads};
@@ -30,9 +30,12 @@ fn main() {
                       target: Target|
      -> f64 {
         let t0 = Instant::now();
-        let mut aug = Infer::from_source(src).expect("parses");
-        aug.set_compile_opt(SamplerConfig { target, ..Default::default() });
-        let _s = aug.compile(args).data(data).build().expect("builds");
+        let model = Model::compile(src).expect("parses");
+        let _s = model
+            .plan(args, data)
+            .expect("plans")
+            .session(SessionConfig { target, ..Default::default() })
+            .expect("builds");
         t0.elapsed().as_secs_f64() * 1e3
     };
 

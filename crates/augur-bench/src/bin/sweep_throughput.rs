@@ -11,6 +11,16 @@
 //! interpreter, and the threaded sweep stands in for the paper's
 //! multicore CPU backend (§7.2).
 //!
+//! Every configuration of a workload binds a [`augur::Session`] off one
+//! shared [`augur::Plan`], so the frontend and middle-end run exactly
+//! once per model. The plan-cache economics are measured directly:
+//! `cold_compile_ms` times source → plan from scratch, while
+//! `plan_cache_hit_compile_ms` times a second `plan()` call with the
+//! same shapes (a fingerprint lookup). The cached path must be at least
+//! 5x faster on LDA. `allocs_per_sweep` counts heap allocations per
+//! steady-state sweep on the sequential uninstrumented tape via a
+//! counting global allocator; the engine's slab arenas make it zero.
+//!
 //! Final states are verified bit-identical across all configurations
 //! (including runs with the op-class profiler and the per-kernel
 //! wall-clock timers disabled, whose throughput ratios are reported as
@@ -26,15 +36,47 @@
 //!
 //! `--scale X` scales workload sizes (default 1.0).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use augur::{ExecStrategy, HostValue, Infer, McmcConfig, SamplerConfig, Target};
-use augur_bench::{emit, hgmm_args, scale_arg};
+use augur::{ExecStrategy, HostValue, McmcConfig, Model, SessionConfig, Target};
+use augur_bench::{emit, hgmm_args, lda_args, scale_arg};
 use augurv2::{models, workloads};
 
 /// Worker-thread count for the threaded tape configuration.
 const PAR_THREADS: usize = 8;
+
+/// Heap allocations observed process-wide, for `allocs_per_sweep`.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; only adds a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 struct Measurement {
     model: &'static str,
@@ -44,6 +86,9 @@ struct Measurement {
     tape8_sweeps_per_s: f64,
     tape_timers_only_sweeps_per_s: f64,
     tape_untimed_sweeps_per_s: f64,
+    cold_compile_ms: f64,
+    plan_cache_hit_compile_ms: f64,
+    allocs_per_sweep: f64,
     check: f64,
 }
 
@@ -68,14 +113,19 @@ impl Measurement {
     fn profile_overhead(&self) -> f64 {
         self.tape_sweeps_per_s / self.tape_untimed_sweeps_per_s
     }
+
+    /// Source → plan from scratch vs a plan-cache fingerprint lookup.
+    fn cached_speedup(&self) -> f64 {
+        self.cold_compile_ms / self.plan_cache_hit_compile_ms.max(1e-6)
+    }
 }
 
-/// Times `sweeps` sweeps of a freshly built sampler under one strategy
+/// Times `sweeps` sweeps of a freshly bound session under one strategy
 /// and thread count, returning (sweeps/sec, check value) where the check
 /// value is a state readout that must agree bit-for-bit across
 /// configurations.
 fn run(
-    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Sampler,
+    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Session,
     exec: ExecStrategy,
     threads: usize,
     timers: bool,
@@ -95,11 +145,32 @@ fn run(
     (sweeps as f64 / dt, s.param(check_param).unwrap()[0])
 }
 
+/// Heap allocations per steady-state sweep on the sequential
+/// uninstrumented tape lane — the zero-allocation claim of the plan
+/// lifecycle, measured rather than asserted here (the tier-1
+/// `alloc_free` test asserts exact zero per model and lane).
+fn count_allocs(
+    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Session,
+    sweeps: usize,
+) -> f64 {
+    let mut s = build(ExecStrategy::Tape, 1, false);
+    s.init().unwrap();
+    s.sweep(); // warm-up: lazy one-time growth happens here
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..sweeps {
+        s.sweep();
+    }
+    (ALLOCS.load(Ordering::Relaxed) - before) as f64 / sweeps as f64
+}
+
+#[allow(clippy::too_many_arguments)]
 fn measure(
     model: &'static str,
     sweeps: usize,
     check_param: &str,
-    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Sampler,
+    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Session,
+    cold_compile_ms: f64,
+    plan_cache_hit_compile_ms: f64,
 ) -> Measurement {
     let (tree, check_tree) = run(build, ExecStrategy::Tree, 1, true, true, sweeps, check_param);
     let (tape, check_tape) = run(build, ExecStrategy::Tape, 1, true, true, sweeps, check_param);
@@ -109,6 +180,7 @@ fn measure(
         run(build, ExecStrategy::Tape, 1, true, false, sweeps, check_param);
     let (untimed, check_untimed) =
         run(build, ExecStrategy::Tape, 1, false, false, sweeps, check_param);
+    let allocs_per_sweep = count_allocs(build, sweeps.min(16));
     assert_eq!(
         check_tree.to_bits(),
         check_tape.to_bits(),
@@ -137,58 +209,124 @@ fn measure(
         tape8_sweeps_per_s: tape8,
         tape_timers_only_sweeps_per_s: timers_only,
         tape_untimed_sweeps_per_s: untimed,
+        cold_compile_ms,
+        plan_cache_hit_compile_ms,
+        allocs_per_sweep,
         check: check_tape,
     }
+}
+
+/// Times the cold source→plan pipeline against a same-shape cache-hit
+/// replan, best of `REPS` each (fresh model per cold run; the last
+/// model serves the hit runs). Returns `(cold_ms, hit_ms)`.
+///
+/// Both paths pay state binding (every plan re-binds its data, O(data
+/// size)); the cold path additionally pays the frontend and the
+/// size-dependent artifact build. The ratio therefore measures how much
+/// *compilation* the cache amortizes at the probed shape.
+fn plan_timing(
+    src: &str,
+    args: &dyn Fn() -> Vec<HostValue>,
+    data: &dyn Fn() -> Vec<(&'static str, HostValue)>,
+) -> (f64, f64) {
+    const REPS: usize = 3;
+    let mut cold_ms = f64::INFINITY;
+    let mut model = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let m = Model::compile(src).expect("model parses");
+        let _plan = m.plan(args(), data()).expect("model plans");
+        cold_ms = cold_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        model = Some(m);
+    }
+    let model = model.expect("at least one cold rep ran");
+    let mut hit_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let _hit = model.plan(args(), data()).expect("model replans");
+        hit_ms = hit_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let stats = model.cache_stats();
+    assert_eq!(
+        (stats.misses, stats.hits),
+        (1, REPS as u64),
+        "plan-cache probe: expected one cold build and {REPS} hits"
+    );
+    (cold_ms, hit_ms)
+}
+
+/// Builds the workload plan every session binds from, asserting the
+/// specialization ran exactly once.
+fn shared_plan(
+    src: &str,
+    args: Vec<HostValue>,
+    data: Vec<(&'static str, HostValue)>,
+) -> augur::Plan {
+    let model = Model::compile(src).expect("model parses");
+    let plan = model.plan(args, data).expect("model plans");
+    assert_eq!(model.cache_stats().misses, 1);
+    plan
 }
 
 fn lda(scale: f64) -> Measurement {
     let topics = 30;
     let docs = ((80.0 * scale) as usize).max(10);
     let corpus = workloads::lda_corpus(20, docs, 2000, 200, 1200);
+    // The plan-cache probe uses a canonical small corpus: state binding
+    // is O(data) and paid by cold and hit alike, so at the throughput
+    // workload's size it drowns the compilation cost the cache is there
+    // to amortize.
+    let probe = workloads::lda_corpus(20, 12, 300, 40, 1200);
+    let (cold_ms, hit_ms) = plan_timing(
+        models::LDA,
+        &|| lda_args(topics, &probe),
+        &|| vec![("w", HostValue::RaggedI(probe.docs.clone()))],
+    );
+    let plan = shared_plan(
+        models::LDA,
+        lda_args(topics, &corpus),
+        vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+    );
     let build = move |exec: ExecStrategy, threads: usize, timers: bool| {
-        let mut aug = Infer::from_source(models::LDA).expect("LDA parses");
-        aug.set_compile_opt(SamplerConfig {
+        plan.session(SessionConfig {
             target: Target::Cpu,
             seed: 21,
             exec,
             threads,
             timers,
             ..Default::default()
-        });
-        aug.compile(vec![
-            HostValue::Int(topics as i64),
-            HostValue::Int(corpus.docs.len() as i64),
-            HostValue::VecF(vec![0.5; topics]),
-            HostValue::VecF(vec![0.1; corpus.vocab]),
-            HostValue::VecI(corpus.lens.clone()),
-        ])
-        .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
-        .build()
+        })
         .expect("LDA builds")
     };
-    measure("lda", 8, "theta", &build)
+    measure("lda", 8, "theta", &build, cold_ms, hit_ms)
 }
 
 fn hgmm(scale: f64) -> Measurement {
     let (k, d) = (3, 2);
     let n = ((400.0 * scale) as usize).max(20);
     let data = workloads::hgmm_data(k, d, n, 7);
+    let (cold_ms, hit_ms) = plan_timing(
+        models::HGMM,
+        &|| hgmm_args(k, d, n),
+        &|| vec![("y", HostValue::Ragged(data.points.clone()))],
+    );
+    let plan = shared_plan(
+        models::HGMM,
+        hgmm_args(k, d, n),
+        vec![("y", HostValue::Ragged(data.points.clone()))],
+    );
     let build = move |exec: ExecStrategy, threads: usize, timers: bool| {
-        let mut aug = Infer::from_source(models::HGMM).expect("HGMM parses");
-        aug.set_compile_opt(SamplerConfig {
+        plan.session(SessionConfig {
             target: Target::Cpu,
             seed: 5,
             exec,
             threads,
             timers,
             ..Default::default()
-        });
-        aug.compile(hgmm_args(k, d, n))
-            .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-            .build()
-            .expect("HGMM builds")
+        })
+        .expect("HGMM builds")
     };
-    measure("hgmm", 40, "mu", &build)
+    measure("hgmm", 40, "mu", &build, cold_ms, hit_ms)
 }
 
 fn hlr(scale: f64) -> Measurement {
@@ -196,9 +334,26 @@ fn hlr(scale: f64) -> Measurement {
     let n = ((300.0 * scale) as usize).max(20);
     let data = workloads::logistic_data(n, d, 11);
     let mcmc = McmcConfig { step_size: 0.01, leapfrog_steps: 10, ..Default::default() };
+    let hlr_args = || {
+        vec![
+            HostValue::Real(1.0),
+            HostValue::Int(n as i64),
+            HostValue::Int(d as i64),
+            HostValue::Ragged(data.x.clone()),
+        ]
+    };
+    let (cold_ms, hit_ms) = plan_timing(
+        models::HLR,
+        &hlr_args,
+        &|| vec![("y", HostValue::VecF(data.y.clone()))],
+    );
+    let plan = shared_plan(
+        models::HLR,
+        hlr_args(),
+        vec![("y", HostValue::VecF(data.y.clone()))],
+    );
     let build = move |exec: ExecStrategy, threads: usize, timers: bool| {
-        let mut aug = Infer::from_source(models::HLR).expect("HLR parses");
-        aug.set_compile_opt(SamplerConfig {
+        plan.session(SessionConfig {
             target: Target::Cpu,
             seed: 3,
             mcmc: mcmc.clone(),
@@ -206,18 +361,10 @@ fn hlr(scale: f64) -> Measurement {
             threads,
             timers,
             ..Default::default()
-        });
-        aug.compile(vec![
-            HostValue::Real(1.0),
-            HostValue::Int(n as i64),
-            HostValue::Int(d as i64),
-            HostValue::Ragged(data.x.clone()),
-        ])
-        .data(vec![("y", HostValue::VecF(data.y.clone()))])
-        .build()
+        })
         .expect("HLR builds")
     };
-    measure("hlr", 40, "theta", &build)
+    measure("hlr", 40, "theta", &build, cold_ms, hit_ms)
 }
 
 fn main() {
@@ -233,13 +380,13 @@ fn main() {
     let _ = writeln!(table, "scale = {scale}, host cores = {host_cores}\n");
     let _ = writeln!(
         table,
-        "| model | sweeps | tree (sweeps/s) | tape (sweeps/s) | speedup | tape×{PAR_THREADS} (sweeps/s) | par speedup | metrics overhead | profile overhead |"
+        "| model | sweeps | tree (sweeps/s) | tape (sweeps/s) | speedup | tape×{PAR_THREADS} (sweeps/s) | par speedup | metrics overhead | profile overhead | cold compile (ms) | cached plan (ms) | allocs/sweep |"
     );
-    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|---|---|---|");
     for (i, m) in results.iter().enumerate() {
         let _ = writeln!(
             table,
-            "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2}x | {:.3} | {:.3} |",
+            "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2}x | {:.3} | {:.3} | {:.2} | {:.3} | {:.1} |",
             m.model,
             m.sweeps,
             m.tree_sweeps_per_s,
@@ -248,11 +395,14 @@ fn main() {
             m.tape8_sweeps_per_s,
             m.par_speedup(),
             m.metrics_overhead(),
-            m.profile_overhead()
+            m.profile_overhead(),
+            m.cold_compile_ms,
+            m.plan_cache_hit_compile_ms,
+            m.allocs_per_sweep
         );
         let _ = writeln!(
             json,
-            "  \"{}\": {{\"sweeps\": {}, \"tree_sweeps_per_s\": {:.4}, \"tape_sweeps_per_s\": {:.4}, \"speedup\": {:.4}, \"tape{}_sweeps_per_s\": {:.4}, \"par_speedup\": {:.4}, \"tape_untimed_sweeps_per_s\": {:.4}, \"metrics_overhead\": {:.4}, \"profile_overhead\": {:.4}, \"check\": {:e}}}{}",
+            "  \"{}\": {{\"sweeps\": {}, \"tree_sweeps_per_s\": {:.4}, \"tape_sweeps_per_s\": {:.4}, \"speedup\": {:.4}, \"tape{}_sweeps_per_s\": {:.4}, \"par_speedup\": {:.4}, \"tape_untimed_sweeps_per_s\": {:.4}, \"metrics_overhead\": {:.4}, \"profile_overhead\": {:.4}, \"cold_compile_ms\": {:.4}, \"plan_cache_hit_compile_ms\": {:.4}, \"cached_speedup\": {:.2}, \"allocs_per_sweep\": {:.2}, \"check\": {:e}}}{}",
             m.model,
             m.sweeps,
             m.tree_sweeps_per_s,
@@ -264,6 +414,10 @@ fn main() {
             m.tape_untimed_sweeps_per_s,
             m.metrics_overhead(),
             m.profile_overhead(),
+            m.cold_compile_ms,
+            m.plan_cache_hit_compile_ms,
+            m.cached_speedup(),
+            m.allocs_per_sweep,
             m.check,
             if i + 1 < results.len() { "," } else { "" }
         );
@@ -271,13 +425,20 @@ fn main() {
     json.push_str("}\n");
     let _ = writeln!(
         table,
-        "\nAll configurations ran the same seeds; final states were verified\n\
+        "\nAll configurations ran the same seeds and bound their sessions\n\
+         off one shared plan per model; final states were verified\n\
          bit-identical before timing was reported (including with kernel\n\
          timers disabled). The parallel speedup is bounded by the host's\n\
          core count. `metrics overhead` is timers-only ÷ uninstrumented\n\
          tape throughput — the cost of the per-kernel wall clocks alone;\n\
          `profile overhead` is the full default observability stack\n\
-         (timers + per-step work + op-class bucketing) ÷ uninstrumented."
+         (timers + per-step work + op-class bucketing) ÷ uninstrumented.\n\
+         `cold compile` is source → plan from scratch, `cached plan` the\n\
+         same call answered by the plan cache (best of 3 each; the LDA\n\
+         probe uses a canonical small corpus so data binding, which both\n\
+         paths pay, does not drown the compilation being amortized);\n\
+         `allocs/sweep` counts heap allocations per steady-state sweep\n\
+         (sequential tape, instrumentation off)."
     );
     // The scaling claim only means something where the hardware can
     // express it; a 1-core container still verifies bit-identity above.
@@ -289,6 +450,14 @@ fn main() {
             lda.par_speedup()
         );
     }
+    let lda = &results[0];
+    assert!(
+        lda.cached_speedup() >= 5.0,
+        "lda: plan-cache hit should be >= 5x cheaper than a cold compile, got {:.1}x ({:.3} ms vs {:.3} ms)",
+        lda.cached_speedup(),
+        lda.cold_compile_ms,
+        lda.plan_cache_hit_compile_ms
+    );
     emit("sweep_throughput", &table);
     if std::fs::write("BENCH_sweep.json", &json).is_err() {
         let _ = std::fs::write("../../BENCH_sweep.json", &json);

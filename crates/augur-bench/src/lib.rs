@@ -6,7 +6,7 @@
 
 #![deny(missing_docs)]
 
-use augur::{HostValue, Infer, McmcConfig, Sampler, SamplerConfig, Target};
+use augur::{HostValue, McmcConfig, Model, Session, SessionConfig, Target};
 use augur_math::Matrix;
 use augurv2::{models, workloads};
 
@@ -23,25 +23,21 @@ pub fn hgmm_sampler(
     target: Target,
     mcmc: McmcConfig,
     seed: u64,
-) -> Sampler {
+) -> Session {
     let n = data.points.num_rows();
-    let mut aug = Infer::from_source(models::HGMM).expect("HGMM parses");
-    if let Some(s) = sched {
-        aug.schedule(s);
+    let model = match sched {
+        Some(s) => Model::with_schedule(models::HGMM, s),
+        None => Model::compile(models::HGMM),
     }
-    aug.set_compile_opt(SamplerConfig { target, mcmc, seed, ..Default::default() });
-    aug.compile(vec![
-        HostValue::Int(k as i64),
-        HostValue::Int(n as i64),
-        HostValue::VecF(vec![1.0; k]),
-        HostValue::VecF(vec![0.0; d]),
-        HostValue::Mat(Matrix::identity(d).scale(50.0)),
-        HostValue::Real((d + 2) as f64),
-        HostValue::Mat(Matrix::identity(d)),
-    ])
-    .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-    .build()
-    .expect("HGMM builds")
+    .expect("HGMM parses");
+    model
+        .plan(
+            hgmm_args(k, d, n),
+            vec![("y", HostValue::Ragged(data.points.clone()))],
+        )
+        .expect("HGMM plans")
+        .session(SessionConfig { target, mcmc, seed, ..Default::default() })
+        .expect("HGMM builds")
 }
 
 /// The HGMM argument list shared with the Jags baseline.
@@ -67,19 +63,27 @@ pub fn lda_sampler(
     corpus: &workloads::Corpus,
     target: Target,
     seed: u64,
-) -> Sampler {
-    let mut aug = Infer::from_source(models::LDA).expect("LDA parses");
-    aug.set_compile_opt(SamplerConfig { target, seed, ..Default::default() });
-    aug.compile(vec![
+) -> Session {
+    Model::compile(models::LDA)
+        .expect("LDA parses")
+        .plan(
+            lda_args(topics, corpus),
+            vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+        )
+        .expect("LDA plans")
+        .session(SessionConfig { target, seed, ..Default::default() })
+        .expect("LDA builds")
+}
+
+/// The LDA argument list shared by the samplers and the plan-cache bench.
+pub fn lda_args(topics: usize, corpus: &workloads::Corpus) -> Vec<HostValue> {
+    vec![
         HostValue::Int(topics as i64),
         HostValue::Int(corpus.docs.len() as i64),
         HostValue::VecF(vec![0.5; topics]),
         HostValue::VecF(vec![0.1; corpus.vocab]),
         HostValue::VecI(corpus.lens.clone()),
-    ])
-    .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
-    .build()
-    .expect("LDA builds")
+    ]
 }
 
 /// Builds an HLR sampler over logistic data.
@@ -94,24 +98,28 @@ pub fn hlr_sampler(
     mcmc: McmcConfig,
     opt_flags: augur_blk::OptFlags,
     seed: u64,
-) -> Sampler {
+) -> Session {
     let n = data.x.num_rows();
-    let mut aug = Infer::from_source(models::HLR).expect("HLR parses");
-    aug.set_compile_opt(SamplerConfig { target, mcmc, seed, opt_flags, ..Default::default() });
-    aug.compile(vec![
-        HostValue::Real(1.0),
-        HostValue::Int(n as i64),
-        HostValue::Int(d as i64),
-        HostValue::Ragged(data.x.clone()),
-    ])
-    .data(vec![("y", HostValue::VecF(data.y.clone()))])
-    .build()
-    .expect("HLR builds")
+    Model::compile(models::HLR)
+        .expect("HLR parses")
+        .plan_opt(
+            vec![
+                HostValue::Real(1.0),
+                HostValue::Int(n as i64),
+                HostValue::Int(d as i64),
+                HostValue::Ragged(data.x.clone()),
+            ],
+            vec![("y", HostValue::VecF(data.y.clone()))],
+            opt_flags,
+        )
+        .expect("HLR plans")
+        .session(SessionConfig { target, mcmc, seed, ..Default::default() })
+        .expect("HLR builds")
 }
 
 /// Extracts `(pi, mus, sigmas)` from an HGMM sampler state for
 /// log-predictive evaluation.
-pub fn hgmm_params(s: &Sampler, k: usize, d: usize) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Matrix>) {
+pub fn hgmm_params(s: &Session, k: usize, d: usize) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Matrix>) {
     let pi = s.param("pi").unwrap().to_vec();
     let mu = s.param("mu").unwrap().to_vec();
     let sig = s.param("Sigma").unwrap().to_vec();

@@ -121,7 +121,7 @@ pub fn mvnormal_mvnormal_mean(
     sigma: &Matrix,
     sum_x: &[f64],
     n: f64,
-) -> (Vec<f64>, Matrix) {
+) -> (augur_math::PoolVec, Matrix) {
     let d = mu0.len();
     assert!(sigma0.rows() == d && sigma.rows() == d, "mvnormal post dims");
     let prec0 = Cholesky::new(sigma0).expect("Sigma0 must be SPD").inverse();

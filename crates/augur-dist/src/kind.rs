@@ -366,8 +366,8 @@ impl DistKind {
             DistKind::InvWishart => {
                 let (x, d) = point.matrix();
                 let (psi, dp) = params[1].matrix();
-                let xm = Matrix::from_vec(d, d, x.to_vec()).expect("point matrix shape");
-                let pm = Matrix::from_vec(dp, dp, psi.to_vec()).expect("psi matrix shape");
+                let xm = Matrix::from_slice(d, d, x).expect("point matrix shape");
+                let pm = Matrix::from_slice(dp, dp, psi).expect("psi matrix shape");
                 mat_dist::inv_wishart_log_pdf(&xm, params[0].scalar(), &pm)
             }
             DistKind::Binomial => {
@@ -442,7 +442,7 @@ impl DistKind {
             }
             DistKind::InvWishart => {
                 let (psi, dp) = params[1].matrix();
-                let pm = Matrix::from_vec(dp, dp, psi.to_vec()).expect("psi matrix shape");
+                let pm = Matrix::from_slice(dp, dp, psi).expect("psi matrix shape");
                 let draw = mat_dist::inv_wishart_sample(params[0].scalar(), &pm, rng);
                 let (slot, dim) = out.matrix();
                 assert_eq!(dim, dp, "inv-wishart output dimension");
@@ -483,7 +483,7 @@ impl DistKind {
             }
             DistKind::MvNormal => {
                 let (cov, dim) = params[1].matrix();
-                let m = Matrix::from_vec(dim, dim, cov.to_vec()).expect("cov shape");
+                let m = Matrix::from_slice(dim, dim, cov).expect("cov shape");
                 let cache = vector::MvNormalCache::new(&m)
                     .expect("covariance must be SPD for gradients");
                 cache.grad_x(point.vector(), params[0].vector(), out.vector());
@@ -543,7 +543,7 @@ impl DistKind {
             }
             (DistKind::MvNormal, 0) => {
                 let (cov, dim) = params[1].matrix();
-                let m = Matrix::from_vec(dim, dim, cov.to_vec()).expect("cov shape");
+                let m = Matrix::from_slice(dim, dim, cov).expect("cov shape");
                 let cache = vector::MvNormalCache::new(&m)
                     .expect("covariance must be SPD for gradients");
                 cache.grad_mu(point.vector(), params[0].vector(), out.vector());

@@ -2,7 +2,7 @@
 //! multivariate normal.
 
 use augur_math::special::lgamma;
-use augur_math::{Cholesky, Matrix};
+use augur_math::{Cholesky, Matrix, PoolVec};
 
 const LN_2PI: f64 = 1.837_877_066_409_345_6;
 
@@ -107,7 +107,7 @@ impl MvNormalCache {
 
     /// Samples `mu + L z` into `out`.
     pub fn sample(&self, mu: &[f64], rng: &mut crate::Prng, out: &mut [f64]) {
-        let z: Vec<f64> = (0..self.dim).map(|_| rng.std_normal()).collect();
+        let z = PoolVec::from_fn(self.dim, |_| rng.std_normal());
         let lz = self.chol.correlate(&z);
         for ((o, &m), l) in out.iter_mut().zip(mu).zip(&lz) {
             *o = m + l;
@@ -119,7 +119,7 @@ impl MvNormalCache {
 ///
 /// Returns `-inf` when `Σ` is not positive definite.
 pub fn mv_normal_log_pdf(x: &[f64], mu: &[f64], cov_data: &[f64], dim: usize) -> f64 {
-    let cov = match Matrix::from_vec(dim, dim, cov_data.to_vec()) {
+    let cov = match Matrix::from_slice(dim, dim, cov_data) {
         Ok(m) => m,
         Err(_) => return f64::NEG_INFINITY,
     };
@@ -141,7 +141,7 @@ pub fn mv_normal_sample(
     rng: &mut crate::Prng,
     out: &mut [f64],
 ) {
-    let cov = Matrix::from_vec(dim, dim, cov_data.to_vec()).expect("covariance shape");
+    let cov = Matrix::from_slice(dim, dim, cov_data).expect("covariance shape");
     let cache = MvNormalCache::new(&cov).expect("covariance must be SPD");
     cache.sample(mu, rng, out);
 }

@@ -1,4 +1,4 @@
-use crate::{MathError, Matrix};
+use crate::{MathError, Matrix, PoolVec};
 
 /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
 ///
@@ -80,10 +80,10 @@ impl Cholesky {
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
-    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve_lower(&self, b: &[f64]) -> PoolVec {
         let n = self.dim();
         assert_eq!(b.len(), n, "solve_lower length mismatch");
-        let mut y = vec![0.0; n];
+        let mut y = PoolVec::zeroed(n);
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -99,10 +99,10 @@ impl Cholesky {
     /// # Panics
     ///
     /// Panics if `y.len() != self.dim()`.
-    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+    pub fn solve_upper(&self, y: &[f64]) -> PoolVec {
         let n = self.dim();
         assert_eq!(y.len(), n, "solve_upper length mismatch");
-        let mut x = vec![0.0; n];
+        let mut x = PoolVec::zeroed(n);
         for i in (0..n).rev() {
             let mut sum = y[i];
             for k in (i + 1)..n {
@@ -118,7 +118,7 @@ impl Cholesky {
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve(&self, b: &[f64]) -> PoolVec {
         self.solve_upper(&self.solve_lower(b))
     }
 
@@ -136,7 +136,7 @@ impl Cholesky {
     pub fn inverse(&self) -> Matrix {
         let n = self.dim();
         let mut inv = Matrix::zeros(n, n);
-        let mut e = vec![0.0; n];
+        let mut e = PoolVec::zeroed(n);
         for j in 0..n {
             e[j] = 1.0;
             let col = self.solve(&e);
@@ -154,10 +154,10 @@ impl Cholesky {
     /// # Panics
     ///
     /// Panics if `z.len() != self.dim()`.
-    pub fn correlate(&self, z: &[f64]) -> Vec<f64> {
+    pub fn correlate(&self, z: &[f64]) -> PoolVec {
         let n = self.dim();
         assert_eq!(z.len(), n, "correlate length mismatch");
-        let mut out = vec![0.0; n];
+        let mut out = PoolVec::zeroed(n);
         for i in 0..n {
             let mut acc = 0.0;
             for k in 0..=i {

@@ -39,6 +39,7 @@
 mod chol;
 mod error;
 mod matrix;
+pub mod pool;
 pub mod ragged;
 mod rng;
 pub mod special;
@@ -47,5 +48,6 @@ pub mod vecops;
 pub use chol::Cholesky;
 pub use error::MathError;
 pub use matrix::Matrix;
+pub use pool::PoolVec;
 pub use ragged::FlatRagged;
 pub use rng::Prng;

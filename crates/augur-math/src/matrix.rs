@@ -1,14 +1,17 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
+use crate::pool::PoolVec;
 use crate::MathError;
 
 /// A dense, row-major matrix of `f64`.
 ///
 /// This is the matrix representation used throughout the AugurV2 runtime
 /// (e.g. covariance matrices of multivariate normals). It is deliberately
-/// simple: a flat `Vec<f64>` plus dimensions, so that it can live inside the
-/// flattened runtime memory described in the paper's §6.2.
+/// simple: a flat buffer plus dimensions, so that it can live inside the
+/// flattened runtime memory described in the paper's §6.2. The buffer is a
+/// [`PoolVec`], so matrix temporaries created inside sampler sweeps recycle
+/// their storage through the thread-local pool instead of hitting the heap.
 ///
 /// # Example
 ///
@@ -26,13 +29,13 @@ use crate::MathError;
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: PoolVec,
 }
 
 impl Matrix {
     /// Creates a matrix of zeros with the given dimensions.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix { rows, cols, data: PoolVec::zeroed(rows * cols) }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -53,7 +56,7 @@ impl Matrix {
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self, MathError> {
         let r = rows.len();
         let c = rows.first().map_or(0, |row| row.len());
-        let mut data = Vec::with_capacity(r * c);
+        let mut data = PoolVec::with_capacity(r * c);
         for row in rows {
             if row.len() != c {
                 return Err(MathError::DimensionMismatch {
@@ -75,7 +78,34 @@ impl Matrix {
         if data.len() != rows * cols {
             return Err(MathError::BadLength { expected: rows * cols, actual: data.len() });
         }
+        Ok(Matrix { rows, cols, data: PoolVec::from_vec(data) })
+    }
+
+    /// Creates a matrix from an already-pooled row-major buffer without
+    /// copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BadLength`] if `data.len() != rows * cols`.
+    pub fn from_pooled(rows: usize, cols: usize, data: PoolVec) -> Result<Self, MathError> {
+        if data.len() != rows * cols {
+            return Err(MathError::BadLength { expected: rows * cols, actual: data.len() });
+        }
         Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix by copying a flat row-major slice into a pooled
+    /// buffer — the allocation-free analogue of
+    /// `from_vec(rows, cols, data.to_vec())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BadLength`] if `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &[f64]) -> Result<Self, MathError> {
+        if data.len() != rows * cols {
+            return Err(MathError::BadLength { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Matrix { rows, cols, data: PoolVec::from_slice(data) })
     }
 
     /// Creates an `n × n` diagonal matrix from the given diagonal entries.
@@ -113,8 +143,14 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Consumes the matrix and returns the flat row-major buffer.
+    /// Consumes the matrix and returns the flat row-major buffer,
+    /// removing its storage from the pool.
     pub fn into_vec(self) -> Vec<f64> {
+        self.data.into_vec()
+    }
+
+    /// Consumes the matrix and returns its pooled buffer.
+    pub fn into_pooled(self) -> PoolVec {
         self.data
     }
 
@@ -153,9 +189,9 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `v.len() != self.cols()`.
-    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+    pub fn matvec(&self, v: &[f64]) -> PoolVec {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
-        let mut out = vec![0.0; self.rows];
+        let mut out = PoolVec::zeroed(self.rows);
         for i in 0..self.rows {
             let row = self.row(i);
             let mut acc = 0.0;
@@ -313,6 +349,15 @@ mod tests {
         let m = Matrix::identity(4);
         let v = vec![1.0, -2.0, 3.5, 0.0];
         assert_eq!(m.matvec(&v), v);
+    }
+
+    #[test]
+    fn from_slice_matches_from_vec() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_slice(2, 2, &data).unwrap();
+        let b = Matrix::from_vec(2, 2, data.to_vec()).unwrap();
+        assert_eq!(a, b);
+        assert!(Matrix::from_slice(2, 2, &data[..3]).is_err());
     }
 
     #[test]

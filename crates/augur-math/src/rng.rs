@@ -231,8 +231,21 @@ impl Prng {
     pub fn categorical_log(&mut self, log_weights: &[f64]) -> usize {
         let m = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(m > f64::NEG_INFINITY, "categorical_log: all weights are zero");
-        let w: Vec<f64> = log_weights.iter().map(|l| (l - m).exp()).collect();
-        self.categorical(&w)
+        // Inline exponentiate-and-scan (no scratch buffer): same draw as
+        // materializing the weights and calling `categorical`.
+        let total: f64 = log_weights.iter().map(|l| (l - m).exp()).sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "categorical weights must be non-empty with positive finite sum"
+        );
+        let mut t = self.uniform() * total;
+        for (i, l) in log_weights.iter().enumerate() {
+            t -= (l - m).exp();
+            if t < 0.0 {
+                return i;
+            }
+        }
+        log_weights.len() - 1
     }
 
     /// Fills `out` with a `Dirichlet(alpha)` draw.

@@ -2,7 +2,11 @@
 //!
 //! The AugurV2 runtime provides "vector operations" (§6.2); these are their
 //! Rust equivalents, operating directly on flat buffers so they work both on
-//! standalone vectors and on rows of a [`crate::FlatRagged`].
+//! standalone vectors and on rows of a [`crate::FlatRagged`]. Functions
+//! that return a fresh vector return a pooled [`PoolVec`] so repeated use
+//! inside sampler sweeps stays allocation-free after warmup.
+
+use crate::PoolVec;
 
 /// Dot product of two equal-length slices.
 ///
@@ -31,7 +35,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
-pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+pub fn sub(a: &[f64], b: &[f64]) -> PoolVec {
     assert_eq!(a.len(), b.len(), "sub length mismatch");
     a.iter().zip(b).map(|(x, y)| x - y).collect()
 }
@@ -41,13 +45,13 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
-pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+pub fn add(a: &[f64], b: &[f64]) -> PoolVec {
     assert_eq!(a.len(), b.len(), "add length mismatch");
     a.iter().zip(b).map(|(x, y)| x + y).collect()
 }
 
 /// Scales a slice into a new vector.
-pub fn scale(alpha: f64, x: &[f64]) -> Vec<f64> {
+pub fn scale(alpha: f64, x: &[f64]) -> PoolVec {
     x.iter().map(|v| alpha * v).collect()
 }
 

@@ -8,25 +8,33 @@
 //! chain is an independently seeded build of the same compiled model, so
 //! chains can also feed convergence diagnostics (split-R̂).
 //!
-//! The entry point is [`ChainRunner`], a builder continuing the
-//! `Infer::compile(..).data(..)` flow:
+//! The entry point is [`ChainPlan`]: all chains fan out over **one**
+//! shared [`Plan`](crate::Plan) — one compile, N sessions — so adding
+//! chains costs sessions (cheap copy-on-write state clones), never
+//! recompiles:
 //!
 //! ```no_run
-//! # use augur::{Infer, HostValue, chains::ChainRunner};
-//! # let aug = Infer::from_source("(N) => {
+//! # use augur::{Model, HostValue, chains::ChainPlan};
+//! # let model = Model::compile("(N) => {
 //! #     param p ~ Beta(1.0, 1.0) ;
 //! #     data y[n] ~ Bernoulli(p) for n <- 0 until N ;
 //! # }")?;
-//! let chains = ChainRunner::new(&aug)
-//!     .args(vec![HostValue::Int(2)])
-//!     .data(vec![("y", HostValue::VecF(vec![1.0, 0.0]))])
+//! let plan = model.plan(
+//!     vec![HostValue::Int(2)],
+//!     vec![("y", HostValue::VecF(vec![1.0, 0.0]))],
+//! )?;
+//! let chains = ChainPlan::new(&plan)
 //!     .chains(4)
 //!     .sweeps(1500)
 //!     .record(&["p"])
 //!     .run()?;
 //! let pooled = chains.pooled_mean("p", 0)?;
-//! # Ok::<(), augur::Error>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The deprecated [`ChainRunner`] keeps the old `Infer`-based surface
+//! but now routes through the same shared-plan fan-out internally (its
+//! historical per-chain full recompile is gone).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -34,8 +42,11 @@ use std::path::{Path, PathBuf};
 
 use augur_backend::checkpoint::CheckpointError;
 use augur_backend::par::Pool;
+use augur_backend::{CompiledModel, Plan};
 
-use crate::{Error, HostValue, Infer, SamplerConfig};
+#[allow(deprecated)]
+use crate::Infer;
+use crate::{Error, HostValue, SessionConfig};
 
 /// The result of a multi-chain run.
 #[derive(Debug, Clone)]
@@ -193,19 +204,18 @@ impl fmt::Display for ChainsReport {
     }
 }
 
-/// Builder for a multi-chain run over a compiled model.
+/// Builder for a multi-chain run over one shared, already-specialized
+/// [`Plan`] — the lifecycle-native fan-out: one compile, N sessions.
 ///
 /// Chains are embarrassingly parallel by construction: each is an
-/// independently seeded build of the same compiled model, with its seed
-/// derived from the base config's seed, so a run is reproducible end to
-/// end — at any [`ChainRunner::threads`] count, since results are
-/// collected in chain order regardless of completion order.
+/// independently seeded [`crate::Session`] bound to the same plan, with
+/// its seed derived from the base config's seed, so a run is
+/// reproducible end to end — at any [`ChainPlan::threads`] count, since
+/// results are collected in chain order regardless of completion order.
 #[derive(Debug)]
-pub struct ChainRunner<'a> {
-    infer: &'a Infer,
-    args: Vec<HostValue>,
-    data: Vec<(&'a str, HostValue)>,
-    config: Option<SamplerConfig>,
+pub struct ChainPlan<'a> {
+    plan: &'a Plan,
+    config: Option<SessionConfig>,
     n_chains: usize,
     sweeps: usize,
     record: Vec<&'a str>,
@@ -213,6 +223,138 @@ pub struct ChainRunner<'a> {
     checkpoint_dir: Option<PathBuf>,
 }
 
+impl<'a> ChainPlan<'a> {
+    /// Starts a run over the given plan. Defaults: 4 chains, 1000
+    /// sweeps, nothing recorded, one thread, default session config.
+    pub fn new(plan: &'a Plan) -> ChainPlan<'a> {
+        ChainPlan {
+            plan,
+            config: None,
+            n_chains: 4,
+            sweeps: 1000,
+            record: Vec::new(),
+            threads: 1,
+            checkpoint_dir: None,
+        }
+    }
+
+    /// Overrides the session configuration for every chain (per-chain
+    /// seeds are still derived from its seed).
+    #[must_use]
+    pub fn config(mut self, config: SessionConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Number of independently seeded chains (default 4).
+    #[must_use]
+    pub fn chains(mut self, n: usize) -> Self {
+        self.n_chains = n;
+        self
+    }
+
+    /// Sweeps per chain (default 1000).
+    #[must_use]
+    pub fn sweeps(mut self, n: usize) -> Self {
+        self.sweeps = n;
+        self
+    }
+
+    /// Parameters to record after each sweep.
+    #[must_use]
+    pub fn record(mut self, params: &[&'a str]) -> Self {
+        self.record = params.to_vec();
+        self
+    }
+
+    /// Number of worker threads chains are fanned across (default 1;
+    /// `0` = one per available core). Results are identical at every
+    /// thread count: chain seeds depend only on the chain index, and
+    /// draws are collected in chain order.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = resolve_threads(n);
+        self
+    }
+
+    /// Periodically checkpoints every chain into `dir` (one
+    /// `chain-<c>.ckpt` file per chain, cadence from the config's
+    /// `checkpoint_every`). A killed run restarts from those files with
+    /// [`ChainPlan::resume_dir`].
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Binds and runs every chain as a session over the shared plan,
+    /// fanned across the configured worker threads. A chain that panics
+    /// is isolated to a typed error rather than unwinding through the
+    /// caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by chain index) build or run error.
+    pub fn run(self) -> Result<Chains, Error> {
+        let base = self.config.unwrap_or_default();
+        fan_chains(FanSpec {
+            plan: self.plan,
+            base: &base,
+            n_chains: self.n_chains,
+            sweeps: self.sweeps,
+            record: &self.record,
+            threads: self.threads,
+            checkpoint_dir: self.checkpoint_dir.as_deref(),
+            resume: false,
+        })
+    }
+
+    /// Resumes every chain from `dir/chain-<c>.ckpt` (written by a prior
+    /// run with [`ChainPlan::checkpoint_dir`]) and continues each to the
+    /// configured total sweep count. The returned draws cover only the
+    /// post-resume sweeps, and are byte-identical to the same sweeps of
+    /// an uninterrupted run at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Checkpoint`] if a chain's file is missing or does
+    /// not match, plus the usual build/run errors.
+    pub fn resume_dir(mut self, dir: impl Into<PathBuf>) -> Result<Chains, Error> {
+        self.checkpoint_dir = Some(dir.into());
+        let base = self.config.unwrap_or_default();
+        fan_chains(FanSpec {
+            plan: self.plan,
+            base: &base,
+            n_chains: self.n_chains,
+            sweeps: self.sweeps,
+            record: &self.record,
+            threads: self.threads,
+            checkpoint_dir: self.checkpoint_dir.as_deref(),
+            resume: true,
+        })
+    }
+}
+
+/// Builder for a multi-chain run over a compiled model (pre-lifecycle
+/// surface). Internally it now compiles **once** and fans N sessions
+/// over the shared plan, exactly like [`ChainPlan`] — the historical
+/// per-chain full recompile is gone.
+#[deprecated(since = "0.6.0", note = "use `Model::plan` + `ChainPlan::new(&plan)` instead")]
+#[derive(Debug)]
+pub struct ChainRunner<'a> {
+    #[allow(deprecated)]
+    infer: &'a Infer,
+    args: Vec<HostValue>,
+    data: Vec<(&'a str, HostValue)>,
+    config: Option<SessionConfig>,
+    n_chains: usize,
+    sweeps: usize,
+    record: Vec<&'a str>,
+    threads: usize,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+#[allow(deprecated)]
 impl<'a> ChainRunner<'a> {
     /// Starts a run of the given compiled model. Defaults: 4 chains,
     /// 1000 sweeps, nothing recorded, one thread, the [`Infer`]'s own
@@ -250,7 +392,7 @@ impl<'a> ChainRunner<'a> {
     /// Overrides the sampler configuration for every chain (per-chain
     /// seeds are still derived from its seed).
     #[must_use]
-    pub fn config(mut self, config: SamplerConfig) -> Self {
+    pub fn config(mut self, config: SessionConfig) -> Self {
         self.config = Some(config);
         self
     }
@@ -278,30 +420,23 @@ impl<'a> ChainRunner<'a> {
 
     /// Number of worker threads chains are fanned across (default 1;
     /// `0` = one per available core). Results are identical at every
-    /// thread count: chain seeds depend only on the chain index, and
-    /// draws are collected in chain order.
+    /// thread count.
     #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
-        self.threads = match n {
-            0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
-            n => n,
-        };
+        self.threads = resolve_threads(n);
         self
     }
 
     /// Periodically checkpoints every chain into `dir` (one
-    /// `chain-<c>.ckpt` file per chain, cadence from the config's
-    /// `checkpoint_every`). A killed run restarts from those files with
-    /// [`ChainRunner::resume_dir`].
+    /// `chain-<c>.ckpt` file per chain). See [`ChainPlan::checkpoint_dir`].
     #[must_use]
     pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.checkpoint_dir = Some(dir.into());
         self
     }
 
-    /// Builds and runs every chain, fanned across the configured worker
-    /// threads. A chain that panics is isolated to a typed error rather
-    /// than unwinding through the caller.
+    /// Compiles once, then binds and runs every chain over the shared
+    /// plan. See [`ChainPlan::run`].
     ///
     /// # Errors
     ///
@@ -310,11 +445,8 @@ impl<'a> ChainRunner<'a> {
         self.run_impl(false)
     }
 
-    /// Resumes every chain from `dir/chain-<c>.ckpt` (written by a prior
-    /// run with [`ChainRunner::checkpoint_dir`]) and continues each to
-    /// the configured total sweep count. The returned draws cover only
-    /// the post-resume sweeps, and are byte-identical to the same sweeps
-    /// of an uninterrupted run at any thread count.
+    /// Resumes every chain from `dir/chain-<c>.ckpt`. See
+    /// [`ChainPlan::resume_dir`].
     ///
     /// # Errors
     ///
@@ -327,70 +459,116 @@ impl<'a> ChainRunner<'a> {
 
     fn run_impl(self, resume: bool) -> Result<Chains, Error> {
         let base = self.config.clone().unwrap_or_else(|| self.infer.config.clone());
-        if let (Some(dir), false) = (&self.checkpoint_dir, resume) {
-            std::fs::create_dir_all(dir).map_err(|e| {
-                Error::Checkpoint(CheckpointError::Io {
-                    path: dir.display().to_string(),
-                    detail: e.to_string(),
-                })
-            })?;
-        }
-        // Samplers hold non-`Send` trait objects, so each chain is built,
-        // initialized (or resumed), and run entirely inside its worker
-        // job; only the recorded draws cross threads.
-        type ChainOut = (Vec<HashMap<String, Vec<f64>>>, augur_backend::Profile);
-        let run_one = |c: usize| -> Result<ChainOut, Error> {
-            let mut chain_cfg = base.clone();
-            chain_cfg.seed = base
-                .seed
-                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1));
-            let ckpt: Option<PathBuf> =
-                self.checkpoint_dir.as_ref().map(|d| chain_file(d, c));
-            chain_cfg.checkpoint_path = ckpt.clone();
-            let mut infer_c = self.infer.clone();
-            infer_c.set_compile_opt(chain_cfg);
-            let mut sampler =
-                infer_c.compile(self.args.clone()).data(self.data.clone()).build()?;
-            let done = if resume {
-                let path = ckpt.as_ref().expect("resume_dir sets the directory");
-                sampler.resume(path)? as usize
-            } else {
-                sampler.init()?;
-                0
-            };
-            let remaining = self.sweeps.saturating_sub(done);
-            let draws = sampler.sample(remaining, &self.record)?;
-            Ok((draws, sampler.profile()))
-        };
-        let results: Vec<Result<_, Error>> = if self.threads > 1 && self.n_chains > 1 {
-            let pool = Pool::new(self.threads);
-            let jobs = (0..self.n_chains)
-                .map(|c| {
-                    let run_one = &run_one;
-                    Box::new(move || run_one(c)) as Box<dyn FnOnce() -> _ + Send + '_>
-                })
-                .collect();
-            pool.try_scatter(jobs)
-                .into_iter()
-                .enumerate()
-                .map(|(c, r)| {
-                    r.unwrap_or_else(|detail| {
-                        Err(Error::WorkerPanic { kernel: format!("chain {c}"), detail })
-                    })
-                })
-                .collect()
-        } else {
-            (0..self.n_chains).map(run_one).collect()
-        };
-        let mut draws = Vec::with_capacity(self.n_chains);
-        let mut profiles = Vec::with_capacity(self.n_chains);
-        for r in results {
-            let (d, p) = r?;
-            draws.push(d);
-            profiles.push(p);
-        }
-        Ok(Chains { draws, profiles })
+        // One compile for all chains: run the middle end once and plan
+        // once, then fan sessions over the shared artifact.
+        let kp = self.infer.kernel_plan()?;
+        let (density, kernel) = augur_backend::driver::explain_plan_spans(&kp);
+        let lowered = augur_low::lower(self.infer.model(), &kp).map_err(
+            augur_backend::driver::BuildError::from,
+        )?;
+        let model = CompiledModel::from_parts(
+            self.infer.model().clone(),
+            lowered,
+            vec![density, kernel],
+        );
+        let plan = model.plan_opt(self.args, self.data, base.opt_flags.clone())?;
+        fan_chains(FanSpec {
+            plan: &plan,
+            base: &base,
+            n_chains: self.n_chains,
+            sweeps: self.sweeps,
+            record: &self.record,
+            threads: self.threads,
+            checkpoint_dir: self.checkpoint_dir.as_deref(),
+            resume,
+        })
     }
+}
+
+/// `0` = one thread per available core.
+fn resolve_threads(n: usize) -> usize {
+    match n {
+        0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Everything one multi-chain fan-out needs, borrowed from the builder.
+struct FanSpec<'a> {
+    plan: &'a Plan,
+    base: &'a SessionConfig,
+    n_chains: usize,
+    sweeps: usize,
+    record: &'a [&'a str],
+    threads: usize,
+    checkpoint_dir: Option<&'a Path>,
+    resume: bool,
+}
+
+/// The shared fan-out: N sessions over one plan, each independently
+/// seeded, fanned across worker threads, collected in chain order.
+fn fan_chains(spec: FanSpec<'_>) -> Result<Chains, Error> {
+    let FanSpec { plan, base, n_chains, sweeps, record, threads, checkpoint_dir, resume } = spec;
+    if let (Some(dir), false) = (checkpoint_dir, resume) {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            Error::Checkpoint(CheckpointError::Io {
+                path: dir.display().to_string(),
+                detail: e.to_string(),
+            })
+        })?;
+    }
+    // Sessions hold non-`Send` trait objects, so each chain's session is
+    // bound, initialized (or resumed), and run entirely inside its
+    // worker job; the shared `Plan` crosses threads by reference (its
+    // artifact is immutable) and only the recorded draws come back.
+    type ChainOut = (Vec<HashMap<String, Vec<f64>>>, augur_backend::Profile);
+    let run_one = |c: usize| -> Result<ChainOut, Error> {
+        let mut chain_cfg = base.clone();
+        chain_cfg.seed = base
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1));
+        let ckpt: Option<PathBuf> = checkpoint_dir.map(|d| chain_file(d, c));
+        chain_cfg.checkpoint_path = ckpt.clone();
+        let mut session = plan.session(chain_cfg)?;
+        let done = if resume {
+            let path = ckpt.as_ref().expect("resume_dir sets the directory");
+            session.resume(path)? as usize
+        } else {
+            session.init()?;
+            0
+        };
+        let remaining = sweeps.saturating_sub(done);
+        let draws = session.sample(remaining, record)?;
+        Ok((draws, session.profile()))
+    };
+    let results: Vec<Result<_, Error>> = if threads > 1 && n_chains > 1 {
+        let pool = Pool::new(threads);
+        let jobs = (0..n_chains)
+            .map(|c| {
+                let run_one = &run_one;
+                Box::new(move || run_one(c)) as Box<dyn FnOnce() -> _ + Send + '_>
+            })
+            .collect();
+        pool.try_scatter(jobs)
+            .into_iter()
+            .enumerate()
+            .map(|(c, r)| {
+                r.unwrap_or_else(|detail| {
+                    Err(Error::WorkerPanic { kernel: format!("chain {c}"), detail })
+                })
+            })
+            .collect()
+    } else {
+        (0..n_chains).map(run_one).collect()
+    };
+    let mut draws = Vec::with_capacity(n_chains);
+    let mut profiles = Vec::with_capacity(n_chains);
+    for r in results {
+        let (d, p) = r?;
+        draws.push(d);
+        profiles.push(p);
+    }
+    Ok(Chains { draws, profiles })
 }
 
 /// The checkpoint file of chain `c` inside `dir`.
@@ -404,7 +582,7 @@ mod tests {
 
     #[test]
     fn chains_differ_but_agree_in_distribution() {
-        let aug = Infer::from_source(
+        let model = crate::Model::compile(
             "(N, tau2, s2) => {
                 param m ~ Normal(0.0, tau2) ;
                 data y[n] ~ Normal(m, s2) for n <- 0 until N ;
@@ -412,15 +590,21 @@ mod tests {
         )
         .unwrap();
         let data = vec![1.2, 0.8, 1.0, 1.4, 0.6];
-        let chains = ChainRunner::new(&aug)
-            .args(vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)])
-            .data(vec![("y", HostValue::VecF(data.clone()))])
+        let plan = model
+            .plan(
+                vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+                vec![("y", HostValue::VecF(data.clone()))],
+            )
+            .unwrap();
+        let chains = ChainPlan::new(&plan)
             .chains(4)
             .sweeps(1500)
             .record(&["m"])
             .run()
             .unwrap();
         assert_eq!(chains.num_chains(), 4);
+        // all four chains bound sessions off the one specialization
+        assert_eq!(model.cache_stats().misses, 1);
         let traces = chains.traces("m", 0).unwrap();
         // distinct seeds ⇒ distinct paths
         assert_ne!(traces[0][..20], traces[1][..20]);
@@ -432,19 +616,18 @@ mod tests {
 
     #[test]
     fn threaded_chains_match_sequential() {
-        let aug = Infer::from_source(
+        let model = crate::Model::compile(
             "(N) => {
                 param p ~ Beta(1.0, 1.0) ;
                 data y[n] ~ Bernoulli(p) for n <- 0 until N ;
             }",
         )
         .unwrap();
-        let args = vec![HostValue::Int(2)];
-        let data = vec![("y", HostValue::VecF(vec![1.0, 0.0]))];
+        let plan = model
+            .plan(vec![HostValue::Int(2)], vec![("y", HostValue::VecF(vec![1.0, 0.0]))])
+            .unwrap();
         let run = |threads: usize| {
-            ChainRunner::new(&aug)
-                .args(args.clone())
-                .data(data.clone())
+            ChainPlan::new(&plan)
                 .chains(3)
                 .sweeps(5)
                 .record(&["p"])
@@ -457,8 +640,11 @@ mod tests {
         assert_eq!(seq.draws, run(8).draws);
     }
 
+    /// Deprecated-shim coverage: the `Infer`-based runner must keep
+    /// working (and producing typed errors) until it is removed.
     #[test]
-    fn missing_param_is_a_typed_error() {
+    #[allow(deprecated)]
+    fn missing_param_is_a_typed_error_via_deprecated_runner() {
         let aug = Infer::from_source(
             "(N) => {
                 param p ~ Beta(1.0, 1.0) ;

@@ -18,33 +18,42 @@
 //!   ──augur_backend──▶ slot-resolved programs + MCMC runtime library
 //! ```
 //!
-//! This crate is the user-facing entry point, mirroring the paper's
-//! Python interface (Fig. 2):
+//! This crate is the user-facing entry point. The paper's Python
+//! interface (Fig. 2) maps onto a three-stage **plan lifecycle**
+//! (`Model` → `Plan` → `Session`) that mirrors how the compiler actually
+//! specializes: the shape-generic phases run once per model, the
+//! size-dependent phases once per data shape (memoized in a plan cache),
+//! and a cheap executable session binds per chain:
 //!
 //! ```
-//! use augur::{Infer, HostValue};
+//! use augur::{Model, SessionConfig, HostValue};
 //!
 //! // Part 1: data (Fig. 2 loads a file; here: inline observations)
 //! let y = vec![1.2, 0.8, 1.0, 1.4, 0.6];
 //!
-//! // Part 2: invoke AugurV2
-//! let mut aug = Infer::from_source("(N, tau2, s2) => {
+//! // Part 2: invoke AugurV2 — compile once, specialize to the data,
+//! // bind an executable session ("Gibbs m" is the user schedule;
+//! // `Model::compile` picks the heuristic one).
+//! let model = Model::with_schedule("(N, tau2, s2) => {
 //!     param m ~ Normal(0.0, tau2) ;
 //!     data y[n] ~ Normal(m, s2) for n <- 0 until N ;
-//! }")?;
-//! aug.schedule("Gibbs m");                         // or omit: heuristic
-//! let mut sampler = aug
-//!     .compile(vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)])
-//!     .data(vec![("y", HostValue::VecF(y))])
-//!     .build()?;
-//! sampler.init()?;
-//! let samples = sampler.sample(100, &["m"])?;
+//! }", "Gibbs m")?;
+//! let plan = model.plan(
+//!     vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+//!     vec![("y", HostValue::VecF(y))],
+//! )?;
+//! let mut session = plan.session(SessionConfig::default())?;
+//! session.init()?;
+//! let samples = session.sample(100, &["m"])?;
 //! assert_eq!(samples.len(), 100);
 //!
 //! // Part 3: observability — what did every kernel of the sweep do?
-//! let report = sampler.report();
+//! let report = session.report();
 //! assert_eq!(report.sweeps, 100);
 //! assert_eq!(report.acceptance_rate("Gibbs Single(m)"), Some(1.0));
+//!
+//! // Planning the same data shape again is a cache hit: only state
+//! // binding re-runs, the compiled tapes are shared.
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -60,15 +69,20 @@ use augur_density::DensityModel;
 use augur_kernel::{heuristic_schedule, parse_schedule, plan, KernelPlan, Schedule};
 use augur_low::LoweredModel;
 
-pub use augur_backend::driver::{Sampler, SamplerConfig, Target};
+pub use augur_backend::driver::{Session, SessionConfig, Target};
+#[allow(deprecated)]
+pub use augur_backend::driver::{Sampler, SamplerConfig};
 pub use augur_backend::mcmc::McmcConfig;
+pub use augur_backend::{CompiledModel, Plan, PlanCacheStats, PlanEvent};
 pub use augur_backend::state::HostValue;
 pub use augur_backend::ExecStrategy;
 pub use augur_backend::{Checkpoint, CheckpointError, FaultPlan};
 pub use augur_backend::{ExecReport, KernelReport, KernelStats, RunReport};
 pub use augur_backend::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};
 pub use augur_blk::OptFlags;
-pub use chains::{ChainRunner, ChainsReport};
+pub use chains::{ChainPlan, ChainsReport};
+#[allow(deprecated)]
+pub use chains::ChainRunner;
 pub use error::Error;
 pub use gpu_sim::DeviceConfig;
 
@@ -78,19 +92,26 @@ pub use gpu_sim::DeviceConfig;
 /// use augur::prelude::*;
 /// ```
 ///
-/// Everything a typical inference script touches — building
-/// ([`Infer`], [`HostValue`], [`SamplerConfig`], [`Target`],
-/// [`ExecStrategy`], [`OptFlags`], [`McmcConfig`]), running
-/// ([`Sampler`], [`ChainRunner`]), observing ([`RunReport`],
-/// [`KernelStats`], [`ChainsReport`], the [`diag`] estimators), and
-/// failing ([`Error`]).
+/// Everything a typical inference script touches — the plan lifecycle
+/// ([`Model`], [`CompiledModel`], [`Plan`], [`Session`],
+/// [`SessionConfig`], [`HostValue`], [`Target`], [`ExecStrategy`],
+/// [`OptFlags`], [`McmcConfig`]), multi-chain runs ([`ChainPlan`]),
+/// observing ([`RunReport`], [`KernelStats`], [`ChainsReport`], the
+/// [`diag`] estimators), and failing ([`Error`]). The deprecated
+/// pre-lifecycle names ([`Infer`], [`Sampler`], [`SamplerConfig`],
+/// [`ChainRunner`]) stay importable during migration.
 pub mod prelude {
-    pub use crate::chains::{ChainRunner, Chains, ChainsReport, ParamDiag};
+    pub use crate::chains::{ChainPlan, Chains, ChainsReport, ParamDiag};
+    #[allow(deprecated)]
+    pub use crate::chains::ChainRunner;
     pub use crate::diag::{autocovariance, ess, ess_per_sec, split_rhat};
     pub use crate::{
-        Error, ExecStrategy, ExplainPlan, HostValue, Infer, KernelStats, McmcConfig, OptFlags,
-        Profile, RunReport, Sampler, SamplerConfig, Target,
+        CompiledModel, Error, ExecStrategy, ExplainPlan, HostValue, KernelStats, McmcConfig,
+        Model, OptFlags, Plan, PlanCacheStats, PlanEvent, Profile, RunReport, Session,
+        SessionConfig, Target,
     };
+    #[allow(deprecated)]
+    pub use crate::{Infer, Sampler, SamplerConfig};
 }
 
 /// Compiler diagnostics produced alongside a build (what the paper's
@@ -106,18 +127,148 @@ pub struct CompileInfo {
     pub code: String,
 }
 
-/// The inference object — the paper's `AugurV2Lib.Infer` (Fig. 2).
+/// The entry point of the plan lifecycle: compile model source once
+/// into a shape-generic [`CompiledModel`], then specialize it to data
+/// shapes with [`Model::plan`] (cached), and bind executable
+/// [`Session`]s from each plan.
 ///
-/// Workflow: create from model source, optionally set compile options and
-/// a user schedule, then [`Infer::compile`] with the model arguments and
-/// chain `.data(...)` and `.build()`.
+/// ```
+/// use augur::{Model, SessionConfig, HostValue};
+///
+/// let model = Model::compile("(N) => {
+///     param p ~ Beta(1.0, 1.0) ;
+///     data y[n] ~ Bernoulli(p) for n <- 0 until N ;
+/// }")?;
+/// let plan = model.plan(
+///     vec![HostValue::Int(2)],
+///     vec![("y", HostValue::VecF(vec![1.0, 0.0]))],
+/// )?;
+/// let mut session = plan.session(SessionConfig::default())?;
+/// session.init()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Model {
+    inner: CompiledModel,
+}
+
+impl Model {
+    /// Runs the shape-generic phases (parse, typecheck, Density IL,
+    /// heuristic schedule, Low-- lowering). The result is reusable
+    /// across data shapes; see [`Model::plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the failing phase.
+    pub fn compile(src: &str) -> Result<Model, BuildError> {
+        Ok(Model { inner: CompiledModel::compile(src, None)? })
+    }
+
+    /// [`Model::compile`] with a user MCMC schedule — the paper's
+    /// `setUserSched`, e.g. `"ESlice mu (*) Gibbs z"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for frontend or schedule failures.
+    pub fn with_schedule(src: &str, schedule: &str) -> Result<Model, BuildError> {
+        Ok(Model { inner: CompiledModel::compile(src, Some(schedule))? })
+    }
+
+    /// Specializes the model to concrete data (the paper's
+    /// `aug.compile(args)(data)`), reusing the cached specialization
+    /// when the data *shape* has been planned before.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for binding/allocation problems.
+    pub fn plan(
+        &self,
+        args: Vec<HostValue>,
+        data: Vec<(&str, HostValue)>,
+    ) -> Result<Plan, BuildError> {
+        self.inner.plan(args, data)
+    }
+
+    /// [`Model::plan`] with explicit Blk-IL optimization flags (they
+    /// participate in the plan-cache key).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for binding/allocation problems.
+    pub fn plan_opt(
+        &self,
+        args: Vec<HostValue>,
+        data: Vec<(&str, HostValue)>,
+        opt_flags: OptFlags,
+    ) -> Result<Plan, BuildError> {
+        self.inner.plan_opt(args, data, opt_flags)
+    }
+
+    /// Plan-cache counters: hits, misses, respecializes, entries.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.inner.cache_stats()
+    }
+
+    /// The schedule in Kernel-IL notation, e.g.
+    /// `Gibbs Single(mu) (*) Gibbs Single(z)` — what
+    /// `kernel_plan().kernel()` rendered on the deprecated path.
+    pub fn kernel(&self) -> String {
+        self.inner.labels().join(" (*) ")
+    }
+
+    /// The underlying shape-generic artifact.
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.inner
+    }
+
+    /// The density model (for analyses and baselines).
+    pub fn density_model(&self) -> &DensityModel {
+        self.inner.density_model()
+    }
+
+    /// Compiler diagnostics: the schedule in Kernel-IL notation, the
+    /// pretty-printed density factorization, and the generated
+    /// procedures as C-like code (what the paper's verbose mode prints).
+    pub fn compile_info(&self) -> CompileInfo {
+        let kernel = self.kernel();
+        let density = augur_density::pretty_density(self.inner.density_model());
+        let mut code = String::new();
+        for p in &self.inner.lowered().procs {
+            code.push_str(&augur_low::il::pretty_proc(p));
+            code.push('\n');
+        }
+        CompileInfo { kernel, density, code }
+    }
+
+    /// Renders the compiled inference program as the Cuda/C a native
+    /// build would compile (the paper's backend output; see [`codegen`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns lowering errors from memory explication.
+    pub fn emit_native(&self, target: codegen::CodegenTarget) -> Result<String, BuildError> {
+        let mut lowered = self.inner.lowered().clone();
+        // Low-- proper: functional primitives become side-effecting
+        // stores into planned temporaries (§5.2) before native emission.
+        augur_low::memory::make_memory_explicit(&mut lowered)?;
+        Ok(codegen::emit(&lowered, target))
+    }
+}
+
+/// The pre-lifecycle inference object — the paper's `AugurV2Lib.Infer`
+/// (Fig. 2). Kept as a thin shim over the [`Model`] → [`Plan`] →
+/// [`Session`] lifecycle; prefer [`Model::compile`], which caches
+/// specialization work across data shapes instead of recompiling on
+/// every build.
+#[deprecated(since = "0.6.0", note = "use `Model::compile` → `plan` → `session` instead")]
 #[derive(Debug, Clone)]
 pub struct Infer {
     model: DensityModel,
     schedule: Option<Schedule>,
-    config: SamplerConfig,
+    config: SessionConfig,
 }
 
+#[allow(deprecated)]
 impl Infer {
     /// Parses and type checks a model.
     ///
@@ -128,12 +279,12 @@ impl Infer {
         let ast = augur_lang::parse(src)?;
         let typed = augur_lang::typecheck(&ast)?;
         let model = DensityModel::from_typed(&typed)?;
-        Ok(Infer { model, schedule: None, config: SamplerConfig::default() })
+        Ok(Infer { model, schedule: None, config: SessionConfig::default() })
     }
 
     /// Sets compile options — the paper's `setCompileOpt` (target choice,
     /// seed, MCMC tuning, Blk-IL optimization toggles).
-    pub fn set_compile_opt(&mut self, config: SamplerConfig) -> &mut Infer {
+    pub fn set_compile_opt(&mut self, config: SessionConfig) -> &mut Infer {
         self.config = config;
         self
     }
@@ -262,13 +413,16 @@ impl Infer {
 }
 
 /// Builder returned by [`Infer::compile`]; supply data and build.
+#[deprecated(since = "0.6.0", note = "use `Model::compile` → `plan` → `session` instead")]
 #[derive(Debug)]
 pub struct CompileBuilder<'a> {
+    #[allow(deprecated)]
     infer: &'a Infer,
     args: Vec<HostValue>,
     data: Vec<(&'a str, HostValue)>,
 }
 
+#[allow(deprecated)]
 impl<'a> CompileBuilder<'a> {
     /// Binds observed data by variable name (the paper's trailing `(x)`).
     pub fn data(mut self, data: Vec<(&'a str, HostValue)>) -> CompileBuilder<'a> {
@@ -288,7 +442,7 @@ impl<'a> CompileBuilder<'a> {
     /// # Errors
     ///
     /// Returns a [`BuildError`] naming the failing phase.
-    pub fn build(self) -> Result<Sampler, BuildError> {
+    pub fn build(self) -> Result<Session, BuildError> {
         let t0 = std::time::Instant::now();
         let kp = self.infer.kernel_plan()?;
         let (density, mut kernel) = augur_backend::driver::explain_plan_spans(&kp);
@@ -297,7 +451,7 @@ impl<'a> CompileBuilder<'a> {
         let lowered: LoweredModel = augur_low::lower(&self.infer.model, &kp)?;
         let lowering =
             augur_backend::profile::Span::timed("lowering", t0.elapsed().as_secs_f64());
-        Sampler::from_lowered_explained(
+        Session::from_lowered_explained(
             &self.infer.model,
             &lowered,
             self.args,
@@ -320,9 +474,8 @@ mod tests {
 
     #[test]
     fn fig2_workflow_compiles() {
-        let mut aug = Infer::from_source(GMM).unwrap();
-        aug.schedule("ESlice mu (*) Gibbs z");
-        let info = aug.compile_info().unwrap();
+        let model = Model::with_schedule(GMM, "ESlice mu (*) Gibbs z").unwrap();
+        let info = model.compile_info();
         assert_eq!(info.kernel, "ESlice Single(mu) (*) Gibbs Single(z)");
         assert!(info.density.contains("Π_{k←0 until K}"));
         assert!(info.code.contains("u1_gibbs() {"));
@@ -330,17 +483,14 @@ mod tests {
 
     #[test]
     fn heuristic_is_used_without_user_schedule() {
-        let aug = Infer::from_source(GMM).unwrap();
-        let kp = aug.kernel_plan().unwrap();
+        let model = Model::compile(GMM).unwrap();
         // mu conjugate ⇒ Gibbs; z discrete ⇒ Gibbs
-        assert_eq!(format!("{}", kp.kernel()), "Gibbs Single(mu) (*) Gibbs Single(z)");
+        assert_eq!(model.kernel(), "Gibbs Single(mu) (*) Gibbs Single(z)");
     }
 
     #[test]
-    fn bad_schedule_is_rejected_at_plan_time() {
-        let mut aug = Infer::from_source(GMM).unwrap();
-        aug.schedule("HMC z (*) Gibbs mu");
-        assert!(aug.kernel_plan().is_err());
+    fn bad_schedule_is_rejected_at_compile_time() {
+        assert!(Model::with_schedule(GMM, "HMC z (*) Gibbs mu").is_err());
     }
 
     #[test]
@@ -357,17 +507,20 @@ mod tests {
 
     #[test]
     fn end_to_end_build_and_sample() {
-        let aug = Infer::from_source(
+        let model = Model::compile(
             "(N) => {
                 param p ~ Beta(1.0, 1.0) ;
                 data y[n] ~ Bernoulli(p) for n <- 0 until N ;
             }",
         )
         .unwrap();
-        let mut s = aug
-            .compile(vec![HostValue::Int(4)])
-            .data(vec![("y", HostValue::VecF(vec![1.0, 1.0, 1.0, 0.0]))])
-            .build()
+        let mut s = model
+            .plan(
+                vec![HostValue::Int(4)],
+                vec![("y", HostValue::VecF(vec![1.0, 1.0, 1.0, 0.0]))],
+            )
+            .unwrap()
+            .session(SessionConfig::default())
             .unwrap();
         s.init().unwrap();
         let samples = s.sample(50, &["p"]).unwrap();

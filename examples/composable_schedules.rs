@@ -23,14 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (label, sched) in schedules {
-        let mut aug = Infer::from_source(models::HGMM)?;
-        aug.schedule(sched);
-        aug.set_compile_opt(SamplerConfig {
-            mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 10, ..Default::default() },
-            ..Default::default()
-        });
-        let mut sampler = aug
-            .compile(vec![
+        let model = Model::with_schedule(models::HGMM, sched)?;
+        let plan = model.plan(
+            vec![
                 HostValue::Int(k as i64),
                 HostValue::Int(n as i64),
                 HostValue::VecF(vec![1.0; k]),                      // alpha
@@ -38,9 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 HostValue::Mat(Matrix::identity(dim).scale(100.0)), // Sigma_0
                 HostValue::Real((dim + 2) as f64),                  // nu
                 HostValue::Mat(Matrix::identity(dim)),              // Psi
-            ])
-            .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-            .build()?;
+            ],
+            vec![("y", HostValue::Ragged(data.points.clone()))],
+        )?;
+        let mut sampler = plan.session(SessionConfig {
+            mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 10, ..Default::default() },
+            ..Default::default()
+        })?;
         sampler.init().unwrap();
         let t0 = std::time::Instant::now();
         for _ in 0..150 {

@@ -6,7 +6,7 @@
 //!
 //! * `MH r` with the built-in random-walk proposal (`Prop Nothing`),
 //! * `MH r` with a user-supplied multiplicative proposal
-//!   (`Prop (Just α)`, registered via `Sampler::set_proposal`),
+//!   (`Prop (Just α)`, registered via `Session::set_proposal`),
 //! * `MALA r` — the gradient-drifted update added as the §7.1
 //!   extensibility exercise.
 //!
@@ -52,18 +52,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("analytic posterior mean: {post_mean:.3}\n");
 
     let run = |label: &str, sched: &str, custom: bool, mcmc: McmcConfig| {
-        let mut aug = Infer::from_source(MODEL).expect("model parses");
-        aug.schedule(sched);
-        aug.set_compile_opt(SamplerConfig { mcmc, ..Default::default() });
-        let mut s = aug
-            .compile(vec![
-                HostValue::Int(counts.len() as i64),
-                HostValue::Real(a),
-                HostValue::Real(b),
-            ])
-            .data(vec![("c", HostValue::VecF(counts.clone()))])
-            .build()
-            .expect("model builds");
+        let model = Model::with_schedule(MODEL, sched).expect("model parses");
+        let plan = model
+            .plan(
+                vec![
+                    HostValue::Int(counts.len() as i64),
+                    HostValue::Real(a),
+                    HostValue::Real(b),
+                ],
+                vec![("c", HostValue::VecF(counts.clone()))],
+            )
+            .expect("model plans");
+        let mut s = plan
+            .session(SessionConfig { mcmc, ..Default::default() })
+            .expect("session binds");
         if custom {
             s.set_proposal(0, Box::new(LogRandomWalk { scale: 0.4 }));
         }

@@ -1,11 +1,11 @@
 //! Explain plans and the phase profiler, end to end.
 //!
 //! Walks the observability surface added on top of the compiler
-//! pipeline: `Sampler::explain()` shows what the compiler did to the
+//! pipeline: `Session::explain()` shows what the compiler did to the
 //! model — which §3.3 conditional rewrite fired for every kernel unit
 //! (or why it fell back to a generic sampler), the Kernel IL schedule,
 //! the size-inference allocation table with per-buffer byte bounds, and
-//! the Blk-IL optimization decisions — while `Sampler::profile()` shows
+//! the Blk-IL optimization decisions — while `Session::profile()` shows
 //! where a run spent its effort: per-schedule-step work and wall time,
 //! tape op-class counts, and the peak-memory watermark.
 //!
@@ -23,17 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topics = 4;
     let corpus = workloads::lda_corpus(topics, 30, 100, 30, 7);
 
-    let aug = Infer::from_source(models::LDA)?;
-    let mut sampler = aug
-        .compile(vec![
+    let model = Model::compile(models::LDA)?;
+    let plan = model.plan(
+        vec![
             HostValue::Int(topics as i64),
             HostValue::Int(corpus.docs.len() as i64),
             HostValue::VecF(vec![0.5; topics]),
             HostValue::VecF(vec![0.1; corpus.vocab]),
             HostValue::VecI(corpus.lens.clone()),
-        ])
-        .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
-        .build()?;
+        ],
+        vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+    )?;
+    let mut sampler = plan.session(SessionConfig::default())?;
 
     // Part 1: the compile-time explain plan. Untimed render is stable
     // across runs (goldens diff it); render_timed() adds per-phase wall

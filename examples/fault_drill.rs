@@ -24,9 +24,9 @@ use augurv2::{models, workloads};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (k, d, n) = (2, 2, 60);
     let data = workloads::hgmm_data(k, d, n, 42);
-    let aug = Infer::from_source(models::HGMM)?;
-    let mut sampler = aug
-        .compile(vec![
+    let model = Model::compile(models::HGMM)?;
+    let plan = model.plan(
+        vec![
             HostValue::Int(k as i64),
             HostValue::Int(n as i64),
             HostValue::VecF(vec![1.0; k]),
@@ -34,9 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             HostValue::Mat(Matrix::identity(d).scale(50.0)),
             HostValue::Real((d + 2) as f64),
             HostValue::Mat(Matrix::identity(d)),
-        ])
-        .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-        .build()?;
+        ],
+        vec![("y", HostValue::Ragged(data.points.clone()))],
+    )?;
+    let mut sampler = plan.session(SessionConfig::default())?;
     sampler.init()?;
 
     // The default panic hook prints a backtrace before `try_sweep`'s

@@ -32,22 +32,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         true_b: all.true_b,
     };
 
-    let mut aug = Infer::from_source(models::HLR)?;
-    aug.set_compile_opt(SamplerConfig {
-        mcmc: McmcConfig { step_size: 0.08, leapfrog_steps: 30, ..Default::default() },
-        ..Default::default()
-    });
-    println!("kernel: {}", aug.kernel_plan()?.kernel());
+    let model = Model::compile(models::HLR)?;
+    println!("kernel: {}", model.kernel());
 
-    let mut sampler = aug
-        .compile(vec![
+    let plan = model.plan(
+        vec![
             HostValue::Real(1.0),                  // lambda
             HostValue::Int(n as i64),              // N
             HostValue::Int(d as i64),              // D
             HostValue::Ragged(train.x.clone()),    // x (covariates are an argument)
-        ])
-        .data(vec![("y", HostValue::VecF(train.y.clone()))])
-        .build()?;
+        ],
+        vec![("y", HostValue::VecF(train.y.clone()))],
+    )?;
+    let mut sampler = plan.session(SessionConfig {
+        mcmc: McmcConfig { step_size: 0.08, leapfrog_steps: 30, ..Default::default() },
+        ..Default::default()
+    })?;
     sampler.init().unwrap();
 
     // warmup + posterior draws

@@ -23,11 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         corpus.vocab
     );
 
-    let aug = Infer::from_source(models::LDA)?;
-    println!(
-        "heuristic kernel: {}",
-        format_args!("{}", aug.kernel_plan()?.kernel())
-    );
+    let model = Model::compile(models::LDA)?;
+    println!("heuristic kernel: {}", model.kernel());
 
     let args = vec![
         HostValue::Int(topics as i64),
@@ -37,10 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         HostValue::VecI(corpus.lens.clone()),        // len
     ];
 
-    let mut sampler = aug
-        .compile(args.clone())
-        .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
-        .build()?;
+    let plan = model.plan(args, vec![("w", HostValue::RaggedI(corpus.docs.clone()))])?;
+    let mut sampler = plan.session(SessionConfig::default())?;
     sampler.init().unwrap();
     for _ in 0..100 {
         sampler.sweep();
@@ -60,16 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nCPU virtual time for 100 sweeps: {:.3}s", sampler.virtual_secs());
 
-    // Same model, GPU target.
-    let mut aug_gpu = Infer::from_source(models::LDA)?;
-    aug_gpu.set_compile_opt(SamplerConfig {
+    // Same plan, GPU target: the target is a session concern, so the
+    // compiled tapes are shared — no recompile, no replan.
+    let mut gpu = plan.session(SessionConfig {
         target: Target::Gpu(DeviceConfig::titan_black_like()),
         ..Default::default()
-    });
-    let mut gpu = aug_gpu
-        .compile(args)
-        .data(vec![("w", HostValue::RaggedI(corpus.docs))])
-        .build()?;
+    })?;
     gpu.init().unwrap();
     for _ in 0..100 {
         gpu.sweep();

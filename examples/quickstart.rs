@@ -21,25 +21,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  [{:6.2}, {:6.2}]", m[0], m[1]);
     }
 
-    // Part 2: invoke AugurV2 (Fig. 2).
-    let mut aug = Infer::from_source(models::GMM)?;
-    aug.schedule("ESlice mu (*) Gibbs z");
+    // Part 2: invoke AugurV2 (Fig. 2) via the plan lifecycle:
+    // compile once, specialize to the data shape, bind a session.
+    let model = Model::with_schedule(models::GMM, "ESlice mu (*) Gibbs z")?;
 
-    let info = aug.compile_info()?;
+    let info = model.compile_info();
     println!("\ndensity factorization:\n{}", info.density);
     println!("kernel: {}\n", info.kernel);
 
-    let mut sampler = aug
-        .compile(vec![
+    let plan = model.plan(
+        vec![
             HostValue::Int(k as i64),                          // K
             HostValue::Int(n as i64),                          // N
             HostValue::VecF(vec![0.0, 0.0]),                   // mu_0
             HostValue::Mat(Matrix::identity(2).scale(25.0)),   // Sigma_0
             HostValue::VecF(vec![1.0 / k as f64; k]),          // pis
             HostValue::Mat(Matrix::identity(2)),               // Sigma
-        ])
-        .data(vec![("x", HostValue::Ragged(data.points.clone()))])
-        .build()?;
+        ],
+        vec![("x", HostValue::Ragged(data.points.clone()))],
+    )?;
+    let mut sampler = plan.session(SessionConfig::default())?;
 
     sampler.init()?;
     let samples = sampler.sample(1000, &["mu"])?;

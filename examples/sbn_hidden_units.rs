@@ -41,22 +41,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("observed visible units: {v:?}");
 
-    let aug = Infer::from_source(SBN)?;
-    println!("kernel: {}", aug.kernel_plan()?.kernel());
+    let model = Model::compile(SBN)?;
+    println!("kernel: {}", model.kernel());
     println!("\ngenerated update (sequential single-site enumeration):");
-    for line in aug.compile_info()?.code.lines().take(14) {
+    for line in model.compile_info().code.lines().take(14) {
         println!("  {line}");
     }
 
-    let mut s = aug
-        .compile(vec![
+    let plan = model.plan(
+        vec![
             HostValue::Int(h_dim as i64),
             HostValue::Int(v_dim as i64),
             HostValue::Ragged(FlatRagged::from_rows(w_rows)),
             HostValue::VecF(c),
-        ])
-        .data(vec![("v", HostValue::VecF(v))])
-        .build()?;
+        ],
+        vec![("v", HostValue::VecF(v))],
+    )?;
+    let mut s = plan.session(SessionConfig::default())?;
     s.init().unwrap();
 
     let sweeps = 500;

@@ -12,6 +12,16 @@ AUGUR_THREADS=1 cargo test -q
 AUGUR_THREADS=8 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Allocation-free steady state: the counting-allocator harness must see
+# zero heap allocations per sweep after warm-up on every model and both
+# executor lanes (the plan lifecycle's runtime claim).
+cargo test -q --test alloc_free
+
+# The deprecated `Infer`/`Sampler`/`ChainRunner` shims must keep
+# compiling against their old call patterns (shim-coverage tests carry
+# `#[allow(deprecated)]`; they are removed together with the shims).
+cargo test -q --test plan_lifecycle deprecated_infer_path_matches_plan_lifecycle
+
 # Explain/profile smoke: the walkthrough example exercises the whole
 # explain-plan + phase-profiler surface (the byte-for-byte golden for
 # the LDA explain render, tests/golden/lda_explain.txt, runs as part of

@@ -58,7 +58,7 @@ mod tests {
     fn compiled_gibbs_beats_graph_gibbs_on_ess_per_sec() {
         use crate::workloads;
         use augur::diag::ess_per_sec;
-        use augur::{HostValue, Infer};
+        use augur::{HostValue, Model, SessionConfig};
         let (k, d, n) = (3, 2, 600);
         let data = workloads::hgmm_data(k, d, n, 5);
         let args = || {
@@ -72,11 +72,11 @@ mod tests {
                 HostValue::Mat(augur_math::Matrix::identity(d)),
             ]
         };
-        let aug = Infer::from_source(crate::models::HGMM).unwrap();
-        let mut s = aug
-            .compile(args())
-            .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-            .build()
+        let model = Model::compile(crate::models::HGMM).unwrap();
+        let mut s = model
+            .plan(args(), vec![("y", HostValue::Ragged(data.points.clone()))])
+            .unwrap()
+            .session(SessionConfig::default())
             .unwrap();
         s.init().unwrap();
         let t0 = std::time::Instant::now();

@@ -4,7 +4,7 @@
 //! never a silently poisoned chain.
 
 use augur::{
-    Error, ExecStrategy, FaultPlan, HostValue, Infer, McmcConfig, Sampler, SamplerConfig,
+    Error, ExecStrategy, FaultPlan, HostValue, McmcConfig, Model, Session, SessionConfig,
 };
 use augur_backend::fault::{NanFault, PanicFault};
 
@@ -18,29 +18,32 @@ const NORMAL_NORMAL: &str = "(N, tau2, s2) => {
     data y[n] ~ Normal(m, s2) for n <- 0 until N ;
 }";
 
-fn gibbs_sampler(config: SamplerConfig) -> Sampler {
-    let mut aug = Infer::from_source(GAMMA_POISSON).unwrap();
-    aug.set_compile_opt(config);
-    let mut s = aug
-        .compile(vec![HostValue::Int(6), HostValue::Real(2.0), HostValue::Real(1.0)])
-        .data(vec![("c", HostValue::VecF(vec![3.0, 5.0, 4.0, 2.0, 6.0, 4.0]))])
-        .build()
+fn gibbs_sampler(config: SessionConfig) -> Session {
+    let model = Model::compile(GAMMA_POISSON).unwrap();
+    let mut s = model
+        .plan(
+            vec![HostValue::Int(6), HostValue::Real(2.0), HostValue::Real(1.0)],
+            vec![("c", HostValue::VecF(vec![3.0, 5.0, 4.0, 2.0, 6.0, 4.0]))],
+        )
+        .unwrap()
+        .session(config)
         .unwrap();
     s.init().unwrap();
     s
 }
 
-fn hmc_sampler(config: SamplerConfig) -> Sampler {
-    let mut aug = Infer::from_source(NORMAL_NORMAL).unwrap();
-    aug.schedule("HMC m");
-    aug.set_compile_opt(SamplerConfig {
-        mcmc: McmcConfig { step_size: 0.15, leapfrog_steps: 10, ..config.mcmc },
-        ..config
-    });
-    let mut s = aug
-        .compile(vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)])
-        .data(vec![("y", HostValue::VecF(vec![1.2, 0.8, 1.0, 1.4, 0.6]))])
-        .build()
+fn hmc_sampler(config: SessionConfig) -> Session {
+    let model = Model::with_schedule(NORMAL_NORMAL, "HMC m").unwrap();
+    let mut s = model
+        .plan(
+            vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+            vec![("y", HostValue::VecF(vec![1.2, 0.8, 1.0, 1.4, 0.6]))],
+        )
+        .unwrap()
+        .session(SessionConfig {
+            mcmc: McmcConfig { step_size: 0.15, leapfrog_steps: 10, ..config.mcmc },
+            ..config
+        })
         .unwrap();
     s.init().unwrap();
     s
@@ -56,7 +59,7 @@ fn injected_gibbs_nan_is_contained_as_a_numerical_event() {
             nan: vec![NanFault { proc_name: "u0_gibbs".to_owned(), sweep: Some(5) }],
             ..Default::default()
         };
-        let mut s = gibbs_sampler(SamplerConfig {
+        let mut s = gibbs_sampler(SessionConfig {
             exec,
             fault: Some(plan),
             checkpoint_every: 0,
@@ -81,7 +84,7 @@ fn injected_hmc_nan_rejects_and_stays_finite() {
             nan: vec![NanFault { proc_name: "u0_ll".to_owned(), sweep: Some(3) }],
             ..Default::default()
         };
-        let mut s = hmc_sampler(SamplerConfig {
+        let mut s = hmc_sampler(SessionConfig {
             exec,
             fault: Some(plan),
             checkpoint_every: 0,
@@ -102,7 +105,7 @@ fn injected_hmc_nan_rejects_and_stays_finite() {
 #[test]
 fn fault_plan_is_inert_before_its_sweep() {
     let run = |fault: Option<FaultPlan>| {
-        let mut s = gibbs_sampler(SamplerConfig {
+        let mut s = gibbs_sampler(SessionConfig {
             fault,
             checkpoint_every: 0,
             ..Default::default()
@@ -126,7 +129,7 @@ fn injected_worker_panic_is_isolated_to_a_typed_error() {
         panics: vec![PanicFault { worker: 0, sweep: Some(3) }],
         ..Default::default()
     };
-    let mut s = gibbs_sampler(SamplerConfig {
+    let mut s = gibbs_sampler(SessionConfig {
         exec: ExecStrategy::Tape,
         threads: 2,
         fault: Some(plan),
@@ -156,7 +159,7 @@ fn sample_surfaces_worker_panic_as_typed_error() {
         panics: vec![PanicFault { worker: 0, sweep: Some(2) }],
         ..Default::default()
     };
-    let mut s = gibbs_sampler(SamplerConfig {
+    let mut s = gibbs_sampler(SessionConfig {
         exec: ExecStrategy::Tape,
         threads: 2,
         fault: Some(plan),
@@ -182,7 +185,7 @@ fn trace_io_faults_are_counted_not_fatal() {
     ));
     let sweeps = 12u64;
     let run = |fault: Option<FaultPlan>, trace: bool| {
-        let mut s = gibbs_sampler(SamplerConfig {
+        let mut s = gibbs_sampler(SessionConfig {
             trace_path: trace.then(|| path.clone()),
             fault,
             checkpoint_every: 0,

@@ -7,7 +7,7 @@
 //! through every compiler stage and a few sweeps without panicking, and
 //! must leave the state at a finite log-joint.
 
-use augur::{HostValue, Infer, McmcConfig, SamplerConfig};
+use augur::{HostValue, McmcConfig, Model, SessionConfig};
 use augur_dist::Prng;
 use proptest::prelude::*;
 
@@ -137,21 +137,18 @@ proptest! {
                 _ => rng.poisson(2.0) as f64,
             })
             .collect();
-        let mut aug = Infer::from_source(&model.src)
-            .unwrap_or_else(|e| panic!("frontend failed on:\n{}\n{e}", model.src));
-        aug.set_compile_opt(SamplerConfig {
-            seed,
-            mcmc: McmcConfig { step_size: 0.02, leapfrog_steps: 4, ..Default::default() },
-            ..Default::default()
-        });
         // The heuristic must always produce *some* plan for these models.
-        let plan = aug.kernel_plan()
-            .unwrap_or_else(|e| panic!("planning failed on:\n{}\n{e}", model.src));
-        prop_assert!(!plan.updates.is_empty());
-        let mut s = aug
-            .compile(vec![HostValue::Int(model.n as i64)])
-            .data(vec![("y", HostValue::VecF(y))])
-            .build()
+        let compiled = Model::compile(&model.src)
+            .unwrap_or_else(|e| panic!("compile failed on:\n{}\n{e}", model.src));
+        prop_assert!(!compiled.kernel().is_empty());
+        let mut s = compiled
+            .plan(vec![HostValue::Int(model.n as i64)], vec![("y", HostValue::VecF(y))])
+            .unwrap_or_else(|e| panic!("planning failed on:\n{}\n{e}", model.src))
+            .session(SessionConfig {
+                seed,
+                mcmc: McmcConfig { step_size: 0.02, leapfrog_steps: 4, ..Default::default() },
+                ..Default::default()
+            })
             .unwrap_or_else(|e| panic!("build failed on:\n{}\n{e}", model.src));
         s.init().unwrap();
         for _ in 0..5 {
@@ -169,11 +166,11 @@ proptest! {
     /// The Cuda/C emitter must render every random model without panicking.
     #[test]
     fn random_models_emit_native_code(model in arb_model()) {
-        let aug = Infer::from_source(&model.src).unwrap();
-        let c = aug.emit_native(augur::codegen::CodegenTarget::C)
+        let compiled = Model::compile(&model.src).unwrap();
+        let c = compiled.emit_native(augur::codegen::CodegenTarget::C)
             .unwrap_or_else(|e| panic!("emit failed on:\n{}\n{e}", model.src));
         prop_assert!(c.contains("void mcmc_sweep"));
-        let cu = aug.emit_native(augur::codegen::CodegenTarget::Cuda).unwrap();
+        let cu = compiled.emit_native(augur::codegen::CodegenTarget::Cuda).unwrap();
         prop_assert!(cu.contains("__global__") || !cu.contains("parBlk"));
     }
 }

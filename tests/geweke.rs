@@ -11,7 +11,7 @@
 //! have the same distribution; any bug in the conditional analysis, the
 //! Gibbs codegen, or the acceptance logic shows up as a moment mismatch.
 
-use augur::{HostValue, Sampler, SamplerConfig};
+use augur::{HostValue, Session, SessionConfig};
 use augur_dist::Prng;
 use augur_math::vecops::{mean, variance};
 
@@ -26,15 +26,15 @@ fn successive_conditional(
     data_var: &str,
     initial_data: HostValue,
     iters: usize,
-    stat: impl Fn(&Sampler) -> f64,
-    regen: impl Fn(&mut Sampler, &mut Prng),
+    stat: impl Fn(&Session) -> f64,
+    regen: impl Fn(&mut Session, &mut Prng),
 ) -> Vec<f64> {
-    let mut s = Sampler::build(
+    let mut s = Session::build(
         src,
         sched,
         args,
         vec![(data_var, initial_data)],
-        SamplerConfig { seed: 42, ..Default::default() },
+        SessionConfig { seed: 42, ..Default::default() },
     )
     .unwrap();
     let mut rng = Prng::seed_from_u64(43);

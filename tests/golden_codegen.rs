@@ -2,15 +2,16 @@
 //! *structure* of every compiled update so rewrite/lowering regressions
 //! surface as diffs here.
 
-use augur::Infer;
+use augur::Model;
 use augurv2::models;
 
 fn code(src: &str, sched: Option<&str>) -> String {
-    let mut aug = Infer::from_source(src).unwrap();
-    if let Some(s) = sched {
-        aug.schedule(s);
+    let model = match sched {
+        Some(s) => Model::with_schedule(src, s),
+        None => Model::compile(src),
     }
-    aug.compile_info().unwrap().code
+    .unwrap();
+    model.compile_info().code
 }
 
 #[test]
@@ -76,9 +77,8 @@ fn gmm_eslice_structure_is_stable() {
 
 #[test]
 fn cuda_emission_structure_is_stable() {
-    let mut aug = Infer::from_source(models::HGMM).unwrap();
-    let _ = &mut aug;
-    let cu = aug.emit_native(augur::codegen::CodegenTarget::Cuda).unwrap();
+    let model = Model::compile(models::HGMM).unwrap();
+    let cu = model.emit_native(augur::codegen::CodegenTarget::Cuda).unwrap();
     // one kernel per top-level parallel loop; canonical prologue
     assert!(cu.matches("__global__ void").count() >= 6, "{cu}");
     assert!(cu.contains("int n = blockIdx.x * blockDim.x + threadIdx.x + 0;"), "{cu}");

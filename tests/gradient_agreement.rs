@@ -2,7 +2,7 @@
 //! (Fig. 8) must agree with the Stan baseline's tape AD on the same HLR
 //! posterior — two completely independent implementations.
 
-use augur::{HostValue, Infer};
+use augur::{HostValue, Model, SessionConfig};
 use augur_backend::mcmc::{gradient, log_density_flat, write_position, GradTarget};
 use augur_stan::{HlrModel, StanModel, Tape};
 use augurv2::{models, workloads};
@@ -15,16 +15,19 @@ fn source_to_source_ad_matches_tape_ad_on_hlr() {
     let lambda = 1.0;
 
     // --- AugurV2 side: compiled ll and grad procedures ---
-    let aug = Infer::from_source(models::HLR).unwrap();
-    let mut sampler = aug
-        .compile(vec![
-            HostValue::Real(lambda),
-            HostValue::Int(n as i64),
-            HostValue::Int(d as i64),
-            HostValue::Ragged(data.x.clone()),
-        ])
-        .data(vec![("y", HostValue::VecF(data.y.clone()))])
-        .build()
+    let model = Model::compile(models::HLR).unwrap();
+    let mut sampler = model
+        .plan(
+            vec![
+                HostValue::Real(lambda),
+                HostValue::Int(n as i64),
+                HostValue::Int(d as i64),
+                HostValue::Ragged(data.x.clone()),
+            ],
+            vec![("y", HostValue::VecF(data.y.clone()))],
+        )
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     sampler.init().unwrap();
 
@@ -93,11 +96,13 @@ fn source_to_source_ad_matches_tape_ad_on_hlr() {
 // The driver does not expose its ProcTable; recompile the procedures the
 // same way it does. This keeps the test honest: it compiles the lowered
 // model independently and compares against the tape.
-fn sampler_table(sampler: &mut augur::Sampler) -> augur_backend::compile::ProcTable {
+fn sampler_table(sampler: &mut augur::Session) -> augur_backend::compile::ProcTable {
     use augur_backend::compile::Compiler;
-    let aug = Infer::from_source(models::HLR).unwrap();
-    let kp = aug.kernel_plan().unwrap();
-    let lowered = augur_low::lower(aug.model(), &kp).unwrap();
+    let model = Model::compile(models::HLR).unwrap();
+    let dm = model.density_model();
+    let sched = augur_kernel::heuristic_schedule(dm).unwrap();
+    let kp = augur_kernel::plan(dm, &sched).unwrap();
+    let lowered = augur_low::lower(dm, &kp).unwrap();
     let mut table = augur_backend::compile::ProcTable::default();
     let engine = sampler.engine_mut();
     for p in &lowered.procs {

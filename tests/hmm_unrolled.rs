@@ -7,7 +7,7 @@
 //! transition matrix by the previous state. The compiled finite-sum Gibbs
 //! marginals are validated against exact enumeration over all 2³ paths.
 
-use augur::{HostValue, Infer};
+use augur::{HostValue, Model, SessionConfig};
 use augur_dist::scalar::normal_log_pdf;
 use augur_math::FlatRagged;
 
@@ -63,25 +63,27 @@ fn unrolled_hmm_matches_exact_marginals() {
 
     // compiled Gibbs chain
     let a_ragged = FlatRagged::from_rows(vec![a[0].to_vec(), a[1].to_vec()]);
-    let aug = Infer::from_source(src).unwrap();
-    let kernel = format!("{}", aug.kernel_plan().unwrap().kernel());
+    let model = Model::compile(src).unwrap();
     assert_eq!(
-        kernel,
+        model.kernel(),
         "Gibbs Single(z0) (*) Gibbs Single(z1) (*) Gibbs Single(z2)"
     );
-    let mut s = aug
-        .compile(vec![
-            HostValue::VecF(pi0.clone()),
-            HostValue::Ragged(a_ragged),
-            HostValue::VecF(mus.clone()),
-            HostValue::Real(s2),
-        ])
-        .data(vec![
-            ("y0", HostValue::Real(y[0])),
-            ("y1", HostValue::Real(y[1])),
-            ("y2", HostValue::Real(y[2])),
-        ])
-        .build()
+    let mut s = model
+        .plan(
+            vec![
+                HostValue::VecF(pi0.clone()),
+                HostValue::Ragged(a_ragged),
+                HostValue::VecF(mus.clone()),
+                HostValue::Real(s2),
+            ],
+            vec![
+                ("y0", HostValue::Real(y[0])),
+                ("y1", HostValue::Real(y[1])),
+                ("y2", HostValue::Real(y[2])),
+            ],
+        )
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
     let sweeps = 40_000;
@@ -114,8 +116,8 @@ fn middle_state_conditional_sees_both_transitions() {
         param z2 ~ Categorical(A[z1]) ;
         data y1 ~ Normal(mus[z1], s2) ;
     }"#;
-    let aug = Infer::from_source(src).unwrap();
-    let dm = aug.model();
+    let model = Model::compile(src).unwrap();
+    let dm = model.density_model();
     let cond = augur_density::conditional(dm, &["z1"]);
     // factors: z1's prior, z2's prior (transition out), y1's emission
     assert_eq!(cond.factors.len(), 3);

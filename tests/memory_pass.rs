@@ -2,7 +2,7 @@
 //! sampler built from the memory-explicit Low-- form produces the exact
 //! chain of the functional form.
 
-use augur::{HostValue, Infer, Sampler, SamplerConfig};
+use augur::{HostValue, Model, Session, SessionConfig};
 use augurv2::workloads;
 
 #[test]
@@ -20,20 +20,22 @@ fn memory_explicit_lowering_is_bit_identical() {
             HostValue::Mat(augur_math::Matrix::identity(d)),
         ]
     };
-    let aug = Infer::from_source(augurv2::models::HGMM).unwrap();
-    let kp = aug.kernel_plan().unwrap();
-    let lowered = augur_low::lower(aug.model(), &kp).unwrap();
+    let model = Model::compile(augurv2::models::HGMM).unwrap();
+    let dm = model.density_model();
+    let sched = augur_kernel::heuristic_schedule(dm).unwrap();
+    let kp = augur_kernel::plan(dm, &sched).unwrap();
+    let lowered = augur_low::lower(dm, &kp).unwrap();
     let mut explicit = lowered.clone();
     let hoisted = augur_low::memory::make_memory_explicit(&mut explicit).unwrap();
     assert!(hoisted > 0);
 
     let build = |lm: &augur_low::LoweredModel| {
-        let mut s = Sampler::from_lowered(
-            aug.model(),
+        let mut s = Session::from_lowered(
+            dm,
             lm,
             args(),
             vec![("y", HostValue::Ragged(data.points.clone()))],
-            SamplerConfig::default(),
+            SessionConfig::default(),
         )
         .unwrap();
         s.init().unwrap();
@@ -55,8 +57,8 @@ fn memory_explicit_lowering_is_bit_identical() {
 
 #[test]
 fn emitted_c_uses_explicit_temporaries() {
-    let aug = Infer::from_source(augurv2::models::HGMM).unwrap();
-    let c = aug.emit_native(augur::codegen::CodegenTarget::C).unwrap();
+    let model = Model::compile(augurv2::models::HGMM).unwrap();
+    let c = model.emit_native(augur::codegen::CodegenTarget::C).unwrap();
     // the functional form `MvNormal(mat_vec(mat_inv(...)), ...)` is gone:
     // temporaries are assigned first, then consumed
     assert!(c.contains("_tmp"), "{c}");

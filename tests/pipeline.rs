@@ -2,7 +2,7 @@
 //! models, across schedules and targets.
 #![allow(clippy::needless_range_loop)]
 
-use augur::{DeviceConfig, HostValue, Infer, McmcConfig, SamplerConfig, Target};
+use augur::{DeviceConfig, HostValue, McmcConfig, Model, SessionConfig, Target};
 use augur_math::vecops::mean;
 use augur_math::Matrix;
 use augurv2::{models, workloads};
@@ -23,15 +23,15 @@ fn hgmm_args(k: usize, d: usize, n: usize) -> Vec<HostValue> {
 fn hgmm_heuristic_recovers_clusters_and_weights() {
     let (k, d, n) = (3, 2, 450);
     let data = workloads::hgmm_data(k, d, n, 32);
-    let aug = Infer::from_source(models::HGMM).unwrap();
+    let model = Model::compile(models::HGMM).unwrap();
     assert_eq!(
-        format!("{}", aug.kernel_plan().unwrap().kernel()),
+        model.kernel(),
         "Gibbs Single(pi) (*) Gibbs Single(mu) (*) Gibbs Single(Sigma) (*) Gibbs Single(z)"
     );
-    let mut s = aug
-        .compile(hgmm_args(k, d, n))
-        .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-        .build()
+    let mut s = model
+        .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(data.points.clone()))])
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
     for _ in 0..120 {
@@ -83,16 +83,14 @@ fn fig10_three_schedules_converge_to_similar_log_joint() {
         "Gibbs pi (*) ESlice mu (*) Gibbs Sigma (*) Gibbs z",
         "Gibbs pi (*) HMC mu (*) Gibbs Sigma (*) Gibbs z",
     ] {
-        let mut aug = Infer::from_source(models::HGMM).unwrap();
-        aug.schedule(sched);
-        aug.set_compile_opt(SamplerConfig {
-            mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 12, ..Default::default() },
-            ..Default::default()
-        });
-        let mut s = aug
-            .compile(hgmm_args(k, d, n))
-            .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-            .build()
+        let model = Model::with_schedule(models::HGMM, sched).unwrap();
+        let mut s = model
+            .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(data.points.clone()))])
+            .unwrap()
+            .session(SessionConfig {
+                mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 12, ..Default::default() },
+                ..Default::default()
+            })
             .unwrap();
         s.init().unwrap();
         for _ in 0..1000 {
@@ -116,7 +114,7 @@ fn fig10_three_schedules_converge_to_similar_log_joint() {
 fn lda_gibbs_beats_random_assignments_on_log_joint() {
     let topics = 3;
     let corpus = workloads::lda_corpus(topics, 30, 60, 25, 41);
-    let aug = Infer::from_source(models::LDA).unwrap();
+    let model = Model::compile(models::LDA).unwrap();
     let args = vec![
         HostValue::Int(topics as i64),
         HostValue::Int(corpus.docs.len() as i64),
@@ -124,10 +122,10 @@ fn lda_gibbs_beats_random_assignments_on_log_joint() {
         HostValue::VecF(vec![0.1; corpus.vocab]),
         HostValue::VecI(corpus.lens.clone()),
     ];
-    let mut s = aug
-        .compile(args)
-        .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
-        .build()
+    let mut s = model
+        .plan(args, vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
     let initial = s.log_joint();
@@ -159,14 +157,14 @@ fn gpu_target_matches_cpu_bitwise_on_lda() {
         HostValue::VecF(vec![0.1; corpus.vocab]),
         HostValue::VecI(corpus.lens.clone()),
     ];
+    // one shared plan: the target is a session concern, and the second
+    // session must not trigger a recompile.
+    let model = Model::compile(models::LDA).unwrap();
+    let plan = model
+        .plan(args, vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
+        .unwrap();
     let build = |target: Target| {
-        let mut aug = Infer::from_source(models::LDA).unwrap();
-        aug.set_compile_opt(SamplerConfig { target, ..Default::default() });
-        let mut s = aug
-            .compile(args.clone())
-            .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
-            .build()
-            .unwrap();
+        let mut s = plan.session(SessionConfig { target, ..Default::default() }).unwrap();
         s.init().unwrap();
         for _ in 0..10 {
             s.sweep();
@@ -175,6 +173,7 @@ fn gpu_target_matches_cpu_bitwise_on_lda() {
     };
     let cpu = build(Target::Cpu);
     let gpu = build(Target::Gpu(DeviceConfig::titan_black_like()));
+    assert_eq!(model.cache_stats().misses, 1, "sessions must share one specialization");
     let (ct, gt) = (cpu.param("theta").unwrap(), gpu.param("theta").unwrap());
     assert_eq!(ct.len(), gt.len());
     for (a, b) in ct.iter().zip(gt) {
@@ -191,11 +190,11 @@ fn augur_and_jags_agree_on_hgmm_posterior_means() {
     // algorithm" on both systems; their posteriors must agree.
     let (k, d, n) = (2, 2, 200);
     let data = workloads::hgmm_data(k, d, n, 51);
-    let aug = Infer::from_source(models::HGMM).unwrap();
-    let mut s = aug
-        .compile(hgmm_args(k, d, n))
-        .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-        .build()
+    let model = Model::compile(models::HGMM).unwrap();
+    let mut s = model
+        .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(data.points.clone()))])
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
     for _ in 0..80 {
@@ -267,14 +266,14 @@ fn log_predictive_improves_with_training() {
     let (k, d, n) = (3, 2, 300);
     let train = workloads::hgmm_data(k, d, n, 71);
     let test = workloads::hgmm_data(k, d, 100, 72);
-    let aug = Infer::from_source(models::HGMM).unwrap();
-    let mut s = aug
-        .compile(hgmm_args(k, d, n))
-        .data(vec![("y", HostValue::Ragged(train.points.clone()))])
-        .build()
+    let model = Model::compile(models::HGMM).unwrap();
+    let mut s = model
+        .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(train.points.clone()))])
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
-    let lp_of = |s: &augur::Sampler| {
+    let lp_of = |s: &augur::Session| {
         let pi = s.param("pi").unwrap().to_vec();
         let mu = s.param("mu").unwrap().to_vec();
         let sig = s.param("Sigma").unwrap().to_vec();
@@ -295,20 +294,22 @@ fn log_predictive_improves_with_training() {
 #[test]
 fn acceptance_rates_are_tracked_per_step() {
     let data = workloads::logistic_data(100, 4, 81);
-    let mut aug = Infer::from_source(models::HLR).unwrap();
-    aug.set_compile_opt(SamplerConfig {
-        mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 10, ..Default::default() },
-        ..Default::default()
-    });
-    let mut s = aug
-        .compile(vec![
-            HostValue::Real(1.0),
-            HostValue::Int(100),
-            HostValue::Int(4),
-            HostValue::Ragged(data.x.clone()),
-        ])
-        .data(vec![("y", HostValue::VecF(data.y.clone()))])
-        .build()
+    let model = Model::compile(models::HLR).unwrap();
+    let mut s = model
+        .plan(
+            vec![
+                HostValue::Real(1.0),
+                HostValue::Int(100),
+                HostValue::Int(4),
+                HostValue::Ragged(data.x.clone()),
+            ],
+            vec![("y", HostValue::VecF(data.y.clone()))],
+        )
+        .unwrap()
+        .session(SessionConfig {
+            mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 10, ..Default::default() },
+            ..Default::default()
+        })
         .unwrap();
     s.init().unwrap();
     for _ in 0..50 {
@@ -321,11 +322,11 @@ fn acceptance_rates_are_tracked_per_step() {
 #[test]
 fn sample_records_requested_parameters() {
     let data = workloads::hgmm_data(2, 2, 60, 91);
-    let aug = Infer::from_source(models::HGMM).unwrap();
-    let mut s = aug
-        .compile(hgmm_args(2, 2, 60))
-        .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-        .build()
+    let model = Model::compile(models::HGMM).unwrap();
+    let mut s = model
+        .plan(hgmm_args(2, 2, 60), vec![("y", HostValue::Ragged(data.points.clone()))])
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
     let samples = s.sample(5, &["pi", "mu"]).unwrap();

@@ -1,0 +1,231 @@
+//! Plan-lifecycle differential suite: the cache must be invisible.
+//!
+//! The plan cache's contract is that *how* a plan was obtained — fresh
+//! cold compile, cache hit, or incremental respecialization — can never
+//! change what the sampler computes. These tests drive the
+//! `Model → Plan → Session` lifecycle through randomized data shapes and
+//! check trajectories, run-report digests, and profile work-digests are
+//! bit-identical against a from-scratch compile of the same shape.
+
+use augur::{HostValue, McmcConfig, Model, PlanEvent, SessionConfig};
+use augur_math::Matrix;
+use augurv2::{models, workloads};
+
+/// Tiny deterministic shape generator (xorshift64*); the test owns its
+/// randomness so failures replay exactly.
+struct ShapeRng(u64);
+
+impl ShapeRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo)
+    }
+}
+
+fn hgmm_args(k: usize, d: usize, n: usize) -> Vec<HostValue> {
+    vec![
+        HostValue::Int(k as i64),
+        HostValue::Int(n as i64),
+        HostValue::VecF(vec![1.0; k]),
+        HostValue::VecF(vec![0.0; d]),
+        HostValue::Mat(Matrix::identity(d).scale(50.0)),
+        HostValue::Real((d + 2) as f64),
+        HostValue::Mat(Matrix::identity(d)),
+    ]
+}
+
+/// Everything a run exposes that the cache could possibly perturb.
+#[derive(PartialEq, Debug)]
+struct RunSignature {
+    trajectory: Vec<u64>,
+    report_digest: String,
+    profile_digest: String,
+}
+
+/// Runs `sweeps` sweeps recording the bit pattern of `param[0]`, then
+/// digests the run report and the profiler's work counters.
+fn signature(s: &mut augur::Session, sweeps: usize, param: &str) -> RunSignature {
+    s.init().unwrap();
+    let mut trajectory = Vec::with_capacity(sweeps);
+    for _ in 0..sweeps {
+        s.sweep();
+        trajectory.push(s.param(param).unwrap()[0].to_bits());
+    }
+    RunSignature {
+        trajectory,
+        report_digest: s.report().digest(),
+        profile_digest: s.profile().digest(),
+    }
+}
+
+/// HGMM at a random shape: (args, data, sweeps, recorded param).
+fn hgmm_case(rng: &mut ShapeRng) -> (Vec<HostValue>, Vec<(&'static str, HostValue)>, &'static str) {
+    let k = rng.range(2, 4);
+    let n = rng.range(40, 160);
+    let data = workloads::hgmm_data(k, 2, n, 1000 + n as u64);
+    (hgmm_args(k, 2, n), vec![("y", HostValue::Ragged(data.points))], "mu")
+}
+
+/// LDA at a random shape.
+fn lda_case(rng: &mut ShapeRng) -> (Vec<HostValue>, Vec<(&'static str, HostValue)>, &'static str) {
+    let topics = rng.range(3, 7);
+    let docs = rng.range(8, 24);
+    let corpus = workloads::lda_corpus(4, docs, 120, 20, 2000 + docs as u64);
+    let args = vec![
+        HostValue::Int(topics as i64),
+        HostValue::Int(corpus.docs.len() as i64),
+        HostValue::VecF(vec![0.5; topics]),
+        HostValue::VecF(vec![0.1; corpus.vocab]),
+        HostValue::VecI(corpus.lens.clone()),
+    ];
+    (args, vec![("w", HostValue::RaggedI(corpus.docs))], "theta")
+}
+
+/// The tentpole determinism claim: a plan produced by *respecializing*
+/// an already-built model (only the size-dependent phases re-run) is
+/// bit-identical — trajectory, report digest, profile work-digest — to a
+/// plan produced by compiling the model from scratch for that shape.
+/// Re-planning an already-seen shape (a cache *hit*) is likewise
+/// bit-identical.
+#[test]
+fn respecialized_and_cached_plans_match_fresh_compile_bitwise() {
+    let mut rng = ShapeRng(0xA5EED);
+    for (src, cases) in [
+        (models::HGMM, (0..3).map(|_| hgmm_case(&mut rng)).collect::<Vec<_>>()),
+        (models::LDA, (0..2).map(|_| lda_case(&mut rng)).collect::<Vec<_>>()),
+    ] {
+        let shared = Model::compile(src).unwrap();
+        let mut signatures = Vec::new();
+        for (i, (args, data, param)) in cases.iter().enumerate() {
+            // Reference: a model compiled from scratch for this shape.
+            let fresh = Model::compile(src).unwrap();
+            let plan = fresh.plan(args.clone(), data.clone()).unwrap();
+            assert_eq!(plan.cache_event(), PlanEvent::Cold);
+            let reference =
+                signature(&mut plan.session(SessionConfig::default()).unwrap(), 12, param);
+
+            // Candidate: the shared model, which respecializes for every
+            // shape after its first.
+            let plan = shared.plan(args.clone(), data.clone()).unwrap();
+            let expected =
+                if i == 0 { PlanEvent::Cold } else { PlanEvent::Respecialize };
+            assert_eq!(plan.cache_event(), expected, "shape {i}");
+            let candidate =
+                signature(&mut plan.session(SessionConfig::default()).unwrap(), 12, param);
+            assert_eq!(candidate, reference, "respecialized plan diverged at shape {i}");
+            signatures.push(reference);
+        }
+
+        // Replay every shape: all are cache hits now, all bit-identical.
+        for (i, (args, data, param)) in cases.iter().enumerate() {
+            let plan = shared.plan(args.clone(), data.clone()).unwrap();
+            assert_eq!(plan.cache_event(), PlanEvent::Hit, "replayed shape {i}");
+            let replay =
+                signature(&mut plan.session(SessionConfig::default()).unwrap(), 12, param);
+            assert_eq!(replay, signatures[i], "cache-hit plan diverged at shape {i}");
+        }
+
+        let stats = shared.cache_stats();
+        assert_eq!(stats.misses, cases.len() as u64, "one build per shape");
+        assert_eq!(stats.respecializes, cases.len() as u64 - 1);
+        assert_eq!(stats.hits, cases.len() as u64, "one hit per replay");
+        assert_eq!(stats.entries, cases.len() as u64);
+    }
+}
+
+/// The cache is keyed on data *shape*, not data values: planning a
+/// different dataset of the same shape is a hit, and the hit's session
+/// samples the new values — never the cached plan's.
+#[test]
+fn cache_hit_rebinds_new_data_values() {
+    let (k, d, n) = (2, 2, 60);
+    let data_a = workloads::hgmm_data(k, d, n, 7);
+    let data_b = workloads::hgmm_data(k, d, n, 8);
+    let model = Model::compile(models::HGMM).unwrap();
+
+    let plan_a = model
+        .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(data_a.points.clone()))])
+        .unwrap();
+    assert_eq!(plan_a.cache_event(), PlanEvent::Cold);
+    let sig_a = signature(&mut plan_a.session(SessionConfig::default()).unwrap(), 10, "mu");
+
+    let plan_b = model
+        .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(data_b.points.clone()))])
+        .unwrap();
+    assert_eq!(plan_b.cache_event(), PlanEvent::Hit, "same shape, different values");
+    assert_eq!(plan_b.fingerprint(), plan_a.fingerprint());
+    let sig_b = signature(&mut plan_b.session(SessionConfig::default()).unwrap(), 10, "mu");
+
+    // The hit saw dataset B: it must match a fresh compile over B ...
+    let fresh = Model::compile(models::HGMM).unwrap();
+    let plan = fresh
+        .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(data_b.points))])
+        .unwrap();
+    let sig_fresh = signature(&mut plan.session(SessionConfig::default()).unwrap(), 10, "mu");
+    assert_eq!(sig_b, sig_fresh, "cache hit must rebind the new data");
+    // ... and differ from dataset A's chain.
+    assert_ne!(sig_b.trajectory, sig_a.trajectory, "cached values leaked across plans");
+}
+
+/// Fingerprints are stable within a shape and sensitive to anything
+/// that could change the specialized artifact: sizes, ragged row
+/// layouts, and optimizer flags.
+#[test]
+fn fingerprint_separates_shapes_and_flags() {
+    let (k, d, n) = (2, 2, 50);
+    let model = Model::compile(models::HGMM).unwrap();
+    let data = workloads::hgmm_data(k, d, n, 3);
+    let plan = |n2: usize| {
+        let data = workloads::hgmm_data(k, d, n2, 3);
+        model.plan(hgmm_args(k, d, n2), vec![("y", HostValue::Ragged(data.points))]).unwrap()
+    };
+    let base = plan(n);
+    assert_eq!(base.fingerprint(), plan(n).fingerprint(), "same shape, same key");
+    assert_ne!(base.fingerprint(), plan(n + 1).fingerprint(), "size must change the key");
+    let flagged = model
+        .plan_opt(
+            hgmm_args(k, d, n),
+            vec![("y", HostValue::Ragged(data.points))],
+            augur::OptFlags { commute: false, ..Default::default() },
+        )
+        .unwrap();
+    assert_ne!(base.fingerprint(), flagged.fingerprint(), "opt flags must change the key");
+}
+
+/// Deprecated-shim differential: the `Infer` builder path must still
+/// produce the same chain as the plan lifecycle it now wraps.
+#[test]
+#[allow(deprecated)]
+fn deprecated_infer_path_matches_plan_lifecycle() {
+    let (k, d, n) = (2, 2, 50);
+    let data = workloads::hgmm_data(k, d, n, 11);
+    let mcmc = McmcConfig::default();
+
+    let mut old = {
+        let aug = augur::Infer::from_source(models::HGMM).unwrap();
+        aug.compile(hgmm_args(k, d, n))
+            .data(vec![("y", HostValue::Ragged(data.points.clone()))])
+            .build()
+            .unwrap()
+    };
+    let sig_old = signature(&mut old, 10, "mu");
+
+    let model = Model::compile(models::HGMM).unwrap();
+    let mut new = model
+        .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(data.points))])
+        .unwrap()
+        .session(SessionConfig { mcmc, ..Default::default() })
+        .unwrap();
+    let sig_new = signature(&mut new, 10, "mu");
+    assert_eq!(sig_old.trajectory, sig_new.trajectory);
+    assert_eq!(sig_old.report_digest, sig_new.report_digest);
+}

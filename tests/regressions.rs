@@ -3,7 +3,7 @@
 //! exercise `exp ∘ dot` chains through the source-to-source AD and the
 //! Poisson/Normal likelihood gradients.
 
-use augur::{HostValue, Infer, McmcConfig, SamplerConfig};
+use augur::{HostValue, McmcConfig, Model, SessionConfig};
 use augur_math::vecops::dot;
 use augur_math::FlatRagged;
 use augurv2::augur_dist::Prng;
@@ -27,20 +27,22 @@ fn poisson_regression_recovers_rate_structure() {
         rows.push(row);
     }
 
-    let mut aug = Infer::from_source(src).unwrap();
-    assert_eq!(format!("{}", aug.kernel_plan().unwrap().kernel()), "HMC Single(theta)");
-    aug.set_compile_opt(SamplerConfig {
-        mcmc: McmcConfig { step_size: 0.02, leapfrog_steps: 20, ..Default::default() },
-        ..Default::default()
-    });
-    let mut s = aug
-        .compile(vec![
-            HostValue::Int(n as i64),
-            HostValue::Int(d as i64),
-            HostValue::Ragged(FlatRagged::from_rows(rows)),
-        ])
-        .data(vec![("y", HostValue::VecF(y))])
-        .build()
+    let model = Model::compile(src).unwrap();
+    assert_eq!(model.kernel(), "HMC Single(theta)");
+    let mut s = model
+        .plan(
+            vec![
+                HostValue::Int(n as i64),
+                HostValue::Int(d as i64),
+                HostValue::Ragged(FlatRagged::from_rows(rows)),
+            ],
+            vec![("y", HostValue::VecF(y))],
+        )
+        .unwrap()
+        .session(SessionConfig {
+            mcmc: McmcConfig { step_size: 0.02, leapfrog_steps: 20, ..Default::default() },
+            ..Default::default()
+        })
         .unwrap();
     s.init().unwrap();
     for _ in 0..400 {
@@ -88,25 +90,27 @@ fn bayesian_linear_regression_with_unknown_noise() {
         rows.push(row);
     }
 
-    let mut aug = Infer::from_source(src).unwrap();
+    let model = Model::compile(src).unwrap();
     // σ² is InvGamma–Normal conjugate: detected despite the structured mean
     // (the mean expression is the likelihood's *other* argument).
-    let kernel = format!("{}", aug.kernel_plan().unwrap().kernel());
+    let kernel = model.kernel();
     assert_eq!(kernel, "Gibbs Single(sigma2) (*) HMC Block(b, theta)", "{kernel}");
-    aug.set_compile_opt(SamplerConfig {
-        mcmc: McmcConfig { step_size: 0.02, leapfrog_steps: 20, ..Default::default() },
-        ..Default::default()
-    });
-    let mut s = aug
-        .compile(vec![
-            HostValue::Int(n as i64),
-            HostValue::Int(d as i64),
-            HostValue::Ragged(FlatRagged::from_rows(rows)),
-            HostValue::Real(2.0),
-            HostValue::Real(0.5),
-        ])
-        .data(vec![("y", HostValue::VecF(y))])
-        .build()
+    let mut s = model
+        .plan(
+            vec![
+                HostValue::Int(n as i64),
+                HostValue::Int(d as i64),
+                HostValue::Ragged(FlatRagged::from_rows(rows)),
+                HostValue::Real(2.0),
+                HostValue::Real(0.5),
+            ],
+            vec![("y", HostValue::VecF(y))],
+        )
+        .unwrap()
+        .session(SessionConfig {
+            mcmc: McmcConfig { step_size: 0.02, leapfrog_steps: 20, ..Default::default() },
+            ..Default::default()
+        })
         .unwrap();
     s.init().unwrap();
     for _ in 0..600 {

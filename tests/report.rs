@@ -1,4 +1,4 @@
-//! Observability tests: `Sampler::report()` against an independent
+//! Observability tests: `Session::report()` against an independent
 //! oracle, the JSONL trace sink, and `Chains::report()` diagnostics.
 
 use augur::prelude::*;
@@ -8,14 +8,15 @@ const GAMMA_POISSON: &str = "(N, a, b) => {
     data c[n] ~ Poisson(r) for n <- 0 until N ;
 }";
 
-fn gamma_poisson_sampler(config: SamplerConfig) -> Sampler {
-    let mut aug = Infer::from_source(GAMMA_POISSON).unwrap();
-    aug.schedule("MH r");
-    aug.set_compile_opt(config);
-    let mut s = aug
-        .compile(vec![HostValue::Int(6), HostValue::Real(2.0), HostValue::Real(1.0)])
-        .data(vec![("c", HostValue::VecF(vec![3.0, 5.0, 4.0, 2.0, 6.0, 4.0]))])
-        .build()
+fn gamma_poisson_sampler(config: SessionConfig) -> Session {
+    let model = Model::with_schedule(GAMMA_POISSON, "MH r").unwrap();
+    let mut s = model
+        .plan(
+            vec![HostValue::Int(6), HostValue::Real(2.0), HostValue::Real(1.0)],
+            vec![("c", HostValue::VecF(vec![3.0, 5.0, 4.0, 2.0, 6.0, 4.0]))],
+        )
+        .unwrap()
+        .session(config)
         .unwrap();
     s.init().unwrap();
     s
@@ -28,7 +29,7 @@ fn gamma_poisson_sampler(config: SamplerConfig) -> Sampler {
 #[test]
 fn mh_accepts_match_oracle_recount_in_both_lanes() {
     for exec in [ExecStrategy::Tree, ExecStrategy::Tape] {
-        let mut s = gamma_poisson_sampler(SamplerConfig { exec, ..Default::default() });
+        let mut s = gamma_poisson_sampler(SessionConfig { exec, ..Default::default() });
         let sweeps = 400u64;
         let mut prev = s.param("r").unwrap()[0].to_bits();
         let mut oracle_accepts = 0u64;
@@ -61,7 +62,7 @@ fn mh_accepts_match_oracle_recount_in_both_lanes() {
 #[test]
 fn timers_are_optional_and_do_not_affect_the_digest() {
     let run = |timers: bool| {
-        let mut s = gamma_poisson_sampler(SamplerConfig { timers, ..Default::default() });
+        let mut s = gamma_poisson_sampler(SessionConfig { timers, ..Default::default() });
         for _ in 0..50 {
             s.sweep();
         }
@@ -89,7 +90,7 @@ fn trace_sink_streams_per_sweep_deltas() {
     ));
     let sweeps = 60u64;
     let report = {
-        let mut s = gamma_poisson_sampler(SamplerConfig {
+        let mut s = gamma_poisson_sampler(SessionConfig {
             trace_path: Some(path.clone()),
             ..Default::default()
         });
@@ -102,7 +103,15 @@ fn trace_sink_streams_per_sweep_deltas() {
     let text = std::fs::read_to_string(&path).expect("trace file written");
     std::fs::remove_file(&path).ok();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len() as u64, sweeps, "one JSONL record per sweep");
+    // The first record describes the plan the session bound (v2 schema);
+    // after it, one record per sweep.
+    assert_eq!(lines.len() as u64, sweeps + 1, "plan record + one record per sweep");
+    assert!(
+        lines[0].contains("\"plan\":{\"event\":\"cold\"") && lines[0].contains("\"misses\":1"),
+        "first trace record announces the plan: {}",
+        lines[0]
+    );
+    let lines = &lines[1..];
     let field = |line: &str, key: &str| -> u64 {
         let at = line.find(&format!("\"{key}\":")).expect("field present");
         line[at + key.len() + 3..]
@@ -131,22 +140,24 @@ fn trace_sink_streams_per_sweep_deltas() {
 /// divergences while integrating the configured trajectory length.
 #[test]
 fn hmc_report_counts_leapfrogs() {
-    let mut aug = Infer::from_source(
+    let model = Model::with_schedule(
         "(N, tau2, s2) => {
             param m ~ Normal(0.0, tau2) ;
             data y[n] ~ Normal(m, s2) for n <- 0 until N ;
         }",
+        "HMC m",
     )
     .unwrap();
-    aug.schedule("HMC m");
-    aug.set_compile_opt(SamplerConfig {
-        mcmc: McmcConfig { step_size: 0.15, leapfrog_steps: 12, ..Default::default() },
-        ..Default::default()
-    });
-    let mut s = aug
-        .compile(vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)])
-        .data(vec![("y", HostValue::VecF(vec![1.2, 0.8, 1.0, 1.4, 0.6]))])
-        .build()
+    let mut s = model
+        .plan(
+            vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+            vec![("y", HostValue::VecF(vec![1.2, 0.8, 1.0, 1.4, 0.6]))],
+        )
+        .unwrap()
+        .session(SessionConfig {
+            mcmc: McmcConfig { step_size: 0.15, leapfrog_steps: 12, ..Default::default() },
+            ..Default::default()
+        })
         .unwrap();
     s.init().unwrap();
     for _ in 0..100 {
@@ -162,16 +173,20 @@ fn hmc_report_counts_leapfrogs() {
 /// recorded component.
 #[test]
 fn chains_report_covers_recorded_components() {
-    let aug = Infer::from_source(
+    let model = Model::compile(
         "(N, tau2, s2) => {
             param m ~ Normal(0.0, tau2) ;
             data y[n] ~ Normal(m, s2) for n <- 0 until N ;
         }",
     )
     .unwrap();
-    let chains = ChainRunner::new(&aug)
-        .args(vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)])
-        .data(vec![("y", HostValue::VecF(vec![1.2, 0.8, 1.0, 1.4, 0.6]))])
+    let plan = model
+        .plan(
+            vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+            vec![("y", HostValue::VecF(vec![1.2, 0.8, 1.0, 1.4, 0.6]))],
+        )
+        .unwrap();
+    let chains = ChainPlan::new(&plan)
         .chains(4)
         .sweeps(500)
         .record(&["m"])
@@ -198,8 +213,10 @@ fn empty_chains_report_is_typed_error() {
 }
 
 /// The chainable schedule builder composes with the other `Infer`
-/// builder methods and rejects bad schedules fallibly.
+/// builder methods and rejects bad schedules fallibly (deprecated-shim
+/// coverage: the old surface must keep working during migration).
 #[test]
+#[allow(deprecated)]
 fn schedule_builder_chains_with_other_options() {
     let mut aug = Infer::from_source(GAMMA_POISSON).unwrap();
     aug.schedule("MH r").threads(2).exec_strategy(ExecStrategy::Tape);

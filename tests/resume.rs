@@ -5,7 +5,7 @@
 
 use std::path::PathBuf;
 
-use augur::{ExecStrategy, HostValue, Infer, McmcConfig, SamplerConfig, Sampler};
+use augur::{ExecStrategy, HostValue, McmcConfig, Model, Session, SessionConfig};
 use augur_math::Matrix;
 use augurv2::{models, workloads};
 
@@ -18,7 +18,7 @@ fn tmp(tag: &str) -> PathBuf {
 }
 
 /// The per-sweep trajectory of every parameter, as raw bits.
-fn record_sweeps(s: &mut Sampler, n: u64) -> Vec<Vec<u64>> {
+fn record_sweeps(s: &mut Session, n: u64) -> Vec<Vec<u64>> {
     let names: Vec<String> = s.param_names().to_vec();
     (0..n)
         .map(|_| {
@@ -31,68 +31,77 @@ fn record_sweeps(s: &mut Sampler, n: u64) -> Vec<Vec<u64>> {
         .collect()
 }
 
-fn hgmm_sampler(config: SamplerConfig) -> Sampler {
+fn hgmm_sampler(config: SessionConfig) -> Session {
     let (k, d, n) = (2, 2, 40);
     let data = workloads::hgmm_data(k, d, n, 7);
-    let mut aug = Infer::from_source(models::HGMM).unwrap();
-    aug.set_compile_opt(config);
-    aug.compile(vec![
-        HostValue::Int(k as i64),
-        HostValue::Int(n as i64),
-        HostValue::VecF(vec![1.0; k]),
-        HostValue::VecF(vec![0.0; d]),
-        HostValue::Mat(Matrix::identity(d).scale(50.0)),
-        HostValue::Real((d + 2) as f64),
-        HostValue::Mat(Matrix::identity(d)),
-    ])
-    .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-    .build()
-    .unwrap()
+    Model::compile(models::HGMM)
+        .unwrap()
+        .plan(
+            vec![
+                HostValue::Int(k as i64),
+                HostValue::Int(n as i64),
+                HostValue::VecF(vec![1.0; k]),
+                HostValue::VecF(vec![0.0; d]),
+                HostValue::Mat(Matrix::identity(d).scale(50.0)),
+                HostValue::Real((d + 2) as f64),
+                HostValue::Mat(Matrix::identity(d)),
+            ],
+            vec![("y", HostValue::Ragged(data.points.clone()))],
+        )
+        .unwrap()
+        .session(config)
+        .unwrap()
 }
 
-fn lda_sampler(config: SamplerConfig) -> Sampler {
+fn lda_sampler(config: SessionConfig) -> Session {
     let topics = 2;
     let corpus = workloads::lda_corpus(topics, 8, 12, 8, 11);
-    let mut aug = Infer::from_source(models::LDA).unwrap();
-    aug.set_compile_opt(config);
-    aug.compile(vec![
-        HostValue::Int(topics as i64),
-        HostValue::Int(corpus.docs.len() as i64),
-        HostValue::VecF(vec![0.5; topics]),
-        HostValue::VecF(vec![0.1; corpus.vocab]),
-        HostValue::VecI(corpus.lens.clone()),
-    ])
-    .data(vec![("w", HostValue::RaggedI(corpus.docs.clone()))])
-    .build()
-    .unwrap()
+    Model::compile(models::LDA)
+        .unwrap()
+        .plan(
+            vec![
+                HostValue::Int(topics as i64),
+                HostValue::Int(corpus.docs.len() as i64),
+                HostValue::VecF(vec![0.5; topics]),
+                HostValue::VecF(vec![0.1; corpus.vocab]),
+                HostValue::VecI(corpus.lens.clone()),
+            ],
+            vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+        )
+        .unwrap()
+        .session(config)
+        .unwrap()
 }
 
-fn hlr_sampler(config: SamplerConfig) -> Sampler {
+fn hlr_sampler(config: SessionConfig) -> Session {
     let (n, d) = (30, 3);
     let data = workloads::logistic_data(n, d, 13);
-    let mut aug = Infer::from_source(models::HLR).unwrap();
-    aug.set_compile_opt(SamplerConfig {
-        mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..config.mcmc },
-        ..config
-    });
-    aug.compile(vec![
-        HostValue::Real(1.0),
-        HostValue::Int(n as i64),
-        HostValue::Int(d as i64),
-        HostValue::Ragged(data.x.clone()),
-    ])
-    .data(vec![("y", HostValue::VecF(data.y.clone()))])
-    .build()
-    .unwrap()
+    Model::compile(models::HLR)
+        .unwrap()
+        .plan(
+            vec![
+                HostValue::Real(1.0),
+                HostValue::Int(n as i64),
+                HostValue::Int(d as i64),
+                HostValue::Ragged(data.x.clone()),
+            ],
+            vec![("y", HostValue::VecF(data.y.clone()))],
+        )
+        .unwrap()
+        .session(SessionConfig {
+            mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..config.mcmc },
+            ..config
+        })
+        .unwrap()
 }
 
 fn kill_resume_is_invisible(
     tag: &str,
-    build: fn(SamplerConfig) -> Sampler,
+    build: fn(SessionConfig) -> Session,
     exec: ExecStrategy,
     threads: usize,
 ) {
-    let config = || SamplerConfig {
+    let config = || SessionConfig {
         exec,
         threads,
         checkpoint_every: 0, // checkpoints are written explicitly below
@@ -162,7 +171,7 @@ fn hlr_kill_resume_tree_and_tape_all_thread_counts() {
 /// carries everything the trajectory depends on.
 #[test]
 fn checkpoint_resumes_across_thread_counts() {
-    let config = |threads| SamplerConfig {
+    let config = |threads| SessionConfig {
         exec: ExecStrategy::Tape,
         threads,
         checkpoint_every: 0,
@@ -192,7 +201,7 @@ fn checkpoint_resumes_across_thread_counts() {
 #[test]
 fn periodic_checkpoints_are_written_and_resumable() {
     let path = tmp("periodic");
-    let mut s = hgmm_sampler(SamplerConfig {
+    let mut s = hgmm_sampler(SessionConfig {
         checkpoint_path: Some(path.clone()),
         checkpoint_every: 5,
         ..Default::default()
@@ -201,7 +210,7 @@ fn periodic_checkpoints_are_written_and_resumable() {
     let reference = record_sweeps(&mut s, 20);
 
     // The periodic file reflects the most recent multiple of 5: sweep 20.
-    let mut r = hgmm_sampler(SamplerConfig { checkpoint_every: 0, ..Default::default() });
+    let mut r = hgmm_sampler(SessionConfig { checkpoint_every: 0, ..Default::default() });
     assert_eq!(r.resume(&path).unwrap(), 20);
     std::fs::remove_file(&path).ok();
     let names: Vec<String> = r.param_names().to_vec();
@@ -217,12 +226,12 @@ fn periodic_checkpoints_are_written_and_resumable() {
 #[test]
 fn mismatched_checkpoint_is_a_typed_error() {
     let path = tmp("mismatch");
-    let mut s = hgmm_sampler(SamplerConfig { checkpoint_every: 0, ..Default::default() });
+    let mut s = hgmm_sampler(SessionConfig { checkpoint_every: 0, ..Default::default() });
     s.init().unwrap();
     s.sweep();
     s.write_checkpoint(&path).unwrap();
 
-    let mut other = hlr_sampler(SamplerConfig { checkpoint_every: 0, ..Default::default() });
+    let mut other = hlr_sampler(SessionConfig { checkpoint_every: 0, ..Default::default() });
     let err = other.resume(&path).unwrap_err();
     std::fs::remove_file(&path).ok();
     assert!(
@@ -231,25 +240,28 @@ fn mismatched_checkpoint_is_a_typed_error() {
     );
 }
 
-/// `ChainRunner::resume_dir` continues every chain to the requested total,
+/// `ChainPlan::resume_dir` continues every chain to the requested total,
 /// and the post-resume draws are byte-identical to the same sweeps of an
 /// uninterrupted multi-chain run.
 #[test]
-fn chain_runner_resume_dir_matches_uninterrupted_run() {
-    let aug = Infer::from_source(
+fn chain_plan_resume_dir_matches_uninterrupted_run() {
+    let model = Model::compile(
         "(N, tau2, s2) => {
             param m ~ Normal(0.0, tau2) ;
             data y[n] ~ Normal(m, s2) for n <- 0 until N ;
         }",
     )
     .unwrap();
-    let args = vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)];
     let data = vec![1.2, 0.8, 1.0, 1.4, 0.6];
+    let plan = model
+        .plan(
+            vec![HostValue::Int(5), HostValue::Real(4.0), HostValue::Real(1.0)],
+            vec![("y", HostValue::VecF(data.clone()))],
+        )
+        .unwrap();
     let runner = |sweeps: usize| {
-        augur::chains::ChainRunner::new(&aug)
-            .args(args.clone())
-            .data(vec![("y", HostValue::VecF(data.clone()))])
-            .config(SamplerConfig { checkpoint_every: 20, ..Default::default() })
+        augur::chains::ChainPlan::new(&plan)
+            .config(SessionConfig { checkpoint_every: 20, ..Default::default() })
             .chains(3)
             .sweeps(sweeps)
             .record(&["m"])

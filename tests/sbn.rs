@@ -12,7 +12,7 @@
 //! the compiler falls back to sequential single-site enumeration
 //! (mutate-and-score finite-sum Gibbs).
 
-use augur::{HostValue, Infer};
+use augur::{HostValue, Model, SessionConfig};
 use augur_math::special::sigmoid;
 use augur_math::vecops::dot;
 use augur_math::FlatRagged;
@@ -25,10 +25,9 @@ const SBN: &str = r#"(H, V, W, c) => {
 
 #[test]
 fn sbn_parses_plans_and_lowers() {
-    let aug = Infer::from_source(SBN).unwrap();
-    let kp = aug.kernel_plan().unwrap();
-    assert_eq!(format!("{}", kp.kernel()), "Gibbs Single(h)");
-    let info = aug.compile_info().unwrap();
+    let model = Model::compile(SBN).unwrap();
+    assert_eq!(model.kernel(), "Gibbs Single(h)");
+    let info = model.compile_info();
     // sequential single-site enumeration: the slice loop is Seq and the
     // candidate is written into the state before scoring
     assert!(info.code.contains("loop Seq (j <- 0 until H)"), "{}", info.code);
@@ -58,16 +57,19 @@ fn sbn_posterior_identifies_active_units() {
         })
         .collect();
 
-    let aug = Infer::from_source(SBN).unwrap();
-    let mut s = aug
-        .compile(vec![
-            HostValue::Int(h_dim as i64),
-            HostValue::Int(v_dim as i64),
-            HostValue::Ragged(FlatRagged::from_rows(w_rows)),
-            HostValue::VecF(c),
-        ])
-        .data(vec![("v", HostValue::VecF(v))])
-        .build()
+    let model = Model::compile(SBN).unwrap();
+    let mut s = model
+        .plan(
+            vec![
+                HostValue::Int(h_dim as i64),
+                HostValue::Int(v_dim as i64),
+                HostValue::Ragged(FlatRagged::from_rows(w_rows)),
+                HostValue::VecF(c),
+            ],
+            vec![("v", HostValue::VecF(v))],
+        )
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
     // posterior frequency of each hidden unit
@@ -93,16 +95,19 @@ fn sbn_uninformative_data_recovers_prior() {
     let c = vec![0.0; v_dim];
     let v = vec![1.0, 0.0, 1.0, 0.0];
 
-    let aug = Infer::from_source(SBN).unwrap();
-    let mut s = aug
-        .compile(vec![
-            HostValue::Int(h_dim as i64),
-            HostValue::Int(v_dim as i64),
-            HostValue::Ragged(FlatRagged::from_rows(w_rows)),
-            HostValue::VecF(c),
-        ])
-        .data(vec![("v", HostValue::VecF(v))])
-        .build()
+    let model = Model::compile(SBN).unwrap();
+    let mut s = model
+        .plan(
+            vec![
+                HostValue::Int(h_dim as i64),
+                HostValue::Int(v_dim as i64),
+                HostValue::Ragged(FlatRagged::from_rows(w_rows)),
+                HostValue::VecF(c),
+            ],
+            vec![("v", HostValue::VecF(v))],
+        )
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
     let mut freq = vec![0.0; h_dim];

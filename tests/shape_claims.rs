@@ -2,23 +2,25 @@
 //! are the regression guards for the §7 shapes: if a compiler or
 //! cost-model change flips who wins, these fail before the benches run.
 
-use augur::{DeviceConfig, McmcConfig, OptFlags, SamplerConfig, Target};
+use augur::{DeviceConfig, McmcConfig, OptFlags, SessionConfig, Target};
 use augurv2::workloads;
 
 fn lda_virtual(topics: usize, docs: usize, target: Target) -> f64 {
     let corpus = workloads::lda_corpus(5, docs, 2000, 120, 4001);
-    let mut aug = augur::Infer::from_source(augurv2::models::LDA).unwrap();
-    aug.set_compile_opt(SamplerConfig { target, ..Default::default() });
-    let mut s = aug
-        .compile(vec![
-            augur::HostValue::Int(topics as i64),
-            augur::HostValue::Int(corpus.docs.len() as i64),
-            augur::HostValue::VecF(vec![0.5; topics]),
-            augur::HostValue::VecF(vec![0.1; corpus.vocab]),
-            augur::HostValue::VecI(corpus.lens.clone()),
-        ])
-        .data(vec![("w", augur::HostValue::RaggedI(corpus.docs.clone()))])
-        .build()
+    let model = augur::Model::compile(augurv2::models::LDA).unwrap();
+    let mut s = model
+        .plan(
+            vec![
+                augur::HostValue::Int(topics as i64),
+                augur::HostValue::Int(corpus.docs.len() as i64),
+                augur::HostValue::VecF(vec![0.5; topics]),
+                augur::HostValue::VecF(vec![0.1; corpus.vocab]),
+                augur::HostValue::VecI(corpus.lens.clone()),
+            ],
+            vec![("w", augur::HostValue::RaggedI(corpus.docs.clone()))],
+        )
+        .unwrap()
+        .session(SessionConfig { target, ..Default::default() })
         .unwrap();
     s.init().unwrap();
     for _ in 0..3 {
@@ -54,22 +56,26 @@ fn lda_gpu_advantage_grows_with_topics() {
 
 fn hlr_virtual(n: usize, target: Target, flags: OptFlags) -> f64 {
     let data = workloads::logistic_data(n, 10, 4002);
-    let mut aug = augur::Infer::from_source(augurv2::models::HLR).unwrap();
-    aug.set_compile_opt(SamplerConfig {
-        target,
-        opt_flags: flags,
-        mcmc: McmcConfig { step_size: 0.02, leapfrog_steps: 4, ..Default::default() },
-        ..Default::default()
-    });
-    let mut s = aug
-        .compile(vec![
-            augur::HostValue::Real(1.0),
-            augur::HostValue::Int(n as i64),
-            augur::HostValue::Int(10),
-            augur::HostValue::Ragged(data.x.clone()),
-        ])
-        .data(vec![("y", augur::HostValue::VecF(data.y.clone()))])
-        .build()
+    let model = augur::Model::compile(augurv2::models::HLR).unwrap();
+    // the optimization flags participate in the plan-cache key, so they
+    // are a planning argument, not a session option
+    let mut s = model
+        .plan_opt(
+            vec![
+                augur::HostValue::Real(1.0),
+                augur::HostValue::Int(n as i64),
+                augur::HostValue::Int(10),
+                augur::HostValue::Ragged(data.x.clone()),
+            ],
+            vec![("y", augur::HostValue::VecF(data.y.clone()))],
+            flags,
+        )
+        .unwrap()
+        .session(SessionConfig {
+            target,
+            mcmc: McmcConfig { step_size: 0.02, leapfrog_steps: 4, ..Default::default() },
+            ..Default::default()
+        })
         .unwrap();
     s.init().unwrap();
     for _ in 0..3 {
@@ -144,11 +150,11 @@ fn compiled_gibbs_beats_graph_gibbs_wall_clock() {
             augur::HostValue::Mat(augur_math::Matrix::identity(d)),
         ]
     };
-    let aug = augur::Infer::from_source(augurv2::models::HGMM).unwrap();
-    let mut s = aug
-        .compile(args())
-        .data(vec![("y", augur::HostValue::Ragged(data.points.clone()))])
-        .build()
+    let model = augur::Model::compile(augurv2::models::HGMM).unwrap();
+    let mut s = model
+        .plan(args(), vec![("y", augur::HostValue::Ragged(data.points.clone()))])
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
     let t0 = std::time::Instant::now();

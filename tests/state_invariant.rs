@@ -6,7 +6,7 @@
 //! update leaves the state bitwise identical to its pre-update value, and
 //! non-target variables are never touched by any update.
 
-use augur::{HostValue, Infer, McmcConfig, SamplerConfig};
+use augur::{HostValue, McmcConfig, Model, SessionConfig};
 use augurv2::workloads;
 
 /// With a huge step size, HMC rejects essentially every proposal; each
@@ -14,20 +14,22 @@ use augurv2::workloads;
 #[test]
 fn rejected_hmc_restores_state_bitwise() {
     let data = workloads::logistic_data(50, 4, 5001);
-    let mut aug = Infer::from_source(augurv2::models::HLR).unwrap();
-    aug.set_compile_opt(SamplerConfig {
-        mcmc: McmcConfig { step_size: 50.0, leapfrog_steps: 8, ..Default::default() },
-        ..Default::default()
-    });
-    let mut s = aug
-        .compile(vec![
-            HostValue::Real(1.0),
-            HostValue::Int(50),
-            HostValue::Int(4),
-            HostValue::Ragged(data.x.clone()),
-        ])
-        .data(vec![("y", HostValue::VecF(data.y.clone()))])
-        .build()
+    let model = Model::compile(augurv2::models::HLR).unwrap();
+    let mut s = model
+        .plan(
+            vec![
+                HostValue::Real(1.0),
+                HostValue::Int(50),
+                HostValue::Int(4),
+                HostValue::Ragged(data.x.clone()),
+            ],
+            vec![("y", HostValue::VecF(data.y.clone()))],
+        )
+        .unwrap()
+        .session(SessionConfig {
+            mcmc: McmcConfig { step_size: 50.0, leapfrog_steps: 8, ..Default::default() },
+            ..Default::default()
+        })
         .unwrap();
     s.init().unwrap();
     let before: Vec<Vec<f64>> = ["sigma2", "b", "theta"]
@@ -60,22 +62,28 @@ fn rejected_hmc_restores_state_bitwise() {
 fn updates_touch_only_their_targets() {
     let (k, d, n) = (2, 2, 60);
     let data = workloads::hgmm_data(k, d, n, 5002);
-    let mut aug = Infer::from_source(augurv2::models::HGMM).unwrap();
     // schedule with only z eligible to change per our probe: run one full
     // sweep but snapshot around the z step by running a z-only schedule
-    aug.schedule("Gibbs z (*) Gibbs pi (*) Gibbs mu (*) Gibbs Sigma");
-    let mut s = aug
-        .compile(vec![
-            HostValue::Int(k as i64),
-            HostValue::Int(n as i64),
-            HostValue::VecF(vec![1.0; k]),
-            HostValue::VecF(vec![0.0; d]),
-            HostValue::Mat(augur_math::Matrix::identity(d).scale(50.0)),
-            HostValue::Real((d + 2) as f64),
-            HostValue::Mat(augur_math::Matrix::identity(d)),
-        ])
-        .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-        .build()
+    let model = Model::with_schedule(
+        augurv2::models::HGMM,
+        "Gibbs z (*) Gibbs pi (*) Gibbs mu (*) Gibbs Sigma",
+    )
+    .unwrap();
+    let mut s = model
+        .plan(
+            vec![
+                HostValue::Int(k as i64),
+                HostValue::Int(n as i64),
+                HostValue::VecF(vec![1.0; k]),
+                HostValue::VecF(vec![0.0; d]),
+                HostValue::Mat(augur_math::Matrix::identity(d).scale(50.0)),
+                HostValue::Real((d + 2) as f64),
+                HostValue::Mat(augur_math::Matrix::identity(d)),
+            ],
+            vec![("y", HostValue::Ragged(data.points.clone()))],
+        )
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     s.init().unwrap();
     // the data buffer must never change, across any number of sweeps

@@ -26,18 +26,22 @@ fn bit_trace(
     exec: ExecStrategy,
     threads: usize,
 ) -> Vec<Vec<u64>> {
-    let mut aug = Infer::from_source(model).expect("model parses");
-    if let Some(s) = sched {
-        aug.schedule(s);
+    let compiled = match sched {
+        Some(s) => Model::with_schedule(model, s),
+        None => Model::compile(model),
     }
-    aug.set_compile_opt(SamplerConfig {
-        exec,
-        threads,
-        mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
-        seed: 0xD1FF,
-        ..Default::default()
-    });
-    let mut s = aug.compile(args).data(data).build().expect("model builds");
+    .expect("model parses");
+    let mut s = compiled
+        .plan(args, data)
+        .expect("model plans")
+        .session(SessionConfig {
+            exec,
+            threads,
+            mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
+            seed: 0xD1FF,
+            ..Default::default()
+        })
+        .expect("session binds");
     s.init().unwrap();
     s.sample(sweeps, record)
         .unwrap()
@@ -206,18 +210,22 @@ fn report_digest(
     exec: ExecStrategy,
     threads: usize,
 ) -> String {
-    let mut aug = Infer::from_source(model).expect("model parses");
-    if let Some(s) = sched {
-        aug.schedule(s);
+    let compiled = match sched {
+        Some(s) => Model::with_schedule(model, s),
+        None => Model::compile(model),
     }
-    aug.set_compile_opt(SamplerConfig {
-        exec,
-        threads,
-        mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
-        seed: 0xD1FF,
-        ..Default::default()
-    });
-    let mut s = aug.compile(args).data(data).build().expect("model builds");
+    .expect("model parses");
+    let mut s = compiled
+        .plan(args, data)
+        .expect("model plans")
+        .session(SessionConfig {
+            exec,
+            threads,
+            mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
+            seed: 0xD1FF,
+            ..Default::default()
+        })
+        .expect("session binds");
     s.init().unwrap();
     for _ in 0..sweeps {
         s.sweep();
@@ -320,19 +328,23 @@ fn profile_digest(
     exec: ExecStrategy,
     threads: usize,
 ) -> String {
-    let mut aug = Infer::from_source(model).expect("model parses");
-    if let Some(s) = sched {
-        aug.schedule(s);
+    let compiled = match sched {
+        Some(s) => Model::with_schedule(model, s),
+        None => Model::compile(model),
     }
-    aug.set_compile_opt(SamplerConfig {
-        exec,
-        threads,
-        mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
-        seed: 0xD1FF,
-        timers: true,
-        ..Default::default()
-    });
-    let mut s = aug.compile(args).data(data).build().expect("model builds");
+    .expect("model parses");
+    let mut s = compiled
+        .plan(args, data)
+        .expect("model plans")
+        .session(SessionConfig {
+            exec,
+            threads,
+            mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
+            seed: 0xD1FF,
+            timers: true,
+            ..Default::default()
+        })
+        .expect("session binds");
     s.init().unwrap();
     for _ in 0..sweeps {
         s.sweep();
@@ -470,8 +482,12 @@ fn explain_names_a_rewrite_for_every_kernel_unit() {
         ),
     ];
     for (label, model, args, data) in cases {
-        let aug = Infer::from_source(model).expect("model parses");
-        let s = aug.compile(args).data(data).build().expect("model builds");
+        let compiled = Model::compile(model).expect("model parses");
+        let s = compiled
+            .plan(args, data)
+            .expect("model plans")
+            .session(SessionConfig::default())
+            .expect("session binds");
         let plan = s.explain();
         let density = plan
             .root
@@ -505,20 +521,21 @@ fn explain_names_a_rewrite_for_every_kernel_unit() {
 fn golden_explain_plan_for_lda() {
     let topics = 3;
     let corpus = workloads::lda_corpus(topics, 10, 60, 20, 5);
-    let s = augur::Sampler::build(
-        models::LDA,
-        None,
-        vec![
-            HostValue::Int(topics as i64),
-            HostValue::Int(corpus.docs.len() as i64),
-            HostValue::VecF(vec![0.5; topics]),
-            HostValue::VecF(vec![0.1; corpus.vocab]),
-            HostValue::VecI(corpus.lens.clone()),
-        ],
-        vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
-        SamplerConfig::default(),
-    )
-    .unwrap();
+    let model = Model::compile(models::LDA).unwrap();
+    let s = model
+        .plan(
+            vec![
+                HostValue::Int(topics as i64),
+                HostValue::Int(corpus.docs.len() as i64),
+                HostValue::VecF(vec![0.5; topics]),
+                HostValue::VecF(vec![0.1; corpus.vocab]),
+                HostValue::VecI(corpus.lens.clone()),
+            ],
+            vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
+        )
+        .unwrap()
+        .session(SessionConfig::default())
+        .unwrap();
     let got = s.explain().render();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lda_explain.txt");
     if std::env::var("UPDATE_GOLDEN").is_ok() {
@@ -534,21 +551,24 @@ fn golden_explain_plan_for_lda() {
 }
 
 /// The tape compiler's output for a fixed small model is part of the
-/// crate's observable behavior (it is what `Sampler::disasm` shows users
+/// crate's observable behavior (it is what `Session::disasm` shows users
 /// and what the fusion rules produce); pin it.
 #[test]
 fn golden_disassembly_of_normal_normal_gibbs() {
-    let aug = Infer::from_source(
+    let model = Model::compile(
         "(N, tau2, s2) => {
             param m ~ Normal(0.0, tau2) ;
             data y[n] ~ Normal(m, s2) for n <- 0 until N ;
         }",
     )
     .unwrap();
-    let s = aug
-        .compile(vec![HostValue::Int(4), HostValue::Real(4.0), HostValue::Real(1.0)])
-        .data(vec![("y", HostValue::VecF(vec![1.2, 0.8, 1.0, 1.4]))])
-        .build()
+    let s = model
+        .plan(
+            vec![HostValue::Int(4), HostValue::Real(4.0), HostValue::Real(1.0)],
+            vec![("y", HostValue::VecF(vec![1.2, 0.8, 1.0, 1.4]))],
+        )
+        .unwrap()
+        .session(SessionConfig::default())
         .unwrap();
     let names = s.proc_names();
     let disasm: Vec<String> = names.iter().map(|n| s.disasm(n)).collect();
