@@ -103,10 +103,6 @@ impl Default for SessionConfig {
     }
 }
 
-/// Former name of [`SessionConfig`], kept as a migration shim.
-#[deprecated(since = "0.6.0", note = "renamed to `SessionConfig` (Model → Plan → Session API)")]
-pub type SamplerConfig = SessionConfig;
-
 /// The default worker-thread count: `AUGUR_THREADS` when set and parseable
 /// (`0` = one per core), otherwise `1`.
 fn default_threads() -> usize {
@@ -316,12 +312,6 @@ pub struct Session {
     /// touched bytes).
     mem: MemWatermark,
 }
-
-/// Former name of [`Session`], kept as a migration shim. Prefer
-/// `CompiledModel::compile` → `plan` → `session` (one compile, many
-/// sessions); `Session::build` remains as the one-shot convenience.
-#[deprecated(since = "0.6.0", note = "renamed to `Session` (Model → Plan → Session API)")]
-pub type Sampler = Session;
 
 impl Session {
     /// Builds a sampler from model source, an optional user schedule

@@ -5,7 +5,7 @@
 //! trace-sink drop counting — is exercised deterministically in tests and
 //! CI rather than waiting for a real failure in production. Plans are
 //! parsed from the `AUGUR_FAULT` environment variable (or set
-//! programmatically on `SamplerConfig::fault`); the grammar is a
+//! programmatically on `SessionConfig::fault`); the grammar is a
 //! `;`-separated list of clauses:
 //!
 //! ```text
@@ -27,7 +27,7 @@ use std::fmt;
 /// (or, for Gibbs procedures, the resampled target buffer) with NaN.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NanFault {
-    /// The compiled procedure to poison (see `Sampler::proc_names`).
+    /// The compiled procedure to poison (see `Session::proc_names`).
     pub proc_name: String,
     /// Inject only on this 1-based sweep (every sweep when `None`).
     pub sweep: Option<u64>,

@@ -71,8 +71,6 @@ pub mod tape;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use driver::{BuildError, RunError, Session, SessionConfig, Target};
-#[allow(deprecated)]
-pub use driver::{Sampler, SamplerConfig};
 pub use plan::{CompiledModel, Plan, PlanCacheStats, PlanEvent};
 pub use fault::{FaultParseError, FaultPlan};
 pub use metrics::{ExecReport, KernelReport, KernelStats, RunReport, UpdateOutcome};

@@ -76,7 +76,7 @@ pub struct KernelStats {
     /// guardrails (the step was rejected instead of poisoning the chain).
     pub numerical_events: u64,
     /// Cumulative wall time spent in this update, in seconds. Zero when
-    /// the sampler was built with `SamplerConfig::timers = false`.
+    /// the sampler was built with `SessionConfig::timers = false`.
     pub wall_secs: f64,
 }
 
@@ -306,7 +306,7 @@ impl fmt::Display for RunReport {
 
 /// The opt-in JSONL event sink: one line per sweep (schema v2), with
 /// per-kernel *delta* counters, streamed to the path given by
-/// `SamplerConfig::trace_path` (or the `AUGUR_TRACE` environment
+/// `SessionConfig::trace_path` (or the `AUGUR_TRACE` environment
 /// variable). Writes are buffered and flushed every
 /// [`TraceSink::FLUSH_EVERY`] records and on drop — dashboards tailing
 /// the file see records at that granularity, and the sampler never pays
@@ -432,6 +432,43 @@ impl TraceSink {
             return;
         }
         self.unflushed += 1;
+    }
+
+    /// Streams one request-lifecycle record (schema v3, marked
+    /// `"v":3`) — what the serving layer emits at each stage of a
+    /// request: `submitted`, `planned`, `migrated`, `completed`,
+    /// `failed`. `code` carries the stable error-kind string on
+    /// failures; `fields` are free-form numeric attributes
+    /// (`queue_depth`, `latency_secs`, `chain`, …). Same best-effort
+    /// drop accounting as the sweep records.
+    pub fn write_request(
+        &mut self,
+        id: u64,
+        model: &str,
+        event: &str,
+        code: Option<&str>,
+        fields: &[(&str, f64)],
+    ) {
+        let mut line = format!(
+            "{{\"v\":3,\"req\":{{\"id\":{id},\"model\":{},\"event\":{}",
+            json_str(model),
+            json_str(event)
+        );
+        if let Some(code) = code {
+            line.push_str(&format!(",\"code\":{}", json_str(code)));
+        }
+        for (key, value) in fields {
+            line.push_str(&format!(",{}:{value}", json_str(key)));
+        }
+        line.push_str("}}\n");
+        if self.fail_writes || self.out.write_all(line.as_bytes()).is_err() {
+            self.dropped += 1;
+            return;
+        }
+        self.unflushed += 1;
+        if self.unflushed >= Self::FLUSH_EVERY {
+            self.flush();
+        }
     }
 
     /// Flushes buffered records to disk. On failure every record still

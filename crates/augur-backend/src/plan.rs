@@ -42,7 +42,7 @@
 //! shape.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use augur_blk::{optimize, to_blocks, OptFlags, OptReport};
@@ -100,9 +100,17 @@ pub struct PlanCacheStats {
 
 /// Memoizes shape-specialized plan artifacts, keyed by the canonical
 /// data-shape fingerprint.
+///
+/// Safe and efficient under concurrent access (the serving layer shares
+/// one cache across worker threads): the map lock is held only for the
+/// fingerprint lookup, never across specialization. Each fingerprint
+/// maps to a once-initialized cell, so N workers racing to plan the
+/// same shape build the artifact exactly once (`misses == 1`, everyone
+/// else blocks on the cell and records a hit), while *different* shapes
+/// specialize genuinely in parallel.
 #[derive(Debug, Default)]
 struct PlanCache {
-    entries: HashMap<u64, Arc<PlanArtifact>>,
+    entries: HashMap<u64, Arc<OnceLock<Arc<PlanArtifact>>>>,
     hits: u64,
     misses: u64,
     respecializes: u64,
@@ -114,7 +122,10 @@ impl PlanCache {
             hits: self.hits,
             misses: self.misses,
             respecializes: self.respecializes,
-            entries: self.entries.len() as u64,
+            // Count only *built* artifacts: a cell exists from the moment
+            // a planner claims a fingerprint, but joins the entry count
+            // once its artifact is in place.
+            entries: self.entries.values().filter(|c| c.get().is_some()).count() as u64,
         }
     }
 }
@@ -284,26 +295,37 @@ impl CompiledModel {
         let state = build_state(&self.dm, &self.lowered, args, data)?;
         let setup_secs = t0.elapsed().as_secs_f64();
 
-        let (artifact, event, stats) = {
+        // Claim the fingerprint's cell under the map lock, then build (if
+        // first) *outside* it: concurrent planners of different shapes
+        // specialize in parallel, and same-shape racers serialize on the
+        // cell so the artifact is built exactly once.
+        let cell = {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            match cache.entries.get(&fp).map(Arc::clone) {
-                Some(a) => {
-                    cache.hits += 1;
-                    (a, PlanEvent::Hit, cache.stats())
-                }
-                None => {
-                    let event = if cache.entries.is_empty() {
-                        PlanEvent::Cold
-                    } else {
-                        cache.respecializes += 1;
-                        PlanEvent::Respecialize
-                    };
-                    cache.misses += 1;
-                    let a = Arc::new(build_artifact(&self.lowered, &state, &opt_flags));
-                    cache.entries.insert(fp, Arc::clone(&a));
-                    (a, event, cache.stats())
-                }
-            }
+            Arc::clone(
+                cache.entries.entry(fp).or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let mut built = false;
+        let artifact = Arc::clone(cell.get_or_init(|| {
+            built = true;
+            Arc::new(build_artifact(&self.lowered, &state, &opt_flags))
+        }));
+        let (event, stats) = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let event = if built {
+                let event = if cache.misses == 0 {
+                    PlanEvent::Cold
+                } else {
+                    cache.respecializes += 1;
+                    PlanEvent::Respecialize
+                };
+                cache.misses += 1;
+                event
+            } else {
+                cache.hits += 1;
+                PlanEvent::Hit
+            };
+            (event, cache.stats())
         };
 
         let mem = watermark(&artifact.table, &state);
@@ -620,6 +642,15 @@ impl Plan {
         self.mem
     }
 }
+
+// The serving layer shares one registry of compiled models — and the
+// plans specialized from them — across worker threads; pin that
+// capability at compile time so a refactor cannot silently lose it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledModel>();
+    assert_send_sync::<Plan>();
+};
 
 /// 64-bit FNV-1a, the workspace's canonical dependency-free hash.
 struct Fnv(u64);

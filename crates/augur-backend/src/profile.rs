@@ -12,7 +12,7 @@
 //!   is stable enough for golden tests; [`ExplainPlan::render_timed`] adds
 //!   them.
 //! * [`Profile`] — per-schedule-step and per-tape-op-class work accounting
-//!   for a run, gated by `SamplerConfig::timers`. Work counters are
+//!   for a run, gated by `SessionConfig::timers`. Work counters are
 //!   charged by the deterministic cost model and merged in chunk order, so
 //!   [`Profile::digest`] is byte-identical across execution strategies and
 //!   thread counts; wall times and op-class counts ride along outside the
@@ -111,7 +111,7 @@ impl Span {
 /// The compile-time explain plan of one sampler build: a span tree through
 /// the whole pipeline (frontend → Density IL → Kernel IL → lowering →
 /// codegen/Blk), recorded as the build runs. Obtained from
-/// `Sampler::explain()`.
+/// `Session::explain()`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExplainPlan {
     /// The root span (`explain`), whose children are the pipeline phases.
@@ -180,8 +180,8 @@ pub struct MemWatermark {
 
 /// The runtime phase profile of one sampler (or an aggregate over chains):
 /// per-schedule-step work/wall accounting, per-tape-op-class instruction
-/// counts, and the memory watermark. Obtained from `Sampler::profile()`;
-/// populated only while `SamplerConfig::timers` is on.
+/// counts, and the memory watermark. Obtained from `Session::profile()`;
+/// populated only while `SessionConfig::timers` is on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// The schedule, as `(*)`-joined step labels.

@@ -1,0 +1,234 @@
+//! Sustained serving load: the compile-once/serve-many economics,
+//! measured end to end through `augur-serve`.
+//!
+//! Registers the paper's three benchmark models (§7.2: HGMM, LDA, HLR)
+//! in a [`augur_serve::ModelRegistry`], starts a sharded
+//! [`augur_serve::Service`], and drives a bounded stream of `sample`
+//! requests (plus a `score`/`explain` sprinkle) against repeating data
+//! shapes — the serving regime the plan cache exists for: each model
+//! specializes once, every later request binds sessions off the cached
+//! plan. Chains migrate between shard workers mid-request
+//! (checkpoint-based preemption), so the run also exercises the
+//! rebalancing path under load.
+//!
+//! Records requests/s, p50/p99 request latency, the plan-cache hit
+//! rate, and migration/queue counters into `BENCH_serve.json` (beside
+//! `BENCH_sweep.json`) and a readable table in
+//! `results/sustained_load.md`.
+//!
+//! Exits non-zero if the service fails any request, the throughput is
+//! zero, or the cache hit rate falls below the structural expectation
+//! — the CI smoke gate runs this binary at `--scale 0.5`.
+//!
+//! `--scale X` scales the request count (default 1.0).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use augur::{HostValue, McmcConfig, SessionConfig};
+use augur_bench::{emit, hgmm_args, lda_args, scale_arg};
+use augur_serve::{
+    hermetic_config, ExplainRequest, ModelRegistry, ModelSpec, Request, SampleRequest,
+    ScoreRequest, Service, ServiceConfig,
+};
+use augurv2::{models, workloads};
+
+/// Worker shards serving the load.
+const WORKERS: usize = 4;
+/// Chains checkpoint-migrate to the next shard every this many sweeps.
+const MIGRATE_EVERY: u64 = 8;
+/// Sweeps per sample request.
+const SWEEPS: usize = 24;
+/// Chains per sample request.
+const CHAINS: usize = 2;
+
+/// One registered workload and its per-request bindings.
+struct Load {
+    name: &'static str,
+    args: Vec<HostValue>,
+    data: Vec<(String, HostValue)>,
+    record: Vec<String>,
+    base: SessionConfig,
+}
+
+fn loads() -> Vec<Load> {
+    let (k, d, n) = (2, 2, 40);
+    let hgmm = workloads::hgmm_data(k, d, n, 7);
+    let topics = 2;
+    let corpus = workloads::lda_corpus(topics, 8, 12, 8, 11);
+    let (ln, ld) = (30, 3);
+    let logit = workloads::logistic_data(ln, ld, 13);
+    vec![
+        Load {
+            name: "hgmm",
+            args: hgmm_args(k, d, n),
+            data: vec![("y".into(), HostValue::Ragged(hgmm.points))],
+            record: vec!["mu".into()],
+            base: hermetic_config(0xA464),
+        },
+        Load {
+            name: "lda",
+            args: lda_args(topics, &corpus),
+            data: vec![("w".into(), HostValue::RaggedI(corpus.docs))],
+            record: vec!["theta".into()],
+            base: hermetic_config(0xA464),
+        },
+        Load {
+            name: "hlr",
+            args: vec![
+                HostValue::Real(1.0),
+                HostValue::Int(ln as i64),
+                HostValue::Int(ld as i64),
+                HostValue::Ragged(logit.x),
+            ],
+            data: vec![("y".into(), HostValue::VecF(logit.y))],
+            record: vec!["theta".into()],
+            base: SessionConfig {
+                mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..McmcConfig::default() },
+                ..hermetic_config(0xA464)
+            },
+        },
+    ]
+}
+
+fn main() {
+    let scale = scale_arg(1.0);
+    let sample_requests = ((24.0 * scale).round() as usize).max(6);
+
+    let registry = ModelRegistry::new();
+    let loads = loads();
+    for load in &loads {
+        let source = match load.name {
+            "hgmm" => models::HGMM,
+            "lda" => models::LDA,
+            _ => models::HLR,
+        };
+        registry.register(load.name, ModelSpec::new(source)).expect("benchmark models compile");
+    }
+    let service = Service::start(
+        registry,
+        ServiceConfig { workers: WORKERS, migrate_every: MIGRATE_EVERY, ..Default::default() },
+    );
+
+    // The sustained phase: round-robin sample requests over the three
+    // models (repeating shapes ⇒ cache hits after each model's first),
+    // with a score and an explain folded in per round of six.
+    let t0 = Instant::now();
+    let mut tickets = Vec::new();
+    for i in 0..sample_requests {
+        let load = &loads[i % loads.len()];
+        tickets.push(service.submit(Request::Sample(SampleRequest {
+            model: load.name.into(),
+            version: None,
+            args: load.args.clone(),
+            data: load.data.clone(),
+            chains: CHAINS,
+            sweeps: SWEEPS,
+            record: load.record.clone(),
+            config: Some(SessionConfig { seed: 0xA464 + i as u64, ..load.base.clone() }),
+            migrate_every: None,
+        })));
+        if i % 6 == 4 {
+            tickets.push(service.submit(Request::Score(ScoreRequest {
+                model: load.name.into(),
+                version: None,
+                args: load.args.clone(),
+                data: load.data.clone(),
+                config: Some(load.base.clone()),
+            })));
+        }
+        if i % 6 == 5 {
+            tickets.push(service.submit(Request::Explain(ExplainRequest {
+                model: load.name.into(),
+                version: None,
+                args: load.args.clone(),
+                data: load.data.clone(),
+            })));
+        }
+    }
+    let submitted = tickets.len();
+    let mut ok = 0usize;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => ok += 1,
+            Err(e) => panic!("request failed with code `{}`: {e}", e.code()),
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let m = service.metrics();
+    service.shutdown();
+
+    let rps = ok as f64 / wall;
+    let (hits, misses): (u64, u64) =
+        m.models.iter().fold((0, 0), |(h, s), ms| (h + ms.stats.hits, s + ms.stats.misses));
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    // Structural expectation: every shape repeats, so only the first
+    // request per model misses.
+    let expected_hit_rate = 1.0 - loads.len() as f64 / (hits + misses) as f64;
+
+    assert_eq!(ok, submitted, "every request must be answered");
+    assert_eq!(m.failed, 0, "no request may fail");
+    assert!(rps > 0.0, "throughput must be nonzero");
+    assert!(
+        hit_rate >= expected_hit_rate - 1e-9,
+        "cache hit rate {hit_rate:.3} below structural expectation {expected_hit_rate:.3}"
+    );
+    assert!(m.migrations > 0, "sustained load must exercise chain migration");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"workers\": {WORKERS},");
+    let _ = writeln!(json, "  \"migrate_every\": {MIGRATE_EVERY},");
+    let _ = writeln!(json, "  \"requests\": {submitted},");
+    let _ = writeln!(json, "  \"completed\": {},", m.completed);
+    let _ = writeln!(json, "  \"failed\": {},", m.failed);
+    let _ = writeln!(json, "  \"wall_secs\": {wall:.4},");
+    let _ = writeln!(json, "  \"requests_per_sec\": {rps:.2},");
+    let _ = writeln!(json, "  \"latency_p50_ms\": {:.3},", m.latency.p50_secs * 1e3);
+    let _ = writeln!(json, "  \"latency_p99_ms\": {:.3},", m.latency.p99_secs * 1e3);
+    let _ = writeln!(json, "  \"latency_max_ms\": {:.3},", m.latency.max_secs * 1e3);
+    let _ = writeln!(json, "  \"migrations\": {},", m.migrations);
+    let _ = writeln!(json, "  \"queue_high_water\": {},", m.queue_high_water);
+    let _ = writeln!(json, "  \"plan_cache\": {{");
+    let _ = writeln!(json, "    \"hits\": {hits},");
+    let _ = writeln!(json, "    \"misses\": {misses},");
+    let _ = writeln!(json, "    \"hit_rate\": {hit_rate:.4}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"models\": [");
+    for (i, ms) in m.models.iter().enumerate() {
+        let comma = if i + 1 < m.models.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"version\": {}, \"hits\": {}, \"misses\": {}, \"entries\": {}}}{comma}",
+            ms.name, ms.version, ms.stats.hits, ms.stats.misses, ms.stats.entries
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let mut table = String::new();
+    let _ = writeln!(table, "# Sustained serving load — compile once, serve many\n");
+    let _ = writeln!(
+        table,
+        "scale = {scale}, workers = {WORKERS}, migrate every {MIGRATE_EVERY} sweeps, \
+         {CHAINS} chains x {SWEEPS} sweeps per sample request\n"
+    );
+    let _ = writeln!(table, "| metric | value |");
+    let _ = writeln!(table, "|---|---|");
+    let _ = writeln!(table, "| requests | {submitted} |");
+    let _ = writeln!(table, "| requests/s | {rps:.2} |");
+    let _ = writeln!(table, "| p50 latency | {:.2} ms |", m.latency.p50_secs * 1e3);
+    let _ = writeln!(table, "| p99 latency | {:.2} ms |", m.latency.p99_secs * 1e3);
+    let _ = writeln!(table, "| chain migrations | {} |", m.migrations);
+    let _ = writeln!(table, "| queue high water | {} |", m.queue_high_water);
+    let _ = writeln!(
+        table,
+        "| plan-cache hit rate | {:.1}% ({hits} hits / {misses} misses) |",
+        hit_rate * 100.0
+    );
+
+    if std::fs::write("BENCH_serve.json", &json).is_err() {
+        let _ = std::fs::write("../../BENCH_serve.json", &json);
+    }
+    emit("sustained_load", &table);
+}

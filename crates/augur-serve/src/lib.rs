@@ -1,0 +1,58 @@
+//! **augur-serve** — compile-once, serve-many inference over the plan
+//! cache.
+//!
+//! The paper's central move — compile the `(model, inference)` pair at
+//! runtime into a specialized artifact — scales naturally into a
+//! serving system: compilation is the expensive, shareable part, and
+//! execution is cheap session binding. This crate layers three pieces
+//! over the plan lifecycle:
+//!
+//! * a [`ModelRegistry`]: named, versioned models registered once
+//!   (source + schedule + opt flags), each owning the shared plan cache
+//!   every request against it hits;
+//! * a [`Service`]: a hand-rolled thread-pool front-end (no external
+//!   runtime — the build stays hermetic) accepting
+//!   [`sample`](SampleRequest)/[`score`](ScoreRequest)/
+//!   [`explain`](ExplainRequest) requests with per-request data
+//!   bindings, answered through [`Ticket`]s;
+//! * **worker sharding with checkpoint migration**: a sampling chain
+//!   runs as a sequence of slices, each slice checkpointing its session
+//!   and re-enqueueing on the next shard. The checkpoint protocol
+//!   restores byte-identically, so migrated runs equal unmigrated ones
+//!   draw-for-draw and digest-for-digest — rebalancing is always safe.
+//!
+//! ```
+//! use augur_serve::{ModelRegistry, ModelSpec, SampleRequest, Service, ServiceConfig};
+//! use augur::HostValue;
+//!
+//! let registry = ModelRegistry::new();
+//! registry.register("coin", ModelSpec::new("(N) => {
+//!     param p ~ Beta(1.0, 1.0) ;
+//!     data y[n] ~ Bernoulli(p) for n <- 0 until N ;
+//! }"))?;
+//! let service = Service::start(registry, ServiceConfig::default());
+//! let ticket = service.sample(SampleRequest {
+//!     args: vec![HostValue::Int(2)],
+//!     data: vec![("y".into(), HostValue::VecF(vec![1.0, 0.0]))],
+//!     chains: 2,
+//!     sweeps: 50,
+//!     record: vec!["p".into()],
+//!     ..SampleRequest::new("coin")
+//! });
+//! let out = ticket.wait()?.into_sample().unwrap();
+//! assert_eq!(out.draws.len(), 2);
+//! service.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod registry;
+pub mod service;
+
+pub use registry::{ModelCacheStats, ModelRegistry, ModelSpec, RegisteredModel};
+pub use service::{
+    hermetic_config, ExplainOutput, ExplainRequest, LatencyStats, MetricsSnapshot, Request,
+    Response, SampleOutput, SampleRequest, ScoreOutput, ScoreRequest, ServeError, Service,
+    ServiceConfig, Ticket,
+};

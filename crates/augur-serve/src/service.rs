@@ -1,0 +1,937 @@
+//! The inference service: a hand-rolled thread-pool executor turning
+//! registered models into a long-lived `sample`/`score`/`explain`
+//! front-end.
+//!
+//! # Architecture
+//!
+//! Each of the N **worker shards** owns a queue; [`Service::submit`]
+//! round-robins requests across shards and returns a [`Ticket`]
+//! immediately (the hermetic stand-in for an async future — block on it
+//! with [`Ticket::wait`]). A `sample` request is executed in two
+//! stages: the owning worker resolves the model, plans the data shape
+//! (hitting the model's shared plan cache), and fans the chains out as
+//! independent **chain-slice tasks**; each slice runs up to
+//! `migrate_every` sweeps, then checkpoints its session and re-enqueues
+//! itself on the *next* shard. Because the checkpoint protocol restores
+//! byte-identically (PR 4's kill-and-resume guarantee), a chain that
+//! hops workers mid-run produces exactly the draws and report digest of
+//! an unmigrated one — preemption and rebalancing are free of
+//! correctness risk, so the scheduler can be dumb.
+//!
+//! Determinism: per-chain seeds come from [`augur::chains::chain_seed`]
+//! — the same derivation [`augur::chains::ChainPlan`] uses — and chains
+//! are collected by index, so a service-path run is byte-identical to a
+//! direct `ChainPlan` run with the same base config, at any worker
+//! count and any migration cadence.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use augur::chains::chain_seed;
+use augur::{
+    Checkpoint, ExecStrategy, HostValue, McmcConfig, OptFlags, Plan, SessionConfig, Target,
+};
+use augur_backend::metrics::TraceSink;
+
+use crate::registry::{ModelCacheStats, ModelRegistry, RegisteredModel};
+
+/// A [`SessionConfig`] that ignores every `AUGUR_*` environment
+/// variable — the service must behave identically no matter what
+/// the host process inherited, so request configs default to this
+/// instead of `SessionConfig::default()`.
+pub fn hermetic_config(seed: u64) -> SessionConfig {
+    SessionConfig {
+        target: Target::Cpu,
+        seed,
+        mcmc: McmcConfig::default(),
+        opt_flags: OptFlags::default(),
+        exec: ExecStrategy::default(),
+        threads: 1,
+        trace_path: None,
+        timers: true,
+        checkpoint_path: None,
+        checkpoint_every: 0,
+        fault: None,
+    }
+}
+
+/// Service-level failures: everything a request can come back with.
+///
+/// Library failures arrive wrapped in [`ServeError::Model`]; map them
+/// to a response code with [`ServeError::code`], which routes through
+/// the stable [`augur::ErrorKind`] taxonomy instead of matching on
+/// internal enums.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request named a model (or version) that is not registered.
+    UnknownModel {
+        /// The requested name.
+        name: String,
+        /// The requested version (`None` = latest).
+        version: Option<u32>,
+    },
+    /// The service shut down before the request completed.
+    Canceled,
+    /// The underlying compiler/runtime failed.
+    Model(augur::Error),
+}
+
+impl ServeError {
+    /// The stable response code: `"unknown_model"`, `"canceled"`, or
+    /// the [`augur::ErrorKind`] string of the wrapped library error.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::UnknownModel { .. } => "unknown_model",
+            ServeError::Canceled => "canceled",
+            ServeError::Model(e) => e.kind().as_str(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel { name, version } => match version {
+                Some(v) => write!(f, "no registered model `{name}` version {v}"),
+                None => write!(f, "no registered model `{name}`"),
+            },
+            ServeError::Canceled => write!(f, "service shut down before the request completed"),
+            ServeError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<augur::Error> for ServeError {
+    fn from(e: augur::Error) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+/// A `sample` request: fan `chains` independently seeded chains over
+/// one cached plan of `model`, recording `record` after every sweep.
+#[derive(Debug, Clone)]
+pub struct SampleRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Registration version (`None` = latest).
+    pub version: Option<u32>,
+    /// Model arguments, in declaration order.
+    pub args: Vec<HostValue>,
+    /// Observed-data bindings.
+    pub data: Vec<(String, HostValue)>,
+    /// Number of independently seeded chains.
+    pub chains: usize,
+    /// Sweeps per chain.
+    pub sweeps: usize,
+    /// Parameters recorded after each sweep.
+    pub record: Vec<String>,
+    /// Base session config; per-chain seeds are derived from its seed
+    /// exactly as [`augur::chains::ChainPlan`] derives them. `None` =
+    /// [`hermetic_config`] with the service's base seed.
+    pub config: Option<SessionConfig>,
+    /// Overrides the service's migration cadence for this request
+    /// (`Some(0)` pins chains to one worker; `Some(n)` checkpoints and
+    /// re-shards every `n` sweeps).
+    pub migrate_every: Option<u64>,
+}
+
+impl SampleRequest {
+    /// A request against the latest version of `model` with the
+    /// service-default config: 4 chains, 1000 sweeps, nothing recorded.
+    pub fn new(model: impl Into<String>) -> SampleRequest {
+        SampleRequest {
+            model: model.into(),
+            version: None,
+            args: Vec::new(),
+            data: Vec::new(),
+            chains: 4,
+            sweeps: 1000,
+            record: Vec::new(),
+            config: None,
+            migrate_every: None,
+        }
+    }
+}
+
+/// A `score` request: the log-joint density of the model at its seeded
+/// initial state, given the bound data.
+#[derive(Debug, Clone)]
+pub struct ScoreRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Registration version (`None` = latest).
+    pub version: Option<u32>,
+    /// Model arguments, in declaration order.
+    pub args: Vec<HostValue>,
+    /// Observed-data bindings.
+    pub data: Vec<(String, HostValue)>,
+    /// Session config (`None` = [`hermetic_config`] with the service's
+    /// base seed).
+    pub config: Option<SessionConfig>,
+}
+
+/// An `explain` request: the compiler's explain plan for this model
+/// specialized to the given data shape.
+#[derive(Debug, Clone)]
+pub struct ExplainRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Registration version (`None` = latest).
+    pub version: Option<u32>,
+    /// Model arguments, in declaration order.
+    pub args: Vec<HostValue>,
+    /// Observed-data bindings.
+    pub data: Vec<(String, HostValue)>,
+}
+
+/// Any request the service accepts.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Request {
+    /// Fan chains over a cached plan and collect draws.
+    Sample(SampleRequest),
+    /// Log-joint at the seeded initial state.
+    Score(ScoreRequest),
+    /// Explain plan for a data shape.
+    Explain(ExplainRequest),
+}
+
+/// The result of a `sample` request.
+#[derive(Debug, Clone)]
+pub struct SampleOutput {
+    /// Per-chain, per-sweep recordings — exactly
+    /// [`augur::chains::Chains::draws`] of the equivalent direct run.
+    pub draws: Vec<Vec<std::collections::HashMap<String, Vec<f64>>>>,
+    /// Per-chain deterministic run-report digests, in chain order.
+    pub report_digests: Vec<String>,
+    /// The plan-cache fingerprint the request was served under.
+    pub fingerprint: u64,
+    /// Worker-to-worker chain migrations performed while serving this
+    /// request.
+    pub migrations: u64,
+}
+
+/// The result of a `score` request.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreOutput {
+    /// Log-joint density at the seeded initial state.
+    pub log_joint: f64,
+}
+
+/// The result of an `explain` request.
+#[derive(Debug, Clone)]
+pub struct ExplainOutput {
+    /// The schedule in Kernel-IL notation.
+    pub kernel: String,
+    /// The stable explain-plan tree (no wall times).
+    pub explain: String,
+}
+
+/// Any response the service produces.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Response {
+    /// Draws and digests from a `sample` request.
+    Sample(SampleOutput),
+    /// A `score` result.
+    Score(ScoreOutput),
+    /// An `explain` result.
+    Explain(ExplainOutput),
+}
+
+impl Response {
+    /// The sample output, if this is a sample response.
+    pub fn into_sample(self) -> Option<SampleOutput> {
+        match self {
+            Response::Sample(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// The async handle returned by [`Service::submit`]: a one-shot
+/// receiver for the request's response.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl Ticket {
+    /// The request id (matches the `"id"` field of the request's v3
+    /// trace records).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives. A service that shuts down
+    /// with the request still queued yields [`ServeError::Canceled`].
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Canceled))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Tunables of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker shards (each owns a queue and a thread). `0` = one per
+    /// available core.
+    pub workers: usize,
+    /// Default migration cadence: every `migrate_every` sweeps a chain
+    /// checkpoints and re-enqueues on the next shard (`0` = chains stay
+    /// put). Requests can override per call.
+    pub migrate_every: u64,
+    /// Seed used by [`hermetic_config`] when a request has no config.
+    pub base_seed: u64,
+    /// When set, the service streams v3 request-lifecycle JSONL records
+    /// here (see `DESIGN.md` § JSONL trace schema).
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 2, migrate_every: 0, base_seed: 0xA464, trace_path: None }
+    }
+}
+
+/// Latency quantiles over completed requests, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Completed-request count the quantiles are over.
+    pub count: u64,
+    /// Median latency.
+    pub p50_secs: f64,
+    /// 99th-percentile latency.
+    pub p99_secs: f64,
+    /// Worst observed latency.
+    pub max_secs: f64,
+}
+
+/// A point-in-time snapshot of the service's observability counters.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests accepted by [`Service::submit`].
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Worker-to-worker chain migrations performed.
+    pub migrations: u64,
+    /// Tasks currently queued across all shards.
+    pub queue_depth: usize,
+    /// Highest single-shard queue depth observed since start.
+    pub queue_high_water: usize,
+    /// Request latency quantiles (submit → response).
+    pub latency: LatencyStats,
+    /// Plan-cache counters of every registered model version.
+    pub models: Vec<ModelCacheStats>,
+}
+
+/// Counters behind the metrics lock.
+#[derive(Debug, Default)]
+struct MetricsInner {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    migrations: u64,
+    latencies_secs: Vec<f64>,
+}
+
+/// One worker shard: a queue, its wakeup, and depth tracking.
+#[derive(Default)]
+struct Shard {
+    queue: Mutex<VecDeque<Task>>,
+    wakeup: Condvar,
+    depth: AtomicUsize,
+}
+
+/// Everything workers and the front-end share.
+struct Shared {
+    registry: ModelRegistry,
+    config: ServiceConfig,
+    shards: Vec<Shard>,
+    open: AtomicBool,
+    next_id: AtomicU64,
+    next_shard: AtomicUsize,
+    high_water: AtomicUsize,
+    metrics: Mutex<MetricsInner>,
+    trace: Option<Mutex<TraceSink>>,
+}
+
+/// What sits in a shard queue.
+enum Task {
+    Request(Box<RequestTask>),
+    Slice(Box<SliceTask>),
+}
+
+/// A freshly submitted request, before fan-out.
+struct RequestTask {
+    id: u64,
+    t0: Instant,
+    req: Request,
+    reply: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+/// The shared completion state of one in-flight `sample` request.
+struct SampleAgg {
+    id: u64,
+    t0: Instant,
+    model: String,
+    fingerprint: u64,
+    reply: mpsc::Sender<Result<Response, ServeError>>,
+    state: Mutex<AggState>,
+}
+
+#[derive(Default)]
+struct AggState {
+    remaining: usize,
+    migrations: u64,
+    chains: Vec<Option<Result<ChainResult, ServeError>>>,
+}
+
+/// One finished chain's contribution.
+struct ChainResult {
+    draws: Vec<std::collections::HashMap<String, Vec<f64>>>,
+    report_digest: String,
+}
+
+/// One chain's next execution slice. The session itself is not `Send`,
+/// so what travels between shards is the plain-data [`Checkpoint`]; the
+/// receiving worker binds a fresh session off the shared plan and
+/// restores it byte-identically.
+struct SliceTask {
+    agg: Arc<SampleAgg>,
+    plan: Arc<Plan>,
+    cfg: SessionConfig,
+    chain: usize,
+    total: usize,
+    done: usize,
+    record: Vec<String>,
+    draws: Vec<std::collections::HashMap<String, Vec<f64>>>,
+    ckpt: Option<Checkpoint>,
+    migrate_every: u64,
+}
+
+/// The inference service: spawn with [`Service::start`], register
+/// models, submit requests, read metrics, shut down.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service").field("workers", &self.workers.len()).finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Starts the worker shards over `registry`.
+    pub fn start(registry: ModelRegistry, config: ServiceConfig) -> Service {
+        let workers = match config.workers {
+            0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            n => n,
+        };
+        let trace = config
+            .trace_path
+            .as_ref()
+            .and_then(|p| TraceSink::create(p).ok())
+            .map(Mutex::new);
+        let shared = Arc::new(Shared {
+            registry,
+            config,
+            shards: (0..workers).map(|_| Shard::default()).collect(),
+            open: AtomicBool::new(true),
+            next_id: AtomicU64::new(1),
+            next_shard: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+            metrics: Mutex::new(MetricsInner::default()),
+            trace,
+        });
+        let handles = (0..workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("augur-serve-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service { shared, workers: handles }
+    }
+
+    /// The registry behind the service (register models through this at
+    /// any time; in-flight requests are unaffected).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Enqueues a request on the next shard (round-robin) and returns
+    /// its ticket immediately.
+    pub fn submit(&self, req: Request) -> Ticket {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let model = request_model(&req).to_owned();
+        {
+            let mut m = self.shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.submitted += 1;
+        }
+        let shard =
+            self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        let depth = self.shared.enqueue(
+            shard,
+            Task::Request(Box::new(RequestTask { id, t0: Instant::now(), req, reply: tx })),
+        );
+        self.shared.trace(id, &model, "submitted", None, &[("queue_depth", depth as f64)]);
+        Ticket { id, rx }
+    }
+
+    /// [`Service::submit`] for a `sample` request.
+    pub fn sample(&self, req: SampleRequest) -> Ticket {
+        self.submit(Request::Sample(req))
+    }
+
+    /// [`Service::submit`] for a `score` request.
+    pub fn score(&self, req: ScoreRequest) -> Ticket {
+        self.submit(Request::Score(req))
+    }
+
+    /// [`Service::submit`] for an `explain` request.
+    pub fn explain(&self, req: ExplainRequest) -> Ticket {
+        self.submit(Request::Explain(req))
+    }
+
+    /// A point-in-time snapshot of every observability counter.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let (submitted, completed, failed, migrations, latency) = {
+            let m = self.shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            (m.submitted, m.completed, m.failed, m.migrations, latency_stats(&m.latencies_secs))
+        };
+        MetricsSnapshot {
+            submitted,
+            completed,
+            failed,
+            migrations,
+            queue_depth: self
+                .shared
+                .shards
+                .iter()
+                .map(|s| s.depth.load(Ordering::Relaxed))
+                .sum(),
+            queue_high_water: self.shared.high_water.load(Ordering::Relaxed),
+            latency,
+            models: self.shared.registry.cache_stats(),
+        }
+    }
+
+    /// Drains every queue, stops the workers, and flushes the trace
+    /// sink. Requests still queued at shutdown are processed; requests
+    /// submitted after it are not accepted (tickets resolve to
+    /// [`ServeError::Canceled`]).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.open.store(false, Ordering::SeqCst);
+        for shard in &self.shared.shards {
+            let _guard = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+            shard.wakeup.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(trace) = &self.shared.trace {
+            trace.lock().unwrap_or_else(|e| e.into_inner()).flush();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// The model name a request targets (for trace records).
+fn request_model(req: &Request) -> &str {
+    match req {
+        Request::Sample(r) => &r.model,
+        Request::Score(r) => &r.model,
+        Request::Explain(r) => &r.model,
+    }
+}
+
+/// p50/p99/max over the recorded latencies.
+fn latency_stats(lat: &[f64]) -> LatencyStats {
+    if lat.is_empty() {
+        return LatencyStats::default();
+    }
+    let mut sorted = lat.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+    LatencyStats {
+        count: sorted.len() as u64,
+        p50_secs: q(0.50),
+        p99_secs: q(0.99),
+        max_secs: *sorted.last().expect("non-empty"),
+    }
+}
+
+impl Shared {
+    /// Pushes a task and wakes the shard; returns the shard's new depth.
+    fn enqueue(&self, shard: usize, task: Task) -> usize {
+        let s = &self.shards[shard];
+        {
+            let mut q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(task);
+        }
+        let depth = s.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+        s.wakeup.notify_one();
+        depth
+    }
+
+    /// Best-effort v3 trace record for one request-lifecycle event.
+    fn trace(&self, id: u64, model: &str, event: &str, code: Option<&str>, fields: &[(&str, f64)]) {
+        if let Some(trace) = &self.trace {
+            trace
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .write_request(id, model, event, code, fields);
+        }
+    }
+
+    /// Records a finished request into the metrics and its trace event.
+    fn finish(&self, id: u64, model: &str, t0: Instant, result: &Result<Response, ServeError>) {
+        let latency = t0.elapsed().as_secs_f64();
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            match result {
+                Ok(_) => m.completed += 1,
+                Err(_) => m.failed += 1,
+            }
+            m.latencies_secs.push(latency);
+        }
+        match result {
+            Ok(_) => self.trace(id, model, "completed", None, &[("latency_secs", latency)]),
+            Err(e) => {
+                self.trace(id, model, "failed", Some(e.code()), &[("latency_secs", latency)])
+            }
+        }
+    }
+}
+
+/// One shard's run loop: pop until the queue is empty *and* the service
+/// is closed (so shutdown drains in-flight work).
+fn worker_loop(shared: &Arc<Shared>, idx: usize) {
+    loop {
+        let task = {
+            let shard = &shared.shards[idx];
+            let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = q.pop_front() {
+                    shard.depth.fetch_sub(1, Ordering::Relaxed);
+                    break Some(t);
+                }
+                if !shared.open.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shard.wakeup.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match task {
+            None => return,
+            Some(Task::Request(t)) => run_request(shared, idx, *t),
+            Some(Task::Slice(t)) => run_slice(shared, idx, *t),
+        }
+    }
+}
+
+/// Executes a freshly dequeued request: `score`/`explain` inline,
+/// `sample` by fanning chain slices across the shards.
+fn run_request(shared: &Arc<Shared>, idx: usize, task: RequestTask) {
+    let RequestTask { id, t0, req, reply } = task;
+    let model = request_model(&req).to_owned();
+    let resolved = match &req {
+        Request::Sample(r) => resolve(shared, &r.model, r.version),
+        Request::Score(r) => resolve(shared, &r.model, r.version),
+        Request::Explain(r) => resolve(shared, &r.model, r.version),
+    };
+    let registered = match resolved {
+        Ok(m) => m,
+        Err(e) => {
+            let result: Result<Response, ServeError> = Err(e);
+            shared.finish(id, &model, t0, &result);
+            let _ = reply.send(result);
+            return;
+        }
+    };
+    match req {
+        Request::Score(r) => {
+            let result = score(shared, &registered, r);
+            shared.finish(id, &model, t0, &result);
+            let _ = reply.send(result);
+        }
+        Request::Explain(r) => {
+            let result = explain(shared, &registered, r);
+            shared.finish(id, &model, t0, &result);
+            let _ = reply.send(result);
+        }
+        Request::Sample(r) => fan_sample(shared, idx, id, t0, &registered, r, reply),
+    }
+}
+
+/// Resolves a registration or produces the typed miss.
+fn resolve(
+    shared: &Shared,
+    name: &str,
+    version: Option<u32>,
+) -> Result<Arc<RegisteredModel>, ServeError> {
+    shared
+        .registry
+        .resolve(name, version)
+        .ok_or_else(|| ServeError::UnknownModel { name: name.to_owned(), version })
+}
+
+/// `score`: plan, bind, init, log-joint.
+fn score(
+    shared: &Shared,
+    registered: &RegisteredModel,
+    r: ScoreRequest,
+) -> Result<Response, ServeError> {
+    let data: Vec<(&str, HostValue)> =
+        r.data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let plan = registered.plan(r.args, data)?;
+    let cfg = r.config.unwrap_or_else(|| hermetic_config(shared.config.base_seed));
+    let mut session = plan.session(cfg).map_err(augur::Error::from)?;
+    session.init().map_err(augur::Error::from)?;
+    Ok(Response::Score(ScoreOutput { log_joint: session.log_joint() }))
+}
+
+/// `explain`: plan, bind, render the stable explain tree.
+fn explain(
+    shared: &Shared,
+    registered: &RegisteredModel,
+    r: ExplainRequest,
+) -> Result<Response, ServeError> {
+    let data: Vec<(&str, HostValue)> =
+        r.data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let plan = registered.plan(r.args, data)?;
+    let cfg = hermetic_config(shared.config.base_seed);
+    let session = plan.session(cfg).map_err(augur::Error::from)?;
+    Ok(Response::Explain(ExplainOutput {
+        kernel: registered.model().kernel(),
+        explain: session.explain().render(),
+    }))
+}
+
+/// Plans a `sample` request and fans its chains out as slice tasks;
+/// a planning failure answers the ticket directly.
+fn fan_sample(
+    shared: &Arc<Shared>,
+    idx: usize,
+    id: u64,
+    t0: Instant,
+    registered: &RegisteredModel,
+    r: SampleRequest,
+    reply: mpsc::Sender<Result<Response, ServeError>>,
+) {
+    let data: Vec<(&str, HostValue)> =
+        r.data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let plan = match registered.plan(r.args, data) {
+        Ok(p) => Arc::new(p),
+        Err(e) => {
+            let result: Result<Response, ServeError> = Err(ServeError::Model(e));
+            shared.finish(id, &r.model, t0, &result);
+            let _ = reply.send(result);
+            return;
+        }
+    };
+    shared.trace(
+        id,
+        &r.model,
+        "planned",
+        None,
+        &[("chains", r.chains as f64), ("sweeps", r.sweeps as f64)],
+    );
+    let base = r.config.unwrap_or_else(|| hermetic_config(shared.config.base_seed));
+    let migrate_every = r.migrate_every.unwrap_or(shared.config.migrate_every);
+    let fingerprint = plan.fingerprint();
+    if r.chains == 0 {
+        let result = Ok(Response::Sample(SampleOutput {
+            draws: Vec::new(),
+            report_digests: Vec::new(),
+            fingerprint,
+            migrations: 0,
+        }));
+        shared.finish(id, &r.model, t0, &result);
+        let _ = reply.send(result);
+        return;
+    }
+    let agg = Arc::new(SampleAgg {
+        id,
+        t0,
+        model: r.model.clone(),
+        fingerprint,
+        reply,
+        state: Mutex::new(AggState {
+            remaining: r.chains,
+            migrations: 0,
+            chains: (0..r.chains).map(|_| None).collect(),
+        }),
+    });
+    for c in 0..r.chains {
+        let mut cfg = base.clone();
+        cfg.seed = chain_seed(base.seed, c);
+        let task = Box::new(SliceTask {
+            agg: Arc::clone(&agg),
+            plan: Arc::clone(&plan),
+            cfg,
+            chain: c,
+            total: r.sweeps,
+            done: 0,
+            record: r.record.clone(),
+            draws: Vec::new(),
+            ckpt: None,
+            migrate_every,
+        });
+        shared.enqueue((idx + 1 + c) % shared.shards.len(), Task::Slice(task));
+    }
+}
+
+/// Executes one chain slice: bind a session, restore-or-init, run up to
+/// `migrate_every` sweeps, then either checkpoint and hop to the next
+/// shard or finish the chain.
+fn run_slice(shared: &Arc<Shared>, idx: usize, mut task: SliceTask) {
+    let agg = Arc::clone(&task.agg);
+    let chain = task.chain;
+    let outcome = (move || -> Result<Option<SliceTask>, augur::Error> {
+        let mut session = task.plan.session(task.cfg.clone())?;
+        match &task.ckpt {
+            Some(ck) => session.restore(ck)?,
+            None => session.init()?,
+        }
+        let remaining = task.total - task.done;
+        let migrating = shared.open.load(Ordering::SeqCst)
+            && task.migrate_every > 0
+            && shared.shards.len() > 1;
+        let slice = if migrating { remaining.min(task.migrate_every as usize) } else { remaining };
+        let record: Vec<&str> = task.record.iter().map(String::as_str).collect();
+        let draws = session.sample(slice, &record)?;
+        task.draws.extend(draws);
+        task.done += slice;
+        if task.done < task.total {
+            task.ckpt = Some(session.checkpoint());
+            Ok(Some(task))
+        } else {
+            let digest = session.report().digest();
+            let chain = task.chain;
+            let draws = std::mem::take(&mut task.draws);
+            complete_chain(shared, &task.agg, chain, Ok(ChainResult { draws, report_digest: digest }));
+            Ok(None)
+        }
+    })();
+    match outcome {
+        Ok(None) => {}
+        Ok(Some(task)) => {
+            let next = (idx + 1) % shared.shards.len();
+            {
+                let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                m.migrations += 1;
+            }
+            {
+                let mut st = task.agg.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.migrations += 1;
+            }
+            shared.trace(
+                task.agg.id,
+                &task.agg.model,
+                "migrated",
+                None,
+                &[
+                    ("chain", task.chain as f64),
+                    ("sweep", task.done as f64),
+                    ("from_worker", idx as f64),
+                    ("to_worker", next as f64),
+                ],
+            );
+            shared.enqueue(next, Task::Slice(Box::new(task)));
+        }
+        Err(e) => complete_chain(shared, &agg, chain, Err(ServeError::Model(e))),
+    }
+}
+
+/// Records one chain's result; the last chain to land assembles the
+/// response (first error by chain index wins, matching `ChainPlan`).
+fn complete_chain(
+    shared: &Arc<Shared>,
+    agg: &Arc<SampleAgg>,
+    chain: usize,
+    result: Result<ChainResult, ServeError>,
+) {
+    let finished = {
+        let mut st = agg.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.chains[chain] = Some(result);
+        st.remaining -= 1;
+        st.remaining == 0
+    };
+    if !finished {
+        return;
+    }
+    let (chains, migrations) = {
+        let mut st = agg.state.lock().unwrap_or_else(|e| e.into_inner());
+        (std::mem::take(&mut st.chains), st.migrations)
+    };
+    let mut draws = Vec::with_capacity(chains.len());
+    let mut digests = Vec::with_capacity(chains.len());
+    let mut first_err = None;
+    for slot in chains {
+        match slot.expect("every chain reported") {
+            Ok(c) => {
+                draws.push(c.draws);
+                digests.push(c.report_digest);
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    let result = match first_err {
+        Some(e) => Err(e),
+        None => Ok(Response::Sample(SampleOutput {
+            draws,
+            report_digests: digests,
+            fingerprint: agg.fingerprint,
+            migrations,
+        })),
+    };
+    shared.finish(agg.id, &agg.model, agg.t0, &result);
+    let _ = agg.reply.send(result);
+}

@@ -31,10 +31,6 @@
 //! let pooled = chains.pooled_mean("p", 0)?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-//!
-//! The deprecated [`ChainRunner`] keeps the old `Infer`-based surface
-//! but now routes through the same shared-plan fan-out internally (its
-//! historical per-chain full recompile is gone).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -42,11 +38,9 @@ use std::path::{Path, PathBuf};
 
 use augur_backend::checkpoint::CheckpointError;
 use augur_backend::par::Pool;
-use augur_backend::{CompiledModel, Plan};
+use augur_backend::Plan;
 
-#[allow(deprecated)]
-use crate::Infer;
-use crate::{Error, HostValue, SessionConfig};
+use crate::{Error, SessionConfig};
 
 /// The result of a multi-chain run.
 #[derive(Debug, Clone)]
@@ -55,7 +49,7 @@ pub struct Chains {
     pub draws: Vec<Vec<HashMap<String, Vec<f64>>>>,
     /// Per-chain execution profiles, in chain order (one per chain; see
     /// [`augur_backend::Profile`]). Work counters are populated only when
-    /// the run's `SamplerConfig::timers` was on.
+    /// the run's `SessionConfig::timers` was on.
     pub profiles: Vec<augur_backend::Profile>,
 }
 
@@ -107,8 +101,8 @@ impl Chains {
 
     /// Convergence diagnostics for every recorded scalar component:
     /// effective sample size (summed across chains) and split-R̂, in
-    /// parameter-name order. The diagnostics-first companion to
-    /// `Sampler::report()`.
+    /// parameter-name order. The diagnostics-first companion to the
+    /// per-session run report.
     ///
     /// # Errors
     ///
@@ -143,7 +137,7 @@ impl Chains {
     ///
     /// Because each chain's work counters are deterministic, the work
     /// portion of the aggregate's [`augur_backend::Profile::digest`] is
-    /// reproducible at any [`ChainRunner::threads`] count.
+    /// reproducible at any [`ChainPlan::threads`] count.
     pub fn profile(&self) -> Option<augur_backend::Profile> {
         let mut it = self.profiles.iter();
         let mut total = it.next()?.clone();
@@ -335,154 +329,13 @@ impl<'a> ChainPlan<'a> {
     }
 }
 
-/// Builder for a multi-chain run over a compiled model (pre-lifecycle
-/// surface). Internally it now compiles **once** and fans N sessions
-/// over the shared plan, exactly like [`ChainPlan`] — the historical
-/// per-chain full recompile is gone.
-#[deprecated(since = "0.6.0", note = "use `Model::plan` + `ChainPlan::new(&plan)` instead")]
-#[derive(Debug)]
-pub struct ChainRunner<'a> {
-    #[allow(deprecated)]
-    infer: &'a Infer,
-    args: Vec<HostValue>,
-    data: Vec<(&'a str, HostValue)>,
-    config: Option<SessionConfig>,
-    n_chains: usize,
-    sweeps: usize,
-    record: Vec<&'a str>,
-    threads: usize,
-    checkpoint_dir: Option<PathBuf>,
-}
-
-#[allow(deprecated)]
-impl<'a> ChainRunner<'a> {
-    /// Starts a run of the given compiled model. Defaults: 4 chains,
-    /// 1000 sweeps, nothing recorded, one thread, the [`Infer`]'s own
-    /// compile options.
-    pub fn new(infer: &'a Infer) -> ChainRunner<'a> {
-        ChainRunner {
-            infer,
-            args: Vec::new(),
-            data: Vec::new(),
-            config: None,
-            n_chains: 4,
-            sweeps: 1000,
-            record: Vec::new(),
-            threads: 1,
-            checkpoint_dir: None,
-        }
-    }
-
-    /// Positional model arguments, in declaration order (as
-    /// [`Infer::compile`]).
-    #[must_use]
-    pub fn args(mut self, args: Vec<HostValue>) -> Self {
-        self.args = args;
-        self
-    }
-
-    /// Binds observed data by variable name (as
-    /// [`crate::CompileBuilder::data`]).
-    #[must_use]
-    pub fn data(mut self, data: Vec<(&'a str, HostValue)>) -> Self {
-        self.data.extend(data);
-        self
-    }
-
-    /// Overrides the sampler configuration for every chain (per-chain
-    /// seeds are still derived from its seed).
-    #[must_use]
-    pub fn config(mut self, config: SessionConfig) -> Self {
-        self.config = Some(config);
-        self
-    }
-
-    /// Number of independently seeded chains (default 4).
-    #[must_use]
-    pub fn chains(mut self, n: usize) -> Self {
-        self.n_chains = n;
-        self
-    }
-
-    /// Sweeps per chain (default 1000).
-    #[must_use]
-    pub fn sweeps(mut self, n: usize) -> Self {
-        self.sweeps = n;
-        self
-    }
-
-    /// Parameters to record after each sweep.
-    #[must_use]
-    pub fn record(mut self, params: &[&'a str]) -> Self {
-        self.record = params.to_vec();
-        self
-    }
-
-    /// Number of worker threads chains are fanned across (default 1;
-    /// `0` = one per available core). Results are identical at every
-    /// thread count.
-    #[must_use]
-    pub fn threads(mut self, n: usize) -> Self {
-        self.threads = resolve_threads(n);
-        self
-    }
-
-    /// Periodically checkpoints every chain into `dir` (one
-    /// `chain-<c>.ckpt` file per chain). See [`ChainPlan::checkpoint_dir`].
-    #[must_use]
-    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.checkpoint_dir = Some(dir.into());
-        self
-    }
-
-    /// Compiles once, then binds and runs every chain over the shared
-    /// plan. See [`ChainPlan::run`].
-    ///
-    /// # Errors
-    ///
-    /// Returns the first (by chain index) build or run error.
-    pub fn run(self) -> Result<Chains, Error> {
-        self.run_impl(false)
-    }
-
-    /// Resumes every chain from `dir/chain-<c>.ckpt`. See
-    /// [`ChainPlan::resume_dir`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Checkpoint`] if a chain's file is missing or does
-    /// not match, plus the usual build/run errors.
-    pub fn resume_dir(mut self, dir: impl Into<PathBuf>) -> Result<Chains, Error> {
-        self.checkpoint_dir = Some(dir.into());
-        self.run_impl(true)
-    }
-
-    fn run_impl(self, resume: bool) -> Result<Chains, Error> {
-        let base = self.config.clone().unwrap_or_else(|| self.infer.config.clone());
-        // One compile for all chains: run the middle end once and plan
-        // once, then fan sessions over the shared artifact.
-        let kp = self.infer.kernel_plan()?;
-        let (density, kernel) = augur_backend::driver::explain_plan_spans(&kp);
-        let lowered = augur_low::lower(self.infer.model(), &kp).map_err(
-            augur_backend::driver::BuildError::from,
-        )?;
-        let model = CompiledModel::from_parts(
-            self.infer.model().clone(),
-            lowered,
-            vec![density, kernel],
-        );
-        let plan = model.plan_opt(self.args, self.data, base.opt_flags.clone())?;
-        fan_chains(FanSpec {
-            plan: &plan,
-            base: &base,
-            n_chains: self.n_chains,
-            sweeps: self.sweeps,
-            record: &self.record,
-            threads: self.threads,
-            checkpoint_dir: self.checkpoint_dir.as_deref(),
-            resume,
-        })
-    }
+/// The seed of chain `chain` in a fan-out whose base config seed is
+/// `base`: a golden-ratio stride keeps per-chain RNG streams distinct
+/// while remaining a pure function of `(base, chain)`. Exported so other
+/// fan-out surfaces (e.g. the serving layer) reproduce [`ChainPlan`]
+/// runs byte-for-byte.
+pub fn chain_seed(base: u64, chain: usize) -> u64 {
+    base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chain as u64 + 1))
 }
 
 /// `0` = one thread per available core.
@@ -524,9 +377,7 @@ fn fan_chains(spec: FanSpec<'_>) -> Result<Chains, Error> {
     type ChainOut = (Vec<HashMap<String, Vec<f64>>>, augur_backend::Profile);
     let run_one = |c: usize| -> Result<ChainOut, Error> {
         let mut chain_cfg = base.clone();
-        chain_cfg.seed = base
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1));
+        chain_cfg.seed = chain_seed(base.seed, c);
         let ckpt: Option<PathBuf> = checkpoint_dir.map(|d| chain_file(d, c));
         chain_cfg.checkpoint_path = ckpt.clone();
         let mut session = plan.session(chain_cfg)?;
@@ -579,6 +430,7 @@ fn chain_file(dir: &Path, c: usize) -> PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::HostValue;
 
     #[test]
     fn chains_differ_but_agree_in_distribution() {
@@ -640,35 +492,4 @@ mod tests {
         assert_eq!(seq.draws, run(8).draws);
     }
 
-    /// Deprecated-shim coverage: the `Infer`-based runner must keep
-    /// working (and producing typed errors) until it is removed.
-    #[test]
-    #[allow(deprecated)]
-    fn missing_param_is_a_typed_error_via_deprecated_runner() {
-        let aug = Infer::from_source(
-            "(N) => {
-                param p ~ Beta(1.0, 1.0) ;
-                data y[n] ~ Bernoulli(p) for n <- 0 until N ;
-            }",
-        )
-        .unwrap();
-        let chains = ChainRunner::new(&aug)
-            .args(vec![HostValue::Int(2)])
-            .data(vec![("y", HostValue::VecF(vec![1.0, 0.0]))])
-            .chains(2)
-            .sweeps(5)
-            .record(&["p"])
-            .run()
-            .unwrap();
-        match chains.traces("ghost", 0) {
-            Err(Error::NotRecorded { param }) => assert_eq!(param, "ghost"),
-            other => panic!("expected NotRecorded, got {other:?}"),
-        }
-        match chains.traces("p", 7) {
-            Err(Error::OutOfRange { param, index, len }) => {
-                assert_eq!((param.as_str(), index, len), ("p", 7, 1));
-            }
-            other => panic!("expected OutOfRange, got {other:?}"),
-        }
-    }
 }

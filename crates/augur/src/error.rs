@@ -6,6 +6,13 @@
 //! never recorded, indexing past a parameter's length) get their own
 //! typed variants so callers can match on them instead of parsing panic
 //! strings.
+//!
+//! `Error` is `#[non_exhaustive]`: new failure modes may gain variants
+//! without a breaking release. Callers that only need a coarse response
+//! code — the serving layer foremost — should branch on
+//! [`Error::kind`], which maps every variant (present and future) onto
+//! the small, stable [`ErrorKind`] taxonomy instead of the concrete
+//! enums.
 
 use std::fmt;
 
@@ -15,6 +22,7 @@ use augur_backend::driver::{BuildError, RunError, UnknownParam};
 /// Any failure from the user-facing API: compilation, building, running
 /// chains, or accessing results.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// A pipeline failure (parse, typecheck, density, schedule, lowering,
     /// or state setup), with the failing phase named inside.
@@ -73,6 +81,88 @@ pub enum Error {
     },
     /// A checkpoint could not be written, read, or applied.
     Checkpoint(CheckpointError),
+}
+
+/// The coarse, stable classification of an [`Error`] — what a service
+/// maps to a response code without matching on internal enums.
+///
+/// Both this enum and [`Error`] are `#[non_exhaustive]`; match with a
+/// wildcard arm. The [`str` form](ErrorKind::as_str) is stable and is
+/// what the serving layer's JSONL trace records and error responses
+/// carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The model source or schedule was rejected at compile time
+    /// (parse, typecheck, density translation, schedule planning, or
+    /// lowering). The request itself is at fault: re-sending it cannot
+    /// succeed.
+    Compile,
+    /// Model arguments or data bindings did not match the model
+    /// (binding/allocation failures, unknown parameter names) — also a
+    /// caller-side fault.
+    Binding,
+    /// The sampler hit a numerical failure at run time (non-finite
+    /// initialization from improper hyperparameters).
+    Numerical,
+    /// A kernel or worker failed mid-run (out-of-bounds access, panic)
+    /// — the fault was isolated, the rest of the system is intact.
+    Fault,
+    /// A checkpoint could not be written, read, or applied.
+    Checkpoint,
+    /// A results accessor was misused (parameter not recorded, index
+    /// out of range, empty or too-short chain set).
+    Query,
+    /// An auxiliary I/O channel failed (e.g. the JSONL trace sink).
+    Io,
+}
+
+impl ErrorKind {
+    /// The stable string form, e.g. `"compile"` — what response codes
+    /// and trace records carry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Compile => "compile",
+            ErrorKind::Binding => "binding",
+            ErrorKind::Numerical => "numerical",
+            ErrorKind::Fault => "fault",
+            ErrorKind::Checkpoint => "checkpoint",
+            ErrorKind::Query => "query",
+            ErrorKind::Io => "io",
+        }
+    }
+
+    /// Whether the failure is the caller's (bad model, bad bindings,
+    /// bad accessor use) rather than the runtime's — a 4xx/5xx-style
+    /// split for response mapping.
+    pub fn is_caller_fault(self) -> bool {
+        matches!(self, ErrorKind::Compile | ErrorKind::Binding | ErrorKind::Query)
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Error {
+    /// The coarse classification of this error (see [`ErrorKind`]).
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Build(BuildError::Setup(_)) => ErrorKind::Binding,
+            Error::Build(BuildError::Trace(_)) => ErrorKind::Io,
+            Error::Build(_) => ErrorKind::Compile,
+            Error::UnknownParam { .. } => ErrorKind::Binding,
+            Error::NonFiniteInit { .. } => ErrorKind::Numerical,
+            Error::NotRecorded { .. }
+            | Error::OutOfRange { .. }
+            | Error::NoChains
+            | Error::ShortChain { .. } => ErrorKind::Query,
+            Error::OutOfBounds { .. } | Error::WorkerPanic { .. } => ErrorKind::Fault,
+            Error::Checkpoint(_) => ErrorKind::Checkpoint,
+        }
+    }
 }
 
 impl fmt::Display for Error {

@@ -66,12 +66,8 @@ pub mod error;
 
 use augur_backend::driver::BuildError;
 use augur_density::DensityModel;
-use augur_kernel::{heuristic_schedule, parse_schedule, plan, KernelPlan, Schedule};
-use augur_low::LoweredModel;
 
 pub use augur_backend::driver::{Session, SessionConfig, Target};
-#[allow(deprecated)]
-pub use augur_backend::driver::{Sampler, SamplerConfig};
 pub use augur_backend::mcmc::McmcConfig;
 pub use augur_backend::{CompiledModel, Plan, PlanCacheStats, PlanEvent};
 pub use augur_backend::state::HostValue;
@@ -81,9 +77,7 @@ pub use augur_backend::{ExecReport, KernelReport, KernelStats, RunReport};
 pub use augur_backend::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};
 pub use augur_blk::OptFlags;
 pub use chains::{ChainPlan, ChainsReport};
-#[allow(deprecated)]
-pub use chains::ChainRunner;
-pub use error::Error;
+pub use error::{Error, ErrorKind};
 pub use gpu_sim::DeviceConfig;
 
 /// One-stop import of the user-facing surface:
@@ -97,21 +91,18 @@ pub use gpu_sim::DeviceConfig;
 /// [`SessionConfig`], [`HostValue`], [`Target`], [`ExecStrategy`],
 /// [`OptFlags`], [`McmcConfig`]), multi-chain runs ([`ChainPlan`]),
 /// observing ([`RunReport`], [`KernelStats`], [`ChainsReport`], the
-/// [`diag`] estimators), and failing ([`Error`]). The deprecated
-/// pre-lifecycle names ([`Infer`], [`Sampler`], [`SamplerConfig`],
-/// [`ChainRunner`]) stay importable during migration.
+/// [`diag`] estimators), and failing ([`Error`], [`ErrorKind`]). The
+/// pre-lifecycle names (`Infer`, `Sampler`, `SamplerConfig`,
+/// `ChainRunner`) are gone: `Model` → [`Plan`] → [`Session`] and
+/// [`ChainPlan`] are the only entrypoints.
 pub mod prelude {
     pub use crate::chains::{ChainPlan, Chains, ChainsReport, ParamDiag};
-    #[allow(deprecated)]
-    pub use crate::chains::ChainRunner;
     pub use crate::diag::{autocovariance, ess, ess_per_sec, split_rhat};
     pub use crate::{
-        CompiledModel, Error, ExecStrategy, ExplainPlan, HostValue, KernelStats, McmcConfig,
-        Model, OptFlags, Plan, PlanCacheStats, PlanEvent, Profile, RunReport, Session,
-        SessionConfig, Target,
+        CompiledModel, Error, ErrorKind, ExecStrategy, ExplainPlan, HostValue, KernelStats,
+        McmcConfig, Model, OptFlags, Plan, PlanCacheStats, PlanEvent, Profile, RunReport,
+        Session, SessionConfig, Target,
     };
-    #[allow(deprecated)]
-    pub use crate::{Infer, Sampler, SamplerConfig};
 }
 
 /// Compiler diagnostics produced alongside a build (what the paper's
@@ -210,8 +201,7 @@ impl Model {
     }
 
     /// The schedule in Kernel-IL notation, e.g.
-    /// `Gibbs Single(mu) (*) Gibbs Single(z)` — what
-    /// `kernel_plan().kernel()` rendered on the deprecated path.
+    /// `Gibbs Single(mu) (*) Gibbs Single(z)`.
     pub fn kernel(&self) -> String {
         self.inner.labels().join(" (*) ")
     }
@@ -255,213 +245,6 @@ impl Model {
     }
 }
 
-/// The pre-lifecycle inference object — the paper's `AugurV2Lib.Infer`
-/// (Fig. 2). Kept as a thin shim over the [`Model`] → [`Plan`] →
-/// [`Session`] lifecycle; prefer [`Model::compile`], which caches
-/// specialization work across data shapes instead of recompiling on
-/// every build.
-#[deprecated(since = "0.6.0", note = "use `Model::compile` → `plan` → `session` instead")]
-#[derive(Debug, Clone)]
-pub struct Infer {
-    model: DensityModel,
-    schedule: Option<Schedule>,
-    config: SessionConfig,
-}
-
-#[allow(deprecated)]
-impl Infer {
-    /// Parses and type checks a model.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`BuildError`] for frontend failures.
-    pub fn from_source(src: &str) -> Result<Infer, BuildError> {
-        let ast = augur_lang::parse(src)?;
-        let typed = augur_lang::typecheck(&ast)?;
-        let model = DensityModel::from_typed(&typed)?;
-        Ok(Infer { model, schedule: None, config: SessionConfig::default() })
-    }
-
-    /// Sets compile options — the paper's `setCompileOpt` (target choice,
-    /// seed, MCMC tuning, Blk-IL optimization toggles).
-    pub fn set_compile_opt(&mut self, config: SessionConfig) -> &mut Infer {
-        self.config = config;
-        self
-    }
-
-    /// Selects how compiled procedures execute — the flat instruction
-    /// tape (the default) or the reference tree-walking interpreter.
-    /// Traces are bit-identical either way; `Tree` is the differential
-    /// testing oracle.
-    pub fn exec_strategy(&mut self, exec: ExecStrategy) -> &mut Infer {
-        self.config.exec = exec;
-        self
-    }
-
-    /// Sets the number of worker threads for within-chain tape execution.
-    /// `1` runs sequentially, `0` uses one thread per available core.
-    /// Sampled traces are **bit-identical at every thread count**: every
-    /// parallel region derives its random streams from counter-based
-    /// per-thread RNGs and merges writes in a fixed order (see `DESIGN.md`
-    /// § Deterministic parallelism), so threading is purely a throughput
-    /// knob, never a reproducibility trade-off.
-    pub fn threads(&mut self, n: usize) -> &mut Infer {
-        self.config.threads = n;
-        self
-    }
-
-    /// Sets a user MCMC schedule — the paper's `setUserSched`, e.g.
-    /// `"ESlice mu (*) Gibbs z"`. Chainable, consistent with
-    /// [`Infer::threads`] and [`Infer::exec_strategy`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on unparseable schedules; use [`Infer::try_schedule`] for a
-    /// fallible variant.
-    pub fn schedule(&mut self, sched: &str) -> &mut Infer {
-        self.try_schedule(sched).expect("invalid schedule");
-        self
-    }
-
-    /// Fallible [`Infer::schedule`].
-    ///
-    /// # Errors
-    ///
-    /// Returns the schedule parse error.
-    pub fn try_schedule(&mut self, sched: &str) -> Result<&mut Infer, BuildError> {
-        self.schedule = Some(parse_schedule(sched)?);
-        Ok(self)
-    }
-
-    /// Deprecated name for [`Infer::schedule`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on unparseable schedules.
-    #[deprecated(since = "0.1.0", note = "use `Infer::schedule` instead")]
-    pub fn set_user_sched(&mut self, sched: &str) -> &mut Infer {
-        self.schedule(sched)
-    }
-
-    /// Deprecated name for [`Infer::try_schedule`].
-    ///
-    /// # Errors
-    ///
-    /// Returns the schedule parse error.
-    #[deprecated(since = "0.1.0", note = "use `Infer::try_schedule` instead")]
-    pub fn try_user_sched(&mut self, sched: &str) -> Result<&mut Infer, BuildError> {
-        self.try_schedule(sched)
-    }
-
-    /// The validated kernel plan (schedule + conditionals) without
-    /// building a sampler — useful for inspecting what the compiler chose.
-    ///
-    /// # Errors
-    ///
-    /// Returns planning errors (e.g. a `Gibbs` request with no conjugacy).
-    pub fn kernel_plan(&self) -> Result<KernelPlan, BuildError> {
-        let sched = match &self.schedule {
-            Some(s) => s.clone(),
-            None => heuristic_schedule(&self.model)?,
-        };
-        Ok(plan(&self.model, &sched)?)
-    }
-
-    /// Lowers the model and returns compiler diagnostics.
-    ///
-    /// # Errors
-    ///
-    /// Returns planning or lowering errors.
-    pub fn compile_info(&self) -> Result<CompileInfo, BuildError> {
-        let kp = self.kernel_plan()?;
-        let lowered = augur_low::lower(&self.model, &kp)?;
-        let kernel = format!("{}", kp.kernel());
-        let density = augur_density::pretty_density(&self.model);
-        let mut code = String::new();
-        for p in &lowered.procs {
-            code.push_str(&augur_low::il::pretty_proc(p));
-            code.push('\n');
-        }
-        Ok(CompileInfo { kernel, density, code })
-    }
-
-    /// The density model (for analyses and baselines).
-    pub fn model(&self) -> &DensityModel {
-        &self.model
-    }
-
-    /// Renders the compiled inference program as the Cuda/C a native build
-    /// would compile (the paper's backend output; see [`codegen`]).
-    ///
-    /// # Errors
-    ///
-    /// Returns planning or lowering errors.
-    pub fn emit_native(&self, target: codegen::CodegenTarget) -> Result<String, BuildError> {
-        let kp = self.kernel_plan()?;
-        let mut lowered = augur_low::lower(&self.model, &kp)?;
-        // Low-- proper: functional primitives become side-effecting stores
-        // into planned temporaries (§5.2) before native emission.
-        augur_low::memory::make_memory_explicit(&mut lowered)?;
-        Ok(codegen::emit(&lowered, target))
-    }
-
-    /// Starts a compile with positional model arguments, in declaration
-    /// order (the paper's `aug.compile(K, N, mu0, S0, pis, S)`).
-    pub fn compile(&self, args: Vec<HostValue>) -> CompileBuilder<'_> {
-        CompileBuilder { infer: self, args, data: Vec::new() }
-    }
-}
-
-/// Builder returned by [`Infer::compile`]; supply data and build.
-#[deprecated(since = "0.6.0", note = "use `Model::compile` → `plan` → `session` instead")]
-#[derive(Debug)]
-pub struct CompileBuilder<'a> {
-    #[allow(deprecated)]
-    infer: &'a Infer,
-    args: Vec<HostValue>,
-    data: Vec<(&'a str, HostValue)>,
-}
-
-#[allow(deprecated)]
-impl<'a> CompileBuilder<'a> {
-    /// Binds observed data by variable name (the paper's trailing `(x)`).
-    pub fn data(mut self, data: Vec<(&'a str, HostValue)>) -> CompileBuilder<'a> {
-        self.data.extend(data);
-        self
-    }
-
-    /// Runs the middle-end and backend, producing a runnable sampler.
-    ///
-    /// The sampler carries a compile-time explain plan
-    /// (`Sampler::explain()`): the kernel-plan and density spans are
-    /// derived from the validated plan here, and the backend appends its
-    /// size-inference, autodiff, and codegen spans. (The frontend ran at
-    /// [`Infer::from_source`] time, so its span carries no wall time on
-    /// this path.)
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`BuildError`] naming the failing phase.
-    pub fn build(self) -> Result<Session, BuildError> {
-        let t0 = std::time::Instant::now();
-        let kp = self.infer.kernel_plan()?;
-        let (density, mut kernel) = augur_backend::driver::explain_plan_spans(&kp);
-        kernel.wall_secs = t0.elapsed().as_secs_f64();
-        let t0 = std::time::Instant::now();
-        let lowered: LoweredModel = augur_low::lower(&self.infer.model, &kp)?;
-        let lowering =
-            augur_backend::profile::Span::timed("lowering", t0.elapsed().as_secs_f64());
-        Session::from_lowered_explained(
-            &self.infer.model,
-            &lowered,
-            self.args,
-            self.data,
-            self.infer.config.clone(),
-            vec![density, kernel, lowering],
-        )
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,18 +274,6 @@ mod tests {
     #[test]
     fn bad_schedule_is_rejected_at_compile_time() {
         assert!(Model::with_schedule(GMM, "HMC z (*) Gibbs mu").is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_sched_setters_still_work() {
-        let mut aug = Infer::from_source(GMM).unwrap();
-        aug.set_user_sched("ESlice mu (*) Gibbs z");
-        let via_old = format!("{}", aug.kernel_plan().unwrap().kernel());
-        let mut aug2 = Infer::from_source(GMM).unwrap();
-        aug2.schedule("ESlice mu (*) Gibbs z");
-        assert_eq!(via_old, format!("{}", aug2.kernel_plan().unwrap().kernel()));
-        assert!(aug.try_user_sched("NotAKernel q").is_err());
     }
 
     #[test]

@@ -17,10 +17,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 # executor lanes (the plan lifecycle's runtime claim).
 cargo test -q --test alloc_free
 
-# The deprecated `Infer`/`Sampler`/`ChainRunner` shims must keep
-# compiling against their old call patterns (shim-coverage tests carry
-# `#[allow(deprecated)]`; they are removed together with the shims).
-cargo test -q --test plan_lifecycle deprecated_infer_path_matches_plan_lifecycle
+# The deprecated `Infer`/`Sampler`/`SamplerConfig`/`ChainRunner` shims
+# were removed after their one-release grace window; the names must not
+# reappear in the public crates.
+! grep -rnE "pub (struct|type) (Infer|Sampler|SamplerConfig|ChainRunner)\b" \
+    crates/augur/src crates/augur-backend/src
+! grep -rn "#\[deprecated" crates/augur/src crates/augur-backend/src
+
+# Serving smoke: the service path must stay byte-identical to direct
+# ChainPlan runs (including forced mid-run worker migration), and a
+# bounded sustained-load run must sustain nonzero throughput with the
+# structural plan-cache hit rate.
+cargo test -q --test serve
+cargo run --release -p augur-bench --bin sustained_load -- --scale 0.5 >/dev/null
 
 # Explain/profile smoke: the walkthrough example exercises the whole
 # explain-plan + phase-profiler surface (the byte-for-byte golden for

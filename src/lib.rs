@@ -10,6 +10,7 @@ pub use augur_backend;
 pub use augur_dist;
 pub use augur_jags;
 pub use augur_math;
+pub use augur_serve;
 pub use augur_stan;
 
 pub mod diag;

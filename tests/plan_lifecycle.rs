@@ -7,7 +7,7 @@
 //! check trajectories, run-report digests, and profile work-digests are
 //! bit-identical against a from-scratch compile of the same shape.
 
-use augur::{HostValue, McmcConfig, Model, PlanEvent, SessionConfig};
+use augur::{HostValue, Model, PlanEvent, SessionConfig};
 use augur_math::Matrix;
 use augurv2::{models, workloads};
 
@@ -201,31 +201,48 @@ fn fingerprint_separates_shapes_and_flags() {
     assert_ne!(base.fingerprint(), flagged.fingerprint(), "opt flags must change the key");
 }
 
-/// Deprecated-shim differential: the `Infer` builder path must still
-/// produce the same chain as the plan lifecycle it now wraps.
+/// Concurrency: when N workers race to plan the *same* shape on one
+/// shared model, exactly one builds the specialization and the rest
+/// wait for it — the service-registry contract. Pinned: `misses == 1`.
 #[test]
-#[allow(deprecated)]
-fn deprecated_infer_path_matches_plan_lifecycle() {
-    let (k, d, n) = (2, 2, 50);
-    let data = workloads::hgmm_data(k, d, n, 11);
-    let mcmc = McmcConfig::default();
-
-    let mut old = {
-        let aug = augur::Infer::from_source(models::HGMM).unwrap();
-        aug.compile(hgmm_args(k, d, n))
-            .data(vec![("y", HostValue::Ragged(data.points.clone()))])
-            .build()
-            .unwrap()
-    };
-    let sig_old = signature(&mut old, 10, "mu");
-
+fn racing_workers_specialize_a_shape_exactly_once() {
+    const WORKERS: usize = 8;
+    let (k, d, n) = (2, 2, 40);
+    let data = workloads::hgmm_data(k, d, n, 7);
     let model = Model::compile(models::HGMM).unwrap();
-    let mut new = model
-        .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(data.points))])
-        .unwrap()
-        .session(SessionConfig { mcmc, ..Default::default() })
-        .unwrap();
-    let sig_new = signature(&mut new, 10, "mu");
-    assert_eq!(sig_old.trajectory, sig_new.trajectory);
-    assert_eq!(sig_old.report_digest, sig_new.report_digest);
+    let fingerprints: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let model = &model;
+                let points = data.points.clone();
+                scope.spawn(move || {
+                    model
+                        .plan(hgmm_args(k, d, n), vec![("y", HostValue::Ragged(points))])
+                        .unwrap()
+                        .fingerprint()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(fingerprints.windows(2).all(|w| w[0] == w[1]), "one shape, one key");
+    let stats = model.cache_stats();
+    assert_eq!(stats.misses, 1, "same-shape racers must build exactly once");
+    assert_eq!(stats.hits, (WORKERS - 1) as u64);
+    assert_eq!(stats.entries, 1);
+
+    // Different shapes still build independently (and in parallel).
+    std::thread::scope(|scope| {
+        for extra in 1..=2usize {
+            let model = &model;
+            scope.spawn(move || {
+                let data = workloads::hgmm_data(k, d, n + extra, 7);
+                model
+                    .plan(hgmm_args(k, d, n + extra), vec![("y", HostValue::Ragged(data.points))])
+                    .unwrap();
+            });
+        }
+    });
+    assert_eq!(model.cache_stats().entries, 3);
+    assert_eq!(model.cache_stats().misses, 3);
 }

@@ -211,16 +211,3 @@ fn empty_chains_report_is_typed_error() {
     }
     assert!(chains.profile().is_none(), "no chains ⇒ no aggregate profile");
 }
-
-/// The chainable schedule builder composes with the other `Infer`
-/// builder methods and rejects bad schedules fallibly (deprecated-shim
-/// coverage: the old surface must keep working during migration).
-#[test]
-#[allow(deprecated)]
-fn schedule_builder_chains_with_other_options() {
-    let mut aug = Infer::from_source(GAMMA_POISSON).unwrap();
-    aug.schedule("MH r").threads(2).exec_strategy(ExecStrategy::Tape);
-    let plan = aug.kernel_plan().unwrap();
-    assert_eq!(format!("{}", plan.kernel()), "MH Single(r)");
-    assert!(aug.try_schedule("Bogus r").is_err());
-}
