@@ -360,7 +360,7 @@ impl<'a> Compiler<'a> {
 /// Named procedure registry built once per compiled model. Each
 /// procedure is stored in both interpretable (tree) and tape-compiled
 /// form, for both targets; the engine picks a representation from its
-/// [`ExecStrategy`](crate::tape::ExecStrategy).
+/// [`ExecBackend`](crate::tape::ExecBackend).
 #[derive(Debug, Default)]
 pub struct ProcTable {
     names: HashMap<String, usize>,

@@ -22,7 +22,7 @@ use crate::compile::ProcTable;
 use crate::eval::{Engine, ExecMode};
 use crate::fault::FaultPlan;
 use crate::metrics::{ExecReport, KernelReport, KernelStats, RunReport, TraceSink, UpdateOutcome};
-use crate::tape::ExecStrategy;
+use crate::tape::ExecBackend;
 use crate::mcmc::{self, GradTarget, McmcConfig, Proposal};
 use crate::plan::{CompiledModel, Plan};
 use crate::profile::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};
@@ -50,10 +50,13 @@ pub struct SessionConfig {
     /// Blk-IL optimization toggles (GPU target only).
     pub opt_flags: OptFlags,
     /// How compiled procedures execute: a flat instruction tape (the
-    /// default) or the reference tree-walking interpreter. Traces are
-    /// bit-identical either way; `Tree` is kept as the differential
-    /// testing oracle and for debugging via `Tape::disasm`.
-    pub exec: ExecStrategy,
+    /// default), the reference tree-walking interpreter, or emitted C
+    /// compiled with the host toolchain ([`ExecBackend::Native`]).
+    /// Traces are bit-identical across backends; `Tree` is kept as the
+    /// differential testing oracle and for debugging via `Tape::disasm`.
+    /// The default honors the `AUGUR_BACKEND` environment variable
+    /// (`tree` / `tape` / `native`) when set.
+    pub backend: ExecBackend,
     /// Worker threads for tape execution. `1` (the default) runs
     /// sequentially; `0` means one per available core. Traces are
     /// bit-identical at every thread count (see `DESIGN.md`
@@ -91,7 +94,7 @@ impl Default for SessionConfig {
             seed: 0xA464,
             mcmc: McmcConfig::default(),
             opt_flags: OptFlags::default(),
-            exec: ExecStrategy::default(),
+            backend: default_backend(),
             threads: default_threads(),
             trace_path: std::env::var_os("AUGUR_TRACE").map(PathBuf::from),
             timers: true,
@@ -100,6 +103,18 @@ impl Default for SessionConfig {
             fault: FaultPlan::from_env()
                 .unwrap_or_else(|e| panic!("AUGUR_FAULT: {e}")),
         }
+    }
+}
+
+/// The default execution backend: `AUGUR_BACKEND` when set and parseable
+/// (`tree` / `tape` / `native`), otherwise [`ExecBackend::Tape`]. A
+/// malformed value panics — silently sampling under the wrong backend is
+/// worse than a loud failure.
+fn default_backend() -> ExecBackend {
+    match std::env::var("AUGUR_BACKEND") {
+        Ok(s) => ExecBackend::parse(s.trim())
+            .unwrap_or_else(|| panic!("AUGUR_BACKEND: unknown backend {s:?}")),
+        Err(_) => ExecBackend::default(),
     }
 }
 
@@ -311,6 +326,9 @@ pub struct Session {
     /// Static memory watermark (size-inference bound vs. statically
     /// touched bytes).
     mem: MemWatermark,
+    /// Why a requested [`ExecBackend::Native`] session is actually
+    /// running on the tape (`None` when no fallback happened).
+    backend_fallback: Option<String>,
 }
 
 impl Session {
@@ -381,7 +399,20 @@ impl Session {
         };
         let mut engine =
             Engine::new(plan.state.clone(), Prng::seed_from_u64(config.seed), device, mode);
-        engine.strategy = config.exec;
+        engine.backend = config.backend;
+        // Native requested: build (or reuse) the plan's dlopen'ed C
+        // artifact. Failure is not fatal — the session degrades to the
+        // tape and records why.
+        let mut backend_fallback = None;
+        if config.backend == ExecBackend::Native && mode == ExecMode::Cpu {
+            match plan.native_module() {
+                Ok(module) => engine.native = Some(module),
+                Err(reason) => {
+                    engine.backend = ExecBackend::Tape;
+                    backend_fallback = Some(reason);
+                }
+            }
+        }
         engine.profile_ops = config.timers;
         engine.set_threads(config.threads);
         if matches!(config.target, Target::Gpu(_)) {
@@ -432,7 +463,22 @@ impl Session {
             explain: plan.explain.clone(),
             step_work,
             mem: plan.mem,
+            backend_fallback,
         })
+    }
+
+    /// The backend this session actually executes on. Differs from the
+    /// configured [`SessionConfig::backend`] only when a requested
+    /// `Native` session fell back to the tape (no C toolchain, emission
+    /// gap, …); [`Session::backend_fallback`] records why.
+    pub fn backend(&self) -> ExecBackend {
+        self.engine.backend
+    }
+
+    /// The recorded reason a requested [`ExecBackend::Native`] session is
+    /// running on the tape instead, or `None` when no fallback happened.
+    pub fn backend_fallback(&self) -> Option<&str> {
+        self.backend_fallback.as_deref()
     }
 
     /// Registers a user-supplied proposal (the Kernel IL's
@@ -973,7 +1019,7 @@ impl Session {
             op_class: self.engine.metrics.op_class,
             mem: self.mem,
             threads: self.engine.threads(),
-            strategy: format!("{:?}", self.engine.strategy),
+            strategy: format!("{:?}", self.engine.backend),
         }
     }
 

@@ -16,7 +16,7 @@ use gpu_sim::Device;
 
 use crate::compile::{ProcTable, RBlk, RExpr, RLValue, RRef, RStmt};
 use crate::state::{BufId, RowElem, Shape, State};
-use crate::tape::ExecStrategy;
+use crate::tape::ExecBackend;
 
 /// Which execution target the engine charges time to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,9 +114,20 @@ pub struct Engine {
     pub device: Device,
     /// Execution target.
     pub mode: ExecMode,
-    /// Execution strategy: flat compiled tape (default) or the recursive
-    /// tree-walker reference oracle. Both produce bit-identical traces.
-    pub strategy: ExecStrategy,
+    /// Execution backend: flat compiled tape (default), the recursive
+    /// tree-walker reference oracle, or dlopen'ed native code. All
+    /// produce bit-identical traces.
+    pub backend: ExecBackend,
+    /// The dlopen'ed native module when `backend == Native` and the
+    /// plan's C artifact built; procedures it covers dispatch through
+    /// the extern-C ABI, the rest fall back to the tape.
+    pub(crate) native: Option<std::sync::Arc<crate::native::NativeModule>>,
+    /// Slot stack for owned temporaries created by native-code callbacks
+    /// (handles passed back to C instead of raw pointers).
+    pub(crate) native_own: Vec<View>,
+    /// Master RNG saved across a native parallel region (the native
+    /// analogue of the tree-walker's stack-local `master` clone).
+    pub(crate) native_master_rng: Option<Prng>,
     pub(crate) env: Vec<i64>,
     pub(crate) work: u64,
     pub(crate) atomics: Vec<u64>,
@@ -168,7 +179,10 @@ impl Engine {
             rng,
             device,
             mode,
-            strategy: ExecStrategy::default(),
+            backend: ExecBackend::default(),
+            native: None,
+            native_own: Vec::new(),
+            native_master_rng: None,
             env: Vec::new(),
             work: 0,
             atomics: Vec::new(),
@@ -219,7 +233,12 @@ impl Engine {
             rng: Prng::seed_from_u64(0),
             device: Device::new(gpu_sim::DeviceConfig::host_cpu_like()),
             mode: self.mode,
-            strategy: self.strategy,
+            backend: self.backend,
+            // Workers run tape/tree bodies handed to them by the
+            // dispatcher; the native module stays on the main engine.
+            native: None,
+            native_own: Vec::new(),
+            native_master_rng: None,
             env: self.env.clone(),
             work: 0,
             atomics: Vec::new(),
@@ -374,8 +393,8 @@ impl Engine {
 
     fn run_proc_inner(&mut self, table: &ProcTable, idx: usize) -> Option<f64> {
         self.metrics.proc_calls += 1;
-        match (self.mode, self.strategy) {
-            (ExecMode::Cpu, ExecStrategy::Tree) => {
+        match (self.mode, self.backend) {
+            (ExecMode::Cpu, ExecBackend::Tree) => {
                 let before = self.work;
                 let body = &table.procs[idx].body;
                 self.exec(body);
@@ -383,7 +402,17 @@ impl Engine {
                 self.device.sequential(delta);
                 table.procs[idx].ret.as_ref().map(|e| self.eval_num(e))
             }
-            (ExecMode::Cpu, ExecStrategy::Tape) => {
+            (ExecMode::Cpu, ExecBackend::Native)
+                if self.native.as_ref().is_some_and(|m| m.covers(idx)) =>
+            {
+                let module = self.native.clone().expect("checked above");
+                let before = self.work;
+                crate::native::run_native_proc(self, &module, idx);
+                let delta = (self.work - before) as f64;
+                self.device.sequential(delta);
+                table.procs[idx].ret.as_ref().map(|e| self.eval_num(e))
+            }
+            (ExecMode::Cpu, ExecBackend::Tape | ExecBackend::Native) => {
                 let proc_ = &table.tapes[idx];
                 let before = self.work;
                 let retired = self.run_tape(&proc_.tape);
@@ -393,7 +422,7 @@ impl Engine {
                 self.device.tape_dispatch(retired);
                 proc_.ret.as_ref().map(|e| self.eval_num(e))
             }
-            (ExecMode::Gpu, ExecStrategy::Tree) => {
+            (ExecMode::Gpu, ExecBackend::Tree) => {
                 let proc_ = &table.blk_procs[idx];
                 let name = proc_.name.clone();
                 let blocks = proc_.blocks.clone();
@@ -407,7 +436,9 @@ impl Engine {
                 }
                 ret
             }
-            (ExecMode::Gpu, ExecStrategy::Tape) => {
+            // The simulated device has no native lane; Native degrades to
+            // the tape's virtual-time accounting there.
+            (ExecMode::Gpu, ExecBackend::Tape | ExecBackend::Native) => {
                 let proc_ = &table.blk_tapes[idx];
                 for b in &proc_.blocks {
                     self.run_blk_tape(&proc_.name, b);

@@ -55,12 +55,14 @@
 #![deny(missing_docs)]
 
 pub mod checkpoint;
+pub mod codegen;
 pub mod compile;
 pub mod driver;
 pub mod eval;
 pub mod fault;
 pub mod mcmc;
 pub mod metrics;
+pub mod native;
 pub mod oracle;
 pub mod par;
 pub mod plan;
@@ -70,10 +72,11 @@ pub mod state;
 pub mod tape;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
+pub use codegen::{CodegenTarget, CodegenUnit, SymbolInfo, SymbolKind};
 pub use driver::{BuildError, RunError, Session, SessionConfig, Target};
-pub use plan::{CompiledModel, Plan, PlanCacheStats, PlanEvent};
+pub use plan::{BackendAvailability, CompiledModel, Plan, PlanCacheStats, PlanEvent};
 pub use fault::{FaultParseError, FaultPlan};
 pub use metrics::{ExecReport, KernelReport, KernelStats, RunReport, UpdateOutcome};
 pub use profile::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};
 pub use state::HostValue;
-pub use tape::ExecStrategy;
+pub use tape::{ExecBackend, ExecStrategy};

@@ -42,6 +42,7 @@
 //! shape.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -55,10 +56,12 @@ use crate::driver::{
     compile_step, explain_plan_spans, step_label, table_index, BuildError, CompiledStep, Session,
     SessionConfig,
 };
+use crate::native::NativeModule;
 use crate::oracle::StateOracle;
 use crate::profile::{ExplainPlan, MemWatermark, Span};
 use crate::setup::build_state;
 use crate::state::{BufId, HostValue, State};
+use crate::tape::ExecBackend;
 
 /// What the plan cache did for a [`CompiledModel::plan`] request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +99,11 @@ pub struct PlanCacheStats {
     pub respecializes: u64,
     /// Distinct shape fingerprints currently cached.
     pub entries: u64,
+    /// Native artifacts built (emit + cc + dlopen, or a recorded failure)
+    /// across all cached plans.
+    pub native_builds: u64,
+    /// Native-module requests served from an artifact's memoized module.
+    pub native_hits: u64,
 }
 
 /// Memoizes shape-specialized plan artifacts, keyed by the canonical
@@ -118,6 +126,16 @@ struct PlanCache {
 
 impl PlanCache {
     fn stats(&self) -> PlanCacheStats {
+        let (native_builds, native_hits) = self
+            .entries
+            .values()
+            .filter_map(|c| c.get())
+            .fold((0, 0), |(b, h), a| {
+                (
+                    b + a.native_builds.load(Ordering::Relaxed),
+                    h + a.native_hits.load(Ordering::Relaxed),
+                )
+            });
         PlanCacheStats {
             hits: self.hits,
             misses: self.misses,
@@ -126,6 +144,8 @@ impl PlanCache {
             // a planner claims a fingerprint, but joins the entry count
             // once its artifact is in place.
             entries: self.entries.values().filter(|c| c.get().is_some()).count() as u64,
+            native_builds,
+            native_hits,
         }
     }
 }
@@ -149,6 +169,16 @@ pub(crate) struct PlanArtifact {
     pub(crate) init_idx: usize,
     /// Index of the model log-joint procedure.
     pub(crate) model_ll_idx: usize,
+    /// Lazily-built native module (or the recorded reason it cannot
+    /// build), memoized next to the tapes so every session over this
+    /// shape shares one `dlopen`'ed artifact and a missing toolchain is
+    /// probed exactly once.
+    pub(crate) native: OnceLock<Result<Arc<NativeModule>, String>>,
+    /// Times the native cell was populated (emit + compile + load, or a
+    /// recorded failure).
+    pub(crate) native_builds: AtomicU64,
+    /// Times a memoized native module (or failure) was served.
+    pub(crate) native_hits: AtomicU64,
 }
 
 /// A shape-generic compiled model: the frontend + middle-end result
@@ -166,7 +196,7 @@ pub struct CompiledModel {
     /// Identity of the shape-generic phases (hash of source + schedule).
     base_fp: u64,
     dm: DensityModel,
-    lowered: LoweredModel,
+    lowered: Arc<LoweredModel>,
     /// Frontend/density/kernel/lowering explain spans, recorded when the
     /// shape-generic phases ran (cloned into every plan's explain).
     front: Vec<Span>,
@@ -248,7 +278,7 @@ impl CompiledModel {
         CompiledModel {
             base_fp: base.finish(),
             dm,
-            lowered,
+            lowered: Arc::new(lowered),
             front,
             param_names,
             labels: Arc::new(labels),
@@ -342,6 +372,7 @@ impl CompiledModel {
         Ok(Plan {
             artifact,
             state,
+            lowered: Arc::clone(&self.lowered),
             param_names: self.param_names.clone(),
             labels: Arc::clone(&self.labels),
             explain,
@@ -494,6 +525,9 @@ fn build_artifact(lowered: &LoweredModel, state: &State, opt_flags: &OptFlags) -
         codegen_secs: t0.elapsed().as_secs_f64(),
         init_idx,
         model_ll_idx,
+        native: OnceLock::new(),
+        native_builds: AtomicU64::new(0),
+        native_hits: AtomicU64::new(0),
     }
 }
 
@@ -558,6 +592,8 @@ fn assemble_explain(
     cache_span.attr("misses", stats.misses.to_string());
     cache_span.attr("respecializes", stats.respecializes.to_string());
     cache_span.attr("entries", stats.entries.to_string());
+    cache_span.attr("native_builds", stats.native_builds.to_string());
+    cache_span.attr("native_hits", stats.native_hits.to_string());
     explain.root.child(cache_span);
     explain
 }
@@ -571,6 +607,7 @@ fn assemble_explain(
 pub struct Plan {
     pub(crate) artifact: Arc<PlanArtifact>,
     pub(crate) state: State,
+    pub(crate) lowered: Arc<LoweredModel>,
     pub(crate) param_names: Vec<String>,
     pub(crate) labels: Arc<Vec<String>>,
     pub(crate) explain: ExplainPlan,
@@ -641,6 +678,79 @@ impl Plan {
     pub fn mem_watermark(&self) -> MemWatermark {
         self.mem
     }
+
+    /// The native module for this plan, built (emit → host `cc` →
+    /// `dlopen`) on first request and memoized in the plan cache next to
+    /// the tapes — every later session over this shape reuses the loaded
+    /// artifact, and a failure (no toolchain, emitter coverage gap) is
+    /// probed once and replayed as the recorded fallback reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns the human-readable reason the native backend is
+    /// unavailable for this plan; sessions record it and fall back to
+    /// the tape.
+    pub fn native_module(&self) -> Result<Arc<NativeModule>, String> {
+        let mut built = false;
+        let res = self.artifact.native.get_or_init(|| {
+            built = true;
+            crate::native::build_native(&self.artifact.table, &self.state, self.fingerprint)
+                .map(Arc::new)
+        });
+        if built {
+            self.artifact.native_builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.artifact.native_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        res.clone()
+    }
+
+    /// Host availability of every execution backend for this plan:
+    /// `Tree` and `Tape` are always runnable; `Native` reports the
+    /// disk-cached artifact or the toolchain probe (or the feature
+    /// gate) without compiling anything — a cached `.so` makes `Native`
+    /// selectable even on a host with no C compiler.
+    pub fn backends(&self) -> Vec<BackendAvailability> {
+        let (native_ok, native_detail) = if !cfg!(feature = "native") {
+            (false, "built without the `native` feature".to_string())
+        } else if let Some(so) = crate::native::jit::cached_artifact(self.fingerprint) {
+            (true, format!("cached artifact: {}", so.display()))
+        } else {
+            match crate::native::jit::find_cc() {
+                Ok(cc) => (true, format!("toolchain: {cc}")),
+                Err(e) => (false, e),
+            }
+        };
+        vec![
+            BackendAvailability {
+                backend: ExecBackend::Tree,
+                available: true,
+                detail: "reference tree-walking interpreter".to_string(),
+            },
+            BackendAvailability {
+                backend: ExecBackend::Tape,
+                available: true,
+                detail: "flat register-machine tape".to_string(),
+            },
+            BackendAvailability {
+                backend: ExecBackend::Native,
+                available: native_ok,
+                detail: native_detail,
+            },
+        ]
+    }
+}
+
+/// Host availability of one execution backend (see [`Plan::backends`]).
+#[derive(Debug, Clone)]
+pub struct BackendAvailability {
+    /// The backend this row describes.
+    pub backend: ExecBackend,
+    /// Whether a session can select it on this host right now.
+    pub available: bool,
+    /// Human-readable detail: which toolchain was found, or why the
+    /// backend would fall back.
+    pub detail: String,
 }
 
 // The serving layer shares one registry of compiled models — and the

@@ -51,13 +51,18 @@ use crate::state::{BufId, RowElem, Shape, State};
 /// path; bit-identity makes the threshold a pure throughput knob.
 const MIN_PAR_SPAN: i64 = 4;
 
-/// Which execution strategy the engine uses for compiled procedures.
+/// Which execution backend the engine uses for compiled procedures.
 ///
-/// Both strategies implement the same abstract machine and produce
+/// Every backend implements the same abstract machine and produces
 /// bit-identical traces for a fixed seed; they differ only in dispatch
 /// overhead (and in the simulated device's instruction-decode charge).
+/// Selected via [`SessionConfig::backend`] or the `AUGUR_BACKEND`
+/// environment variable (`tree` / `tape` / `native`).
+///
+/// [`SessionConfig::backend`]: crate::driver::SessionConfig::backend
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecStrategy {
+#[non_exhaustive]
+pub enum ExecBackend {
     /// Recursive tree-walking over the slot-resolved IL (the reference
     /// oracle).
     Tree,
@@ -65,7 +70,32 @@ pub enum ExecStrategy {
     /// (the default).
     #[default]
     Tape,
+    /// Emitted C compiled with the host toolchain and `dlopen`ed (the
+    /// paper's native pipeline). Falls back to [`ExecBackend::Tape`] with
+    /// a recorded reason when no C toolchain is available; see
+    /// [`Session::backend_fallback`].
+    ///
+    /// [`Session::backend_fallback`]: crate::driver::Session::backend_fallback
+    Native,
 }
+
+impl ExecBackend {
+    /// Parses a backend name as accepted by `AUGUR_BACKEND`
+    /// (case-insensitive `tree` / `tape` / `native`).
+    pub fn parse(name: &str) -> Option<ExecBackend> {
+        match name.to_ascii_lowercase().as_str() {
+            "tree" => Some(ExecBackend::Tree),
+            "tape" => Some(ExecBackend::Tape),
+            "native" => Some(ExecBackend::Native),
+            _ => None,
+        }
+    }
+}
+
+/// Pre-redesign name of [`ExecBackend`], kept one release for migration.
+/// Deprecated: use [`ExecBackend`] (variants and patterns keep working
+/// through this alias).
+pub type ExecStrategy = ExecBackend;
 
 /// Bank selector bit of a packed operand.
 const VBIT: u32 = 1 << 31;
@@ -661,32 +691,140 @@ fn instrs_rng_free(instrs: &[TInstr]) -> bool {
     })
 }
 
-/// Value-numbering key for scalar instructions whose result depends only
-/// on execution position, not on mutable state: loop indices (constant
-/// within one iteration of every enclosing loop) and literals.
+/// Every buffer a statement tree stores to, in emission order (with
+/// duplicates). The loop emitter pre-invalidates these so an entry
+/// defined before the loop can't serve iteration `n+1` a value that
+/// iteration `n` overwrote.
+fn written_bufs(s: &RStmt, out: &mut Vec<BufId>) {
+    match s {
+        RStmt::Seq(ss) => ss.iter().for_each(|s| written_bufs(s, out)),
+        RStmt::Assign { lhs, .. }
+        | RStmt::Sample { lhs, .. }
+        | RStmt::SampleLogits { lhs, .. } => out.push(lhs.buf),
+        RStmt::IfEq { then, els, .. } => {
+            written_bufs(then, out);
+            if let Some(e) = els {
+                written_bufs(e, out);
+            }
+        }
+        RStmt::Loop { body, .. } => written_bufs(body, out),
+    }
+}
+
+/// Value-numbering key. Registers are SSA-like (each written by exactly
+/// one instruction that dominates its readers), so keys over operand
+/// registers identify a value as long as any *buffer* state they read is
+/// unchanged — the emitter invalidates buffer-reading keys at stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum MemoKey {
-    /// `env[depth]`.
+    /// `env[depth]` — position-only, never invalidated.
     Loop(u32),
-    /// A constant, keyed by bit pattern.
+    /// A constant, keyed by bit pattern — never invalidated.
     Const(u64),
+    /// `buf` (scalar shape) — a *value* load, invalidated when `buf` is
+    /// stored to.
+    LoadScalar(BufId),
+    /// `buf[f[i]]` — value load, invalidated on stores to `buf`.
+    LoadCell1(BufId, u32),
+    /// `buf[f[row]][f[col]]` — value load, invalidated on stores.
+    LoadCell2(BufId, u32, u32),
+    /// A whole-buffer view — a *descriptor* (buffer id + extent), not a
+    /// value: readers see current data through it, so stores never
+    /// invalidate it.
+    RefBuf(BufId),
+    /// `buf[f[i]]` as a row/matrix view — descriptor, like [`MemoKey::RefBuf`].
+    LoadRow1(BufId, u32),
+    /// `f[a] ⊕ f[b]` over scalar registers — register values are
+    /// immutable, never invalidated.
+    Binop(u8, u32, u32),
+    /// `−f[a]`.
+    Neg(u32),
+    /// `g(f[a])` for a unary builtin.
+    Call1(u8, u32),
+    /// Scalar coercion of a view register holding a `Num`.
+    NumOf(u32),
+    /// `dot(v[a], v[b])`. The *value* depends on buffer data behind the
+    /// view operands, so this key is invalidated on stores to either
+    /// provenance buffer — and a hit *rematerializes* the dot into its
+    /// original register (the work is data-dependent, so the instruction
+    /// re-executes) rather than eliding it; the stable destination is
+    /// what lets downstream scalar keys keep matching.
+    Dot(u32, u32),
+    /// `log p(f[point] | scalar args)` — all operands in scalar
+    /// registers, so never invalidated.
+    DistLl(DistKind, u32, u32, u32),
+    /// `∇ log p` with scalar operands and a scalar result; `wrt` encodes
+    /// `Point` as 0 and `Param(i)` as `i + 1`.
+    DistGrad(DistKind, u8, u32, u32, u32),
+}
+
+impl MemoKey {
+    /// Whether a store to `buf` makes this key stale. `vreg_buf` maps
+    /// view registers to the buffer their descriptor reads (dot
+    /// operands).
+    fn reads_buf(&self, buf: BufId, vreg_buf: &std::collections::HashMap<u32, BufId>) -> bool {
+        match self {
+            MemoKey::LoadScalar(b) | MemoKey::LoadCell1(b, _) | MemoKey::LoadCell2(b, _, _) => {
+                *b == buf
+            }
+            MemoKey::Dot(a, b) => {
+                vreg_buf.get(a) == Some(&buf) || vreg_buf.get(b) == Some(&buf)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Placeholder register for an unused distribution-argument slot in a
+/// memo key (arity < 2). Distinct from any real register.
+const NO_REG: u32 = u32::MAX;
+
+/// Whether every live distribution argument sits in a scalar register
+/// (register values are immutable, so such operands can key a memo).
+fn all_scalar(args: &[Opd; 2], n_args: u8) -> bool {
+    args.iter().take(n_args as usize).all(|a| !a.is_view())
+}
+
+/// The two argument registers of a memo key (`NO_REG` for unused slots).
+fn key_args(args: &[Opd; 2], n_args: u8) -> (u32, u32) {
+    let n = n_args as usize;
+    let get = |i: usize| if i < n { args[i].index() as u32 } else { NO_REG };
+    (get(0), get(1))
+}
+
+/// Memo key for a log-density over scalar registers only, or `None`
+/// when any operand is a view (buffer-dependent data).
+fn scalar_ll_key(dist: DistKind, args: &[Opd; 2], n_args: u8, point: Opd) -> Option<MemoKey> {
+    if point.is_view() || !all_scalar(args, n_args) {
+        return None;
+    }
+    let (a0, a1) = key_args(args, n_args);
+    Some(MemoKey::DistLl(dist, a0, a1, point.index() as u32))
 }
 
 /// Single-pass tape emitter. Registers are assigned one per expression
 /// occurrence (no reuse): every register is written by exactly one
 /// instruction that dominates all its readers, so loop re-entry simply
-/// overwrites. A local value-numbering memo reuses `LoopIdx`/`ConstF`
-/// results where the defining instruction dominates the use (memo
-/// snapshots are restored at branch joins and loop exits); each elided
-/// occurrence still charges its unit of work, accumulated in `pending_w`
-/// and flushed into the region's closing [`TInstr::LoopEnd`] (or an
-/// explicit [`TInstr::ChargeW`]) so work totals match the tree exactly.
+/// overwrites. A local value-numbering memo reuses results where the
+/// defining instruction dominates the use and the value cannot have
+/// changed: position keys (`LoopIdx`/`ConstF`) and scalar computations
+/// over registers unconditionally, buffer *loads* until the buffer is
+/// stored to (stores invalidate; loop bodies pre-invalidate every
+/// buffer they write so iteration `n+1` never reuses iteration `n`'s
+/// staleness; joins keep the intersection of both paths). Each elided
+/// occurrence still charges the work the tree-walker would have paid,
+/// accumulated in `pending_w` and flushed into the region's closing
+/// [`TInstr::LoopEnd`] (or an explicit [`TInstr::ChargeW`]) so work
+/// totals match the tree exactly.
 struct Emitter<'s> {
     state: &'s State,
     instrs: Vec<TInstr>,
     next_f: u32,
     next_v: u32,
     memo: std::collections::HashMap<MemoKey, u32>,
+    /// Buffer provenance of descriptor view registers (`RefBufV` /
+    /// `LoadRow1` destinations) — what a memoized dot over them reads.
+    vreg_buf: std::collections::HashMap<u32, BufId>,
     pending_w: u32,
 }
 
@@ -698,6 +836,7 @@ impl<'s> Emitter<'s> {
             next_f: 0,
             next_v: 0,
             memo: std::collections::HashMap::new(),
+            vreg_buf: std::collections::HashMap::new(),
             pending_w: 0,
         }
     }
@@ -724,17 +863,45 @@ impl<'s> Emitter<'s> {
     }
 
     /// Value-numbered scalar emission: returns the existing register for
-    /// `key` (charging the elided unit of work) or materializes via
-    /// `emit`.
-    fn memo_f(&mut self, key: MemoKey, emit: impl FnOnce(&mut Self, u32)) -> u32 {
+    /// `key` (charging `w` — the work the elided instruction would have
+    /// retired) or materializes via `emit`.
+    fn memo_f(&mut self, key: MemoKey, w: u32, emit: impl FnOnce(&mut Self, u32)) -> u32 {
         if let Some(&r) = self.memo.get(&key) {
-            self.pending_w += 1;
+            self.pending_w += w;
             return r;
         }
         let dst = self.freg();
         emit(self, dst);
         self.memo.insert(key, dst);
         dst
+    }
+
+    /// [`Emitter::memo_f`] for view-register results. Only sound for
+    /// instructions whose reuse survives multiple readers: descriptor
+    /// views and scalar (`View::Num`) results, which `take_opd` reads
+    /// non-destructively.
+    fn memo_v(&mut self, key: MemoKey, w: u32, emit: impl FnOnce(&mut Self, u32)) -> u32 {
+        if let Some(&r) = self.memo.get(&key) {
+            self.pending_w += w;
+            return r;
+        }
+        let dst = self.vreg();
+        emit(self, dst);
+        self.memo.insert(key, dst);
+        dst
+    }
+
+    /// Drops memo entries whose value a store to `buf` may have changed.
+    fn invalidate_buf(&mut self, buf: BufId) {
+        let vreg_buf = &self.vreg_buf;
+        self.memo.retain(|k, _| !k.reads_buf(buf, vreg_buf));
+    }
+
+    /// Keeps only memo entries that are also in `other` with the same
+    /// register — the set valid on both paths of a join (branch arms, or
+    /// loop-taken vs zero-trip).
+    fn intersect_memo(&mut self, other: &std::collections::HashMap<MemoKey, u32>) {
+        self.memo.retain(|k, r| other.get(k) == Some(r));
     }
 
     fn freg(&mut self) -> u32 {
@@ -765,8 +932,39 @@ impl<'s> Emitter<'s> {
         if !opd.is_view() {
             return opd.index() as u32;
         }
-        let dst = self.freg();
-        self.push(TInstr::NumOf { dst, a: opd.index() as u32 });
+        let a = opd.index() as u32;
+        self.memo_f(MemoKey::NumOf(a), 0, |em, dst| {
+            em.push(TInstr::NumOf { dst, a });
+        })
+    }
+
+    /// Emits (or reuses) a [`TInstr::DistGrad`]. Scalar-in/scalar-out
+    /// gradients — every operand in a scalar register and a scalar
+    /// result slot — are value-numbered: register values are immutable,
+    /// so a repeat with the same registers is the same number, elided at
+    /// the cost the interpreter would have charged
+    /// (`1 + dist_op_cost(dist, 0)`, the scalar-point cost).
+    fn grad_instr(&mut self, dist: DistKind, wrt: GradWrt, args: [Opd; 2], n_args: u8, point: Opd) -> u32 {
+        let scalar_out = match wrt {
+            GradWrt::Param(pos) => {
+                dist.param_tys()[pos as usize] != augur_dist::SimpleTy::Vec
+            }
+            GradWrt::Point => dist.point_ty() != augur_dist::SimpleTy::Vec,
+        };
+        if scalar_out && !point.is_view() && all_scalar(&args, n_args) {
+            let wrt_code = match wrt {
+                GradWrt::Point => 0,
+                GradWrt::Param(pos) => pos + 1,
+            };
+            let (a0, a1) = key_args(&args, n_args);
+            let key = MemoKey::DistGrad(dist, wrt_code, a0, a1, point.index() as u32);
+            let w = 1 + crate::eval::dist_op_cost(dist, 0) as u32;
+            return self.memo_v(key, w, |em, dst| {
+                em.push(TInstr::DistGrad { dst, dist, wrt, args, n_args, point });
+            });
+        }
+        let dst = self.vreg();
+        self.push(TInstr::DistGrad { dst, dist, wrt, args, n_args, point });
         dst
     }
 
@@ -784,22 +982,24 @@ impl<'s> Emitter<'s> {
         match e {
             RExpr::Const(v) => {
                 let val = *v;
-                let dst = self.memo_f(MemoKey::Const(val.to_bits()), |em, dst| {
+                let dst = self.memo_f(MemoKey::Const(val.to_bits()), 1, |em, dst| {
                     em.push(TInstr::ConstF { dst, val });
                 });
                 (Opd::f(dst), EK::Num)
             }
             RExpr::Ref(RRef::Loop(d)) => {
                 let depth = *d as u32;
-                let dst = self.memo_f(MemoKey::Loop(depth), |em, dst| {
+                let dst = self.memo_f(MemoKey::Loop(depth), 1, |em, dst| {
                     em.push(TInstr::LoopIdx { dst, depth });
                 });
                 (Opd::f(dst), EK::Num)
             }
             RExpr::Ref(RRef::Buf(b)) => match self.state.shape(*b) {
                 Shape::Num => {
-                    let dst = self.freg();
-                    self.push(TInstr::LoadScalar { dst, buf: *b });
+                    let buf = *b;
+                    let dst = self.memo_f(MemoKey::LoadScalar(buf), 1, |em, dst| {
+                        em.push(TInstr::LoadScalar { dst, buf });
+                    });
                     (Opd::f(dst), EK::Num)
                 }
                 shape => {
@@ -810,8 +1010,11 @@ impl<'s> Emitter<'s> {
                         Shape::Rows { elem: RowElem::Mat(_), .. } => EK::RowsMat,
                         Shape::Num => unreachable!(),
                     };
-                    let dst = self.vreg();
-                    self.push(TInstr::RefBufV { dst, buf: *b });
+                    let buf = *b;
+                    let dst = self.memo_v(MemoKey::RefBuf(buf), 1, |em, dst| {
+                        em.push(TInstr::RefBufV { dst, buf });
+                        em.vreg_buf.insert(dst, buf);
+                    });
                     (Opd::v(dst), ek)
                 }
             },
@@ -819,64 +1022,85 @@ impl<'s> Emitter<'s> {
             RExpr::Binop(op, a, b) => {
                 let ra = self.expr_f(a);
                 let rb = self.expr_f(b);
-                let dst = self.freg();
-                self.push(TInstr::BinopF { dst, op: *op, a: ra, b: rb });
+                let op = *op;
+                let dst = self.memo_f(MemoKey::Binop(op as u8, ra, rb), 1, |em, dst| {
+                    em.push(TInstr::BinopF { dst, op, a: ra, b: rb });
+                });
                 (Opd::f(dst), EK::Num)
             }
             RExpr::Neg(a) => {
                 let ra = self.expr_f(a);
-                let dst = self.freg();
-                self.push(TInstr::NegF { dst, a: ra });
+                let dst = self.memo_f(MemoKey::Neg(ra), 1, |em, dst| {
+                    em.push(TInstr::NegF { dst, a: ra });
+                });
                 (Opd::f(dst), EK::Num)
             }
             RExpr::Call(f, args) => match f {
                 Builtin::Dot => {
                     let (ra, _) = self.expr(&args[0]);
                     let (rb, _) = self.expr(&args[1]);
+                    // The dot's work is data-dependent (the operand
+                    // length), so a repeat is *rematerialized* into its
+                    // original register — re-executed, self-charging —
+                    // instead of elided; the stable destination keeps
+                    // downstream scalar keys matching. Only sound when
+                    // both operands are views with known buffer
+                    // provenance (the key invalidates on stores to them).
+                    let memoable = ra.is_view()
+                        && rb.is_view()
+                        && self.vreg_buf.contains_key(&(ra.index() as u32))
+                        && self.vreg_buf.contains_key(&(rb.index() as u32));
+                    if memoable {
+                        let key = MemoKey::Dot(ra.index() as u32, rb.index() as u32);
+                        if let Some(&r) = self.memo.get(&key) {
+                            self.push(TInstr::DotF { dst: r, a: ra, b: rb });
+                            return (Opd::f(r), EK::Num);
+                        }
+                        let dst = self.freg();
+                        self.push(TInstr::DotF { dst, a: ra, b: rb });
+                        self.memo.insert(key, dst);
+                        return (Opd::f(dst), EK::Num);
+                    }
                     let dst = self.freg();
                     self.push(TInstr::DotF { dst, a: ra, b: rb });
                     (Opd::f(dst), EK::Num)
                 }
                 _ => {
                     let ra = self.expr_f(&args[0]);
-                    let dst = self.freg();
-                    self.push(TInstr::Call1F { dst, f: *f, a: ra });
+                    let f = *f;
+                    let dst = self.memo_f(MemoKey::Call1(f as u8, ra), 1, |em, dst| {
+                        em.push(TInstr::Call1F { dst, f, a: ra });
+                    });
                     (Opd::f(dst), EK::Num)
                 }
             },
             RExpr::DistLl { dist, args, point } => {
                 let (ra, n_args) = self.dist_args(args);
                 let (rp, _) = self.expr(point);
+                let dist = *dist;
+                if let Some(key) = scalar_ll_key(dist, &ra, n_args, rp) {
+                    let w = 1 + crate::eval::dist_op_cost(dist, 0) as u32;
+                    let dst = self.memo_f(key, w, |em, dst| {
+                        em.push(TInstr::DistLl { dst, dist, args: ra, n_args, point: rp });
+                    });
+                    return (Opd::f(dst), EK::Num);
+                }
                 let dst = self.freg();
-                self.push(TInstr::DistLl { dst, dist: *dist, args: ra, n_args, point: rp });
+                self.push(TInstr::DistLl { dst, dist, args: ra, n_args, point: rp });
                 (Opd::f(dst), EK::Num)
             }
             RExpr::DistGradParam { dist, i, args, point } => {
                 let (ra, n_args) = self.dist_args(args);
                 let (rp, _) = self.expr(point);
-                let dst = self.vreg();
-                self.push(TInstr::DistGrad {
-                    dst,
-                    dist: *dist,
-                    wrt: GradWrt::Param(*i as u8),
-                    args: ra,
-                    n_args,
-                    point: rp,
-                });
+                let (dist, wrt) = (*dist, GradWrt::Param(*i as u8));
+                let dst = self.grad_instr(dist, wrt, ra, n_args, rp);
                 (Opd::v(dst), EK::Dyn)
             }
             RExpr::DistGradPoint { dist, args, point } => {
                 let (ra, n_args) = self.dist_args(args);
                 let (rp, _) = self.expr(point);
-                let dst = self.vreg();
-                self.push(TInstr::DistGrad {
-                    dst,
-                    dist: *dist,
-                    wrt: GradWrt::Point,
-                    args: ra,
-                    n_args,
-                    point: rp,
-                });
+                let (dist, wrt) = (*dist, GradWrt::Point);
+                let dst = self.grad_instr(dist, wrt, ra, n_args, rp);
                 (Opd::v(dst), EK::Dyn)
             }
             RExpr::Op(op, args) => {
@@ -915,17 +1139,22 @@ impl<'s> Emitter<'s> {
     /// direct buffer references into single loads.
     fn index_expr(&mut self, base: &RExpr, idx: &RExpr) -> (Opd, EK) {
         if let RExpr::Ref(RRef::Buf(b)) = base {
-            match self.state.shape(*b) {
+            let buf = *b;
+            match self.state.shape(buf) {
                 Shape::Vector(_) => {
                     let i = self.expr_f(idx);
-                    let dst = self.freg();
-                    self.push(TInstr::LoadCell1 { dst, buf: *b, i });
+                    // Elides as Ref + Index nodes + the index walk (3).
+                    let dst = self.memo_f(MemoKey::LoadCell1(buf, i), 3, |em, dst| {
+                        em.push(TInstr::LoadCell1 { dst, buf, i });
+                    });
                     return (Opd::f(dst), EK::Num);
                 }
                 Shape::Matrix(_) => {
                     let i = self.expr_f(idx);
-                    let dst = self.vreg();
-                    self.push(TInstr::LoadRow1 { dst, buf: *b, i });
+                    let dst = self.memo_v(MemoKey::LoadRow1(buf, i), 3, |em, dst| {
+                        em.push(TInstr::LoadRow1 { dst, buf, i });
+                        em.vreg_buf.insert(dst, buf);
+                    });
                     return (Opd::v(dst), EK::Vec);
                 }
                 Shape::Rows { elem, .. } => {
@@ -934,8 +1163,10 @@ impl<'s> Emitter<'s> {
                         RowElem::Mat(_) => EK::Mat,
                     };
                     let i = self.expr_f(idx);
-                    let dst = self.vreg();
-                    self.push(TInstr::LoadRow1 { dst, buf: *b, i });
+                    let dst = self.memo_v(MemoKey::LoadRow1(buf, i), 3, |em, dst| {
+                        em.push(TInstr::LoadRow1 { dst, buf, i });
+                        em.vreg_buf.insert(dst, buf);
+                    });
                     return (Opd::v(dst), ek);
                 }
                 // indexing a scalar buffer panics at run time, via the
@@ -951,10 +1182,13 @@ impl<'s> Emitter<'s> {
                 ) {
                     // buf[i][j]: the tree evaluates j (the outer index)
                     // before i (the inner one).
+                    let buf = *b;
                     let col = self.expr_f(idx);
                     let row = self.expr_f(iidx);
-                    let dst = self.freg();
-                    self.push(TInstr::LoadCell2 { dst, buf: *b, row, col });
+                    // Ref + two Index nodes + two index walks (5).
+                    let dst = self.memo_f(MemoKey::LoadCell2(buf, row, col), 5, |em, dst| {
+                        em.push(TInstr::LoadCell2 { dst, buf, row, col });
+                    });
                     return (Opd::f(dst), EK::Num);
                 }
             }
@@ -1052,6 +1286,7 @@ impl<'s> Emitter<'s> {
                         self.push(TInstr::Write { lhs: lv, op: *op, src });
                     }
                 }
+                self.invalidate_buf(lhs.buf);
             }
             RStmt::IfEq { a, b, then, els } => {
                 let ra = self.expr_f(a);
@@ -1061,17 +1296,24 @@ impl<'s> Emitter<'s> {
                 let jne = self.push(TInstr::JumpIfNe { a: ra, b: rb, target: 0 });
                 self.stmt(then);
                 self.flush_charge();
-                self.memo = snap.clone();
+                // The join keeps only values valid on *both* paths:
+                // entries created inside a branch don't dominate the
+                // join, and entries a branch's stores invalidated must
+                // stay invalid past it.
+                let then_memo = std::mem::replace(&mut self.memo, snap);
                 match els {
                     Some(e) => {
                         let jend = self.push(TInstr::Jump { target: 0 });
                         self.patch_target(jne, self.here());
                         self.stmt(e);
                         self.flush_charge();
-                        self.memo = snap;
+                        self.intersect_memo(&then_memo);
                         self.patch_target(jend, self.here());
                     }
-                    None => self.patch_target(jne, self.here()),
+                    None => {
+                        self.intersect_memo(&then_memo);
+                        self.patch_target(jne, self.here());
+                    }
                 }
             }
             RStmt::Loop { kind, lo, hi, body } => {
@@ -1083,6 +1325,14 @@ impl<'s> Emitter<'s> {
                 // inside must not leak past the (possibly zero-trip) loop.
                 self.flush_charge();
                 let snap = self.memo.clone();
+                // Iteration n's stores must not leak stale loads into
+                // iteration n+1 through entries defined before the loop:
+                // pre-invalidate every buffer the body writes.
+                let mut written = Vec::new();
+                written_bufs(body, &mut written);
+                for b in written {
+                    self.invalidate_buf(b);
+                }
                 let start = self.push(TInstr::LoopStart {
                     kind: *kind,
                     lo: rlo,
@@ -1094,7 +1344,12 @@ impl<'s> Emitter<'s> {
                 let w = self.pending_w;
                 self.pending_w = 0;
                 self.push(TInstr::LoopEnd { w });
-                self.memo = snap;
+                // Keep only entries valid both before the (possibly
+                // zero-trip) loop and after its body: body-created
+                // registers don't dominate the exit, and an entry the
+                // body invalidated must stay invalid past it.
+                let cur = std::mem::replace(&mut self.memo, snap);
+                self.memo.retain(|k, r| cur.get(k) == Some(r));
                 // rng-freedom of the whole region, patched like `exit`.
                 let rf = instrs_rng_free(&self.instrs[start as usize + 1..]);
                 if let TInstr::LoopStart { rng_free, .. } = &mut self.instrs[start as usize] {
@@ -1106,11 +1361,13 @@ impl<'s> Emitter<'s> {
                 let (ra, n_args) = self.dist_args(args);
                 let lv = self.lvalue(lhs);
                 self.push(TInstr::Sample { lhs: lv, dist: *dist, args: ra, n_args });
+                self.invalidate_buf(lhs.buf);
             }
             RStmt::SampleLogits { lhs, weights } => {
                 let (rw, _) = self.expr(weights);
                 let lv = self.lvalue(lhs);
                 self.push(TInstr::SampleLogits { lhs: lv, w: rw });
+                self.invalidate_buf(lhs.buf);
             }
         }
     }
@@ -2291,12 +2548,19 @@ impl Engine {
     }
 }
 
-/// Takes an operand as an owned view: view registers are consumed (each
-/// has a single static reader), scalar registers are wrapped.
+/// Takes an operand as an owned view. Owned (pooled) registers are
+/// consumed — those still have a single static reader — but descriptor
+/// views are cheap `Copy`-like clones and stay in place, because value
+/// numbering may route several readers through one register.
 #[inline]
 fn take_opd(f: &[f64], v: &mut [View], opd: Opd) -> View {
     if opd.is_view() {
-        std::mem::replace(&mut v[opd.index()], View::Num(0.0))
+        match &v[opd.index()] {
+            View::Own(_) | View::OwnMat(..) => {
+                std::mem::replace(&mut v[opd.index()], View::Num(0.0))
+            }
+            other => other.clone(),
+        }
     } else {
         View::Num(f[opd.index()])
     }

@@ -1,13 +1,13 @@
 //! Diagnostic: print LDA tape disassembly or time sweeps (--time).
-use augur::{ExecStrategy, HostValue, Model, SessionConfig, Target};
+use augur::{ExecBackend, HostValue, Model, SessionConfig, Target};
 use augurv2::{models, workloads};
 
 fn main() {
     let time = std::env::args().any(|a| a == "--time");
     let exec = if std::env::args().any(|a| a == "--tree") {
-        ExecStrategy::Tree
+        ExecBackend::Tree
     } else {
-        ExecStrategy::Tape
+        ExecBackend::Tape
     };
     let corpus = workloads::lda_corpus(20, 80, 2000, 200, 1200);
     let model = Model::compile(models::LDA).expect("LDA parses");
@@ -23,7 +23,7 @@ fn main() {
             vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
         )
         .expect("LDA plans")
-        .session(SessionConfig { target: Target::Cpu, seed: 21, exec, ..Default::default() })
+        .session(SessionConfig { target: Target::Cpu, seed: 21, backend: exec, ..Default::default() })
         .expect("LDA builds");
     if !time {
         for name in s.proc_names() {

@@ -1,15 +1,18 @@
-//! Sweep throughput: tape engine vs tree-walking interpreter, and the
-//! multi-threaded tape executor vs its sequential baseline.
+//! Sweep throughput: native vs tape engine vs tree-walking interpreter,
+//! and the multi-threaded tape executor vs its sequential baseline.
 //!
 //! Runs the same compiled samplers (bit-identical chains, same seed)
-//! under `ExecStrategy::Tree`, `ExecStrategy::Tape`, and the tape with 8
-//! worker threads, and measures *wall-clock* sweeps/second — the real
-//! dispatch-overhead difference, not the simulated device clock (which
-//! is identical by construction). This is the reproduction's analogue of
-//! the paper's compiled-vs-interpreted motivation: the tape plays the
-//! role of the emitted CUDA/C, the tree-walker that of a naive
-//! interpreter, and the threaded sweep stands in for the paper's
-//! multicore CPU backend (§7.2).
+//! under `ExecBackend::Tree`, `ExecBackend::Tape`, `ExecBackend::Native`
+//! (when a C toolchain exists), and the tape with 8 worker threads, and
+//! measures *wall-clock* sweeps/second — the real dispatch-overhead
+//! difference, not the simulated device clock (which is identical by
+//! construction). This is the reproduction's analogue of the paper's
+//! compiled-vs-interpreted motivation: the native lane IS emitted C
+//! (compiled by the host toolchain and `dlopen`ed), the tape a flat
+//! bytecode stand-in, the tree-walker a naive interpreter, and the
+//! threaded sweep stands in for the paper's multicore CPU backend
+//! (§7.2). `native_compile_ms` records the C compiler's wall time (0
+//! when the fingerprint-keyed artifact came from the disk cache).
 //!
 //! Every configuration of a workload binds a [`augur::Session`] off one
 //! shared [`augur::Plan`], so the frontend and middle-end run exactly
@@ -41,7 +44,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use augur::{ExecStrategy, HostValue, McmcConfig, Model, SessionConfig, Target};
+use augur::{ExecBackend, HostValue, McmcConfig, Model, SessionConfig, Target};
 use augur_bench::{emit, hgmm_args, lda_args, scale_arg};
 use augurv2::{models, workloads};
 
@@ -83,6 +86,9 @@ struct Measurement {
     sweeps: usize,
     tree_sweeps_per_s: f64,
     tape_sweeps_per_s: f64,
+    native_sweeps_per_s: f64,
+    native_compile_ms: f64,
+    native_ok: bool,
     tape8_sweeps_per_s: f64,
     tape_timers_only_sweeps_per_s: f64,
     tape_untimed_sweeps_per_s: f64,
@@ -99,6 +105,13 @@ impl Measurement {
 
     fn par_speedup(&self) -> f64 {
         self.tape8_sweeps_per_s / self.tape_sweeps_per_s
+    }
+
+    /// Emitted-and-compiled C vs the tree-walking interpreter — the
+    /// paper's compiled-vs-interpreted headline, measured for real.
+    /// 0.0 when the host has no C toolchain.
+    fn native_speedup(&self) -> f64 {
+        if self.native_ok { self.native_sweeps_per_s / self.tree_sweeps_per_s } else { 0.0 }
     }
 
     /// Per-kernel wall clocks alone (op-class bucketing disabled) vs
@@ -125,8 +138,8 @@ impl Measurement {
 /// value is a state readout that must agree bit-for-bit across
 /// configurations.
 fn run(
-    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Session,
-    exec: ExecStrategy,
+    build: &dyn Fn(ExecBackend, usize, bool) -> augur::Session,
+    exec: ExecBackend,
     threads: usize,
     timers: bool,
     op_class: bool,
@@ -150,10 +163,10 @@ fn run(
 /// lifecycle, measured rather than asserted here (the tier-1
 /// `alloc_free` test asserts exact zero per model and lane).
 fn count_allocs(
-    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Session,
+    build: &dyn Fn(ExecBackend, usize, bool) -> augur::Session,
     sweeps: usize,
 ) -> f64 {
-    let mut s = build(ExecStrategy::Tape, 1, false);
+    let mut s = build(ExecBackend::Tape, 1, false);
     s.init().unwrap();
     s.sweep(); // warm-up: lazy one-time growth happens here
     let before = ALLOCS.load(Ordering::Relaxed);
@@ -168,18 +181,25 @@ fn measure(
     model: &'static str,
     sweeps: usize,
     check_param: &str,
-    build: &dyn Fn(ExecStrategy, usize, bool) -> augur::Session,
+    build: &dyn Fn(ExecBackend, usize, bool) -> augur::Session,
     cold_compile_ms: f64,
     plan_cache_hit_compile_ms: f64,
+    native_ok: bool,
+    native_compile_ms: f64,
 ) -> Measurement {
-    let (tree, check_tree) = run(build, ExecStrategy::Tree, 1, true, true, sweeps, check_param);
-    let (tape, check_tape) = run(build, ExecStrategy::Tape, 1, true, true, sweeps, check_param);
+    let (tree, check_tree) = run(build, ExecBackend::Tree, 1, true, true, sweeps, check_param);
+    let (tape, check_tape) = run(build, ExecBackend::Tape, 1, true, true, sweeps, check_param);
+    let (native, check_native) = if native_ok {
+        run(build, ExecBackend::Native, 1, true, true, sweeps, check_param)
+    } else {
+        (0.0, check_tape)
+    };
     let (tape8, check_tape8) =
-        run(build, ExecStrategy::Tape, PAR_THREADS, true, true, sweeps, check_param);
+        run(build, ExecBackend::Tape, PAR_THREADS, true, true, sweeps, check_param);
     let (timers_only, check_timers_only) =
-        run(build, ExecStrategy::Tape, 1, true, false, sweeps, check_param);
+        run(build, ExecBackend::Tape, 1, true, false, sweeps, check_param);
     let (untimed, check_untimed) =
-        run(build, ExecStrategy::Tape, 1, false, false, sweeps, check_param);
+        run(build, ExecBackend::Tape, 1, false, false, sweeps, check_param);
     let allocs_per_sweep = count_allocs(build, sweeps.min(16));
     assert_eq!(
         check_tree.to_bits(),
@@ -201,11 +221,19 @@ fn measure(
         check_untimed.to_bits(),
         "{model}: disabling kernel timers changed the chain"
     );
+    assert_eq!(
+        check_tape.to_bits(),
+        check_native.to_bits(),
+        "{model}: native diverged from the tape/tree chain"
+    );
     Measurement {
         model,
         sweeps,
         tree_sweeps_per_s: tree,
         tape_sweeps_per_s: tape,
+        native_sweeps_per_s: native,
+        native_compile_ms,
+        native_ok,
         tape8_sweeps_per_s: tape8,
         tape_timers_only_sweeps_per_s: timers_only,
         tape_untimed_sweeps_per_s: untimed,
@@ -255,6 +283,17 @@ fn plan_timing(
     (cold_ms, hit_ms)
 }
 
+/// Probes the native backend on the shared plan: compiles (or loads the
+/// disk-cached artifact for) the plan's emitted C and returns whether
+/// it is runnable plus the C compiler's wall time in ms (0 when the
+/// fingerprint-keyed artifact was already on disk).
+fn native_probe(plan: &augur::Plan) -> (bool, f64) {
+    match plan.native_module() {
+        Ok(m) => (true, m.compile_secs() * 1e3),
+        Err(_) => (false, 0.0),
+    }
+}
+
 /// Builds the workload plan every session binds from, asserting the
 /// specialization ran exactly once.
 fn shared_plan(
@@ -287,18 +326,19 @@ fn lda(scale: f64) -> Measurement {
         lda_args(topics, &corpus),
         vec![("w", HostValue::RaggedI(corpus.docs.clone()))],
     );
-    let build = move |exec: ExecStrategy, threads: usize, timers: bool| {
+    let (native_ok, native_compile_ms) = native_probe(&plan);
+    let build = move |exec: ExecBackend, threads: usize, timers: bool| {
         plan.session(SessionConfig {
             target: Target::Cpu,
             seed: 21,
-            exec,
+            backend: exec,
             threads,
             timers,
             ..Default::default()
         })
         .expect("LDA builds")
     };
-    measure("lda", 8, "theta", &build, cold_ms, hit_ms)
+    measure("lda", 8, "theta", &build, cold_ms, hit_ms, native_ok, native_compile_ms)
 }
 
 fn hgmm(scale: f64) -> Measurement {
@@ -315,18 +355,19 @@ fn hgmm(scale: f64) -> Measurement {
         hgmm_args(k, d, n),
         vec![("y", HostValue::Ragged(data.points.clone()))],
     );
-    let build = move |exec: ExecStrategy, threads: usize, timers: bool| {
+    let (native_ok, native_compile_ms) = native_probe(&plan);
+    let build = move |exec: ExecBackend, threads: usize, timers: bool| {
         plan.session(SessionConfig {
             target: Target::Cpu,
             seed: 5,
-            exec,
+            backend: exec,
             threads,
             timers,
             ..Default::default()
         })
         .expect("HGMM builds")
     };
-    measure("hgmm", 40, "mu", &build, cold_ms, hit_ms)
+    measure("hgmm", 40, "mu", &build, cold_ms, hit_ms, native_ok, native_compile_ms)
 }
 
 fn hlr(scale: f64) -> Measurement {
@@ -352,19 +393,20 @@ fn hlr(scale: f64) -> Measurement {
         hlr_args(),
         vec![("y", HostValue::VecF(data.y.clone()))],
     );
-    let build = move |exec: ExecStrategy, threads: usize, timers: bool| {
+    let (native_ok, native_compile_ms) = native_probe(&plan);
+    let build = move |exec: ExecBackend, threads: usize, timers: bool| {
         plan.session(SessionConfig {
             target: Target::Cpu,
             seed: 3,
             mcmc: mcmc.clone(),
-            exec,
+            backend: exec,
             threads,
             timers,
             ..Default::default()
         })
         .expect("HLR builds")
     };
-    measure("hlr", 40, "theta", &build, cold_ms, hit_ms)
+    measure("hlr", 40, "theta", &build, cold_ms, hit_ms, native_ok, native_compile_ms)
 }
 
 fn main() {
@@ -376,22 +418,25 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let mut table = String::new();
-    let _ = writeln!(table, "# Sweep throughput — tape vs tree (wall clock)\n");
+    let _ = writeln!(table, "# Sweep throughput — native vs tape vs tree (wall clock)\n");
     let _ = writeln!(table, "scale = {scale}, host cores = {host_cores}\n");
     let _ = writeln!(
         table,
-        "| model | sweeps | tree (sweeps/s) | tape (sweeps/s) | speedup | tape×{PAR_THREADS} (sweeps/s) | par speedup | metrics overhead | profile overhead | cold compile (ms) | cached plan (ms) | allocs/sweep |"
+        "| model | sweeps | tree (sweeps/s) | tape (sweeps/s) | speedup | native (sweeps/s) | native speedup | native compile (ms) | tape×{PAR_THREADS} (sweeps/s) | par speedup | metrics overhead | profile overhead | cold compile (ms) | cached plan (ms) | allocs/sweep |"
     );
-    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(table, "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
     for (i, m) in results.iter().enumerate() {
         let _ = writeln!(
             table,
-            "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2}x | {:.3} | {:.3} | {:.2} | {:.3} | {:.1} |",
+            "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2}x | {:.2} | {:.2} | {:.2}x | {:.3} | {:.3} | {:.2} | {:.3} | {:.1} |",
             m.model,
             m.sweeps,
             m.tree_sweeps_per_s,
             m.tape_sweeps_per_s,
             m.speedup(),
+            m.native_sweeps_per_s,
+            m.native_speedup(),
+            m.native_compile_ms,
             m.tape8_sweeps_per_s,
             m.par_speedup(),
             m.metrics_overhead(),
@@ -402,12 +447,16 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "  \"{}\": {{\"sweeps\": {}, \"tree_sweeps_per_s\": {:.4}, \"tape_sweeps_per_s\": {:.4}, \"speedup\": {:.4}, \"tape{}_sweeps_per_s\": {:.4}, \"par_speedup\": {:.4}, \"tape_untimed_sweeps_per_s\": {:.4}, \"metrics_overhead\": {:.4}, \"profile_overhead\": {:.4}, \"cold_compile_ms\": {:.4}, \"plan_cache_hit_compile_ms\": {:.4}, \"cached_speedup\": {:.2}, \"allocs_per_sweep\": {:.2}, \"check\": {:e}}}{}",
+            "  \"{}\": {{\"sweeps\": {}, \"tree_sweeps_per_s\": {:.4}, \"tape_sweeps_per_s\": {:.4}, \"speedup\": {:.4}, \"native_sweeps_per_s\": {:.4}, \"native_speedup\": {:.4}, \"native_compile_ms\": {:.4}, \"native_ok\": {}, \"tape{}_sweeps_per_s\": {:.4}, \"par_speedup\": {:.4}, \"tape_untimed_sweeps_per_s\": {:.4}, \"metrics_overhead\": {:.4}, \"profile_overhead\": {:.4}, \"cold_compile_ms\": {:.4}, \"plan_cache_hit_compile_ms\": {:.4}, \"cached_speedup\": {:.2}, \"allocs_per_sweep\": {:.2}, \"check\": {:e}}}{}",
             m.model,
             m.sweeps,
             m.tree_sweeps_per_s,
             m.tape_sweeps_per_s,
             m.speedup(),
+            m.native_sweeps_per_s,
+            m.native_speedup(),
+            m.native_compile_ms,
+            m.native_ok,
             PAR_THREADS,
             m.tape8_sweeps_per_s,
             m.par_speedup(),
@@ -428,8 +477,12 @@ fn main() {
         "\nAll configurations ran the same seeds and bound their sessions\n\
          off one shared plan per model; final states were verified\n\
          bit-identical before timing was reported (including with kernel\n\
-         timers disabled). The parallel speedup is bounded by the host's\n\
-         core count. `metrics overhead` is timers-only ÷ uninstrumented\n\
+         timers disabled). `native` is the plan's emitted C compiled by\n\
+         the host toolchain and `dlopen`ed (sequential by construction;\n\
+         0 when no toolchain exists); `native compile` is the C\n\
+         compiler's wall time, 0 when the fingerprint-keyed artifact was\n\
+         already in the disk cache. The parallel speedup is bounded by\n\
+         the host's core count. `metrics overhead` is timers-only ÷ uninstrumented\n\
          tape throughput — the cost of the per-kernel wall clocks alone;\n\
          `profile overhead` is the full default observability stack\n\
          (timers + per-step work + op-class bucketing) ÷ uninstrumented.\n\
@@ -448,6 +501,22 @@ fn main() {
             lda.par_speedup() >= 2.0,
             "lda: expected >= 2x at {PAR_THREADS} workers on {host_cores} cores, got {:.2}x",
             lda.par_speedup()
+        );
+    }
+    // The native lane only asserts where it actually compiled; a host
+    // without a C toolchain still verified bit-identity via the tape
+    // fallback inside `measure`.
+    if results.iter().all(|m| m.native_ok) {
+        let (lda, hlr) = (&results[0], &results[2]);
+        assert!(
+            lda.native_speedup() >= 3.0,
+            "lda: emitted C should be >= 3x the tree interpreter, got {:.2}x",
+            lda.native_speedup()
+        );
+        assert!(
+            hlr.native_speedup() >= 1.2,
+            "hlr: emitted C should be >= 1.2x the tree interpreter, got {:.2}x",
+            hlr.native_speedup()
         );
     }
     let lda = &results[0];

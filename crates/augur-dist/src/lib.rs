@@ -40,5 +40,5 @@ mod value;
 pub mod vector;
 
 pub use augur_math::Prng;
-pub use kind::{DistError, DistKind, SimpleTy, Support};
+pub use kind::{DistError, DistKind, SimpleTy, Support, ALL_KINDS};
 pub use value::{ValueMut, ValueRef};

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-use augur::{HostValue, Model, Plan, PlanCacheStats};
+use augur::{ExecBackend, HostValue, Model, Plan, PlanCacheStats};
 use augur_blk::OptFlags;
 
 /// Everything a model registration needs: the surface source, an
@@ -34,6 +34,11 @@ pub struct ModelSpec {
     /// Optimization flags; they participate in every plan-cache key
     /// derived from this registration.
     pub opt_flags: OptFlags,
+    /// Execution backend for requests against this model that bring no
+    /// config of their own (`None` = the service default). `Native`
+    /// shares the compiled artifact across all workers through the plan
+    /// cache and falls back to the tape when no C toolchain exists.
+    pub backend: Option<ExecBackend>,
 }
 
 impl ModelSpec {
@@ -46,6 +51,13 @@ impl ModelSpec {
     #[must_use]
     pub fn schedule(mut self, schedule: impl Into<String>) -> ModelSpec {
         self.schedule = Some(schedule.into());
+        self
+    }
+
+    /// Sets the execution backend for requests without a config.
+    #[must_use]
+    pub fn backend(mut self, backend: ExecBackend) -> ModelSpec {
+        self.backend = Some(backend);
         self
     }
 }

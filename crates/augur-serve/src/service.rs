@@ -35,7 +35,7 @@ use std::time::Instant;
 
 use augur::chains::chain_seed;
 use augur::{
-    Checkpoint, ExecStrategy, HostValue, McmcConfig, OptFlags, Plan, SessionConfig, Target,
+    Checkpoint, ExecBackend, HostValue, McmcConfig, OptFlags, Plan, SessionConfig, Target,
 };
 use augur_backend::metrics::TraceSink;
 
@@ -51,7 +51,7 @@ pub fn hermetic_config(seed: u64) -> SessionConfig {
         seed,
         mcmc: McmcConfig::default(),
         opt_flags: OptFlags::default(),
-        exec: ExecStrategy::default(),
+        backend: ExecBackend::default(),
         threads: 1,
         trace_path: None,
         timers: true,
@@ -304,6 +304,13 @@ pub struct ServiceConfig {
     pub migrate_every: u64,
     /// Seed used by [`hermetic_config`] when a request has no config.
     pub base_seed: u64,
+    /// Execution backend for requests that bring no config of their
+    /// own. A registration can override it per model
+    /// (`ModelSpec::backend`); an explicit request config wins over
+    /// both. `Native` still falls back to the tape (with the reason
+    /// recorded in the run report) when the host has no C toolchain,
+    /// so setting it here is always safe.
+    pub backend: ExecBackend,
     /// When set, the service streams v3 request-lifecycle JSONL records
     /// here (see `DESIGN.md` § JSONL trace schema).
     pub trace_path: Option<PathBuf>,
@@ -311,7 +318,13 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 2, migrate_every: 0, base_seed: 0xA464, trace_path: None }
+        ServiceConfig {
+            workers: 2,
+            migrate_every: 0,
+            base_seed: 0xA464,
+            trace_path: None,
+            backend: ExecBackend::default(),
+        }
     }
 }
 
@@ -718,6 +731,15 @@ fn resolve(
         .ok_or_else(|| ServeError::UnknownModel { name: name.to_owned(), version })
 }
 
+/// The config a request without one of its own runs under: hermetic
+/// defaults, with the backend resolved registration-over-service
+/// (`ModelSpec::backend` wins over `ServiceConfig::backend`).
+fn default_config(shared: &Shared, registered: &RegisteredModel) -> SessionConfig {
+    let mut cfg = hermetic_config(shared.config.base_seed);
+    cfg.backend = registered.spec().backend.unwrap_or(shared.config.backend);
+    cfg
+}
+
 /// `score`: plan, bind, init, log-joint.
 fn score(
     shared: &Shared,
@@ -727,7 +749,7 @@ fn score(
     let data: Vec<(&str, HostValue)> =
         r.data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
     let plan = registered.plan(r.args, data)?;
-    let cfg = r.config.unwrap_or_else(|| hermetic_config(shared.config.base_seed));
+    let cfg = r.config.unwrap_or_else(|| default_config(shared, registered));
     let mut session = plan.session(cfg).map_err(augur::Error::from)?;
     session.init().map_err(augur::Error::from)?;
     Ok(Response::Score(ScoreOutput { log_joint: session.log_joint() }))
@@ -742,7 +764,7 @@ fn explain(
     let data: Vec<(&str, HostValue)> =
         r.data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
     let plan = registered.plan(r.args, data)?;
-    let cfg = hermetic_config(shared.config.base_seed);
+    let cfg = default_config(shared, registered);
     let session = plan.session(cfg).map_err(augur::Error::from)?;
     Ok(Response::Explain(ExplainOutput {
         kernel: registered.model().kernel(),
@@ -779,7 +801,7 @@ fn fan_sample(
         None,
         &[("chains", r.chains as f64), ("sweeps", r.sweeps as f64)],
     );
-    let base = r.config.unwrap_or_else(|| hermetic_config(shared.config.base_seed));
+    let base = r.config.unwrap_or_else(|| default_config(shared, registered));
     let migrate_every = r.migrate_every.unwrap_or(shared.config.migrate_every);
     let fingerprint = plan.fingerprint();
     if r.chains == 0 {

@@ -1,501 +1,11 @@
-//! Cuda/C code emission — the textual form of the paper's backend output.
+//! Cuda/C code emission — re-exported from the backend crate.
 //!
-//! The paper's compiler "generates Cuda/C code depending on whether the
-//! target is the GPU or the CPU", then hands it to Nvcc or Clang (§2.3).
-//! In this reproduction the *executable* path compiles to a slot-resolved
-//! interpreter instead (DESIGN.md §2), but the same lowered program can be
-//! rendered as the Cuda/C a native build would compile:
-//!
-//! * **CPU flavor** — each procedure becomes a C function; `Par`/`AtmPar`
-//!   loops carry OpenMP pragmas, atomic increments `#pragma omp atomic`;
-//! * **GPU flavor** — each `parBlk` becomes a `__global__` kernel with the
-//!   canonical thread-index prologue, atomic `+=` becomes `atomicAdd`,
-//!   `sumBlk`s call the runtime's tree reduction, and the host function
-//!   launches the kernels in block order.
-//!
-//! The emitted text is for inspection and testing (it is asserted against
-//! golden patterns); it is not fed to a C compiler here.
+//! The emitter moved to `augur_backend::codegen` so the executable
+//! native pipeline, the simulated-GPU cost model, and the facade all
+//! share one API: [`emit`] returns a [`CodegenUnit`] (source text plus a
+//! symbol manifest), and `Plan::emit` renders the shape-specialized
+//! translation units — including the exact C the native backend
+//! compiles and `dlopen`s. [`Model::emit_native`](crate::Model::emit_native)
+//! keeps returning the plain source string.
 
-use std::fmt::Write as _;
-
-use augur_blk::Blk;
-use augur_low::il::{AssignOp, BinOp, Builtin, Cond, Expr, LValue, LoopKind, OpN, Stmt};
-use augur_low::{LoweredModel, Step};
-
-/// Which flavor of native code to render.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CodegenTarget {
-    /// C with OpenMP annotations (the Clang path).
-    C,
-    /// Cuda with `__global__` kernels (the Nvcc path).
-    Cuda,
-}
-
-/// Renders the lowered model as a complete Cuda/C translation unit.
-pub fn emit(lowered: &LoweredModel, target: CodegenTarget) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "/* generated by augurv2-rs — {} target */", match target {
-        CodegenTarget::C => "CPU (C + OpenMP)",
-        CodegenTarget::Cuda => "GPU (Cuda)",
-    });
-    let _ = writeln!(out, "#include \"augur_runtime.h\"\n");
-
-    // Planned buffers (size inference, §5.2): allocated once at setup.
-    let _ = writeln!(out, "/* buffers planned by size inference (allocated at setup) */");
-    for a in &lowered.allocs {
-        let _ = writeln!(out, "static augur_buf_t {}; /* {:?}, {:?} */", a.name, a.shape, a.kind);
-    }
-    let _ = writeln!(out);
-
-    for p in &lowered.procs {
-        match target {
-            CodegenTarget::C => emit_c_proc(&mut out, p),
-            CodegenTarget::Cuda => emit_cuda_proc(&mut out, p),
-        }
-    }
-
-    emit_sweep(&mut out, lowered);
-    out
-}
-
-/// The sweep driver: the `⊗`-composition as a C function.
-fn emit_sweep(out: &mut String, lowered: &LoweredModel) {
-    let _ = writeln!(out, "void mcmc_sweep(augur_rng *rng) {{");
-    for step in &lowered.steps {
-        match step {
-            Step::Gibbs { proc_, target } => {
-                let _ = writeln!(out, "  {proc_}(rng); /* Gibbs: resamples {target}, always accepted */");
-            }
-            Step::Hmc { targets, ll_proc, grad_proc, nuts, .. } => {
-                let names: Vec<&str> = targets.iter().map(|(t, _)| t.as_str()).collect();
-                let fun = if *nuts { "augur_nuts_update" } else { "augur_hmc_update" };
-                let _ = writeln!(
-                    out,
-                    "  {fun}(rng, {ll_proc}, {grad_proc}); /* block: {} */",
-                    names.join(", ")
-                );
-            }
-            Step::Mala { targets, ll_proc, grad_proc, .. } => {
-                let names: Vec<&str> = targets.iter().map(|(t, _)| t.as_str()).collect();
-                let _ = writeln!(
-                    out,
-                    "  augur_mala_update(rng, {ll_proc}, {grad_proc}); /* {} */",
-                    names.join(", ")
-                );
-            }
-            Step::SliceRefl { targets, ll_proc, grad_proc, .. } => {
-                let names: Vec<&str> = targets.iter().map(|(t, _)| t.as_str()).collect();
-                let _ = writeln!(
-                    out,
-                    "  augur_refl_slice_update(rng, {ll_proc}, {grad_proc}); /* {} */",
-                    names.join(", ")
-                );
-            }
-            Step::ESlice { target, lik_proc, prior_sample_proc, .. } => {
-                let _ = writeln!(
-                    out,
-                    "  augur_eslice_update(rng, {lik_proc}, {prior_sample_proc}); /* {target} */"
-                );
-            }
-            Step::RwMh { targets, ll_proc } => {
-                let names: Vec<&str> = targets.iter().map(|(t, _)| t.as_str()).collect();
-                let _ = writeln!(out, "  augur_rw_mh_update(rng, {ll_proc}); /* {} */", names.join(", "));
-            }
-        }
-    }
-    let _ = writeln!(out, "}}");
-}
-
-// ---------- CPU flavor ----------
-
-fn emit_c_proc(out: &mut String, p: &augur_low::il::ProcDecl) {
-    let _ = writeln!(out, "double {}(augur_rng *rng) {{", p.name);
-    emit_c_stmt(out, &p.body, 1);
-    match &p.ret {
-        Some(r) => {
-            let _ = writeln!(out, "  return {};", expr(r));
-        }
-        None => {
-            let _ = writeln!(out, "  return 0.0;");
-        }
-    }
-    let _ = writeln!(out, "}}\n");
-}
-
-fn emit_c_stmt(out: &mut String, s: &Stmt, ind: usize) {
-    let pad = "  ".repeat(ind);
-    match s {
-        Stmt::Seq(ss) => {
-            for t in ss {
-                emit_c_stmt(out, t, ind);
-            }
-        }
-        Stmt::Assign { lhs, op, rhs } => match op {
-            AssignOp::Set => {
-                let _ = writeln!(out, "{pad}{} = {};", lvalue(lhs), expr(rhs));
-            }
-            AssignOp::Inc => {
-                let _ = writeln!(out, "{pad}#pragma omp atomic");
-                let _ = writeln!(out, "{pad}{} += {};", lvalue(lhs), expr(rhs));
-            }
-        },
-        Stmt::If { cond: Cond::Eq(a, b), then, els } => {
-            let _ = writeln!(out, "{pad}if ({} == {}) {{", expr(a), expr(b));
-            emit_c_stmt(out, then, ind + 1);
-            if let Some(e) = els {
-                let _ = writeln!(out, "{pad}}} else {{");
-                emit_c_stmt(out, e, ind + 1);
-            }
-            let _ = writeln!(out, "{pad}}}");
-        }
-        Stmt::Loop { kind, var, lo, hi, body } => {
-            match kind {
-                LoopKind::Par => {
-                    let _ = writeln!(out, "{pad}#pragma omp parallel for");
-                }
-                LoopKind::AtmPar => {
-                    let _ = writeln!(out, "{pad}#pragma omp parallel for /* atomic increments */");
-                }
-                LoopKind::Seq => {}
-            }
-            let _ = writeln!(
-                out,
-                "{pad}for (int {var} = {}; {var} < {}; {var}++) {{",
-                expr(lo),
-                expr(hi)
-            );
-            emit_c_stmt(out, body, ind + 1);
-            let _ = writeln!(out, "{pad}}}");
-        }
-        Stmt::Sample { lhs, dist, args } => {
-            let rendered: Vec<String> = args.iter().map(expr).collect();
-            let _ = writeln!(
-                out,
-                "{pad}augur_{}_sample(rng, &{}, {});",
-                dist.name().to_lowercase(),
-                lvalue(lhs),
-                rendered.join(", ")
-            );
-        }
-        Stmt::SampleLogits { lhs, weights } => {
-            let _ = writeln!(
-                out,
-                "{pad}{} = augur_categorical_logits_sample(rng, {});",
-                lvalue(lhs),
-                expr(weights)
-            );
-        }
-    }
-}
-
-// ---------- GPU flavor ----------
-
-fn emit_cuda_proc(out: &mut String, p: &augur_low::il::ProcDecl) {
-    let blk = augur_blk::to_blocks(p);
-    let mut kernels: Vec<String> = Vec::new();
-    let mut host = String::new();
-    let _ = writeln!(host, "double {}(augur_rng *rng) {{", p.name);
-    for (i, b) in blk.blocks.iter().enumerate() {
-        emit_cuda_blk(&mut kernels, &mut host, &p.name, i, b, 1);
-    }
-    match &p.ret {
-        Some(r) => {
-            let _ = writeln!(host, "  augur_memcpy_dtoh_scalar(&host_ret, {});", expr(r));
-            let _ = writeln!(host, "  return host_ret;");
-        }
-        None => {
-            let _ = writeln!(host, "  return 0.0;");
-        }
-    }
-    let _ = writeln!(host, "}}\n");
-    for k in kernels {
-        out.push_str(&k);
-    }
-    out.push_str(&host);
-}
-
-fn emit_cuda_blk(
-    kernels: &mut Vec<String>,
-    host: &mut String,
-    proc_name: &str,
-    idx: usize,
-    b: &Blk,
-    ind: usize,
-) {
-    let pad = "  ".repeat(ind);
-    match b {
-        Blk::SeqBlk(s) => {
-            let _ = writeln!(host, "{pad}/* seqBlk (host) */");
-            let mut tmp = String::new();
-            emit_cuda_host_stmt(&mut tmp, s, ind);
-            host.push_str(&tmp);
-        }
-        Blk::ParBlk { kind, var, lo, hi, body, inner_par } => {
-            let kname = format!("{proc_name}_k{idx}");
-            let mut k = String::new();
-            let _ = writeln!(k, "__global__ void {kname}(augur_rng_state *rngs) {{");
-            let _ = writeln!(k, "  int {var} = blockIdx.x * blockDim.x + threadIdx.x + {};", expr(lo));
-            let _ = writeln!(k, "  if ({var} >= {}) return;", expr(hi));
-            if *kind == LoopKind::AtmPar {
-                let _ = writeln!(k, "  /* AtmPar: increments compiled to atomicAdd */");
-            }
-            emit_cuda_device_stmt(&mut k, body, 1);
-            let _ = writeln!(k, "}}\n");
-            kernels.push(k);
-            let grid = format!("augur_grid({} - {})", expr(hi), expr(lo));
-            let _ = writeln!(host, "{pad}{kname}<<<{grid}, AUGUR_BLOCK>>>(rng_states);");
-            if let Some(w) = inner_par {
-                let _ = writeln!(
-                    host,
-                    "{pad}/* inlined primitive exposes inner width {} */",
-                    expr(w)
-                );
-            }
-        }
-        Blk::LoopBlk { var, lo, hi, body } => {
-            let _ = writeln!(
-                host,
-                "{pad}for (int {var} = {}; {var} < {}; {var}++) {{ /* loopBlk */",
-                expr(lo),
-                expr(hi)
-            );
-            for (j, inner) in body.iter().enumerate() {
-                emit_cuda_blk(kernels, host, proc_name, idx * 16 + j + 1, inner, ind + 1);
-            }
-            let _ = writeln!(host, "{pad}}}");
-        }
-        Blk::SumBlk { acc, var, lo, hi, rhs } => {
-            let _ = writeln!(
-                host,
-                "{pad}{} += augur_reduce(({}) .. ({}), /* {var} */ {});",
-                lvalue(acc),
-                expr(lo),
-                expr(hi),
-                expr(rhs)
-            );
-        }
-    }
-}
-
-fn emit_cuda_host_stmt(out: &mut String, s: &Stmt, ind: usize) {
-    // host-side sequential code is plain C
-    emit_c_stmt(out, s, ind);
-}
-
-fn emit_cuda_device_stmt(out: &mut String, s: &Stmt, ind: usize) {
-    let pad = "  ".repeat(ind);
-    match s {
-        Stmt::Seq(ss) => {
-            for t in ss {
-                emit_cuda_device_stmt(out, t, ind);
-            }
-        }
-        Stmt::Assign { lhs, op, rhs } => match op {
-            AssignOp::Set => {
-                let _ = writeln!(out, "{pad}{} = {};", lvalue(lhs), expr(rhs));
-            }
-            AssignOp::Inc => {
-                let _ = writeln!(out, "{pad}atomicAdd(&{}, {});", lvalue(lhs), expr(rhs));
-            }
-        },
-        Stmt::If { cond: Cond::Eq(a, b), then, els } => {
-            let _ = writeln!(out, "{pad}if ({} == {}) {{", expr(a), expr(b));
-            emit_cuda_device_stmt(out, then, ind + 1);
-            if let Some(e) = els {
-                let _ = writeln!(out, "{pad}}} else {{");
-                emit_cuda_device_stmt(out, e, ind + 1);
-            }
-            let _ = writeln!(out, "{pad}}}");
-        }
-        Stmt::Loop { var, lo, hi, body, .. } => {
-            let _ = writeln!(
-                out,
-                "{pad}for (int {var} = {}; {var} < {}; {var}++) {{",
-                expr(lo),
-                expr(hi)
-            );
-            emit_cuda_device_stmt(out, body, ind + 1);
-            let _ = writeln!(out, "{pad}}}");
-        }
-        Stmt::Sample { lhs, dist, args } => {
-            let rendered: Vec<String> = args.iter().map(expr).collect();
-            let _ = writeln!(
-                out,
-                "{pad}augur_{}_sample_dev(rngs, &{}, {});",
-                dist.name().to_lowercase(),
-                lvalue(lhs),
-                rendered.join(", ")
-            );
-        }
-        Stmt::SampleLogits { lhs, weights } => {
-            let _ = writeln!(
-                out,
-                "{pad}{} = augur_categorical_logits_sample_dev(rngs, {});",
-                lvalue(lhs),
-                expr(weights)
-            );
-        }
-    }
-}
-
-// ---------- shared expression rendering ----------
-
-fn lvalue(l: &LValue) -> String {
-    let mut s = l.var.clone();
-    for i in &l.indices {
-        let _ = write!(s, "[{}]", expr(i));
-    }
-    s
-}
-
-fn expr(e: &Expr) -> String {
-    match e {
-        Expr::Var(n) => n.clone(),
-        Expr::Int(v) => v.to_string(),
-        Expr::Real(v) => {
-            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
-                format!("{v:.1}")
-            } else {
-                format!("{v}")
-            }
-        }
-        Expr::Index(a, b) => format!("{}[{}]", expr(a), expr(b)),
-        Expr::Binop(op, a, b) => {
-            let sym = match op {
-                BinOp::Add => "+",
-                BinOp::Sub => "-",
-                BinOp::Mul => "*",
-                BinOp::Div => "/",
-            };
-            format!("({} {} {})", expr(a), sym, expr(b))
-        }
-        Expr::Neg(a) => format!("(-{})", expr(a)),
-        Expr::Call(f, args) => {
-            let name = match f {
-                Builtin::Sigmoid => "augur_sigmoid",
-                Builtin::Exp => "exp",
-                Builtin::Log => "log",
-                Builtin::Sqrt => "sqrt",
-                Builtin::Dot => "augur_dot",
-            };
-            let rendered: Vec<String> = args.iter().map(expr).collect();
-            format!("{name}({})", rendered.join(", "))
-        }
-        Expr::DistLl { dist, args, point } => {
-            let mut rendered: Vec<String> = args.iter().map(expr).collect();
-            rendered.push(expr(point));
-            format!("augur_{}_ll({})", dist.name().to_lowercase(), rendered.join(", "))
-        }
-        Expr::DistGradParam { dist, i, args, point } => {
-            let mut rendered: Vec<String> = args.iter().map(expr).collect();
-            rendered.push(expr(point));
-            // the paper's 1-based convention counts the point as arg 1
-            format!(
-                "augur_{}_grad{}({})",
-                dist.name().to_lowercase(),
-                i + 2,
-                rendered.join(", ")
-            )
-        }
-        Expr::DistGradPoint { dist, args, point } => {
-            let mut rendered: Vec<String> = args.iter().map(expr).collect();
-            rendered.push(expr(point));
-            format!("augur_{}_grad1({})", dist.name().to_lowercase(), rendered.join(", "))
-        }
-        Expr::Op(op, args) => {
-            let name = match op {
-                OpN::VecAdd => "augur_vec_add",
-                OpN::VecSub => "augur_vec_sub",
-                OpN::VecScale => "augur_vec_scale",
-                OpN::MatAdd => "augur_mat_add",
-                OpN::MatScale => "augur_mat_scale",
-                OpN::MatInv => "augur_mat_inv",
-                OpN::MatVec => "augur_mat_vec",
-                OpN::OuterSub => "augur_outer_sub",
-            };
-            let rendered: Vec<String> = args.iter().map(expr).collect();
-            format!("{name}({})", rendered.join(", "))
-        }
-        Expr::Len(a) => format!("augur_len({})", expr(a)),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const GMM: &str = r#"(K, N, mu_0, Sigma_0, pis, Sigma) => {
-        param mu[k] ~ MvNormal(mu_0, Sigma_0) for k <- 0 until K ;
-        param z[n] ~ Categorical(pis) for n <- 0 until N ;
-        data x[n] ~ MvNormal(mu[z[n]], Sigma) for n <- 0 until N ;
-    }"#;
-
-    fn lowered(src: &str, sched: Option<&str>) -> LoweredModel {
-        let model = match sched {
-            Some(s) => crate::Model::with_schedule(src, s),
-            None => crate::Model::compile(src),
-        }
-        .unwrap();
-        let dm = model.density_model();
-        let sched = match sched {
-            Some(s) => augur_kernel::parse_schedule(s).unwrap(),
-            None => augur_kernel::heuristic_schedule(dm).unwrap(),
-        };
-        let kp = augur_kernel::plan(dm, &sched).unwrap();
-        augur_low::lower(dm, &kp).unwrap()
-    }
-
-    #[test]
-    fn c_flavor_has_openmp_pragmas_and_sweep() {
-        let lm = lowered(GMM, None);
-        let c = emit(&lm, CodegenTarget::C);
-        assert!(c.contains("#include \"augur_runtime.h\""));
-        assert!(c.contains("#pragma omp parallel for"), "{c}");
-        assert!(c.contains("void mcmc_sweep(augur_rng *rng)"));
-        assert!(c.contains("u0_gibbs(rng); /* Gibbs: resamples mu"), "{c}");
-        // finite-sum Gibbs draws from log weights
-        assert!(c.contains("augur_categorical_logits_sample"), "{c}");
-    }
-
-    #[test]
-    fn cuda_flavor_has_kernels_and_atomics() {
-        let lm = lowered(GMM, None);
-        let cu = emit(&lm, CodegenTarget::Cuda);
-        assert!(cu.contains("__global__ void"), "{cu}");
-        assert!(cu.contains("blockIdx.x * blockDim.x + threadIdx.x"), "{cu}");
-        assert!(cu.contains("atomicAdd(&"), "{cu}");
-        assert!(cu.contains("<<<"), "kernel launches: {cu}");
-    }
-
-    #[test]
-    fn hmc_sweep_calls_library_update() {
-        let hlr = r#"(lambda, N, D, x) => {
-            param sigma2 ~ Exponential(lambda) ;
-            param b ~ Normal(0.0, sigma2) ;
-            param theta[j] ~ Normal(0.0, sigma2) for j <- 0 until D ;
-            data y[n] ~ Bernoulli(sigmoid(dot(x[n], theta) + b)) for n <- 0 until N ;
-        }"#;
-        let lm = lowered(hlr, None);
-        let c = emit(&lm, CodegenTarget::C);
-        assert!(c.contains("augur_hmc_update(rng, u0_ll, u0_grad)"), "{c}");
-        assert!(c.contains("/* block: sigma2, b, theta */"), "{c}");
-        // the AD-generated gradient calls the paper's grad primitives
-        assert!(c.contains("augur_bernoullilogit_grad2("), "{c}");
-    }
-
-    #[test]
-    fn eslice_schedule_renders_library_call() {
-        let lm = lowered(GMM, Some("ESlice mu (*) Gibbs z"));
-        let c = emit(&lm, CodegenTarget::C);
-        assert!(c.contains("augur_eslice_update(rng, u0_lik, u0_prior_sample)"), "{c}");
-    }
-
-    #[test]
-    fn buffers_are_declared_up_front() {
-        let lm = lowered(GMM, None);
-        let c = emit(&lm, CodegenTarget::C);
-        // sufficient statistics of the conjugate mu update
-        assert!(c.contains("static augur_buf_t u0_t0_cnt;"), "{c}");
-        assert!(c.contains("static augur_buf_t u0_t0_sum;"), "{c}");
-    }
-}
+pub use augur_backend::codegen::{emit, CodegenTarget, CodegenUnit, SymbolInfo, SymbolKind};

@@ -69,9 +69,9 @@ use augur_density::DensityModel;
 
 pub use augur_backend::driver::{Session, SessionConfig, Target};
 pub use augur_backend::mcmc::McmcConfig;
-pub use augur_backend::{CompiledModel, Plan, PlanCacheStats, PlanEvent};
+pub use augur_backend::{BackendAvailability, CompiledModel, Plan, PlanCacheStats, PlanEvent};
 pub use augur_backend::state::HostValue;
-pub use augur_backend::ExecStrategy;
+pub use augur_backend::{ExecBackend, ExecStrategy};
 pub use augur_backend::{Checkpoint, CheckpointError, FaultPlan};
 pub use augur_backend::{ExecReport, KernelReport, KernelStats, RunReport};
 pub use augur_backend::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};
@@ -88,7 +88,7 @@ pub use gpu_sim::DeviceConfig;
 ///
 /// Everything a typical inference script touches — the plan lifecycle
 /// ([`Model`], [`CompiledModel`], [`Plan`], [`Session`],
-/// [`SessionConfig`], [`HostValue`], [`Target`], [`ExecStrategy`],
+/// [`SessionConfig`], [`HostValue`], [`Target`], [`ExecBackend`],
 /// [`OptFlags`], [`McmcConfig`]), multi-chain runs ([`ChainPlan`]),
 /// observing ([`RunReport`], [`KernelStats`], [`ChainsReport`], the
 /// [`diag`] estimators), and failing ([`Error`], [`ErrorKind`]). The
@@ -99,9 +99,9 @@ pub mod prelude {
     pub use crate::chains::{ChainPlan, Chains, ChainsReport, ParamDiag};
     pub use crate::diag::{autocovariance, ess, ess_per_sec, split_rhat};
     pub use crate::{
-        CompiledModel, Error, ErrorKind, ExecStrategy, ExplainPlan, HostValue, KernelStats,
-        McmcConfig, Model, OptFlags, Plan, PlanCacheStats, PlanEvent, Profile, RunReport,
-        Session, SessionConfig, Target,
+        BackendAvailability, CompiledModel, Error, ErrorKind, ExecBackend, ExecStrategy,
+        ExplainPlan, HostValue, KernelStats, McmcConfig, Model, OptFlags, Plan, PlanCacheStats,
+        PlanEvent, Profile, RunReport, Session, SessionConfig, Target,
     };
 }
 
@@ -237,6 +237,21 @@ impl Model {
     ///
     /// Returns lowering errors from memory explication.
     pub fn emit_native(&self, target: codegen::CodegenTarget) -> Result<String, BuildError> {
+        Ok(self.emit_unit(target)?.source)
+    }
+
+    /// Like [`emit_native`](Model::emit_native), but returns the full
+    /// [`codegen::CodegenUnit`] — source text plus the symbol manifest —
+    /// so consumers read kernel/launcher structure from data instead of
+    /// re-parsing the text.
+    ///
+    /// # Errors
+    ///
+    /// Returns lowering errors from memory explication.
+    pub fn emit_unit(
+        &self,
+        target: codegen::CodegenTarget,
+    ) -> Result<codegen::CodegenUnit, BuildError> {
         let mut lowered = self.inner.lowered().clone();
         // Low-- proper: functional primitives become side-effecting
         // stores into planned temporaries (§5.2) before native emission.

@@ -42,5 +42,5 @@ mod cost;
 mod device;
 
 pub use atomic::AtomicF64;
-pub use cost::{CostBreakdown, DeviceConfig};
+pub use cost::{CostBreakdown, DeviceConfig, KernelManifest};
 pub use device::{Counters, Device, KernelScope};

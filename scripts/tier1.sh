@@ -24,6 +24,19 @@ cargo test -q --test alloc_free
     crates/augur/src crates/augur-backend/src
 ! grep -rn "#\[deprecated" crates/augur/src crates/augur-backend/src
 
+# Native-backend smoke: the emit-C-and-dlopen lane must stay bit-exact
+# against tree and tape (draws, report digest, profile digest), the
+# emitted LDA C must match its golden, and a host without a toolchain
+# (AUGUR_CC pointed at a nonexistent binary) must fall back to the tape
+# with a recorded reason instead of failing. The fallback lane isolates
+# TMPDIR: a disk-cached artifact deliberately makes Native selectable
+# without a compiler, which would mask the path under test.
+cargo test -q --test native_differential
+native_tmp="$(mktemp -d)"
+TMPDIR="$native_tmp" AUGUR_CC=/nonexistent/cc \
+  cargo test -q --test native_differential
+rm -rf "$native_tmp"
+
 # Serving smoke: the service path must stay byte-identical to direct
 # ChainPlan runs (including forced mid-run worker migration), and a
 # bounded sustained-load run must sustain nonzero throughput with the

@@ -17,7 +17,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use augur::{ExecStrategy, HostValue, McmcConfig, Model, SessionConfig};
+use augur::{ExecBackend, HostValue, McmcConfig, Model, SessionConfig};
 use augur_math::Matrix;
 use augurv2::{models, workloads};
 
@@ -136,10 +136,10 @@ fn steady_state_sweeps_do_not_allocate() {
 
     let mcmc = McmcConfig { step_size: 0.01, leapfrog_steps: 5, ..Default::default() };
     for (name, plan, param) in &cases {
-        for exec in [ExecStrategy::Tree, ExecStrategy::Tape] {
+        for exec in [ExecBackend::Tree, ExecBackend::Tape] {
             let mut s = plan
                 .session(SessionConfig {
-                    exec,
+                    backend: exec,
                     threads: 1,
                     mcmc: mcmc.clone(),
                     ..Default::default()

@@ -4,7 +4,7 @@
 //! never a silently poisoned chain.
 
 use augur::{
-    Error, ExecStrategy, FaultPlan, HostValue, McmcConfig, Model, Session, SessionConfig,
+    Error, ExecBackend, FaultPlan, HostValue, McmcConfig, Model, Session, SessionConfig,
 };
 use augur_backend::fault::{NanFault, PanicFault};
 
@@ -54,13 +54,13 @@ fn hmc_sampler(config: SessionConfig) -> Session {
 /// sweep proceeds as if the proposal had been rejected.
 #[test]
 fn injected_gibbs_nan_is_contained_as_a_numerical_event() {
-    for exec in [ExecStrategy::Tree, ExecStrategy::Tape] {
+    for exec in [ExecBackend::Tree, ExecBackend::Tape] {
         let plan = FaultPlan {
             nan: vec![NanFault { proc_name: "u0_gibbs".to_owned(), sweep: Some(5) }],
             ..Default::default()
         };
         let mut s = gibbs_sampler(SessionConfig {
-            exec,
+            backend: exec,
             fault: Some(plan),
             checkpoint_every: 0,
             ..Default::default()
@@ -79,13 +79,13 @@ fn injected_gibbs_nan_is_contained_as_a_numerical_event() {
 /// and records numerical events; the chain state stays finite.
 #[test]
 fn injected_hmc_nan_rejects_and_stays_finite() {
-    for exec in [ExecStrategy::Tree, ExecStrategy::Tape] {
+    for exec in [ExecBackend::Tree, ExecBackend::Tape] {
         let plan = FaultPlan {
             nan: vec![NanFault { proc_name: "u0_ll".to_owned(), sweep: Some(3) }],
             ..Default::default()
         };
         let mut s = hmc_sampler(SessionConfig {
-            exec,
+            backend: exec,
             fault: Some(plan),
             checkpoint_every: 0,
             ..Default::default()
@@ -130,7 +130,7 @@ fn injected_worker_panic_is_isolated_to_a_typed_error() {
         ..Default::default()
     };
     let mut s = gibbs_sampler(SessionConfig {
-        exec: ExecStrategy::Tape,
+        backend: ExecBackend::Tape,
         threads: 2,
         fault: Some(plan),
         checkpoint_every: 0,
@@ -160,7 +160,7 @@ fn sample_surfaces_worker_panic_as_typed_error() {
         ..Default::default()
     };
     let mut s = gibbs_sampler(SessionConfig {
-        exec: ExecStrategy::Tape,
+        backend: ExecBackend::Tape,
         threads: 2,
         fault: Some(plan),
         checkpoint_every: 0,

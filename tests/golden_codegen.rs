@@ -77,10 +77,23 @@ fn gmm_eslice_structure_is_stable() {
 
 #[test]
 fn cuda_emission_structure_is_stable() {
+    use augur::codegen::SymbolKind;
     let model = Model::compile(models::HGMM).unwrap();
-    let cu = model.emit_native(augur::codegen::CodegenTarget::Cuda).unwrap();
-    // one kernel per top-level parallel loop; canonical prologue
-    assert!(cu.matches("__global__ void").count() >= 6, "{cu}");
+    let unit = model.emit_unit(augur::codegen::CodegenTarget::Cuda).unwrap();
+    // one kernel per top-level parallel loop, read off the symbol
+    // manifest rather than grepped out of the text; canonical prologue
+    let kernels: Vec<_> = unit
+        .symbols
+        .iter()
+        .filter(|s| matches!(s.kind, SymbolKind::CudaKernel { .. }))
+        .collect();
+    assert!(kernels.len() >= 6, "{kernels:?}");
+    assert!(
+        kernels.iter().any(|s| s.kind == SymbolKind::CudaKernel { atomic: true }),
+        "counting kernels serialize through atomics: {kernels:?}"
+    );
+    let cu = unit.source;
+    assert_eq!(cu.matches("__global__ void").count(), kernels.len(), "{cu}");
     assert!(cu.contains("int n = blockIdx.x * blockDim.x + threadIdx.x + 0;"), "{cu}");
     // counting kernels use atomicAdd
     assert!(cu.contains("atomicAdd(&u0_t0_cnt[z[n]], 1.0);"), "{cu}");

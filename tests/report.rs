@@ -28,8 +28,8 @@ fn gamma_poisson_sampler(config: SessionConfig) -> Session {
 /// restore-on-reject discipline restores rejected states bitwise).
 #[test]
 fn mh_accepts_match_oracle_recount_in_both_lanes() {
-    for exec in [ExecStrategy::Tree, ExecStrategy::Tape] {
-        let mut s = gamma_poisson_sampler(SessionConfig { exec, ..Default::default() });
+    for exec in [ExecBackend::Tree, ExecBackend::Tape] {
+        let mut s = gamma_poisson_sampler(SessionConfig { backend: exec, ..Default::default() });
         let sweeps = 400u64;
         let mut prev = s.param("r").unwrap()[0].to_bits();
         let mut oracle_accepts = 0u64;

@@ -5,7 +5,7 @@
 
 use std::path::PathBuf;
 
-use augur::{ExecStrategy, HostValue, McmcConfig, Model, Session, SessionConfig};
+use augur::{ExecBackend, HostValue, McmcConfig, Model, Session, SessionConfig};
 use augur_math::Matrix;
 use augurv2::{models, workloads};
 
@@ -98,11 +98,11 @@ fn hlr_sampler(config: SessionConfig) -> Session {
 fn kill_resume_is_invisible(
     tag: &str,
     build: fn(SessionConfig) -> Session,
-    exec: ExecStrategy,
+    exec: ExecBackend,
     threads: usize,
 ) {
     let config = || SessionConfig {
-        exec,
+        backend: exec,
         threads,
         checkpoint_every: 0, // checkpoints are written explicitly below
         ..Default::default()
@@ -144,25 +144,25 @@ fn kill_resume_is_invisible(
 
 #[test]
 fn hgmm_kill_resume_tree_and_tape_all_thread_counts() {
-    kill_resume_is_invisible("hgmm_tree", hgmm_sampler, ExecStrategy::Tree, 1);
+    kill_resume_is_invisible("hgmm_tree", hgmm_sampler, ExecBackend::Tree, 1);
     for threads in [1, 2, 8] {
-        kill_resume_is_invisible("hgmm_tape", hgmm_sampler, ExecStrategy::Tape, threads);
+        kill_resume_is_invisible("hgmm_tape", hgmm_sampler, ExecBackend::Tape, threads);
     }
 }
 
 #[test]
 fn lda_kill_resume_tree_and_tape_all_thread_counts() {
-    kill_resume_is_invisible("lda_tree", lda_sampler, ExecStrategy::Tree, 1);
+    kill_resume_is_invisible("lda_tree", lda_sampler, ExecBackend::Tree, 1);
     for threads in [1, 2, 8] {
-        kill_resume_is_invisible("lda_tape", lda_sampler, ExecStrategy::Tape, threads);
+        kill_resume_is_invisible("lda_tape", lda_sampler, ExecBackend::Tape, threads);
     }
 }
 
 #[test]
 fn hlr_kill_resume_tree_and_tape_all_thread_counts() {
-    kill_resume_is_invisible("hlr_tree", hlr_sampler, ExecStrategy::Tree, 1);
+    kill_resume_is_invisible("hlr_tree", hlr_sampler, ExecBackend::Tree, 1);
     for threads in [1, 2, 8] {
-        kill_resume_is_invisible("hlr_tape", hlr_sampler, ExecStrategy::Tape, threads);
+        kill_resume_is_invisible("hlr_tape", hlr_sampler, ExecBackend::Tape, threads);
     }
 }
 
@@ -172,7 +172,7 @@ fn hlr_kill_resume_tree_and_tape_all_thread_counts() {
 #[test]
 fn checkpoint_resumes_across_thread_counts() {
     let config = |threads| SessionConfig {
-        exec: ExecStrategy::Tape,
+        backend: ExecBackend::Tape,
         threads,
         checkpoint_every: 0,
         ..Default::default()

@@ -1,7 +1,7 @@
 //! Differential tests for the two execution strategies.
 //!
-//! The flat instruction tape (`ExecStrategy::Tape`) must reproduce the
-//! reference tree-walking interpreter (`ExecStrategy::Tree`)
+//! The flat instruction tape (`ExecBackend::Tape`) must reproduce the
+//! reference tree-walking interpreter (`ExecBackend::Tree`)
 //! *bit-for-bit*: the per-thread splitmix RNG streams are execution-order
 //! independent, so any divergence — a reordered draw, a different
 //! rounding, a skipped work charge that shifts a reseed — shows up as a
@@ -23,7 +23,7 @@ fn bit_trace(
     data: Vec<(&str, HostValue)>,
     record: &[&str],
     sweeps: usize,
-    exec: ExecStrategy,
+    exec: ExecBackend,
     threads: usize,
 ) -> Vec<Vec<u64>> {
     let compiled = match sched {
@@ -35,7 +35,7 @@ fn bit_trace(
         .plan(args, data)
         .expect("model plans")
         .session(SessionConfig {
-            exec,
+            backend: exec,
             threads,
             mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
             seed: 0xD1FF,
@@ -74,7 +74,7 @@ fn assert_tape_matches_tree(
         data.clone(),
         record,
         sweeps,
-        ExecStrategy::Tree,
+        ExecBackend::Tree,
         1,
     );
     let tape = bit_trace(
@@ -84,7 +84,7 @@ fn assert_tape_matches_tree(
         data.clone(),
         record,
         sweeps,
-        ExecStrategy::Tape,
+        ExecBackend::Tape,
         1,
     );
     for (s, (a, b)) in tree.iter().zip(&tape).enumerate() {
@@ -99,7 +99,7 @@ fn assert_tape_matches_tree(
             data.clone(),
             record,
             sweeps,
-            ExecStrategy::Tape,
+            ExecBackend::Tape,
             threads,
         );
         for (s, (a, b)) in tape.iter().zip(&par).enumerate() {
@@ -207,7 +207,7 @@ fn report_digest(
     args: Vec<HostValue>,
     data: Vec<(&str, HostValue)>,
     sweeps: usize,
-    exec: ExecStrategy,
+    exec: ExecBackend,
     threads: usize,
 ) -> String {
     let compiled = match sched {
@@ -219,7 +219,7 @@ fn report_digest(
         .plan(args, data)
         .expect("model plans")
         .session(SessionConfig {
-            exec,
+            backend: exec,
             threads,
             mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
             seed: 0xD1FF,
@@ -294,7 +294,7 @@ fn run_reports_are_identical_across_strategies_and_threads() {
             args.clone(),
             data.clone(),
             sweeps,
-            ExecStrategy::Tree,
+            ExecBackend::Tree,
             1,
         );
         assert!(reference.contains("sweeps=10"), "{label}: digest missing sweeps");
@@ -305,7 +305,7 @@ fn run_reports_are_identical_across_strategies_and_threads() {
                 args.clone(),
                 data.clone(),
                 sweeps,
-                ExecStrategy::Tape,
+                ExecBackend::Tape,
                 threads,
             );
             assert_eq!(
@@ -325,7 +325,7 @@ fn profile_digest(
     args: Vec<HostValue>,
     data: Vec<(&str, HostValue)>,
     sweeps: usize,
-    exec: ExecStrategy,
+    exec: ExecBackend,
     threads: usize,
 ) -> String {
     let compiled = match sched {
@@ -337,7 +337,7 @@ fn profile_digest(
         .plan(args, data)
         .expect("model plans")
         .session(SessionConfig {
-            exec,
+            backend: exec,
             threads,
             mcmc: McmcConfig { step_size: 0.05, leapfrog_steps: 8, ..Default::default() },
             seed: 0xD1FF,
@@ -415,7 +415,7 @@ fn profile_digests_are_identical_across_strategies_and_threads() {
             args.clone(),
             data.clone(),
             sweeps,
-            ExecStrategy::Tree,
+            ExecBackend::Tree,
             1,
         );
         assert!(reference.contains("sweeps=10"), "{label}: digest missing sweeps");
@@ -427,7 +427,7 @@ fn profile_digests_are_identical_across_strategies_and_threads() {
                 args.clone(),
                 data.clone(),
                 sweeps,
-                ExecStrategy::Tape,
+                ExecBackend::Tape,
                 threads,
             );
             assert_eq!(
