@@ -101,6 +101,18 @@ pub enum CheckpointError {
         /// What disagreed.
         detail: String,
     },
+    /// A file on disk that is not a readable checkpoint — bad header,
+    /// malformed body, truncation, or a failed integrity digest. Produced
+    /// by [`Checkpoint::read`] so the error names the offending path
+    /// (in-memory [`Checkpoint::parse`] keeps the finer-grained
+    /// [`Version`](CheckpointError::Version)/
+    /// [`Parse`](CheckpointError::Parse) variants).
+    Corrupt {
+        /// The file that failed to parse or verify.
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -117,6 +129,9 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::Mismatch { detail } => {
                 write!(f, "checkpoint does not match this sampler: {detail}")
+            }
+            CheckpointError::Corrupt { path, detail } => {
+                write!(f, "corrupt checkpoint `{path}`: {detail}")
             }
         }
     }
@@ -160,6 +175,11 @@ impl Checkpoint {
             }
             out.push('\n');
         }
+        // Integrity digest over everything above (FNV-1a 64): parsers
+        // verify it when present, so a bit flip or silent truncation is
+        // a typed error instead of a silently-wrong resume. Files
+        // without the line (earlier v1 writers) still parse.
+        out.push_str(&format!("digest {:016x}\n", fnv1a(out.as_bytes())));
         out.push_str("end\n");
         out
     }
@@ -176,6 +196,10 @@ impl Checkpoint {
         if header != format!("augur-checkpoint v{CHECKPOINT_VERSION}") {
             return Err(CheckpointError::Version { found: header.to_owned() });
         }
+        // Running FNV-1a over every line up to (not including) the
+        // optional `digest` line, mirroring how `render` computed it.
+        let mut running = FNV_OFFSET;
+        running = fnv1a_line(running, header);
         let mut ck = Checkpoint {
             schedule: String::new(),
             sweep: 0,
@@ -196,6 +220,9 @@ impl Checkpoint {
                 return Err(perr("content after `end`".into()));
             }
             let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            if key != "digest" {
+                running = fnv1a_line(running, line);
+            }
             match key {
                 "schedule" => ck.schedule = rest.to_owned(),
                 "sweep" => ck.sweep = parse_u64(rest).map_err(perr)?,
@@ -262,6 +289,14 @@ impl Checkpoint {
                     }
                     ck.buffers.push((name, cells));
                 }
+                "digest" => {
+                    let want = parse_hex(rest).map_err(perr)?;
+                    if want != running {
+                        return Err(perr(format!(
+                            "integrity digest mismatch (file says {want:016x}, content hashes to {running:016x})"
+                        )));
+                    }
+                }
                 "end" => ended = true,
                 other => return Err(perr(format!("unknown key `{other}`"))),
             }
@@ -298,15 +333,40 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// [`CheckpointError::Io`] if the file cannot be read, otherwise the
-    /// parse errors of [`Checkpoint::parse`].
+    /// [`CheckpointError::Io`] if the file cannot be read;
+    /// [`CheckpointError::Corrupt`] — naming the offending path — if its
+    /// contents fail the version, parse, or integrity-digest checks. A
+    /// bit-flipped or truncated snapshot is always a typed error here,
+    /// never a panic mid-resume.
     pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
         let text = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
             path: path.display().to_string(),
             detail: e.to_string(),
         })?;
-        Checkpoint::parse(&text)
+        Checkpoint::parse(&text).map_err(|e| CheckpointError::Corrupt {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })
     }
+}
+
+/// FNV-1a 64 offset basis (the workspace's canonical dependency-free
+/// hash; see `plan.rs`).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(FNV_OFFSET, |h, &b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3))
+}
+
+/// Folds one text line (plus its terminating newline) into a running
+/// FNV-1a state — the incremental form of [`fnv1a`] over the rendering.
+fn fnv1a_line(h: u64, line: &str) -> u64 {
+    let h = line
+        .bytes()
+        .fold(h, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3));
+    (h ^ b'\n' as u64).wrapping_mul(0x0000_0100_0000_01b3)
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -415,5 +475,70 @@ mod tests {
             Err(CheckpointError::Io { path, .. }) => assert!(path.contains("nonexistent")),
             other => panic!("expected Io error, got {other:?}"),
         }
+    }
+
+    /// A flipped bit anywhere in the body fails the integrity digest
+    /// with a typed parse error, not a silently-wrong resume.
+    #[test]
+    fn bit_flip_fails_the_digest() {
+        let text = sample().render();
+        assert!(text.contains("\ndigest "), "render must carry a digest line");
+        // Flip one hex nibble inside a buffer cell (keeps the line
+        // well-formed, so only the digest can catch it).
+        let pos = text.find("buf mu").unwrap() + 9;
+        let mut flipped: Vec<u8> = text.into_bytes();
+        flipped[pos] = if flipped[pos] == b'0' { b'1' } else { b'0' };
+        let flipped = String::from_utf8(flipped).unwrap();
+        match Checkpoint::parse(&flipped) {
+            Err(CheckpointError::Parse { detail, .. }) => {
+                assert!(detail.contains("digest mismatch"), "detail: {detail}");
+            }
+            other => panic!("expected digest-mismatch Parse error, got {other:?}"),
+        }
+    }
+
+    /// A checkpoint written before the digest line existed still parses:
+    /// verification only happens when the line is present.
+    #[test]
+    fn digestless_v1_files_still_parse() {
+        let ck = sample();
+        let undigested: String = ck
+            .render()
+            .lines()
+            .filter(|l| !l.starts_with("digest "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(Checkpoint::parse(&undigested).unwrap(), ck);
+    }
+
+    /// `read` wraps every content failure — bad version, truncation,
+    /// bit flips — as `Corrupt` naming the offending path.
+    #[test]
+    fn read_names_the_corrupt_path() {
+        let dir = std::env::temp_dir().join(format!("augur-ckpt-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = sample().render();
+        let truncated = dir.join("truncated.ckpt");
+        std::fs::write(&truncated, &full[..full.len() / 2]).unwrap();
+        match Checkpoint::read(&truncated) {
+            Err(CheckpointError::Corrupt { path, detail }) => {
+                assert!(path.contains("truncated.ckpt"), "path: {path}");
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        let flipped = dir.join("flipped.ckpt");
+        let mut bytes = full.clone().into_bytes();
+        let pos = full.find("buf mu").unwrap() + 9;
+        bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
+        std::fs::write(&flipped, &bytes).unwrap();
+        match Checkpoint::read(&flipped) {
+            Err(CheckpointError::Corrupt { path, detail }) => {
+                assert!(path.contains("flipped.ckpt"), "path: {path}");
+                assert!(detail.contains("digest mismatch"), "detail: {detail}");
+            }
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

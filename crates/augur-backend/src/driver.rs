@@ -405,11 +405,37 @@ impl Session {
         // tape and records why.
         let mut backend_fallback = None;
         if config.backend == ExecBackend::Native && mode == ExecMode::Cpu {
-            match plan.native_module() {
-                Ok(module) => engine.native = Some(module),
-                Err(reason) => {
-                    engine.backend = ExecBackend::Tape;
-                    backend_fallback = Some(reason);
+            let breaker = plan.native_breaker();
+            if let Some(reason) = breaker.open_reason() {
+                // Demoted: the model's breaker tripped earlier, so skip
+                // the build/probe entirely and run on the tape. The
+                // recorded reason keeps the original failure text.
+                engine.backend = ExecBackend::Tape;
+                backend_fallback = Some(format!(
+                    "native circuit breaker open after {} consecutive native failures: {reason}",
+                    crate::plan::NATIVE_BREAKER_THRESHOLD
+                ));
+            } else if config
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.compile_native)
+            {
+                // Injected native-compile failure: feed the breaker and
+                // degrade exactly as a real toolchain fault would.
+                breaker.record_failure(crate::fault::INJECTED_NATIVE_FAILURE);
+                engine.backend = ExecBackend::Tape;
+                backend_fallback = Some(crate::fault::INJECTED_NATIVE_FAILURE.to_string());
+            } else {
+                match plan.native_module() {
+                    Ok(module) => {
+                        breaker.record_success();
+                        engine.native = Some(module);
+                    }
+                    Err(reason) => {
+                        breaker.record_failure(&reason);
+                        engine.backend = ExecBackend::Tape;
+                        backend_fallback = Some(reason);
+                    }
                 }
             }
         }

@@ -74,7 +74,10 @@ pub mod tape;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use codegen::{CodegenTarget, CodegenUnit, SymbolInfo, SymbolKind};
 pub use driver::{BuildError, RunError, Session, SessionConfig, Target};
-pub use plan::{BackendAvailability, CompiledModel, Plan, PlanCacheStats, PlanEvent};
+pub use plan::{
+    BackendAvailability, CompiledModel, NativeBreaker, Plan, PlanCacheStats, PlanEvent,
+    NATIVE_BREAKER_THRESHOLD,
+};
 pub use fault::{FaultParseError, FaultPlan};
 pub use metrics::{ExecReport, KernelReport, KernelStats, RunReport, UpdateOutcome};
 pub use profile::{ExplainPlan, MemWatermark, Profile, Span, StepProfile};

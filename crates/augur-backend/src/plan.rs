@@ -87,6 +87,80 @@ impl PlanEvent {
     }
 }
 
+/// Consecutive native failures that trip a model's [`NativeBreaker`].
+pub const NATIVE_BREAKER_THRESHOLD: u64 = 3;
+
+/// Per-model circuit breaker guarding the native backend.
+///
+/// Every native compile/`dlopen` outcome for sessions over this model
+/// feeds the breaker: a success resets the consecutive-failure count, a
+/// failure increments it, and [`NATIVE_BREAKER_THRESHOLD`] consecutive
+/// failures *trip* the breaker — subsequent sessions demote straight to
+/// the tape without re-probing the toolchain, and the demotion (with the
+/// last failure's reason) is reported by [`Plan::backends`],
+/// [`Plan::native_demotion`], and the serving layer's metrics/trace.
+/// The breaker stays open until [`NativeBreaker::reset`] (there is no
+/// half-open probe: native availability is a host property that does not
+/// heal on its own, and re-probing per request would stampede `cc`).
+#[derive(Debug, Default)]
+pub struct NativeBreaker {
+    consecutive: AtomicU64,
+    trips: AtomicU64,
+    reason: Mutex<Option<String>>,
+}
+
+impl NativeBreaker {
+    /// The reason the breaker is open, or `None` while closed.
+    pub fn open_reason(&self) -> Option<String> {
+        self.reason.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Whether the breaker has tripped (native demoted to tape).
+    pub fn is_open(&self) -> bool {
+        self.open_reason().is_some()
+    }
+
+    /// Consecutive native failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u64 {
+        self.consecutive.load(Ordering::Relaxed)
+    }
+
+    /// Times the breaker has tripped over its lifetime.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Records a successful native build/load. Resets the
+    /// consecutive-failure count; does **not** close an open breaker
+    /// (reopening is an operator decision via [`NativeBreaker::reset`]).
+    pub fn record_success(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+    }
+
+    /// Records a native failure; returns `true` if this call tripped the
+    /// breaker open.
+    pub fn record_failure(&self, reason: &str) -> bool {
+        let n = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        if n < NATIVE_BREAKER_THRESHOLD {
+            return false;
+        }
+        let mut slot = self.reason.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(reason.to_string());
+            self.trips.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Closes the breaker and clears the failure count, letting the next
+    /// session probe native again.
+    pub fn reset(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+        *self.reason.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
 /// Counters describing a [`PlanCache`]'s history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
@@ -203,6 +277,7 @@ pub struct CompiledModel {
     param_names: Vec<String>,
     labels: Arc<Vec<String>>,
     cache: Mutex<PlanCache>,
+    breaker: Arc<NativeBreaker>,
 }
 
 impl CompiledModel {
@@ -283,7 +358,14 @@ impl CompiledModel {
             param_names,
             labels: Arc::new(labels),
             cache: Mutex::new(PlanCache::default()),
+            breaker: Arc::new(NativeBreaker::default()),
         }
+    }
+
+    /// This model's native circuit breaker (shared by every plan and
+    /// session specialized from it).
+    pub fn native_breaker(&self) -> &Arc<NativeBreaker> {
+        &self.breaker
     }
 
     /// Specializes the model to concrete data, reusing a cached artifact
@@ -368,6 +450,7 @@ impl CompiledModel {
             setup_secs,
             event,
             stats,
+            self.breaker.open_reason(),
         );
         Ok(Plan {
             artifact,
@@ -380,6 +463,7 @@ impl CompiledModel {
             event,
             fingerprint: fp,
             stats,
+            breaker: Arc::clone(&self.breaker),
         })
     }
 
@@ -551,6 +635,7 @@ fn assemble_explain(
     setup_secs: f64,
     event: PlanEvent,
     stats: PlanCacheStats,
+    demotion: Option<String>,
 ) -> ExplainPlan {
     let mut explain = ExplainPlan { root: Span::new("explain") };
     for s in front {
@@ -594,6 +679,11 @@ fn assemble_explain(
     cache_span.attr("entries", stats.entries.to_string());
     cache_span.attr("native_builds", stats.native_builds.to_string());
     cache_span.attr("native_hits", stats.native_hits.to_string());
+    // Only present while demoted, so golden explain renders on healthy
+    // hosts stay byte-stable.
+    if let Some(reason) = demotion {
+        cache_span.attr("native_breaker", format!("open: {reason}"));
+    }
     explain.root.child(cache_span);
     explain
 }
@@ -615,6 +705,7 @@ pub struct Plan {
     pub(crate) event: PlanEvent,
     pub(crate) fingerprint: u64,
     pub(crate) stats: PlanCacheStats,
+    pub(crate) breaker: Arc<NativeBreaker>,
 }
 
 impl Plan {
@@ -679,6 +770,17 @@ impl Plan {
         self.mem
     }
 
+    /// The owning model's native circuit breaker.
+    pub fn native_breaker(&self) -> &Arc<NativeBreaker> {
+        &self.breaker
+    }
+
+    /// Why this plan's model is demoted Native→Tape, or `None` while
+    /// the breaker is closed.
+    pub fn native_demotion(&self) -> Option<String> {
+        self.breaker.open_reason()
+    }
+
     /// The native module for this plan, built (emit → host `cc` →
     /// `dlopen`) on first request and memoized in the plan cache next to
     /// the tapes — every later session over this shape reuses the loaded
@@ -711,7 +813,9 @@ impl Plan {
     /// gate) without compiling anything — a cached `.so` makes `Native`
     /// selectable even on a host with no C compiler.
     pub fn backends(&self) -> Vec<BackendAvailability> {
-        let (native_ok, native_detail) = if !cfg!(feature = "native") {
+        let (native_ok, native_detail) = if let Some(reason) = self.breaker.open_reason() {
+            (false, format!("circuit breaker open: {reason}"))
+        } else if !cfg!(feature = "native") {
             (false, "built without the `native` feature".to_string())
         } else if let Some(so) = crate::native::jit::cached_artifact(self.fingerprint) {
             (true, format!("cached artifact: {}", so.display()))
@@ -791,5 +895,45 @@ impl Fnv {
     }
     fn finish(&self) -> u64 {
         self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_trips_after_threshold_and_holds_until_reset() {
+        let b = NativeBreaker::default();
+        for i in 1..NATIVE_BREAKER_THRESHOLD {
+            assert!(!b.record_failure("cc: not found"), "tripped early at {i}");
+            assert!(!b.is_open());
+        }
+        assert!(b.record_failure("cc: not found"), "did not trip at threshold");
+        assert_eq!(b.open_reason().as_deref(), Some("cc: not found"));
+        assert_eq!(b.trips(), 1);
+        // Further failures keep it open without re-tripping; a success
+        // clears the count but does not close an open breaker.
+        assert!(!b.record_failure("still broken"));
+        b.record_success();
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+        b.reset();
+        assert!(!b.is_open());
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn breaker_success_resets_the_failure_streak() {
+        let b = NativeBreaker::default();
+        for _ in 1..NATIVE_BREAKER_THRESHOLD {
+            b.record_failure("flaky");
+        }
+        b.record_success();
+        // The streak restarts: threshold-1 more failures still don't trip.
+        for _ in 1..NATIVE_BREAKER_THRESHOLD {
+            assert!(!b.record_failure("flaky"));
+        }
+        assert!(!b.is_open());
     }
 }

@@ -25,7 +25,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use augur::{HostValue, McmcConfig, SessionConfig};
+use augur::{FaultPlan, HostValue, McmcConfig, SessionConfig};
 use augur_bench::{emit, hgmm_args, lda_args, scale_arg};
 use augur_serve::{
     hermetic_config, ExplainRequest, ModelRegistry, ModelSpec, Request, SampleRequest,
@@ -127,6 +127,7 @@ fn main() {
             record: load.record.clone(),
             config: Some(SessionConfig { seed: 0xA464 + i as u64, ..load.base.clone() }),
             migrate_every: None,
+            deadline: None,
         })));
         if i % 6 == 4 {
             tickets.push(service.submit(Request::Score(ScoreRequest {
@@ -135,6 +136,7 @@ fn main() {
                 args: load.args.clone(),
                 data: load.data.clone(),
                 config: Some(load.base.clone()),
+                deadline: None,
             })));
         }
         if i % 6 == 5 {
@@ -143,14 +145,26 @@ fn main() {
                 version: None,
                 args: load.args.clone(),
                 data: load.data.clone(),
+                deadline: None,
             })));
         }
     }
     let submitted = tickets.len();
+    // Under an injected AUGUR_FAULT the chaos gate tolerates typed
+    // failures (timeouts, shed load) — the survivability contract is
+    // "every ticket resolves, most requests complete"; clean runs keep
+    // the strict zero-failure contract.
+    let fault =
+        FaultPlan::from_env().expect("AUGUR_FAULT parses").filter(|f| !f.is_empty());
     let mut ok = 0usize;
+    let mut typed_failures = 0usize;
     for t in tickets {
         match t.wait() {
             Ok(_) => ok += 1,
+            Err(e) if fault.is_some() => {
+                typed_failures += 1;
+                eprintln!("request failed under fault drill with code `{}`: {e}", e.code());
+            }
             Err(e) => panic!("request failed with code `{}`: {e}", e.code()),
         }
     }
@@ -166,14 +180,21 @@ fn main() {
     // request per model misses.
     let expected_hit_rate = 1.0 - loads.len() as f64 / (hits + misses) as f64;
 
-    assert_eq!(ok, submitted, "every request must be answered");
-    assert_eq!(m.failed, 0, "no request may fail");
+    assert_eq!(ok + typed_failures, submitted, "every ticket must resolve — no hangs");
+    if fault.is_some() {
+        assert!(ok > 0, "some requests must complete under injected faults");
+    } else {
+        assert_eq!(ok, submitted, "every request must be answered");
+        assert_eq!(m.failed, 0, "no request may fail");
+        assert!(
+            hit_rate >= expected_hit_rate - 1e-9,
+            "cache hit rate {hit_rate:.3} below structural expectation {expected_hit_rate:.3}"
+        );
+        assert!(m.migrations > 0, "sustained load must exercise chain migration");
+    }
     assert!(rps > 0.0, "throughput must be nonzero");
-    assert!(
-        hit_rate >= expected_hit_rate - 1e-9,
-        "cache hit rate {hit_rate:.3} below structural expectation {expected_hit_rate:.3}"
-    );
-    assert!(m.migrations > 0, "sustained load must exercise chain migration");
+    let shed_rate = m.shed as f64 / m.submitted.max(1) as f64;
+    let timeout_rate = m.timeouts as f64 / m.submitted.max(1) as f64;
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"scale\": {scale},");
@@ -189,6 +210,14 @@ fn main() {
     let _ = writeln!(json, "  \"latency_max_ms\": {:.3},", m.latency.max_secs * 1e3);
     let _ = writeln!(json, "  \"migrations\": {},", m.migrations);
     let _ = writeln!(json, "  \"queue_high_water\": {},", m.queue_high_water);
+    let _ = writeln!(json, "  \"fault\": \"{}\",", fault.as_ref().map(|f| f.render()).unwrap_or_default());
+    let _ = writeln!(json, "  \"shed\": {},", m.shed);
+    let _ = writeln!(json, "  \"shed_rate\": {shed_rate:.4},");
+    let _ = writeln!(json, "  \"timeouts\": {},", m.timeouts);
+    let _ = writeln!(json, "  \"timeout_rate\": {timeout_rate:.4},");
+    let _ = writeln!(json, "  \"retries\": {},", m.retries);
+    let _ = writeln!(json, "  \"respawns\": {},", m.respawns);
+    let _ = writeln!(json, "  \"demotions\": {},", m.demotions);
     let _ = writeln!(json, "  \"plan_cache\": {{");
     let _ = writeln!(json, "    \"hits\": {hits},");
     let _ = writeln!(json, "    \"misses\": {misses},");
@@ -221,6 +250,15 @@ fn main() {
     let _ = writeln!(table, "| p99 latency | {:.2} ms |", m.latency.p99_secs * 1e3);
     let _ = writeln!(table, "| chain migrations | {} |", m.migrations);
     let _ = writeln!(table, "| queue high water | {} |", m.queue_high_water);
+    let _ = writeln!(
+        table,
+        "| shed / timeouts / retries | {} / {} / {} |",
+        m.shed, m.timeouts, m.retries
+    );
+    let _ = writeln!(table, "| respawns / demotions | {} / {} |", m.respawns, m.demotions);
+    if let Some(f) = &fault {
+        let _ = writeln!(table, "| fault drill | `{}` |", f.render());
+    }
     let _ = writeln!(
         table,
         "| plan-cache hit rate | {:.1}% ({hits} hits / {misses} misses) |",

@@ -21,6 +21,14 @@
 //!   restores byte-identically, so migrated runs equal unmigrated ones
 //!   draw-for-draw and digest-for-digest — rebalancing is always safe.
 //!
+//! The same checkpoint substrate makes the service *survivable*: shard
+//! workers are supervised (a panic re-enqueues the in-flight slice on a
+//! healthy shard and respawns the worker), requests carry deadlines,
+//! queues are bounded with load-shed accounting, transient failures
+//! retry with deterministic backoff, and a per-model circuit breaker
+//! demotes Native→Tape after repeated native-compile failures — see the
+//! [`service`] module docs and `DESIGN.md` §5.14.
+//!
 //! ```
 //! use augur_serve::{ModelRegistry, ModelSpec, SampleRequest, Service, ServiceConfig};
 //! use augur::HostValue;

@@ -113,6 +113,12 @@ impl RegisteredModel {
     pub fn cache_stats(&self) -> PlanCacheStats {
         self.model.cache_stats()
     }
+
+    /// Why this model is demoted Native→Tape by its circuit breaker,
+    /// or `None` while the breaker is closed.
+    pub fn native_demotion(&self) -> Option<String> {
+        self.model.compiled().native_breaker().open_reason()
+    }
 }
 
 /// Per-model cache counters, as reported by
@@ -125,6 +131,9 @@ pub struct ModelCacheStats {
     pub version: u32,
     /// The version's plan-cache counters.
     pub stats: PlanCacheStats,
+    /// The native circuit breaker's open reason, when this model has
+    /// been demoted Native→Tape (`None` = breaker closed).
+    pub demoted: Option<String>,
 }
 
 /// Named, versioned models behind a read-mostly lock: registration is
@@ -196,6 +205,7 @@ impl ModelRegistry {
                 name: m.name.clone(),
                 version: m.version,
                 stats: m.cache_stats(),
+                demoted: m.native_demotion(),
             })
             .collect();
         out.sort_by(|a, b| (&a.name, a.version).cmp(&(&b.name, b.version)));

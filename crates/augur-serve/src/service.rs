@@ -23,21 +23,52 @@
 //! are collected by index, so a service-path run is byte-identical to a
 //! direct `ChainPlan` run with the same base config, at any worker
 //! count and any migration cadence.
+//!
+//! # Survivability
+//!
+//! The service is built to keep answering under partial failure and
+//! overload (see `DESIGN.md` §5.14):
+//!
+//! * **Shard supervision** — request and slice execution run under
+//!   `catch_unwind`, and a panic that escapes anyway (the
+//!   `panic@shard` drill kills the worker at dequeue) trips a drop
+//!   guard that recovers the in-flight task, re-enqueues it on the
+//!   next shard, and respawns the worker. Because chain slices travel
+//!   as byte-identical [`Checkpoint`]s, a killed worker costs at most
+//!   one slice of progress and never changes the draws.
+//! * **Deadlines** — [`Request::deadline`] (or
+//!   [`ServiceConfig::default_deadline`]) is checked at dequeue and
+//!   between migration slices; late requests resolve with a typed
+//!   `timeout` code instead of running to completion.
+//! * **Admission control** — [`ServiceConfig::queue_bound`] bounds
+//!   every shard queue; a submit that finds all queues full resolves
+//!   immediately with `overloaded` and is counted as shed.
+//! * **Retries** — transient failures (`!is_caller_fault()`) requeue
+//!   the slice up to [`ServiceConfig::max_retries`] times with a
+//!   deterministic, counter-seeded backoff (no wall-clock jitter), so
+//!   fault-injected differential runs stay reproducible.
+//! * **Backend degradation** — each model's [`augur::NativeBreaker`]
+//!   trips Native→Tape after consecutive native failures; the service
+//!   records the first demotion per model in its metrics and trace.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use augur::chains::chain_seed;
 use augur::{
-    Checkpoint, ExecBackend, HostValue, McmcConfig, OptFlags, Plan, SessionConfig, Target,
+    Checkpoint, ExecBackend, FaultPlan, HostValue, McmcConfig, OptFlags, Plan, SessionConfig,
+    Target,
 };
+use augur_backend::fault::INJECTED_SHARD_PANIC;
 use augur_backend::metrics::TraceSink;
+use augur_math::Prng;
 
 use crate::registry::{ModelCacheStats, ModelRegistry, RegisteredModel};
 
@@ -79,17 +110,34 @@ pub enum ServeError {
     },
     /// The service shut down before the request completed.
     Canceled,
+    /// The request exceeded its deadline (checked at dequeue and
+    /// between migration slices).
+    Timeout {
+        /// Time the request had spent when the check fired.
+        elapsed: Duration,
+        /// The deadline it was submitted with.
+        deadline: Duration,
+    },
+    /// Every shard queue was at its admission bound; the request was
+    /// shed instead of queued. Transient: resubmit when load drops.
+    Overloaded {
+        /// The per-shard queue bound in force.
+        bound: usize,
+    },
     /// The underlying compiler/runtime failed.
     Model(augur::Error),
 }
 
 impl ServeError {
-    /// The stable response code: `"unknown_model"`, `"canceled"`, or
-    /// the [`augur::ErrorKind`] string of the wrapped library error.
+    /// The stable response code: `"unknown_model"`, `"canceled"`,
+    /// `"timeout"`, `"overloaded"`, or the [`augur::ErrorKind`] string
+    /// of the wrapped library error.
     pub fn code(&self) -> &'static str {
         match self {
             ServeError::UnknownModel { .. } => "unknown_model",
             ServeError::Canceled => "canceled",
+            ServeError::Timeout { .. } => augur::ErrorKind::Timeout.as_str(),
+            ServeError::Overloaded { .. } => augur::ErrorKind::Overloaded.as_str(),
             ServeError::Model(e) => e.kind().as_str(),
         }
     }
@@ -103,6 +151,15 @@ impl fmt::Display for ServeError {
                 None => write!(f, "no registered model `{name}`"),
             },
             ServeError::Canceled => write!(f, "service shut down before the request completed"),
+            ServeError::Timeout { elapsed, deadline } => write!(
+                f,
+                "request exceeded its deadline ({:.3}s allowed, {:.3}s elapsed)",
+                deadline.as_secs_f64(),
+                elapsed.as_secs_f64()
+            ),
+            ServeError::Overloaded { bound } => {
+                write!(f, "all shard queues at their bound ({bound}); request shed")
+            }
             ServeError::Model(e) => write!(f, "{e}"),
         }
     }
@@ -149,6 +206,10 @@ pub struct SampleRequest {
     /// (`Some(0)` pins chains to one worker; `Some(n)` checkpoints and
     /// re-shards every `n` sweeps).
     pub migrate_every: Option<u64>,
+    /// Per-request deadline, measured from submission. Checked at
+    /// dequeue and between migration slices; `None` falls back to
+    /// [`ServiceConfig::default_deadline`].
+    pub deadline: Option<Duration>,
 }
 
 impl SampleRequest {
@@ -165,6 +226,7 @@ impl SampleRequest {
             record: Vec::new(),
             config: None,
             migrate_every: None,
+            deadline: None,
         }
     }
 }
@@ -184,6 +246,9 @@ pub struct ScoreRequest {
     /// Session config (`None` = [`hermetic_config`] with the service's
     /// base seed).
     pub config: Option<SessionConfig>,
+    /// Per-request deadline, measured from submission (`None` falls
+    /// back to [`ServiceConfig::default_deadline`]).
+    pub deadline: Option<Duration>,
 }
 
 /// An `explain` request: the compiler's explain plan for this model
@@ -198,6 +263,9 @@ pub struct ExplainRequest {
     pub args: Vec<HostValue>,
     /// Observed-data bindings.
     pub data: Vec<(String, HostValue)>,
+    /// Per-request deadline, measured from submission (`None` falls
+    /// back to [`ServiceConfig::default_deadline`]).
+    pub deadline: Option<Duration>,
 }
 
 /// Any request the service accepts.
@@ -210,6 +278,17 @@ pub enum Request {
     Score(ScoreRequest),
     /// Explain plan for a data shape.
     Explain(ExplainRequest),
+}
+
+impl Request {
+    /// The per-request deadline, if one was set.
+    pub fn deadline(&self) -> Option<Duration> {
+        match self {
+            Request::Sample(r) => r.deadline,
+            Request::Score(r) => r.deadline,
+            Request::Explain(r) => r.deadline,
+        }
+    }
 }
 
 /// The result of a `sample` request.
@@ -314,6 +393,25 @@ pub struct ServiceConfig {
     /// When set, the service streams v3 request-lifecycle JSONL records
     /// here (see `DESIGN.md` § JSONL trace schema).
     pub trace_path: Option<PathBuf>,
+    /// Admission bound per shard queue (`0` = unbounded). A submit
+    /// that finds every queue at the bound is shed with
+    /// [`ServeError::Overloaded`] instead of queued. Chain-slice
+    /// re-enqueues bypass the bound (admitted work always finishes).
+    pub queue_bound: usize,
+    /// Deadline applied to requests that carry none of their own
+    /// (`None` = no deadline).
+    pub default_deadline: Option<Duration>,
+    /// Times a transient failure (`!is_caller_fault()`) may requeue a
+    /// task before the error is returned to the caller.
+    pub max_retries: u32,
+    /// Base delay of the deterministic retry backoff, in milliseconds
+    /// (doubles per attempt, jittered from the counter-based RNG).
+    pub retry_backoff_ms: u64,
+    /// Deterministic fault-injection plan for the service's own chaos
+    /// drills (`panic@shard`, `slow@shard`, `compile@native`). The
+    /// default honors the `AUGUR_FAULT` environment variable; session
+    /// configs without a plan of their own inherit this one.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -324,6 +422,11 @@ impl Default for ServiceConfig {
             base_seed: 0xA464,
             trace_path: None,
             backend: ExecBackend::default(),
+            queue_bound: 0,
+            default_deadline: None,
+            max_retries: 3,
+            retry_backoff_ms: 2,
+            fault: FaultPlan::from_env().unwrap_or_else(|e| panic!("AUGUR_FAULT: {e}")),
         }
     }
 }
@@ -352,6 +455,19 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Worker-to-worker chain migrations performed.
     pub migrations: u64,
+    /// Requests shed at admission (every shard queue at its bound).
+    /// Shed requests count in `submitted` but not in `failed`.
+    pub shed: u64,
+    /// Requests that failed with a deadline timeout (a subset of
+    /// `failed`).
+    pub timeouts: u64,
+    /// Transient-failure task requeues performed.
+    pub retries: u64,
+    /// Shard workers respawned after a panic escaped execution.
+    pub respawns: u64,
+    /// Models demoted Native→Tape by their circuit breaker (distinct
+    /// models, not demoted requests).
+    pub demotions: u64,
     /// Tasks currently queued across all shards.
     pub queue_depth: usize,
     /// Highest single-shard queue depth observed since start.
@@ -369,15 +485,21 @@ struct MetricsInner {
     completed: u64,
     failed: u64,
     migrations: u64,
+    shed: u64,
+    timeouts: u64,
+    retries: u64,
     latencies_secs: Vec<f64>,
 }
 
-/// One worker shard: a queue, its wakeup, and depth tracking.
+/// One worker shard: a queue, its wakeup, depth tracking, and the
+/// parking slot for the task a dying worker had in hand (the respawn
+/// guard recovers it; see [`RespawnGuard`]).
 #[derive(Default)]
 struct Shard {
     queue: Mutex<VecDeque<Task>>,
     wakeup: Condvar,
     depth: AtomicUsize,
+    inflight: Mutex<Option<Task>>,
 }
 
 /// Everything workers and the front-end share.
@@ -389,7 +511,12 @@ struct Shared {
     next_id: AtomicU64,
     next_shard: AtomicUsize,
     high_water: AtomicUsize,
+    respawns: AtomicU64,
     metrics: Mutex<MetricsInner>,
+    /// Models whose breaker demotion has been observed (and traced).
+    demoted: Mutex<HashSet<String>>,
+    /// Live worker handles; respawned workers push themselves here.
+    handles: Mutex<Vec<JoinHandle<()>>>,
     trace: Option<Mutex<TraceSink>>,
 }
 
@@ -403,6 +530,9 @@ enum Task {
 struct RequestTask {
     id: u64,
     t0: Instant,
+    deadline: Option<Duration>,
+    /// Times this task has been recovered from a dead worker.
+    attempts: u32,
     req: Request,
     reply: mpsc::Sender<Result<Response, ServeError>>,
 }
@@ -411,6 +541,7 @@ struct RequestTask {
 struct SampleAgg {
     id: u64,
     t0: Instant,
+    deadline: Option<Duration>,
     model: String,
     fingerprint: u64,
     reply: mpsc::Sender<Result<Response, ServeError>>,
@@ -445,18 +576,23 @@ struct SliceTask {
     draws: Vec<std::collections::HashMap<String, Vec<f64>>>,
     ckpt: Option<Checkpoint>,
     migrate_every: u64,
+    /// Consecutive failed/recovered executions of the *current* slice;
+    /// reset to zero every time a slice completes, so a long chain that
+    /// keeps crossing a faulty shard never exhausts its retry budget.
+    attempts: u32,
 }
 
 /// The inference service: spawn with [`Service::start`], register
 /// models, submit requests, read metrics, shut down.
 pub struct Service {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl fmt::Debug for Service {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Service").field("workers", &self.workers.len()).finish_non_exhaustive()
+        f.debug_struct("Service")
+            .field("workers", &self.shared.shards.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -480,19 +616,16 @@ impl Service {
             next_id: AtomicU64::new(1),
             next_shard: AtomicUsize::new(0),
             high_water: AtomicUsize::new(0),
+            respawns: AtomicU64::new(0),
             metrics: Mutex::new(MetricsInner::default()),
+            demoted: Mutex::new(HashSet::new()),
+            handles: Mutex::new(Vec::with_capacity(workers)),
             trace,
         });
-        let handles = (0..workers)
-            .map(|idx| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("augur-serve-{idx}"))
-                    .spawn(move || worker_loop(&shared, idx))
-                    .expect("spawn service worker")
-            })
-            .collect();
-        Service { shared, workers: handles }
+        let handles: Vec<JoinHandle<()>> =
+            (0..workers).map(|idx| spawn_worker(&shared, idx)).collect();
+        shared.handles.lock().unwrap_or_else(|e| e.into_inner()).extend(handles);
+        Service { shared }
     }
 
     /// The registry behind the service (register models through this at
@@ -502,22 +635,55 @@ impl Service {
     }
 
     /// Enqueues a request on the next shard (round-robin) and returns
-    /// its ticket immediately.
+    /// its ticket immediately. With [`ServiceConfig::queue_bound`] set,
+    /// a submit that finds every shard queue at the bound sheds the
+    /// request: the ticket resolves promptly with
+    /// [`ServeError::Overloaded`] and the shed is counted and traced.
     pub fn submit(&self, req: Request) -> Ticket {
-        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let shared = &self.shared;
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let model = request_model(&req).to_owned();
+        let deadline = req.deadline().or(shared.config.default_deadline);
         {
-            let mut m = self.shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
             m.submitted += 1;
         }
-        let shard =
-            self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
-        let depth = self.shared.enqueue(
+        let n = shared.shards.len();
+        let start = shared.next_shard.fetch_add(1, Ordering::Relaxed) % n;
+        let bound = shared.config.queue_bound;
+        // Admission control: take the round-robin shard, or any shard
+        // with room; if every queue is at the bound, shed.
+        let shard = (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&s| bound == 0 || shared.shards[s].depth.load(Ordering::Relaxed) < bound);
+        let Some(shard) = shard else {
+            {
+                let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                m.shed += 1;
+            }
+            shared.trace(
+                id,
+                &model,
+                "shed",
+                Some("overloaded"),
+                &[("queue_bound", bound as f64)],
+            );
+            let _ = tx.send(Err(ServeError::Overloaded { bound }));
+            return Ticket { id, rx };
+        };
+        let depth = shared.enqueue(
             shard,
-            Task::Request(Box::new(RequestTask { id, t0: Instant::now(), req, reply: tx })),
+            Task::Request(Box::new(RequestTask {
+                id,
+                t0: Instant::now(),
+                deadline,
+                attempts: 0,
+                req,
+                reply: tx,
+            })),
         );
-        self.shared.trace(id, &model, "submitted", None, &[("queue_depth", depth as f64)]);
+        shared.trace(id, &model, "submitted", None, &[("queue_depth", depth as f64)]);
         Ticket { id, rx }
     }
 
@@ -538,15 +704,30 @@ impl Service {
 
     /// A point-in-time snapshot of every observability counter.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let (submitted, completed, failed, migrations, latency) = {
+        let (submitted, completed, failed, migrations, shed, timeouts, retries, latency) = {
             let m = self.shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
-            (m.submitted, m.completed, m.failed, m.migrations, latency_stats(&m.latencies_secs))
+            (
+                m.submitted,
+                m.completed,
+                m.failed,
+                m.migrations,
+                m.shed,
+                m.timeouts,
+                m.retries,
+                latency_stats(&m.latencies_secs),
+            )
         };
         MetricsSnapshot {
             submitted,
             completed,
             failed,
             migrations,
+            shed,
+            timeouts,
+            retries,
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
+            demotions: self.shared.demoted.lock().unwrap_or_else(|e| e.into_inner()).len()
+                as u64,
             queue_depth: self
                 .shared
                 .shards
@@ -568,13 +749,43 @@ impl Service {
     }
 
     fn stop(&mut self) {
-        self.shared.open.store(false, Ordering::SeqCst);
+        if !self.shared.open.swap(false, Ordering::SeqCst) {
+            return;
+        }
         for shard in &self.shared.shards {
             let _guard = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
             shard.wakeup.notify_all();
         }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        // Join until no handle remains: a panicking worker's respawn
+        // guard may push a replacement handle while we join the old one.
+        loop {
+            let handles: Vec<JoinHandle<()>> = std::mem::take(
+                &mut *self.shared.handles.lock().unwrap_or_else(|e| e.into_inner()),
+            );
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        // No ticket hangs at shutdown: anything a dead worker left
+        // behind (queued or parked in-flight) resolves as canceled.
+        for shard in &self.shared.shards {
+            let leftovers: Vec<Task> = {
+                let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+                let mut tasks: Vec<Task> = q.drain(..).collect();
+                shard.depth.store(0, Ordering::Relaxed);
+                if let Some(t) =
+                    shard.inflight.lock().unwrap_or_else(|e| e.into_inner()).take()
+                {
+                    tasks.push(t);
+                }
+                tasks
+            };
+            for task in leftovers {
+                cancel_task(&self.shared, task);
+            }
         }
         if let Some(trace) = &self.shared.trace {
             trace.lock().unwrap_or_else(|e| e.into_inner()).flush();
@@ -584,10 +795,34 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
-            self.stop();
+        self.stop();
+    }
+}
+
+/// Resolves an abandoned task with [`ServeError::Canceled`].
+fn cancel_task(shared: &Arc<Shared>, task: Task) {
+    match task {
+        Task::Request(t) => {
+            let model = request_model(&t.req).to_owned();
+            let result: Result<Response, ServeError> = Err(ServeError::Canceled);
+            shared.finish(t.id, &model, t.t0, &result);
+            let _ = t.reply.send(result);
+        }
+        Task::Slice(t) => {
+            let agg = Arc::clone(&t.agg);
+            let chain = t.chain;
+            complete_chain(shared, &agg, chain, Err(ServeError::Canceled));
         }
     }
+}
+
+/// Spawns the shard-`idx` worker thread (initial start and respawns).
+fn spawn_worker(shared: &Arc<Shared>, idx: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("augur-serve-{idx}"))
+        .spawn(move || worker_loop(&shared, idx))
+        .expect("spawn service worker")
 }
 
 /// The model name a request targets (for trace records).
@@ -646,7 +881,12 @@ impl Shared {
             let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
             match result {
                 Ok(_) => m.completed += 1,
-                Err(_) => m.failed += 1,
+                Err(e) => {
+                    m.failed += 1;
+                    if matches!(e, ServeError::Timeout { .. }) {
+                        m.timeouts += 1;
+                    }
+                }
             }
             m.latencies_secs.push(latency);
         }
@@ -657,11 +897,26 @@ impl Shared {
             }
         }
     }
+
+    /// Records a model's first observed Native→Tape breaker demotion
+    /// (later sightings are no-ops: `demotions` counts models).
+    fn note_demotion(&self, id: u64, model: &str, plan: &Plan) {
+        if plan.native_demotion().is_some() {
+            let mut set = self.demoted.lock().unwrap_or_else(|e| e.into_inner());
+            if set.insert(model.to_owned()) {
+                let trips = plan.native_breaker().trips() as f64;
+                self.trace(id, model, "demoted", Some("native_breaker"), &[("trips", trips)]);
+            }
+        }
+    }
 }
 
 /// One shard's run loop: pop until the queue is empty *and* the service
-/// is closed (so shutdown drains in-flight work).
+/// is closed (so shutdown drains in-flight work). A [`RespawnGuard`]
+/// armed for the whole loop turns a panic that escapes task execution
+/// into a recover-and-respawn instead of a dead shard.
 fn worker_loop(shared: &Arc<Shared>, idx: usize) {
+    let guard = RespawnGuard { shared: Arc::clone(shared), idx };
     loop {
         let task = {
             let shard = &shared.shards[idx];
@@ -678,18 +933,164 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize) {
             }
         };
         match task {
-            None => return,
-            Some(Task::Request(t)) => run_request(shared, idx, *t),
-            Some(Task::Slice(t)) => run_slice(shared, idx, *t),
+            None => break,
+            Some(t) => process(shared, idx, t),
+        }
+    }
+    // Clean exit: the guard is for panics only.
+    std::mem::forget(guard);
+}
+
+/// The request id a task belongs to (fault `req=` filters and trace).
+fn task_request_id(task: &Task) -> u64 {
+    match task {
+        Task::Request(t) => t.id,
+        Task::Slice(t) => t.agg.id,
+    }
+}
+
+/// Times this task has already been recovered/retried.
+fn task_attempts(task: &Task) -> u32 {
+    match task {
+        Task::Request(t) => t.attempts,
+        Task::Slice(t) => t.attempts,
+    }
+}
+
+/// Executes one dequeued task, applying the service-level fault drills
+/// first: `slow@shard` stalls the worker, `panic@shard` parks the task
+/// in the shard's in-flight slot and kills the worker (the respawn
+/// guard recovers both). The panic only fires on a task's *first*
+/// delivery — recovered tasks run, so the drill costs one slice and
+/// terminates even on a single-shard service.
+fn process(shared: &Arc<Shared>, idx: usize, task: Task) {
+    if let Some(fault) = &shared.config.fault {
+        if let Some(ms) = fault.shard_slow_ms(idx) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if task_attempts(&task) == 0 && fault.shard_panic_hits(idx, task_request_id(&task)) {
+            *shared.shards[idx].inflight.lock().unwrap_or_else(|e| e.into_inner()) = Some(task);
+            panic!("{INJECTED_SHARD_PANIC}");
+        }
+    }
+    match task {
+        Task::Request(t) => run_request(shared, idx, *t),
+        Task::Slice(t) => run_slice(shared, idx, *t),
+    }
+}
+
+/// Renders a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// The armed-for-panic drop guard every worker runs under. If the
+/// worker thread unwinds, the guard (running during that unwind):
+///
+/// 1. recovers the task parked in the shard's in-flight slot, if any,
+///    and either re-enqueues it on the next shard (retry budget left)
+///    or resolves it with the panic as a typed error — so a killed
+///    worker never strands a ticket;
+/// 2. respawns the shard's worker thread (unless the service is
+///    shutting down), pushing the new handle where `stop` joins it.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    idx: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let shared = &self.shared;
+        let idx = self.idx;
+        let inflight =
+            shared.shards[idx].inflight.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(mut task) = inflight {
+            let next = (idx + 1) % shared.shards.len();
+            let (id, attempts) = (task_request_id(&task), task_attempts(&task) + 1);
+            match &mut task {
+                Task::Request(t) => t.attempts = attempts,
+                Task::Slice(t) => t.attempts = attempts,
+            }
+            if attempts <= shared.config.max_retries {
+                {
+                    let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    m.retries += 1;
+                }
+                shared.trace(
+                    id,
+                    "",
+                    "retried",
+                    Some("fault"),
+                    &[("shard", idx as f64), ("attempt", attempts as f64)],
+                );
+                shared.enqueue(next, task);
+            } else {
+                let err = || {
+                    ServeError::Model(augur::Error::WorkerPanic {
+                        kernel: format!("service shard {idx}"),
+                        detail: INJECTED_SHARD_PANIC.to_string(),
+                    })
+                };
+                match task {
+                    Task::Request(t) => {
+                        let model = request_model(&t.req).to_owned();
+                        let result = Err(err());
+                        shared.finish(t.id, &model, t.t0, &result);
+                        let _ = t.reply.send(result);
+                    }
+                    Task::Slice(t) => {
+                        let agg = Arc::clone(&t.agg);
+                        complete_chain(shared, &agg, t.chain, Err(err()));
+                    }
+                }
+            }
+        }
+        if shared.open.load(Ordering::SeqCst) {
+            shared.respawns.fetch_add(1, Ordering::Relaxed);
+            shared.trace(0, "", "respawned", None, &[("shard", idx as f64)]);
+            let handle = spawn_worker(shared, idx);
+            shared.handles.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
         }
     }
 }
 
-/// Executes a freshly dequeued request: `score`/`explain` inline,
-/// `sample` by fanning chain slices across the shards.
+/// Checks a deadline; `Some(err)` when it has passed.
+fn deadline_exceeded(t0: Instant, deadline: Option<Duration>) -> Option<ServeError> {
+    let deadline = deadline?;
+    let elapsed = t0.elapsed();
+    (elapsed > deadline).then_some(ServeError::Timeout { elapsed, deadline })
+}
+
+/// Executes a freshly dequeued request: `score`/`explain` inline
+/// (under `catch_unwind`, so an organic panic answers the ticket with
+/// a typed error instead of killing the shard), `sample` by fanning
+/// chain slices across the shards.
 fn run_request(shared: &Arc<Shared>, idx: usize, task: RequestTask) {
-    let RequestTask { id, t0, req, reply } = task;
+    let RequestTask { id, t0, deadline, attempts: _, req, reply } = task;
     let model = request_model(&req).to_owned();
+    fn answer(
+        shared: &Arc<Shared>,
+        id: u64,
+        model: &str,
+        t0: Instant,
+        reply: &mpsc::Sender<Result<Response, ServeError>>,
+        result: Result<Response, ServeError>,
+    ) {
+        shared.finish(id, model, t0, &result);
+        let _ = reply.send(result);
+    }
+    if let Some(e) = deadline_exceeded(t0, deadline) {
+        return answer(shared, id, &model, t0, &reply, Err(e));
+    }
     let resolved = match &req {
         Request::Sample(r) => resolve(shared, &r.model, r.version),
         Request::Score(r) => resolve(shared, &r.model, r.version),
@@ -697,25 +1098,30 @@ fn run_request(shared: &Arc<Shared>, idx: usize, task: RequestTask) {
     };
     let registered = match resolved {
         Ok(m) => m,
-        Err(e) => {
-            let result: Result<Response, ServeError> = Err(e);
-            shared.finish(id, &model, t0, &result);
-            let _ = reply.send(result);
-            return;
-        }
+        Err(e) => return answer(shared, id, &model, t0, &reply, Err(e)),
     };
     match req {
         Request::Score(r) => {
-            let result = score(shared, &registered, r);
-            shared.finish(id, &model, t0, &result);
-            let _ = reply.send(result);
+            let result = catch_unwind(AssertUnwindSafe(|| score(shared, id, &registered, r)))
+                .unwrap_or_else(|p| {
+                    Err(ServeError::Model(augur::Error::WorkerPanic {
+                        kernel: format!("service shard {idx}"),
+                        detail: panic_detail(p.as_ref()),
+                    }))
+                });
+            answer(shared, id, &model, t0, &reply, result);
         }
         Request::Explain(r) => {
-            let result = explain(shared, &registered, r);
-            shared.finish(id, &model, t0, &result);
-            let _ = reply.send(result);
+            let result = catch_unwind(AssertUnwindSafe(|| explain(shared, id, &registered, r)))
+                .unwrap_or_else(|p| {
+                    Err(ServeError::Model(augur::Error::WorkerPanic {
+                        kernel: format!("service shard {idx}"),
+                        detail: panic_detail(p.as_ref()),
+                    }))
+                });
+            answer(shared, id, &model, t0, &reply, result);
         }
-        Request::Sample(r) => fan_sample(shared, idx, id, t0, &registered, r, reply),
+        Request::Sample(r) => fan_sample(shared, idx, id, t0, deadline, &registered, r, reply),
     }
 }
 
@@ -740,17 +1146,35 @@ fn default_config(shared: &Shared, registered: &RegisteredModel) -> SessionConfi
     cfg
 }
 
+/// Resolves the session config a request runs under, threading the
+/// service's fault plan into configs that carry none of their own (the
+/// service-level clauses are inert inside sweeps, so draws are
+/// unchanged; `compile@native` steers backend selection only).
+fn effective_config(
+    shared: &Shared,
+    registered: &RegisteredModel,
+    config: Option<SessionConfig>,
+) -> SessionConfig {
+    let mut cfg = config.unwrap_or_else(|| default_config(shared, registered));
+    if cfg.fault.is_none() {
+        cfg.fault = shared.config.fault.clone();
+    }
+    cfg
+}
+
 /// `score`: plan, bind, init, log-joint.
 fn score(
     shared: &Shared,
+    id: u64,
     registered: &RegisteredModel,
     r: ScoreRequest,
 ) -> Result<Response, ServeError> {
     let data: Vec<(&str, HostValue)> =
         r.data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
     let plan = registered.plan(r.args, data)?;
-    let cfg = r.config.unwrap_or_else(|| default_config(shared, registered));
+    let cfg = effective_config(shared, registered, r.config);
     let mut session = plan.session(cfg).map_err(augur::Error::from)?;
+    shared.note_demotion(id, &r.model, &plan);
     session.init().map_err(augur::Error::from)?;
     Ok(Response::Score(ScoreOutput { log_joint: session.log_joint() }))
 }
@@ -758,14 +1182,16 @@ fn score(
 /// `explain`: plan, bind, render the stable explain tree.
 fn explain(
     shared: &Shared,
+    id: u64,
     registered: &RegisteredModel,
     r: ExplainRequest,
 ) -> Result<Response, ServeError> {
     let data: Vec<(&str, HostValue)> =
         r.data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
     let plan = registered.plan(r.args, data)?;
-    let cfg = default_config(shared, registered);
+    let cfg = effective_config(shared, registered, None);
     let session = plan.session(cfg).map_err(augur::Error::from)?;
+    shared.note_demotion(id, &r.model, &plan);
     Ok(Response::Explain(ExplainOutput {
         kernel: registered.model().kernel(),
         explain: session.explain().render(),
@@ -774,11 +1200,13 @@ fn explain(
 
 /// Plans a `sample` request and fans its chains out as slice tasks;
 /// a planning failure answers the ticket directly.
+#[allow(clippy::too_many_arguments)]
 fn fan_sample(
     shared: &Arc<Shared>,
     idx: usize,
     id: u64,
     t0: Instant,
+    deadline: Option<Duration>,
     registered: &RegisteredModel,
     r: SampleRequest,
     reply: mpsc::Sender<Result<Response, ServeError>>,
@@ -794,6 +1222,7 @@ fn fan_sample(
             return;
         }
     };
+    shared.note_demotion(id, &r.model, &plan);
     shared.trace(
         id,
         &r.model,
@@ -801,7 +1230,7 @@ fn fan_sample(
         None,
         &[("chains", r.chains as f64), ("sweeps", r.sweeps as f64)],
     );
-    let base = r.config.unwrap_or_else(|| default_config(shared, registered));
+    let base = effective_config(shared, registered, r.config);
     let migrate_every = r.migrate_every.unwrap_or(shared.config.migrate_every);
     let fingerprint = plan.fingerprint();
     if r.chains == 0 {
@@ -818,6 +1247,7 @@ fn fan_sample(
     let agg = Arc::new(SampleAgg {
         id,
         t0,
+        deadline,
         model: r.model.clone(),
         fingerprint,
         reply,
@@ -841,46 +1271,76 @@ fn fan_sample(
             draws: Vec::new(),
             ckpt: None,
             migrate_every,
+            attempts: 0,
         });
         shared.enqueue((idx + 1 + c) % shared.shards.len(), Task::Slice(task));
     }
 }
 
-/// Executes one chain slice: bind a session, restore-or-init, run up to
-/// `migrate_every` sweeps, then either checkpoint and hop to the next
-/// shard or finish the chain.
+/// What one slice execution did.
+enum SliceOutcome {
+    /// The chain has more sweeps to run; the task carries the
+    /// checkpoint for its next hop.
+    Continue,
+    /// The chain finished and reported to its aggregate.
+    Done,
+}
+
+/// One slice execution: bind a session, restore-or-init, run up to
+/// `migrate_every` sweeps, then checkpoint (more to do) or report the
+/// finished chain. Mutates `task` only after the sweeps succeed, so a
+/// failed execution leaves the task exactly at its last good
+/// checkpoint and a retry reruns the identical sweeps — byte-identical
+/// draws, no matter how many times the slice is retried or recovered.
+fn slice_step(shared: &Arc<Shared>, task: &mut SliceTask) -> Result<SliceOutcome, augur::Error> {
+    let mut session = task.plan.session(task.cfg.clone())?;
+    shared.note_demotion(task.agg.id, &task.agg.model, &task.plan);
+    match &task.ckpt {
+        Some(ck) => session.restore(ck)?,
+        None => session.init()?,
+    }
+    let remaining = task.total - task.done;
+    let migrating =
+        shared.open.load(Ordering::SeqCst) && task.migrate_every > 0 && shared.shards.len() > 1;
+    let slice = if migrating { remaining.min(task.migrate_every as usize) } else { remaining };
+    let record: Vec<&str> = task.record.iter().map(String::as_str).collect();
+    let draws = session.sample(slice, &record)?;
+    task.draws.extend(draws);
+    task.done += slice;
+    task.attempts = 0;
+    if task.done < task.total {
+        task.ckpt = Some(session.checkpoint());
+        Ok(SliceOutcome::Continue)
+    } else {
+        let digest = session.report().digest();
+        let chain = task.chain;
+        let draws = std::mem::take(&mut task.draws);
+        let agg = Arc::clone(&task.agg);
+        complete_chain(shared, &agg, chain, Ok(ChainResult { draws, report_digest: digest }));
+        Ok(SliceOutcome::Done)
+    }
+}
+
+/// Executes one chain-slice task under supervision: deadline check
+/// first, then the slice under `catch_unwind`; a transient failure
+/// requeues the task (deterministic backoff) until the retry budget
+/// runs out.
 fn run_slice(shared: &Arc<Shared>, idx: usize, mut task: SliceTask) {
-    let agg = Arc::clone(&task.agg);
-    let chain = task.chain;
-    let outcome = (move || -> Result<Option<SliceTask>, augur::Error> {
-        let mut session = task.plan.session(task.cfg.clone())?;
-        match &task.ckpt {
-            Some(ck) => session.restore(ck)?,
-            None => session.init()?,
-        }
-        let remaining = task.total - task.done;
-        let migrating = shared.open.load(Ordering::SeqCst)
-            && task.migrate_every > 0
-            && shared.shards.len() > 1;
-        let slice = if migrating { remaining.min(task.migrate_every as usize) } else { remaining };
-        let record: Vec<&str> = task.record.iter().map(String::as_str).collect();
-        let draws = session.sample(slice, &record)?;
-        task.draws.extend(draws);
-        task.done += slice;
-        if task.done < task.total {
-            task.ckpt = Some(session.checkpoint());
-            Ok(Some(task))
-        } else {
-            let digest = session.report().digest();
-            let chain = task.chain;
-            let draws = std::mem::take(&mut task.draws);
-            complete_chain(shared, &task.agg, chain, Ok(ChainResult { draws, report_digest: digest }));
-            Ok(None)
-        }
-    })();
+    if let Some(e) = deadline_exceeded(task.agg.t0, task.agg.deadline) {
+        let agg = Arc::clone(&task.agg);
+        complete_chain(shared, &agg, task.chain, Err(e));
+        return;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| slice_step(shared, &mut task)))
+        .unwrap_or_else(|p| {
+            Err(augur::Error::WorkerPanic {
+                kernel: format!("service shard {idx}"),
+                detail: panic_detail(p.as_ref()),
+            })
+        });
     match outcome {
-        Ok(None) => {}
-        Ok(Some(task)) => {
+        Ok(SliceOutcome::Done) => {}
+        Ok(SliceOutcome::Continue) => {
             let next = (idx + 1) % shared.shards.len();
             {
                 let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
@@ -904,8 +1364,56 @@ fn run_slice(shared: &Arc<Shared>, idx: usize, mut task: SliceTask) {
             );
             shared.enqueue(next, Task::Slice(Box::new(task)));
         }
-        Err(e) => complete_chain(shared, &agg, chain, Err(ServeError::Model(e))),
+        Err(e) => retry_or_fail(shared, idx, task, e),
     }
+}
+
+/// Routes a failed slice: caller faults and exhausted budgets answer
+/// the chain with the error; transient failures requeue the task on
+/// the next shard after a deterministic backoff.
+fn retry_or_fail(shared: &Arc<Shared>, idx: usize, mut task: SliceTask, e: augur::Error) {
+    let transient = !e.kind().is_caller_fault();
+    if !transient || task.attempts >= shared.config.max_retries {
+        let agg = Arc::clone(&task.agg);
+        complete_chain(shared, &agg, task.chain, Err(ServeError::Model(e)));
+        return;
+    }
+    task.attempts += 1;
+    {
+        let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        m.retries += 1;
+    }
+    shared.trace(
+        task.agg.id,
+        &task.agg.model,
+        "retried",
+        Some(ServeError::Model(e).code()),
+        &[("chain", task.chain as f64), ("attempt", task.attempts as f64)],
+    );
+    std::thread::sleep(retry_backoff(
+        shared.config.retry_backoff_ms,
+        task.agg.id,
+        task.chain as u64,
+        task.attempts,
+    ));
+    shared.enqueue((idx + 1) % shared.shards.len(), Task::Slice(Box::new(task)));
+}
+
+/// The deterministic retry delay for `(request, chain, attempt)`:
+/// exponential in the attempt, jittered from the counter-based
+/// splitmix64 stream — no wall clock anywhere, so fault-injected
+/// differential runs reproduce exactly.
+fn retry_backoff(base_ms: u64, request: u64, chain: u64, attempt: u32) -> Duration {
+    if base_ms == 0 {
+        return Duration::ZERO;
+    }
+    let mut rng = Prng::seed_from_u64(
+        request.wrapping_mul(0x0000_0100_0000_01b3) ^ (chain << 32) ^ attempt as u64,
+    );
+    let jitter = rng.uniform(); // [0, 1)
+    let exp = attempt.saturating_sub(1).min(6);
+    let scaled_ms = (base_ms << exp) as f64 * (0.5 + 0.5 * jitter);
+    Duration::from_micros((scaled_ms * 1000.0) as u64)
 }
 
 /// Records one chain's result; the last chain to land assembles the
@@ -956,4 +1464,43 @@ fn complete_chain(
     };
     shared.finish(agg.id, &agg.model, agg.t0, &result);
     let _ = agg.reply.send(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The backoff is a pure function of its counters: same
+    /// (request, chain, attempt) → same delay, across processes and
+    /// platforms — no wall clock feeds it.
+    #[test]
+    fn backoff_is_deterministic() {
+        for (req, chain, attempt) in [(1, 0, 1), (7, 2, 3), (u64::MAX, 9, 10)] {
+            let a = retry_backoff(2, req, chain, attempt);
+            let b = retry_backoff(2, req, chain, attempt);
+            assert_eq!(a, b, "req={req} chain={chain} attempt={attempt}");
+        }
+    }
+
+    /// Delays grow exponentially with the attempt (jitter keeps them
+    /// within [0.5, 1.0)× the 2^(attempt-1) rung, capped at 2^6) and
+    /// differ across chains so retries de-synchronize.
+    #[test]
+    fn backoff_schedule_is_exponential_and_bounded() {
+        let base = 2u64;
+        for attempt in 1..=10u32 {
+            let d = retry_backoff(base, 42, 1, attempt);
+            let exp = attempt.saturating_sub(1).min(6);
+            let rung = (base << exp) as f64 / 1000.0;
+            let secs = d.as_secs_f64();
+            assert!(secs >= rung * 0.5 - 1e-9, "attempt {attempt}: {secs} < {}", rung * 0.5);
+            assert!(secs < rung + 1e-9, "attempt {attempt}: {secs} >= {rung}");
+        }
+        // Distinct chains jitter apart on the same attempt.
+        let deltas: HashSet<u128> =
+            (0..8u64).map(|c| retry_backoff(base, 42, c, 2).as_micros()).collect();
+        assert!(deltas.len() > 1, "jitter collapsed: {deltas:?}");
+        // A zero base disables the sleep entirely.
+        assert_eq!(retry_backoff(0, 42, 0, 3), Duration::ZERO);
+    }
 }

@@ -115,6 +115,12 @@ pub enum ErrorKind {
     Query,
     /// An auxiliary I/O channel failed (e.g. the JSONL trace sink).
     Io,
+    /// A request exceeded its deadline (serving layer). Transient: the
+    /// same request may succeed on a less loaded service.
+    Timeout,
+    /// A request was shed at admission because every shard queue was at
+    /// its bound (serving layer). Transient by definition.
+    Overloaded,
 }
 
 impl ErrorKind {
@@ -129,6 +135,8 @@ impl ErrorKind {
             ErrorKind::Checkpoint => "checkpoint",
             ErrorKind::Query => "query",
             ErrorKind::Io => "io",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Overloaded => "overloaded",
         }
     }
 

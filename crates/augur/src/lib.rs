@@ -69,7 +69,10 @@ use augur_density::DensityModel;
 
 pub use augur_backend::driver::{Session, SessionConfig, Target};
 pub use augur_backend::mcmc::McmcConfig;
-pub use augur_backend::{BackendAvailability, CompiledModel, Plan, PlanCacheStats, PlanEvent};
+pub use augur_backend::{
+    BackendAvailability, CompiledModel, NativeBreaker, Plan, PlanCacheStats, PlanEvent,
+    NATIVE_BREAKER_THRESHOLD,
+};
 pub use augur_backend::state::HostValue;
 pub use augur_backend::{ExecBackend, ExecStrategy};
 pub use augur_backend::{Checkpoint, CheckpointError, FaultPlan};

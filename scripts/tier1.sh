@@ -44,6 +44,21 @@ rm -rf "$native_tmp"
 cargo test -q --test serve
 cargo run --release -p augur-bench --bin sustained_load -- --scale 0.5 >/dev/null
 
+# Chaos gate: the serving layer must survive injected shard kills, shard
+# slowdowns, and native-compile failures — every ticket resolves with a
+# typed result (no hangs), completed draws stay byte-identical to clean
+# runs (tests/chaos.rs), and a sustained-load run under each fault still
+# completes requests. BENCH_serve.json must carry the robustness
+# counters the faulted runs populate.
+cargo test -q --test chaos
+for f in "panic@shard:0" "slow@shard:0:ms=20" "compile@native"; do
+  AUGUR_FAULT="$f" cargo test -q --test serve --test chaos
+  AUGUR_FAULT="$f" cargo run --release -p augur-bench --bin sustained_load -- --scale 0.5 >/dev/null
+done
+grep -q '"respawns"' BENCH_serve.json
+grep -q '"shed_rate"' BENCH_serve.json
+grep -q '"timeout_rate"' BENCH_serve.json
+
 # Explain/profile smoke: the walkthrough example exercises the whole
 # explain-plan + phase-profiler surface (the byte-for-byte golden for
 # the LDA explain render, tests/golden/lda_explain.txt, runs as part of

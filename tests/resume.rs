@@ -240,6 +240,44 @@ fn mismatched_checkpoint_is_a_typed_error() {
     );
 }
 
+/// A damaged checkpoint file — truncated mid-record or bit-flipped —
+/// surfaces as a typed `checkpoint` error naming the offending file,
+/// never a panic or a silently-wrong resume (the integrity digest
+/// catches flips that leave every line well-formed).
+#[test]
+fn corrupt_checkpoint_files_are_typed_errors_naming_the_path() {
+    let path = tmp("corrupt");
+    let mut s = hgmm_sampler(SessionConfig { checkpoint_every: 0, ..Default::default() });
+    s.init().unwrap();
+    s.sweep();
+    s.write_checkpoint(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+
+    let expect_corrupt = |tag: &str, damaged: &str| {
+        std::fs::write(&path, damaged).unwrap();
+        let mut r = hgmm_sampler(SessionConfig { checkpoint_every: 0, ..Default::default() });
+        let err = augur::Error::from(r.resume(&path).unwrap_err());
+        assert_eq!(err.kind(), augur::ErrorKind::Checkpoint, "{tag}");
+        let msg = format!("{err}");
+        let file = path.file_name().unwrap().to_str().unwrap();
+        assert!(msg.contains(file), "{tag}: error must name the file, got: {msg}");
+    };
+
+    // Truncated mid-record, as a crash while copying the file would
+    // leave it.
+    expect_corrupt("truncated", &text[..text.len() - text.len() / 3]);
+
+    // One flipped hex digit in a buffer cell: every line stays
+    // well-formed, so only the integrity digest can catch it.
+    let line = text.find("\nbuf ").expect("a buffer record") + 1;
+    let flip = line + text[line..].find('\n').expect("line end") - 1;
+    let mut bytes = text.clone().into_bytes();
+    bytes[flip] = if bytes[flip] == b'0' { b'1' } else { b'0' };
+    expect_corrupt("bit-flipped", &String::from_utf8(bytes).unwrap());
+
+    std::fs::remove_file(&path).ok();
+}
+
 /// `ChainPlan::resume_dir` continues every chain to the requested total,
 /// and the post-resume draws are byte-identical to the same sweeps of an
 /// uninterrupted multi-chain run.

@@ -142,6 +142,7 @@ fn service_path_is_byte_identical(w: Workload) {
         record: w.record.clone(),
         config: Some(w.base.clone()),
         migrate_every,
+        deadline: None,
     };
 
     // Unmigrated service path: each chain runs start-to-finish on one
@@ -196,6 +197,7 @@ fn score_and_explain_requests_work() {
             args: w.args.clone(),
             data: w.data.clone(),
             config: Some(hermetic_config(seed)),
+            deadline: None,
         });
         match ticket.wait().unwrap() {
             augur_serve::Response::Score(s) => s.log_joint,
@@ -211,6 +213,7 @@ fn score_and_explain_requests_work() {
         version: None,
         args: w.args.clone(),
         data: w.data.clone(),
+        deadline: None,
     });
     match ticket.wait().unwrap() {
         augur_serve::Response::Explain(e) => {
