@@ -304,6 +304,20 @@ impl fmt::Display for RunReport {
     }
 }
 
+/// The trace/span identifiers one request-lifecycle record carries
+/// (schema v4). The serving layer mints these deterministically (see
+/// `augur-obs`); the sink just serializes them.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestSpan<'a> {
+    /// The request's trace id (constant across all of its records).
+    pub trace: &'a str,
+    /// This record's span id.
+    pub span: &'a str,
+    /// The span this record hangs off, if any (the root `submitted`
+    /// record has none).
+    pub parent: Option<&'a str>,
+}
+
 /// The opt-in JSONL event sink: one line per sweep (schema v2), with
 /// per-kernel *delta* counters, streamed to the path given by
 /// `SessionConfig::trace_path` (or the `AUGUR_TRACE` environment
@@ -434,10 +448,16 @@ impl TraceSink {
         self.unflushed += 1;
     }
 
-    /// Streams one request-lifecycle record (schema v3, marked
-    /// `"v":3`) — what the serving layer emits at each stage of a
-    /// request: `submitted`, `planned`, `migrated`, `completed`,
-    /// `failed`. `code` carries the stable error-kind string on
+    /// Streams one request-lifecycle record (schema v4, marked
+    /// `"v":4`) — what the serving layer emits at each stage of a
+    /// request: `submitted`, `planned`, `slice`, `migrated`, `retried`,
+    /// `respawned`, `demoted`, `completed`, `failed`, `shed`. v4 is a
+    /// strict superset of the v3 record: every record additionally
+    /// carries the request's deterministic `trace` id plus this stage's
+    /// `span` id (and its `parent` span, when the stage has one), so
+    /// one `grep <trace-id>` over the file reconstructs the request's
+    /// full lifecycle across shards, migrations, retries, and worker
+    /// respawns. `code` carries the stable error-kind string on
     /// failures; `fields` are free-form numeric attributes
     /// (`queue_depth`, `latency_secs`, `chain`, …). Same best-effort
     /// drop accounting as the sweep records.
@@ -447,13 +467,22 @@ impl TraceSink {
         model: &str,
         event: &str,
         code: Option<&str>,
+        span: RequestSpan<'_>,
         fields: &[(&str, f64)],
     ) {
         let mut line = format!(
-            "{{\"v\":3,\"req\":{{\"id\":{id},\"model\":{},\"event\":{}",
+            "{{\"v\":4,\"req\":{{\"id\":{id},\"trace\":{},\"span\":{}",
+            json_str(span.trace),
+            json_str(span.span)
+        );
+        if let Some(parent) = span.parent {
+            line.push_str(&format!(",\"parent\":{}", json_str(parent)));
+        }
+        line.push_str(&format!(
+            ",\"model\":{},\"event\":{}",
             json_str(model),
             json_str(event)
-        );
+        ));
         if let Some(code) = code {
             line.push_str(&format!(",\"code\":{}", json_str(code)));
         }

@@ -1,0 +1,39 @@
+//! **augur-obs** — the dependency-free telemetry plane.
+//!
+//! Everything the serving stack exposes to an operator at runtime
+//! lives here, built on `std` alone so the hermetic offline build
+//! stays hermetic:
+//!
+//! * [`MetricsRegistry`]: labeled counters, gauges, and fixed-bucket
+//!   histograms with lock-cheap atomic recording, rendered in the
+//!   Prometheus text exposition format (see [`registry`]);
+//! * [`TelemetryServer`]: a minimal HTTP exporter over
+//!   `std::net::TcpListener` serving `/metrics`, `/healthz`, and
+//!   `/statusz` (see [`exporter`]);
+//! * [`trace`]: deterministic trace/span-id derivation, so the v4
+//!   request-lifecycle JSONL records stay byte-identical across
+//!   differential runs while still reconstructing a request with one
+//!   grep.
+//!
+//! ```
+//! use augur_obs::{GaugeMode, MetricsRegistry};
+//! use std::sync::Arc;
+//!
+//! let reg = Arc::new(MetricsRegistry::new());
+//! let served = reg.counter("augur_served_total", "Requests served.", &[("model", "hgmm")]);
+//! served.inc();
+//! let depth = reg.gauge("augur_queue_depth", "Queued tasks.", &[], GaugeMode::Standard);
+//! depth.set(3.0);
+//! let text = reg.render();
+//! assert!(text.contains("augur_served_total{model=\"hgmm\"} 1"));
+//! assert!(text.contains("augur_queue_depth 3"));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod exporter;
+pub mod registry;
+pub mod trace;
+
+pub use exporter::{Endpoints, Health, TelemetryServer};
+pub use registry::{Counter, Gauge, GaugeMode, Histogram, MetricsRegistry};

@@ -57,6 +57,7 @@
 
 pub mod registry;
 pub mod service;
+mod telemetry;
 
 pub use registry::{ModelCacheStats, ModelRegistry, ModelSpec, RegisteredModel};
 pub use service::{
@@ -64,3 +65,4 @@ pub use service::{
     Response, SampleOutput, SampleRequest, ScoreOutput, ScoreRequest, ServeError, Service,
     ServiceConfig, Ticket,
 };
+pub use telemetry::ConvergenceStat;

@@ -67,10 +67,13 @@ use augur::{
     Target,
 };
 use augur_backend::fault::INJECTED_SHARD_PANIC;
-use augur_backend::metrics::TraceSink;
+use augur_backend::metrics::{RequestSpan, TraceSink};
 use augur_math::Prng;
+use augur_obs::trace::{span_id, trace_id};
+use augur_obs::{Endpoints, Health, TelemetryServer};
 
 use crate::registry::{ModelCacheStats, ModelRegistry, RegisteredModel};
+use crate::telemetry::{ConvergenceStat, Telemetry};
 
 /// A [`SessionConfig`] that ignores every `AUGUR_*` environment
 /// variable — the service must behave identically no matter what
@@ -353,7 +356,7 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// The request id (matches the `"id"` field of the request's v3
+    /// The request id (matches the `"id"` field of the request's v4
     /// trace records).
     pub fn id(&self) -> u64 {
         self.id
@@ -390,9 +393,19 @@ pub struct ServiceConfig {
     /// recorded in the run report) when the host has no C toolchain,
     /// so setting it here is always safe.
     pub backend: ExecBackend,
-    /// When set, the service streams v3 request-lifecycle JSONL records
-    /// here (see `DESIGN.md` § JSONL trace schema).
+    /// When set, the service streams v4 request-lifecycle JSONL records
+    /// here (see `DESIGN.md` § JSONL trace schema), each carrying the
+    /// request's deterministic trace/span ids.
     pub trace_path: Option<PathBuf>,
+    /// When set (e.g. `"127.0.0.1:9464"`; port 0 picks an ephemeral
+    /// port), the service serves its telemetry plane over HTTP at this
+    /// address: `/metrics` (Prometheus text exposition), `/healthz`
+    /// (shard liveness + breaker state), `/statusz` (human-readable
+    /// status). The default honors the `AUGUR_TELEMETRY` environment
+    /// variable. [`Service::start`] panics if the address cannot be
+    /// bound — a telemetry endpoint the operator asked for that
+    /// silently isn't there is worse than a loud config error.
+    pub telemetry_addr: Option<String>,
     /// Admission bound per shard queue (`0` = unbounded). A submit
     /// that finds every queue at the bound is shed with
     /// [`ServeError::Overloaded`] instead of queued. Chain-slice
@@ -421,6 +434,7 @@ impl Default for ServiceConfig {
             migrate_every: 0,
             base_seed: 0xA464,
             trace_path: None,
+            telemetry_addr: std::env::var("AUGUR_TELEMETRY").ok().filter(|s| !s.is_empty()),
             backend: ExecBackend::default(),
             queue_bound: 0,
             default_deadline: None,
@@ -431,7 +445,9 @@ impl Default for ServiceConfig {
     }
 }
 
-/// Latency quantiles over completed requests, in seconds.
+/// Latency quantiles over completed requests, in seconds — derived
+/// from the `augur_request_latency_seconds` histogram (p50/p99 are
+/// bucket-interpolated; the max is tracked exactly).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyStats {
     /// Completed-request count the quantiles are over.
@@ -470,25 +486,23 @@ pub struct MetricsSnapshot {
     pub demotions: u64,
     /// Tasks currently queued across all shards.
     pub queue_depth: usize,
-    /// Highest single-shard queue depth observed since start.
+    /// Highest single-shard queue depth observed **since service
+    /// start** (never resets). The registry additionally exposes
+    /// `augur_queue_high_water`, a windowed variant that resets on
+    /// every scrape, so per-window behavior is observable too.
     pub queue_high_water: usize,
-    /// Request latency quantiles (submit → response).
+    /// Request latency quantiles (submit → response), derived from the
+    /// latency histogram.
     pub latency: LatencyStats,
+    /// The latency histogram itself: `(upper bound in seconds,
+    /// cumulative count)` per bucket, ending with `(+Inf, total)`.
+    pub latency_buckets: Vec<(f64, u64)>,
+    /// Streaming convergence estimates of the latest sample request
+    /// per model: per-(model, param) ESS and split-R̂, as exported on
+    /// the `augur_ess` / `augur_split_rhat` gauges.
+    pub convergence: Vec<ConvergenceStat>,
     /// Plan-cache counters of every registered model version.
     pub models: Vec<ModelCacheStats>,
-}
-
-/// Counters behind the metrics lock.
-#[derive(Debug, Default)]
-struct MetricsInner {
-    submitted: u64,
-    completed: u64,
-    failed: u64,
-    migrations: u64,
-    shed: u64,
-    timeouts: u64,
-    retries: u64,
-    latencies_secs: Vec<f64>,
 }
 
 /// One worker shard: a queue, its wakeup, depth tracking, and the
@@ -511,8 +525,12 @@ struct Shared {
     next_id: AtomicU64,
     next_shard: AtomicUsize,
     high_water: AtomicUsize,
-    respawns: AtomicU64,
-    metrics: Mutex<MetricsInner>,
+    /// Worker threads currently inside their run loop (`/healthz`
+    /// liveness: a panicking worker leaves, its respawn re-enters).
+    workers_alive: AtomicUsize,
+    /// The registry-backed instruments every counter lands in (the
+    /// snapshot API reads these back).
+    tel: Telemetry,
     /// Models whose breaker demotion has been observed (and traced).
     demoted: Mutex<HashSet<String>>,
     /// Live worker handles; respawned workers push themselves here.
@@ -529,6 +547,8 @@ enum Task {
 /// A freshly submitted request, before fan-out.
 struct RequestTask {
     id: u64,
+    /// The request's deterministic trace id (v4 records).
+    trace: String,
     t0: Instant,
     deadline: Option<Duration>,
     /// Times this task has been recovered from a dead worker.
@@ -540,6 +560,11 @@ struct RequestTask {
 /// The shared completion state of one in-flight `sample` request.
 struct SampleAgg {
     id: u64,
+    /// The request's deterministic trace id (v4 records).
+    trace: String,
+    /// The `planned` record's span id — the parent of each chain's
+    /// first slice span.
+    plan_span: String,
     t0: Instant,
     deadline: Option<Duration>,
     model: String,
@@ -580,12 +605,21 @@ struct SliceTask {
     /// reset to zero every time a slice completes, so a long chain that
     /// keeps crossing a faulty shard never exhausts its retry budget.
     attempts: u32,
+    /// Slices this chain has completed (numbers the `slice` spans).
+    slice_no: u64,
+    /// The span id of the chain's most recent lifecycle record — the
+    /// parent of its next `slice` span, so a chain's records form a
+    /// linked chain from `planned` through every slice to `completed`.
+    parent_span: String,
 }
 
 /// The inference service: spawn with [`Service::start`], register
 /// models, submit requests, read metrics, shut down.
 pub struct Service {
     shared: Arc<Shared>,
+    /// The HTTP telemetry exporter, when
+    /// [`ServiceConfig::telemetry_addr`] is set.
+    telemetry: Option<TelemetryServer>,
 }
 
 impl fmt::Debug for Service {
@@ -616,16 +650,38 @@ impl Service {
             next_id: AtomicU64::new(1),
             next_shard: AtomicUsize::new(0),
             high_water: AtomicUsize::new(0),
-            respawns: AtomicU64::new(0),
-            metrics: Mutex::new(MetricsInner::default()),
+            workers_alive: AtomicUsize::new(0),
+            tel: Telemetry::new(),
             demoted: Mutex::new(HashSet::new()),
             handles: Mutex::new(Vec::with_capacity(workers)),
             trace,
         });
+        register_collectors(&shared);
+        let telemetry = shared.config.telemetry_addr.clone().map(|addr| {
+            let endpoints = Endpoints {
+                health: {
+                    let shared = Arc::clone(&shared);
+                    Box::new(move || healthz(&shared))
+                },
+                status: {
+                    let shared = Arc::clone(&shared);
+                    Box::new(move || statusz(&shared))
+                },
+            };
+            TelemetryServer::start(addr.as_str(), Arc::clone(&shared.tel.obs), endpoints)
+                .unwrap_or_else(|e| panic!("telemetry_addr {addr}: {e}"))
+        });
         let handles: Vec<JoinHandle<()>> =
             (0..workers).map(|idx| spawn_worker(&shared, idx)).collect();
         shared.handles.lock().unwrap_or_else(|e| e.into_inner()).extend(handles);
-        Service { shared }
+        Service { shared, telemetry }
+    }
+
+    /// The address the telemetry exporter is bound to, when
+    /// [`ServiceConfig::telemetry_addr`] was set (resolves port 0 to
+    /// the actual ephemeral port).
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry.as_ref().map(TelemetryServer::local_addr)
     }
 
     /// The registry behind the service (register models through this at
@@ -645,10 +701,11 @@ impl Service {
         let (tx, rx) = mpsc::channel();
         let model = request_model(&req).to_owned();
         let deadline = req.deadline().or(shared.config.default_deadline);
-        {
-            let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
-            m.submitted += 1;
-        }
+        // The trace id is minted here, deterministically, and rides the
+        // task through every lifecycle stage.
+        let trace = trace_id(shared.config.base_seed, id);
+        let root = span_id(&trace, "submit");
+        shared.tel.submitted.inc();
         let n = shared.shards.len();
         let start = shared.next_shard.fetch_add(1, Ordering::Relaxed) % n;
         let bound = shared.config.queue_bound;
@@ -658,15 +715,13 @@ impl Service {
             .map(|i| (start + i) % n)
             .find(|&s| bound == 0 || shared.shards[s].depth.load(Ordering::Relaxed) < bound);
         let Some(shard) = shard else {
-            {
-                let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
-                m.shed += 1;
-            }
+            shared.tel.shed.inc();
             shared.trace(
                 id,
                 &model,
                 "shed",
                 Some("overloaded"),
+                RequestSpan { trace: &trace, span: &root, parent: None },
                 &[("queue_bound", bound as f64)],
             );
             let _ = tx.send(Err(ServeError::Overloaded { bound }));
@@ -676,6 +731,7 @@ impl Service {
             shard,
             Task::Request(Box::new(RequestTask {
                 id,
+                trace: trace.clone(),
                 t0: Instant::now(),
                 deadline,
                 attempts: 0,
@@ -683,7 +739,14 @@ impl Service {
                 reply: tx,
             })),
         );
-        shared.trace(id, &model, "submitted", None, &[("queue_depth", depth as f64)]);
+        shared.trace(
+            id,
+            &model,
+            "submitted",
+            None,
+            RequestSpan { trace: &trace, span: &root, parent: None },
+            &[("queue_depth", depth as f64)],
+        );
         Ticket { id, rx }
     }
 
@@ -702,42 +765,11 @@ impl Service {
         self.submit(Request::Explain(req))
     }
 
-    /// A point-in-time snapshot of every observability counter.
+    /// A point-in-time snapshot of every observability counter,
+    /// derived from the same registry instruments a `/metrics` scrape
+    /// renders — the two surfaces reconcile by construction.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let (submitted, completed, failed, migrations, shed, timeouts, retries, latency) = {
-            let m = self.shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
-            (
-                m.submitted,
-                m.completed,
-                m.failed,
-                m.migrations,
-                m.shed,
-                m.timeouts,
-                m.retries,
-                latency_stats(&m.latencies_secs),
-            )
-        };
-        MetricsSnapshot {
-            submitted,
-            completed,
-            failed,
-            migrations,
-            shed,
-            timeouts,
-            retries,
-            respawns: self.shared.respawns.load(Ordering::Relaxed),
-            demotions: self.shared.demoted.lock().unwrap_or_else(|e| e.into_inner()).len()
-                as u64,
-            queue_depth: self
-                .shared
-                .shards
-                .iter()
-                .map(|s| s.depth.load(Ordering::Relaxed))
-                .sum(),
-            queue_high_water: self.shared.high_water.load(Ordering::Relaxed),
-            latency,
-            models: self.shared.registry.cache_stats(),
-        }
+        self.shared.snapshot()
     }
 
     /// Drains every queue, stops the workers, and flushes the trace
@@ -751,6 +783,11 @@ impl Service {
     fn stop(&mut self) {
         if !self.shared.open.swap(false, Ordering::SeqCst) {
             return;
+        }
+        // Stop scrapes first: the exporter holds callbacks into the
+        // service state being torn down below.
+        if let Some(mut server) = self.telemetry.take() {
+            server.shutdown();
         }
         for shard in &self.shared.shards {
             let _guard = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -805,7 +842,7 @@ fn cancel_task(shared: &Arc<Shared>, task: Task) {
         Task::Request(t) => {
             let model = request_model(&t.req).to_owned();
             let result: Result<Response, ServeError> = Err(ServeError::Canceled);
-            shared.finish(t.id, &model, t.t0, &result);
+            shared.finish(t.id, &model, &t.trace, t.t0, &result);
             let _ = t.reply.send(result);
         }
         Task::Slice(t) => {
@@ -834,23 +871,190 @@ fn request_model(req: &Request) -> &str {
     }
 }
 
-/// p50/p99/max over the recorded latencies.
-fn latency_stats(lat: &[f64]) -> LatencyStats {
-    if lat.is_empty() {
-        return LatencyStats::default();
-    }
-    let mut sorted = lat.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
-    LatencyStats {
-        count: sorted.len() as u64,
-        p50_secs: q(0.50),
-        p99_secs: q(0.99),
-        max_secs: *sorted.last().expect("non-empty"),
+/// Registers the pull-model collect hooks: queue depths, worker
+/// liveness, plan-cache counters, and breaker state are owned by their
+/// subsystems and mirrored into the registry at scrape time (the
+/// Prometheus collector pattern). The hook holds a `Weak` so the
+/// registry never keeps a dead service alive.
+fn register_collectors(shared: &Arc<Shared>) {
+    let weak = Arc::downgrade(shared);
+    let obs = Arc::clone(&shared.tel.obs);
+    shared.tel.obs.on_collect(move || {
+        let Some(shared) = weak.upgrade() else { return };
+        let mut total = 0usize;
+        for (i, shard) in shared.shards.iter().enumerate() {
+            let depth = shard.depth.load(Ordering::Relaxed);
+            total += depth;
+            obs.gauge(
+                "augur_shard_queue_depth",
+                "Tasks queued on one shard.",
+                &[("shard", &i.to_string())],
+                augur_obs::GaugeMode::Standard,
+            )
+            .set(depth as f64);
+        }
+        obs.gauge(
+            "augur_queue_depth",
+            "Tasks queued across all shards.",
+            &[],
+            augur_obs::GaugeMode::Standard,
+        )
+        .set(total as f64);
+        obs.gauge(
+            "augur_workers_alive",
+            "Worker threads currently inside their run loop.",
+            &[],
+            augur_obs::GaugeMode::Standard,
+        )
+        .set(shared.workers_alive.load(Ordering::Relaxed) as f64);
+        for m in shared.registry.cache_stats() {
+            let version = m.version.to_string();
+            let labels: &[(&str, &str)] = &[("model", m.name.as_str()), ("version", &version)];
+            let mirror = |name: &str, help: &str, total: u64| {
+                obs.counter(name, help, labels).store(total);
+            };
+            mirror("augur_plan_cache_hits_total", "Plan-cache hits.", m.stats.hits);
+            mirror("augur_plan_cache_misses_total", "Plan-cache misses.", m.stats.misses);
+            mirror(
+                "augur_plan_cache_respecializes_total",
+                "Plan-cache respecializations.",
+                m.stats.respecializes,
+            );
+            mirror(
+                "augur_native_builds_total",
+                "Native artifacts compiled.",
+                m.stats.native_builds,
+            );
+            mirror(
+                "augur_native_hits_total",
+                "Native artifact cache hits.",
+                m.stats.native_hits,
+            );
+            obs.gauge(
+                "augur_plan_cache_entries",
+                "Plans currently cached.",
+                labels,
+                augur_obs::GaugeMode::Standard,
+            )
+            .set(m.stats.entries as f64);
+            obs.gauge(
+                "augur_native_breaker_open",
+                "1 when the model's Native->Tape circuit breaker is open.",
+                labels,
+                augur_obs::GaugeMode::Standard,
+            )
+            .set(if m.demoted.is_some() { 1.0 } else { 0.0 });
+        }
+    });
+}
+
+/// The `/healthz` answer: healthy while the service is open and every
+/// shard has a live worker; the body carries the shard counts and any
+/// open breakers.
+fn healthz(shared: &Arc<Shared>) -> Health {
+    let workers = shared.shards.len();
+    let alive = shared.workers_alive.load(Ordering::Relaxed);
+    let open = shared.open.load(Ordering::SeqCst);
+    let breakers: Vec<String> = shared
+        .registry
+        .cache_stats()
+        .into_iter()
+        .filter(|m| m.demoted.is_some())
+        .map(|m| format!("\"{}\"", m.name))
+        .collect();
+    let healthy = open && alive >= workers;
+    Health {
+        healthy,
+        body: format!(
+            "{{\"status\":\"{}\",\"open\":{open},\"workers\":{workers},\
+             \"workers_alive\":{alive},\"breakers_open\":[{}]}}",
+            if healthy { "ok" } else { "degraded" },
+            breakers.join(",")
+        ),
     }
 }
 
+/// The `/statusz` page: the metrics snapshot rendered for humans.
+fn statusz(shared: &Arc<Shared>) -> String {
+    let m = shared.snapshot();
+    let mut out = String::new();
+    out.push_str("augur-serve status\n==================\n\n");
+    out.push_str(&format!(
+        "requests: {} submitted, {} completed, {} failed ({} timeouts), {} shed\n",
+        m.submitted, m.completed, m.failed, m.timeouts, m.shed
+    ));
+    out.push_str(&format!(
+        "resilience: {} retries, {} respawns, {} migrations, {} demotions\n",
+        m.retries, m.respawns, m.migrations, m.demotions
+    ));
+    out.push_str(&format!(
+        "latency: count {}, p50 {:.6}s, p99 {:.6}s, max {:.6}s\n\n",
+        m.latency.count, m.latency.p50_secs, m.latency.p99_secs, m.latency.max_secs
+    ));
+    out.push_str(&format!(
+        "queues: depth {} (high water since start {}), in-flight chains {}\n",
+        m.queue_depth,
+        m.queue_high_water,
+        shared.tel.inflight_chains.get() as i64
+    ));
+    for (i, shard) in shared.shards.iter().enumerate() {
+        out.push_str(&format!("  shard {i}: depth {}\n", shard.depth.load(Ordering::Relaxed)));
+    }
+    out.push_str("\nmodels:\n");
+    for model in &m.models {
+        out.push_str(&format!(
+            "  {} v{}: hits {}, misses {}, respecializes {}, entries {}, backend {}\n",
+            model.name,
+            model.version,
+            model.stats.hits,
+            model.stats.misses,
+            model.stats.respecializes,
+            model.stats.entries,
+            match &model.demoted {
+                Some(reason) => format!("DEMOTED to tape ({reason})"),
+                None => "available".to_string(),
+            }
+        ));
+    }
+    if !m.convergence.is_empty() {
+        out.push_str("\nconvergence (latest sample request per model):\n");
+        for c in &m.convergence {
+            out.push_str(&format!(
+                "  {}/{}: ess {:.1}, split_rhat {:.4}\n",
+                c.model, c.param, c.ess, c.split_rhat
+            ));
+        }
+    }
+    out
+}
+
 impl Shared {
+    /// Builds the metrics snapshot from the registry instruments.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let latency = LatencyStats {
+            count: self.tel.latency.count(),
+            p50_secs: self.tel.latency.quantile(0.50),
+            p99_secs: self.tel.latency.quantile(0.99),
+            max_secs: self.tel.latency.max(),
+        };
+        MetricsSnapshot {
+            submitted: self.tel.submitted.get(),
+            completed: self.tel.completed.get(),
+            failed: self.tel.failed.get(),
+            migrations: self.tel.migrations.get(),
+            shed: self.tel.shed.get(),
+            timeouts: self.tel.timeouts.get(),
+            retries: self.tel.retries.get(),
+            respawns: self.tel.respawns.get(),
+            demotions: self.tel.demotions.get(),
+            queue_depth: self.shards.iter().map(|s| s.depth.load(Ordering::Relaxed)).sum(),
+            queue_high_water: self.high_water.load(Ordering::Relaxed),
+            latency,
+            latency_buckets: self.tel.latency.cumulative_buckets(),
+            convergence: self.tel.convergence(),
+            models: self.registry.cache_stats(),
+        }
+    }
     /// Pushes a task and wakes the shard; returns the shard's new depth.
     fn enqueue(&self, shard: usize, task: Task) -> usize {
         let s = &self.shards[shard];
@@ -860,52 +1064,83 @@ impl Shared {
         }
         let depth = s.depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.high_water.fetch_max(depth, Ordering::Relaxed);
+        // Both high-water surfaces: the since-start snapshot counter
+        // above, and the per-scrape-window registry gauge (resets on
+        // every collect).
+        self.tel.queue_high_water.set_max(depth as f64);
         s.wakeup.notify_one();
         depth
     }
 
-    /// Best-effort v3 trace record for one request-lifecycle event.
-    fn trace(&self, id: u64, model: &str, event: &str, code: Option<&str>, fields: &[(&str, f64)]) {
+    /// Best-effort v4 trace record for one request-lifecycle event.
+    fn trace(
+        &self,
+        id: u64,
+        model: &str,
+        event: &str,
+        code: Option<&str>,
+        span: RequestSpan<'_>,
+        fields: &[(&str, f64)],
+    ) {
         if let Some(trace) = &self.trace {
             trace
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .write_request(id, model, event, code, fields);
+                .write_request(id, model, event, code, span, fields);
         }
     }
 
     /// Records a finished request into the metrics and its trace event.
-    fn finish(&self, id: u64, model: &str, t0: Instant, result: &Result<Response, ServeError>) {
+    /// The `completed`/`failed` record closes the trace: its span hangs
+    /// directly off the root `submit` span.
+    fn finish(
+        &self,
+        id: u64,
+        model: &str,
+        trace: &str,
+        t0: Instant,
+        result: &Result<Response, ServeError>,
+    ) {
         let latency = t0.elapsed().as_secs_f64();
-        {
-            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-            match result {
-                Ok(_) => m.completed += 1,
-                Err(e) => {
-                    m.failed += 1;
-                    if matches!(e, ServeError::Timeout { .. }) {
-                        m.timeouts += 1;
-                    }
+        match result {
+            Ok(_) => self.tel.completed.inc(),
+            Err(e) => {
+                self.tel.failed.inc();
+                if matches!(e, ServeError::Timeout { .. }) {
+                    self.tel.timeouts.inc();
                 }
             }
-            m.latencies_secs.push(latency);
         }
+        self.tel.latency.observe(latency);
+        let span = span_id(trace, "finish");
+        let root = span_id(trace, "submit");
+        let rs = RequestSpan { trace, span: &span, parent: Some(&root) };
         match result {
-            Ok(_) => self.trace(id, model, "completed", None, &[("latency_secs", latency)]),
+            Ok(_) => self.trace(id, model, "completed", None, rs, &[("latency_secs", latency)]),
             Err(e) => {
-                self.trace(id, model, "failed", Some(e.code()), &[("latency_secs", latency)])
+                self.trace(id, model, "failed", Some(e.code()), rs, &[("latency_secs", latency)])
             }
         }
     }
 
     /// Records a model's first observed Native→Tape breaker demotion
     /// (later sightings are no-ops: `demotions` counts models).
-    fn note_demotion(&self, id: u64, model: &str, plan: &Plan) {
+    fn note_demotion(&self, id: u64, model: &str, trace: &str, plan: &Plan) {
         if plan.native_demotion().is_some() {
             let mut set = self.demoted.lock().unwrap_or_else(|e| e.into_inner());
             if set.insert(model.to_owned()) {
+                self.tel.demotions.inc();
                 let trips = plan.native_breaker().trips() as f64;
-                self.trace(id, model, "demoted", Some("native_breaker"), &[("trips", trips)]);
+                let span = span_id(trace, "demoted");
+                let root = span_id(trace, "submit");
+                self.trace(
+                    id,
+                    model,
+                    "demoted",
+                    Some("native_breaker"),
+                    RequestSpan { trace, span: &span, parent: Some(&root) },
+                    &[("trips", trips)],
+                );
             }
         }
     }
@@ -917,6 +1152,7 @@ impl Shared {
 /// into a recover-and-respawn instead of a dead shard.
 fn worker_loop(shared: &Arc<Shared>, idx: usize) {
     let guard = RespawnGuard { shared: Arc::clone(shared), idx };
+    shared.workers_alive.fetch_add(1, Ordering::Relaxed);
     loop {
         let task = {
             let shard = &shared.shards[idx];
@@ -938,6 +1174,7 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize) {
         }
     }
     // Clean exit: the guard is for panics only.
+    shared.workers_alive.fetch_sub(1, Ordering::Relaxed);
     std::mem::forget(guard);
 }
 
@@ -1011,8 +1248,14 @@ impl Drop for RespawnGuard {
         }
         let shared = &self.shared;
         let idx = self.idx;
+        // This thread is leaving its run loop; the respawn (if any)
+        // re-enters and counts itself back in.
+        shared.workers_alive.fetch_sub(1, Ordering::Relaxed);
         let inflight =
             shared.shards[idx].inflight.lock().unwrap_or_else(|e| e.into_inner()).take();
+        // The recovered task's trace context, kept for the `respawned`
+        // record after the task itself moves on.
+        let mut affected: Option<(u64, String, String)> = None;
         if let Some(mut task) = inflight {
             let next = (idx + 1) % shared.shards.len();
             let (id, attempts) = (task_request_id(&task), task_attempts(&task) + 1);
@@ -1020,16 +1263,28 @@ impl Drop for RespawnGuard {
                 Task::Request(t) => t.attempts = attempts,
                 Task::Slice(t) => t.attempts = attempts,
             }
+            let (trace, parent, tag) = match &task {
+                Task::Request(t) => (
+                    t.trace.clone(),
+                    span_id(&t.trace, "submit"),
+                    format!("submit/attempt{attempts}"),
+                ),
+                Task::Slice(t) => (
+                    t.agg.trace.clone(),
+                    t.parent_span.clone(),
+                    format!("chain{}/slice{}/attempt{attempts}", t.chain, t.slice_no),
+                ),
+            };
+            affected = Some((id, trace.clone(), parent.clone()));
             if attempts <= shared.config.max_retries {
-                {
-                    let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
-                    m.retries += 1;
-                }
+                shared.tel.retries.inc();
+                let span = span_id(&trace, &tag);
                 shared.trace(
                     id,
                     "",
                     "retried",
                     Some("fault"),
+                    RequestSpan { trace: &trace, span: &span, parent: Some(&parent) },
                     &[("shard", idx as f64), ("attempt", attempts as f64)],
                 );
                 shared.enqueue(next, task);
@@ -1044,7 +1299,7 @@ impl Drop for RespawnGuard {
                     Task::Request(t) => {
                         let model = request_model(&t.req).to_owned();
                         let result = Err(err());
-                        shared.finish(t.id, &model, t.t0, &result);
+                        shared.finish(t.id, &model, &t.trace, t.t0, &result);
                         let _ = t.reply.send(result);
                     }
                     Task::Slice(t) => {
@@ -1055,8 +1310,24 @@ impl Drop for RespawnGuard {
             }
         }
         if shared.open.load(Ordering::SeqCst) {
-            shared.respawns.fetch_add(1, Ordering::Relaxed);
-            shared.trace(0, "", "respawned", None, &[("shard", idx as f64)]);
+            shared.tel.respawns.inc();
+            let nth = shared.tel.respawns.get();
+            // The respawn record joins the affected request's trace when
+            // a task was in flight; an idle-worker panic gets the
+            // service-level trace (request id 0).
+            let (id, trace, parent) = match affected {
+                Some((id, trace, parent)) => (id, trace, Some(parent)),
+                None => (0, trace_id(shared.config.base_seed, 0), None),
+            };
+            let span = span_id(&trace, &format!("respawn{nth}/shard{idx}"));
+            shared.trace(
+                id,
+                "",
+                "respawned",
+                None,
+                RequestSpan { trace: &trace, span: &span, parent: parent.as_deref() },
+                &[("shard", idx as f64)],
+            );
             let handle = spawn_worker(shared, idx);
             shared.handles.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
         }
@@ -1075,21 +1346,22 @@ fn deadline_exceeded(t0: Instant, deadline: Option<Duration>) -> Option<ServeErr
 /// a typed error instead of killing the shard), `sample` by fanning
 /// chain slices across the shards.
 fn run_request(shared: &Arc<Shared>, idx: usize, task: RequestTask) {
-    let RequestTask { id, t0, deadline, attempts: _, req, reply } = task;
+    let RequestTask { id, trace, t0, deadline, attempts: _, req, reply } = task;
     let model = request_model(&req).to_owned();
     fn answer(
         shared: &Arc<Shared>,
         id: u64,
         model: &str,
+        trace: &str,
         t0: Instant,
         reply: &mpsc::Sender<Result<Response, ServeError>>,
         result: Result<Response, ServeError>,
     ) {
-        shared.finish(id, model, t0, &result);
+        shared.finish(id, model, trace, t0, &result);
         let _ = reply.send(result);
     }
     if let Some(e) = deadline_exceeded(t0, deadline) {
-        return answer(shared, id, &model, t0, &reply, Err(e));
+        return answer(shared, id, &model, &trace, t0, &reply, Err(e));
     }
     let resolved = match &req {
         Request::Sample(r) => resolve(shared, &r.model, r.version),
@@ -1098,30 +1370,34 @@ fn run_request(shared: &Arc<Shared>, idx: usize, task: RequestTask) {
     };
     let registered = match resolved {
         Ok(m) => m,
-        Err(e) => return answer(shared, id, &model, t0, &reply, Err(e)),
+        Err(e) => return answer(shared, id, &model, &trace, t0, &reply, Err(e)),
     };
     match req {
         Request::Score(r) => {
-            let result = catch_unwind(AssertUnwindSafe(|| score(shared, id, &registered, r)))
-                .unwrap_or_else(|p| {
-                    Err(ServeError::Model(augur::Error::WorkerPanic {
-                        kernel: format!("service shard {idx}"),
-                        detail: panic_detail(p.as_ref()),
-                    }))
-                });
-            answer(shared, id, &model, t0, &reply, result);
+            let result =
+                catch_unwind(AssertUnwindSafe(|| score(shared, id, &trace, &registered, r)))
+                    .unwrap_or_else(|p| {
+                        Err(ServeError::Model(augur::Error::WorkerPanic {
+                            kernel: format!("service shard {idx}"),
+                            detail: panic_detail(p.as_ref()),
+                        }))
+                    });
+            answer(shared, id, &model, &trace, t0, &reply, result);
         }
         Request::Explain(r) => {
-            let result = catch_unwind(AssertUnwindSafe(|| explain(shared, id, &registered, r)))
-                .unwrap_or_else(|p| {
-                    Err(ServeError::Model(augur::Error::WorkerPanic {
-                        kernel: format!("service shard {idx}"),
-                        detail: panic_detail(p.as_ref()),
-                    }))
-                });
-            answer(shared, id, &model, t0, &reply, result);
+            let result =
+                catch_unwind(AssertUnwindSafe(|| explain(shared, id, &trace, &registered, r)))
+                    .unwrap_or_else(|p| {
+                        Err(ServeError::Model(augur::Error::WorkerPanic {
+                            kernel: format!("service shard {idx}"),
+                            detail: panic_detail(p.as_ref()),
+                        }))
+                    });
+            answer(shared, id, &model, &trace, t0, &reply, result);
         }
-        Request::Sample(r) => fan_sample(shared, idx, id, t0, deadline, &registered, r, reply),
+        Request::Sample(r) => {
+            fan_sample(shared, idx, id, trace, t0, deadline, &registered, r, reply)
+        }
     }
 }
 
@@ -1166,6 +1442,7 @@ fn effective_config(
 fn score(
     shared: &Shared,
     id: u64,
+    trace: &str,
     registered: &RegisteredModel,
     r: ScoreRequest,
 ) -> Result<Response, ServeError> {
@@ -1174,7 +1451,7 @@ fn score(
     let plan = registered.plan(r.args, data)?;
     let cfg = effective_config(shared, registered, r.config);
     let mut session = plan.session(cfg).map_err(augur::Error::from)?;
-    shared.note_demotion(id, &r.model, &plan);
+    shared.note_demotion(id, &r.model, trace, &plan);
     session.init().map_err(augur::Error::from)?;
     Ok(Response::Score(ScoreOutput { log_joint: session.log_joint() }))
 }
@@ -1183,6 +1460,7 @@ fn score(
 fn explain(
     shared: &Shared,
     id: u64,
+    trace: &str,
     registered: &RegisteredModel,
     r: ExplainRequest,
 ) -> Result<Response, ServeError> {
@@ -1191,7 +1469,7 @@ fn explain(
     let plan = registered.plan(r.args, data)?;
     let cfg = effective_config(shared, registered, None);
     let session = plan.session(cfg).map_err(augur::Error::from)?;
-    shared.note_demotion(id, &r.model, &plan);
+    shared.note_demotion(id, &r.model, trace, &plan);
     Ok(Response::Explain(ExplainOutput {
         kernel: registered.model().kernel(),
         explain: session.explain().render(),
@@ -1205,6 +1483,7 @@ fn fan_sample(
     shared: &Arc<Shared>,
     idx: usize,
     id: u64,
+    trace: String,
     t0: Instant,
     deadline: Option<Duration>,
     registered: &RegisteredModel,
@@ -1217,17 +1496,20 @@ fn fan_sample(
         Ok(p) => Arc::new(p),
         Err(e) => {
             let result: Result<Response, ServeError> = Err(ServeError::Model(e));
-            shared.finish(id, &r.model, t0, &result);
+            shared.finish(id, &r.model, &trace, t0, &result);
             let _ = reply.send(result);
             return;
         }
     };
-    shared.note_demotion(id, &r.model, &plan);
+    shared.note_demotion(id, &r.model, &trace, &plan);
+    let root = span_id(&trace, "submit");
+    let plan_span = span_id(&trace, "plan");
     shared.trace(
         id,
         &r.model,
         "planned",
         None,
+        RequestSpan { trace: &trace, span: &plan_span, parent: Some(&root) },
         &[("chains", r.chains as f64), ("sweeps", r.sweeps as f64)],
     );
     let base = effective_config(shared, registered, r.config);
@@ -1240,12 +1522,16 @@ fn fan_sample(
             fingerprint,
             migrations: 0,
         }));
-        shared.finish(id, &r.model, t0, &result);
+        shared.finish(id, &r.model, &trace, t0, &result);
         let _ = reply.send(result);
         return;
     }
+    shared.tel.begin_sample(&r.model, id, r.chains);
+    shared.tel.inflight_chains.add(r.chains as f64);
     let agg = Arc::new(SampleAgg {
         id,
+        trace,
+        plan_span,
         t0,
         deadline,
         model: r.model.clone(),
@@ -1272,6 +1558,8 @@ fn fan_sample(
             ckpt: None,
             migrate_every,
             attempts: 0,
+            slice_no: 0,
+            parent_span: agg.plan_span.clone(),
         });
         shared.enqueue((idx + 1 + c) % shared.shards.len(), Task::Slice(task));
     }
@@ -1294,7 +1582,7 @@ enum SliceOutcome {
 /// draws, no matter how many times the slice is retried or recovered.
 fn slice_step(shared: &Arc<Shared>, task: &mut SliceTask) -> Result<SliceOutcome, augur::Error> {
     let mut session = task.plan.session(task.cfg.clone())?;
-    shared.note_demotion(task.agg.id, &task.agg.model, &task.plan);
+    shared.note_demotion(task.agg.id, &task.agg.model, &task.agg.trace, &task.plan);
     match &task.ckpt {
         Some(ck) => session.restore(ck)?,
         None => session.init()?,
@@ -1305,6 +1593,25 @@ fn slice_step(shared: &Arc<Shared>, task: &mut SliceTask) -> Result<SliceOutcome
     let slice = if migrating { remaining.min(task.migrate_every as usize) } else { remaining };
     let record: Vec<&str> = task.record.iter().map(String::as_str).collect();
     let draws = session.sample(slice, &record)?;
+    // Slice boundary: fold the fresh draws into the streaming
+    // convergence estimators and close this slice's span (the next
+    // slice — or the migration hop — parents onto it).
+    shared.tel.record_slice(&task.agg.model, task.agg.id, task.chain, &draws);
+    let span = span_id(&task.agg.trace, &format!("chain{}/slice{}", task.chain, task.slice_no));
+    shared.trace(
+        task.agg.id,
+        &task.agg.model,
+        "slice",
+        None,
+        RequestSpan { trace: &task.agg.trace, span: &span, parent: Some(&task.parent_span) },
+        &[
+            ("chain", task.chain as f64),
+            ("sweep_from", task.done as f64),
+            ("sweep_to", (task.done + slice) as f64),
+        ],
+    );
+    task.parent_span = span;
+    task.slice_no += 1;
     task.draws.extend(draws);
     task.done += slice;
     task.attempts = 0;
@@ -1342,19 +1649,28 @@ fn run_slice(shared: &Arc<Shared>, idx: usize, mut task: SliceTask) {
         Ok(SliceOutcome::Done) => {}
         Ok(SliceOutcome::Continue) => {
             let next = (idx + 1) % shared.shards.len();
-            {
-                let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
-                m.migrations += 1;
-            }
+            shared.tel.migrations.inc();
             {
                 let mut st = task.agg.state.lock().unwrap_or_else(|e| e.into_inner());
                 st.migrations += 1;
             }
+            // The hop parents onto the slice that just closed, and the
+            // next slice parents onto the hop — one unbroken chain of
+            // spans per chain.
+            let span = span_id(
+                &task.agg.trace,
+                &format!("chain{}/slice{}/migrate", task.chain, task.slice_no - 1),
+            );
             shared.trace(
                 task.agg.id,
                 &task.agg.model,
                 "migrated",
                 None,
+                RequestSpan {
+                    trace: &task.agg.trace,
+                    span: &span,
+                    parent: Some(&task.parent_span),
+                },
                 &[
                     ("chain", task.chain as f64),
                     ("sweep", task.done as f64),
@@ -1362,6 +1678,7 @@ fn run_slice(shared: &Arc<Shared>, idx: usize, mut task: SliceTask) {
                     ("to_worker", next as f64),
                 ],
             );
+            task.parent_span = span;
             shared.enqueue(next, Task::Slice(Box::new(task)));
         }
         Err(e) => retry_or_fail(shared, idx, task, e),
@@ -1379,15 +1696,17 @@ fn retry_or_fail(shared: &Arc<Shared>, idx: usize, mut task: SliceTask, e: augur
         return;
     }
     task.attempts += 1;
-    {
-        let mut m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        m.retries += 1;
-    }
+    shared.tel.retries.inc();
+    let span = span_id(
+        &task.agg.trace,
+        &format!("chain{}/slice{}/attempt{}", task.chain, task.slice_no, task.attempts),
+    );
     shared.trace(
         task.agg.id,
         &task.agg.model,
         "retried",
         Some(ServeError::Model(e).code()),
+        RequestSpan { trace: &task.agg.trace, span: &span, parent: Some(&task.parent_span) },
         &[("chain", task.chain as f64), ("attempt", task.attempts as f64)],
     );
     std::thread::sleep(retry_backoff(
@@ -1430,6 +1749,7 @@ fn complete_chain(
         st.remaining -= 1;
         st.remaining == 0
     };
+    shared.tel.inflight_chains.add(-1.0);
     if !finished {
         return;
     }
@@ -1462,7 +1782,7 @@ fn complete_chain(
             migrations,
         })),
     };
-    shared.finish(agg.id, &agg.model, agg.t0, &result);
+    shared.finish(agg.id, &agg.model, &agg.trace, agg.t0, &result);
     let _ = agg.reply.send(result);
 }
 

@@ -100,7 +100,9 @@ pub use gpu_sim::DeviceConfig;
 /// [`ChainPlan`] are the only entrypoints.
 pub mod prelude {
     pub use crate::chains::{ChainPlan, Chains, ChainsReport, ParamDiag};
-    pub use crate::diag::{autocovariance, ess, ess_per_sec, split_rhat};
+    pub use crate::diag::{
+        autocovariance, ess, ess_per_sec, split_rhat, OnlineParamDiag, Welford,
+    };
     pub use crate::{
         BackendAvailability, CompiledModel, Error, ErrorKind, ExecBackend, ExecStrategy,
         ExplainPlan, HostValue, KernelStats, McmcConfig, Model, OptFlags, Plan, PlanCacheStats,

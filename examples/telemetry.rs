@@ -1,0 +1,112 @@
+//! Telemetry smoke: stand up the service with its HTTP exporter, serve
+//! a few requests, then scrape the running service the way a monitoring
+//! agent would — `/metrics`, `/healthz`, `/statusz` — and validate what
+//! comes back. CI runs this binary as the telemetry gate.
+//!
+//! The exporter binds `AUGUR_TELEMETRY` when set (e.g.
+//! `AUGUR_TELEMETRY=127.0.0.1:9464 cargo run --example telemetry`),
+//! falling back to an ephemeral localhost port, so the smoke needs no
+//! free well-known port. Exit status 0 means every surface answered and
+//! the exposition carried the expected families.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use augur::HostValue;
+use augur_serve::{ModelRegistry, ModelSpec, SampleRequest, Service, ServiceConfig};
+
+fn get(addr: SocketAddr, path: &str) -> Result<(String, String), Box<dyn std::error::Error>> {
+    let mut s = TcpStream::connect(addr)?;
+    write!(s, "GET {path} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n")?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf)?;
+    let (head, body) = buf.split_once("\r\n\r\n").unwrap_or((buf.as_str(), ""));
+    Ok((head.to_string(), body.to_string()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = ModelRegistry::new();
+    registry.register(
+        "coin",
+        ModelSpec::new(
+            "(N) => {
+                param p ~ Beta(1.0, 1.0) ;
+                data y[n] ~ Bernoulli(p) for n <- 0 until N ;
+            }",
+        ),
+    )?;
+    let config = ServiceConfig {
+        workers: 2,
+        migrate_every: 4,
+        telemetry_addr: Some(
+            std::env::var("AUGUR_TELEMETRY")
+                .ok()
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "127.0.0.1:0".into()),
+        ),
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(registry, config);
+    let addr = service.telemetry_addr().expect("exporter bound");
+    println!("telemetry exporter listening on {addr}");
+
+    // Some traffic for the counters, histogram, and convergence gauges.
+    let tickets: Vec<_> = (0..6u64)
+        .map(|i| {
+            service.sample(SampleRequest {
+                args: vec![HostValue::Int(4)],
+                data: vec![("y".into(), HostValue::VecF(vec![1.0, 0.0, 1.0, 1.0]))],
+                chains: 2,
+                sweeps: 12,
+                record: vec!["p".into()],
+                config: Some(augur_serve::hermetic_config(0x51 + i)),
+                ..SampleRequest::new("coin")
+            })
+        })
+        .collect();
+    for t in tickets {
+        t.wait()?;
+    }
+
+    let (head, metrics) = get(addr, "/metrics")?;
+    assert!(head.starts_with("HTTP/1.1 200"), "/metrics: {head}");
+    for family in [
+        "augur_requests_submitted_total",
+        "augur_requests_completed_total",
+        "augur_request_latency_seconds_bucket",
+        "augur_plan_cache_hits_total",
+        "augur_queue_depth",
+        "augur_workers_alive",
+        "augur_ess",
+        "augur_split_rhat",
+    ] {
+        assert!(metrics.contains(family), "`{family}` missing from /metrics:\n{metrics}");
+    }
+    // Echo the interesting series for the CI log (and its greps).
+    for line in metrics.lines().filter(|l| {
+        !l.starts_with('#')
+            && (l.starts_with("augur_requests_")
+                || l.starts_with("augur_ess")
+                || l.starts_with("augur_split_rhat")
+                || l.starts_with("augur_plan_cache_hits_total"))
+    }) {
+        println!("{line}");
+    }
+
+    let (head, health) = get(addr, "/healthz")?;
+    assert!(head.starts_with("HTTP/1.1 200"), "/healthz: {head}\n{health}");
+    assert!(health.contains("\"status\":\"ok\""), "/healthz body: {health}");
+    println!("{health}");
+
+    let (head, status) = get(addr, "/statusz")?;
+    assert!(head.starts_with("HTTP/1.1 200"), "/statusz: {head}");
+    assert!(status.contains("augur-serve status"), "/statusz body: {status}");
+    assert!(status.contains("coin"), "/statusz lists the model: {status}");
+
+    let (head, _) = get(addr, "/unknown")?;
+    assert!(head.starts_with("HTTP/1.1 404"), "unknown path: {head}");
+
+    service.shutdown();
+    println!("telemetry smoke ok: /metrics, /healthz, /statusz all served");
+    Ok(())
+}

@@ -44,6 +44,17 @@ rm -rf "$native_tmp"
 cargo test -q --test serve
 cargo run --release -p augur-bench --bin sustained_load -- --scale 0.5 >/dev/null
 
+# Telemetry gate: streaming ESS/split-R-hat must match the batch
+# estimators, the exporter must serve well-formed exposition, draws must
+# be byte-identical with scraping on or off, and a v4 trace must
+# reconstruct a faulted request (tests/telemetry.rs). The smoke example
+# scrapes a live service end to end, and the sustained_load run above —
+# which must happen first, before the chaos loop rewrites
+# BENCH_serve.json without the probe — must show <5% scrape overhead.
+cargo test -q --test telemetry
+cargo run --release --example telemetry | grep -q "telemetry smoke ok"
+scripts/check_overhead.sh --serve-only
+
 # Chaos gate: the serving layer must survive injected shard kills, shard
 # slowdowns, and native-compile failures — every ticket resolves with a
 # typed result (no hangs), completed draws stay byte-identical to clean

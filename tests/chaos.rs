@@ -12,7 +12,7 @@
 //!   never changes the draws: results under `panic@shard` are
 //!   byte-identical to a clean run;
 //! * overload is bounded and observable (prompt `overloaded` errors that
-//!   reconcile with the `shed` counter and v3 trace events);
+//!   reconcile with the `shed` counter and v4 trace events);
 //! * the native circuit breaker demotes a model Native→Tape without
 //!   failing a single request, and reports why.
 
@@ -277,7 +277,7 @@ fn hlr_draws_survive_shard_kills_byte_identically() {
 /// Overload is bounded and observable: with one slow shard and a queue
 /// bound of Q, a burst of 4Q requests sheds the overflow promptly with
 /// typed `overloaded` errors, and the per-ticket errors, the `shed`
-/// counter, and the v3 `shed` trace events all agree.
+/// counter, and the v4 `shed` trace events all agree.
 #[test]
 fn overload_sheds_promptly_and_counters_reconcile() {
     let trace = std::env::temp_dir().join(format!(
@@ -339,7 +339,7 @@ fn overload_sheds_promptly_and_counters_reconcile() {
         .lines()
         .filter(|l| l.contains("\"event\":\"shed\"") && l.contains("\"code\":\"overloaded\""))
         .count() as u64;
-    assert_eq!(shed_events, m.shed, "v3 trace events reconcile with the shed counter");
+    assert_eq!(shed_events, m.shed, "v4 trace events reconcile with the shed counter");
 }
 
 /// Deadlines resolve late requests with the typed `timeout` code — at
@@ -478,6 +478,169 @@ fn chaos_soak_preserves_results_and_strands_nothing() {
             _ => panic!("soak request {i}: response kinds diverged"),
         }
     }
+}
+
+/// Blocking HTTP GET against the service's telemetry exporter.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    buf
+}
+
+/// Reads one unlabeled counter series out of a text exposition.
+fn scraped(expo: &str, name: &str) -> u64 {
+    let line = expo
+        .lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .unwrap_or_else(|| panic!("`{name}` missing from exposition:\n{expo}"));
+    line.split_whitespace().nth(1).unwrap().parse::<f64>().unwrap() as u64
+}
+
+/// Counts v4 trace records for one event (optionally one code).
+fn events(text: &str, event: &str, code: Option<&str>) -> u64 {
+    text.lines()
+        .filter(|l| l.contains(&format!("\"event\":\"{event}\"")))
+        .filter(|l| code.is_none_or(|c| l.contains(&format!("\"code\":\"{c}\""))))
+        .count() as u64
+}
+
+/// The observability tentpole's reconciliation contract: for a chaos
+/// run mixing shard kills, native-compile failures, and deadline
+/// timeouts, the three surfaces an operator can read — the `/metrics`
+/// scrape, the legacy [`MetricsSnapshot`], and the v4 JSONL trace —
+/// all report the same counts. The counters are recorded once,
+/// incrementally, at the point of the event; nothing is aggregated
+/// after the fact, so there is no second bookkeeping path to drift.
+#[test]
+fn telemetry_scrape_snapshot_and_trace_reconcile_under_chaos() {
+    let trace = std::env::temp_dir().join(format!(
+        "augur_chaos_telemetry_{}_{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let registry = ModelRegistry::new();
+    registry.register("bb", ModelSpec::new(BETA_BERN)).unwrap();
+    registry
+        .register("bbn", ModelSpec::new(BETA_BERN).backend(ExecBackend::Native))
+        .unwrap();
+    let service = Service::start(
+        registry,
+        ServiceConfig {
+            telemetry_addr: Some("127.0.0.1:0".into()),
+            trace_path: Some(trace.clone()),
+            ..chaos_config(2, "panic@shard:0;compile@native")
+        },
+    );
+    let addr = service.telemetry_addr().expect("exporter bound");
+
+    let mut tickets = Vec::new();
+    // Migrating sample requests across the killer shard: migrations,
+    // retries, and respawns.
+    for i in 0..4u64 {
+        tickets.push(service.sample(SampleRequest {
+            args: bb_args(),
+            data: bb_data(),
+            chains: 2,
+            sweeps: 6,
+            record: vec!["p".into()],
+            config: Some(hermetic_config(0xD0 + i)),
+            migrate_every: Some(2),
+            ..SampleRequest::new("bb")
+        }));
+    }
+    // Native-backed scores under compile@native: breaker demotion.
+    for _ in 0..(NATIVE_BREAKER_THRESHOLD + 1) {
+        tickets.push(service.score(ScoreRequest {
+            model: "bbn".into(),
+            version: None,
+            args: bb_args(),
+            data: bb_data(),
+            config: None,
+            deadline: None,
+        }));
+    }
+    // An unmeetable deadline: a typed timeout failure.
+    tickets.push(service.score(ScoreRequest {
+        model: "bb".into(),
+        version: None,
+        args: bb_args(),
+        data: bb_data(),
+        config: Some(hermetic_config(9)),
+        deadline: Some(Duration::from_nanos(1)),
+    }));
+    let mut ok = 0u64;
+    let mut timeouts = 0u64;
+    for (i, t) in tickets.into_iter().enumerate() {
+        match wait_bounded(t, &format!("telemetry chaos request {i}")) {
+            Ok(_) => ok += 1,
+            Err(ServeError::Timeout { .. }) => timeouts += 1,
+            Err(e) => panic!("telemetry chaos request {i}: unexpected failure: {e}"),
+        }
+    }
+    assert!(ok > 0 && timeouts == 1, "ok={ok} timeouts={timeouts}");
+
+    // Tickets resolve before a dying worker's guard finishes its
+    // bookkeeping; settle until the counters stop moving.
+    let m = {
+        let t0 = Instant::now();
+        let mut prev = service.metrics();
+        loop {
+            std::thread::sleep(Duration::from_millis(10));
+            let cur = service.metrics();
+            if (cur.retries, cur.respawns, cur.migrations, cur.completed, cur.failed)
+                == (prev.retries, prev.respawns, prev.migrations, prev.completed, prev.failed)
+            {
+                break cur;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(30), "counters never settled");
+            prev = cur;
+        }
+    };
+    assert!(m.respawns > 0, "the drill must kill workers");
+    assert!(m.migrations > 0, "the samples must migrate");
+    assert_eq!(m.demotions, 1, "the native breaker must trip once");
+    assert_eq!(m.timeouts, 1);
+
+    // Surface 1 vs surface 2: the scrape renders the same instruments
+    // the snapshot reads.
+    let resp = http_get(addr, "/metrics");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    let expo = resp.split("\r\n\r\n").nth(1).unwrap();
+    for (name, want) in [
+        ("augur_requests_submitted_total", m.submitted),
+        ("augur_requests_completed_total", m.completed),
+        ("augur_requests_failed_total", m.failed),
+        ("augur_requests_shed_total", m.shed),
+        ("augur_request_timeouts_total", m.timeouts),
+        ("augur_retries_total", m.retries),
+        ("augur_respawns_total", m.respawns),
+        ("augur_migrations_total", m.migrations),
+        ("augur_demotions_total", m.demotions),
+        ("augur_request_latency_seconds_count", m.latency.count),
+    ] {
+        assert_eq!(scraped(expo, name), want, "scrape vs snapshot: {name}");
+    }
+    assert_eq!(m.latency.count, m.completed + m.failed);
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "respawned service is healthy: {health}");
+
+    service.shutdown();
+    let text = std::fs::read_to_string(&trace).unwrap();
+    std::fs::remove_file(&trace).ok();
+
+    // Surface 3: one v4 record was written per counted event.
+    assert_eq!(events(&text, "submitted", None) + events(&text, "shed", None), m.submitted);
+    assert_eq!(events(&text, "completed", None), m.completed);
+    assert_eq!(events(&text, "failed", None), m.failed);
+    assert_eq!(events(&text, "failed", Some("timeout")), m.timeouts);
+    assert_eq!(events(&text, "shed", None), m.shed);
+    assert_eq!(events(&text, "retried", None), m.retries);
+    assert_eq!(events(&text, "respawned", None), m.respawns);
+    assert_eq!(events(&text, "migrated", None), m.migrations);
+    assert_eq!(events(&text, "demoted", None), m.demotions);
 }
 
 /// The native circuit breaker: K consecutive injected native-compile

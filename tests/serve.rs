@@ -245,7 +245,7 @@ fn failures_map_to_stable_response_codes() {
 }
 
 #[test]
-fn trace_v3_records_request_lifecycle() {
+fn trace_v4_records_request_lifecycle() {
     let path = std::env::temp_dir().join(format!(
         "augur_serve_trace_{}_{:?}.jsonl",
         std::process::id(),
@@ -274,10 +274,15 @@ fn trace_v3_records_request_lifecycle() {
     service.shutdown();
     let text = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
-    for event in ["submitted", "planned", "migrated", "completed"] {
+    for event in ["submitted", "planned", "slice", "migrated", "completed"] {
         assert!(
-            text.lines().any(|l| l.starts_with("{\"v\":3,") && l.contains(&format!("\"event\":\"{event}\""))),
-            "missing v3 `{event}` record in:\n{text}"
+            text.lines().any(|l| l.starts_with("{\"v\":4,") && l.contains(&format!("\"event\":\"{event}\""))),
+            "missing v4 `{event}` record in:\n{text}"
         );
+    }
+    // Every record carries the request's trace id and its own span id.
+    for line in text.lines() {
+        assert!(line.contains("\"trace\":\""), "record without trace id: {line}");
+        assert!(line.contains("\"span\":\""), "record without span id: {line}");
     }
 }
